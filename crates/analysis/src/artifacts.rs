@@ -1,0 +1,201 @@
+//! Measurement-artifact detection: telling collector-side failures apart
+//! from genuine home downtime.
+//!
+//! §3.3 admits that "various outages and failures — both of the routers
+//! themselves and of the collection infrastructure — introduced
+//! interruptions in our collection". A collector outage looks, in any one
+//! router's log, exactly like that router going down; but *across* routers
+//! it has a fingerprint no household behavior can produce: the gaps are
+//! simultaneous everywhere. This module scans the heartbeat logs for
+//! instants where an abnormal fraction of otherwise-reporting routers went
+//! silent together and flags them, so the availability analysis can be
+//! audited for infrastructure artifacts.
+
+use collector::windows::Window;
+use collector::Datasets;
+use simnet::time::{SimDuration, SimTime, MICROS_PER_MIN};
+
+/// A window flagged as a probable collector-side outage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedGap {
+    /// Start of the flagged window.
+    pub start: SimTime,
+    /// End of the flagged window.
+    pub end: SimTime,
+    /// Fraction of (otherwise reporting) routers silent during it.
+    pub silent_fraction: f64,
+}
+
+/// Scan for correlated gaps: minutes where at least `threshold` of the
+/// routers that reported both before and after were simultaneously silent
+/// for `min_len` or longer.
+///
+/// The scan works on a per-minute silence bitmap derived from the run
+/// logs, so its cost is `O(routers × window-minutes)`.
+pub fn correlated_gaps(
+    data: &Datasets,
+    window: Window,
+    threshold: f64,
+    min_len: SimDuration,
+) -> Vec<CorrelatedGap> {
+    let minutes = (window.duration().as_micros() / MICROS_PER_MIN) as usize;
+    if minutes == 0 || data.heartbeats.is_empty() {
+        return Vec::new();
+    }
+    // For each minute, count routers whose log has coverage there among
+    // routers active in the window at all.
+    let mut silent = vec![0u32; minutes];
+    let mut active_routers = 0u32;
+    for log in data.heartbeats.values() {
+        let Some((first, last)) = log.extent() else { continue };
+        if first >= window.end || last <= window.start {
+            continue;
+        }
+        active_routers += 1;
+        // Mark silent minutes: those not covered by any run, clipped to
+        // the router's own extent (a router not yet deployed is not
+        // "silent").
+        let lo = first.max(window.start);
+        let hi = last.min(window.end);
+        let mut idx = ((lo.as_micros() - window.start.as_micros()) / MICROS_PER_MIN) as usize;
+        let end_idx = ((hi.as_micros() - window.start.as_micros()) / MICROS_PER_MIN) as usize;
+        let mut runs = log.runs().iter().peekable();
+        while idx < end_idx.min(minutes) {
+            let t = window.start + SimDuration::from_micros(idx as u64 * MICROS_PER_MIN);
+            // Advance runs past t.
+            while let Some(run) = runs.peek() {
+                if run.last < t {
+                    runs.next();
+                } else {
+                    break;
+                }
+            }
+            let covered = runs
+                .peek()
+                .is_some_and(|run| run.first <= t + SimDuration::from_mins(1) && run.last >= t);
+            if !covered {
+                silent[idx] += 1;
+            }
+            idx += 1;
+        }
+    }
+    if active_routers == 0 {
+        return Vec::new();
+    }
+    // Collect maximal runs of minutes above the threshold.
+    let needed = (threshold * f64::from(active_routers)).ceil() as u32;
+    let min_minutes = (min_len.as_mins() as usize).max(1);
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (idx, &count) in silent.iter().enumerate() {
+        if count >= needed {
+            run_start.get_or_insert(idx);
+        } else if let Some(start_idx) = run_start.take() {
+            if idx - start_idx >= min_minutes {
+                out.push(make_gap(window, start_idx, idx, &silent, active_routers));
+            }
+        }
+    }
+    if let Some(start_idx) = run_start {
+        if minutes - start_idx >= min_minutes {
+            out.push(make_gap(window, start_idx, minutes, &silent, active_routers));
+        }
+    }
+    out
+}
+
+fn make_gap(
+    window: Window,
+    start_idx: usize,
+    end_idx: usize,
+    silent: &[u32],
+    active: u32,
+) -> CorrelatedGap {
+    let peak = silent[start_idx..end_idx].iter().max().copied().unwrap_or(0);
+    CorrelatedGap {
+        start: window.start + SimDuration::from_micros(start_idx as u64 * MICROS_PER_MIN),
+        end: window.start + SimDuration::from_micros(end_idx as u64 * MICROS_PER_MIN),
+        silent_fraction: f64::from(peak) / f64::from(active),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collector::{Collector, RouterMeta};
+    use firmware::records::{HeartbeatRecord, RouterId};
+    use household::Country;
+
+    fn m(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    /// Ten routers reporting continuously, with a collector outage at
+    /// minutes 100..130 and one router individually down 300..340.
+    fn synthetic() -> Datasets {
+        let collector = Collector::new();
+        collector.set_outages(vec![Window { start: m(100), end: m(130) }]);
+        for router in 0..10u32 {
+            collector.register(RouterMeta {
+                router: RouterId(router),
+                country: Country::UnitedStates,
+                traffic_consent: false,
+            });
+        }
+        for minute in 0..500u64 {
+            for router in 0..10u32 {
+                if router == 3 && (300..340).contains(&minute) {
+                    continue; // a genuine single-home outage
+                }
+                collector
+                    .ingest_heartbeat(HeartbeatRecord { router: RouterId(router), at: m(minute) });
+            }
+        }
+        collector.snapshot()
+    }
+
+    #[test]
+    fn collector_outage_flagged_individual_outage_not() {
+        let data = synthetic();
+        let window = Window { start: m(0), end: m(500) };
+        let flagged = correlated_gaps(&data, window, 0.8, SimDuration::from_mins(10));
+        assert_eq!(flagged.len(), 1, "exactly the collector outage: {flagged:?}");
+        let gap = flagged[0];
+        assert!(gap.start >= m(95) && gap.start <= m(105), "start {:?}", gap.start);
+        assert!(gap.end >= m(125) && gap.end <= m(135), "end {:?}", gap.end);
+        assert!(gap.silent_fraction >= 0.99);
+    }
+
+    #[test]
+    fn clean_data_has_no_flags() {
+        let collector = Collector::new();
+        collector.register(RouterMeta {
+            router: RouterId(0),
+            country: Country::UnitedStates,
+            traffic_consent: false,
+        });
+        for minute in 0..200u64 {
+            collector.ingest_heartbeat(HeartbeatRecord { router: RouterId(0), at: m(minute) });
+        }
+        let data = collector.snapshot();
+        let flagged = correlated_gaps(
+            &data,
+            Window { start: m(0), end: m(200) },
+            0.8,
+            SimDuration::from_mins(10),
+        );
+        assert!(flagged.is_empty(), "{flagged:?}");
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        let data = Datasets::default();
+        assert!(correlated_gaps(
+            &data,
+            Window { start: m(0), end: m(10) },
+            0.5,
+            SimDuration::from_mins(5)
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Device fingerprinting from traffic patterns — the §7 future-work idea,
+//! implemented as a library feature.
+//!
+//! The paper observes (Fig 20) that device types send distinctive
+//! distributions of traffic to domains and suggests fingerprinting devices
+//! from traffic alone. This module turns a device's per-domain volume mix
+//! into a small feature vector over coarse service buckets and provides a
+//! nearest-centroid classifier: train on devices whose identity is known
+//! (in practice, from the OUI the firmware reports in clear), classify the
+//! rest from traffic features alone.
+
+use crate::usage::Fig20Device;
+use household::{Category, DomainUniverse, VendorClass};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::OnceLock;
+
+/// Number of feature buckets.
+pub const FEATURES: usize = 8;
+
+/// Feature vector: shares of device bytes per service bucket
+/// (video, music, cloud storage, search+social, news+shopping, tech,
+/// gaming+voip, anonymized/other).
+pub type Features = [f64; FEATURES];
+
+/// Bucket index for a whitelisted category.
+fn bucket_of(category: Category) -> usize {
+    match category {
+        Category::Video => 0,
+        Category::Music => 1,
+        Category::CloudStorage => 2,
+        Category::Search | Category::Social => 3,
+        Category::News | Category::Shopping => 4,
+        Category::Tech => 5,
+        Category::Gaming | Category::Voip => 6,
+        Category::Other => 7,
+    }
+}
+
+/// The public whitelist's name→bucket map. The whitelist and its
+/// categorization are public knowledge (the paper used the Alexa US
+/// top-200), so the classifier is allowed to consult it.
+fn whitelist_buckets() -> &'static HashMap<String, usize> {
+    static MAP: OnceLock<HashMap<String, usize>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        DomainUniverse::standard()
+            .domains()
+            .iter()
+            .filter(|d| d.whitelisted)
+            .map(|d| (d.name.as_str().to_string(), bucket_of(d.category)))
+            .collect()
+    })
+}
+
+/// Compute a device's feature vector from its domain mix. Whitelisted
+/// names map to their (public) category bucket; anonymized tokens land in
+/// the final bucket.
+pub fn features(device: &Fig20Device) -> Features {
+    let buckets = whitelist_buckets();
+    let mut f = [0.0f64; FEATURES];
+    for (domain, share) in &device.domains {
+        let bucket = buckets.get(domain).copied().unwrap_or(FEATURES - 1);
+        f[bucket] += share;
+    }
+    f
+}
+
+/// Euclidean distance between feature vectors.
+pub fn distance(a: &Features, b: &Features) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+}
+
+/// A trained nearest-centroid model over any label type (vendor class,
+/// device type, a survey label, …).
+#[derive(Debug, Clone)]
+pub struct CentroidModel<L> {
+    centroids: Vec<(L, Features)>,
+}
+
+impl<L: Copy + Eq + Ord + Hash> CentroidModel<L> {
+    /// Train from labeled devices. Classes with fewer than `min_examples`
+    /// devices are dropped (too little signal).
+    pub fn train(labeled: &[(L, Features)], min_examples: usize) -> CentroidModel<L> {
+        let mut sums: HashMap<L, (Features, usize)> = HashMap::new();
+        for (label, f) in labeled {
+            let entry = sums.entry(*label).or_insert(([0.0; FEATURES], 0));
+            for (acc, x) in entry.0.iter_mut().zip(f) {
+                *acc += x;
+            }
+            entry.1 += 1;
+        }
+        let mut centroids: Vec<(L, Features)> = sums
+            .into_iter()
+            .filter(|(_, (_, n))| *n >= min_examples)
+            .map(|(label, (mut sum, n))| {
+                for x in &mut sum {
+                    *x /= n as f64;
+                }
+                (label, sum)
+            })
+            .collect();
+        centroids.sort_by_key(|(l, _)| *l);
+        CentroidModel { centroids }
+    }
+
+    /// Number of classes the model can distinguish.
+    pub fn class_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The classes, in stable order.
+    pub fn classes(&self) -> impl Iterator<Item = L> + '_ {
+        self.centroids.iter().map(|(l, _)| *l)
+    }
+
+    /// Classify a feature vector; `None` when the model is empty.
+    pub fn classify(&self, f: &Features) -> Option<L> {
+        self.centroids
+            .iter()
+            .min_by(|a, b| distance(&a.1, f).partial_cmp(&distance(&b.1, f)).expect("finite"))
+            .map(|(l, _)| *l)
+    }
+}
+
+/// Evaluation result of a train/test split.
+#[derive(Debug, Clone)]
+pub struct Evaluation<L> {
+    /// Fraction of test devices classified correctly.
+    pub accuracy: f64,
+    /// Chance level (1 / classes).
+    pub baseline: f64,
+    /// Test-set size.
+    pub tested: usize,
+    /// Confusion counts: ((truth, predicted), n).
+    pub confusion: Vec<((L, L), usize)>,
+}
+
+/// Split labeled feature vectors (even indices train, odd test), train,
+/// classify, and score. Returns `None` when fewer than two classes survive
+/// the `min_examples` filter.
+pub fn evaluate_labeled<L: Copy + Eq + Ord + Hash>(
+    labeled: &[(L, Features)],
+    min_examples: usize,
+) -> Option<Evaluation<L>> {
+    let mut per_class: HashMap<L, Vec<&Features>> = HashMap::new();
+    for (label, f) in labeled {
+        per_class.entry(*label).or_default().push(f);
+    }
+    per_class.retain(|_, v| v.len() >= min_examples.max(2));
+    if per_class.len() < 2 {
+        return None;
+    }
+    let mut classes: Vec<&L> = per_class.keys().collect();
+    classes.sort();
+    let mut train: Vec<(L, Features)> = Vec::new();
+    let mut test: Vec<(L, Features)> = Vec::new();
+    for label in classes {
+        let group = &per_class[label];
+        for (i, f) in group.iter().enumerate() {
+            if i % 2 == 0 {
+                train.push((*label, **f));
+            } else {
+                test.push((*label, **f));
+            }
+        }
+    }
+    let model = CentroidModel::train(&train, 1);
+    let mut correct = 0;
+    let mut confusion: HashMap<(L, L), usize> = HashMap::new();
+    for (truth, f) in &test {
+        let predicted = model.classify(f).expect("model non-empty");
+        if predicted == *truth {
+            correct += 1;
+        }
+        *confusion.entry((*truth, predicted)).or_default() += 1;
+    }
+    let mut confusion: Vec<_> = confusion.into_iter().collect();
+    confusion.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    Some(Evaluation {
+        accuracy: correct as f64 / test.len().max(1) as f64,
+        baseline: 1.0 / model.class_count() as f64,
+        tested: test.len(),
+        confusion,
+    })
+}
+
+/// Vendor-labeled convenience wrapper: label each device by the OUI the
+/// firmware reports in clear. Note vendor ≠ device type — Apple spans
+/// phones, laptops, tablets, and TVs — so type-level labels (a survey, as
+/// the paper used for Fig 20) separate much better.
+pub fn evaluate(devices: &[Fig20Device], min_examples: usize) -> Option<Evaluation<VendorClass>> {
+    let labeled: Vec<(VendorClass, Features)> = devices
+        .iter()
+        .filter_map(|d| d.vendor.map(|v| (v, features(d))))
+        .collect();
+    evaluate_labeled(&labeled, min_examples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmware::AnonMac;
+    use firmware::records::RouterId;
+
+    fn device(vendor: VendorClass, domains: &[(&str, f64)], salt: u32) -> Fig20Device {
+        Fig20Device {
+            router: RouterId(0),
+            device: AnonMac { oui: vendor.oui(), suffix_hash: salt },
+            vendor: Some(vendor),
+            domains: domains.iter().map(|(d, s)| (d.to_string(), *s)).collect(),
+            total_bytes: 1_000_000,
+        }
+    }
+
+    fn streamers_and_desktops() -> Vec<Fig20Device> {
+        let mut out = Vec::new();
+        for i in 0..8 {
+            let wobble = 0.02 * i as f64;
+            out.push(device(
+                VendorClass::InternetTv,
+                &[("netflix.com", 0.7 - wobble), ("hulu.com", 0.2), ("pandora.com", 0.1 + wobble)],
+                i,
+            ));
+            out.push(device(
+                VendorClass::Intel,
+                &[("google.com", 0.5 - wobble), ("dropbox.com", 0.3), ("reddit.com", 0.2 + wobble)],
+                100 + i,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn features_bucket_correctly() {
+        let d = device(
+            VendorClass::InternetTv,
+            &[("netflix.com", 0.6), ("pandora.com", 0.2), ("dropbox.com", 0.1), ("anon-x", 0.1)],
+            1,
+        );
+        let f = features(&d);
+        assert!((f[0] - 0.6).abs() < 1e-12, "video bucket");
+        assert!((f[1] - 0.2).abs() < 1e-12, "music bucket");
+        assert!((f[2] - 0.1).abs() < 1e-12, "cloud bucket");
+        assert!((f[FEATURES - 1] - 0.1).abs() < 1e-12, "anon bucket");
+    }
+
+    #[test]
+    fn clean_classes_classify_perfectly() {
+        let devices = streamers_and_desktops();
+        let eval = evaluate(&devices, 2).expect("two classes");
+        assert_eq!(eval.baseline, 0.5);
+        assert!(eval.accuracy > 0.99, "accuracy {}", eval.accuracy);
+        assert_eq!(eval.tested, 8);
+    }
+
+    #[test]
+    fn model_train_and_classify_roundtrip() {
+        let tv = |video: f64| {
+            let mut f = [0.0; FEATURES];
+            f[0] = video;
+            f[7] = 1.0 - video;
+            f
+        };
+        let pc = |web: f64| {
+            let mut f = [0.0; FEATURES];
+            f[3] = web;
+            f[2] = 1.0 - web;
+            f
+        };
+        let labeled: Vec<(VendorClass, Features)> = vec![
+            (VendorClass::InternetTv, tv(0.9)),
+            (VendorClass::InternetTv, tv(0.8)),
+            (VendorClass::Intel, pc(0.6)),
+            (VendorClass::Intel, pc(0.5)),
+        ];
+        let model = CentroidModel::train(&labeled, 2);
+        assert_eq!(model.class_count(), 2);
+        assert_eq!(model.classify(&tv(0.85)), Some(VendorClass::InternetTv));
+        assert_eq!(model.classify(&pc(0.55)), Some(VendorClass::Intel));
+    }
+
+    #[test]
+    fn too_few_classes_yields_none() {
+        let one_class: Vec<Fig20Device> =
+            streamers_and_desktops().into_iter().filter(|d| d.vendor == Some(VendorClass::Intel)).collect();
+        assert!(evaluate(&one_class, 2).is_none());
+    }
+
+    #[test]
+    fn min_examples_filters_sparse_classes() {
+        let mut video = [0.0; FEATURES];
+        video[0] = 1.0;
+        let mut web = [0.0; FEATURES];
+        web[3] = 1.0;
+        let labeled = vec![
+            (VendorClass::InternetTv, video),
+            (VendorClass::Intel, web),
+            (VendorClass::Intel, web),
+        ];
+        let model = CentroidModel::train(&labeled, 2);
+        assert_eq!(model.class_count(), 1, "the singleton class is dropped");
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let mut a = [0.0; FEATURES];
+        a[0] = 1.0;
+        let mut b = [0.0; FEATURES];
+        b[1] = 1.0;
+        assert_eq!(distance(&a, &a), 0.0);
+        assert!((distance(&a, &b) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(distance(&a, &b), distance(&b, &a));
+    }
+}

@@ -1,0 +1,34 @@
+//! # analysis — every figure and table of the paper, recomputed
+//!
+//! One function per artifact, each consuming only the collected
+//! [`collector::Datasets`] (never simulator ground truth):
+//!
+//! * [`availability`] — §4: Figs 3–6, downtime extraction;
+//! * [`infrastructure`] — §5: Figs 7–12, Table 5;
+//! * [`usage`] — §6: Figs 13–20;
+//! * [`highlights`] — Tables 1–4 and 6;
+//! * [`stats`] — CDFs, quantiles, moments;
+//! * [`artifacts`] — correlated-gap detection separating collector-side
+//!   failures from genuine home downtime (§3.3's limitation, auditable);
+//! * [`caps`] — the uCap usage-cap manager (paper ref [24]);
+//! * [`fingerprint`] — §7's device-fingerprinting future work, implemented;
+//! * [`render`] — plain-text plots and tables;
+//! * [`report`] — [`report::StudyReport`], the whole paper in one struct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod availability;
+pub mod caps;
+pub mod fingerprint;
+pub mod highlights;
+pub mod latency;
+pub mod infrastructure;
+pub mod render;
+pub mod report;
+pub mod stats;
+pub mod usage;
+
+pub use report::{ReportWindows, StudyReport};
+pub use stats::Cdf;

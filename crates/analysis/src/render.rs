@@ -1,0 +1,280 @@
+//! Plain-text rendering of figures and tables, so the benchmark harness
+//! and examples can print the same rows/series the paper plots.
+
+use crate::stats::Cdf;
+
+/// Render an ASCII CDF plot of one or more labeled series.
+pub fn cdf_plot(title: &str, series: &[(&str, &Cdf)], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let non_empty: Vec<&(&str, &Cdf)> = series.iter().filter(|(_, c)| !c.is_empty()).collect();
+    if non_empty.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let lo = non_empty
+        .iter()
+        .map(|(_, c)| c.samples()[0])
+        .fold(f64::MAX, f64::min);
+    let hi = non_empty
+        .iter()
+        .map(|(_, c)| *c.samples().last().expect("non-empty"))
+        .fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (series_idx, (_, cdf)) in non_empty.iter().enumerate() {
+        let glyph = [b'*', b'o', b'+', b'x'][series_idx % 4] as char;
+        let columns: Vec<usize> = (0..width)
+            .map(|col| {
+                let x = lo + span * col as f64 / (width - 1).max(1) as f64;
+                let f = cdf.fraction_at_or_below(x);
+                (((1.0 - f) * (height - 1) as f64).round() as usize).min(height - 1)
+            })
+            .collect();
+        for (col, row) in columns.into_iter().enumerate() {
+            grid[row][col] = glyph;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{frac:5.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      {}", "-".repeat(width)));
+    out.push('\n');
+    out.push_str(&format!("      {lo:<12.3}{:>width$.3}\n", hi, width = width - 12));
+    for (series_idx, (label, cdf)) in non_empty.iter().enumerate() {
+        let glyph = ['*', 'o', '+', 'x'][series_idx % 4];
+        out.push_str(&format!(
+            "      {glyph} {label}  (n={}, median={:.3})\n",
+            cdf.len(),
+            cdf.median()
+        ));
+    }
+    out
+}
+
+/// Render a horizontal bar chart of labeled counts.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-12);
+    let label_width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_width$} |{} {value:.1}\n",
+            "#".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Render an aligned text table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::from("  ");
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            line.push_str(&format!("{cell:<width$}  ", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&format!("  {}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * cols)));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an hour-of-day curve pair (Fig 13 style).
+pub fn diurnal_plot(title: &str, weekday: &[f64; 24], weekend: &[f64; 24]) -> String {
+    let mut rows = Vec::new();
+    for h in 0..24 {
+        rows.push(vec![
+            format!("{h:02}:00"),
+            format!("{:.2}", weekday[h]),
+            format!("{:.2}", weekend[h]),
+        ]);
+    }
+    table(title, &["hour", "weekday", "weekend"], &rows)
+}
+
+/// Render an availability timeline (Fig 6 style): one row per day, `#` for
+/// up, `.` for down, at hour resolution.
+pub fn timeline(
+    title: &str,
+    up: &[(simnet::time::SimTime, simnet::time::SimTime)],
+    window: collector::windows::Window,
+) -> String {
+    use simnet::time::SimDuration;
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let first_day = window.start.day_index();
+    let last_day = window.end.day_index();
+    for day in first_day..=last_day.min(first_day + 60) {
+        let day_start = simnet::time::SimTime::from_micros(
+            day * simnet::time::MICROS_PER_DAY,
+        );
+        if day_start >= window.end {
+            break;
+        }
+        let mut line = format!("  d{day:03} ");
+        for hour in 0..24 {
+            let t0 = day_start + SimDuration::from_hours(hour);
+            let t1 = t0 + SimDuration::from_hours(1);
+            let covered = up.iter().any(|(s, e)| *s < t1 && *e > t0);
+            line.push(if covered { '#' } else { '.' });
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a utilization timeseries (Fig 14/16 style): one row per day,
+/// one glyph per hour showing that hour's peak utilization relative to
+/// capacity (`.` idle through `@` at/above capacity).
+pub fn utilization_strip(
+    title: &str,
+    series: &[(simnet::time::SimTime, f64)],
+    capacity: f64,
+    window: collector::windows::Window,
+) -> String {
+    use simnet::time::SimDuration;
+    const GLYPHS: [char; 9] = ['.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if capacity <= 0.0 {
+        out.push_str("  (no capacity estimate)\n");
+        return out;
+    }
+    let first_day = window.start.day_index();
+    let last_day = window.end.day_index();
+    for day in first_day..=last_day.min(first_day + 30) {
+        let day_start =
+            simnet::time::SimTime::from_micros(day * simnet::time::MICROS_PER_DAY);
+        if day_start >= window.end {
+            break;
+        }
+        let mut line = format!("  d{day:03} ");
+        for hour in 0..24u64 {
+            let t0 = day_start + SimDuration::from_hours(hour);
+            let t1 = t0 + SimDuration::from_hours(1);
+            let peak = series
+                .iter()
+                .filter(|(at, _)| *at >= t0 && *at < t1)
+                .map(|(_, v)| *v)
+                .fold(0.0f64, f64::max);
+            let level = ((peak / capacity) * (GLYPHS.len() - 1) as f64)
+                .round()
+                .min((GLYPHS.len() - 1) as f64) as usize;
+            line.push(GLYPHS[level]);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("  scale: '.'=idle ... '@'=at/above measured capacity, one column per hour\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_plot_contains_medians() {
+        let a = Cdf::from_samples([1.0, 2.0, 3.0]);
+        let b = Cdf::from_samples([10.0, 20.0]);
+        let plot = cdf_plot("Fig X", &[("dev", &a), ("ding", &b)], 40, 10);
+        assert!(plot.contains("Fig X"));
+        assert!(plot.contains("median=2.000"));
+        assert!(plot.contains("median=15.000"));
+        assert!(plot.lines().count() > 10);
+    }
+
+    #[test]
+    fn cdf_plot_handles_empty() {
+        let empty = Cdf::from_samples(std::iter::empty());
+        let plot = cdf_plot("E", &[("none", &empty)], 20, 5);
+        assert!(plot.contains("(no data)"));
+    }
+
+    #[test]
+    fn bar_chart_scales() {
+        let rows = vec![("Apple".to_string(), 60.0), ("Intel".to_string(), 30.0)];
+        let chart = bar_chart("Fig 12", &rows, 20);
+        let apple_hashes = chart.lines().nth(1).unwrap().matches('#').count();
+        let intel_hashes = chart.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(apple_hashes, 20);
+        assert_eq!(intel_hashes, 10);
+    }
+
+    #[test]
+    fn table_aligns() {
+        let rows = vec![
+            vec!["US".to_string(), "63".to_string()],
+            vec!["India".to_string(), "12".to_string()],
+        ];
+        let text = table("Table 1", &["country", "routers"], &rows);
+        assert!(text.contains("country"));
+        assert!(text.contains("India"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn utilization_strip_levels() {
+        use collector::windows::Window;
+        use simnet::time::{SimDuration, SimTime};
+        let window = Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(1),
+        };
+        let series = vec![
+            (SimTime::EPOCH + SimDuration::from_hours(2), 10.0e6), // at capacity
+            (SimTime::EPOCH + SimDuration::from_hours(5), 5.0e6),  // half
+        ];
+        let strip = utilization_strip("u", &series, 10.0e6, window);
+        let row = strip.lines().nth(1).unwrap();
+        let glyphs: Vec<char> = row.chars().skip(7).collect();
+        assert_eq!(glyphs[2], '@', "full-capacity hour");
+        assert_eq!(glyphs[5], '+', "half-capacity hour");
+        assert_eq!(glyphs[0], '.', "idle hour");
+    }
+
+    #[test]
+    fn timeline_marks_up_hours() {
+        use collector::windows::Window;
+        use simnet::time::{SimDuration, SimTime};
+        let window = Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(2),
+        };
+        let up = vec![(
+            SimTime::EPOCH + SimDuration::from_hours(6),
+            SimTime::EPOCH + SimDuration::from_hours(12),
+        )];
+        let text = timeline("Fig 6", &up, window);
+        let day0 = text.lines().nth(1).unwrap();
+        assert!(day0.contains("######"));
+        assert!(day0.starts_with("  d000 ......#"));
+    }
+}

@@ -1,0 +1,114 @@
+//! §4 figure regeneration benches: Figures 3–6 and Table 3, each computed
+//! from the shared study's data sets exactly as the paper computed them
+//! from the deployment's. Each bench prints its regenerated artifact once.
+
+use analysis::availability;
+use analysis::render;
+use bench::shared::{print_once, report, study, windows};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 3: downtimes per day (CDF)", || {
+        let r = report();
+        render::cdf_plot(
+            "avg downtimes/day, >=10 min",
+            &[("developed", &r.fig3.developed), ("developing", &r.fig3.developing)],
+            60,
+            12,
+        )
+    });
+    c.bench_function("fig03_downtime_frequency", |b| {
+        b.iter(|| {
+            let routers = availability::per_router(data, w.heartbeats);
+            black_box(availability::fig3(&routers))
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 4: downtime durations (CDF)", || {
+        let r = report();
+        render::cdf_plot(
+            "downtime duration (s)",
+            &[("developed", &r.fig4.developed), ("developing", &r.fig4.developing)],
+            60,
+            12,
+        )
+    });
+    let routers = availability::per_router(data, w.heartbeats);
+    c.bench_function("fig04_downtime_duration", |b| {
+        b.iter(|| black_box(availability::fig4(&routers)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 5: median downtimes vs GDP", || {
+        let r = report();
+        r.fig5
+            .iter()
+            .map(|p| {
+                format!(
+                    "  {} (${}): median {:.1} downtimes, median duration {:.0} min, {} routers\n",
+                    p.code,
+                    p.gdp,
+                    p.median_downtimes,
+                    p.median_duration_secs / 60.0,
+                    p.routers
+                )
+            })
+            .collect()
+    });
+    let routers = availability::per_router(data, w.heartbeats);
+    c.bench_function("fig05_downtimes_vs_gdp", |b| {
+        b.iter(|| black_box(availability::fig5(&routers)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    let routers = availability::per_router(data, w.heartbeats);
+    print_once("Figure 6: availability archetypes", || {
+        let (a, b_, c_) = availability::fig6_archetypes(data, &routers);
+        format!("always-on {a:?}, appliance {b_:?}, flaky {c_:?}")
+    });
+    c.bench_function("fig06_archetypes_and_timeline", |b| {
+        b.iter(|| {
+            let (a, _, _) = availability::fig6_archetypes(data, &routers);
+            let tl = a.map(|r| availability::fig6_timeline(data, r, w.heartbeats));
+            black_box(tl)
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    let routers = availability::per_router(data, w.heartbeats);
+    print_once("Table 3: availability highlights", || {
+        let t3 = analysis::highlights::table3(&routers);
+        format!(
+            "  time between downtimes: developed {}, developing {}; worst {} {}\n",
+            t3.developed_median_time_between,
+            t3.developing_median_time_between,
+            t3.worst_two[0],
+            t3.worst_two[1]
+        )
+    });
+    c.bench_function("table3_highlights", |b| {
+        b.iter(|| black_box(analysis::highlights::table3(&routers)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_table3
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! §5 figure regeneration benches: Figures 7–12 and Tables 4–5.
+
+use analysis::infrastructure;
+use analysis::render;
+use bench::shared::{print_once, report, study, windows};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 7: devices per home", || {
+        render::cdf_plot("unique devices per home", &[("all", &report().fig7)], 60, 12)
+    });
+    c.bench_function("fig07_devices_per_home", |b| {
+        b.iter(|| black_box(infrastructure::fig7(data, w.devices)))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 8: wired vs wireless by region", || {
+        let f = &report().fig8;
+        format!(
+            "  developed: wired {:.2}±{:.2}, wireless {:.2}±{:.2}\n  developing: wired {:.2}±{:.2}, wireless {:.2}±{:.2}\n",
+            f.developed.0.mean, f.developed.0.std, f.developed.1.mean, f.developed.1.std,
+            f.developing.0.mean, f.developing.0.std, f.developing.1.mean, f.developing.1.std,
+        )
+    });
+    c.bench_function("fig08_wired_wireless_region", |b| {
+        b.iter(|| black_box(infrastructure::fig8(data, w.devices)))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 9: stations per band", || {
+        let f = &report().fig9;
+        format!(
+            "  2.4 GHz {:.2}±{:.2}, 5 GHz {:.2}±{:.2}\n",
+            f.ghz24.mean, f.ghz24.std, f.ghz5.mean, f.ghz5.std
+        )
+    });
+    c.bench_function("fig09_stations_per_band", |b| {
+        b.iter(|| black_box(infrastructure::fig9(data, w.devices)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 10: unique devices per band", || {
+        let f = &report().fig10;
+        render::cdf_plot(
+            "unique devices per band",
+            &[("2.4 GHz", &f.ghz24), ("5 GHz", &f.ghz5)],
+            60,
+            12,
+        )
+    });
+    c.bench_function("fig10_unique_devices_per_band", |b| {
+        b.iter(|| black_box(infrastructure::fig10(data, w.devices)))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 11: visible APs", || {
+        let f = &report().fig11;
+        render::cdf_plot(
+            "unique 2.4 GHz APs per home",
+            &[("developed", &f.developed), ("developing", &f.developing)],
+            60,
+            12,
+        )
+    });
+    c.bench_function("fig11_visible_aps", |b| {
+        b.iter(|| black_box(infrastructure::fig11(data, w.wifi)))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let data = &study().datasets;
+    print_once("Figure 12: vendors", || {
+        render::bar_chart(
+            "devices by manufacturer (>=100 KB)",
+            &report()
+                .fig12
+                .iter()
+                .map(|(v, n)| (v.label().to_string(), *n as f64))
+                .collect::<Vec<_>>(),
+            40,
+        )
+    });
+    c.bench_function("fig12_vendor_histogram", |b| {
+        b.iter(|| black_box(infrastructure::fig12(data)))
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Table 5: always-connected devices", || {
+        report()
+            .table5
+            .iter()
+            .map(|r| {
+                format!("  {}: {} homes, wired {}, wireless {}\n", r.region, r.total, r.wired, r.wireless)
+            })
+            .collect()
+    });
+    c.bench_function("table5_always_connected", |b| {
+        b.iter(|| black_box(infrastructure::table5(data, w.devices)))
+    });
+    c.bench_function("table4_highlights", |b| {
+        b.iter(|| black_box(analysis::highlights::table4(data, w.devices, w.wifi)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig7, bench_fig8, bench_fig9, bench_fig10, bench_fig11, bench_fig12, bench_tables
+);
+criterion_main!(benches);

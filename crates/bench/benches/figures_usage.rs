@@ -1,0 +1,166 @@
+//! §6 figure regeneration benches: Figures 13–20 and Table 6.
+
+use analysis::render;
+use analysis::usage;
+use bench::shared::{print_once, report, study, windows};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fig13(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 13: diurnal station counts", || {
+        let f = &report().fig13;
+        render::diurnal_plot("mean wireless stations by local hour", &f.weekday, &f.weekend)
+    });
+    c.bench_function("fig13_diurnal", |b| b.iter(|| black_box(usage::fig13(data, w.wifi))));
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 14: one home's utilization vs capacity", || {
+        match &report().fig14 {
+            Some(f) => format!(
+                "  {}: capacity down {:.1} / up {:.1} Mbps, {} busy minutes\n",
+                f.router,
+                f.down_capacity_bps / 1e6,
+                f.up_capacity_bps / 1e6,
+                f.down_series.len()
+            ),
+            None => "  (no exemplar home)".to_string(),
+        }
+    });
+    let exemplar = report().fig14.as_ref().map(|f| f.router);
+    c.bench_function("fig14_home_timeseries", |b| {
+        b.iter(|| exemplar.and_then(|r| black_box(usage::fig14(data, w.traffic, r))))
+    });
+}
+
+fn bench_fig15_16(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 15/16: utilization scatter + oversaturators", || {
+        let r = report();
+        let mut out = String::new();
+        for p in &r.fig15 {
+            out.push_str(&format!(
+                "  {}: down {:.2} of {:.1} Mbps, up {:.2} of {:.2} Mbps\n",
+                p.router,
+                p.down_utilization,
+                p.down_capacity_bps / 1e6,
+                p.up_utilization,
+                p.up_capacity_bps / 1e6
+            ));
+        }
+        out.push_str(&format!("  oversaturating: {}\n", r.fig16.len()));
+        out
+    });
+    c.bench_function("fig15_utilization_scatter", |b| {
+        b.iter(|| black_box(usage::fig15(data, w.traffic)))
+    });
+    c.bench_function("fig16_oversaturators", |b| {
+        b.iter(|| black_box(usage::fig16(data, w.traffic)))
+    });
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 17: device dominance", || {
+        let f = &report().fig17;
+        format!(
+            "  top device {:.0}%, second {:.0}% (over {} homes)\n",
+            f.mean_top_share * 100.0,
+            f.mean_second_share * 100.0,
+            f.per_home.len()
+        )
+    });
+    c.bench_function("fig17_device_shares", |b| {
+        b.iter(|| black_box(usage::fig17(data, w.traffic)))
+    });
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 18: top-5/top-10 domains", || {
+        report()
+            .fig18
+            .iter()
+            .take(10)
+            .map(|r| format!("  {:<16} top5 {:>3}  top10 {:>3}\n", r.domain, r.top5_homes, r.top10_homes))
+            .collect()
+    });
+    c.bench_function("fig18_domain_popularity", |b| {
+        b.iter(|| black_box(usage::fig18(data, w.traffic)))
+    });
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 19: domain-rank shares", || {
+        let f = &report().fig19;
+        format!(
+            "  rank-1: volume {:.2}, connections {:.2}, connections-of-top-volume {:.2}; whitelist {:.2}\n",
+            f.volume_share_by_rank[0],
+            f.connection_share_by_rank[0],
+            f.connections_of_volume_rank[0],
+            f.whitelisted_byte_fraction
+        )
+    });
+    c.bench_function("fig19_domain_shares", |b| {
+        b.iter(|| black_box(usage::fig19(data, w.traffic, 15)))
+    });
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Figure 20: device fingerprints", || {
+        let devices = &report().fig20;
+        let (computer, streamer) = usage::fig20_exemplars(devices);
+        let mut out = String::new();
+        for (label, dev) in [("computer", computer), ("streamer", streamer)] {
+            if let Some(dev) = dev {
+                out.push_str(&format!("  {label} ({}):\n", dev.device));
+                for (domain, share) in dev.domains.iter().take(5) {
+                    out.push_str(&format!("    {domain:<20} {share:.2}\n"));
+                }
+            }
+        }
+        out
+    });
+    c.bench_function("fig20_device_domain_mixes", |b| {
+        b.iter(|| black_box(usage::fig20(data, w.traffic, 100 * 1024)))
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Table 6: usage highlights", || {
+        let t = &report().table6;
+        format!(
+            "  diurnal spread {:.2}/{:.2}; oversaturating {}; dominant device {:.0}%; top domain {:.0}%/{:.0}%; whitelist {:.0}%\n",
+            t.weekday_spread,
+            t.weekend_spread,
+            t.oversaturating_homes,
+            t.dominant_device_share * 100.0,
+            t.top_domain_volume_share * 100.0,
+            t.top_domain_connection_share * 100.0,
+            t.whitelisted_byte_fraction * 100.0
+        )
+    });
+    c.bench_function("table6_highlights", |b| {
+        b.iter(|| black_box(analysis::highlights::table6(data, w.traffic, w.wifi)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig13, bench_fig14, bench_fig15_16, bench_fig17, bench_fig18, bench_fig19,
+        bench_fig20, bench_table6
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end simulation benches: deployment construction and home/study
+//! simulation throughput — the cost of regenerating the data sets
+//! themselves.
+
+use bismark::homesim::{HomeSim, SimParams};
+use bismark::study::{run_study, StudyConfig, StudyWindows};
+use collector::windows::Window;
+use collector::{Collector, RouterMeta};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use firmware::records::RouterId;
+use household::domains::DomainUniverse;
+use household::{build_deployment, Country, HomeConfig, HomeId};
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+
+fn bench_deployment_build(c: &mut Criterion) {
+    c.bench_function("build_deployment_126_homes", |b| {
+        b.iter(|| black_box(build_deployment(2013)))
+    });
+}
+
+fn bench_single_home(c: &mut Criterion) {
+    let span = Window {
+        start: SimTime::EPOCH,
+        end: SimTime::EPOCH + SimDuration::from_days(7),
+    };
+    let windows = StudyWindows::scaled(span);
+    let universe = DomainUniverse::standard();
+    let zone = universe.build_zone();
+    let root = DetRng::new(11);
+    let us_home = HomeConfig::sample(HomeId(0), Country::UnitedStates, &root.derive("us"));
+    let in_home = HomeConfig::sample(HomeId(1), Country::India, &root.derive("in"));
+
+    let mut group = c.benchmark_group("home_simulation_7days");
+    group.sample_size(10);
+    for (label, home) in [("us_home", &us_home), ("india_home", &in_home)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let collector = Collector::new();
+                collector.register(RouterMeta {
+                    router: RouterId(home.id.0),
+                    country: home.country,
+                    traffic_consent: home.traffic_consent,
+                });
+                HomeSim::new(SimParams {
+                    cfg: home,
+                    universe: &universe,
+                    zone: &zone,
+                    windows: &windows,
+                    seed: 11,
+                })
+                .run(&collector);
+                black_box(collector.snapshot().record_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaled_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_deployment");
+    group.sample_size(10);
+    group.bench_function("study_126_homes_3_days", |b| {
+        b.iter(|| {
+            let output = run_study(&StudyConfig::quick(2013, 3));
+            black_box(output.datasets.record_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deployment_build, bench_single_home, bench_scaled_study);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Deployment tables (1–2) and the full-report render path.
+
+use bench::shared::{print_once, report, study, windows};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let data = &study().datasets;
+    print_once("Table 1: country classification", || {
+        report()
+            .table1
+            .iter()
+            .map(|r| format!("  {:<16} {:<11} {}\n", r.country.name(), r.region.to_string(), r.routers))
+            .collect()
+    });
+    c.bench_function("table1_countries", |b| {
+        b.iter(|| black_box(analysis::highlights::table1(data)))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    print_once("Table 2: data sets", || {
+        report()
+            .table2
+            .iter()
+            .map(|r| format!("  {:<10} {:>4} routers  {:>3} countries\n", r.dataset, r.routers, r.countries))
+            .collect()
+    });
+    let spec = [
+        ("Heartbeats", w.heartbeats),
+        ("Capacity", w.capacity),
+        ("Uptime", w.uptime),
+        ("Devices", w.devices),
+        ("WiFi", w.wifi),
+        ("Traffic", w.traffic),
+    ];
+    c.bench_function("table2_dataset_summary", |b| {
+        b.iter(|| black_box(analysis::highlights::table2(data, &spec)))
+    });
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let data = &study().datasets;
+    let w = windows();
+    c.bench_function("full_report_compute", |b| {
+        b.iter(|| black_box(analysis::StudyReport::compute(data, w)))
+    });
+    c.bench_function("full_report_render", |b| {
+        b.iter(|| black_box(report().render(data).len()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_table1, bench_table2, bench_full_report
+);
+criterion_main!(benches);

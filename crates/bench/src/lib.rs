@@ -1,0 +1,3 @@
+//! Shared helpers for the benchmark harness live in the bench library.
+#![forbid(unsafe_code)]
+pub mod shared;

@@ -1,0 +1,39 @@
+//! One study, shared by every figure/table bench so the harness measures
+//! the analysis (the part that regenerates each artifact) without
+//! re-simulating the world per iteration. The study itself is benchmarked
+//! separately in `benches/study.rs`.
+
+use analysis::{ReportWindows, StudyReport};
+use bismark::study::{run_study, StudyConfig, StudyOutput};
+use std::sync::OnceLock;
+
+/// The shared reduced study: the full 126-home deployment over 20 virtual
+/// days, seed 2013.
+pub fn study() -> &'static StudyOutput {
+    static STUDY: OnceLock<StudyOutput> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&StudyConfig::quick(2013, 20)))
+}
+
+/// The analysis windows for the shared study.
+pub fn windows() -> ReportWindows {
+    study().windows.report_windows()
+}
+
+/// A fully computed report over the shared study (for render benches).
+pub fn report() -> &'static StudyReport {
+    static REPORT: OnceLock<StudyReport> = OnceLock::new();
+    REPORT.get_or_init(|| study().report())
+}
+
+/// Print a figure's regenerated content once (criterion runs closures many
+/// times; the artifact only needs to be shown once per bench run).
+pub fn print_once(tag: &str, body: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let printed = PRINTED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = printed.lock().expect("print lock");
+    if guard.insert(tag.to_string()) {
+        println!("\n===== {tag} =====\n{}", body());
+    }
+}

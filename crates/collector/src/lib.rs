@@ -1,0 +1,19 @@
+//! # collector — the central measurement server
+//!
+//! The deployment's back end: routers upload records ([`server`]), the
+//! collector compresses the firehose of heartbeats into run logs
+//! ([`runlog`]), clips analyses to the per-data-set collection windows of
+//! Table 2 ([`windows`]), and exports the PII-free public release
+//! ([`export`] — everything except Traffic, exactly as the paper did).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod runlog;
+pub mod server;
+pub mod windows;
+
+pub use runlog::{HeartbeatRun, RunLog};
+pub use server::{Collector, Datasets, RouterMeta};
+pub use windows::Window;

@@ -1,0 +1,242 @@
+//! Run-length-encoded heartbeat logs.
+//!
+//! The deployment received one heartbeat per router per minute for six
+//! months — tens of millions of timestamps. Since every §4 analysis only
+//! cares about *gaps of ten minutes or more*, the collector compresses
+//! consecutive-minute heartbeats into runs at ingest time: a run is a
+//! `(first, last, count)` triple of heartbeats no more than a tolerance
+//! apart. Isolated heartbeat losses (a 2-minute hole) stay inside a run
+//! and — exactly as in the paper — remain invisible to the downtime
+//! analysis; only sustained silence splits runs.
+
+use serde::{Deserialize, Serialize};
+use simnet::time::{SimDuration, SimTime};
+
+/// Heartbeats arrive nominally 60 s apart; anything up to this tolerance
+/// extends the current run. Three minutes spans up to two consecutive
+/// losses, which can never amount to the ten-minute downtime threshold.
+pub const RUN_TOLERANCE: SimDuration = SimDuration::from_secs(3 * 60);
+
+/// A maximal run of regularly received heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatRun {
+    /// Arrival of the first heartbeat in the run.
+    pub first: SimTime,
+    /// Arrival of the last heartbeat in the run.
+    pub last: SimTime,
+    /// Number of heartbeats received in the run.
+    pub count: u64,
+}
+
+impl HeartbeatRun {
+    /// Span covered by the run.
+    pub fn span(&self) -> SimDuration {
+        self.last.since(self.first)
+    }
+}
+
+/// The compressed heartbeat log for one router.
+///
+/// ```
+/// use collector::RunLog;
+/// use simnet::time::{SimDuration, SimTime};
+///
+/// let minute = |m: u64| SimTime::EPOCH + SimDuration::from_mins(m);
+/// let mut log = RunLog::new();
+/// for m in (0..30).chain(60..90) {
+///     log.push(minute(m)); // a 30-minute silence splits two runs
+/// }
+/// assert_eq!(log.runs().len(), 2);
+/// let gaps = log.downtimes(minute(0), minute(90), SimDuration::from_mins(10));
+/// assert_eq!(gaps, vec![(minute(29), minute(60))]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLog {
+    runs: Vec<HeartbeatRun>,
+}
+
+impl RunLog {
+    /// An empty log.
+    pub fn new() -> RunLog {
+        RunLog::default()
+    }
+
+    /// Record a heartbeat arrival. Arrivals must be non-decreasing.
+    pub fn push(&mut self, at: SimTime) {
+        match self.runs.last_mut() {
+            Some(run) if at >= run.last && at.since(run.last) <= RUN_TOLERANCE => {
+                run.last = at;
+                run.count += 1;
+            }
+            Some(run) => {
+                debug_assert!(at >= run.last, "heartbeats must arrive in order");
+                self.runs.push(HeartbeatRun { first: at, last: at, count: 1 });
+            }
+            None => self.runs.push(HeartbeatRun { first: at, last: at, count: 1 }),
+        }
+    }
+
+    /// The runs, in time order.
+    pub fn runs(&self) -> &[HeartbeatRun] {
+        &self.runs
+    }
+
+    /// Total heartbeats received.
+    pub fn total_heartbeats(&self) -> u64 {
+        self.runs.iter().map(|r| r.count).sum()
+    }
+
+    /// Time of the first/last heartbeat ever received.
+    pub fn extent(&self) -> Option<(SimTime, SimTime)> {
+        match (self.runs.first(), self.runs.last()) {
+            (Some(a), Some(b)) => Some((a.first, b.last)),
+            _ => None,
+        }
+    }
+
+    /// Gaps of at least `min_gap` between runs, within `[start, end)` —
+    /// the paper's downtime events. The period before the first heartbeat
+    /// and after the last one inside the window also counts when long
+    /// enough (a router that never reports *is* down).
+    pub fn downtimes(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        min_gap: SimDuration,
+    ) -> Vec<(SimTime, SimTime)> {
+        let mut gaps = Vec::new();
+        let mut cursor = start;
+        for run in &self.runs {
+            if run.last < start {
+                cursor = cursor.max(run.last);
+                continue;
+            }
+            if run.first >= end {
+                break;
+            }
+            let gap_start = cursor;
+            let gap_end = run.first.min(end);
+            if gap_end > gap_start && gap_end.since(gap_start) >= min_gap {
+                gaps.push((gap_start, gap_end));
+            }
+            cursor = cursor.max(run.last.min(end));
+        }
+        if end > cursor && end.since(cursor) >= min_gap {
+            gaps.push((cursor, end));
+        }
+        gaps
+    }
+
+    /// Fraction of `[start, end)` covered by heartbeat runs — the §4.2
+    /// "router on X% of the time" metric.
+    pub fn coverage(&self, start: SimTime, end: SimTime) -> f64 {
+        assert!(end > start);
+        let mut covered = SimDuration::ZERO;
+        for run in &self.runs {
+            let s = run.first.max(start);
+            let e = run.last.min(end);
+            if e > s {
+                covered += e.since(s);
+            }
+        }
+        covered / end.since(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn consecutive_minutes_form_one_run() {
+        let mut log = RunLog::new();
+        for i in 0..60 {
+            log.push(m(i));
+        }
+        assert_eq!(log.runs().len(), 1);
+        assert_eq!(log.total_heartbeats(), 60);
+        assert_eq!(log.runs()[0].span(), SimDuration::from_mins(59));
+    }
+
+    #[test]
+    fn single_loss_stays_inside_run() {
+        let mut log = RunLog::new();
+        for i in 0..10 {
+            if i != 5 {
+                log.push(m(i));
+            }
+        }
+        assert_eq!(log.runs().len(), 1, "a 2-minute hole is within tolerance");
+        assert_eq!(log.total_heartbeats(), 9);
+    }
+
+    #[test]
+    fn long_silence_splits_runs() {
+        let mut log = RunLog::new();
+        log.push(m(0));
+        log.push(m(1));
+        log.push(m(30));
+        log.push(m(31));
+        assert_eq!(log.runs().len(), 2);
+    }
+
+    #[test]
+    fn downtimes_respect_threshold() {
+        let mut log = RunLog::new();
+        for i in 0..10 {
+            log.push(m(i));
+        }
+        for i in 15..20 {
+            log.push(m(i)); // 6-minute gap: below threshold
+        }
+        for i in 40..50 {
+            log.push(m(i)); // 21-minute gap: downtime
+        }
+        let gaps = log.downtimes(m(0), m(50), SimDuration::from_mins(10));
+        assert_eq!(gaps, vec![(m(19), m(40))]);
+    }
+
+    #[test]
+    fn leading_and_trailing_silence_count() {
+        let mut log = RunLog::new();
+        for i in 30..40 {
+            log.push(m(i));
+        }
+        let gaps = log.downtimes(m(0), m(100), SimDuration::from_mins(10));
+        assert_eq!(gaps, vec![(m(0), m(30)), (m(39), m(100))]);
+    }
+
+    #[test]
+    fn empty_log_is_one_big_downtime() {
+        let log = RunLog::new();
+        let gaps = log.downtimes(m(0), m(100), SimDuration::from_mins(10));
+        assert_eq!(gaps, vec![(m(0), m(100))]);
+        assert_eq!(log.extent(), None);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut log = RunLog::new();
+        for i in 0..25 {
+            log.push(m(i));
+        }
+        for i in 75..100 {
+            log.push(m(i));
+        }
+        let cov = log.coverage(m(0), m(100));
+        assert!((cov - 0.48).abs() < 0.01, "coverage {cov}");
+    }
+
+    #[test]
+    fn downtimes_clipped_to_window() {
+        let mut log = RunLog::new();
+        log.push(m(0));
+        log.push(m(100));
+        let gaps = log.downtimes(m(20), m(80), SimDuration::from_mins(10));
+        assert_eq!(gaps, vec![(m(20), m(80))]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The central collection server: router registration, record ingestion
+//! (including wire-level heartbeat packets), and snapshotting the six data
+//! sets for analysis.
+//!
+//! The server is thread-safe behind a [`parking_lot::Mutex`] because the
+//! study simulates independent homes on parallel threads, all uploading to
+//! one collector — the same topology as the deployment.
+
+use crate::runlog::RunLog;
+use firmware::heartbeat::Heartbeat;
+use firmware::records::{
+    AssociationRecord, CapacityRecord, DeviceCensusRecord, DnsSampleRecord, FlowRecord,
+    HeartbeatRecord, MacSightingRecord, PacketStatsRecord, Record, RouterId, UptimeRecord,
+    WifiScanRecord,
+};
+use household::Country;
+use parking_lot::Mutex;
+use simnet::packet::ParseError;
+use simnet::time::SimTime;
+use std::collections::HashMap;
+
+/// Registration metadata for one router (what the deployment knew about
+/// each shipped unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RouterMeta {
+    /// The router.
+    pub router: RouterId,
+    /// The country it shipped to.
+    pub country: Country,
+    /// Whether the household signed the Traffic consent form.
+    pub traffic_consent: bool,
+}
+
+/// An immutable snapshot of everything collected, handed to the analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Datasets {
+    /// Router registration metadata.
+    pub routers: Vec<RouterMeta>,
+    /// Compressed heartbeat logs per router.
+    pub heartbeats: HashMap<RouterId, RunLog>,
+    /// Uptime reports.
+    pub uptime: Vec<UptimeRecord>,
+    /// Capacity measurements.
+    pub capacity: Vec<CapacityRecord>,
+    /// Hourly device censuses.
+    pub devices: Vec<DeviceCensusRecord>,
+    /// WiFi scans.
+    pub wifi: Vec<WifiScanRecord>,
+    /// Per-second packet statistics (Traffic).
+    pub packet_stats: Vec<PacketStatsRecord>,
+    /// Flow records (Traffic).
+    pub flows: Vec<FlowRecord>,
+    /// DNS samples (Traffic).
+    pub dns: Vec<DnsSampleRecord>,
+    /// MAC sightings (Traffic).
+    pub macs: Vec<MacSightingRecord>,
+    /// Hourly per-device association reports (Devices companion).
+    pub associations: Vec<AssociationRecord>,
+    /// Latency probes (platform companion data set).
+    pub latency: Vec<firmware::latency::LatencyRecord>,
+}
+
+impl Datasets {
+    /// Metadata for one router, if registered.
+    pub fn meta(&self, router: RouterId) -> Option<&RouterMeta> {
+        self.routers.iter().find(|m| m.router == router)
+    }
+
+    /// Routers in the Traffic data set (consented).
+    pub fn traffic_routers(&self) -> Vec<RouterId> {
+        self.routers.iter().filter(|m| m.traffic_consent).map(|m| m.router).collect()
+    }
+
+    /// Total records across all sets (diagnostic).
+    pub fn record_count(&self) -> usize {
+        self.heartbeats.values().map(|l| l.total_heartbeats() as usize).sum::<usize>()
+            + self.uptime.len()
+            + self.capacity.len()
+            + self.devices.len()
+            + self.wifi.len()
+            + self.packet_stats.len()
+            + self.flows.len()
+            + self.dns.len()
+            + self.macs.len()
+            + self.associations.len()
+            + self.latency.len()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    data: Datasets,
+    rejected_heartbeats: u64,
+    /// Windows during which the collection infrastructure itself was down
+    /// (§3.3: "various outages and failures — both of the routers
+    /// themselves and of the collection infrastructure"). Records arriving
+    /// inside one are lost, exactly as on the deployment.
+    outages: Vec<crate::windows::Window>,
+    dropped_in_outage: u64,
+}
+
+impl Inner {
+    fn in_outage(&self, at: SimTime) -> bool {
+        self.outages.iter().any(|w| w.contains(at))
+    }
+}
+
+/// The collection server.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Register a shipped router.
+    pub fn register(&self, meta: RouterMeta) {
+        self.inner.lock().data.routers.push(meta);
+    }
+
+    /// Inject collection-infrastructure outages: any record whose
+    /// timestamp falls inside one of these windows is silently lost.
+    pub fn set_outages(&self, outages: Vec<crate::windows::Window>) {
+        self.inner.lock().outages = outages;
+    }
+
+    /// Records lost to collector-side outages so far.
+    pub fn dropped_in_outage(&self) -> u64 {
+        self.inner.lock().dropped_in_outage
+    }
+
+    /// Ingest a heartbeat that arrived as a raw packet: parse, validate,
+    /// and log. Malformed packets are counted and dropped, as a real
+    /// server would.
+    pub fn ingest_heartbeat_wire(&self, at: SimTime, wire: &[u8]) -> Result<(), ParseError> {
+        match Heartbeat::parse(wire) {
+            Ok((hb, _src)) => {
+                let mut inner = self.inner.lock();
+                if inner.in_outage(at) {
+                    inner.dropped_in_outage += 1;
+                    return Ok(());
+                }
+                inner.data.heartbeats.entry(hb.router).or_default().push(at);
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.lock().rejected_heartbeats += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Ingest an already-parsed heartbeat record (the fast path the home
+    /// simulations use for the bulk of the six-month log; a sampled subset
+    /// goes through [`Collector::ingest_heartbeat_wire`] to keep the wire
+    /// path honest).
+    pub fn ingest_heartbeat(&self, rec: HeartbeatRecord) {
+        let mut inner = self.inner.lock();
+        if inner.in_outage(rec.at) {
+            inner.dropped_in_outage += 1;
+            return;
+        }
+        inner.data.heartbeats.entry(rec.router).or_default().push(rec.at);
+    }
+
+    /// Ingest any other record.
+    pub fn ingest(&self, record: Record) {
+        let mut inner = self.inner.lock();
+        if inner.in_outage(record.at()) {
+            inner.dropped_in_outage += 1;
+            return;
+        }
+        match record {
+            Record::Heartbeat(r) => {
+                inner.data.heartbeats.entry(r.router).or_default().push(r.at)
+            }
+            Record::Uptime(r) => inner.data.uptime.push(r),
+            Record::Capacity(r) => inner.data.capacity.push(r),
+            Record::DeviceCensus(r) => inner.data.devices.push(r),
+            Record::WifiScan(r) => inner.data.wifi.push(r),
+            Record::PacketStats(r) => inner.data.packet_stats.push(r),
+            Record::Flow(r) => inner.data.flows.push(r),
+            Record::DnsSample(r) => inner.data.dns.push(r),
+            Record::MacSighting(r) => inner.data.macs.push(r),
+            Record::Association(r) => inner.data.associations.push(r),
+            Record::Latency(r) => inner.data.latency.push(r),
+        }
+    }
+
+    /// Ingest a batch (one lock acquisition).
+    pub fn ingest_batch(&self, records: Vec<Record>) {
+        let mut inner = self.inner.lock();
+        for record in records {
+            if inner.in_outage(record.at()) {
+                inner.dropped_in_outage += 1;
+                continue;
+            }
+            match record {
+                Record::Heartbeat(r) => {
+                    inner.data.heartbeats.entry(r.router).or_default().push(r.at)
+                }
+                Record::Uptime(r) => inner.data.uptime.push(r),
+                Record::Capacity(r) => inner.data.capacity.push(r),
+                Record::DeviceCensus(r) => inner.data.devices.push(r),
+                Record::WifiScan(r) => inner.data.wifi.push(r),
+                Record::PacketStats(r) => inner.data.packet_stats.push(r),
+                Record::Flow(r) => inner.data.flows.push(r),
+                Record::DnsSample(r) => inner.data.dns.push(r),
+                Record::MacSighting(r) => inner.data.macs.push(r),
+                Record::Association(r) => inner.data.associations.push(r),
+                Record::Latency(r) => inner.data.latency.push(r),
+            }
+        }
+    }
+
+    /// Malformed heartbeat packets rejected so far.
+    pub fn rejected_heartbeats(&self) -> u64 {
+        self.inner.lock().rejected_heartbeats
+    }
+
+    /// Snapshot everything collected so far. Records are sorted by
+    /// (router, time) so snapshots are deterministic regardless of the
+    /// upload interleaving across home threads.
+    pub fn snapshot(&self) -> Datasets {
+        let mut data = self.inner.lock().data.clone();
+        data.routers.sort_by_key(|m| m.router);
+        data.uptime.sort_by_key(|r| (r.router, r.at));
+        data.capacity.sort_by_key(|r| (r.router, r.at));
+        data.devices.sort_by_key(|r| (r.router, r.at));
+        data.wifi.sort_by_key(|r| (r.router, r.at, r.band));
+        data.packet_stats.sort_by_key(|r| (r.router, r.at));
+        data.flows.sort_by_key(|r| (r.router, r.ended, r.started, r.device));
+        data.dns.sort_by_key(|r| (r.router, r.at, r.device));
+        data.macs.sort_by_key(|r| (r.router, r.first_seen, r.device));
+        data.associations.sort_by_key(|r| (r.router, r.at, r.device, r.medium));
+        data.latency.sort_by_key(|r| (r.router, r.at));
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimDuration;
+    use std::net::Ipv4Addr;
+
+    fn m(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn wire_heartbeats_accumulate_into_runs() {
+        let collector = Collector::new();
+        let wan = Ipv4Addr::new(100, 64, 0, 3);
+        for i in 0..30u64 {
+            let hb = Heartbeat { router: RouterId(9), seq: i };
+            collector.ingest_heartbeat_wire(m(i), &hb.emit(wan)).unwrap();
+        }
+        let snap = collector.snapshot();
+        let log = &snap.heartbeats[&RouterId(9)];
+        assert_eq!(log.runs().len(), 1);
+        assert_eq!(log.total_heartbeats(), 30);
+    }
+
+    #[test]
+    fn malformed_heartbeats_rejected_and_counted() {
+        let collector = Collector::new();
+        assert!(collector.ingest_heartbeat_wire(m(0), &[0u8; 44]).is_err());
+        assert_eq!(collector.rejected_heartbeats(), 1);
+        assert!(collector.snapshot().heartbeats.is_empty());
+    }
+
+    #[test]
+    fn records_routed_to_their_sets() {
+        let collector = Collector::new();
+        collector.ingest(Record::Uptime(UptimeRecord {
+            router: RouterId(1),
+            at: m(5),
+            uptime: SimDuration::from_mins(5),
+        }));
+        collector.ingest(Record::DeviceCensus(DeviceCensusRecord {
+            router: RouterId(1),
+            at: m(60),
+            wired: 1,
+            wireless_24: 3,
+            wireless_5: 1,
+        }));
+        let snap = collector.snapshot();
+        assert_eq!(snap.uptime.len(), 1);
+        assert_eq!(snap.devices.len(), 1);
+        assert_eq!(snap.record_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_despite_interleaving() {
+        let collector = Collector::new();
+        for (router, at) in [(2u32, 100u64), (1, 50), (2, 10), (1, 200)] {
+            collector.ingest(Record::Uptime(UptimeRecord {
+                router: RouterId(router),
+                at: m(at),
+                uptime: SimDuration::ZERO,
+            }));
+        }
+        let snap = collector.snapshot();
+        let order: Vec<(u32, SimTime)> = snap.uptime.iter().map(|r| (r.router.0, r.at)).collect();
+        assert_eq!(order, vec![(1, m(50)), (1, m(200)), (2, m(10)), (2, m(100))]);
+    }
+
+    #[test]
+    fn parallel_ingest_is_safe() {
+        let collector = Collector::new();
+        crossbeam::scope(|scope| {
+            for router in 0..8u32 {
+                let collector = &collector;
+                scope.spawn(move |_| {
+                    for i in 0..1_000u64 {
+                        collector.ingest_heartbeat(HeartbeatRecord {
+                            router: RouterId(router),
+                            at: m(i),
+                        });
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        let snap = collector.snapshot();
+        assert_eq!(snap.heartbeats.len(), 8);
+        for log in snap.heartbeats.values() {
+            assert_eq!(log.total_heartbeats(), 1_000);
+        }
+    }
+
+    #[test]
+    fn collector_outage_swallows_records() {
+        use crate::windows::Window;
+        let collector = Collector::new();
+        collector.set_outages(vec![Window { start: m(10), end: m(20) }]);
+        for i in 0..30u64 {
+            collector.ingest_heartbeat(HeartbeatRecord { router: RouterId(0), at: m(i) });
+        }
+        let snap = collector.snapshot();
+        assert_eq!(snap.heartbeats[&RouterId(0)].total_heartbeats(), 20);
+        assert_eq!(collector.dropped_in_outage(), 10);
+        // The gap in the log matches the outage window.
+        let gaps = snap.heartbeats[&RouterId(0)].downtimes(
+            m(0),
+            m(30),
+            SimDuration::from_mins(5),
+        );
+        assert_eq!(gaps, vec![(m(9), m(20))]);
+    }
+
+    #[test]
+    fn registration_and_consent_lookup() {
+        let collector = Collector::new();
+        collector.register(RouterMeta {
+            router: RouterId(3),
+            country: Country::UnitedStates,
+            traffic_consent: true,
+        });
+        collector.register(RouterMeta {
+            router: RouterId(4),
+            country: Country::India,
+            traffic_consent: false,
+        });
+        let snap = collector.snapshot();
+        assert_eq!(snap.traffic_routers(), vec![RouterId(3)]);
+        assert_eq!(snap.meta(RouterId(4)).unwrap().country, Country::India);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the collector: run-length heartbeat log
+//! invariants under arbitrary arrival patterns.
+
+use collector::RunLog;
+use proptest::prelude::*;
+use simnet::time::{SimDuration, SimTime};
+
+fn log_from_minutes(minutes: &[u64]) -> RunLog {
+    let mut sorted: Vec<u64> = minutes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut log = RunLog::new();
+    for m in sorted {
+        log.push(SimTime::EPOCH + SimDuration::from_mins(m));
+    }
+    log
+}
+
+proptest! {
+    #[test]
+    fn total_heartbeats_preserved(minutes in proptest::collection::vec(0u64..100_000, 1..500)) {
+        let mut dedup = minutes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let log = log_from_minutes(&minutes);
+        prop_assert_eq!(log.total_heartbeats() as usize, dedup.len());
+    }
+
+    #[test]
+    fn runs_disjoint_ordered_and_gapped(minutes in proptest::collection::vec(0u64..100_000, 1..500)) {
+        let log = log_from_minutes(&minutes);
+        for pair in log.runs().windows(2) {
+            prop_assert!(pair[0].last < pair[1].first);
+            // Consecutive runs are separated by more than the tolerance.
+            prop_assert!(
+                pair[1].first.since(pair[0].last) > SimDuration::from_mins(3),
+                "runs separated by <= tolerance should have merged"
+            );
+        }
+    }
+
+    #[test]
+    fn downtimes_never_overlap_runs(minutes in proptest::collection::vec(0u64..50_000, 1..300)) {
+        let log = log_from_minutes(&minutes);
+        let start = SimTime::EPOCH;
+        let end = SimTime::EPOCH + SimDuration::from_mins(50_000);
+        let gaps = log.downtimes(start, end, SimDuration::from_mins(10));
+        for (gs, ge) in &gaps {
+            prop_assert!(ge > gs);
+            prop_assert!(ge.since(*gs) >= SimDuration::from_mins(10));
+            for run in log.runs() {
+                // A gap may touch a run at its endpoints but never overlap
+                // its interior.
+                prop_assert!(*ge <= run.first || *gs >= run.last);
+            }
+        }
+        // Gaps are ordered and disjoint.
+        for pair in gaps.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn coverage_bounded_and_monotone(minutes in proptest::collection::vec(0u64..10_000, 1..300)) {
+        let log = log_from_minutes(&minutes);
+        let start = SimTime::EPOCH;
+        let end = SimTime::EPOCH + SimDuration::from_mins(10_001);
+        let cov = log.coverage(start, end);
+        prop_assert!((0.0..=1.0).contains(&cov));
+        // Coverage over a window containing everything >= coverage over a
+        // larger window (same covered time, larger denominator).
+        let wider = log.coverage(start, end + SimDuration::from_mins(10_000));
+        prop_assert!(wider <= cov + 1e-12);
+    }
+
+    #[test]
+    fn downtime_plus_runs_cover_window(minutes in proptest::collection::vec(0u64..20_000, 1..200)) {
+        // With threshold 0 every non-run moment is downtime, so runs+gaps
+        // tile the window exactly.
+        let log = log_from_minutes(&minutes);
+        let start = SimTime::EPOCH;
+        let end = SimTime::EPOCH + SimDuration::from_mins(20_001);
+        let gaps = log.downtimes(start, end, SimDuration::from_micros(1));
+        let gap_total: SimDuration = gaps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (s, e)| acc + e.since(*s));
+        let run_total: SimDuration = log
+            .runs()
+            .iter()
+            .fold(SimDuration::ZERO, |acc, r| acc + r.span());
+        prop_assert_eq!(gap_total + run_total, end.since(start));
+    }
+}

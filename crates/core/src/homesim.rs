@@ -1,0 +1,918 @@
+//! The per-home discrete-event simulation: one household, one gateway,
+//! one event queue, from the study epoch to the end of the span.
+//!
+//! Everything the paper measures happens in here, in virtual time:
+//!
+//! * the router powers on and off according to the home's
+//!   [`household::PowerMode`], and the ISP fails according to its outage
+//!   process;
+//! * while powered, the firmware sends per-minute heartbeats (real wire
+//!   images through the uplink and a lossy WAN path), 12-hourly uptime
+//!   reports and capacity probes, hourly device censuses, and 10-minute
+//!   WiFi scan slots;
+//! * devices come and go following the household's diurnal rhythm; in
+//!   consenting homes during the Traffic window, online devices start
+//!   application sessions (DNS lookup through the gateway resolver, NAT
+//!   translation, then a fluid flow that shares the access link);
+//! * every observation is emitted as a [`firmware::records::Record`] and
+//!   uploaded to the collector in batches.
+//!
+//! Homes are mutually independent, so the study runs them on parallel
+//! threads; determinism is preserved because each home derives its own
+//! random streams from `(study seed, home id)`.
+
+use crate::study::StudyWindows;
+use collector::Collector;
+use firmware::anonymize::Anonymizer;
+use firmware::gateway::Gateway;
+use firmware::heartbeat::Heartbeat;
+use firmware::records::{
+    AssociationRecord, CapacityRecord, HeartbeatRecord, Medium, Record, RouterId,
+};
+use firmware::shaperprobe;
+use firmware::traffic::TrafficMonitor;
+use household::devices::{Attachment, Device};
+use household::domains::DomainUniverse;
+use household::home::{HomeConfig, Quirk};
+use household::interval::Interval;
+use netstack::{AppKind, Flow, FlowScheduler};
+use simnet::dns::ZoneDb;
+use simnet::event::EventQueue;
+use simnet::link::{Link, TxOutcome, WanPath};
+use simnet::packet::Endpoint;
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wifi::Band;
+
+/// Flush the record buffer to the collector at this size.
+const FLUSH_THRESHOLD: usize = 50_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    PowerOn,
+    PowerOff,
+    /// Per-minute heartbeat; `epoch` guards against stale events from a
+    /// previous boot.
+    Heartbeat { epoch: u32 },
+    UptimeReport,
+    CapacityProbe,
+    Census,
+    ScanSlot,
+    PresenceSlot,
+    SessionArrival,
+    TrafficTick,
+    Reassociate { device: usize },
+    NatSweep,
+    LatencyProbe,
+}
+
+/// Per-device dynamic state.
+#[derive(Debug, Clone, Copy)]
+struct DeviceState {
+    online: bool,
+    /// Band the device chose for its current online period (wireless only).
+    band: Option<Band>,
+}
+
+/// Parameters for one home's simulation.
+pub struct SimParams<'a> {
+    /// The home to simulate.
+    pub cfg: &'a HomeConfig,
+    /// The shared domain universe.
+    pub universe: &'a DomainUniverse,
+    /// The shared authoritative DNS zone.
+    pub zone: &'a ZoneDb,
+    /// The study's collection windows.
+    pub windows: &'a StudyWindows,
+    /// The study seed (per-home streams derive from it).
+    pub seed: u64,
+}
+
+/// The simulation engine for one home.
+pub struct HomeSim<'a> {
+    cfg: &'a HomeConfig,
+    universe: &'a DomainUniverse,
+    zone: &'a ZoneDb,
+    windows: StudyWindows,
+    gateway: Gateway,
+    monitor: Option<TrafficMonitor>,
+    flows: FlowScheduler,
+    up_link: Link,
+    down_link: Link,
+    wan: WanPath,
+    queue: EventQueue<Ev>,
+    device_state: Vec<DeviceState>,
+    outages: Vec<Interval>,
+    boot_epoch: u32,
+    tick_scheduled: bool,
+    uploader_active: bool,
+    dns_id: u16,
+    ephemeral_port: u16,
+    // Independent random streams, one per process.
+    rng_heartbeat: DetRng,
+    rng_scan: DetRng,
+    rng_presence: DetRng,
+    rng_session: DetRng,
+    rng_probe: DetRng,
+    out: Vec<Record>,
+}
+
+impl<'a> HomeSim<'a> {
+    /// Build the simulation: precompute power/outage schedules and prime
+    /// the event queue.
+    pub fn new(params: SimParams<'a>) -> HomeSim<'a> {
+        let cfg = params.cfg;
+        let windows = params.windows.clone();
+        let root = DetRng::new(params.seed).derive_indexed("homesim", u64::from(cfg.id.0));
+        let router = RouterId(cfg.id.0);
+        let anonymizer = Anonymizer::new(
+            root.derive("anon-key").seed(),
+            params.universe.whitelist(),
+        );
+        let monitor = cfg.traffic_consent.then(|| TrafficMonitor::new(router, anonymizer));
+        let mut queue = EventQueue::new();
+
+        let span = windows.span;
+        // Power schedule → PowerOn/PowerOff events.
+        let mut power_rng = root.derive("power");
+        let powered = cfg.availability.power_intervals(span.start, span.end, &mut power_rng);
+        for iv in &powered {
+            queue.schedule(iv.start, Ev::PowerOn);
+            if iv.end < span.end {
+                queue.schedule(iv.end, Ev::PowerOff);
+            }
+        }
+        // ISP outage schedule, queried on demand.
+        let mut outage_rng = root.derive("outage");
+        let outages = cfg.availability.isp_outages(span.start, span.end, &mut outage_rng);
+
+        // Global periodic schedules (handlers check power state).
+        queue.schedule(span.start + SimDuration::from_mins(30), Ev::PresenceSlot);
+        queue.schedule(windows.devices.start, Ev::Census);
+        queue.schedule(windows.wifi.start, Ev::ScanSlot);
+        queue.schedule(windows.uptime.start, Ev::UptimeReport);
+        let mut probe_rng = root.derive("probe");
+        queue.schedule(
+            windows.capacity.start
+                + SimDuration::from_mins(probe_rng.uniform_int(0, 12 * 60)),
+            Ev::CapacityProbe,
+        );
+        if monitor.is_some() {
+            queue.schedule(
+                windows.traffic.start + SimDuration::from_secs(probe_rng.uniform_int(0, 600)),
+                Ev::SessionArrival,
+            );
+        }
+        queue.schedule(span.start + SimDuration::from_hours(1), Ev::NatSweep);
+        queue.schedule(
+            span.start + SimDuration::from_mins(probe_rng.uniform_int(5, 65)),
+            Ev::LatencyProbe,
+        );
+
+        let device_state = cfg
+            .devices
+            .iter()
+            .map(|_| DeviceState { online: false, band: None })
+            .collect();
+
+        HomeSim {
+            cfg,
+            universe: params.universe,
+            zone: params.zone,
+            windows,
+            gateway: Gateway::new(router, cfg.wan_addr),
+            monitor,
+            flows: FlowScheduler::new(),
+            up_link: Link::new(cfg.up_link),
+            down_link: Link::new(cfg.down_link),
+            wan: WanPath { transit_delay: cfg.wan_transit, loss_prob: cfg.heartbeat_loss_prob },
+            queue,
+            device_state,
+            outages,
+            boot_epoch: 0,
+            tick_scheduled: false,
+            uploader_active: false,
+            dns_id: 1,
+            ephemeral_port: 20_000,
+            rng_heartbeat: root.derive("heartbeat"),
+            rng_scan: root.derive("scan"),
+            rng_presence: root.derive("presence"),
+            rng_session: root.derive("session"),
+            rng_probe: probe_rng,
+            out: Vec::new(),
+        }
+    }
+
+    fn is_isp_up(&self, t: SimTime) -> bool {
+        // Outages are sorted and disjoint.
+        match self.outages.partition_point(|iv| iv.end <= t) {
+            idx if idx < self.outages.len() => !self.outages[idx].contains(t),
+            _ => true,
+        }
+    }
+
+    fn flush(&mut self, collector: &Collector) {
+        if !self.out.is_empty() {
+            collector.ingest_batch(std::mem::take(&mut self.out));
+        }
+    }
+
+    /// Run to the end of the span, uploading records to `collector`.
+    pub fn run(mut self, collector: &Collector) {
+        let end = self.windows.span.end;
+        while let Some((now, ev)) = self.queue.pop_if_before(end) {
+            self.handle(now, ev);
+            if self.out.len() >= FLUSH_THRESHOLD {
+                self.flush(collector);
+            }
+        }
+        // Study over: tear down flows so their records are emitted.
+        self.abort_flows(end);
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.finalize(end);
+            self.out.extend(monitor.drain());
+        }
+        self.flush(collector);
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::PowerOn => self.on_power_on(now),
+            Ev::PowerOff => self.on_power_off(now),
+            Ev::Heartbeat { epoch } => self.on_heartbeat(now, epoch),
+            Ev::UptimeReport => self.on_uptime(now),
+            Ev::CapacityProbe => self.on_capacity_probe(now),
+            Ev::Census => self.on_census(now),
+            Ev::ScanSlot => self.on_scan_slot(now),
+            Ev::PresenceSlot => self.on_presence_slot(now),
+            Ev::SessionArrival => self.on_session_arrival(now),
+            Ev::TrafficTick => self.on_traffic_tick(now),
+            Ev::Reassociate { device } => self.on_reassociate(now, device),
+            Ev::NatSweep => {
+                self.gateway.nat.expire(now);
+                self.gateway.neighbors.expire(now);
+                self.queue.schedule(now + SimDuration::from_hours(1), Ev::NatSweep);
+            }
+            Ev::LatencyProbe => self.on_latency_probe(now),
+        }
+    }
+
+    fn on_power_on(&mut self, now: SimTime) {
+        self.gateway.power_on(now);
+        self.up_link.reset(now);
+        self.down_link.reset(now);
+        // Always-connected devices attach as soon as the router is up.
+        for (idx, device) in self.cfg.devices.iter().enumerate() {
+            if device.always_connected {
+                self.device_state[idx].online = true;
+                self.attach(idx, now);
+            }
+        }
+        self.queue.schedule(
+            now + SimDuration::from_secs(self.rng_heartbeat.uniform_int(5, 65)),
+            Ev::Heartbeat { epoch: self.boot_epoch },
+        );
+    }
+
+    fn on_power_off(&mut self, now: SimTime) {
+        self.abort_flows(now);
+        self.gateway.power_off(now);
+        self.boot_epoch += 1;
+        for state in &mut self.device_state {
+            state.online = false;
+            state.band = None;
+        }
+    }
+
+    fn abort_flows(&mut self, now: SimTime) {
+        for flow in self.flows.abort_all() {
+            if let Some(monitor) = self.monitor.as_mut() {
+                monitor.on_flow_end(now, flow.id);
+            }
+        }
+        self.uploader_active = false;
+    }
+
+    fn on_heartbeat(&mut self, now: SimTime, epoch: u32) {
+        if !self.gateway.is_powered() || epoch != self.boot_epoch {
+            return; // stale event from a previous boot
+        }
+        let hb = Heartbeat { router: self.gateway.id, seq: self.gateway.heartbeat_seq };
+        self.gateway.heartbeat_seq += 1;
+        // The packet crosses the uplink (it can be queued behind bulk
+        // upload traffic, or dropped if the queue is full), then the WAN
+        // path, where congestion loss applies; it only becomes a record if
+        // the ISP link is up and it survives.
+        let wire = hb.emit(self.cfg.wan_addr);
+        if self.is_isp_up(now) {
+            if let TxOutcome::Delivered { at } =
+                self.up_link.transmit(now, wire.len() as u64)
+            {
+                if self.wan.survives(&mut self.rng_heartbeat) {
+                    // Collector-side parse: only validated packets count.
+                    if let Ok((parsed, _)) = Heartbeat::parse(&wire) {
+                        self.out.push(Record::Heartbeat(HeartbeatRecord {
+                            router: parsed.router,
+                            at: at + self.wan.transit_delay,
+                        }));
+                    }
+                }
+            }
+        }
+        self.queue
+            .schedule(now + SimDuration::from_secs(60), Ev::Heartbeat { epoch });
+    }
+
+    fn on_uptime(&mut self, now: SimTime) {
+        if self.windows.uptime.contains(now) && self.gateway.is_powered() && self.is_isp_up(now)
+        {
+            self.out.push(Record::Uptime(self.gateway.uptime_report(now)));
+        }
+        let next = now + SimDuration::from_hours(12);
+        if next < self.windows.span.end {
+            self.queue.schedule(next, Ev::UptimeReport);
+        }
+    }
+
+    fn on_capacity_probe(&mut self, now: SimTime) {
+        if self.windows.capacity.contains(now) && self.gateway.is_powered() && self.is_isp_up(now)
+        {
+            // The probe train shares the bottleneck with whatever bulk
+            // cross-traffic is active: with n backlogged flows competing,
+            // the train's fair share — and therefore its dispersion-implied
+            // rate — drops to capacity/(n+1). This is why the Fig 16
+            // uploader's *measured* capacity sits well below the rate his
+            // LAN-side utilization counters reach.
+            let backlogged_up = self
+                .flows
+                .active()
+                .iter()
+                .filter(|f| f.rate_cap_up_bps.is_none() && f.remaining_up > 0)
+                .count() as u64;
+            let backlogged_down = self
+                .flows
+                .active()
+                .iter()
+                .filter(|f| f.rate_cap_bps.is_none() && f.remaining_down > 0)
+                .count() as u64;
+            let shared = |cfg: &simnet::link::LinkConfig, n: u64| -> Link {
+                let mut scaled = *cfg;
+                scaled.rate_bps = cfg.rate_bps / (n + 1);
+                scaled.peak_bps = cfg.peak_bps / (n + 1);
+                Link::new(scaled)
+            };
+            let mut up = shared(self.up_link.config(), backlogged_up);
+            let mut down = shared(self.down_link.config(), backlogged_down);
+            let up_est = shaperprobe::probe_link(&mut up, now, &mut self.rng_probe);
+            let down_est = shaperprobe::probe_link(&mut down, now, &mut self.rng_probe);
+            if let (Some(up_est), Some(down_est)) = (up_est, down_est) {
+                self.out.push(Record::Capacity(CapacityRecord {
+                    router: self.gateway.id,
+                    at: now,
+                    down_bps: down_est.bps,
+                    up_bps: up_est.bps,
+                    shaping_detected: up_est.shaping_detected || down_est.shaping_detected,
+                }));
+            }
+        }
+        let next = now + SimDuration::from_hours(12);
+        if next < self.windows.span.end {
+            self.queue.schedule(next, Ev::CapacityProbe);
+        }
+    }
+
+    fn on_latency_probe(&mut self, now: SimTime) {
+        if self.gateway.is_powered() && self.is_isp_up(now) {
+            // Probe through the *live* uplink: pings queue behind whatever
+            // bulk traffic has the CPE buffer, so loaded RTT shows the
+            // bufferbloat the paper blames for §6.2's pathologies.
+            if let Some(record) = firmware::latency::probe_latency(
+                self.gateway.id,
+                now,
+                &mut self.up_link,
+                &self.wan,
+                &mut self.rng_probe,
+            ) {
+                self.out.push(Record::Latency(record));
+            }
+        }
+        let next = now + SimDuration::from_hours(1);
+        if next < self.windows.span.end {
+            self.queue.schedule(next, Ev::LatencyProbe);
+        }
+    }
+
+    fn on_census(&mut self, now: SimTime) {
+        if self.windows.devices.contains(now) && self.gateway.is_powered() && self.is_isp_up(now)
+        {
+            self.out.push(Record::DeviceCensus(self.gateway.census(now)));
+            // Per-device association reports with anonymized MACs.
+            let anonymizer = Anonymizer::new(
+                DetRng::new(self.rng_presence.seed()).derive("assoc-key").seed(),
+                [],
+            );
+            for (idx, device) in self.cfg.devices.iter().enumerate() {
+                if !self.gateway.is_connected(device.mac) {
+                    continue;
+                }
+                let medium = match (device.attachment, self.device_state[idx].band) {
+                    (Attachment::Wired, _) => Medium::Wired,
+                    (_, Some(Band::Ghz5)) => Medium::Wireless5,
+                    _ => Medium::Wireless24,
+                };
+                self.out.push(Record::Association(AssociationRecord {
+                    router: self.gateway.id,
+                    at: now,
+                    device: anonymizer.mac(device.mac),
+                    medium,
+                }));
+            }
+        }
+        let next = now + SimDuration::from_hours(1);
+        if next < self.windows.devices.end {
+            self.queue.schedule(next, Ev::Census);
+        }
+    }
+
+    fn on_scan_slot(&mut self, now: SimTime) {
+        if self.windows.wifi.contains(now) && self.gateway.is_powered() {
+            let anonymizer = Anonymizer::new(0xB155_CAFE, []);
+            for band in Band::ALL {
+                if let Some((record, dropped)) = self.gateway.run_scan_slot(
+                    now,
+                    band,
+                    &self.cfg.neighborhood,
+                    &anonymizer,
+                    &mut self.rng_scan,
+                ) {
+                    self.out.push(Record::WifiScan(record));
+                    // Knocked-off stations reassociate shortly.
+                    for mac in dropped {
+                        if let Some(idx) =
+                            self.cfg.devices.iter().position(|d| d.mac == mac)
+                        {
+                            let delay =
+                                SimDuration::from_secs(self.rng_scan.uniform_int(20, 180));
+                            self.queue.schedule(now + delay, Ev::Reassociate { device: idx });
+                        }
+                    }
+                }
+            }
+        }
+        let next = now + SimDuration::from_mins(firmware::gateway::SCAN_INTERVAL_MINS);
+        if next < self.windows.wifi.end {
+            self.queue.schedule(next, Ev::ScanSlot);
+        }
+    }
+
+    fn on_reassociate(&mut self, now: SimTime, device: usize) {
+        if !self.gateway.is_powered() || !self.device_state[device].online {
+            return;
+        }
+        self.attach(device, now);
+    }
+
+    /// Attach an online device to the gateway on its medium. The device
+    /// DHCPs on join and announces itself with a gratuitous ARP, which the
+    /// gateway's neighbor table learns.
+    fn attach(&mut self, idx: usize, now: SimTime) {
+        let device = &self.cfg.devices[idx];
+        match device.attachment {
+            Attachment::Wired => {
+                self.gateway.connect_wired(device.mac);
+            }
+            Attachment::Wireless { dual_band } => {
+                let band = *self.device_state[idx].band.get_or_insert_with(|| {
+                    if dual_band && self.rng_presence.chance(0.75) {
+                        Band::Ghz5
+                    } else {
+                        Band::Ghz24
+                    }
+                });
+                self.gateway.associate(band, device.mac);
+            }
+        }
+        let mac = self.cfg.devices[idx].mac;
+        if let Ok(addr) = self.gateway.dhcp.request(now, mac) {
+            self.gateway.observe_gratuitous_arp(now, mac, addr);
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let device = &self.cfg.devices[idx];
+        match device.attachment {
+            Attachment::Wired => self.gateway.disconnect_wired(device.mac),
+            Attachment::Wireless { .. } => self.gateway.disassociate(device.mac),
+        }
+        self.device_state[idx].band = None;
+    }
+
+    fn on_presence_slot(&mut self, now: SimTime) {
+        if self.gateway.is_powered() {
+            let activity = self
+                .cfg
+                .diurnal
+                .activity(now, self.cfg.availability.utc_offset_hours)
+                .min(1.3);
+            for idx in 0..self.cfg.devices.len() {
+                let device = &self.cfg.devices[idx];
+                if device.always_connected {
+                    if !self.device_state[idx].online {
+                        self.device_state[idx].online = true;
+                    }
+                    if !self.gateway.is_connected(device.mac) {
+                        self.attach(idx, now);
+                    }
+                    continue;
+                }
+                let presence_factor = self.cfg.country.environment().presence_factor;
+                let p_on = (device.presence_propensity() * activity * presence_factor)
+                    .clamp(0.02, 0.95);
+                let state = self.device_state[idx];
+                // A sluggish two-state chain: transitions are damped so
+                // devices stay online/offline for hours, not minutes.
+                if state.online {
+                    if self.rng_presence.chance(0.30 * (1.0 - p_on)) {
+                        self.device_state[idx].online = false;
+                        self.detach(idx);
+                    }
+                } else if self.rng_presence.chance(0.30 * p_on) {
+                    self.device_state[idx].online = true;
+                    self.attach(idx, now);
+                }
+            }
+        }
+        self.queue.schedule(now + SimDuration::from_mins(10), Ev::PresenceSlot);
+    }
+
+    fn ephemeral(&mut self) -> u16 {
+        self.ephemeral_port = if self.ephemeral_port >= 60_000 {
+            20_000
+        } else {
+            self.ephemeral_port + 1
+        };
+        self.ephemeral_port
+    }
+
+    fn on_session_arrival(&mut self, now: SimTime) {
+        // Schedule the next arrival first (non-homogeneous Poisson via
+        // per-arrival rate re-evaluation).
+        let activity = self
+            .cfg
+            .diurnal
+            .activity(now, self.cfg.availability.utc_offset_hours)
+            .max(0.05);
+        let rate_per_hour = self.cfg.session_rate_per_hour * activity;
+        let mean_gap_secs = 3_600.0 / rate_per_hour;
+        let gap = SimDuration::from_secs_f64(
+            self.rng_session.exp(mean_gap_secs).clamp(2.0, 4.0 * 3_600.0),
+        );
+        let next = now + gap;
+        if next < self.windows.traffic.end {
+            self.queue.schedule(next, Ev::SessionArrival);
+        }
+        if !self.gateway.is_powered()
+            || !self.is_isp_up(now)
+            || !self.windows.traffic.contains(now)
+        {
+            return;
+        }
+        // The scientific uploader keeps a permanent bulk upload alive.
+        if self.cfg.quirk == Some(Quirk::ScientificUploader) && !self.uploader_active {
+            self.start_uploader_flow(now);
+        }
+        // Pick an online device by usage weight.
+        let online: Vec<usize> = (0..self.cfg.devices.len())
+            .filter(|&i| self.device_state[i].online)
+            .collect();
+        if online.is_empty() {
+            return;
+        }
+        let weights: Vec<f64> =
+            online.iter().map(|&i| self.cfg.devices[i].usage_weight.max(1e-4)).collect();
+        let idx = online[self.rng_session.weighted_index(&weights)];
+        let device = &self.cfg.devices[idx];
+        // Pick the app class from the device's mix.
+        let mix = device.app_mix();
+        let mix_weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
+        let kind = mix[self.rng_session.weighted_index(&mix_weights)].0;
+        let profile = netstack::sample_session(kind, &mut self.rng_session);
+        // Cloud-sync clients of the era auto-throttled uploads to ~70% of
+        // the available uplink (Dropbox's "limit automatically" default),
+        // so they rarely saturate the CPE queue.
+        let up_cap = if kind == AppKind::CloudSync {
+            let throttle = self.cfg.up_link.rate_bps * 7 / 10;
+            Some(profile.rate_cap_up_bps.map_or(throttle, |c| c.min(throttle)))
+        } else {
+            profile.rate_cap_up_bps
+        };
+        self.start_flow(
+            now,
+            idx,
+            kind,
+            profile.bytes_down,
+            profile.bytes_up,
+            profile.rate_cap_bps,
+            up_cap,
+        );
+    }
+
+    fn start_uploader_flow(&mut self, now: SimTime) {
+        // Fig 16a's household: an unbounded upstream transfer from the
+        // dominant device. Fig 16b's variant only uploads in the evening.
+        let evening_only = self.cfg.id.0 % 2 == 1;
+        if evening_only {
+            let local_hour = now
+                .to_local(self.cfg.availability.utc_offset_hours)
+                .hour_of_day_f64();
+            if !(16.0..23.5).contains(&local_hour) {
+                return;
+            }
+        }
+        let bytes_up = if evening_only {
+            4_000_000_000 // a nightly multi-gigabyte batch
+        } else {
+            u64::MAX / 4 // effectively endless
+        };
+        // Control traffic downstream is negligible (scp acks).
+        self.start_flow(now, 0, AppKind::BulkUpload, 500_000, bytes_up, None, None);
+        self.uploader_active = true;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_flow(
+        &mut self,
+        now: SimTime,
+        device_idx: usize,
+        kind: AppKind,
+        bytes_down: u64,
+        bytes_up: u64,
+        rate_cap_bps: Option<u64>,
+        rate_cap_up_bps: Option<u64>,
+    ) {
+        let device: &Device = &self.cfg.devices[device_idx];
+        // Resolve the destination through the gateway's resolver; the
+        // monitor observes the response when it goes upstream.
+        let domain_idx = self.cfg.taste.pick_domain(kind, &mut self.rng_session);
+        let info = self.universe.get(domain_idx);
+        self.dns_id = self.dns_id.wrapping_add(1);
+        let (response, upstream) =
+            self.gateway
+                .resolver
+                .lookup(now, self.zone, self.dns_id, &info.name);
+        let response = match response {
+            Some(r) => r,
+            None => return, // NXDOMAIN: nothing to connect to
+        };
+        let addr = match response.address() {
+            Some(a) => a,
+            None => return,
+        };
+        if upstream {
+            // The response crosses the gateway as a real wire image; parse
+            // it back as the capture path would.
+            let wire = response.emit();
+            if let Ok(parsed) = simnet::dns::DnsResponse::parse(&wire) {
+                if let Some(monitor) = self.monitor.as_mut() {
+                    monitor.on_dns_response(now, device.mac, &parsed);
+                }
+            }
+        }
+        let lan_addr = match self.gateway.dhcp.request(now, device.mac) {
+            Ok(a) => a,
+            Err(_) => return, // pool exhausted: the device cannot connect
+        };
+        // Relayed traffic keeps the neighbor entry fresh.
+        self.gateway.neighbors.refresh(now, lan_addr);
+        let local = Endpoint::new(lan_addr, self.ephemeral());
+        let remote = Endpoint::new(addr, kind.server_port());
+        let five_tuple = simnet::packet::FiveTuple {
+            proto: kind.protocol(),
+            src: local,
+            dst: remote,
+        };
+        if self.gateway.nat.translate_outbound(now, five_tuple).is_err() {
+            return; // NAT exhausted
+        }
+        if kind.protocol() == simnet::packet::IpProtocol::Tcp {
+            // The connection opens with a real three-way handshake; the
+            // gateway classifies the segments as they cross it (this is
+            // what makes a "connection" in the Traffic data set a
+            // mechanical fact rather than a label).
+            let rtt = self.cfg.wan_transit * 2u64;
+            let trace = netstack::handshake::open_connection(
+                now,
+                local,
+                remote,
+                rtt,
+                &mut self.rng_session,
+            );
+            debug_assert_eq!(
+                trace
+                    .segments
+                    .first()
+                    .and_then(|(_, wire)| netstack::handshake::classify(wire).ok()),
+                Some(netstack::handshake::SegmentKind::Syn),
+                "a new connection must open with a SYN"
+            );
+        }
+        let flow = Flow {
+            id: self.flows.next_id(),
+            device: device.mac,
+            local,
+            remote,
+            domain: info.name.clone(),
+            kind,
+            started: now,
+            remaining_down: bytes_down.max(1),
+            remaining_up: bytes_up,
+            rate_cap_bps,
+            rate_cap_up_bps,
+            saturated_ticks: 0,
+        };
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.on_flow_start(&flow);
+        }
+        self.flows.start(flow);
+        if !self.tick_scheduled {
+            self.tick_scheduled = true;
+            self.queue.schedule(now + SimDuration::from_secs(1), Ev::TrafficTick);
+        }
+    }
+
+    fn on_traffic_tick(&mut self, now: SimTime) {
+        self.tick_scheduled = false;
+        if self.flows.active_count() == 0 {
+            return;
+        }
+        if !self.gateway.is_powered() {
+            // Power-off already aborted the flows; nothing to do.
+            return;
+        }
+        let wireless_cap = self
+            .gateway
+            .radio_24
+            .per_station_throughput_bps(&self.cfg.neighborhood, 1);
+        let down_bps = self.cfg.down_link.rate_bps;
+        let up_bps = self.cfg.up_link.rate_bps;
+        let outcome = if self.is_isp_up(now) {
+            self.flows.tick(
+                SimDuration::from_secs(1),
+                down_bps,
+                up_bps,
+                Some(wireless_cap),
+                self.cfg.up_link.queue_limit_bytes,
+            )
+        } else {
+            // ISP down: nothing moves, flows stall.
+            netstack::TickOutcome::default()
+        };
+        let window = now.align_down(SimDuration::from_secs(1));
+        let mut drained_up = 0;
+        if let Some(monitor) = self.monitor.as_mut() {
+            for progress in &outcome.progress {
+                drained_up += progress.bytes_up;
+                monitor.on_flow_progress(window, progress);
+            }
+            let burst = outcome.total_up_offered.saturating_sub(drained_up);
+            monitor.add_uplink_burst(window, burst);
+            for flow in &outcome.completed {
+                monitor.on_flow_end(now, flow.id);
+            }
+            if !outcome.completed.is_empty() {
+                self.out.extend(monitor.drain());
+            }
+        }
+        if self.uploader_active
+            && outcome.completed.iter().any(|f| f.kind == AppKind::BulkUpload)
+        {
+            self.uploader_active = false;
+        }
+        if self.flows.active_count() > 0 {
+            self.tick_scheduled = true;
+            self.queue.schedule(now + SimDuration::from_secs(1), Ev::TrafficTick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyWindows;
+    use collector::windows::Window;
+    use household::Country;
+
+    fn short_windows(days: u64) -> StudyWindows {
+        StudyWindows::scaled(Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(days),
+        })
+    }
+
+    fn run_home(country: Country, consent_override: Option<bool>, days: u64) -> collector::Datasets {
+        let universe = DomainUniverse::standard();
+        let zone = universe.build_zone();
+        let windows = short_windows(days);
+        let root = DetRng::new(99);
+        let mut cfg = HomeConfig::sample(household::HomeId(1), country, &root.derive("h"));
+        if let Some(consent) = consent_override {
+            cfg.traffic_consent = consent;
+        }
+        let collector = Collector::new();
+        collector.register(collector::RouterMeta {
+            router: RouterId(1),
+            country,
+            traffic_consent: cfg.traffic_consent,
+        });
+        let sim = HomeSim::new(SimParams {
+            cfg: &cfg,
+            universe: &universe,
+            zone: &zone,
+            windows: &windows,
+            seed: 42,
+        });
+        sim.run(&collector);
+        collector.snapshot()
+    }
+
+    #[test]
+    fn us_home_produces_all_datasets() {
+        let data = run_home(Country::UnitedStates, Some(true), 20);
+        assert!(!data.heartbeats.is_empty(), "heartbeats missing");
+        let log = &data.heartbeats[&RouterId(1)];
+        assert!(log.total_heartbeats() > 10_000, "got {}", log.total_heartbeats());
+        assert!(!data.uptime.is_empty(), "uptime missing");
+        assert!(!data.capacity.is_empty(), "capacity missing");
+        assert!(!data.devices.is_empty(), "census missing");
+        assert!(!data.wifi.is_empty(), "wifi scans missing");
+        assert!(!data.associations.is_empty(), "associations missing");
+        assert!(!data.flows.is_empty(), "flows missing");
+        assert!(!data.dns.is_empty(), "dns samples missing");
+        assert!(!data.packet_stats.is_empty(), "packet stats missing");
+    }
+
+    #[test]
+    fn non_consenting_home_has_no_traffic_records() {
+        let data = run_home(Country::UnitedStates, Some(false), 10);
+        assert!(data.flows.is_empty());
+        assert!(data.dns.is_empty());
+        assert!(data.packet_stats.is_empty());
+        assert!(data.macs.is_empty());
+        // But the consent-free sets are all there.
+        assert!(!data.devices.is_empty());
+        assert!(!data.wifi.is_empty());
+    }
+
+    #[test]
+    fn always_on_us_home_has_high_coverage() {
+        let data = run_home(Country::UnitedStates, Some(false), 20);
+        let log = &data.heartbeats[&RouterId(1)];
+        let w = Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(20),
+        };
+        let cov = log.coverage(w.start, w.end);
+        assert!(cov > 0.9, "US coverage {cov}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_home(Country::UnitedStates, Some(true), 8);
+        let b = run_home(Country::UnitedStates, Some(true), 8);
+        assert_eq!(a.heartbeats[&RouterId(1)], b.heartbeats[&RouterId(1)]);
+        assert_eq!(a.flows.len(), b.flows.len());
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.capacity.len(), b.capacity.len());
+        for (x, y) in a.capacity.iter().zip(&b.capacity) {
+            assert_eq!(x.down_bps, y.down_bps);
+        }
+    }
+
+    #[test]
+    fn capacity_estimates_track_configured_link() {
+        let data = run_home(Country::UnitedStates, Some(false), 20);
+        let universe = DomainUniverse::standard();
+        let _ = universe;
+        let root = DetRng::new(99);
+        let cfg =
+            HomeConfig::sample(household::HomeId(1), Country::UnitedStates, &root.derive("h"));
+        for rec in &data.capacity {
+            let err = (rec.down_bps as f64 - cfg.down_link.rate_bps as f64).abs()
+                / cfg.down_link.rate_bps as f64;
+            assert!(err < 0.10, "estimate {} vs {}", rec.down_bps, cfg.down_link.rate_bps);
+        }
+    }
+
+    #[test]
+    fn census_counts_match_association_reports() {
+        let data = run_home(Country::UnitedStates, Some(false), 20);
+        for census in &data.devices {
+            let assoc = data
+                .associations
+                .iter()
+                .filter(|a| a.at == census.at)
+                .count() as u32;
+            assert_eq!(census.total(), assoc, "census vs associations at {}", census.at);
+        }
+    }
+}

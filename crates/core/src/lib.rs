@@ -1,0 +1,25 @@
+//! # bismark — end-to-end reproduction of "Peeking Behind the NAT" (IMC'13)
+//!
+//! This crate ties the substrate crates together: it instantiates the
+//! 126-home, 19-country deployment of Table 1 ([`household`]), simulates
+//! every home with its gateway firmware in virtual time ([`homesim`]),
+//! collects the six data sets of Table 2 ([`collector`]), and exposes the
+//! study runner ([`study`]) whose output feeds the [`analysis`] crate's
+//! per-figure functions.
+//!
+//! ```no_run
+//! use bismark::study::{run_study, StudyConfig};
+//!
+//! // The full six-month study (use `quick` for a fast scaled-down run).
+//! let output = run_study(&StudyConfig::full(2013));
+//! println!("{} records collected", output.datasets.record_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod homesim;
+pub mod study;
+pub mod validation;
+
+pub use study::{run_study, StudyConfig, StudyOutput, StudyWindows};

@@ -1,0 +1,235 @@
+//! Study orchestration: instantiate the deployment, run every home
+//! (in parallel), and collect the six data sets.
+
+use crate::homesim::{HomeSim, SimParams};
+use collector::windows::{self, Window};
+use collector::{Collector, Datasets, RouterMeta};
+use firmware::records::RouterId;
+use household::domains::DomainUniverse;
+use household::home::{build_deployment, HomeConfig};
+use simnet::time::{SimDuration, SimTime};
+
+/// The per-data-set collection windows a study runs with.
+#[derive(Debug, Clone)]
+pub struct StudyWindows {
+    /// The full simulated span (the Heartbeats window).
+    pub span: Window,
+    /// Uptime reports window.
+    pub uptime: Window,
+    /// Device census window.
+    pub devices: Window,
+    /// WiFi scan window.
+    pub wifi: Window,
+    /// Capacity probe window.
+    pub capacity: Window,
+    /// Traffic capture window.
+    pub traffic: Window,
+}
+
+impl StudyWindows {
+    /// The paper's Table 2 windows (October 2012 – April 2013).
+    pub fn table2() -> StudyWindows {
+        StudyWindows {
+            span: windows::heartbeats(),
+            uptime: windows::uptime(),
+            devices: windows::devices(),
+            wifi: windows::wifi(),
+            capacity: windows::capacity(),
+            traffic: windows::traffic(),
+        }
+    }
+
+    /// Windows scaled into an arbitrary (usually much shorter) span, for
+    /// fast tests and examples. The layout mirrors Table 2's: WiFi early in
+    /// the span, Uptime/Devices late, Capacity and Traffic in the final
+    /// stretch, preserving every window's relative coverage.
+    pub fn scaled(span: Window) -> StudyWindows {
+        let total = span.duration();
+        let frac = |num: u64, den: u64| -> SimDuration {
+            SimDuration::from_micros(total.as_micros() * num / den)
+        };
+        let at = |num: u64, den: u64| -> SimTime { span.start + frac(num, den) };
+        StudyWindows {
+            span,
+            // WiFi: ~weeks 5–7 of 28 in the original → the second eighth.
+            wifi: Window { start: at(1, 8), end: at(2, 8) },
+            // Uptime/Devices: the last fifth.
+            uptime: Window { start: at(4, 5), end: span.end },
+            devices: Window { start: at(4, 5), end: span.end },
+            // Capacity/Traffic: the last tenth.
+            capacity: Window { start: at(9, 10), end: span.end },
+            traffic: Window { start: at(9, 10), end: span.end },
+        }
+    }
+}
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Master seed: everything derives from it.
+    pub seed: u64,
+    /// Collection windows (defaults to Table 2's).
+    pub windows: StudyWindows,
+    /// Worker threads for the home simulations.
+    pub threads: usize,
+    /// Collection-infrastructure outage windows (§3.3 failure injection):
+    /// records arriving during one are lost at the server.
+    pub collector_outages: Vec<Window>,
+}
+
+impl StudyConfig {
+    /// The full six-month study at the given seed.
+    pub fn full(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            windows: StudyWindows::table2(),
+            threads: default_threads(),
+            collector_outages: Vec::new(),
+        }
+    }
+
+    /// A reduced study spanning `days` from the epoch — same deployment,
+    /// proportionally scaled windows. Used by tests and quick examples.
+    pub fn quick(seed: u64, days: u64) -> StudyConfig {
+        let span = Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(days),
+        };
+        StudyConfig {
+            seed,
+            windows: StudyWindows::scaled(span),
+            threads: default_threads(),
+            collector_outages: Vec::new(),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Everything a finished study produces.
+#[derive(Debug)]
+pub struct StudyOutput {
+    /// The six data sets, snapshot from the collector.
+    pub datasets: Datasets,
+    /// The deployment that generated them (ground truth, used only by
+    /// validation tests and never by the analyses).
+    pub homes: Vec<HomeConfig>,
+    /// The windows the study ran with.
+    pub windows: StudyWindows,
+}
+
+impl StudyWindows {
+    /// The analysis-side view of these windows.
+    pub fn report_windows(&self) -> analysis::ReportWindows {
+        analysis::ReportWindows {
+            heartbeats: self.span,
+            uptime: self.uptime,
+            devices: self.devices,
+            wifi: self.wifi,
+            capacity: self.capacity,
+            traffic: self.traffic,
+        }
+    }
+}
+
+impl StudyOutput {
+    /// Compute the full per-figure report for this study.
+    pub fn report(&self) -> analysis::StudyReport {
+        analysis::StudyReport::compute(&self.datasets, self.windows.report_windows())
+    }
+}
+
+/// Run the full study: build the Table 1 deployment from `seed`, simulate
+/// every home over the configured span on `threads` workers, and snapshot
+/// the collected data sets.
+pub fn run_study(config: &StudyConfig) -> StudyOutput {
+    let homes = build_deployment(config.seed);
+    let universe = DomainUniverse::standard();
+    let zone = universe.build_zone();
+    let collector = Collector::new();
+    collector.set_outages(config.collector_outages.clone());
+    for home in &homes {
+        collector.register(RouterMeta {
+            router: RouterId(home.id.0),
+            country: home.country,
+            traffic_consent: home.traffic_consent,
+        });
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = config.threads.max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= homes.len() {
+                    break;
+                }
+                let sim = HomeSim::new(SimParams {
+                    cfg: &homes[idx],
+                    universe: &universe,
+                    zone: &zone,
+                    windows: &config.windows,
+                    seed: config.seed,
+                });
+                sim.run(&collector);
+            });
+        }
+    })
+    .expect("home simulation threads must not panic");
+    StudyOutput { datasets: collector.snapshot(), homes, windows: config.windows.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_windows_nest_inside_span() {
+        let span = Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(10),
+        };
+        let w = StudyWindows::scaled(span);
+        for sub in [&w.wifi, &w.uptime, &w.devices, &w.capacity, &w.traffic] {
+            assert!(sub.start >= span.start && sub.end <= span.end);
+            assert!(sub.end > sub.start, "window must be non-empty");
+        }
+        assert!(w.wifi.end <= w.uptime.start, "wifi precedes uptime as in Table 2");
+        assert!(w.capacity.start >= w.devices.start);
+    }
+
+    #[test]
+    fn table2_windows_match_collector() {
+        let w = StudyWindows::table2();
+        assert_eq!(w.span, windows::heartbeats());
+        assert_eq!(w.traffic, windows::traffic());
+    }
+
+    #[test]
+    fn quick_study_runs_and_covers_deployment() {
+        let output = run_study(&StudyConfig::quick(7, 6));
+        assert_eq!(output.homes.len(), 126);
+        assert_eq!(output.datasets.routers.len(), 126);
+        // Every home that was ever powered has heartbeats.
+        assert!(output.datasets.heartbeats.len() > 100);
+        assert!(!output.datasets.devices.is_empty());
+        assert!(!output.datasets.wifi.is_empty());
+        assert!(!output.datasets.capacity.is_empty());
+        assert!(!output.datasets.flows.is_empty());
+    }
+
+    #[test]
+    fn study_is_deterministic_across_thread_counts() {
+        let mut a_cfg = StudyConfig::quick(3, 4);
+        a_cfg.threads = 1;
+        let mut b_cfg = StudyConfig::quick(3, 4);
+        b_cfg.threads = 8;
+        let a = run_study(&a_cfg);
+        let b = run_study(&b_cfg);
+        assert_eq!(a.datasets.devices, b.datasets.devices);
+        assert_eq!(a.datasets.flows.len(), b.datasets.flows.len());
+        assert_eq!(a.datasets.heartbeats, b.datasets.heartbeats);
+    }
+}

@@ -1,0 +1,246 @@
+//! The privacy machinery of §3.2.2: before anything leaves the gateway,
+//! MAC addresses lose their device-identifying half, non-whitelisted domain
+//! names become opaque tokens, and IP addresses are obfuscated.
+//!
+//! The rules, exactly as the paper states them:
+//!
+//! * **MACs**: the upper 24 bits (the manufacturer OUI) are kept — that is
+//!   what Fig 12 is built from — and the lower 24 bits are replaced with a
+//!   keyed hash, so a device is *consistent* within a home's data but not
+//!   identifiable.
+//! * **Domains**: names on the household's whitelist (Alexa US top-200 by
+//!   default, plus user additions) pass through; all others are replaced
+//!   with a keyed token. Tokens are stable within a home, so "the most
+//!   popular domain" is still computable even when its name is hidden.
+//! * **IPs**: remote addresses in flow records are obfuscated with the same
+//!   keyed construction.
+
+use serde::{Deserialize, Serialize};
+use simnet::dns::DomainName;
+use simnet::packet::MacAddr;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// A keyed 64-bit mixer (xorshift-multiply construction). Not
+/// cryptographic — neither was the deployment's, and nothing here defends
+/// against an adversary with the key — but stable and well-distributed.
+fn keyed_mix(key: u64, value: u64) -> u64 {
+    let mut x = value ^ key.rotate_left(31);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+fn hash_str(key: u64, s: &str) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        acc = (acc ^ u64::from(*b)).wrapping_mul(0x100_0000_01B3);
+    }
+    keyed_mix(key, acc)
+}
+
+/// An anonymized MAC: the true OUI plus a hashed 24-bit suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AnonMac {
+    /// Manufacturer OUI (upper 24 bits, reported in clear).
+    pub oui: u32,
+    /// Keyed hash of the lower 24 bits.
+    pub suffix_hash: u32,
+}
+
+impl std::fmt::Display for AnonMac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:xx:{:04x}",
+            (self.oui >> 16) & 0xFF,
+            (self.oui >> 8) & 0xFF,
+            self.oui & 0xFF,
+            self.suffix_hash & 0xFFFF
+        )
+    }
+}
+
+/// A domain name as it appears in uploaded records.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReportedDomain {
+    /// Whitelisted: the real (base) name.
+    Clear(DomainName),
+    /// Not whitelisted: a stable opaque token.
+    Obfuscated(u64),
+}
+
+impl ReportedDomain {
+    /// The clear name, if this record was whitelisted.
+    pub fn clear_name(&self) -> Option<&DomainName> {
+        match self {
+            ReportedDomain::Clear(name) => Some(name),
+            ReportedDomain::Obfuscated(_) => None,
+        }
+    }
+
+    /// True when the name survived in clear.
+    pub fn is_clear(&self) -> bool {
+        matches!(self, ReportedDomain::Clear(_))
+    }
+}
+
+/// Per-home anonymizer holding the home's key and whitelist.
+///
+/// ```
+/// use firmware::anonymize::Anonymizer;
+/// use simnet::dns::DomainName;
+/// use simnet::packet::MacAddr;
+///
+/// let anon = Anonymizer::new(0x5EED, [DomainName::new("netflix.com").unwrap()]);
+/// let mac = MacAddr::from_oui_nic(0x00_17_F2, 0xABCDEF);
+/// let hidden = anon.mac(mac);
+/// assert_eq!(hidden.oui, 0x00_17_F2);      // manufacturer stays visible
+/// assert_ne!(hidden.suffix_hash, 0xABCDEF); // the device does not
+/// assert!(anon.domain(&DomainName::new("cdn.netflix.com").unwrap()).is_clear());
+/// assert!(!anon.domain(&DomainName::new("secret.example").unwrap()).is_clear());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Anonymizer {
+    key: u64,
+    whitelist: HashSet<DomainName>,
+}
+
+impl Anonymizer {
+    /// Build an anonymizer with a per-home key and the effective whitelist
+    /// (default 200 names plus any user additions).
+    pub fn new(key: u64, whitelist: impl IntoIterator<Item = DomainName>) -> Anonymizer {
+        Anonymizer { key, whitelist: whitelist.into_iter().collect() }
+    }
+
+    /// Number of whitelisted names.
+    pub fn whitelist_len(&self) -> usize {
+        self.whitelist.len()
+    }
+
+    /// Add a user-whitelisted name (the router's web UI allowed this).
+    pub fn add_to_whitelist(&mut self, name: DomainName) {
+        self.whitelist.insert(name);
+    }
+
+    /// Anonymize a MAC: keep the OUI, hash the NIC bits.
+    pub fn mac(&self, mac: MacAddr) -> AnonMac {
+        AnonMac {
+            oui: mac.oui(),
+            suffix_hash: (keyed_mix(self.key, u64::from(mac.nic())) & 0xFF_FF_FF) as u32,
+        }
+    }
+
+    /// Anonymize a domain per the whitelist rule. Matching is at base
+    /// domain granularity (`cdn.netflix.com` matches a whitelisted
+    /// `netflix.com`).
+    pub fn domain(&self, name: &DomainName) -> ReportedDomain {
+        let base = name.base_domain();
+        if self.whitelist.contains(name) || self.whitelist.contains(&base) {
+            ReportedDomain::Clear(base)
+        } else {
+            ReportedDomain::Obfuscated(hash_str(self.key, base.as_str()))
+        }
+    }
+
+    /// Obfuscate a remote IP address for flow records.
+    pub fn ip(&self, addr: Ipv4Addr) -> u64 {
+        keyed_mix(self.key, u64::from(u32::from(addr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::new(s).unwrap()
+    }
+
+    fn anon() -> Anonymizer {
+        Anonymizer::new(0xDEAD_BEEF, [name("google.com"), name("netflix.com")])
+    }
+
+    #[test]
+    fn mac_keeps_oui_hides_nic() {
+        let a = anon();
+        let mac = MacAddr::from_oui_nic(0x00_17_F2, 0x12_34_56);
+        let am = a.mac(mac);
+        assert_eq!(am.oui, 0x00_17_F2);
+        assert_ne!(am.suffix_hash, 0x12_34_56);
+        assert!(am.suffix_hash <= 0xFF_FF_FF);
+    }
+
+    #[test]
+    fn mac_hash_stable_within_key_distinct_across_keys() {
+        let mac = MacAddr::from_oui_nic(0x00_17_F2, 0xAB_CD_EF);
+        let a = anon();
+        assert_eq!(a.mac(mac), a.mac(mac));
+        let other = Anonymizer::new(0x1234, []);
+        assert_ne!(a.mac(mac).suffix_hash, other.mac(mac).suffix_hash);
+    }
+
+    #[test]
+    fn distinct_nics_rarely_collide() {
+        let a = anon();
+        let mut seen = std::collections::HashSet::new();
+        for nic in 0..2_000u32 {
+            seen.insert(a.mac(MacAddr::from_oui_nic(0x00_17_F2, nic)).suffix_hash);
+        }
+        assert!(seen.len() > 1_990, "hash collisions too frequent: {}", seen.len());
+    }
+
+    #[test]
+    fn whitelisted_domains_pass_in_clear() {
+        let a = anon();
+        assert_eq!(
+            a.domain(&name("google.com")),
+            ReportedDomain::Clear(name("google.com"))
+        );
+        // Subdomains of whitelisted bases match.
+        assert_eq!(
+            a.domain(&name("cdn.netflix.com")),
+            ReportedDomain::Clear(name("netflix.com"))
+        );
+    }
+
+    #[test]
+    fn unlisted_domains_become_stable_tokens() {
+        let a = anon();
+        let r1 = a.domain(&name("secret-site.org"));
+        let r2 = a.domain(&name("www.secret-site.org"));
+        assert!(!r1.is_clear());
+        assert_eq!(r1, r2, "same base domain must yield the same token");
+        let r3 = a.domain(&name("other-site.org"));
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn tokens_differ_across_homes() {
+        let a = Anonymizer::new(1, []);
+        let b = Anonymizer::new(2, []);
+        assert_ne!(a.domain(&name("x.org")), b.domain(&name("x.org")));
+    }
+
+    #[test]
+    fn user_whitelist_additions_take_effect() {
+        let mut a = anon();
+        assert!(!a.domain(&name("myuni.edu")).is_clear());
+        a.add_to_whitelist(name("myuni.edu"));
+        assert!(a.domain(&name("myuni.edu")).is_clear());
+        assert_eq!(a.whitelist_len(), 3);
+    }
+
+    #[test]
+    fn ip_obfuscation_stable_and_keyed() {
+        let a = anon();
+        let ip = Ipv4Addr::new(8, 8, 8, 8);
+        assert_eq!(a.ip(ip), a.ip(ip));
+        assert_ne!(a.ip(ip), a.ip(Ipv4Addr::new(8, 8, 4, 4)));
+        let b = Anonymizer::new(999, []);
+        assert_ne!(a.ip(ip), b.ip(ip));
+    }
+}

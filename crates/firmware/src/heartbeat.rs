@@ -1,0 +1,127 @@
+//! Heartbeats: once a minute, the router sends a small UDP packet to the
+//! central collection server. No retransmission, no acknowledgment — a
+//! lost packet simply leaves a gap, and persistent gaps are what §4 reads
+//! as downtime.
+//!
+//! The packet is a genuine UDP/IPv4 wire image carrying the router id and
+//! a sequence number, emitted through the home's *uplink* (so a saturated
+//! uplink can delay it) and then across a lossy WAN path. The collector
+//! parses and validates it before recording.
+
+use crate::records::RouterId;
+use simnet::packet::{IpProtocol, Ipv4Packet, ParseError, UdpDatagram};
+use std::net::Ipv4Addr;
+
+/// The collector's UDP port for heartbeats.
+pub const HEARTBEAT_PORT: u16 = 9_100;
+/// The collection server's address (the deployment's server at Georgia
+/// Tech; any stable address works here).
+pub const COLLECTOR_ADDR: Ipv4Addr = Ipv4Addr::new(128, 61, 23, 45);
+/// Magic tag guarding against misparses.
+const MAGIC: &[u8; 4] = b"BSMK";
+
+/// Heartbeat payload contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The reporting router.
+    pub router: RouterId,
+    /// Monotonic per-boot sequence number.
+    pub seq: u64,
+}
+
+impl Heartbeat {
+    /// Build the full IPv4+UDP wire image from the router's WAN address.
+    pub fn emit(&self, wan_addr: Ipv4Addr) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&self.router.0.to_be_bytes());
+        payload.extend_from_slice(&self.seq.to_be_bytes());
+        let udp = UdpDatagram::new(HEARTBEAT_PORT, HEARTBEAT_PORT, payload);
+        Ipv4Packet::new(
+            wan_addr,
+            COLLECTOR_ADDR,
+            IpProtocol::Udp,
+            udp.emit(wan_addr, COLLECTOR_ADDR),
+        )
+        .emit()
+    }
+
+    /// Parse and validate a received wire image (collector side).
+    pub fn parse(wire: &[u8]) -> Result<(Heartbeat, Ipv4Addr), ParseError> {
+        let ip = Ipv4Packet::parse(wire)?;
+        if ip.protocol != IpProtocol::Udp || ip.dst != COLLECTOR_ADDR {
+            return Err(ParseError::Unsupported);
+        }
+        let udp = UdpDatagram::parse(&ip.payload, ip.src, ip.dst)?;
+        if udp.dst_port != HEARTBEAT_PORT || udp.payload.len() != 16 {
+            return Err(ParseError::Unsupported);
+        }
+        if &udp.payload[0..4] != MAGIC {
+            return Err(ParseError::Unsupported);
+        }
+        let router = RouterId(u32::from_be_bytes(
+            udp.payload[4..8].try_into().expect("fixed slice"),
+        ));
+        let seq = u64::from_be_bytes(udp.payload[8..16].try_into().expect("fixed slice"));
+        Ok((Heartbeat { router, seq }, ip.src))
+    }
+
+    /// Wire length of a heartbeat packet (for link accounting).
+    pub fn wire_len() -> u64 {
+        // 20 IP + 8 UDP + 16 payload.
+        44
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WAN: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 7);
+
+    #[test]
+    fn round_trip() {
+        let hb = Heartbeat { router: RouterId(42), seq: 123_456 };
+        let wire = hb.emit(WAN);
+        assert_eq!(wire.len() as u64, Heartbeat::wire_len());
+        let (parsed, src) = Heartbeat::parse(&wire).unwrap();
+        assert_eq!(parsed, hb);
+        assert_eq!(src, WAN);
+    }
+
+    #[test]
+    fn wrong_port_rejected() {
+        let hb = Heartbeat { router: RouterId(1), seq: 1 };
+        let mut wire = hb.emit(WAN);
+        // Mangle the UDP destination port (bytes 20..22 are src port,
+        // 22..24 dst port) and fix nothing else: checksum now fails, which
+        // is also a rejection — both paths are fine, we only need Err.
+        wire[22] ^= 0xFF;
+        assert!(Heartbeat::parse(&wire).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let hb = Heartbeat { router: RouterId(1), seq: 1 };
+        let wire = hb.emit(WAN);
+        // Rebuild with corrupted payload but valid checksums.
+        let ip = Ipv4Packet::parse(&wire).unwrap();
+        let udp = UdpDatagram::parse(&ip.payload, ip.src, ip.dst).unwrap();
+        let mut payload = udp.payload.clone();
+        payload[0] = b'X';
+        let evil = Ipv4Packet::new(
+            ip.src,
+            ip.dst,
+            IpProtocol::Udp,
+            UdpDatagram::new(udp.src_port, udp.dst_port, payload).emit(ip.src, ip.dst),
+        )
+        .emit();
+        assert_eq!(Heartbeat::parse(&evil), Err(ParseError::Unsupported));
+    }
+
+    #[test]
+    fn non_udp_rejected() {
+        let pkt = Ipv4Packet::new(WAN, COLLECTOR_ADDR, IpProtocol::Tcp, vec![0; 24]).emit();
+        assert_eq!(Heartbeat::parse(&pkt), Err(ParseError::Unsupported));
+    }
+}

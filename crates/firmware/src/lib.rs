@@ -1,0 +1,41 @@
+//! # firmware — the BISmark gateway agent
+//!
+//! A faithful reimplementation of the measurement logic the paper's custom
+//! OpenWrt firmware ran on each home router:
+//!
+//! * [`heartbeat`] — 1/minute unreliable UDP beacons (the Heartbeats set);
+//! * [`gateway`] — router state, the hourly device census (Devices set),
+//!   12-hourly uptime reports (Uptime set), and the WiFi scan policy with
+//!   its client-protection throttle (WiFi set);
+//! * [`shaperprobe`] — 12-hourly packet-train capacity estimation with
+//!   token-bucket (burst shaping) detection (Capacity set);
+//! * [`latency`] — ICMP latency probing through the (possibly bloated)
+//!   access-link queue, the platform capability behind the authors'
+//!   companion performance study;
+//! * [`traffic`] — consent-gated passive capture: per-second packet
+//!   statistics, flow records, DNS samples, and MAC sightings (Traffic set);
+//! * [`anonymize`] — the §3.2.2 privacy rules: OUI-preserving MAC hashing,
+//!   whitelist-or-token domain reporting, IP obfuscation;
+//! * [`records`] — the upload schema, one type per data set of Table 2.
+//!
+//! Nothing in this crate reads simulator-internal ground truth: every
+//! record is derived from what a real gateway could observe at its own
+//! vantage point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod gateway;
+pub mod heartbeat;
+pub mod latency;
+pub mod records;
+pub mod shaperprobe;
+pub mod traffic;
+
+pub use anonymize::{AnonMac, Anonymizer, ReportedDomain};
+pub use gateway::Gateway;
+pub use heartbeat::Heartbeat;
+pub use records::{Record, RouterId};
+pub use shaperprobe::{probe_link, ProbeEstimate};
+pub use traffic::TrafficMonitor;

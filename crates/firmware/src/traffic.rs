@@ -1,0 +1,537 @@
+//! Passive traffic collection (the Traffic data set, consent-gated).
+//!
+//! The monitor sits at the gateway's LAN/WAN boundary and observes:
+//!
+//! * every DNS response (sampling A/CNAME records and learning the
+//!   IP→domain map it uses to attribute flows to services);
+//! * per-second aggregate packet statistics;
+//! * flows, keyed by device MAC, emitted as records at completion with
+//!   obfuscated remote addresses and whitelist-anonymized domains;
+//! * device MAC sightings with cumulative volume (for the manufacturer
+//!   histogram, which keeps devices above 100 KB).
+//!
+//! All identifiers pass through the [`Anonymizer`] before they are stored
+//! in a record — raw MACs and unlisted names never leave this module.
+
+use crate::anonymize::{Anonymizer, ReportedDomain};
+use crate::records::{
+    DnsSampleRecord, FlowRecord, MacSightingRecord, PacketStatsRecord, Record, RouterId,
+};
+use simnet::dns::{DnsResponse, RecordData};
+use simnet::packet::MacAddr;
+use simnet::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Metadata the monitor keeps per active flow.
+#[derive(Debug, Clone)]
+struct FlowMeta {
+    started: SimTime,
+    device: MacAddr,
+    remote_ip: Ipv4Addr,
+    remote_port: u16,
+    proto: simnet::packet::IpProtocol,
+    bytes_down: u64,
+    bytes_up: u64,
+}
+
+/// The gateway's passive monitor. Created only for consenting households.
+#[derive(Debug)]
+pub struct TrafficMonitor {
+    router: RouterId,
+    anonymizer: Anonymizer,
+    /// The gateway's DNS view: remote address → last domain that resolved
+    /// to it. This is how the deployment attributed flows to services.
+    ip_to_domain: HashMap<Ipv4Addr, simnet::dns::DomainName>,
+    flows: HashMap<netstack::FlowId, FlowMeta>,
+    /// Accumulator for the current one-second bucket: (second, down, up).
+    second: Option<(SimTime, u64, u64)>,
+    /// Accumulator for the current one-minute window.
+    minute: Option<PacketStatsRecord>,
+    device_bytes: HashMap<MacAddr, (SimTime, u64)>,
+    out: Vec<Record>,
+}
+
+impl TrafficMonitor {
+    /// A monitor for one consenting household.
+    pub fn new(router: RouterId, anonymizer: Anonymizer) -> TrafficMonitor {
+        TrafficMonitor {
+            router,
+            anonymizer,
+            ip_to_domain: HashMap::new(),
+            flows: HashMap::new(),
+            second: None,
+            minute: None,
+            device_bytes: HashMap::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Fold a (second, down, up) bucket into the current minute window,
+    /// emitting the window when the minute rolls over.
+    fn fold_second(&mut self, second: SimTime, down: u64, up: u64, pkts_down: u64, pkts_up: u64) {
+        let minute_start = second.align_down(simnet::time::SimDuration::from_mins(1));
+        let minute = self.minute.get_or_insert(PacketStatsRecord {
+            router: self.router,
+            at: minute_start,
+            bytes_down: 0,
+            bytes_up: 0,
+            pkts_down: 0,
+            pkts_up: 0,
+            peak_down_1s: 0,
+            peak_up_1s: 0,
+        });
+        if minute.at != minute_start {
+            let finished = *minute;
+            if finished.bytes_down + finished.bytes_up > 0 {
+                self.out.push(Record::PacketStats(finished));
+            }
+            *minute = PacketStatsRecord {
+                router: self.router,
+                at: minute_start,
+                bytes_down: 0,
+                bytes_up: 0,
+                pkts_down: 0,
+                pkts_up: 0,
+                peak_down_1s: 0,
+                peak_up_1s: 0,
+            };
+        }
+        minute.bytes_down += down;
+        minute.bytes_up += up;
+        minute.pkts_down += pkts_down;
+        minute.pkts_up += pkts_up;
+        minute.peak_down_1s = minute.peak_down_1s.max(down);
+        minute.peak_up_1s = minute.peak_up_1s.max(up);
+    }
+
+    /// Account bytes into the current one-second bucket; rolls the previous
+    /// bucket into the minute window when the second advances.
+    fn account(&mut self, second_start: SimTime, down: u64, up: u64, pkts_down: u64, pkts_up: u64) {
+        match &mut self.second {
+            Some((at, d, u)) if *at == second_start => {
+                *d += down;
+                *u += up;
+            }
+            Some((at, d, u)) => {
+                let (at, d, u) = (*at, *d, *u);
+                // Packet counts are folded per call; bytes per bucket.
+                self.fold_second(at, d, u, 0, 0);
+                self.second = Some((second_start, down, up));
+            }
+            None => self.second = Some((second_start, down, up)),
+        }
+        // Packet counts go straight to the minute totals (their per-second
+        // peak is not needed).
+        if pkts_down + pkts_up > 0 {
+            let minute_probe = second_start.align_down(simnet::time::SimDuration::from_mins(1));
+            let minute = self.minute.get_or_insert(PacketStatsRecord {
+                router: self.router,
+                at: minute_probe,
+                bytes_down: 0,
+                bytes_up: 0,
+                pkts_down: 0,
+                pkts_up: 0,
+                peak_down_1s: 0,
+                peak_up_1s: 0,
+            });
+            minute.pkts_down += pkts_down;
+            minute.pkts_up += pkts_up;
+        }
+    }
+
+    /// Access to the anonymizer (e.g. for user whitelist additions).
+    pub fn anonymizer_mut(&mut self) -> &mut Anonymizer {
+        &mut self.anonymizer
+    }
+
+    /// Observe a DNS response relayed to `device`: sample the record and
+    /// learn the IP→domain mapping.
+    pub fn on_dns_response(&mut self, now: SimTime, device: MacAddr, response: &DnsResponse) {
+        let mut cname_links = 0u8;
+        let mut resolved = false;
+        for answer in &response.answers {
+            match &answer.data {
+                RecordData::Cname(_) => cname_links = cname_links.saturating_add(1),
+                RecordData::A(addr) => {
+                    resolved = true;
+                    self.ip_to_domain.insert(*addr, response.question.base_domain());
+                }
+            }
+        }
+        self.out.push(Record::DnsSample(DnsSampleRecord {
+            router: self.router,
+            at: now,
+            device: self.anonymizer.mac(device),
+            name: self.anonymizer.domain(&response.question),
+            cname_links,
+            resolved,
+        }));
+    }
+
+    /// A new flow appeared at the NAT.
+    pub fn on_flow_start(&mut self, flow: &netstack::Flow) {
+        self.flows.insert(
+            flow.id,
+            FlowMeta {
+                started: flow.started,
+                device: flow.device,
+                remote_ip: flow.remote.addr,
+                remote_port: flow.remote.port,
+                proto: flow.kind.protocol(),
+                bytes_down: 0,
+                bytes_up: 0,
+            },
+        );
+        self.device_bytes.entry(flow.device).or_insert((flow.started, 0));
+    }
+
+    /// Per-tick progress for one flow plus the window it fell in.
+    pub fn on_flow_progress(&mut self, window_start: SimTime, progress: &netstack::FlowProgress) {
+        let meta = match self.flows.get_mut(&progress.id) {
+            Some(m) => m,
+            None => return, // flow predates monitoring (e.g. consent toggled)
+        };
+        meta.bytes_down += progress.bytes_down;
+        meta.bytes_up += progress.bytes_up;
+        let device = meta.device;
+        if let Some((_, total)) = self.device_bytes.get_mut(&device) {
+            *total += progress.bytes_down + progress.bytes_up;
+        }
+        self.account(
+            window_start,
+            progress.bytes_down,
+            progress.bytes_up,
+            progress.pkts_down,
+            progress.pkts_up,
+        );
+    }
+
+    /// Account upstream bytes that entered the uplink queue beyond what any
+    /// flow delivered this second — bursts and retransmissions absorbed by
+    /// a bloated CPE buffer. The gateway counts packets at LAN ingress, so
+    /// these bytes inflate measured utilization above link capacity, which
+    /// is precisely the paper's Fig 16 observation.
+    pub fn add_uplink_burst(&mut self, second_start: SimTime, extra_bytes: u64) {
+        if extra_bytes > 0 {
+            self.account(second_start, 0, extra_bytes, 0, extra_bytes.div_ceil(1_420));
+        }
+    }
+
+    /// A flow completed (or was aborted): emit its record. Flows that
+    /// never moved a byte (e.g. cut off by a power-cycle in the same tick
+    /// they opened) leave no record — the capture box never saw data.
+    pub fn on_flow_end(&mut self, now: SimTime, id: netstack::FlowId) {
+        let meta = match self.flows.remove(&id) {
+            Some(m) => m,
+            None => return,
+        };
+        if meta.bytes_down + meta.bytes_up == 0 {
+            return;
+        }
+        let domain = match self.ip_to_domain.get(&meta.remote_ip) {
+            Some(name) => self.anonymizer.domain(name),
+            // No DNS context (cache hit before boot, hard-coded address):
+            // all the gateway can report is the obfuscated address.
+            None => ReportedDomain::Obfuscated(self.anonymizer.ip(meta.remote_ip)),
+        };
+        self.out.push(Record::Flow(FlowRecord {
+            router: self.router,
+            started: meta.started,
+            ended: now,
+            device: self.anonymizer.mac(meta.device),
+            remote_ip_hash: self.anonymizer.ip(meta.remote_ip),
+            remote_port: meta.remote_port,
+            proto: meta.proto,
+            domain,
+            bytes_down: meta.bytes_down,
+            bytes_up: meta.bytes_up,
+        }));
+    }
+
+    /// Close the collection window: flush the pending second and minute and
+    /// emit one MAC sighting per device seen.
+    pub fn finalize(&mut self, _now: SimTime) {
+        if let Some((at, d, u)) = self.second.take() {
+            self.fold_second(at, d, u, 0, 0);
+        }
+        if let Some(minute) = self.minute.take() {
+            if minute.bytes_down + minute.bytes_up > 0 {
+                self.out.push(Record::PacketStats(minute));
+            }
+        }
+        let mut sightings: Vec<MacSightingRecord> = self
+            .device_bytes
+            .iter()
+            .map(|(mac, (first_seen, bytes))| MacSightingRecord {
+                router: self.router,
+                first_seen: *first_seen,
+                device: self.anonymizer.mac(*mac),
+                bytes_total: *bytes,
+            })
+            .collect();
+        sightings.sort_by_key(|s| (s.first_seen, s.device));
+        self.out.extend(sightings.into_iter().map(Record::MacSighting));
+    }
+
+    /// Drain records accumulated so far (upload to the collector).
+    pub fn drain(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Number of flows currently tracked.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::{AppKind, Flow, FlowId, FlowProgress};
+    use simnet::dns::{DnsRecord, DomainName};
+    use simnet::packet::Endpoint;
+    use simnet::time::SimDuration;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::new(s).unwrap()
+    }
+
+    fn monitor() -> TrafficMonitor {
+        TrafficMonitor::new(
+            RouterId(7),
+            Anonymizer::new(0xABCD, [name("netflix.com"), name("google.com")]),
+        )
+    }
+
+    fn mk_flow(id: u64, remote: Ipv4Addr) -> Flow {
+        Flow {
+            id: FlowId(id),
+            device: MacAddr::from_oui_nic(0x00_17_F2, 0x111111),
+            local: Endpoint::new(Ipv4Addr::new(192, 168, 1, 10), 40_000),
+            remote: Endpoint::new(remote, 443),
+            domain: name("netflix.com"),
+            kind: AppKind::StreamingVideo,
+            started: SimTime::EPOCH,
+            remaining_down: 1_000_000,
+            remaining_up: 10_000,
+            rate_cap_bps: Some(4_000_000),
+            rate_cap_up_bps: Some(100_000),
+            saturated_ticks: 0,
+        }
+    }
+
+    fn dns_response(question: &str, addr: Ipv4Addr) -> DnsResponse {
+        DnsResponse {
+            id: 1,
+            question: name(question),
+            answers: vec![DnsRecord {
+                name: name(question),
+                data: RecordData::A(addr),
+                ttl: SimDuration::from_secs(300),
+            }],
+        }
+    }
+
+    fn one_byte(mon: &mut TrafficMonitor, id: u64) {
+        mon.on_flow_progress(
+            SimTime::EPOCH,
+            &FlowProgress { id: FlowId(id), bytes_down: 1, bytes_up: 0, pkts_down: 1, pkts_up: 0 },
+        );
+    }
+
+    #[test]
+    fn dns_learns_attribution_and_samples() {
+        let mut mon = monitor();
+        let server = Ipv4Addr::new(23, 64, 1, 10);
+        let device = MacAddr::from_oui_nic(0x00_17_F2, 0x111111);
+        mon.on_dns_response(SimTime::EPOCH, device, &dns_response("netflix.com", server));
+        let flow = mk_flow(1, server);
+        mon.on_flow_start(&flow);
+        one_byte(&mut mon, 1);
+        mon.on_flow_end(SimTime::EPOCH + SimDuration::from_secs(60), flow.id);
+        let records = mon.drain();
+        let dns: Vec<&Record> =
+            records.iter().filter(|r| matches!(r, Record::DnsSample(_))).collect();
+        assert_eq!(dns.len(), 1);
+        let flow_rec = records
+            .iter()
+            .find_map(|r| match r {
+                Record::Flow(f) => Some(f),
+                _ => None,
+            })
+            .expect("flow record emitted");
+        assert_eq!(flow_rec.domain, ReportedDomain::Clear(name("netflix.com")));
+    }
+
+    #[test]
+    fn unlisted_domain_is_obfuscated_but_stable() {
+        let mut mon = monitor();
+        let server = Ipv4Addr::new(23, 64, 2, 10);
+        let device = MacAddr::from_oui_nic(0x00_17_F2, 0x111111);
+        mon.on_dns_response(SimTime::EPOCH, device, &dns_response("hidden.example", server));
+        for id in [2u64, 3] {
+            let flow = mk_flow(id, server);
+            mon.on_flow_start(&flow);
+            one_byte(&mut mon, id);
+            mon.on_flow_end(SimTime::EPOCH + SimDuration::from_secs(1), flow.id);
+        }
+        let records = mon.drain();
+        let flows: Vec<&FlowRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Flow(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert!(!flows[0].domain.is_clear());
+        assert_eq!(flows[0].domain, flows[1].domain, "token must be stable");
+    }
+
+    #[test]
+    fn unknown_ip_falls_back_to_ip_hash() {
+        let mut mon = monitor();
+        let flow = mk_flow(9, Ipv4Addr::new(198, 51, 100, 77));
+        mon.on_flow_start(&flow);
+        one_byte(&mut mon, 9);
+        mon.on_flow_end(SimTime::EPOCH, flow.id);
+        let records = mon.drain();
+        match &records[0] {
+            Record::Flow(f) => assert!(!f.domain.is_clear()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minute_windows_keep_per_second_peaks() {
+        let mut mon = monitor();
+        let flow = mk_flow(1, Ipv4Addr::new(23, 64, 1, 10));
+        mon.on_flow_start(&flow);
+        let s0 = SimTime::EPOCH;
+        let s1 = SimTime::EPOCH + SimDuration::from_secs(1);
+        let s90 = SimTime::EPOCH + SimDuration::from_secs(90);
+        let p = |bytes| FlowProgress {
+            id: FlowId(1),
+            bytes_down: bytes,
+            bytes_up: 10,
+            pkts_down: bytes / 1_420 + 1,
+            pkts_up: 1,
+        };
+        mon.on_flow_progress(s0, &p(100_000));
+        mon.on_flow_progress(s0, &p(50_000)); // same second: 150 KB
+        mon.on_flow_progress(s1, &p(10_000));
+        mon.on_flow_progress(s90, &p(7_000)); // next minute
+        mon.finalize(s90 + SimDuration::from_secs(1));
+        let stats: Vec<&PacketStatsRecord> = mon
+            .out
+            .iter()
+            .filter_map(|r| match r {
+                Record::PacketStats(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stats.len(), 2, "two minute windows");
+        assert_eq!(stats[0].bytes_down, 160_000);
+        assert_eq!(stats[0].peak_down_1s, 150_000, "peak second within minute");
+        assert_eq!(stats[1].bytes_down, 7_000);
+        assert_eq!(stats[1].at, SimTime::EPOCH + SimDuration::from_mins(1));
+    }
+
+    #[test]
+    fn uplink_bursts_inflate_upstream_counters() {
+        let mut mon = monitor();
+        let flow = mk_flow(1, Ipv4Addr::new(23, 64, 1, 10));
+        mon.on_flow_start(&flow);
+        let s0 = SimTime::EPOCH;
+        mon.on_flow_progress(
+            s0,
+            &FlowProgress { id: FlowId(1), bytes_down: 0, bytes_up: 25_000, pkts_down: 0, pkts_up: 18 },
+        );
+        mon.add_uplink_burst(s0, 10_000);
+        mon.finalize(s0 + SimDuration::from_mins(2));
+        let stats = mon
+            .out
+            .iter()
+            .find_map(|r| match r {
+                Record::PacketStats(s) => Some(*s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(stats.bytes_up, 35_000, "burst bytes counted at LAN ingress");
+        assert_eq!(stats.peak_up_1s, 35_000);
+    }
+
+    #[test]
+    fn flow_totals_accumulate_across_ticks() {
+        let mut mon = monitor();
+        let flow = mk_flow(1, Ipv4Addr::new(23, 64, 1, 10));
+        mon.on_flow_start(&flow);
+        for i in 0..5u64 {
+            mon.on_flow_progress(
+                SimTime::EPOCH + SimDuration::from_secs(i),
+                &FlowProgress {
+                    id: FlowId(1),
+                    bytes_down: 1_000,
+                    bytes_up: 100,
+                    pkts_down: 1,
+                    pkts_up: 1,
+                },
+            );
+        }
+        mon.on_flow_end(SimTime::EPOCH + SimDuration::from_secs(5), FlowId(1));
+        let records = mon.drain();
+        let f = records
+            .iter()
+            .find_map(|r| match r {
+                Record::Flow(f) => Some(f),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(f.bytes_down, 5_000);
+        assert_eq!(f.bytes_up, 500);
+        assert_eq!(f.total_bytes(), 5_500);
+    }
+
+    #[test]
+    fn mac_sightings_carry_cumulative_volume() {
+        let mut mon = monitor();
+        let flow = mk_flow(1, Ipv4Addr::new(23, 64, 1, 10));
+        mon.on_flow_start(&flow);
+        mon.on_flow_progress(
+            SimTime::EPOCH,
+            &FlowProgress { id: FlowId(1), bytes_down: 200_000, bytes_up: 0, pkts_down: 141, pkts_up: 0 },
+        );
+        mon.finalize(SimTime::EPOCH + SimDuration::from_secs(10));
+        let records = mon.drain();
+        let sighting = records
+            .iter()
+            .find_map(|r| match r {
+                Record::MacSighting(s) => Some(s),
+                _ => None,
+            })
+            .expect("sighting emitted");
+        assert_eq!(sighting.bytes_total, 200_000);
+        assert_eq!(sighting.device.oui, 0x00_17_F2);
+    }
+
+    #[test]
+    fn zero_byte_flows_leave_no_record() {
+        let mut mon = monitor();
+        let flow = mk_flow(4, Ipv4Addr::new(23, 64, 1, 10));
+        mon.on_flow_start(&flow);
+        mon.on_flow_end(SimTime::EPOCH, flow.id);
+        assert!(mon.drain().is_empty(), "a data-less flow is invisible to the capture");
+    }
+
+    #[test]
+    fn progress_for_unknown_flow_is_ignored() {
+        let mut mon = monitor();
+        mon.on_flow_progress(
+            SimTime::EPOCH,
+            &FlowProgress { id: FlowId(99), bytes_down: 1, bytes_up: 1, pkts_down: 1, pkts_up: 1 },
+        );
+        mon.on_flow_end(SimTime::EPOCH, FlowId(99));
+        assert!(mon.drain().is_empty());
+    }
+}

@@ -1,0 +1,417 @@
+//! Router power behavior and ISP outage processes — the generative side of
+//! the paper's §4 (Availability).
+//!
+//! Two independent processes determine when a home's gateway is reachable:
+//!
+//! * **Power behavior** ([`PowerMode`]): most households leave the router
+//!   on permanently (Fig 6a); a substantial fraction of developing-world
+//!   households treat it as an appliance, powering it up in the evening and
+//!   for longer stretches on weekends (Fig 6b, the Chinese household);
+//! * **ISP outages**: a Poisson process of connectivity losses with
+//!   log-normal durations, far more frequent in low-GDP countries (Fig 6c,
+//!   Figs 3–5).
+//!
+//! The router is *reachable* when powered AND the ISP is up. The firmware's
+//! heartbeats sample that reachability; the paper (and therefore our
+//! analysis crate) cannot distinguish the two causes, a limitation §3.3
+//! makes explicit and which we reproduce by construction.
+
+use crate::country::Country;
+use crate::interval::{intersect, normalize, Interval};
+use serde::{Deserialize, Serialize};
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime, MICROS_PER_DAY, MICROS_PER_HOUR};
+
+/// How a household manages router power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// Router stays powered continuously; only rare reboots (a couple of
+    /// minutes, typically under the paper's 10-minute downtime threshold)
+    /// plus occasional extended offline periods (vacations, moves,
+    /// unplugged equipment) that pull median coverage below 100%.
+    AlwaysOn {
+        /// Mean reboots per 30 days.
+        reboot_rate_per_month: f64,
+        /// Mean extended-off events per 30 days.
+        extended_off_rate_per_month: f64,
+    },
+    /// Router powered except during a nightly off window — common in
+    /// developing-country homes where equipment is switched off overnight
+    /// to save electricity (the paper's India/South Africa coverage
+    /// medians of 76%/86% reflect exactly this pattern).
+    NightOff {
+        /// Local hour the router is switched off (e.g. 0.5 = 00:30).
+        off_hour: f64,
+        /// Mean off-window length in hours.
+        off_hours: f64,
+        /// Probability a given night the router stays on.
+        skip_night_prob: f64,
+    },
+    /// Router treated like an appliance: powered for an evening window on
+    /// weekdays and longer, more frequent windows on weekends.
+    Appliance {
+        /// Mean local hour the weekday window opens (e.g. 18.5 = 18:30).
+        weekday_on_hour: f64,
+        /// Mean weekday window length in hours.
+        weekday_hours: f64,
+        /// Mean local hour the weekend window opens.
+        weekend_on_hour: f64,
+        /// Mean weekend window length in hours.
+        weekend_hours: f64,
+        /// Probability a given day has no window at all.
+        skip_day_prob: f64,
+    },
+}
+
+impl PowerMode {
+    /// Sample a household's power mode for the given country.
+    pub fn sample(country: Country, rng: &mut DetRng) -> PowerMode {
+        let env = country.environment();
+        if rng.chance(env.appliance_mode_prob) {
+            PowerMode::Appliance {
+                weekday_on_hour: rng.uniform_range(17.0, 20.0),
+                weekday_hours: rng.uniform_range(2.0, 4.5),
+                weekend_on_hour: rng.uniform_range(10.0, 14.0),
+                weekend_hours: rng.uniform_range(5.0, 9.0),
+                skip_day_prob: rng.uniform_range(0.05, 0.25),
+            }
+        } else if rng.chance(env.night_off_prob) {
+            PowerMode::NightOff {
+                off_hour: rng.uniform_range(22.5, 25.0) % 24.0,
+                off_hours: rng.uniform_range(3.5, 6.5),
+                skip_night_prob: rng.uniform_range(0.1, 0.35),
+            }
+        } else {
+            PowerMode::AlwaysOn {
+                reboot_rate_per_month: rng.uniform_range(0.5, 3.0),
+                extended_off_rate_per_month: env.extended_off_rate_per_month
+                    * rng.log_normal(0.0, 0.5),
+            }
+        }
+    }
+
+    /// True for the appliance pattern.
+    pub fn is_appliance(&self) -> bool {
+        matches!(self, PowerMode::Appliance { .. })
+    }
+}
+
+/// The full availability model for one home.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvailabilityModel {
+    /// Power behavior.
+    pub power: PowerMode,
+    /// Mean connectivity outages per day.
+    pub outage_rate_per_day: f64,
+    /// Median outage duration in minutes.
+    pub outage_median_mins: f64,
+    /// Log-normal sigma of outage durations.
+    pub outage_sigma: f64,
+    /// Local-time offset of the home, in hours east of UTC.
+    pub utc_offset_hours: i32,
+}
+
+impl AvailabilityModel {
+    /// Sample a home's availability model from its country profile.
+    pub fn sample(country: Country, rng: &mut DetRng) -> AvailabilityModel {
+        let env = country.environment();
+        // Per-home heterogeneity: outage exposure varies ~3x across homes
+        // in the same country (different ISPs, grids, neighborhoods).
+        let exposure = rng.log_normal(0.0, 0.45);
+        AvailabilityModel {
+            power: PowerMode::sample(country, rng),
+            outage_rate_per_day: env.outage_rate_per_day * exposure,
+            outage_median_mins: env.outage_median_mins,
+            outage_sigma: env.outage_sigma,
+            utc_offset_hours: country.utc_offset_hours(),
+        }
+    }
+
+    fn local_to_utc(&self, local_us: u64) -> SimTime {
+        let shift = (self.utc_offset_hours.unsigned_abs() as u64) * MICROS_PER_HOUR;
+        if self.utc_offset_hours >= 0 {
+            SimTime::from_micros(local_us.saturating_sub(shift))
+        } else {
+            SimTime::from_micros(local_us.saturating_add(shift))
+        }
+    }
+
+    /// Intervals during which the router is powered, over `[start, end)`
+    /// (UTC). Deterministic for a given `rng` stream.
+    pub fn power_intervals(&self, start: SimTime, end: SimTime, rng: &mut DetRng) -> Vec<Interval> {
+        assert!(start <= end);
+        match self.power {
+            PowerMode::AlwaysOn { reboot_rate_per_month, extended_off_rate_per_month } => {
+                // Powered throughout, minus short reboot gaps and rare
+                // extended-off events (vacations, moves).
+                let total_days = end.since(start).as_days_f64();
+                let mut gaps = Vec::new();
+                let reboots = rng.poisson(reboot_rate_per_month / 30.0 * total_days);
+                for _ in 0..reboots {
+                    let at = start
+                        + SimDuration::from_secs_f64(
+                            rng.uniform() * end.since(start).as_secs_f64(),
+                        );
+                    let dur = SimDuration::from_secs_f64(rng.uniform_range(90.0, 240.0));
+                    gaps.push(Interval::new(at, (at + dur).min(end)));
+                }
+                let extended =
+                    rng.poisson(extended_off_rate_per_month / 30.0 * total_days);
+                for _ in 0..extended {
+                    let at = start
+                        + SimDuration::from_secs_f64(
+                            rng.uniform() * end.since(start).as_secs_f64(),
+                        );
+                    // Median ~10 hours, occasionally days (a trip).
+                    let dur_secs = rng.log_normal((4.0f64 * 3_600.0).ln(), 1.0);
+                    let dur = SimDuration::from_secs_f64(dur_secs.clamp(1_800.0, 14.0 * 86_400.0));
+                    gaps.push(Interval::new(at, (at + dur).min(end)));
+                }
+                crate::interval::subtract(&[Interval::new(start, end)], &normalize(gaps))
+            }
+            PowerMode::NightOff { off_hour, off_hours, skip_night_prob } => {
+                // Powered except a nightly window in local time.
+                let mut off_windows = Vec::new();
+                let start_local_us = match self.utc_offset_hours >= 0 {
+                    true => start
+                        .as_micros()
+                        .saturating_add(self.utc_offset_hours as u64 * MICROS_PER_HOUR),
+                    false => start
+                        .as_micros()
+                        .saturating_sub(self.utc_offset_hours.unsigned_abs() as u64 * MICROS_PER_HOUR),
+                };
+                let first_day = start_local_us / MICROS_PER_DAY;
+                let total_days = (end.since(start).as_days_f64().ceil() as u64) + 2;
+                for day in first_day..first_day + total_days {
+                    if rng.chance(skip_night_prob) {
+                        continue;
+                    }
+                    // Off windows may cross midnight; the interval algebra
+                    // normalizes overlaps between consecutive nights.
+                    let off = (off_hour + rng.normal(0.0, 0.5)).clamp(0.0, 23.99);
+                    let len = rng.normal(off_hours, 0.75).clamp(2.0, 10.0);
+                    let s_local = day * MICROS_PER_DAY + (off * MICROS_PER_HOUR as f64) as u64;
+                    let e_local = s_local + (len * MICROS_PER_HOUR as f64) as u64;
+                    let s = self.local_to_utc(s_local);
+                    let e = self.local_to_utc(e_local);
+                    if let Some(clipped) =
+                        Interval::new(s, e).intersect(&Interval::new(start, end))
+                    {
+                        off_windows.push(clipped);
+                    }
+                }
+                crate::interval::subtract(
+                    &[Interval::new(start, end)],
+                    &normalize(off_windows),
+                )
+            }
+            PowerMode::Appliance {
+                weekday_on_hour,
+                weekday_hours,
+                weekend_on_hour,
+                weekend_hours,
+                skip_day_prob,
+            } => {
+                let mut spans = Vec::new();
+                // Iterate local calendar days covering [start, end).
+                let start_local_us = match self.utc_offset_hours >= 0 {
+                    true => start
+                        .as_micros()
+                        .saturating_add(self.utc_offset_hours as u64 * MICROS_PER_HOUR),
+                    false => start
+                        .as_micros()
+                        .saturating_sub(self.utc_offset_hours.unsigned_abs() as u64 * MICROS_PER_HOUR),
+                };
+                let first_day = start_local_us / MICROS_PER_DAY;
+                let total_days = (end.since(start).as_days_f64().ceil() as u64) + 2;
+                for day in first_day..first_day + total_days {
+                    if rng.chance(skip_day_prob) {
+                        continue;
+                    }
+                    let local_day = SimTime::from_micros(day * MICROS_PER_DAY);
+                    let weekend = local_day.weekday().is_weekend();
+                    let (on_hour, hours) = if weekend {
+                        (weekend_on_hour, weekend_hours)
+                    } else {
+                        (weekday_on_hour, weekday_hours)
+                    };
+                    let open = (on_hour + rng.normal(0.0, 0.75)).clamp(0.0, 23.0);
+                    let len = rng.exp(hours).clamp(0.5, 24.0 - open);
+                    let s_local = day * MICROS_PER_DAY
+                        + (open * MICROS_PER_HOUR as f64) as u64;
+                    let e_local = s_local + (len * MICROS_PER_HOUR as f64) as u64;
+                    let s = self.local_to_utc(s_local);
+                    let e = self.local_to_utc(e_local);
+                    if let Some(clipped) =
+                        Interval::new(s, e).intersect(&Interval::new(start, end))
+                    {
+                        spans.push(clipped);
+                    }
+                }
+                normalize(spans)
+            }
+        }
+    }
+
+    /// Intervals during which the ISP connection is *down*, over
+    /// `[start, end)` (UTC).
+    pub fn isp_outages(&self, start: SimTime, end: SimTime, rng: &mut DetRng) -> Vec<Interval> {
+        assert!(start <= end);
+        let total_days = end.since(start).as_days_f64();
+        let n = rng.poisson(self.outage_rate_per_day * total_days);
+        let mu = (self.outage_median_mins * 60.0).ln();
+        let mut spans = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let at =
+                start + SimDuration::from_secs_f64(rng.uniform() * end.since(start).as_secs_f64());
+            let dur_secs = rng.log_normal(mu, self.outage_sigma).clamp(60.0, 7.0 * 86_400.0);
+            let dur = SimDuration::from_secs_f64(dur_secs);
+            spans.push(Interval::new(at, (at + dur).min(end)));
+        }
+        normalize(spans)
+    }
+
+    /// Intervals during which the router is reachable from the Internet:
+    /// powered AND the ISP is up.
+    pub fn up_intervals(&self, start: SimTime, end: SimTime, rng: &mut DetRng) -> Vec<Interval> {
+        let mut power_rng = rng.derive("power");
+        let mut outage_rng = rng.derive("outage");
+        let powered = self.power_intervals(start, end, &mut power_rng);
+        let outages = self.isp_outages(start, end, &mut outage_rng);
+        let up_range = crate::interval::subtract(&[Interval::new(start, end)], &outages);
+        intersect(&powered, &up_range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::total_duration;
+
+    fn month() -> (SimTime, SimTime) {
+        (SimTime::EPOCH, SimTime::EPOCH + SimDuration::from_days(30))
+    }
+
+    #[test]
+    fn always_on_covers_nearly_everything() {
+        let model = AvailabilityModel {
+            power: PowerMode::AlwaysOn { reboot_rate_per_month: 1.0, extended_off_rate_per_month: 0.0 },
+            outage_rate_per_day: 0.0,
+            outage_median_mins: 30.0,
+            outage_sigma: 1.0,
+            utc_offset_hours: -5,
+        };
+        let (s, e) = month();
+        let mut rng = DetRng::new(1);
+        let up = model.up_intervals(s, e, &mut rng);
+        let frac = total_duration(&up) / e.since(s);
+        assert!(frac > 0.995, "always-on fraction {frac}");
+    }
+
+    #[test]
+    fn appliance_mode_fraction_is_low() {
+        let model = AvailabilityModel {
+            power: PowerMode::Appliance {
+                weekday_on_hour: 18.0,
+                weekday_hours: 3.0,
+                weekend_on_hour: 12.0,
+                weekend_hours: 7.0,
+                skip_day_prob: 0.1,
+            },
+            outage_rate_per_day: 0.0,
+            outage_median_mins: 30.0,
+            outage_sigma: 1.0,
+            utc_offset_hours: 8,
+        };
+        let (s, e) = month();
+        let mut rng = DetRng::new(2);
+        let up = model.up_intervals(s, e, &mut rng);
+        let frac = total_duration(&up) / e.since(s);
+        assert!(frac > 0.05 && frac < 0.45, "appliance fraction {frac}");
+        assert!(up.len() > 15, "roughly one window per non-skipped day, got {}", up.len());
+    }
+
+    #[test]
+    fn appliance_windows_fall_in_evening_weekdays() {
+        let model = AvailabilityModel {
+            power: PowerMode::Appliance {
+                weekday_on_hour: 18.0,
+                weekday_hours: 3.0,
+                weekend_on_hour: 12.0,
+                weekend_hours: 7.0,
+                skip_day_prob: 0.0,
+            },
+            outage_rate_per_day: 0.0,
+            outage_median_mins: 30.0,
+            outage_sigma: 1.0,
+            utc_offset_hours: 0, // local == UTC keeps the assertion simple
+        };
+        let (s, e) = month();
+        let mut rng = DetRng::new(3);
+        let powered = model.power_intervals(s, e, &mut rng);
+        for span in &powered {
+            if !span.start.weekday().is_weekend() {
+                let h = span.start.hour_of_day_f64();
+                assert!((14.0..23.5).contains(&h), "weekday window opened at {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_counts_scale_with_rate() {
+        let mk = |rate: f64| AvailabilityModel {
+            power: PowerMode::AlwaysOn { reboot_rate_per_month: 0.0, extended_off_rate_per_month: 0.0 },
+            outage_rate_per_day: rate,
+            outage_median_mins: 30.0,
+            outage_sigma: 1.2,
+            utc_offset_hours: 0,
+        };
+        let (s, e) = month();
+        let few = mk(0.03).isp_outages(s, e, &mut DetRng::new(4));
+        let many = mk(1.5).isp_outages(s, e, &mut DetRng::new(4));
+        assert!(many.len() > 5 * few.len().max(1), "{} vs {}", many.len(), few.len());
+    }
+
+    #[test]
+    fn up_intervals_exclude_outages() {
+        let model = AvailabilityModel {
+            power: PowerMode::AlwaysOn { reboot_rate_per_month: 0.0, extended_off_rate_per_month: 0.0 },
+            outage_rate_per_day: 1.0,
+            outage_median_mins: 60.0,
+            outage_sigma: 1.0,
+            utc_offset_hours: 0,
+        };
+        let (s, e) = month();
+        let mut rng = DetRng::new(5);
+        let up = model.up_intervals(s, e, &mut rng);
+        // Regenerate the same outages via the same derived stream.
+        let outages = model.isp_outages(s, e, &mut rng.derive("outage"));
+        for o in &outages {
+            for u in &up {
+                assert!(u.intersect(o).is_none(), "up interval overlaps an outage");
+            }
+        }
+        assert!(!outages.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let (s, e) = month();
+        let m1 = AvailabilityModel::sample(Country::India, &mut DetRng::new(6));
+        let m2 = AvailabilityModel::sample(Country::India, &mut DetRng::new(6));
+        let up1 = m1.up_intervals(s, e, &mut DetRng::new(7));
+        let up2 = m2.up_intervals(s, e, &mut DetRng::new(7));
+        assert_eq!(up1, up2);
+    }
+
+    #[test]
+    fn appliance_prevalence_follows_country() {
+        let mut rng = DetRng::new(8);
+        let count = |c: Country, rng: &mut DetRng| {
+            (0..1000).filter(|_| PowerMode::sample(c, rng).is_appliance()).count()
+        };
+        let us = count(Country::UnitedStates, &mut rng);
+        let cn = count(Country::China, &mut rng);
+        assert!(cn > 5 * us.max(1), "China {cn} vs US {us}");
+    }
+}

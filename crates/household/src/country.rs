@@ -1,0 +1,404 @@
+//! Country profiles for the deployment: the 19 countries of Table 1, their
+//! per-capita GDP (PPP, 2011), the developed/developing split the paper
+//! uses (top-50 GDP per capita = developed), router counts, and per-country
+//! network-environment parameters that drive the availability and
+//! infrastructure models.
+
+use serde::{Deserialize, Serialize};
+
+/// Economic group per the paper's GDP-based classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Per-capita GDP within the 2011 top 50.
+    Developed,
+    /// All other countries in the deployment.
+    Developing,
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Developed => write!(f, "developed"),
+            Region::Developing => write!(f, "developing"),
+        }
+    }
+}
+
+/// The 19 countries of the deployment (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are country names
+pub enum Country {
+    Canada,
+    Germany,
+    France,
+    UnitedKingdom,
+    Ireland,
+    Italy,
+    Japan,
+    Netherlands,
+    Singapore,
+    UnitedStates,
+    India,
+    Pakistan,
+    Malaysia,
+    SouthAfrica,
+    Mexico,
+    China,
+    Brazil,
+    Indonesia,
+    Thailand,
+}
+
+impl Country {
+    /// All 19 countries, developed first, in Table 1 order.
+    pub const ALL: [Country; 19] = [
+        Country::Canada,
+        Country::Germany,
+        Country::France,
+        Country::UnitedKingdom,
+        Country::Ireland,
+        Country::Italy,
+        Country::Japan,
+        Country::Netherlands,
+        Country::Singapore,
+        Country::UnitedStates,
+        Country::India,
+        Country::Pakistan,
+        Country::Malaysia,
+        Country::SouthAfrica,
+        Country::Mexico,
+        Country::China,
+        Country::Brazil,
+        Country::Indonesia,
+        Country::Thailand,
+    ];
+
+    /// ISO 3166-1 alpha-2 code (used as the axis label in Fig 5).
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::Canada => "CA",
+            Country::Germany => "DE",
+            Country::France => "FR",
+            Country::UnitedKingdom => "GB",
+            Country::Ireland => "IE",
+            Country::Italy => "IT",
+            Country::Japan => "JP",
+            Country::Netherlands => "NL",
+            Country::Singapore => "SG",
+            Country::UnitedStates => "US",
+            Country::India => "IN",
+            Country::Pakistan => "PK",
+            Country::Malaysia => "MY",
+            Country::SouthAfrica => "ZA",
+            Country::Mexico => "MX",
+            Country::China => "CN",
+            Country::Brazil => "BR",
+            Country::Indonesia => "ID",
+            Country::Thailand => "TH",
+        }
+    }
+
+    /// Human-readable name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Country::Canada => "Canada",
+            Country::Germany => "Germany",
+            Country::France => "France",
+            Country::UnitedKingdom => "United Kingdom",
+            Country::Ireland => "Ireland",
+            Country::Italy => "Italy",
+            Country::Japan => "Japan",
+            Country::Netherlands => "Netherlands",
+            Country::Singapore => "Singapore",
+            Country::UnitedStates => "United States",
+            Country::India => "India",
+            Country::Pakistan => "Pakistan",
+            Country::Malaysia => "Malaysia",
+            Country::SouthAfrica => "South Africa",
+            Country::Mexico => "Mexico",
+            Country::China => "China",
+            Country::Brazil => "Brazil",
+            Country::Indonesia => "Indonesia",
+            Country::Thailand => "Thailand",
+        }
+    }
+
+    /// Per-capita GDP at purchasing power parity, 2011, in international
+    /// dollars (IMF WEO — the source the paper cites for Fig 5).
+    pub fn gdp_ppp_per_capita(self) -> u32 {
+        match self {
+            Country::Canada => 40_500,
+            Country::Germany => 39_700,
+            Country::France => 35_600,
+            Country::UnitedKingdom => 36_000,
+            Country::Ireland => 41_700,
+            Country::Italy => 32_700,
+            Country::Japan => 34_300,
+            Country::Netherlands => 42_800,
+            Country::Singapore => 60_700,
+            Country::UnitedStates => 48_100,
+            Country::India => 3_700,
+            Country::Pakistan => 2_800,
+            Country::Malaysia => 16_000,
+            Country::SouthAfrica => 11_000,
+            Country::Mexico => 15_100,
+            Country::China => 8_400,
+            Country::Brazil => 11_600,
+            Country::Indonesia => 4_600,
+            Country::Thailand => 9_400,
+        }
+    }
+
+    /// The paper's grouping (Table 1).
+    pub fn region(self) -> Region {
+        match self {
+            Country::Canada
+            | Country::Germany
+            | Country::France
+            | Country::UnitedKingdom
+            | Country::Ireland
+            | Country::Italy
+            | Country::Japan
+            | Country::Netherlands
+            | Country::Singapore
+            | Country::UnitedStates => Region::Developed,
+            _ => Region::Developing,
+        }
+    }
+
+    /// Number of routers the paper deployed in this country (Table 1).
+    pub fn router_count(self) -> usize {
+        match self {
+            Country::Canada => 2,
+            Country::Germany => 2,
+            Country::France => 1,
+            Country::UnitedKingdom => 12,
+            Country::Ireland => 2,
+            Country::Italy => 1,
+            Country::Japan => 2,
+            Country::Netherlands => 3,
+            Country::Singapore => 2,
+            Country::UnitedStates => 63,
+            Country::India => 12,
+            Country::Pakistan => 5,
+            Country::Malaysia => 1,
+            Country::SouthAfrica => 10,
+            Country::Mexico => 2,
+            Country::China => 2,
+            Country::Brazil => 2,
+            Country::Indonesia => 1,
+            Country::Thailand => 1,
+        }
+    }
+
+    /// Representative UTC offset in whole hours (each home's diurnal clock).
+    pub fn utc_offset_hours(self) -> i32 {
+        match self {
+            Country::Canada => -5,
+            Country::Germany => 1,
+            Country::France => 1,
+            Country::UnitedKingdom => 0,
+            Country::Ireland => 0,
+            Country::Italy => 1,
+            Country::Japan => 9,
+            Country::Netherlands => 1,
+            Country::Singapore => 8,
+            Country::UnitedStates => -5,
+            Country::India => 5,
+            Country::Pakistan => 5,
+            Country::Malaysia => 8,
+            Country::SouthAfrica => 2,
+            Country::Mexico => -6,
+            Country::China => 8,
+            Country::Brazil => -3,
+            Country::Indonesia => 7,
+            Country::Thailand => 7,
+        }
+    }
+}
+
+/// Environment parameters that vary with economic development; indexed off
+/// GDP so the availability gradient of Fig 5 emerges from one scalar.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnvironmentProfile {
+    /// Mean ISP/power outages (≥ 10 min) per day affecting connectivity.
+    pub outage_rate_per_day: f64,
+    /// Log-normal sigma of outage duration (heavier tails = longer outages).
+    pub outage_sigma: f64,
+    /// Median outage duration in minutes.
+    pub outage_median_mins: f64,
+    /// Probability a household treats the router as an appliance
+    /// (powering it only when in use).
+    pub appliance_mode_prob: f64,
+    /// Typical downstream capacity range in Mbps.
+    pub down_mbps: (f64, f64),
+    /// Typical upstream capacity range in Mbps.
+    pub up_mbps: (f64, f64),
+    /// Mean number of devices owned per household.
+    pub mean_devices: f64,
+    /// Probability of ≥ 1 always-connected wired device (Table 5 target:
+    /// 43% developed vs 12% developing).
+    pub always_on_wired_prob: f64,
+    /// Probability of ≥ 1 always-connected wireless device.
+    pub always_on_wireless_prob: f64,
+    /// Mean number of neighboring 2.4 GHz APs in a dense neighborhood.
+    pub dense_neighbor_aps: f64,
+    /// Mean number in a sparse neighborhood.
+    pub sparse_neighbor_aps: f64,
+    /// Probability the home sits in a dense neighborhood (bimodality of
+    /// Fig 11).
+    pub dense_neighborhood_prob: f64,
+    /// Per-packet heartbeat loss probability on the WAN path to the
+    /// collection server.
+    pub heartbeat_loss_prob: f64,
+    /// Multiplier on per-device online propensity: below 1 where
+    /// households power devices off to save electricity or data (§5.1).
+    pub presence_factor: f64,
+    /// Probability a non-appliance home switches the router off overnight.
+    pub night_off_prob: f64,
+    /// One-way WAN transit to the (US-hosted) measurement server, in ms
+    /// (range sampled per home).
+    pub wan_transit_ms: (f64, f64),
+    /// Mean extended offline events (vacations, moves) per 30 days for
+    /// always-on homes.
+    pub extended_off_rate_per_month: f64,
+}
+
+impl Country {
+    /// The environment profile for homes in this country.
+    pub fn environment(self) -> EnvironmentProfile {
+        let gdp = f64::from(self.gdp_ppp_per_capita());
+        match self.region() {
+            Region::Developed => EnvironmentProfile {
+                // Median time between ≥10-min downtimes > 1 month.
+                outage_rate_per_day: 0.032,
+                outage_sigma: 1.0,
+                outage_median_mins: 22.0,
+                appliance_mode_prob: 0.02,
+                down_mbps: (8.0, 110.0),
+                up_mbps: (1.0, 12.0),
+                mean_devices: 7.5,
+                always_on_wired_prob: 0.55, // conditional on owning a wired device ≈ Table 5's 43%
+                always_on_wireless_prob: 0.20,
+                dense_neighbor_aps: 65.0,
+                sparse_neighbor_aps: 4.0,
+                dense_neighborhood_prob: 0.72,
+                heartbeat_loss_prob: 0.002,
+                presence_factor: 1.0,
+                night_off_prob: 0.0,
+                wan_transit_ms: (8.0, 45.0),
+                extended_off_rate_per_month: 0.18,
+            },
+            Region::Developing => {
+                // Scale severity with how far below the development
+                // threshold the country sits: India/Pakistan (lowest GDP)
+                // see the most downtime (Fig 5).
+                let poverty = ((20_000.0 - gdp) / 20_000.0).clamp(0.0, 1.0);
+                EnvironmentProfile {
+                    outage_rate_per_day: 0.35 + 1.4 * poverty * poverty,
+                    outage_sigma: 1.4,
+                    outage_median_mins: 24.0 + 16.0 * poverty,
+                    appliance_mode_prob: 0.10 + 0.35 * poverty,
+                    down_mbps: (0.8, 12.0),
+                    up_mbps: (0.25, 2.0),
+                    mean_devices: 5.2,
+                    always_on_wired_prob: 0.22, // conditional ≈ Table 5's 12%
+                    always_on_wireless_prob: 0.12,
+                    dense_neighbor_aps: 14.0,
+                    sparse_neighbor_aps: 2.2,
+                    dense_neighborhood_prob: 0.40,
+                    heartbeat_loss_prob: 0.01,
+                    presence_factor: 0.62,
+                    night_off_prob: 0.40,
+                    wan_transit_ms: (70.0, 200.0),
+                    extended_off_rate_per_month: 0.6,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let developed: usize = Country::ALL
+            .iter()
+            .filter(|c| c.region() == Region::Developed)
+            .map(|c| c.router_count())
+            .sum();
+        let developing: usize = Country::ALL
+            .iter()
+            .filter(|c| c.region() == Region::Developing)
+            .map(|c| c.router_count())
+            .sum();
+        assert_eq!(developed, 90, "Table 1: 90 developed routers");
+        assert_eq!(developing, 36, "Table 1: 36 developing routers");
+        assert_eq!(developed + developing, 126);
+    }
+
+    #[test]
+    fn nineteen_countries_ten_developed() {
+        assert_eq!(Country::ALL.len(), 19);
+        let developed = Country::ALL.iter().filter(|c| c.region() == Region::Developed).count();
+        assert_eq!(developed, 10);
+    }
+
+    #[test]
+    fn gdp_ordering_matches_classification() {
+        let min_developed = Country::ALL
+            .iter()
+            .filter(|c| c.region() == Region::Developed)
+            .map(|c| c.gdp_ppp_per_capita())
+            .min()
+            .unwrap();
+        let max_developing = Country::ALL
+            .iter()
+            .filter(|c| c.region() == Region::Developing)
+            .map(|c| c.gdp_ppp_per_capita())
+            .max()
+            .unwrap();
+        assert!(min_developed > max_developing, "GDP split must be clean");
+    }
+
+    #[test]
+    fn india_and_pakistan_poorest_and_most_outage_prone() {
+        let mut by_gdp: Vec<Country> = Country::ALL.to_vec();
+        by_gdp.sort_by_key(|c| c.gdp_ppp_per_capita());
+        assert_eq!(by_gdp[0], Country::Pakistan);
+        assert_eq!(by_gdp[1], Country::India);
+        let pk = Country::Pakistan.environment().outage_rate_per_day;
+        let za = Country::SouthAfrica.environment().outage_rate_per_day;
+        let us = Country::UnitedStates.environment().outage_rate_per_day;
+        assert!(pk > za && za > us, "outage gradient must follow GDP: {pk} {za} {us}");
+    }
+
+    #[test]
+    fn developing_profiles_differ_from_developed() {
+        let dev = Country::UnitedStates.environment();
+        let ding = Country::India.environment();
+        assert!(ding.outage_rate_per_day > 10.0 * dev.outage_rate_per_day);
+        assert!(ding.appliance_mode_prob > 5.0 * dev.appliance_mode_prob);
+        assert!(dev.mean_devices > ding.mean_devices);
+        assert!(dev.always_on_wired_prob > 2.0 * ding.always_on_wired_prob);
+        assert!(dev.dense_neighbor_aps > ding.dense_neighbor_aps);
+    }
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<&str> = Country::ALL.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 19);
+    }
+
+    #[test]
+    fn utc_offsets_reasonable() {
+        for c in Country::ALL {
+            let off = c.utc_offset_hours();
+            assert!((-12..=14).contains(&off), "{c:?} offset {off}");
+        }
+    }
+}

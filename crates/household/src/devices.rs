@@ -1,0 +1,611 @@
+//! The device population: what hardware lives in each home, how it
+//! connects (wired port or wireless band), who made it (MAC OUI → the
+//! vendor histogram of Fig 12), which devices never disconnect (Table 5),
+//! and how heavily each is used (the dominant-device result of Fig 17).
+
+use crate::country::{Country, Region};
+use netstack::AppKind;
+use serde::{Deserialize, Serialize};
+use simnet::packet::MacAddr;
+use simnet::rng::DetRng;
+use simnet::wifi::Band;
+
+/// Broad device categories used for connection medium, usage mix, and
+/// domain affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// Stationary desktop computer.
+    Desktop,
+    /// Laptop computer.
+    Laptop,
+    /// Smartphone.
+    Phone,
+    /// Tablet.
+    Tablet,
+    /// Streaming set-top box (Roku, Apple TV, …).
+    StreamingBox,
+    /// Game console.
+    GameConsole,
+    /// Network printer.
+    Printer,
+    /// Wireless VoIP phone.
+    VoipPhone,
+    /// Network storage / home server.
+    Nas,
+    /// Embedded / hobbyist device (thermostat, Raspberry Pi, …).
+    Embedded,
+}
+
+/// Manufacturer classes exactly as Fig 12 buckets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VendorClass {
+    /// Apple Inc.
+    Apple,
+    /// Original design manufacturers (Compal, Hon Hai, Quanta, …).
+    Odm,
+    /// Intel NICs.
+    Intel,
+    /// Smartphone vendors (HTC, LG, Motorola, Nokia, …).
+    SmartPhone,
+    /// Samsung devices (phones and tablets).
+    Samsung,
+    /// Gateway vendors (TP-Link, D-Link, Cisco-Linksys, Belkin, …).
+    Gateway,
+    /// Asus.
+    Asus,
+    /// Miscellaneous (Polycom, Prolifix, Pegatron, …).
+    Misc,
+    /// Microsoft (possibly Xbox).
+    Microsoft,
+    /// Internet TV boxes (Roku, TiVo, ASRock).
+    InternetTv,
+    /// Gaming vendors (Nintendo, Mitsumi).
+    Gaming,
+    /// Wireless card makers (AzureWave, GainSpan).
+    WirelessCard,
+    /// VoIP hardware (UniData).
+    Voip,
+    /// Hewlett-Packard.
+    HewlettPackard,
+    /// Hardware vendors (Giga-Byte, Microchip).
+    Hardware,
+    /// VMware virtual NICs.
+    Vmware,
+    /// Raspberry Pi Foundation.
+    RaspberryPi,
+    /// Printers (Epson).
+    Printer,
+}
+
+impl VendorClass {
+    /// All classes in Fig 12's x-axis order.
+    pub const ALL: [VendorClass; 18] = [
+        VendorClass::Apple,
+        VendorClass::Odm,
+        VendorClass::Intel,
+        VendorClass::SmartPhone,
+        VendorClass::Samsung,
+        VendorClass::Gateway,
+        VendorClass::Asus,
+        VendorClass::Misc,
+        VendorClass::Microsoft,
+        VendorClass::InternetTv,
+        VendorClass::Gaming,
+        VendorClass::WirelessCard,
+        VendorClass::Voip,
+        VendorClass::HewlettPackard,
+        VendorClass::Hardware,
+        VendorClass::Vmware,
+        VendorClass::RaspberryPi,
+        VendorClass::Printer,
+    ];
+
+    /// A representative IEEE OUI for this class (real registrations).
+    pub fn oui(self) -> u32 {
+        match self {
+            VendorClass::Apple => 0x00_17_F2,
+            VendorClass::Odm => 0x00_26_5C,           // Compal
+            VendorClass::Intel => 0x00_1B_21,
+            VendorClass::SmartPhone => 0x38_E7_D8,    // HTC
+            VendorClass::Samsung => 0x5C_0A_5B,
+            VendorClass::Gateway => 0xF8_1A_67,       // TP-Link
+            VendorClass::Asus => 0x08_60_6E,
+            VendorClass::Misc => 0x00_04_F2,          // Polycom
+            VendorClass::Microsoft => 0x7C_ED_8D,
+            VendorClass::InternetTv => 0xB0_A7_37,    // Roku
+            VendorClass::Gaming => 0x00_19_1D,        // Nintendo
+            VendorClass::WirelessCard => 0x74_F0_6D,  // AzureWave
+            VendorClass::Voip => 0x00_14_F1,          // UniData-era block
+            VendorClass::HewlettPackard => 0x3C_D9_2B,
+            VendorClass::Hardware => 0x00_24_1D,      // Giga-Byte
+            VendorClass::Vmware => 0x00_50_56,
+            VendorClass::RaspberryPi => 0xB8_27_EB,
+            VendorClass::Printer => 0x00_26_AB,       // Epson
+        }
+    }
+
+    /// Reverse lookup from an OUI (what the manufacturer database in the
+    /// analysis does with the anonymized Traffic MACs).
+    pub fn from_oui(oui: u32) -> Option<VendorClass> {
+        VendorClass::ALL.iter().copied().find(|v| v.oui() == oui)
+    }
+
+    /// Display label as printed on Fig 12's axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            VendorClass::Apple => "Apple",
+            VendorClass::Odm => "ODM",
+            VendorClass::Intel => "Intel",
+            VendorClass::SmartPhone => "SmartPhone",
+            VendorClass::Samsung => "Samsung",
+            VendorClass::Gateway => "Gateway",
+            VendorClass::Asus => "Asus",
+            VendorClass::Misc => "Misc.",
+            VendorClass::Microsoft => "Microsoft",
+            VendorClass::InternetTv => "InternetTV",
+            VendorClass::Gaming => "Gaming",
+            VendorClass::WirelessCard => "WirelessCard",
+            VendorClass::Voip => "VoIP",
+            VendorClass::HewlettPackard => "Hewlett-Packard",
+            VendorClass::Hardware => "Hardware",
+            VendorClass::Vmware => "VMware",
+            VendorClass::RaspberryPi => "Raspberry-Pi",
+            VendorClass::Printer => "Printer",
+        }
+    }
+}
+
+/// How a device attaches to the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attachment {
+    /// One of the four Ethernet ports.
+    Wired,
+    /// Wireless, with the bands the radio hardware supports.
+    Wireless {
+        /// True when the device can use 5 GHz in addition to 2.4 GHz.
+        dual_band: bool,
+    },
+}
+
+impl Attachment {
+    /// True for wireless attachments.
+    pub fn is_wireless(self) -> bool {
+        matches!(self, Attachment::Wireless { .. })
+    }
+
+    /// The band a wireless device associates on: dual-band hardware prefers
+    /// the cleaner 5 GHz spectrum, single-band hardware has no choice.
+    pub fn preferred_band(self) -> Option<Band> {
+        match self {
+            Attachment::Wired => None,
+            Attachment::Wireless { dual_band: true } => Some(Band::Ghz5),
+            Attachment::Wireless { dual_band: false } => Some(Band::Ghz24),
+        }
+    }
+}
+
+/// One device in a home.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// The device's MAC address (vendor OUI + random NIC bits).
+    pub mac: MacAddr,
+    /// Category.
+    pub kind: DeviceType,
+    /// Manufacturer class (consistent with `mac`'s OUI).
+    pub vendor: VendorClass,
+    /// Connection medium.
+    pub attachment: Attachment,
+    /// True when the device stays connected whenever the router is up
+    /// (Table 5's always-connected devices).
+    pub always_connected: bool,
+    /// Relative share of the household's network appetite in `(0, 1]`;
+    /// weights across a home sum to 1.
+    pub usage_weight: f64,
+}
+
+impl Device {
+    /// The application mix this device type generates, as (kind, weight)
+    /// pairs. Weights need not sum to one.
+    pub fn app_mix(&self) -> &'static [(AppKind, f64)] {
+        match self.kind {
+            DeviceType::Desktop => &[
+                (AppKind::Web, 0.55),
+                (AppKind::StreamingVideo, 0.12),
+                (AppKind::CloudSync, 0.18),
+                (AppKind::Background, 0.14),
+                (AppKind::BulkUpload, 0.01),
+            ],
+            DeviceType::Laptop => &[
+                (AppKind::Web, 0.55),
+                (AppKind::StreamingVideo, 0.22),
+                (AppKind::CloudSync, 0.10),
+                (AppKind::Background, 0.10),
+                (AppKind::Voip, 0.03),
+            ],
+            DeviceType::Phone => &[
+                (AppKind::Web, 0.55),
+                (AppKind::StreamingAudio, 0.18),
+                (AppKind::StreamingVideo, 0.15),
+                (AppKind::Background, 0.12),
+            ],
+            DeviceType::Tablet => &[
+                (AppKind::Web, 0.45),
+                (AppKind::StreamingVideo, 0.40),
+                (AppKind::Background, 0.15),
+            ],
+            DeviceType::StreamingBox => &[
+                (AppKind::StreamingVideo, 0.80),
+                (AppKind::StreamingAudio, 0.15),
+                (AppKind::Background, 0.05),
+            ],
+            DeviceType::GameConsole => &[
+                (AppKind::Gaming, 0.55),
+                (AppKind::Background, 0.25),
+                (AppKind::StreamingVideo, 0.20),
+            ],
+            DeviceType::Printer => &[(AppKind::Background, 1.0)],
+            DeviceType::VoipPhone => &[(AppKind::Voip, 0.95), (AppKind::Background, 0.05)],
+            DeviceType::Nas => &[
+                (AppKind::CloudSync, 0.70),
+                (AppKind::BulkUpload, 0.05),
+                (AppKind::Background, 0.25),
+            ],
+            DeviceType::Embedded => &[(AppKind::Background, 1.0)],
+        }
+    }
+
+    /// Baseline probability this device is online during its owner's active
+    /// hours (phones nearly always; printers rarely).
+    pub fn presence_propensity(&self) -> f64 {
+        if self.always_connected {
+            return 1.0;
+        }
+        match self.kind {
+            DeviceType::Phone => 0.85,
+            DeviceType::Laptop => 0.6,
+            DeviceType::Tablet => 0.5,
+            DeviceType::Desktop => 0.55,
+            DeviceType::StreamingBox => 0.45,
+            DeviceType::GameConsole => 0.3,
+            DeviceType::Printer => 0.25,
+            DeviceType::VoipPhone => 0.9,
+            DeviceType::Nas => 0.9,
+            DeviceType::Embedded => 0.8,
+        }
+    }
+}
+
+fn vendor_for(kind: DeviceType, rng: &mut DetRng) -> VendorClass {
+    use VendorClass as V;
+    let table: &[(V, f64)] = match kind {
+        DeviceType::Desktop => &[(V::Apple, 0.32), (V::Odm, 0.18), (V::Intel, 0.26), (V::HewlettPackard, 0.09), (V::Hardware, 0.08), (V::Vmware, 0.04), (V::Asus, 0.03)],
+        DeviceType::Laptop => &[(V::Apple, 0.36), (V::Odm, 0.22), (V::Intel, 0.28), (V::WirelessCard, 0.06), (V::Asus, 0.05), (V::HewlettPackard, 0.03)],
+        DeviceType::Phone => &[(V::Apple, 0.45), (V::SmartPhone, 0.31), (V::Samsung, 0.24)],
+        DeviceType::Tablet => &[(V::Apple, 0.55), (V::Samsung, 0.35), (V::Asus, 0.1)],
+        DeviceType::StreamingBox => &[(V::InternetTv, 0.65), (V::Apple, 0.25), (V::Misc, 0.1)],
+        DeviceType::GameConsole => &[(V::Microsoft, 0.45), (V::Gaming, 0.55)],
+        DeviceType::Printer => &[(V::Printer, 0.55), (V::HewlettPackard, 0.45)],
+        DeviceType::VoipPhone => &[(V::Voip, 0.7), (V::Misc, 0.3)],
+        DeviceType::Nas => &[(V::Hardware, 0.4), (V::Intel, 0.3), (V::Odm, 0.3)],
+        DeviceType::Embedded => &[(V::RaspberryPi, 0.45), (V::Misc, 0.35), (V::Gateway, 0.2)],
+    };
+    let weights: Vec<f64> = table.iter().map(|(_, w)| *w).collect();
+    table[rng.weighted_index(&weights)].0
+}
+
+fn wired_kind(rng: &mut DetRng) -> DeviceType {
+    let kinds = [
+        (DeviceType::Desktop, 0.38),
+        (DeviceType::StreamingBox, 0.22),
+        (DeviceType::GameConsole, 0.18),
+        (DeviceType::Nas, 0.12),
+        (DeviceType::Printer, 0.10),
+    ];
+    let weights: Vec<f64> = kinds.iter().map(|(_, w)| *w).collect();
+    kinds[rng.weighted_index(&weights)].0
+}
+
+fn wireless_kind(region: Region, rng: &mut DetRng) -> DeviceType {
+    let kinds: &[(DeviceType, f64)] = match region {
+        Region::Developed => &[
+            (DeviceType::Laptop, 0.34),
+            (DeviceType::Phone, 0.27),
+            (DeviceType::Tablet, 0.14),
+            (DeviceType::StreamingBox, 0.08),
+            (DeviceType::Desktop, 0.05),
+            (DeviceType::GameConsole, 0.04),
+            (DeviceType::Printer, 0.03),
+            (DeviceType::VoipPhone, 0.02),
+            (DeviceType::Embedded, 0.03),
+        ],
+        Region::Developing => &[
+            (DeviceType::Laptop, 0.3),
+            (DeviceType::Phone, 0.45),
+            (DeviceType::Tablet, 0.12),
+            (DeviceType::Desktop, 0.05),
+            (DeviceType::StreamingBox, 0.02),
+            (DeviceType::VoipPhone, 0.02),
+            (DeviceType::Embedded, 0.04),
+        ],
+    };
+    let weights: Vec<f64> = kinds.iter().map(|(_, w)| *w).collect();
+    kinds[rng.weighted_index(&weights)].0
+}
+
+fn dual_band_prob(kind: DeviceType) -> f64 {
+    // Phones of the era were almost exclusively 2.4 GHz (§5.3); laptops and
+    // tablets increasingly dual-band. Calibrated for the 5-vs-2 median of
+    // Fig 10.
+    match kind {
+        DeviceType::Phone => 0.12,
+        DeviceType::Laptop => 0.65,
+        DeviceType::Tablet => 0.5,
+        DeviceType::Desktop => 0.5,
+        DeviceType::StreamingBox => 0.6,
+        DeviceType::GameConsole => 0.25,
+        DeviceType::Printer => 0.0,
+        DeviceType::VoipPhone => 0.0,
+        DeviceType::Nas => 0.4,
+        DeviceType::Embedded => 0.05,
+    }
+}
+
+/// Sample the whole device population of one home.
+///
+/// The returned list is ordered by decreasing `usage_weight`, so index 0 is
+/// the household's dominant device.
+pub fn sample_home_devices(country: Country, rng: &mut DetRng) -> Vec<Device> {
+    let env = country.environment();
+    let region = country.region();
+    // Total device count: Poisson around the regional mean, at least 3
+    // (every Traffic household had ≥ 3 unique devices, §6.3).
+    let n = rng.poisson(env.mean_devices).clamp(3, 16) as usize;
+    // Wired count: small; developed homes skew higher (Fig 8). At most 4
+    // ports exist; only ~9% of homes use all four (§5.2).
+    let wired_weights: &[f64] = match region {
+        Region::Developed => &[0.30, 0.30, 0.22, 0.09, 0.09],
+        Region::Developing => &[0.55, 0.28, 0.08, 0.05, 0.04],
+    };
+    let wired_n = rng.weighted_index(wired_weights).min(n.saturating_sub(1));
+
+    let mut devices = Vec::with_capacity(n);
+    for i in 0..n {
+        let (kind, attachment) = if i < wired_n {
+            (wired_kind(rng), Attachment::Wired)
+        } else {
+            let kind = wireless_kind(region, rng);
+            let dual = rng.chance(dual_band_prob(kind));
+            (kind, Attachment::Wireless { dual_band: dual })
+        };
+        let vendor = vendor_for(kind, rng);
+        let mac = MacAddr::from_oui_nic(vendor.oui(), (rng.next_u64() & 0xFF_FF_FF) as u32);
+        devices.push(Device {
+            mac,
+            kind,
+            vendor,
+            attachment,
+            always_connected: false,
+            usage_weight: 0.0,
+        });
+    }
+
+    // Always-connected devices (Table 5): decided per home, preferring the
+    // kinds that plausibly never sleep.
+    if rng.chance(env.always_on_wired_prob) {
+        if let Some(d) = devices.iter_mut().find(|d| {
+            !d.attachment.is_wireless()
+                && matches!(d.kind, DeviceType::StreamingBox | DeviceType::Nas | DeviceType::Desktop)
+        }) {
+            d.always_connected = true;
+        } else if let Some(d) = devices.iter_mut().find(|d| !d.attachment.is_wireless()) {
+            d.always_connected = true;
+        }
+    }
+    if rng.chance(env.always_on_wireless_prob) {
+        if let Some(d) = devices.iter_mut().find(|d| {
+            d.attachment.is_wireless()
+                && matches!(d.kind, DeviceType::VoipPhone | DeviceType::Embedded | DeviceType::Nas)
+        }) {
+            d.always_connected = true;
+        } else if let Some(d) = devices.iter_mut().find(|d| d.attachment.is_wireless()) {
+            d.always_connected = true;
+        }
+    }
+
+    // Usage weights: a steep, noisy rank distribution so one device
+    // dominates (Fig 17: ~60-65% for the top device, ~20% for the second).
+    let mut raw: Vec<f64> = (0..devices.len())
+        .map(|rank| {
+            let base = 1.0 / ((rank + 1) as f64).powf(2.0);
+            base * rng.log_normal(0.0, 0.35)
+        })
+        .collect();
+    raw.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+    let total: f64 = raw.iter().sum();
+    // Prefer interactive device kinds for the heavy ranks: sort devices so
+    // that high-appetite kinds come first, then assign sorted weights.
+    devices.sort_by_key(|d| match d.kind {
+        DeviceType::Desktop | DeviceType::Laptop => 0,
+        DeviceType::StreamingBox | DeviceType::Tablet => 1,
+        DeviceType::Phone | DeviceType::GameConsole => 2,
+        DeviceType::Nas => 3,
+        _ => 4,
+    });
+    for (device, weight) in devices.iter_mut().zip(&raw) {
+        device.usage_weight = weight / total;
+    }
+    devices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn homes(country: Country, n: usize) -> Vec<Vec<Device>> {
+        let root = DetRng::new(42);
+        (0..n)
+            .map(|i| sample_home_devices(country, &mut root.derive_indexed("home", i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_descend() {
+        for home in homes(Country::UnitedStates, 50) {
+            let total: f64 = home.iter().map(|d| d.usage_weight).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            for pair in home.windows(2) {
+                assert!(pair[0].usage_weight >= pair[1].usage_weight);
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_device_share_matches_paper() {
+        let all = homes(Country::UnitedStates, 300);
+        let mean_top: f64 =
+            all.iter().map(|h| h[0].usage_weight).sum::<f64>() / all.len() as f64;
+        let mean_second: f64 = all
+            .iter()
+            .filter_map(|h| h.get(1).map(|d| d.usage_weight))
+            .sum::<f64>()
+            / all.len() as f64;
+        assert!((0.5..0.75).contains(&mean_top), "top-device share {mean_top}");
+        assert!((0.1..0.3).contains(&mean_second), "second-device share {mean_second}");
+    }
+
+    #[test]
+    fn every_home_has_at_least_three_devices() {
+        for home in homes(Country::India, 100) {
+            assert!(home.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn developed_homes_have_more_devices_and_more_wired() {
+        let us = homes(Country::UnitedStates, 300);
+        let india = homes(Country::India, 300);
+        let mean = |hs: &[Vec<Device>]| {
+            hs.iter().map(Vec::len).sum::<usize>() as f64 / hs.len() as f64
+        };
+        let wired = |hs: &[Vec<Device>]| {
+            hs.iter()
+                .flat_map(|h| h.iter())
+                .filter(|d| !d.attachment.is_wireless())
+                .count() as f64
+                / hs.len() as f64
+        };
+        assert!(mean(&us) > mean(&india) + 1.0, "{} vs {}", mean(&us), mean(&india));
+        assert!(wired(&us) > 1.5 * wired(&india), "{} vs {}", wired(&us), wired(&india));
+    }
+
+    #[test]
+    fn wireless_outnumbers_wired_everywhere() {
+        for country in [Country::UnitedStates, Country::India] {
+            let all = homes(country, 200);
+            let wireless: usize = all
+                .iter()
+                .flat_map(|h| h.iter())
+                .filter(|d| d.attachment.is_wireless())
+                .count();
+            let wired: usize =
+                all.iter().flat_map(|h| h.iter()).filter(|d| !d.attachment.is_wireless()).count();
+            assert!(wireless > 2 * wired, "{country:?}: {wireless} wireless vs {wired} wired");
+        }
+    }
+
+    #[test]
+    fn wired_never_exceeds_four_ports() {
+        for home in homes(Country::UnitedStates, 300) {
+            let wired = home.iter().filter(|d| !d.attachment.is_wireless()).count();
+            assert!(wired <= 4, "only four Ethernet ports exist");
+        }
+    }
+
+    #[test]
+    fn always_connected_prevalence_by_region() {
+        let us = homes(Country::UnitedStates, 500);
+        let india = homes(Country::India, 500);
+        let frac_wired = |hs: &[Vec<Device>]| {
+            hs.iter()
+                .filter(|h| h.iter().any(|d| d.always_connected && !d.attachment.is_wireless()))
+                .count() as f64
+                / hs.len() as f64
+        };
+        let us_frac = frac_wired(&us);
+        let in_frac = frac_wired(&india);
+        assert!((0.3..0.55).contains(&us_frac), "US always-on wired {us_frac}");
+        assert!(in_frac < 0.2, "India always-on wired {in_frac}");
+    }
+
+    #[test]
+    fn band_capability_skews_to_24ghz() {
+        let all = homes(Country::UnitedStates, 300);
+        let (mut single, mut dual) = (0, 0);
+        for d in all.iter().flat_map(|h| h.iter()) {
+            match d.attachment {
+                Attachment::Wireless { dual_band: true } => dual += 1,
+                Attachment::Wireless { dual_band: false } => single += 1,
+                Attachment::Wired => {}
+            }
+        }
+        assert!(single > dual, "2.4 GHz-only must dominate: {single} vs {dual}");
+        assert!(dual > 0, "some dual-band devices must exist");
+    }
+
+    #[test]
+    fn vendor_histogram_has_apple_on_top() {
+        let all = homes(Country::UnitedStates, 300);
+        let mut counts = std::collections::HashMap::new();
+        for d in all.iter().flat_map(|h| h.iter()) {
+            *counts.entry(d.vendor).or_insert(0usize) += 1;
+        }
+        let apple = counts.get(&VendorClass::Apple).copied().unwrap_or(0);
+        let max_other = counts
+            .iter()
+            .filter(|(v, _)| **v != VendorClass::Apple)
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0);
+        assert!(apple >= max_other, "Apple must lead the vendor histogram");
+    }
+
+    #[test]
+    fn mac_oui_matches_vendor() {
+        for home in homes(Country::UnitedStates, 50) {
+            for d in home {
+                assert_eq!(VendorClass::from_oui(d.mac.oui()), Some(d.vendor));
+            }
+        }
+    }
+
+    #[test]
+    fn oui_table_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for v in VendorClass::ALL {
+            assert!(seen.insert(v.oui()), "duplicate OUI for {v:?}");
+        }
+    }
+
+    #[test]
+    fn attachment_band_preference() {
+        assert_eq!(Attachment::Wired.preferred_band(), None);
+        assert_eq!(
+            Attachment::Wireless { dual_band: true }.preferred_band(),
+            Some(Band::Ghz5)
+        );
+        assert_eq!(
+            Attachment::Wireless { dual_band: false }.preferred_band(),
+            Some(Band::Ghz24)
+        );
+    }
+
+    #[test]
+    fn app_mix_nonempty_for_all_kinds() {
+        let mut rng = DetRng::new(1);
+        let home = sample_home_devices(Country::UnitedStates, &mut rng);
+        for d in home {
+            assert!(!d.app_mix().is_empty());
+            assert!(d.presence_propensity() > 0.0 && d.presence_propensity() <= 1.0);
+        }
+    }
+}

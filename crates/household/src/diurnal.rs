@@ -1,0 +1,174 @@
+//! Diurnal activity: how household network activity varies over the day,
+//! differently on weekdays and weekends (Fig 13), in the home's local time.
+//!
+//! The weekday curve has a pronounced evening peak, a working-hours trough,
+//! and only a shallow night dip (phones stay associated overnight); the
+//! weekend curve is flatter and higher through the daytime. These are the
+//! paper's observations, encoded as smooth hour-of-day multipliers that
+//! modulate both device presence and session arrivals.
+
+use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
+
+/// A household's activity rhythm. `intensity` scales the whole household
+/// (some homes simply use the network more).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    /// Whole-household multiplier in `(0, ∞)`, log-normal across homes.
+    pub intensity: f64,
+    /// Phase jitter in hours: households differ in when "evening" is.
+    pub phase_hours: f64,
+}
+
+impl DiurnalModel {
+    /// A neutral rhythm (intensity 1, no phase shift).
+    pub fn neutral() -> DiurnalModel {
+        DiurnalModel { intensity: 1.0, phase_hours: 0.0 }
+    }
+
+    /// Sample a household's rhythm.
+    pub fn sample(rng: &mut simnet::rng::DetRng) -> DiurnalModel {
+        DiurnalModel {
+            intensity: rng.log_normal(0.0, 0.5),
+            phase_hours: rng.normal(0.0, 0.7),
+        }
+    }
+
+    /// Baseline weekday activity multiplier at fractional hour `h` of local
+    /// time, in `[0, 1]`. Peak ≈ 1 in the evening.
+    pub fn weekday_curve(h: f64) -> f64 {
+        // Sum of two smooth bumps: a small morning bump and a large evening
+        // bump, over a floor that never quite reaches zero (always-on and
+        // overnight devices).
+        let bump = |center: f64, width: f64, height: f64| -> f64 {
+            // Circular distance in hours.
+            let mut d = (h - center).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            height * (-0.5 * (d / width).powi(2)).exp()
+        };
+        let floor = 0.22;
+        let morning = bump(7.5, 1.4, 0.25);
+        let evening = bump(20.5, 2.8, 0.78);
+        (floor + morning + evening).min(1.0)
+    }
+
+    /// Baseline weekend activity multiplier at fractional hour `h`.
+    pub fn weekend_curve(h: f64) -> f64 {
+        let bump = |center: f64, width: f64, height: f64| -> f64 {
+            let mut d = (h - center).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            height * (-0.5 * (d / width).powi(2)).exp()
+        };
+        let floor = 0.30;
+        // One broad daytime plateau rather than a sharp evening peak.
+        let daytime = bump(15.0, 5.5, 0.55);
+        (floor + daytime).min(1.0)
+    }
+
+    /// The household's activity level at UTC instant `t` given its local
+    /// offset: baseline curve × intensity, phase-shifted.
+    pub fn activity(&self, t: SimTime, utc_offset_hours: i32) -> f64 {
+        let local = t.to_local(utc_offset_hours);
+        let h = (local.hour_of_day_f64() - self.phase_hours).rem_euclid(24.0);
+        let base = if local.weekday().is_weekend() {
+            Self::weekend_curve(h)
+        } else {
+            Self::weekday_curve(h)
+        };
+        base * self.intensity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimDuration;
+
+    #[test]
+    fn weekday_peaks_in_evening_dips_in_afternoon() {
+        let evening = DiurnalModel::weekday_curve(20.5);
+        let afternoon = DiurnalModel::weekday_curve(14.0);
+        let night = DiurnalModel::weekday_curve(3.5);
+        assert!(evening > 2.0 * afternoon, "evening {evening} afternoon {afternoon}");
+        assert!(night < evening, "night below evening");
+        assert!(night > 0.1, "night dip is shallow (phones stay on)");
+    }
+
+    #[test]
+    fn night_dip_shallower_than_day_dip_relative_to_peak() {
+        // Paper: devices dip only slightly at night compared to the
+        // daytime dip... relative to adjacent peaks. We check the afternoon
+        // trough is the daily minimum *excluding* late night floor region.
+        let afternoon = DiurnalModel::weekday_curve(14.0);
+        let morning = DiurnalModel::weekday_curve(7.5);
+        assert!(morning > afternoon, "morning bump above afternoon trough");
+    }
+
+    #[test]
+    fn weekend_flatter_than_weekday() {
+        let spread = |f: fn(f64) -> f64| {
+            let values: Vec<f64> = (0..24).map(|h| f(h as f64)).collect();
+            let max = values.iter().cloned().fold(f64::MIN, f64::max);
+            let min = values.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        assert!(
+            spread(DiurnalModel::weekend_curve) < 0.75 * spread(DiurnalModel::weekday_curve),
+            "weekend curve must be flatter"
+        );
+    }
+
+    #[test]
+    fn curves_bounded() {
+        for h in 0..240 {
+            let h = h as f64 / 10.0;
+            for f in [DiurnalModel::weekday_curve, DiurnalModel::weekend_curve] {
+                let v = f(h);
+                assert!((0.0..=1.0).contains(&v), "curve out of range at {h}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn activity_respects_local_time() {
+        let model = DiurnalModel::neutral();
+        // 20:30 UTC == 20:30 local at offset 0 == peak; at offset +8 it is
+        // 04:30 local == floor.
+        let t = SimTime::EPOCH + SimDuration::from_mins(20 * 60 + 30);
+        let at_peak = model.activity(t, 0);
+        let at_floor = model.activity(t, 8);
+        assert!(at_peak > 2.0 * at_floor);
+    }
+
+    #[test]
+    fn weekend_branch_engages() {
+        let model = DiurnalModel::neutral();
+        // Day 5 of the study is a Saturday; mid-afternoon weekend activity
+        // exceeds mid-afternoon weekday activity.
+        let saturday = SimTime::EPOCH + SimDuration::from_days(5) + SimDuration::from_hours(14);
+        let tuesday = SimTime::EPOCH + SimDuration::from_days(1) + SimDuration::from_hours(14);
+        assert!(model.activity(saturday, 0) > model.activity(tuesday, 0));
+    }
+
+    #[test]
+    fn intensity_scales_linearly() {
+        let base = DiurnalModel::neutral();
+        let double = DiurnalModel { intensity: 2.0, phase_hours: 0.0 };
+        let t = SimTime::EPOCH + SimDuration::from_hours(20);
+        assert!((double.activity(t, 0) - 2.0 * base.activity(t, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_models_vary_but_stay_positive() {
+        let mut rng = simnet::rng::DetRng::new(5);
+        let models: Vec<DiurnalModel> = (0..100).map(|_| DiurnalModel::sample(&mut rng)).collect();
+        let intensities: Vec<f64> = models.iter().map(|m| m.intensity).collect();
+        assert!(intensities.iter().all(|&i| i > 0.0));
+        let mean = intensities.iter().sum::<f64>() / 100.0;
+        assert!((0.7..1.8).contains(&mean), "mean intensity {mean}");
+    }
+}

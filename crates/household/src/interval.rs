@@ -1,0 +1,195 @@
+//! Half-open time intervals `[start, end)` and set operations over
+//! normalized interval lists. The availability models compose "router
+//! powered" and "ISP up" interval sets with these primitives.
+
+use serde::{Deserialize, Serialize};
+use simnet::time::{SimDuration, SimTime};
+
+/// A half-open span of virtual time, `start <= end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl Interval {
+    /// Construct, panicking on inverted bounds.
+    pub fn new(start: SimTime, end: SimTime) -> Interval {
+        assert!(start <= end, "inverted interval");
+        Interval { start, end }
+    }
+
+    /// Length of the interval.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// True when the interval contains `t`.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Intersection with another interval, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+}
+
+/// Normalize a list: drop empties, sort, merge overlapping/touching spans.
+pub fn normalize(mut spans: Vec<Interval>) -> Vec<Interval> {
+    spans.retain(|s| !s.is_empty());
+    spans.sort_by_key(|s| (s.start, s.end));
+    let mut out: Vec<Interval> = Vec::with_capacity(spans.len());
+    for s in spans {
+        match out.last_mut() {
+            Some(last) if s.start <= last.end => {
+                last.end = last.end.max(s.end);
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+/// Intersection of two normalized lists.
+pub fn intersect(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if let Some(overlap) = a[i].intersect(&b[j]) {
+            out.push(overlap);
+        }
+        if a[i].end <= b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `a` minus `b`, both normalized.
+pub fn subtract(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for span in a {
+        let mut cursor = span.start;
+        while j < b.len() && b[j].end <= cursor {
+            j += 1;
+        }
+        let mut k = j;
+        while k < b.len() && b[k].start < span.end {
+            if b[k].start > cursor {
+                out.push(Interval { start: cursor, end: b[k].start });
+            }
+            cursor = cursor.max(b[k].end);
+            if cursor >= span.end {
+                break;
+            }
+            k += 1;
+        }
+        if cursor < span.end {
+            out.push(Interval { start: cursor, end: span.end });
+        }
+    }
+    normalize(out)
+}
+
+/// Total covered duration of a normalized list.
+pub fn total_duration(spans: &[Interval]) -> SimDuration {
+    spans
+        .iter()
+        .fold(SimDuration::ZERO, |acc, s| acc + s.duration())
+}
+
+/// The gaps between consecutive spans of a normalized list, within
+/// `[range.start, range.end)` — i.e. the *downtime* intervals.
+pub fn gaps_within(spans: &[Interval], range: Interval) -> Vec<Interval> {
+    subtract(&[range], spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(SimTime::from_micros(a), SimTime::from_micros(b))
+    }
+
+    #[test]
+    fn normalize_merges_overlaps_and_touches() {
+        let spans = vec![iv(10, 20), iv(0, 5), iv(18, 30), iv(5, 7), iv(40, 40)];
+        assert_eq!(normalize(spans), vec![iv(0, 7), iv(10, 30)]);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = vec![iv(0, 10), iv(20, 30)];
+        let b = vec![iv(5, 25)];
+        assert_eq!(intersect(&a, &b), vec![iv(5, 10), iv(20, 25)]);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        assert!(intersect(&[iv(0, 5)], &[iv(5, 10)]).is_empty());
+    }
+
+    #[test]
+    fn subtract_carves_holes() {
+        let a = vec![iv(0, 100)];
+        let b = vec![iv(10, 20), iv(50, 60)];
+        assert_eq!(subtract(&a, &b), vec![iv(0, 10), iv(20, 50), iv(60, 100)]);
+    }
+
+    #[test]
+    fn subtract_complete_cover() {
+        assert!(subtract(&[iv(5, 10)], &[iv(0, 20)]).is_empty());
+    }
+
+    #[test]
+    fn subtract_nothing() {
+        assert_eq!(subtract(&[iv(5, 10)], &[]), vec![iv(5, 10)]);
+    }
+
+    #[test]
+    fn subtract_multiple_sources() {
+        let a = vec![iv(0, 10), iv(20, 30)];
+        let b = vec![iv(8, 22)];
+        assert_eq!(subtract(&a, &b), vec![iv(0, 8), iv(22, 30)]);
+    }
+
+    #[test]
+    fn gaps_are_downtime() {
+        let up = vec![iv(10, 20), iv(30, 40)];
+        let gaps = gaps_within(&up, iv(0, 50));
+        assert_eq!(gaps, vec![iv(0, 10), iv(20, 30), iv(40, 50)]);
+    }
+
+    #[test]
+    fn duration_and_contains() {
+        let s = iv(10, 25);
+        assert_eq!(s.duration().as_micros(), 15);
+        assert!(s.contains(SimTime::from_micros(10)));
+        assert!(!s.contains(SimTime::from_micros(25)));
+        assert_eq!(total_duration(&[iv(0, 5), iv(10, 20)]).as_micros(), 15);
+    }
+
+    #[test]
+    fn subtract_then_union_partition_property() {
+        // subtract(a,b) ∪ intersect(a,b) == a
+        let a = vec![iv(0, 50), iv(60, 100)];
+        let b = vec![iv(10, 70), iv(90, 95)];
+        let mut rebuilt = subtract(&a, &b);
+        rebuilt.extend(intersect(&a, &b));
+        assert_eq!(normalize(rebuilt), a);
+    }
+}

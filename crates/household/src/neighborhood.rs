@@ -1,0 +1,153 @@
+//! The radio neighborhood around each home: how many foreign access points
+//! beacon near the house, on which channels, how strong, and how busy.
+//!
+//! Fig 11's two observations drive the model: developed-country homes see
+//! *many* more APs (median ≈ 20 vs ≈ 2), and both distributions are
+//! **bimodal** — a home is either in a dense environment (apartment
+//! buildings, row housing) or a sparse one (detached/rural), with little in
+//! between. 2.4 GHz is far more occupied than 5 GHz.
+
+use crate::country::Country;
+use simnet::rng::DetRng;
+use simnet::wifi::{Band, Channel, NeighborAp};
+use simnet::packet::MacAddr;
+
+/// Sample the set of neighboring APs visible around one home.
+///
+/// The returned list covers both bands; the gateway's per-band radios see
+/// only the co-channel/overlapping subset when they scan.
+pub fn sample_neighborhood(country: Country, rng: &mut DetRng) -> Vec<NeighborAp> {
+    let env = country.environment();
+    let dense = rng.chance(env.dense_neighborhood_prob);
+    let mean_24 = if dense { env.dense_neighbor_aps } else { env.sparse_neighbor_aps };
+    // 5 GHz occupancy is a small fraction of 2.4 GHz (§5.3: median of about
+    // one AP visible on 5 GHz).
+    let mean_5 = (mean_24 * 0.12).max(0.4);
+
+    let n24 = rng.poisson(mean_24) as usize;
+    let n5 = rng.poisson(mean_5) as usize;
+    let mut aps = Vec::with_capacity(n24 + n5);
+
+    // 2.4 GHz: neighbors cluster on the classic 1/6/11 channels with some
+    // spread; channel 11 is our default, so co-channel contention is real.
+    let popular = [1u8, 6, 11];
+    for i in 0..n24 {
+        let number = if rng.chance(0.75) {
+            *rng.pick(&popular)
+        } else {
+            rng.uniform_int(1, 12) as u8
+        };
+        let channel = Channel::new(Band::Ghz24, number).expect("valid 2.4 GHz channel");
+        aps.push(NeighborAp {
+            bssid: neighbor_bssid(rng, i as u32),
+            channel,
+            signal_dbm: sample_signal(dense, rng),
+            airtime_load: rng.uniform_range(0.01, 0.25),
+        });
+    }
+    // 5 GHz: sparse, spread over the UNII-1 set.
+    let unii1 = [36u8, 40, 44, 48];
+    for i in 0..n5 {
+        let channel =
+            Channel::new(Band::Ghz5, *rng.pick(&unii1)).expect("valid 5 GHz channel");
+        aps.push(NeighborAp {
+            bssid: neighbor_bssid(rng, 0x8000_0000 | i as u32),
+            channel,
+            signal_dbm: sample_signal(dense, rng),
+            airtime_load: rng.uniform_range(0.005, 0.1),
+        });
+    }
+    aps
+}
+
+fn neighbor_bssid(rng: &mut DetRng, salt: u32) -> MacAddr {
+    // Gateway-vendor OUI space for neighbor APs.
+    let ouis = [0xF8_1A_67u32, 0x00_26_5A, 0x00_25_9C, 0x94_10_3E, 0xC0_3F_0E];
+    let oui = *rng.pick(&ouis);
+    MacAddr::from_oui_nic(oui, (rng.next_u64() as u32 ^ salt) & 0xFF_FF_FF)
+}
+
+fn sample_signal(dense: bool, rng: &mut DetRng) -> i8 {
+    // Dense environments put neighbors closer (stronger). Clamp to the
+    // plausible received range.
+    let mean = if dense { -72.0 } else { -82.0 };
+    rng.normal(mean, 7.0).clamp(-91.0, -35.0) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neighborhoods(country: Country, n: usize) -> Vec<Vec<NeighborAp>> {
+        let root = DetRng::new(88);
+        (0..n)
+            .map(|i| sample_neighborhood(country, &mut root.derive_indexed("hood", i as u64)))
+            .collect()
+    }
+
+    fn count_band(hood: &[NeighborAp], band: Band) -> usize {
+        hood.iter().filter(|ap| ap.channel.band == band).count()
+    }
+
+    #[test]
+    fn developed_denser_than_developing() {
+        let us = neighborhoods(Country::UnitedStates, 300);
+        let india = neighborhoods(Country::India, 300);
+        let mean = |hs: &[Vec<NeighborAp>]| {
+            hs.iter().map(|h| count_band(h, Band::Ghz24)).sum::<usize>() as f64 / hs.len() as f64
+        };
+        assert!(mean(&us) > 3.0 * mean(&india), "{} vs {}", mean(&us), mean(&india));
+    }
+
+    #[test]
+    fn two_four_ghz_more_crowded_than_five() {
+        let us = neighborhoods(Country::UnitedStates, 300);
+        let n24: usize = us.iter().map(|h| count_band(h, Band::Ghz24)).sum();
+        let n5: usize = us.iter().map(|h| count_band(h, Band::Ghz5)).sum();
+        assert!(n24 > 4 * n5, "2.4 GHz {n24} vs 5 GHz {n5}");
+    }
+
+    #[test]
+    fn bimodality_in_developed_counts() {
+        // Either very few APs or a lot (Fig 11): the between-mode middle
+        // should be sparsely populated relative to the extremes.
+        let us = neighborhoods(Country::UnitedStates, 500);
+        let counts: Vec<usize> = us.iter().map(|h| count_band(h, Band::Ghz24)).collect();
+        let low = counts.iter().filter(|&&c| c <= 6).count();
+        let high = counts.iter().filter(|&&c| c >= 15).count();
+        let mid = counts.iter().filter(|&&c| (9..=12).contains(&c)).count();
+        assert!(low > mid && high > mid, "bimodal: low {low} mid {mid} high {high}");
+    }
+
+    #[test]
+    fn channels_valid_and_popular_favored() {
+        let us = neighborhoods(Country::UnitedStates, 200);
+        let mut popular = 0usize;
+        let mut total = 0usize;
+        for ap in us.iter().flatten() {
+            match ap.channel.band {
+                Band::Ghz24 => {
+                    assert!((1..=11).contains(&ap.channel.number));
+                    total += 1;
+                    if matches!(ap.channel.number, 1 | 6 | 11) {
+                        popular += 1;
+                    }
+                }
+                Band::Ghz5 => assert!(matches!(ap.channel.number, 36 | 40 | 44 | 48)),
+            }
+            assert!((-91..=-35).contains(&ap.signal_dbm));
+            assert!((0.0..=0.3).contains(&ap.airtime_load));
+        }
+        assert!(popular as f64 > 0.6 * total as f64, "1/6/11 clustering");
+    }
+
+    #[test]
+    fn deterministic_per_stream() {
+        let a = sample_neighborhood(Country::Brazil, &mut DetRng::new(9).derive("x"));
+        let b = sample_neighborhood(Country::Brazil, &mut DetRng::new(9).derive("x"));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.bssid, y.bssid);
+        }
+    }
+}

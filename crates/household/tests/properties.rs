@@ -1,0 +1,107 @@
+//! Property-based tests over the behavioral substrate: interval algebra
+//! laws, availability-model invariants, and deployment stability.
+
+use household::availability::{AvailabilityModel, PowerMode};
+use household::interval::{gaps_within, intersect, normalize, subtract, total_duration, Interval};
+use household::{build_deployment, Country};
+use proptest::prelude::*;
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+
+fn iv(a: u64, b: u64) -> Interval {
+    Interval::new(SimTime::from_micros(a.min(b)), SimTime::from_micros(a.max(b)))
+}
+
+fn arb_intervals(n: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 0..n)
+        .prop_map(|pairs| pairs.into_iter().map(|(a, b)| iv(a, b)).collect())
+}
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent_and_sorted(spans in arb_intervals(40)) {
+        let once = normalize(spans);
+        let twice = normalize(once.clone());
+        prop_assert_eq!(&once, &twice);
+        for pair in once.windows(2) {
+            prop_assert!(pair[0].end < pair[1].start, "normalized spans are disjoint and ordered");
+        }
+    }
+
+    #[test]
+    fn subtract_and_intersect_partition(a in arb_intervals(20), b in arb_intervals(20)) {
+        let a = normalize(a);
+        let b = normalize(b);
+        // subtract(a,b) ∪ intersect(a,b) == a, and the two parts are disjoint.
+        let minus = subtract(&a, &b);
+        let both = intersect(&a, &b);
+        let mut rebuilt = minus.clone();
+        rebuilt.extend(both.clone());
+        prop_assert_eq!(normalize(rebuilt), a.clone());
+        prop_assert!(intersect(&minus, &both).is_empty());
+        // Durations add up.
+        let total = total_duration(&a);
+        prop_assert_eq!(total_duration(&minus) + total_duration(&normalize(both)), total);
+    }
+
+    #[test]
+    fn gaps_complement_coverage(spans in arb_intervals(20)) {
+        let range = iv(0, 1_000_000);
+        let spans = normalize(spans.into_iter()
+            .filter_map(|s| s.intersect(&range))
+            .collect());
+        let gaps = gaps_within(&spans, range);
+        prop_assert_eq!(
+            total_duration(&spans) + total_duration(&gaps),
+            range.duration()
+        );
+        prop_assert!(intersect(&spans, &gaps).is_empty());
+    }
+
+    #[test]
+    fn up_intervals_always_inside_span(seed in any::<u64>(), days in 1u64..20) {
+        let mut rng = DetRng::new(seed);
+        let country = *rng.pick(&Country::ALL);
+        let model = AvailabilityModel::sample(country, &mut rng);
+        let start = SimTime::EPOCH;
+        let end = start + SimDuration::from_days(days);
+        let up = model.up_intervals(start, end, &mut rng.derive("up"));
+        for span in &up {
+            prop_assert!(span.start >= start && span.end <= end);
+            prop_assert!(span.end > span.start);
+        }
+        for pair in up.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+        prop_assert!(total_duration(&up) <= end.since(start));
+    }
+
+    #[test]
+    fn power_mode_sampling_never_panics(seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        for country in Country::ALL {
+            let mode = PowerMode::sample(country, &mut rng);
+            // Appliance parameters stay inside sane bounds.
+            if let PowerMode::Appliance { weekday_on_hour, weekday_hours, .. } = mode {
+                prop_assert!((0.0..24.0).contains(&weekday_on_hour));
+                prop_assert!(weekday_hours > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deployment_stable_under_seed(seed in any::<u64>()) {
+        let homes = build_deployment(seed);
+        prop_assert_eq!(homes.len(), 126);
+        // Weights normalized per home, devices within bounds.
+        for home in &homes {
+            let total: f64 = home.devices.iter().map(|d| d.usage_weight).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+            prop_assert!((3..=16).contains(&home.devices.len()));
+            let wired = home.devices.iter().filter(|d| !d.attachment.is_wireless()).count();
+            prop_assert!(wired <= 4);
+            prop_assert!(home.session_rate_per_hour > 0.0);
+            prop_assert!(home.up_link.rate_bps > 0 && home.down_link.rate_bps > 0);
+        }
+    }
+}

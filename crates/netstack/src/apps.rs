@@ -1,0 +1,222 @@
+//! Application session models: how much data each kind of app moves, at
+//! what rate, and in which direction.
+//!
+//! Parameters are drawn from the measurement literature of the paper's era
+//! (heavy-tailed web transfers, multi-megabit streaming that dominates
+//! volume, thin VoIP/gaming flows) and are deliberately simple — each app
+//! kind is (down bytes, up bytes, optional rate cap) sampled from
+//! heavy-tailed or fixed distributions. The paper's usage results depend on
+//! the *relative* shape of these classes, which is what the calibration
+//! tests pin down.
+
+use crate::flow::AppKind;
+use simnet::rng::DetRng;
+
+/// A sampled application session, ready to become a [`crate::flow::Flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionProfile {
+    /// Bytes the session downloads.
+    pub bytes_down: u64,
+    /// Bytes the session uploads.
+    pub bytes_up: u64,
+    /// Downstream application rate cap in bits/s; `None` = backlogged.
+    pub rate_cap_bps: Option<u64>,
+    /// Upstream application rate cap; ack-clocked trickle for paced
+    /// download apps, the codec rate for symmetric ones, `None` for bulk
+    /// senders.
+    pub rate_cap_up_bps: Option<u64>,
+}
+
+impl SessionProfile {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_down + self.bytes_up
+    }
+}
+
+/// Sample a session of the given kind.
+pub fn sample_session(kind: AppKind, rng: &mut DetRng) -> SessionProfile {
+    match kind {
+        AppKind::Web => {
+            // Heavy-tailed page weights: median ~300 KB, occasional tens of MB.
+            let down = rng.pareto(120_000.0, 1.25).min(60e6) as u64;
+            let up = (down / 40).clamp(2_000, 1_000_000);
+            SessionProfile { bytes_down: down, bytes_up: up, rate_cap_bps: None, rate_cap_up_bps: None }
+        }
+        AppKind::StreamingVideo => {
+            // Bitrate 1.5–6 Mbps, duration exp(mean 22 min).
+            let bitrate = rng.uniform_range(1.5e6, 6.0e6);
+            let duration_s = rng.exp(22.0 * 60.0).clamp(60.0, 4.0 * 3600.0);
+            let down = (bitrate / 8.0 * duration_s) as u64;
+            SessionProfile {
+                bytes_down: down,
+                bytes_up: down / 50,
+                rate_cap_bps: Some(bitrate as u64),
+                rate_cap_up_bps: Some((bitrate as u64 / 40).max(16_000)),
+            }
+        }
+        AppKind::StreamingAudio => {
+            // 128–320 kbps, long sessions (mean 50 min).
+            let bitrate = rng.uniform_range(128e3, 320e3);
+            let duration_s = rng.exp(50.0 * 60.0).clamp(120.0, 8.0 * 3600.0);
+            let down = (bitrate / 8.0 * duration_s) as u64;
+            SessionProfile {
+                bytes_down: down,
+                bytes_up: down / 80,
+                rate_cap_bps: Some(bitrate as u64),
+                rate_cap_up_bps: Some((bitrate as u64 / 40).max(8_000)),
+            }
+        }
+        AppKind::Voip => {
+            // Symmetric 86 kbps (G.711 + overhead), duration exp(mean 9 min).
+            let duration_s = rng.exp(9.0 * 60.0).clamp(15.0, 3.0 * 3600.0);
+            let bytes = (86_000.0 / 8.0 * duration_s) as u64;
+            SessionProfile {
+                bytes_down: bytes,
+                bytes_up: bytes,
+                rate_cap_bps: Some(86_000),
+                rate_cap_up_bps: Some(86_000),
+            }
+        }
+        AppKind::BulkUpload => {
+            // Large upstream transfers: median ~80 MB, heavy tail.
+            let up = rng.pareto(30e6, 1.1).min(3e9) as u64;
+            SessionProfile {
+                bytes_down: (up / 200).min(2_000_000),
+                bytes_up: up,
+                rate_cap_bps: None,
+                rate_cap_up_bps: None,
+            }
+        }
+        AppKind::CloudSync => {
+            // Up-heavy bursts: a few MB up, small ack traffic down.
+            let up = rng.pareto(1.5e6, 1.5).min(60e6) as u64;
+            SessionProfile {
+                bytes_down: up / 8,
+                bytes_up: up,
+                rate_cap_bps: None,
+                rate_cap_up_bps: None,
+            }
+        }
+        AppKind::Background => {
+            // Software updates, telemetry: a few hundred KB to tens of MB down.
+            let down = rng.pareto(200_000.0, 1.3).min(100e6) as u64;
+            SessionProfile {
+                bytes_down: down,
+                bytes_up: (down / 40).min(500_000),
+                rate_cap_bps: None,
+                rate_cap_up_bps: Some(64_000),
+            }
+        }
+        AppKind::Gaming => {
+            // Thin bidirectional UDP: ~40 kbps each way, sessions mean 45 min.
+            let duration_s = rng.exp(45.0 * 60.0).clamp(300.0, 6.0 * 3600.0);
+            let bytes = (40_000.0 / 8.0 * duration_s) as u64;
+            SessionProfile {
+                bytes_down: bytes,
+                bytes_up: bytes,
+                rate_cap_bps: Some(40_000),
+                rate_cap_up_bps: Some(40_000),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_profile(kind: AppKind, n: usize) -> (f64, f64) {
+        let mut rng = DetRng::new(77).derive(&format!("{kind:?}"));
+        let mut down = 0.0;
+        let mut up = 0.0;
+        for _ in 0..n {
+            let p = sample_session(kind, &mut rng);
+            down += p.bytes_down as f64;
+            up += p.bytes_up as f64;
+        }
+        (down / n as f64, up / n as f64)
+    }
+
+    #[test]
+    fn streaming_dominates_web_in_volume() {
+        let (web_down, _) = mean_profile(AppKind::Web, 2_000);
+        let (video_down, _) = mean_profile(AppKind::StreamingVideo, 2_000);
+        assert!(
+            video_down > 10.0 * web_down,
+            "streaming sessions must dwarf web sessions: {video_down} vs {web_down}"
+        );
+    }
+
+    #[test]
+    fn most_kinds_are_download_heavy() {
+        for kind in [AppKind::Web, AppKind::StreamingVideo, AppKind::StreamingAudio, AppKind::Background] {
+            let (down, up) = mean_profile(kind, 1_000);
+            assert!(down > 5.0 * up, "{kind:?} must be download-heavy");
+        }
+    }
+
+    #[test]
+    fn upload_kinds_are_upload_heavy() {
+        for kind in [AppKind::BulkUpload, AppKind::CloudSync] {
+            let (down, up) = mean_profile(kind, 1_000);
+            assert!(up > 5.0 * down, "{kind:?} must be upload-heavy");
+        }
+    }
+
+    #[test]
+    fn voip_is_symmetric() {
+        let (down, up) = mean_profile(AppKind::Voip, 1_000);
+        assert!((down - up).abs() / down < 0.01);
+    }
+
+    #[test]
+    fn rate_caps_present_only_for_paced_apps() {
+        let mut rng = DetRng::new(1);
+        assert!(sample_session(AppKind::StreamingVideo, &mut rng).rate_cap_bps.is_some());
+        assert!(sample_session(AppKind::Voip, &mut rng).rate_cap_bps.is_some());
+        assert!(sample_session(AppKind::Web, &mut rng).rate_cap_bps.is_none());
+        assert!(sample_session(AppKind::BulkUpload, &mut rng).rate_cap_bps.is_none());
+    }
+
+    #[test]
+    fn streaming_upload_trickle_far_below_bitrate() {
+        let mut rng = DetRng::new(4);
+        for _ in 0..100 {
+            let p = sample_session(AppKind::StreamingVideo, &mut rng);
+            let down_cap = p.rate_cap_bps.unwrap();
+            let up_cap = p.rate_cap_up_bps.unwrap();
+            assert!(up_cap * 10 < down_cap, "ack trickle must not fill uplinks");
+        }
+    }
+
+    #[test]
+    fn sessions_are_nonempty_and_bounded() {
+        let mut rng = DetRng::new(2);
+        for kind in [
+            AppKind::Web,
+            AppKind::StreamingVideo,
+            AppKind::StreamingAudio,
+            AppKind::Voip,
+            AppKind::BulkUpload,
+            AppKind::CloudSync,
+            AppKind::Background,
+            AppKind::Gaming,
+        ] {
+            for _ in 0..500 {
+                let p = sample_session(kind, &mut rng);
+                assert!(p.total_bytes() > 0, "{kind:?} produced an empty session");
+                assert!(p.total_bytes() < 10_000_000_000, "{kind:?} session absurdly large");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_stream() {
+        let mut a = DetRng::new(9).derive("x");
+        let mut b = DetRng::new(9).derive("x");
+        for _ in 0..100 {
+            assert_eq!(sample_session(AppKind::Web, &mut a), sample_session(AppKind::Web, &mut b));
+        }
+    }
+}

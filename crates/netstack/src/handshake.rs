@@ -1,0 +1,261 @@
+//! TCP connection establishment and teardown as real segment exchanges.
+//!
+//! The fluid model moves a flow's *data* in aggregate, but the segments
+//! that open and close each connection are genuine wire images: the
+//! three-way handshake (SYN, SYN-ACK, ACK) and the FIN/ACK close. This is
+//! what makes a "connection" in the Traffic data set a mechanical fact
+//! rather than a label — the gateway can count SYNs crossing the NAT, and
+//! tests can parse every byte.
+
+use simnet::packet::{
+    Endpoint, IpProtocol, Ipv4Packet, ParseError, TcpFlags, TcpSegment,
+};
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+
+/// The segments of one connection's lifecycle, as wire images with their
+/// nominal timestamps (client-side clock).
+#[derive(Debug, Clone)]
+pub struct ConnectionTrace {
+    /// (send instant, full IPv4 wire image) in order.
+    pub segments: Vec<(SimTime, Vec<u8>)>,
+    /// The client's initial sequence number.
+    pub client_isn: u32,
+    /// The server's initial sequence number.
+    pub server_isn: u32,
+}
+
+/// Build the handshake trace for a connection opened at `now` between
+/// `client` and `server` with the given round-trip time.
+pub fn open_connection(
+    now: SimTime,
+    client: Endpoint,
+    server: Endpoint,
+    rtt: SimDuration,
+    rng: &mut DetRng,
+) -> ConnectionTrace {
+    let client_isn = rng.next_u64() as u32;
+    let server_isn = rng.next_u64() as u32;
+    let half = SimDuration::from_micros(rtt.as_micros() / 2);
+    let mut segments = Vec::with_capacity(3);
+
+    let syn = TcpSegment {
+        src_port: client.port,
+        dst_port: server.port,
+        seq: client_isn,
+        ack: 0,
+        flags: TcpFlags::SYN,
+        window: 65_535,
+        payload: Vec::new(),
+    };
+    segments.push((
+        now,
+        Ipv4Packet::new(client.addr, server.addr, IpProtocol::Tcp, syn.emit(client.addr, server.addr))
+            .emit(),
+    ));
+
+    let syn_ack = TcpSegment {
+        src_port: server.port,
+        dst_port: client.port,
+        seq: server_isn,
+        ack: client_isn.wrapping_add(1),
+        flags: TcpFlags::SYN_ACK,
+        window: 65_535,
+        payload: Vec::new(),
+    };
+    segments.push((
+        now + half,
+        Ipv4Packet::new(server.addr, client.addr, IpProtocol::Tcp, syn_ack.emit(server.addr, client.addr))
+            .emit(),
+    ));
+
+    let ack = TcpSegment {
+        src_port: client.port,
+        dst_port: server.port,
+        seq: client_isn.wrapping_add(1),
+        ack: server_isn.wrapping_add(1),
+        flags: TcpFlags::ACK,
+        window: 65_535,
+        payload: Vec::new(),
+    };
+    segments.push((
+        now + rtt,
+        Ipv4Packet::new(client.addr, server.addr, IpProtocol::Tcp, ack.emit(client.addr, server.addr))
+            .emit(),
+    ));
+
+    ConnectionTrace { segments, client_isn, server_isn }
+}
+
+/// Build the FIN/ACK close trace for a connection ending at `now`.
+pub fn close_connection(
+    now: SimTime,
+    client: Endpoint,
+    server: Endpoint,
+    client_seq: u32,
+    server_seq: u32,
+    rtt: SimDuration,
+) -> ConnectionTrace {
+    let half = SimDuration::from_micros(rtt.as_micros() / 2);
+    let mut segments = Vec::with_capacity(2);
+    let fin = TcpSegment {
+        src_port: client.port,
+        dst_port: server.port,
+        seq: client_seq,
+        ack: server_seq,
+        flags: TcpFlags::FIN_ACK,
+        window: 65_535,
+        payload: Vec::new(),
+    };
+    segments.push((
+        now,
+        Ipv4Packet::new(client.addr, server.addr, IpProtocol::Tcp, fin.emit(client.addr, server.addr))
+            .emit(),
+    ));
+    let fin_ack = TcpSegment {
+        src_port: server.port,
+        dst_port: client.port,
+        seq: server_seq,
+        ack: client_seq.wrapping_add(1),
+        flags: TcpFlags::FIN_ACK,
+        window: 65_535,
+        payload: Vec::new(),
+    };
+    segments.push((
+        now + half,
+        Ipv4Packet::new(server.addr, client.addr, IpProtocol::Tcp, fin_ack.emit(server.addr, client.addr))
+            .emit(),
+    ));
+    ConnectionTrace { segments, client_isn: client_seq, server_isn: server_seq }
+}
+
+/// What a passive observer (the gateway) classifies a TCP segment as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Connection request (SYN without ACK).
+    Syn,
+    /// Connection accept (SYN+ACK).
+    SynAck,
+    /// Connection close (FIN set).
+    Fin,
+    /// Connection reset.
+    Rst,
+    /// Anything else (data or pure ACK).
+    Other,
+}
+
+/// Classify a full IPv4 wire image as seen at the gateway. Errors on
+/// non-TCP or malformed input.
+pub fn classify(wire: &[u8]) -> Result<SegmentKind, ParseError> {
+    let ip = Ipv4Packet::parse(wire)?;
+    if ip.protocol != IpProtocol::Tcp {
+        return Err(ParseError::Unsupported);
+    }
+    let seg = TcpSegment::parse(&ip.payload, ip.src, ip.dst)?;
+    Ok(if seg.flags.rst {
+        SegmentKind::Rst
+    } else if seg.flags.syn && seg.flags.ack {
+        SegmentKind::SynAck
+    } else if seg.flags.syn {
+        SegmentKind::Syn
+    } else if seg.flags.fin {
+        SegmentKind::Fin
+    } else {
+        SegmentKind::Other
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn endpoints() -> (Endpoint, Endpoint) {
+        (
+            Endpoint::new(Ipv4Addr::new(192, 168, 1, 10), 40_000),
+            Endpoint::new(Ipv4Addr::new(23, 64, 1, 10), 443),
+        )
+    }
+
+    #[test]
+    fn handshake_has_three_valid_segments() {
+        let (client, server) = endpoints();
+        let mut rng = DetRng::new(1);
+        let trace = open_connection(
+            SimTime::EPOCH,
+            client,
+            server,
+            SimDuration::from_millis(40),
+            &mut rng,
+        );
+        assert_eq!(trace.segments.len(), 3);
+        let kinds: Vec<SegmentKind> = trace
+            .segments
+            .iter()
+            .map(|(_, wire)| classify(wire).expect("valid TCP"))
+            .collect();
+        assert_eq!(kinds, vec![SegmentKind::Syn, SegmentKind::SynAck, SegmentKind::Other]);
+    }
+
+    #[test]
+    fn handshake_timing_spans_one_rtt() {
+        let (client, server) = endpoints();
+        let mut rng = DetRng::new(2);
+        let rtt = SimDuration::from_millis(60);
+        let trace = open_connection(SimTime::EPOCH, client, server, rtt, &mut rng);
+        let first = trace.segments.first().unwrap().0;
+        let last = trace.segments.last().unwrap().0;
+        assert_eq!(last.since(first), rtt);
+    }
+
+    #[test]
+    fn sequence_numbers_acknowledge_correctly() {
+        let (client, server) = endpoints();
+        let mut rng = DetRng::new(3);
+        let trace =
+            open_connection(SimTime::EPOCH, client, server, SimDuration::from_millis(10), &mut rng);
+        let ip = Ipv4Packet::parse(&trace.segments[1].1).unwrap();
+        let syn_ack = TcpSegment::parse(&ip.payload, ip.src, ip.dst).unwrap();
+        assert_eq!(syn_ack.ack, trace.client_isn.wrapping_add(1));
+        let ip = Ipv4Packet::parse(&trace.segments[2].1).unwrap();
+        let ack = TcpSegment::parse(&ip.payload, ip.src, ip.dst).unwrap();
+        assert_eq!(ack.ack, trace.server_isn.wrapping_add(1));
+    }
+
+    #[test]
+    fn close_is_fin_exchange() {
+        let (client, server) = endpoints();
+        let trace = close_connection(
+            SimTime::EPOCH,
+            client,
+            server,
+            1_000,
+            2_000,
+            SimDuration::from_millis(40),
+        );
+        let kinds: Vec<SegmentKind> =
+            trace.segments.iter().map(|(_, w)| classify(w).expect("valid")).collect();
+        assert_eq!(kinds, vec![SegmentKind::Fin, SegmentKind::Fin]);
+    }
+
+    #[test]
+    fn classify_rejects_udp() {
+        let pkt = Ipv4Packet::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            IpProtocol::Udp,
+            vec![0; 16],
+        )
+        .emit();
+        assert!(classify(&pkt).is_err());
+    }
+
+    #[test]
+    fn distinct_connections_have_distinct_isns() {
+        let (client, server) = endpoints();
+        let mut rng = DetRng::new(4);
+        let a = open_connection(SimTime::EPOCH, client, server, SimDuration::from_millis(10), &mut rng);
+        let b = open_connection(SimTime::EPOCH, client, server, SimDuration::from_millis(10), &mut rng);
+        assert_ne!(a.client_isn, b.client_isn);
+    }
+}

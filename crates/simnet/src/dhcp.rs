@@ -1,0 +1,203 @@
+//! A small DHCP server model: the gateway hands out LAN addresses from a
+//! /24 pool with renewable leases.
+//!
+//! Device identity in the study is the MAC address (that is what the
+//! firmware's census and traffic attribution key on), so the server binds
+//! leases to MACs and keeps a returning device on its previous address when
+//! possible — matching how real home gateways behave and keeping per-device
+//! traffic attribution stable across reconnects.
+
+use crate::packet::MacAddr;
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Default lease lifetime (the common consumer-gateway value of 24 h).
+pub const DEFAULT_LEASE: SimDuration = SimDuration::from_hours(24);
+
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    addr: Ipv4Addr,
+    expires: SimTime,
+}
+
+/// Errors from lease allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhcpError {
+    /// Every address in the pool holds an unexpired lease.
+    PoolExhausted,
+}
+
+impl std::fmt::Display for DhcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DHCP pool exhausted")
+    }
+}
+
+impl std::error::Error for DhcpError {}
+
+/// The gateway's DHCP server for one /24 subnet.
+#[derive(Debug)]
+pub struct DhcpServer {
+    /// Network base, e.g. 192.168.1.0; hosts are .2 through .254 (.1 is the
+    /// gateway itself, .255 broadcast).
+    subnet: [u8; 3],
+    lease_time: SimDuration,
+    leases: HashMap<MacAddr, Lease>,
+    next_host: u8,
+}
+
+impl DhcpServer {
+    /// A server for 192.168.1.0/24 with the default lease time.
+    pub fn new() -> Self {
+        DhcpServer::with_subnet([192, 168, 1], DEFAULT_LEASE)
+    }
+
+    /// A server for an arbitrary /24.
+    pub fn with_subnet(subnet: [u8; 3], lease_time: SimDuration) -> Self {
+        DhcpServer { subnet, lease_time, leases: HashMap::new(), next_host: 2 }
+    }
+
+    /// The gateway's own address (.1).
+    pub fn gateway_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.subnet[0], self.subnet[1], self.subnet[2], 1)
+    }
+
+    /// Number of live leases as of `now`.
+    pub fn active_leases(&self, now: SimTime) -> usize {
+        self.leases.values().filter(|l| l.expires > now).count()
+    }
+
+    fn host_addr(&self, host: u8) -> Ipv4Addr {
+        Ipv4Addr::new(self.subnet[0], self.subnet[1], self.subnet[2], host)
+    }
+
+    fn addr_in_use(&self, addr: Ipv4Addr, now: SimTime) -> bool {
+        self.leases.values().any(|l| l.addr == addr && l.expires > now)
+    }
+
+    /// Request (or renew) a lease for `mac` at time `now`.
+    ///
+    /// A device that still holds a lease — or whose lease expired but whose
+    /// old address is still free — gets its previous address back.
+    pub fn request(&mut self, now: SimTime, mac: MacAddr) -> Result<Ipv4Addr, DhcpError> {
+        if let Some(lease) = self.leases.get(&mac).copied() {
+            if lease.expires > now || !self.addr_in_use(lease.addr, now) {
+                self.leases
+                    .insert(mac, Lease { addr: lease.addr, expires: now + self.lease_time });
+                return Ok(lease.addr);
+            }
+        }
+        // Fresh allocation: scan the host space once from the cursor.
+        for _ in 0..253u16 {
+            let host = self.next_host;
+            self.next_host = if self.next_host >= 254 { 2 } else { self.next_host + 1 };
+            let addr = self.host_addr(host);
+            if !self.addr_in_use(addr, now) {
+                self.leases.insert(mac, Lease { addr, expires: now + self.lease_time });
+                return Ok(addr);
+            }
+        }
+        Err(DhcpError::PoolExhausted)
+    }
+
+    /// Release a lease explicitly (device leaving gracefully).
+    pub fn release(&mut self, mac: MacAddr) {
+        self.leases.remove(&mac);
+    }
+
+    /// Forget everything (router factory state after a power cycle is *not*
+    /// modeled — real gateways persist leases in RAM only, so a power cycle
+    /// calls this).
+    pub fn reset(&mut self) {
+        self.leases.clear();
+        self.next_host = 2;
+    }
+}
+
+impl Default for DhcpServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(n: u32) -> MacAddr {
+        MacAddr::from_oui_nic(0x00_11_22, n)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_micros(secs * 1_000_000)
+    }
+
+    #[test]
+    fn allocates_distinct_addresses() {
+        let mut server = DhcpServer::new();
+        let a = server.request(t(0), mac(1)).unwrap();
+        let b = server.request(t(0), mac(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, Ipv4Addr::new(192, 168, 1, 2));
+        assert_eq!(server.active_leases(t(0)), 2);
+    }
+
+    #[test]
+    fn renewal_keeps_address() {
+        let mut server = DhcpServer::new();
+        let a = server.request(t(0), mac(1)).unwrap();
+        let again = server.request(t(100), mac(1)).unwrap();
+        assert_eq!(a, again);
+        assert_eq!(server.active_leases(t(100)), 1);
+    }
+
+    #[test]
+    fn returning_device_reclaims_old_address_after_expiry() {
+        let mut server = DhcpServer::with_subnet([10, 0, 0], SimDuration::from_secs(60));
+        let a = server.request(t(0), mac(1)).unwrap();
+        // Lease expires; nobody takes the address; device returns.
+        let later = t(0) + SimDuration::from_secs(120);
+        let again = server.request(later.align_down(SimDuration::from_secs(1)), mac(1)).unwrap();
+        assert_eq!(a, again);
+    }
+
+    #[test]
+    fn gateway_address_never_allocated() {
+        let mut server = DhcpServer::new();
+        for i in 0..50 {
+            let addr = server.request(t(0), mac(i)).unwrap();
+            assert_ne!(addr, server.gateway_addr());
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut server = DhcpServer::new();
+        for i in 0..253 {
+            server.request(t(0), mac(i)).unwrap();
+        }
+        assert_eq!(server.request(t(0), mac(999)), Err(DhcpError::PoolExhausted));
+        // After expiry the pool recovers.
+        let later = t(0) + DEFAULT_LEASE + SimDuration::from_secs(1);
+        assert!(server.request(later, mac(999)).is_ok());
+    }
+
+    #[test]
+    fn release_frees_address() {
+        let mut server = DhcpServer::new();
+        server.request(t(0), mac(1)).unwrap();
+        server.release(mac(1));
+        assert_eq!(server.active_leases(t(0)), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut server = DhcpServer::new();
+        let a = server.request(t(0), mac(1)).unwrap();
+        server.reset();
+        assert_eq!(server.active_leases(t(0)), 0);
+        let b = server.request(t(1), mac(2)).unwrap();
+        assert_eq!(a, b, "allocation cursor restarts after reset");
+    }
+}

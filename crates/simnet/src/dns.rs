@@ -1,0 +1,556 @@
+//! DNS: domain names, A/CNAME records, query/response wire format, an
+//! authoritative zone database for the simulated Internet, and a caching
+//! stub resolver for the gateway.
+//!
+//! The firmware's Traffic data set samples **A and CNAME records** from DNS
+//! responses crossing the gateway and anonymizes any name not on the
+//! household's whitelist (§3.2.2). To make that capture real, queries and
+//! responses here are genuine RFC 1035 wire images — built, parsed, and
+//! validated — not structs passed by hand. Name compression is not emitted
+//! (uncompressed names are legal on the wire) but compressed pointers are
+//! rejected cleanly rather than misparsed.
+
+use crate::packet::ParseError;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Maximum label length per RFC 1035.
+const MAX_LABEL: usize = 63;
+/// Maximum encoded name length per RFC 1035.
+const MAX_NAME: usize = 255;
+
+/// A validated, lower-cased domain name such as `www.example.com`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainName(String);
+
+impl DomainName {
+    /// Parse and normalize a dotted name. Rejects empty names, empty labels,
+    /// over-long labels, and characters outside `[a-z0-9-_]`.
+    pub fn new(name: &str) -> Result<DomainName, BadName> {
+        let normalized = name.trim_end_matches('.').to_ascii_lowercase();
+        if normalized.is_empty() {
+            return Err(BadName);
+        }
+        let mut encoded_len = 1; // trailing root byte
+        for label in normalized.split('.') {
+            if label.is_empty() || label.len() > MAX_LABEL {
+                return Err(BadName);
+            }
+            if !label.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                return Err(BadName);
+            }
+            encoded_len += 1 + label.len();
+        }
+        if encoded_len > MAX_NAME {
+            return Err(BadName);
+        }
+        Ok(DomainName(normalized))
+    }
+
+    /// The name as a string (no trailing dot).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The registrable "base" domain, approximated as the last two labels
+    /// (`www.google.com` → `google.com`). The paper's whitelist and domain
+    /// rankings operate at this granularity.
+    pub fn base_domain(&self) -> DomainName {
+        let labels: Vec<&str> = self.0.split('.').collect();
+        if labels.len() <= 2 {
+            self.clone()
+        } else {
+            DomainName(labels[labels.len() - 2..].join("."))
+        }
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        for label in self.0.split('.') {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label.as_bytes());
+        }
+        buf.push(0);
+    }
+
+    fn decode(buf: &[u8], mut pos: usize) -> Result<(DomainName, usize), ParseError> {
+        let mut labels: Vec<String> = Vec::new();
+        loop {
+            let len = *buf.get(pos).ok_or(ParseError::Truncated)? as usize;
+            pos += 1;
+            if len == 0 {
+                break;
+            }
+            if len & 0xC0 != 0 {
+                // Compression pointers are not emitted by this simulator;
+                // reject rather than misparse.
+                return Err(ParseError::Unsupported);
+            }
+            let end = pos + len;
+            let bytes = buf.get(pos..end).ok_or(ParseError::Truncated)?;
+            let label = std::str::from_utf8(bytes).map_err(|_| ParseError::Unsupported)?;
+            labels.push(label.to_ascii_lowercase());
+            pos = end;
+        }
+        if labels.is_empty() {
+            return Err(ParseError::Unsupported);
+        }
+        Ok((DomainName(labels.join(".")), pos))
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Error for invalid domain-name syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadName;
+
+impl fmt::Display for BadName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid domain name")
+    }
+}
+
+impl std::error::Error for BadName {}
+
+/// Record data for the two types the study collects.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordData {
+    /// An IPv4 address record.
+    A(Ipv4Addr),
+    /// A canonical-name alias.
+    Cname(DomainName),
+}
+
+impl RecordData {
+    fn rtype(&self) -> u16 {
+        match self {
+            RecordData::A(_) => 1,
+            RecordData::Cname(_) => 5,
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecord {
+    /// The owner name of the record.
+    pub name: DomainName,
+    /// The record data (A or CNAME).
+    pub data: RecordData,
+    /// Time to live.
+    pub ttl: SimDuration,
+}
+
+/// A DNS query (A queries only; that is all the simulated clients send).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuery {
+    /// Transaction id.
+    pub id: u16,
+    /// The name being queried (QTYPE A).
+    pub name: DomainName,
+}
+
+impl DnsQuery {
+    /// Serialize to a wire image.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(17 + self.name.as_str().len());
+        buf.extend_from_slice(&self.id.to_be_bytes());
+        buf.extend_from_slice(&[0x01, 0x00]); // RD set, standard query
+        buf.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+        buf.extend_from_slice(&[0; 6]); // AN/NS/AR counts
+        self.name.encode_into(&mut buf);
+        buf.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
+        buf.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+        buf
+    }
+
+    /// Parse a wire image.
+    pub fn parse(buf: &[u8]) -> Result<DnsQuery, ParseError> {
+        if buf.len() < 12 {
+            return Err(ParseError::Truncated);
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        if buf[2] & 0x80 != 0 {
+            return Err(ParseError::Unsupported); // a response, not a query
+        }
+        let qdcount = u16::from_be_bytes([buf[4], buf[5]]);
+        if qdcount != 1 {
+            return Err(ParseError::Unsupported);
+        }
+        let (name, pos) = DomainName::decode(buf, 12)?;
+        if buf.len() < pos + 4 {
+            return Err(ParseError::Truncated);
+        }
+        Ok(DnsQuery { id, name })
+    }
+}
+
+/// A DNS response carrying the answer chain for one A query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsResponse {
+    /// Transaction id, echoing the query.
+    pub id: u16,
+    /// The question this response answers.
+    pub question: DomainName,
+    /// Answer records in chain order (CNAMEs first, then the A record).
+    /// Empty means NXDOMAIN.
+    pub answers: Vec<DnsRecord>,
+}
+
+impl DnsResponse {
+    /// The resolved address, if the chain terminated in an A record.
+    pub fn address(&self) -> Option<Ipv4Addr> {
+        self.answers.iter().rev().find_map(|r| match r.data {
+            RecordData::A(addr) => Some(addr),
+            RecordData::Cname(_) => None,
+        })
+    }
+
+    /// Serialize to a wire image.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&self.id.to_be_bytes());
+        let rcode: u8 = if self.answers.is_empty() { 3 } else { 0 }; // NXDOMAIN : NOERROR
+        buf.extend_from_slice(&[0x81, 0x80 | rcode]); // QR, RD, RA
+        buf.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+        buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes()); // ANCOUNT
+        buf.extend_from_slice(&[0; 4]); // NS/AR counts
+        self.question.encode_into(&mut buf);
+        buf.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
+        buf.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+        for record in &self.answers {
+            record.name.encode_into(&mut buf);
+            buf.extend_from_slice(&record.data.rtype().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
+            buf.extend_from_slice(&(record.ttl.as_secs() as u32).to_be_bytes());
+            match &record.data {
+                RecordData::A(addr) => {
+                    buf.extend_from_slice(&4u16.to_be_bytes());
+                    buf.extend_from_slice(&addr.octets());
+                }
+                RecordData::Cname(target) => {
+                    let mut rdata = Vec::new();
+                    target.encode_into(&mut rdata);
+                    buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+                    buf.extend_from_slice(&rdata);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Parse a wire image.
+    pub fn parse(buf: &[u8]) -> Result<DnsResponse, ParseError> {
+        if buf.len() < 12 {
+            return Err(ParseError::Truncated);
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        if buf[2] & 0x80 == 0 {
+            return Err(ParseError::Unsupported); // a query, not a response
+        }
+        let qdcount = u16::from_be_bytes([buf[4], buf[5]]);
+        let ancount = u16::from_be_bytes([buf[6], buf[7]]) as usize;
+        if qdcount != 1 {
+            return Err(ParseError::Unsupported);
+        }
+        let (question, mut pos) = DomainName::decode(buf, 12)?;
+        pos += 4; // QTYPE + QCLASS
+        let mut answers = Vec::with_capacity(ancount);
+        for _ in 0..ancount {
+            let (name, next) = DomainName::decode(buf, pos)?;
+            pos = next;
+            let fixed = buf.get(pos..pos + 10).ok_or(ParseError::Truncated)?;
+            let rtype = u16::from_be_bytes([fixed[0], fixed[1]]);
+            let ttl_secs = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+            let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+            pos += 10;
+            let rdata = buf.get(pos..pos + rdlen).ok_or(ParseError::Truncated)?;
+            pos += rdlen;
+            let data = match rtype {
+                1 => {
+                    if rdlen != 4 {
+                        return Err(ParseError::BadLength);
+                    }
+                    RecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]))
+                }
+                5 => {
+                    let (target, used) = DomainName::decode(rdata, 0)?;
+                    if used != rdlen {
+                        return Err(ParseError::BadLength);
+                    }
+                    RecordData::Cname(target)
+                }
+                _ => return Err(ParseError::Unsupported),
+            };
+            answers.push(DnsRecord {
+                name,
+                data,
+                ttl: SimDuration::from_secs(u64::from(ttl_secs)),
+            });
+        }
+        Ok(DnsResponse { id, question, answers })
+    }
+}
+
+/// The simulated Internet's authoritative record store.
+#[derive(Debug, Default, Clone)]
+pub struct ZoneDb {
+    records: HashMap<DomainName, (RecordData, SimDuration)>,
+}
+
+impl ZoneDb {
+    /// An empty zone.
+    pub fn new() -> Self {
+        ZoneDb::default()
+    }
+
+    /// Install an A record.
+    pub fn insert_a(&mut self, name: DomainName, addr: Ipv4Addr, ttl: SimDuration) {
+        self.records.insert(name, (RecordData::A(addr), ttl));
+    }
+
+    /// Install a CNAME record.
+    pub fn insert_cname(&mut self, name: DomainName, target: DomainName, ttl: SimDuration) {
+        self.records.insert(name, (RecordData::Cname(target), ttl));
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are installed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Answer an A query, following CNAME chains (bounded to avoid loops).
+    /// Empty answers mean NXDOMAIN.
+    pub fn resolve(&self, query: &DnsQuery) -> DnsResponse {
+        let mut answers = Vec::new();
+        let mut current = query.name.clone();
+        for _ in 0..8 {
+            match self.records.get(&current) {
+                Some((data @ RecordData::A(_), ttl)) => {
+                    answers.push(DnsRecord { name: current, data: data.clone(), ttl: *ttl });
+                    return DnsResponse { id: query.id, question: query.name.clone(), answers };
+                }
+                Some((RecordData::Cname(target), ttl)) => {
+                    answers.push(DnsRecord {
+                        name: current.clone(),
+                        data: RecordData::Cname(target.clone()),
+                        ttl: *ttl,
+                    });
+                    current = target.clone();
+                }
+                None => break,
+            }
+        }
+        // NXDOMAIN or a dangling/looping CNAME chain: report no answers.
+        DnsResponse { id: query.id, question: query.name.clone(), answers: Vec::new() }
+    }
+}
+
+/// A caching stub resolver (the gateway's dnsmasq equivalent).
+#[derive(Debug, Default)]
+pub struct CachingResolver {
+    cache: HashMap<DomainName, (Ipv4Addr, SimTime)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachingResolver {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CachingResolver::default()
+    }
+
+    /// Cache hit/miss counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Look up `name`, consulting the cache first and falling back to the
+    /// zone. Returns the address and whether the answer came from upstream
+    /// (`true` = a real DNS transaction crossed the WAN and is observable
+    /// by the firmware).
+    pub fn lookup(
+        &mut self,
+        now: SimTime,
+        zone: &ZoneDb,
+        id: u16,
+        name: &DomainName,
+    ) -> (Option<DnsResponse>, bool) {
+        if let Some((addr, valid_until)) = self.cache.get(name) {
+            if *valid_until > now {
+                self.hits += 1;
+                let response = DnsResponse {
+                    id,
+                    question: name.clone(),
+                    answers: vec![DnsRecord {
+                        name: name.clone(),
+                        data: RecordData::A(*addr),
+                        ttl: valid_until.since(now),
+                    }],
+                };
+                return (Some(response), false);
+            }
+        }
+        self.misses += 1;
+        let response = zone.resolve(&DnsQuery { id, name: name.clone() });
+        if let Some(addr) = response.address() {
+            let min_ttl = response
+                .answers
+                .iter()
+                .map(|r| r.ttl)
+                .min()
+                .unwrap_or(SimDuration::from_secs(60));
+            self.cache.insert(name.clone(), (addr, now + min_ttl));
+            (Some(response), true)
+        } else {
+            (None, true)
+        }
+    }
+
+    /// Drop all cached entries (power cycle).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::new(s).unwrap()
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(DomainName::new("example.com").is_ok());
+        assert!(DomainName::new("EXAMPLE.COM.").is_ok());
+        assert_eq!(name("EXAMPLE.COM.").as_str(), "example.com");
+        assert!(DomainName::new("").is_err());
+        assert!(DomainName::new("a..b").is_err());
+        assert!(DomainName::new("bad domain.com").is_err());
+        assert!(DomainName::new(&"a".repeat(64)).is_err());
+        assert!(DomainName::new(&format!("{}.com", "a".repeat(63))).is_ok());
+    }
+
+    #[test]
+    fn base_domain_extraction() {
+        assert_eq!(name("www.google.com").base_domain(), name("google.com"));
+        assert_eq!(name("google.com").base_domain(), name("google.com"));
+        assert_eq!(name("a.b.c.d.e").base_domain(), name("d.e"));
+    }
+
+    #[test]
+    fn query_wire_round_trip() {
+        let q = DnsQuery { id: 0xBEEF, name: name("www.netflix.com") };
+        let wire = q.emit();
+        assert_eq!(DnsQuery::parse(&wire).unwrap(), q);
+    }
+
+    #[test]
+    fn response_wire_round_trip_with_cname_chain() {
+        let r = DnsResponse {
+            id: 42,
+            question: name("www.netflix.com"),
+            answers: vec![
+                DnsRecord {
+                    name: name("www.netflix.com"),
+                    data: RecordData::Cname(name("cdn.nflxvideo.net")),
+                    ttl: SimDuration::from_secs(300),
+                },
+                DnsRecord {
+                    name: name("cdn.nflxvideo.net"),
+                    data: RecordData::A(Ipv4Addr::new(45, 57, 8, 1)),
+                    ttl: SimDuration::from_secs(60),
+                },
+            ],
+        };
+        let wire = r.emit();
+        let parsed = DnsResponse::parse(&wire).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.address(), Some(Ipv4Addr::new(45, 57, 8, 1)));
+    }
+
+    #[test]
+    fn nxdomain_round_trip() {
+        let r = DnsResponse { id: 7, question: name("nonexistent.example"), answers: vec![] };
+        let parsed = DnsResponse::parse(&r.emit()).unwrap();
+        assert!(parsed.answers.is_empty());
+        assert_eq!(parsed.address(), None);
+    }
+
+    #[test]
+    fn query_and_response_not_confusable() {
+        let q = DnsQuery { id: 1, name: name("x.com") };
+        assert_eq!(DnsResponse::parse(&q.emit()), Err(ParseError::Unsupported));
+        let r = DnsResponse { id: 1, question: name("x.com"), answers: vec![] };
+        assert_eq!(DnsQuery::parse(&r.emit()), Err(ParseError::Unsupported));
+    }
+
+    #[test]
+    fn compression_pointer_rejected() {
+        let q = DnsQuery { id: 1, name: name("x.com") };
+        let mut wire = q.emit();
+        wire[12] = 0xC0; // pretend a compression pointer starts the QNAME
+        assert_eq!(DnsQuery::parse(&wire), Err(ParseError::Unsupported));
+    }
+
+    #[test]
+    fn zone_resolves_chain() {
+        let mut zone = ZoneDb::new();
+        zone.insert_cname(name("www.hulu.com"), name("hulu.cdn.example"), SimDuration::from_secs(100));
+        zone.insert_a(name("hulu.cdn.example"), Ipv4Addr::new(8, 26, 1, 1), SimDuration::from_secs(100));
+        let resp = zone.resolve(&DnsQuery { id: 9, name: name("www.hulu.com") });
+        assert_eq!(resp.answers.len(), 2);
+        assert_eq!(resp.address(), Some(Ipv4Addr::new(8, 26, 1, 1)));
+    }
+
+    #[test]
+    fn zone_cname_loop_terminates() {
+        let mut zone = ZoneDb::new();
+        zone.insert_cname(name("a.example"), name("b.example"), SimDuration::from_secs(10));
+        zone.insert_cname(name("b.example"), name("a.example"), SimDuration::from_secs(10));
+        let resp = zone.resolve(&DnsQuery { id: 1, name: name("a.example") });
+        assert!(resp.answers.is_empty(), "loop must resolve to no answer");
+    }
+
+    #[test]
+    fn resolver_caches_until_ttl() {
+        let mut zone = ZoneDb::new();
+        zone.insert_a(name("google.com"), Ipv4Addr::new(74, 125, 1, 1), SimDuration::from_secs(300));
+        let mut resolver = CachingResolver::new();
+        let t0 = SimTime::EPOCH;
+        let (r1, upstream1) = resolver.lookup(t0, &zone, 1, &name("google.com"));
+        assert!(upstream1, "first lookup goes upstream");
+        assert_eq!(r1.unwrap().address(), Some(Ipv4Addr::new(74, 125, 1, 1)));
+        let (r2, upstream2) =
+            resolver.lookup(t0 + SimDuration::from_secs(100), &zone, 2, &name("google.com"));
+        assert!(!upstream2, "cached lookup stays local");
+        assert_eq!(r2.unwrap().address(), Some(Ipv4Addr::new(74, 125, 1, 1)));
+        let (_, upstream3) =
+            resolver.lookup(t0 + SimDuration::from_secs(400), &zone, 3, &name("google.com"));
+        assert!(upstream3, "expired entry refetches");
+        assert_eq!(resolver.stats(), (1, 2));
+    }
+
+    #[test]
+    fn resolver_reports_nxdomain_as_upstream_miss() {
+        let zone = ZoneDb::new();
+        let mut resolver = CachingResolver::new();
+        let (resp, upstream) = resolver.lookup(SimTime::EPOCH, &zone, 1, &name("missing.example"));
+        assert!(resp.is_none());
+        assert!(upstream);
+    }
+}

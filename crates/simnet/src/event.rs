@@ -1,0 +1,340 @@
+//! The discrete-event core: a time-ordered event queue with stable tie
+//! ordering and O(log n) cancellation.
+//!
+//! Following the event-driven style of small embedded TCP/IP stacks, the
+//! queue does not own a run loop or callbacks. A simulation owns an
+//! [`EventQueue`] plus its state, and drives itself:
+//!
+//! ```
+//! use simnet::event::EventQueue;
+//! use simnet::time::{SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Tick }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_micros(10), Ev::Tick);
+//! let end = SimTime::from_micros(100);
+//! while let Some((t, ev)) = q.pop_if_before(end) {
+//!     assert_eq!(ev, Ev::Tick);
+//!     // A handler may schedule follow-up events here: `q.schedule(...)`.
+//!     let _ = t;
+//! }
+//! assert!(q.is_empty());
+//! ```
+//!
+//! Two events at the same instant are delivered in the order they were
+//! scheduled (FIFO tie-break via a sequence number), which keeps runs
+//! deterministic regardless of heap internals.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle for a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering is by (time, sequence); the payload never participates.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// The queue tracks the current virtual time ([`EventQueue::now`]), which
+/// advances to each event's timestamp as it is popped. Scheduling strictly
+/// in the past panics — that is always a simulation bug, not a recoverable
+/// condition.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids of events that are scheduled and not yet delivered or cancelled.
+    /// Entries in `heap` whose id is absent here are tombstones to skip.
+    live: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at the study epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::EPOCH,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the most recently popped
+    /// event, or the epoch before any event has run.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far (cancelled events excluded).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of live (not cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current virtual time.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past: {} < {}", at, self.now);
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Entry { at, seq: self.next_seq, event }));
+        self.live.insert(self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedule `event` at `now + delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will now never be delivered), `false` if it had
+    /// already fired, been cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy deletion: drop the id from the live set now; the heap entry
+        // becomes a tombstone skipped at pop time.
+        self.live.remove(&id.0)
+    }
+
+    /// Pop the next event if its timestamp is strictly before `end`,
+    /// advancing the virtual clock to it. Returns `None` — leaving the event
+    /// queued — when the next event is at or after `end`, or the queue is
+    /// empty. On `None` the clock does not move.
+    pub fn pop_if_before(&mut self, end: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let (head_at, head_seq) = match self.heap.peek() {
+                Some(Reverse(entry)) => (entry.at, entry.seq),
+                None => return None,
+            };
+            if !self.live.contains(&head_seq) {
+                // Tombstone of a cancelled event: discard regardless of
+                // horizon so stale entries never linger at the heap head.
+                self.heap.pop();
+                continue;
+            }
+            if head_at >= end {
+                return None;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+            self.live.remove(&entry.seq);
+            debug_assert!(entry.at >= self.now, "event queue time went backwards");
+            self.now = entry.at;
+            self.processed += 1;
+            return Some((entry.at, entry.event));
+        }
+    }
+
+    /// Pop the next event unconditionally (if any).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_if_before(SimTime::from_micros(u64::MAX))
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let (at, seq) = match self.heap.peek() {
+                Some(Reverse(entry)) => (entry.at, entry.seq),
+                None => return None,
+            };
+            if !self.live.contains(&seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(at);
+        }
+    }
+
+    /// Advance the clock to `to` without delivering anything.
+    ///
+    /// # Panics
+    /// Panics if `to` is in the past or if a live event is pending before
+    /// `to` (skipping scheduled work is a simulation bug).
+    pub fn fast_forward(&mut self, to: SimTime) {
+        assert!(to >= self.now, "fast_forward into the past");
+        if let Some(at) = self.peek_time() {
+            assert!(at >= to, "fast_forward would skip a pending event at {}", at);
+        }
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), Ev::C);
+        q.schedule(t(10), Ev::A);
+        q.schedule(t(20), Ev::B);
+        let order: Vec<Ev> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![Ev::A, Ev::B, Ev::C]);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), Ev::A);
+        q.schedule(t(5), Ev::B);
+        q.schedule(t(5), Ev::C);
+        let order: Vec<Ev> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![Ev::A, Ev::B, Ev::C]);
+    }
+
+    #[test]
+    fn pop_if_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), Ev::A);
+        q.schedule(t(50), Ev::B);
+        assert_eq!(q.pop_if_before(t(50)), Some((t(10), Ev::A)));
+        assert_eq!(q.pop_if_before(t(50)), None);
+        assert_eq!(q.len(), 1, "event at the horizon stays queued");
+        assert_eq!(q.pop_if_before(t(51)), Some((t(50), Ev::B)));
+    }
+
+    #[test]
+    fn clock_advances_with_pops_only() {
+        let mut q = EventQueue::new();
+        q.schedule(t(40), Ev::A);
+        assert_eq!(q.now(), SimTime::EPOCH);
+        assert_eq!(q.pop_if_before(t(30)), None);
+        assert_eq!(q.now(), SimTime::EPOCH);
+        q.pop().unwrap();
+        assert_eq!(q.now(), t(40));
+    }
+
+    #[test]
+    fn cancellation_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), Ev::A);
+        q.schedule(t(20), Ev::B);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(20), Ev::B)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), Ev::A);
+        q.schedule(t(20), Ev::B);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(t(100), Ev::A);
+        q.pop().unwrap();
+        q.schedule_after(SimDuration::from_micros(5), Ev::B);
+        assert_eq!(q.pop(), Some((t(105), Ev::B)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(100), Ev::A);
+        q.pop().unwrap();
+        q.schedule(t(50), Ev::B);
+    }
+
+    #[test]
+    fn fast_forward_moves_clock() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.fast_forward(t(500));
+        assert_eq!(q.now(), t(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip a pending event")]
+    fn fast_forward_cannot_skip_events() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), Ev::A);
+        q.fast_forward(t(20));
+    }
+
+    #[test]
+    fn handler_reschedule_pattern() {
+        // The idiomatic driver loop: pop, then handle (handler may schedule).
+        let mut q = EventQueue::new();
+        q.schedule(t(0), Ev::A);
+        let end = t(100);
+        let mut ticks = 0;
+        while let Some((at, Ev::A)) = q.pop_if_before(end) {
+            ticks += 1;
+            q.schedule(at + SimDuration::from_micros(10), Ev::A);
+        }
+        assert_eq!(ticks, 10);
+        assert_eq!(q.len(), 1, "next tick remains queued past the horizon");
+    }
+}

@@ -1,0 +1,114 @@
+//! ICMP echo (ping): wire format with checksum, for the firmware's
+//! last-mile latency probes.
+//!
+//! The paper's platform (BISmark) continuously measured access-link RTT in
+//! its companion performance study; this reproduction carries that
+//! capability as well (the `firmware::latency` module), and the echo
+//! packets are real wire images like everything else the instrument sends.
+
+use crate::packet::{checksum, ParseError};
+
+/// ICMP header length (echo).
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// An ICMP echo request or reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// True for replies (type 0), false for requests (type 8).
+    pub is_reply: bool,
+    /// Identifier (per probing process).
+    pub ident: u16,
+    /// Sequence number within the train.
+    pub seq: u16,
+    /// Payload (typically a timestamp cookie).
+    pub payload: Vec<u8>,
+}
+
+impl IcmpEcho {
+    /// A request with the given identity and payload.
+    pub fn request(ident: u16, seq: u16, payload: Vec<u8>) -> IcmpEcho {
+        IcmpEcho { is_reply: false, ident, seq, payload }
+    }
+
+    /// The reply echoing this request.
+    pub fn reply_to(&self) -> IcmpEcho {
+        IcmpEcho { is_reply: true, ident: self.ident, seq: self.seq, payload: self.payload.clone() }
+    }
+
+    /// Length on the wire.
+    pub fn wire_len(&self) -> usize {
+        ICMP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize with checksum.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        buf.push(if self.is_reply { 0 } else { 8 });
+        buf.push(0); // code
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.ident.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        let c = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        buf
+    }
+
+    /// Parse and verify a wire image.
+    pub fn parse(data: &[u8]) -> Result<IcmpEcho, ParseError> {
+        if data.len() < ICMP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let is_reply = match data[0] {
+            0 => true,
+            8 => false,
+            _ => return Err(ParseError::Unsupported),
+        };
+        if data[1] != 0 {
+            return Err(ParseError::Unsupported);
+        }
+        if !checksum::verify(data) {
+            return Err(ParseError::BadChecksum);
+        }
+        Ok(IcmpEcho {
+            is_reply,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            seq: u16::from_be_bytes([data[6], data[7]]),
+            payload: data[ICMP_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let req = IcmpEcho::request(0xBEEF, 3, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let parsed = IcmpEcho::parse(&req.emit()).unwrap();
+        assert_eq!(parsed, req);
+        let rep = req.reply_to();
+        assert!(rep.is_reply);
+        assert_eq!(IcmpEcho::parse(&rep.emit()).unwrap(), rep);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut wire = IcmpEcho::request(1, 1, vec![9; 16]).emit();
+        wire[10] ^= 0xFF;
+        assert_eq!(IcmpEcho::parse(&wire), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut wire = IcmpEcho::request(1, 1, vec![]).emit();
+        wire[0] = 3; // destination unreachable
+        assert_eq!(IcmpEcho::parse(&wire), Err(ParseError::Unsupported));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(IcmpEcho::parse(&[8, 0, 0]), Err(ParseError::Truncated));
+    }
+}

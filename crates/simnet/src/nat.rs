@@ -1,0 +1,379 @@
+//! Network address and port translation — the device the paper is titled
+//! after.
+//!
+//! The NAT is why home networks are opaque from outside: every LAN flow is
+//! rewritten to the single WAN address, so an external observer sees one
+//! host. The BISmark gateway sits *at* the NAT and can attribute flows to
+//! LAN devices before the translation erases that information; this module
+//! implements the translation so that the firmware's vantage point is real
+//! rather than asserted.
+//!
+//! The table implements endpoint-independent mapping (full-cone style) with
+//! idle expiry and LRU eviction under port pressure, which matches consumer
+//! gateway behavior closely enough for this study.
+
+use crate::packet::{Endpoint, FiveTuple, IpProtocol};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Default idle timeout for UDP mappings (typical CPE value).
+pub const UDP_IDLE_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+/// Default idle timeout for TCP mappings.
+pub const TCP_IDLE_TIMEOUT: SimDuration = SimDuration::from_secs(1_800);
+
+/// First WAN port the allocator hands out.
+const PORT_RANGE_START: u16 = 1_024;
+
+#[derive(Debug, Clone)]
+struct Mapping {
+    wan_port: u16,
+    last_used: SimTime,
+}
+
+/// Outcome of translating an outbound packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutboundXlate {
+    /// The flow as it appears on the WAN side.
+    pub wan_flow: FiveTuple,
+    /// True when this packet created a new mapping (a "new connection" from
+    /// the firmware's perspective).
+    pub created: bool,
+}
+
+/// Errors from translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NatError {
+    /// No mapping matches an inbound packet; consumer NATs drop these.
+    NoMapping,
+    /// All WAN ports for this protocol are in use and none is evictable.
+    PortsExhausted,
+}
+
+impl std::fmt::Display for NatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NatError::NoMapping => write!(f, "no NAT mapping for inbound packet"),
+            NatError::PortsExhausted => write!(f, "NAT port range exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for NatError {}
+
+/// The translation table for one gateway.
+///
+/// ```
+/// use simnet::nat::Nat;
+/// use simnet::packet::{Endpoint, FiveTuple, IpProtocol};
+/// use simnet::time::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// let mut nat = Nat::new(Ipv4Addr::new(203, 0, 113, 7));
+/// let flow = FiveTuple {
+///     proto: IpProtocol::Tcp,
+///     src: Endpoint::new(Ipv4Addr::new(192, 168, 1, 10), 40_000),
+///     dst: Endpoint::new(Ipv4Addr::new(23, 64, 1, 10), 443),
+/// };
+/// let out = nat.translate_outbound(SimTime::EPOCH, flow).unwrap();
+/// assert_eq!(out.wan_flow.src.addr, nat.wan_addr());
+/// // The reply finds its way back to the LAN host.
+/// let back = nat.translate_inbound(SimTime::EPOCH, out.wan_flow.reversed()).unwrap();
+/// assert_eq!(back.dst, flow.src);
+/// ```
+#[derive(Debug)]
+pub struct Nat {
+    wan_addr: Ipv4Addr,
+    /// (proto, LAN endpoint) -> mapping. Endpoint-independent: one WAN port
+    /// per LAN endpoint regardless of destination.
+    by_lan: HashMap<(IpProtocol, Endpoint), Mapping>,
+    /// (proto, WAN port) -> LAN endpoint, the inbound direction.
+    by_wan: HashMap<(IpProtocol, u16), Endpoint>,
+    next_port: u16,
+    udp_timeout: SimDuration,
+    tcp_timeout: SimDuration,
+    /// Upper bound on simultaneous mappings (memory limit of the CPE).
+    capacity: usize,
+}
+
+impl Nat {
+    /// A NAT translating to `wan_addr` with default timeouts and a typical
+    /// CPE table capacity.
+    pub fn new(wan_addr: Ipv4Addr) -> Self {
+        Nat::with_limits(wan_addr, UDP_IDLE_TIMEOUT, TCP_IDLE_TIMEOUT, 4_096)
+    }
+
+    /// Full control over timeouts and table capacity.
+    pub fn with_limits(
+        wan_addr: Ipv4Addr,
+        udp_timeout: SimDuration,
+        tcp_timeout: SimDuration,
+        capacity: usize,
+    ) -> Self {
+        assert!(capacity > 0);
+        Nat {
+            wan_addr,
+            by_lan: HashMap::new(),
+            by_wan: HashMap::new(),
+            next_port: PORT_RANGE_START,
+            udp_timeout,
+            tcp_timeout,
+            capacity,
+        }
+    }
+
+    /// The public address of this gateway.
+    pub fn wan_addr(&self) -> Ipv4Addr {
+        self.wan_addr
+    }
+
+    /// Number of live mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.by_lan.len()
+    }
+
+    fn timeout_for(&self, proto: IpProtocol) -> SimDuration {
+        match proto {
+            IpProtocol::Udp => self.udp_timeout,
+            _ => self.tcp_timeout,
+        }
+    }
+
+    /// Drop mappings idle longer than their protocol timeout.
+    pub fn expire(&mut self, now: SimTime) {
+        let udp_t = self.udp_timeout;
+        let tcp_t = self.tcp_timeout;
+        let by_wan = &mut self.by_wan;
+        self.by_lan.retain(|(proto, _), m| {
+            let timeout = if *proto == IpProtocol::Udp { udp_t } else { tcp_t };
+            let live = now.saturating_since(m.last_used) < timeout;
+            if !live {
+                by_wan.remove(&(*proto, m.wan_port));
+            }
+            live
+        });
+    }
+
+    fn allocate_port(&mut self, proto: IpProtocol, now: SimTime) -> Result<u16, NatError> {
+        // Scan the circular port space once for a free port.
+        let span = u16::MAX - PORT_RANGE_START;
+        for _ in 0..=span {
+            let candidate = self.next_port;
+            self.next_port =
+                if self.next_port == u16::MAX { PORT_RANGE_START } else { self.next_port + 1 };
+            if !self.by_wan.contains_key(&(proto, candidate)) {
+                return Ok(candidate);
+            }
+        }
+        // No free port: evict the least recently used mapping of this proto.
+        self.evict_lru(proto, now)
+    }
+
+    fn evict_lru(&mut self, proto: IpProtocol, _now: SimTime) -> Result<u16, NatError> {
+        let victim = self
+            .by_lan
+            .iter()
+            .filter(|((p, _), _)| *p == proto)
+            .min_by_key(|(_, m)| m.last_used)
+            .map(|((_, lan), m)| (*lan, m.wan_port));
+        match victim {
+            Some((lan, port)) => {
+                self.by_lan.remove(&(proto, lan));
+                self.by_wan.remove(&(proto, port));
+                Ok(port)
+            }
+            None => Err(NatError::PortsExhausted),
+        }
+    }
+
+    /// Translate an outbound (LAN→WAN) flow, creating a mapping if needed.
+    pub fn translate_outbound(
+        &mut self,
+        now: SimTime,
+        flow: FiveTuple,
+    ) -> Result<OutboundXlate, NatError> {
+        let key = (flow.proto, flow.src);
+        if let Some(m) = self.by_lan.get_mut(&key) {
+            m.last_used = now;
+            let wan_src = Endpoint::new(self.wan_addr, m.wan_port);
+            return Ok(OutboundXlate {
+                wan_flow: FiveTuple { proto: flow.proto, src: wan_src, dst: flow.dst },
+                created: false,
+            });
+        }
+        if self.by_lan.len() >= self.capacity {
+            // Table pressure: expire first, then evict LRU of this proto.
+            self.expire(now);
+            if self.by_lan.len() >= self.capacity {
+                self.evict_lru(flow.proto, now)?;
+            }
+        }
+        let wan_port = self.allocate_port(flow.proto, now)?;
+        self.by_lan.insert(key, Mapping { wan_port, last_used: now });
+        self.by_wan.insert((flow.proto, wan_port), flow.src);
+        let wan_src = Endpoint::new(self.wan_addr, wan_port);
+        Ok(OutboundXlate {
+            wan_flow: FiveTuple { proto: flow.proto, src: wan_src, dst: flow.dst },
+            created: true,
+        })
+    }
+
+    /// Translate an inbound (WAN→LAN) flow addressed to our WAN address.
+    /// Returns the flow as seen on the LAN, or `NoMapping` (dropped).
+    pub fn translate_inbound(
+        &mut self,
+        now: SimTime,
+        flow: FiveTuple,
+    ) -> Result<FiveTuple, NatError> {
+        debug_assert_eq!(flow.dst.addr, self.wan_addr, "inbound packet not for us");
+        let lan = *self
+            .by_wan
+            .get(&(flow.proto, flow.dst.port))
+            .ok_or(NatError::NoMapping)?;
+        // Refresh the mapping: inbound traffic keeps it alive.
+        let timeout = self.timeout_for(flow.proto);
+        if let Some(m) = self.by_lan.get_mut(&(flow.proto, lan)) {
+            // Stale entries past their timeout are treated as gone even if
+            // not yet swept by `expire`.
+            if now.saturating_since(m.last_used) >= timeout {
+                self.by_lan.remove(&(flow.proto, lan));
+                self.by_wan.remove(&(flow.proto, flow.dst.port));
+                return Err(NatError::NoMapping);
+            }
+            m.last_used = now;
+        }
+        Ok(FiveTuple { proto: flow.proto, src: flow.src, dst: lan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WAN: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 7);
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_micros(secs * 1_000_000)
+    }
+
+    fn lan_flow(host: u8, sport: u16) -> FiveTuple {
+        FiveTuple {
+            proto: IpProtocol::Udp,
+            src: Endpoint::new(Ipv4Addr::new(192, 168, 1, host), sport),
+            dst: Endpoint::new(Ipv4Addr::new(8, 8, 8, 8), 53),
+        }
+    }
+
+    #[test]
+    fn outbound_rewrites_to_wan_addr() {
+        let mut nat = Nat::new(WAN);
+        let x = nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        assert!(x.created);
+        assert_eq!(x.wan_flow.src.addr, WAN);
+        assert_ne!(x.wan_flow.src.port, 5555 /* not guaranteed, but allocator starts at 1024 */);
+        assert_eq!(x.wan_flow.dst, lan_flow(10, 5555).dst);
+    }
+
+    #[test]
+    fn mapping_is_stable_and_reused() {
+        let mut nat = Nat::new(WAN);
+        let a = nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        let b = nat.translate_outbound(t(1), lan_flow(10, 5555)).unwrap();
+        assert!(!b.created);
+        assert_eq!(a.wan_flow.src, b.wan_flow.src);
+        assert_eq!(nat.mapping_count(), 1);
+    }
+
+    #[test]
+    fn distinct_lan_endpoints_get_distinct_ports() {
+        let mut nat = Nat::new(WAN);
+        let a = nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        let b = nat.translate_outbound(t(0), lan_flow(11, 5555)).unwrap();
+        let c = nat.translate_outbound(t(0), lan_flow(10, 5556)).unwrap();
+        assert_ne!(a.wan_flow.src.port, b.wan_flow.src.port);
+        assert_ne!(a.wan_flow.src.port, c.wan_flow.src.port);
+    }
+
+    #[test]
+    fn inbound_reverses_mapping() {
+        let mut nat = Nat::new(WAN);
+        let out = nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        let inbound = FiveTuple {
+            proto: IpProtocol::Udp,
+            src: out.wan_flow.dst,
+            dst: out.wan_flow.src,
+        };
+        let lan = nat.translate_inbound(t(1), inbound).unwrap();
+        assert_eq!(lan.dst, lan_flow(10, 5555).src);
+    }
+
+    #[test]
+    fn unsolicited_inbound_dropped() {
+        let mut nat = Nat::new(WAN);
+        let inbound = FiveTuple {
+            proto: IpProtocol::Udp,
+            src: Endpoint::new(Ipv4Addr::new(198, 51, 100, 1), 4000),
+            dst: Endpoint::new(WAN, 2000),
+        };
+        assert_eq!(nat.translate_inbound(t(0), inbound), Err(NatError::NoMapping));
+    }
+
+    #[test]
+    fn idle_mappings_expire() {
+        let mut nat = Nat::new(WAN);
+        nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        nat.expire(t(0) + UDP_IDLE_TIMEOUT);
+        assert_eq!(nat.mapping_count(), 0);
+    }
+
+    #[test]
+    fn traffic_refreshes_mapping() {
+        let mut nat = Nat::new(WAN);
+        nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        nat.translate_outbound(t(100), lan_flow(10, 5555)).unwrap();
+        nat.expire(t(130));
+        assert_eq!(nat.mapping_count(), 1, "refreshed mapping survives");
+        nat.expire(t(100) + UDP_IDLE_TIMEOUT);
+        assert_eq!(nat.mapping_count(), 0);
+    }
+
+    #[test]
+    fn stale_inbound_rejected_without_sweep() {
+        let mut nat = Nat::new(WAN);
+        let out = nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        let inbound = FiveTuple {
+            proto: IpProtocol::Udp,
+            src: out.wan_flow.dst,
+            dst: out.wan_flow.src,
+        };
+        let late = t(0) + UDP_IDLE_TIMEOUT + SimDuration::from_secs(1);
+        assert_eq!(nat.translate_inbound(late, inbound), Err(NatError::NoMapping));
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru() {
+        let mut nat = Nat::with_limits(WAN, UDP_IDLE_TIMEOUT, TCP_IDLE_TIMEOUT, 2);
+        nat.translate_outbound(t(0), lan_flow(1, 1000)).unwrap();
+        nat.translate_outbound(t(1), lan_flow(2, 1000)).unwrap();
+        nat.translate_outbound(t(2), lan_flow(3, 1000)).unwrap();
+        assert_eq!(nat.mapping_count(), 2);
+        // The oldest (host 1) must be gone; host 3 must be mapped.
+        let x = nat.translate_outbound(t(3), lan_flow(3, 1000)).unwrap();
+        assert!(!x.created);
+        let y = nat.translate_outbound(t(4), lan_flow(1, 1000)).unwrap();
+        assert!(y.created, "evicted mapping must be recreated");
+    }
+
+    #[test]
+    fn tcp_and_udp_port_spaces_independent() {
+        let mut nat = Nat::new(WAN);
+        let udp = nat.translate_outbound(t(0), lan_flow(10, 5555)).unwrap();
+        let mut tcp_flow = lan_flow(10, 5555);
+        tcp_flow.proto = IpProtocol::Tcp;
+        let tcp = nat.translate_outbound(t(0), tcp_flow).unwrap();
+        // Both may hold the same numeric port because the spaces are keyed
+        // by protocol; at minimum both mappings coexist.
+        assert_eq!(nat.mapping_count(), 2);
+        assert_eq!(udp.wan_flow.src.addr, tcp.wan_flow.src.addr);
+    }
+}

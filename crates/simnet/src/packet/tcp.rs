@@ -1,0 +1,179 @@
+//! TCP segment headers (no options beyond MSS on SYN), enough for the flow
+//! layer to exchange realistic segments and for the firmware's flow-statistics
+//! sampler to classify what it captures.
+
+use super::checksum;
+use super::ParseError;
+use std::net::Ipv4Addr;
+
+/// Length of an option-less TCP header.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP control flags (subset relevant here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags {
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// Acknowledgment field significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Push function.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// The SYN flag alone (connection open).
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    /// SYN+ACK (connection accept).
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    /// ACK alone.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    /// FIN+ACK (half-close).
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+
+    fn to_byte(self) -> u8 {
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A parsed or to-be-emitted TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Segment payload.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Construct a data segment with sensible defaults.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, flags: TcpFlags, payload: Vec<u8>) -> Self {
+        TcpSegment { src_port, dst_port, seq, ack: 0, flags, window: 65_535, payload }
+    }
+
+    /// Length on the wire.
+    pub fn wire_len(&self) -> usize {
+        TCP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialize with the pseudo-header checksum.
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.ack.to_be_bytes());
+        buf.push(0x50); // data offset 5 words
+        buf.push(self.flags.to_byte());
+        buf.extend_from_slice(&self.window.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&[0, 0]); // urgent pointer
+        buf.extend_from_slice(&self.payload);
+        let c = checksum::pseudo_header_checksum(src, dst, 6, &buf);
+        buf[16..18].copy_from_slice(&c.to_be_bytes());
+        buf
+    }
+
+    /// Parse and verify against the pseudo-header.
+    pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<TcpSegment, ParseError> {
+        if data.len() < TCP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let offset = ((data[12] >> 4) as usize) * 4;
+        if offset < TCP_HEADER_LEN || offset > data.len() {
+            return Err(ParseError::BadLength);
+        }
+        if checksum::pseudo_header_checksum(src, dst, 6, data) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: TcpFlags::from_byte(data[13]),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            payload: data[offset..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 5);
+    const DST: Ipv4Addr = Ipv4Addr::new(74, 125, 21, 99);
+
+    #[test]
+    fn round_trip() {
+        let seg = TcpSegment {
+            src_port: 43_210,
+            dst_port: 443,
+            seq: 0xDEAD_BEEF,
+            ack: 0x0102_0304,
+            flags: TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: true },
+            window: 29_200,
+            payload: vec![7; 100],
+        };
+        let wire = seg.emit(SRC, DST);
+        assert_eq!(TcpSegment::parse(&wire, SRC, DST).unwrap(), seg);
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for flags in [TcpFlags::SYN, TcpFlags::SYN_ACK, TcpFlags::ACK, TcpFlags::FIN_ACK] {
+            assert_eq!(TcpFlags::from_byte(flags.to_byte()), flags);
+        }
+        let rst = TcpFlags { rst: true, ..TcpFlags::default() };
+        assert_eq!(TcpFlags::from_byte(rst.to_byte()), rst);
+    }
+
+    #[test]
+    fn corrupt_rejected() {
+        let seg = TcpSegment::new(1, 2, 0, TcpFlags::SYN, Vec::new());
+        let mut wire = seg.emit(SRC, DST);
+        wire[4] ^= 0x40;
+        assert_eq!(TcpSegment::parse(&wire, SRC, DST), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(TcpSegment::parse(&[0; 19], SRC, DST), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        let seg = TcpSegment::new(1, 2, 0, TcpFlags::ACK, Vec::new());
+        let mut wire = seg.emit(SRC, DST);
+        wire[12] = 0xF0; // data offset 60 bytes > buffer
+        assert_eq!(TcpSegment::parse(&wire, SRC, DST), Err(ParseError::BadLength));
+    }
+}

@@ -1,0 +1,432 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulation components share a single virtual clock measured in
+//! microseconds from the *study epoch*. The epoch is defined to be
+//! **Monday, October 1, 2012, 00:00:00 UTC** — the first day of the paper's
+//! Heartbeats collection window — so that calendar arithmetic (day-of-week,
+//! hour-of-day) matches the deployment the paper describes.
+//!
+//! [`SimTime`] is an absolute instant; [`SimDuration`] is a difference
+//! between instants. Both are thin wrappers over `u64`/`i64` microsecond
+//! counts with saturating construction helpers, ordered and hashable, and
+//! cheap to copy. Wall-clock time is never consulted anywhere in the
+//! workspace; this is what makes every run bit-reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Microseconds in one minute.
+pub const MICROS_PER_MIN: u64 = 60 * MICROS_PER_SEC;
+/// Microseconds in one hour.
+pub const MICROS_PER_HOUR: u64 = 60 * MICROS_PER_MIN;
+/// Microseconds in one day.
+pub const MICROS_PER_DAY: u64 = 24 * MICROS_PER_HOUR;
+
+/// Day of week for calendar logic. The study epoch is a Monday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are self-describing day names
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays starting from Monday (the epoch day).
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Whether this day falls on the weekend.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// Day index with Monday = 0 .. Sunday = 6.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&d| d == self).expect("weekday in table")
+    }
+}
+
+/// A span of virtual time. Internally a non-negative microsecond count.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Negative or non-finite inputs
+    /// saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * MICROS_PER_SEC as f64).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * MICROS_PER_MIN)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * MICROS_PER_HOUR)
+    }
+
+    /// Construct from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * MICROS_PER_DAY)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration in whole seconds, truncating.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Duration in whole minutes, truncating.
+    pub const fn as_mins(self) -> u64 {
+        self.0 / MICROS_PER_MIN
+    }
+
+    /// Duration in whole hours, truncating.
+    pub const fn as_hours(self) -> u64 {
+        self.0 / MICROS_PER_HOUR
+    }
+
+    /// Duration in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_DAY as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Rem<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s < 1.0 {
+            write!(f, "{:.1}ms", s * 1_000.0)
+        } else if s < 120.0 {
+            write!(f, "{s:.1}s")
+        } else if s < 2.0 * 3_600.0 {
+            write!(f, "{:.1}min", s / 60.0)
+        } else if s < 2.0 * 86_400.0 {
+            write!(f, "{:.1}h", s / 3_600.0)
+        } else {
+            write!(f, "{:.1}d", s / 86_400.0)
+        }
+    }
+}
+
+/// An absolute instant of virtual time: microseconds since the study epoch
+/// (Monday 2012-10-01 00:00 UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The study epoch itself.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Raw microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since the epoch.
+    pub const fn elapsed(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// Time elapsed since `earlier`; panics if `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(earlier.0).expect("SimTime::since underflow"))
+    }
+
+    /// Time elapsed since `earlier`, or zero if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Apply a fixed local-time offset. Positive offsets move east of UTC.
+    /// Saturates at the epoch going west.
+    pub fn to_local(self, utc_offset_hours: i32) -> SimTime {
+        let shift = (utc_offset_hours.unsigned_abs() as u64) * MICROS_PER_HOUR;
+        if utc_offset_hours >= 0 {
+            SimTime(self.0.saturating_add(shift))
+        } else {
+            SimTime(self.0.saturating_sub(shift))
+        }
+    }
+
+    /// Calendar day index since the epoch (day 0 is the epoch Monday).
+    pub const fn day_index(self) -> u64 {
+        self.0 / MICROS_PER_DAY
+    }
+
+    /// Day of week of this instant.
+    pub fn weekday(self) -> Weekday {
+        Weekday::ALL[(self.day_index() % 7) as usize]
+    }
+
+    /// Hour of day in `[0, 24)`.
+    pub const fn hour_of_day(self) -> u32 {
+        ((self.0 % MICROS_PER_DAY) / MICROS_PER_HOUR) as u32
+    }
+
+    /// Minute of day in `[0, 1440)`.
+    pub const fn minute_of_day(self) -> u32 {
+        ((self.0 % MICROS_PER_DAY) / MICROS_PER_MIN) as u32
+    }
+
+    /// Fractional hour of day in `[0, 24)`, useful for smooth diurnal curves.
+    pub fn hour_of_day_f64(self) -> f64 {
+        (self.0 % MICROS_PER_DAY) as f64 / MICROS_PER_HOUR as f64
+    }
+
+    /// The most recent instant at or before `self` aligned to `step` since
+    /// the epoch. `step` must be non-zero.
+    pub fn align_down(self, step: SimDuration) -> SimTime {
+        assert!(!step.is_zero(), "align step must be non-zero");
+        SimTime(self.0 - self.0 % step.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day_index();
+        let h = self.hour_of_day();
+        let m = self.minute_of_day() % 60;
+        let s = (self.0 % MICROS_PER_MIN) / MICROS_PER_SEC;
+        write!(f, "d{day:03} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monday() {
+        assert_eq!(SimTime::EPOCH.weekday(), Weekday::Monday);
+        assert!(!SimTime::EPOCH.weekday().is_weekend());
+    }
+
+    #[test]
+    fn weekday_cycle() {
+        let sat = SimTime::EPOCH + SimDuration::from_days(5);
+        assert_eq!(sat.weekday(), Weekday::Saturday);
+        assert!(sat.weekday().is_weekend());
+        let next_mon = SimTime::EPOCH + SimDuration::from_days(7);
+        assert_eq!(next_mon.weekday(), Weekday::Monday);
+    }
+
+    #[test]
+    fn hour_and_minute_of_day() {
+        let t = SimTime::EPOCH + SimDuration::from_hours(25) + SimDuration::from_mins(30);
+        assert_eq!(t.day_index(), 1);
+        assert_eq!(t.hour_of_day(), 1);
+        assert_eq!(t.minute_of_day(), 90);
+        assert!((t.hour_of_day_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_time_offsets() {
+        let t = SimTime::EPOCH + SimDuration::from_hours(12);
+        assert_eq!(t.to_local(5).hour_of_day(), 17);
+        assert_eq!(t.to_local(-5).hour_of_day(), 7);
+        // Saturation at the epoch going west.
+        assert_eq!(SimTime::EPOCH.to_local(-8), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_secs(90);
+        assert_eq!(d.as_mins(), 1);
+        assert_eq!(d.as_secs(), 90);
+        assert_eq!((d * 2).as_secs(), 180);
+        assert_eq!((d / 2).as_secs(), 45);
+        assert!((d / SimDuration::from_secs(45) - 2.0).abs() < 1e-12);
+        assert_eq!(d.saturating_sub(SimDuration::from_secs(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+    }
+
+    #[test]
+    fn align_down() {
+        let t = SimTime::from_micros(7 * MICROS_PER_MIN + 123);
+        assert_eq!(t.align_down(SimDuration::from_mins(5)), SimTime::from_micros(5 * MICROS_PER_MIN));
+    }
+
+    #[test]
+    fn time_ordering_and_since() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(25);
+        assert!(a < b);
+        assert_eq!(b.since(a).as_micros(), 15);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b - a, SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "250.0ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(30)), "30.0s");
+        assert_eq!(format!("{}", SimDuration::from_mins(10)), "10.0min");
+        assert_eq!(format!("{}", SimDuration::from_hours(5)), "5.0h");
+        assert_eq!(format!("{}", SimDuration::from_days(3)), "3.0d");
+        assert_eq!(
+            format!("{}", SimTime::EPOCH + SimDuration::from_hours(26)),
+            "d001 02:00:00"
+        );
+    }
+}

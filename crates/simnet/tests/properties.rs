@@ -1,0 +1,273 @@
+//! Property-based tests over the simnet substrate: wire-format round
+//! trips under arbitrary inputs, event-queue ordering invariants, NAT
+//! translation invariants, and link-model monotonicity.
+
+use proptest::prelude::*;
+use simnet::dns::{DnsQuery, DnsRecord, DnsResponse, DomainName, RecordData};
+use simnet::event::EventQueue;
+use simnet::link::{Link, LinkConfig, TxOutcome};
+use simnet::nat::Nat;
+use simnet::packet::{
+    Endpoint, EthernetFrame, EtherType, FiveTuple, IpProtocol, Ipv4Packet, MacAddr, TcpFlags,
+    TcpSegment, UdpDatagram,
+};
+use simnet::rng::{DetRng, ZipfTable};
+use simnet::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9-]{0,20}").expect("valid regex")
+}
+
+fn arb_domain() -> impl Strategy<Value = DomainName> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| DomainName::new(&labels.join(".")).expect("labels are valid"))
+}
+
+proptest! {
+    #[test]
+    fn ethernet_round_trip(dst in arb_mac(), src in arb_mac(), ethertype in any::<u16>(),
+                           payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let frame = EthernetFrame { dst, src, ethertype: EtherType::from(ethertype), payload };
+        let parsed = EthernetFrame::parse(&frame.emit()).unwrap();
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn ipv4_round_trip(src in arb_ipv4(), dst in arb_ipv4(), proto in any::<u8>(),
+                       ttl in 1u8..=255, ident in any::<u16>(),
+                       payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let pkt = Ipv4Packet {
+            src, dst,
+            protocol: IpProtocol::from(proto),
+            ttl,
+            identification: ident,
+            dscp_ecn: 0,
+            payload,
+        };
+        let parsed = Ipv4Packet::parse(&pkt.emit()).unwrap();
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn ipv4_single_bit_flip_detected_in_header(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        byte in 0usize..20, bit in 0u8..8,
+    ) {
+        let pkt = Ipv4Packet::new(src, dst, IpProtocol::Tcp, payload);
+        let mut wire = pkt.emit();
+        wire[byte] ^= 1 << bit;
+        // Any single-bit header corruption must be rejected: either the
+        // checksum catches it or a structural check does.
+        prop_assert!(Ipv4Packet::parse(&wire).is_err());
+    }
+
+    #[test]
+    fn udp_round_trip(src in arb_ipv4(), dst in arb_ipv4(),
+                      sport in any::<u16>(), dport in any::<u16>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let dgram = UdpDatagram::new(sport, dport, payload);
+        let parsed = UdpDatagram::parse(&dgram.emit(src, dst), src, dst).unwrap();
+        prop_assert_eq!(parsed, dgram);
+    }
+
+    #[test]
+    fn tcp_round_trip(src in arb_ipv4(), dst in arb_ipv4(), sport in any::<u16>(),
+                      dport in any::<u16>(), seq in any::<u32>(), ack in any::<u32>(),
+                      window in any::<u16>(), flag_bits in 0u8..32,
+                      payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let seg = TcpSegment {
+            src_port: sport,
+            dst_port: dport,
+            seq,
+            ack,
+            flags: TcpFlags {
+                fin: flag_bits & 1 != 0,
+                syn: flag_bits & 2 != 0,
+                rst: flag_bits & 4 != 0,
+                psh: flag_bits & 8 != 0,
+                ack: flag_bits & 16 != 0,
+            },
+            window,
+            payload,
+        };
+        let parsed = TcpSegment::parse(&seg.emit(src, dst), src, dst).unwrap();
+        prop_assert_eq!(parsed, seg);
+    }
+
+    #[test]
+    fn dns_query_round_trip(id in any::<u16>(), name in arb_domain()) {
+        let q = DnsQuery { id, name };
+        prop_assert_eq!(DnsQuery::parse(&q.emit()).unwrap(), q);
+    }
+
+    #[test]
+    fn dns_response_round_trip(id in any::<u16>(), question in arb_domain(),
+                               chain in proptest::collection::vec(arb_domain(), 0..4),
+                               addr in arb_ipv4(), ttl_secs in 0u32..1_000_000) {
+        // Build a CNAME chain ending in an A record (or NXDOMAIN when empty).
+        let mut answers = Vec::new();
+        let mut owner = question.clone();
+        for target in &chain {
+            answers.push(DnsRecord {
+                name: owner.clone(),
+                data: RecordData::Cname(target.clone()),
+                ttl: SimDuration::from_secs(u64::from(ttl_secs)),
+            });
+            owner = target.clone();
+        }
+        if !chain.is_empty() {
+            answers.push(DnsRecord {
+                name: owner,
+                data: RecordData::A(addr),
+                ttl: SimDuration::from_secs(u64::from(ttl_secs)),
+            });
+        }
+        let resp = DnsResponse { id, question, answers };
+        let parsed = DnsResponse::parse(&resp.emit()).unwrap();
+        prop_assert_eq!(&parsed, &resp);
+        if !chain.is_empty() {
+            prop_assert_eq!(parsed.address(), Some(addr));
+        }
+    }
+
+    #[test]
+    fn domain_parse_never_panics(s in "\\PC{0,64}") {
+        let _ = DomainName::new(&s);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*t), i);
+        }
+        let mut last = SimTime::EPOCH;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn event_queue_same_time_is_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_micros(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_queue_cancellation_exact(cancel_mask in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = cancel_mask
+            .iter()
+            .enumerate()
+            .map(|(i, _)| q.schedule(SimTime::from_micros(i as u64), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, (&cancel, id)) in cancel_mask.iter().zip(&ids).enumerate() {
+            if cancel {
+                prop_assert!(q.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        let delivered: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn nat_round_trip_any_flow(host in 2u8..250, sport in 1024u16..65000,
+                               dst in arb_ipv4(), dport in 1u16..65000, proto_tcp in any::<bool>()) {
+        let wan = Ipv4Addr::new(203, 0, 113, 9);
+        let mut nat = Nat::new(wan);
+        let flow = FiveTuple {
+            proto: if proto_tcp { IpProtocol::Tcp } else { IpProtocol::Udp },
+            src: Endpoint::new(Ipv4Addr::new(192, 168, 1, host), sport),
+            dst: Endpoint::new(dst, dport),
+        };
+        let out = nat.translate_outbound(SimTime::EPOCH, flow).unwrap();
+        prop_assert_eq!(out.wan_flow.src.addr, wan);
+        prop_assert_eq!(out.wan_flow.dst, flow.dst);
+        // The reply translates back to exactly the original LAN endpoint.
+        let reply = out.wan_flow.reversed();
+        let lan = nat.translate_inbound(SimTime::from_micros(1), reply).unwrap();
+        prop_assert_eq!(lan.dst, flow.src);
+    }
+
+    #[test]
+    fn nat_distinct_sources_never_collide(hosts in proptest::collection::btree_set(2u8..250, 2..40)) {
+        let mut nat = Nat::new(Ipv4Addr::new(203, 0, 113, 9));
+        let mut ports = std::collections::HashSet::new();
+        for host in hosts {
+            let flow = FiveTuple {
+                proto: IpProtocol::Udp,
+                src: Endpoint::new(Ipv4Addr::new(10, 0, 0, host), 5000),
+                dst: Endpoint::new(Ipv4Addr::new(8, 8, 8, 8), 53),
+            };
+            let out = nat.translate_outbound(SimTime::EPOCH, flow).unwrap();
+            prop_assert!(ports.insert(out.wan_flow.src.port), "WAN port reused");
+        }
+    }
+
+    #[test]
+    fn link_deliveries_are_fifo(sizes in proptest::collection::vec(64u64..9000, 1..100),
+                                gaps in proptest::collection::vec(0u64..5_000, 1..100)) {
+        let mut link = Link::new(LinkConfig::simple(10_000_000, SimDuration::from_millis(3), 1 << 22));
+        let mut now = SimTime::EPOCH;
+        let mut last_delivery = SimTime::EPOCH;
+        for (size, gap) in sizes.iter().zip(&gaps) {
+            now += SimDuration::from_micros(*gap);
+            if let TxOutcome::Delivered { at } = link.transmit(now, *size) {
+                prop_assert!(at >= last_delivery, "FIFO violated");
+                prop_assert!(at >= now, "delivery before arrival");
+                last_delivery = at;
+            }
+        }
+    }
+
+    #[test]
+    fn link_backlog_never_exceeds_limit(sizes in proptest::collection::vec(64u64..9000, 1..200)) {
+        let limit = 20_000u64;
+        let mut link = Link::new(LinkConfig::simple(1_000_000, SimDuration::ZERO, limit));
+        for size in sizes {
+            link.transmit(SimTime::EPOCH, size);
+            prop_assert!(link.backlog_bytes(SimTime::EPOCH) <= limit);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized_and_monotone(n in 1usize..500, s in 0.1f64..3.0) {
+        let table = ZipfTable::new(n, s);
+        let total: f64 = (0..n).map(|i| table.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(table.pmf(i) <= table.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn derived_rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let a = DetRng::new(seed);
+        let mut s1 = a.derive(&label);
+        let mut s2 = DetRng::new(seed).derive(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The full reproduction: the complete 126-home deployment over a
+//! configurable virtual span (default 60 days; pass `--full` for the
+//! paper's entire October–April window), rendering every figure and table.
+//!
+//! ```sh
+//! cargo run --release --example global_study            # 60 virtual days
+//! cargo run --release --example global_study -- --full  # 197 virtual days
+//! cargo run --release --example global_study -- --days 30
+//! ```
+
+use bismark::study::{run_study, StudyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let config = if args.iter().any(|a| a == "--full") {
+        StudyConfig::full(2013)
+    } else if let Some(pos) = args.iter().position(|a| a == "--days") {
+        let days: u64 = args
+            .get(pos + 1)
+            .and_then(|d| d.parse().ok())
+            .expect("--days requires a number");
+        StudyConfig::quick(2013, days)
+    } else {
+        StudyConfig::quick(2013, 60)
+    };
+
+    let span_days = config.windows.span.duration().as_days_f64();
+    eprintln!("Running the deployment over {span_days:.0} virtual days on {} threads...", config.threads);
+    let started = std::time::Instant::now();
+    let output = run_study(&config);
+    eprintln!(
+        "Simulation finished in {:.1}s wall clock; {} records collected.",
+        started.elapsed().as_secs_f64(),
+        output.datasets.record_count()
+    );
+
+    let report = output.report();
+    println!("{}", report.render(&output.datasets));
+}

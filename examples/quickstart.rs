@@ -1,0 +1,68 @@
+//! Quickstart: run a scaled-down BISmark study (the full 126-home
+//! deployment over a two-week virtual span) and print the paper's
+//! highlight numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bismark::study::{run_study, StudyConfig};
+
+fn main() {
+    // Seed 2013 — everything (homes, behavior, measurements) derives from it.
+    let config = StudyConfig::quick(2013, 14);
+    println!("Simulating 126 homes in 19 countries over 14 virtual days...");
+    let output = run_study(&config);
+    println!(
+        "Collected {} records from {} routers.\n",
+        output.datasets.record_count(),
+        output.datasets.heartbeats.len()
+    );
+
+    let report = output.report();
+
+    // §4 Availability.
+    println!("== Availability ==");
+    println!(
+        "Median downtimes/day: developed {:.3}, developing {:.3}",
+        report.fig3.developed.median(),
+        report.fig3.developing.median()
+    );
+    if !report.fig4.developing.is_empty() {
+        println!(
+            "Median downtime duration: developed {:.0} min, developing {:.0} min",
+            report.fig4.developed.median() / 60.0,
+            report.fig4.developing.median() / 60.0
+        );
+    }
+
+    // §5 Infrastructure.
+    println!("\n== Infrastructure ==");
+    println!("Median devices per home: {:.0}", report.fig7.median());
+    println!(
+        "Unique devices per band (median): 2.4 GHz {:.0}, 5 GHz {:.0}",
+        report.fig10.ghz24.median(),
+        report.fig10.ghz5.median()
+    );
+    println!(
+        "Visible APs (median): developed {:.0}, developing {:.0}",
+        report.fig11.developed.median(),
+        report.fig11.developing.median()
+    );
+
+    // §6 Usage.
+    println!("\n== Usage ==");
+    println!(
+        "Dominant device carries {:.0}% of home traffic on average",
+        report.fig17.mean_top_share * 100.0
+    );
+    println!(
+        "Top domain: {:.0}% of bytes, {:.0}% of connections",
+        report.fig19.volume_share_by_rank.first().unwrap_or(&0.0) * 100.0,
+        report.fig19.connections_of_volume_rank.first().unwrap_or(&0.0) * 100.0
+    );
+    println!(
+        "{} home(s) oversaturate their uplink (bufferbloat)",
+        report.table6.oversaturating_homes
+    );
+}

@@ -1,0 +1,85 @@
+//! Spectrum deep-dive (§5.3): sweep neighborhood density and watch what
+//! the router's scans see — how crowded 2.4 GHz is versus 5 GHz, how much
+//! airtime co-channel neighbors steal, and how the Fig 11 bimodality
+//! arises from dense vs sparse environments.
+//!
+//! ```sh
+//! cargo run --release --example spectrum_survey
+//! ```
+
+use firmware::anonymize::Anonymizer;
+use simnet::rng::DetRng;
+use simnet::wifi::{Band, Channel, NeighborAp, Radio};
+use simnet::packet::MacAddr;
+
+/// Build a synthetic neighborhood with `n24` APs on 2.4 GHz (clustered on
+/// channels 1/6/11) and `n5` on 5 GHz.
+fn neighborhood(n24: usize, n5: usize, rng: &mut DetRng) -> Vec<NeighborAp> {
+    let mut aps = Vec::new();
+    for i in 0..n24 {
+        let number = [1u8, 6, 11][i % 3];
+        aps.push(NeighborAp {
+            bssid: MacAddr::from_oui_nic(0xF8_1A_67, i as u32),
+            channel: Channel::new(Band::Ghz24, number).expect("valid"),
+            signal_dbm: rng.normal(-70.0, 8.0).clamp(-91.0, -40.0) as i8,
+            airtime_load: rng.uniform_range(0.02, 0.2),
+        });
+    }
+    for i in 0..n5 {
+        aps.push(NeighborAp {
+            bssid: MacAddr::from_oui_nic(0x00_26_5A, 0x8000 + i as u32),
+            channel: Channel::new(Band::Ghz5, [36u8, 40, 44, 48][i % 4]).expect("valid"),
+            signal_dbm: rng.normal(-75.0, 6.0).clamp(-91.0, -45.0) as i8,
+            airtime_load: rng.uniform_range(0.01, 0.08),
+        });
+    }
+    aps
+}
+
+fn main() {
+    let mut rng = DetRng::new(2013);
+    let anonymizer = Anonymizer::new(1, []);
+    let _ = &anonymizer;
+
+    println!("Neighborhood density sweep: two weeks of 10-minute scans per row\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>16}",
+        "APs (2.4)", "seen (2.4)", "seen (5)", "airtime left", "per-station Mbps"
+    );
+    for &n24 in &[0usize, 2, 5, 10, 20, 40, 65] {
+        let n5 = (n24 / 8).max(if n24 > 0 { 1 } else { 0 });
+        let hood = neighborhood(n24, n5, &mut rng);
+        let mut radio24 = Radio::new(Band::Ghz24);
+        let mut radio5 = Radio::new(Band::Ghz5);
+        let mut seen24 = std::collections::HashSet::new();
+        let mut seen5 = std::collections::HashSet::new();
+        // Two weeks of scans at the firmware's 10-minute cadence.
+        for _ in 0..(14 * 24 * 6) {
+            for entry in radio24.scan(&hood, &mut rng).visible {
+                seen24.insert(entry.bssid);
+            }
+            for entry in radio5.scan(&hood, &mut rng).visible {
+                seen5.insert(entry.bssid);
+            }
+        }
+        let share = radio24.airtime_share(&hood);
+        let throughput = radio24.per_station_throughput_bps(&hood, 2) as f64 / 1e6;
+        println!(
+            "{n24:>10} {:>12} {:>12} {:>13.0}% {:>15.1}",
+            seen24.len(),
+            seen5.len(),
+            share * 100.0,
+            throughput
+        );
+    }
+
+    println!("\nReading the table:");
+    println!("- 'seen' counts unique BSSIDs accumulated over all scans: weak APs are");
+    println!("  detected intermittently, so two weeks of scanning approaches the true");
+    println!("  co-channel population — Fig 11's median of ~20 in developed countries");
+    println!("  corresponds to the dense rows, and its ~2 in developing to the sparse.");
+    println!("- 5 GHz stays nearly empty at every density (Fig 9/10: the 2.4 GHz band");
+    println!("  is where the contention is).");
+    println!("- airtime left is what the home's own BSS can use once co-channel");
+    println!("  neighbors take their share; per-station throughput falls with it.");
+}

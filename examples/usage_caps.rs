@@ -1,0 +1,59 @@
+//! The usage-cap manager the BISmark firmware shipped (the paper's
+//! reference [24], "Communicating with caps"): per-device quota tracking
+//! on top of the Traffic data, with the threshold alerts the router's web
+//! UI showed to users on capped plans.
+//!
+//! ```sh
+//! cargo run --release --example usage_caps
+//! ```
+
+use analysis::caps::{account, Plan};
+use bismark::study::{run_study, StudyConfig};
+
+fn main() {
+    println!("Running a 20-day study...");
+    let output = run_study(&StudyConfig::quick(123, 20));
+    let windows = output.windows.report_windows();
+
+    // A 10 GB/month plan, prorated to the capture window.
+    let plan = Plan::monthly(10 * 1_000_000_000, windows.traffic);
+    println!(
+        "Plan: 10 GB/month, prorated to {:.1} GB over the {:.1}-day window.\n",
+        plan.cap_bytes as f64 / 1e9,
+        windows.traffic.duration().as_days_f64()
+    );
+
+    let usage = account(&output.datasets, windows.traffic, &plan);
+    for home in usage.iter().take(3) {
+        println!(
+            "{}: {:.2} GB used ({:.0}% of cap)",
+            home.router,
+            home.total_bytes as f64 / 1e9,
+            home.cap_fraction(&plan) * 100.0
+        );
+        for (device, bytes) in home.per_device.iter().take(4) {
+            println!(
+                "    {device}  {:.2} GB ({:.0}% of home usage)",
+                *bytes as f64 / 1e9,
+                100.0 * *bytes as f64 / home.total_bytes as f64
+            );
+        }
+        if home.alerts.is_empty() {
+            println!("    no alerts fired");
+        }
+        for alert in &home.alerts {
+            println!(
+                "    alert: crossed {:.0}% of cap at {}",
+                alert.threshold * 100.0,
+                alert.at
+            );
+        }
+        println!();
+    }
+    let exhausted = usage.iter().filter(|h| h.exhausted(&plan)).count();
+    println!(
+        "{} of {} Traffic homes would have exhausted a 10 GB/month plan.",
+        exhausted,
+        usage.len()
+    );
+}

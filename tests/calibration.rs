@@ -1,0 +1,339 @@
+//! Calibration tests: the paper's headline results, asserted as *shapes*
+//! (who wins, by roughly what factor) on one shared reduced study.
+//!
+//! A single 24-virtual-day study of the full 126-home deployment is run
+//! once and shared by every test in this binary. Absolute values are not
+//! expected to match the paper (shorter window, synthetic substrate); the
+//! directions and rough magnitudes are.
+
+use analysis::StudyReport;
+use bismark::study::{run_study, StudyConfig, StudyOutput};
+use std::sync::OnceLock;
+
+fn study() -> &'static (StudyOutput, StudyReport) {
+    static STUDY: OnceLock<(StudyOutput, StudyReport)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let output = run_study(&StudyConfig::quick(2013, 24));
+        let report = output.report();
+        (output, report)
+    })
+}
+
+// ---- §4 Availability ----
+
+#[test]
+fn fig3_developing_sees_far_more_downtime() {
+    let (_, report) = study();
+    let developed = &report.fig3.developed;
+    let developing = &report.fig3.developing;
+    assert!(developed.len() > 60 && developing.len() > 20, "most routers analyzable");
+    // Developed median: well under one downtime every 3 days; developing:
+    // several per week at least.
+    assert!(developed.median() < 0.34, "developed median {}", developed.median());
+    assert!(developing.median() > 0.3, "developing median {}", developing.median());
+    assert!(
+        developing.median() > 5.0 * developed.median().max(0.02),
+        "region gap must be large"
+    );
+}
+
+#[test]
+fn fig4_median_downtime_tens_of_minutes_developing_longer() {
+    let (_, report) = study();
+    let developed = report.fig4.developed.median();
+    let developing = report.fig4.developing.median();
+    // Median downtime is tens of minutes (paper: ~30 min), hours at most.
+    assert!((10.0 * 60.0..4.0 * 3600.0).contains(&developed), "developed {developed}");
+    assert!(developing > developed, "developing downtimes last longer");
+}
+
+#[test]
+fn fig5_poorest_countries_have_most_downtime() {
+    let (_, report) = study();
+    assert!(report.fig5.len() >= 4, "several countries have >=3 routers");
+    // The two lowest-GDP points are India and Pakistan, and their median
+    // downtime counts top the developed countries'.
+    let poorest: Vec<&str> = report.fig5.iter().take(2).map(|p| p.code).collect();
+    assert!(poorest.contains(&"IN") && poorest.contains(&"PK"));
+    let worst_poor = report.fig5[..2]
+        .iter()
+        .map(|p| p.median_downtimes)
+        .fold(f64::MIN, f64::max);
+    let best_rich = report
+        .fig5
+        .iter()
+        .filter(|p| p.region == household::Region::Developed)
+        .map(|p| p.median_downtimes)
+        .fold(f64::MAX, f64::min);
+    assert!(worst_poor > 4.0 * best_rich.max(0.5), "{worst_poor} vs {best_rich}");
+}
+
+#[test]
+fn fig6_archetypes_exist() {
+    let (_, report) = study();
+    let (always_on, appliance, flaky) = report.fig6;
+    assert!(always_on.is_some(), "an always-on exemplar exists");
+    assert!(appliance.is_some(), "an appliance-mode exemplar exists");
+    assert!(flaky.is_some(), "a flaky-ISP exemplar exists");
+}
+
+#[test]
+fn coverage_us_high_india_lower() {
+    let (_, report) = study();
+    let find = |c: household::Country| {
+        report
+            .coverage
+            .iter()
+            .find(|(country, ..)| *country == c)
+            .map(|(_, cov, _)| *cov)
+            .expect("country present")
+    };
+    let us = find(household::Country::UnitedStates);
+    let india = find(household::Country::India);
+    // Paper: US 98.25%, India 76%.
+    assert!(us > 0.93, "US coverage {us}");
+    assert!(india < 0.90, "India coverage {india}");
+    assert!(us > india, "US above India");
+}
+
+#[test]
+fn table3_gap_between_downtimes() {
+    let (_, report) = study();
+    // Developed: more than two weeks between downtimes at the median
+    // (paper: more than a month over the full window); developing: around
+    // a day or less.
+    assert!(report.table3.developed_median_time_between > simnet::time::SimDuration::from_days(14));
+    assert!(report.table3.developing_median_time_between < simnet::time::SimDuration::from_days(3));
+    assert!(["IN", "PK"].contains(&report.table3.worst_two[0]));
+    assert!(report.table3.appliance_mode_observed);
+}
+
+// ---- §5 Infrastructure ----
+
+#[test]
+fn fig7_median_five_or_more_devices() {
+    let (_, report) = study();
+    assert!(report.fig7.len() > 100, "most homes censused");
+    assert!(report.fig7.median() >= 5.0, "median devices {}", report.fig7.median());
+    assert!(report.fig7.quantile(0.95) <= 16.0, "sane upper tail");
+}
+
+#[test]
+fn fig8_developed_more_devices_more_wired() {
+    let (_, report) = study();
+    let fig8 = &report.fig8;
+    assert!(fig8.developed.0.mean > fig8.developing.0.mean, "more wired in developed");
+    assert!(fig8.developed.1.mean > fig8.developing.1.mean, "more wireless too");
+    // Wireless outnumbers wired in both regions (the §5.2 result).
+    assert!(fig8.developed.1.mean > fig8.developed.0.mean);
+    assert!(fig8.developing.1.mean > fig8.developing.0.mean);
+    // Average wired ports used is below one in both regions.
+    assert!(fig8.developed.0.mean < 1.0 && fig8.developing.0.mean < 1.0);
+}
+
+#[test]
+fn fig9_and_fig10_band_asymmetry() {
+    let (_, report) = study();
+    assert!(
+        report.fig9.ghz24.mean > 1.8 * report.fig9.ghz5.mean,
+        "2.4 GHz must carry far more stations: {} vs {}",
+        report.fig9.ghz24.mean,
+        report.fig9.ghz5.mean
+    );
+    // Paper: medians 5 vs 2 unique devices.
+    let m24 = report.fig10.ghz24.median();
+    let m5 = report.fig10.ghz5.median();
+    assert!((4.0..=7.0).contains(&m24), "2.4 GHz median {m24}");
+    assert!((1.0..=3.0).contains(&m5), "5 GHz median {m5}");
+}
+
+#[test]
+fn fig11_ap_density_gap_and_bimodality() {
+    let (_, report) = study();
+    let developed = &report.fig11.developed;
+    let developing = &report.fig11.developing;
+    // Paper: medians ~20 vs ~2.
+    assert!(developed.median() >= 10.0, "developed AP median {}", developed.median());
+    assert!(developing.median() <= 6.0, "developing AP median {}", developing.median());
+    assert!(developed.median() > 3.0 * developing.median().max(1.0));
+    // Bimodality: in developed countries a noticeable mass sits at "very
+    // few" even though the median is high.
+    let low_mass = developed.fraction_at_or_below(6.0);
+    assert!((0.05..0.5).contains(&low_mass), "low mode mass {low_mass}");
+}
+
+#[test]
+fn fig12_apple_leads_vendor_histogram() {
+    let (_, report) = study();
+    assert!(report.fig12.len() >= 5, "several vendor classes observed");
+    assert_eq!(report.fig12[0].0, household::VendorClass::Apple, "Apple leads");
+    let total: usize = report.fig12.iter().map(|(_, n)| *n).sum();
+    assert!(total >= 50, "enough Traffic-home devices: {total}");
+}
+
+#[test]
+fn table5_always_connected_gap() {
+    let (_, report) = study();
+    let developed = report
+        .table5
+        .iter()
+        .find(|r| r.region == household::Region::Developed)
+        .expect("developed row");
+    let developing = report
+        .table5
+        .iter()
+        .find(|r| r.region == household::Region::Developing)
+        .expect("developing row");
+    let dev_frac = developed.wired as f64 / developed.total.max(1) as f64;
+    let ding_frac = developing.wired as f64 / developing.total.max(1) as f64;
+    // Paper: 43% vs 12%.
+    assert!((0.25..0.65).contains(&dev_frac), "developed always-on wired {dev_frac}");
+    assert!(ding_frac < 0.30, "developing always-on wired {ding_frac}");
+    assert!(dev_frac > 1.5 * ding_frac.max(0.05));
+}
+
+// ---- §6 Usage ----
+
+#[test]
+fn fig13_weekday_more_diurnal_than_weekend() {
+    let (_, report) = study();
+    let weekday_spread = analysis::usage::Fig13::spread(&report.fig13.weekday);
+    let weekend_spread = analysis::usage::Fig13::spread(&report.fig13.weekend);
+    assert!(weekday_spread > weekend_spread, "{weekday_spread} vs {weekend_spread}");
+    // Weekday evening (local 19–22) beats weekday afternoon (13–16).
+    let evening: f64 = report.fig13.weekday[19..22].iter().sum();
+    let afternoon: f64 = report.fig13.weekday[13..16].iter().sum();
+    assert!(evening > afternoon, "evening {evening} vs afternoon {afternoon}");
+}
+
+#[test]
+fn fig15_most_homes_lightly_used() {
+    let (_, report) = study();
+    assert!(report.fig15.len() >= 15, "enough Traffic homes: {}", report.fig15.len());
+    let under_half = report.fig15.iter().filter(|p| p.down_utilization < 0.5).count();
+    assert!(
+        under_half * 2 > report.fig15.len(),
+        "most homes use <50% of downlink at p95: {under_half}/{}",
+        report.fig15.len()
+    );
+    let down_saturators = report.fig15.iter().filter(|p| p.down_utilization >= 0.95).count();
+    assert!(down_saturators <= 4, "only a couple of homes saturate the downlink");
+}
+
+#[test]
+fn fig16_a_few_homes_exceed_uplink_capacity() {
+    let (output, report) = study();
+    let over = report.fig16.len();
+    assert!((1..=5).contains(&over), "oversaturating homes: {over}");
+    // At least one scientific-uploader home must be among them.
+    let quirky: Vec<u32> =
+        output.homes.iter().filter(|h| h.quirk.is_some()).map(|h| h.id.0).collect();
+    let flagged: Vec<u32> = report.fig16.iter().map(|f| f.router.0).collect();
+    let caught = quirky.iter().filter(|id| flagged.contains(id)).count();
+    assert!(caught >= 1, "uploader detected: quirky {quirky:?} flagged {flagged:?}");
+}
+
+#[test]
+fn fig17_dominant_device_carries_most_traffic() {
+    let (_, report) = study();
+    // Paper: ~60% top, ~20% second.
+    assert!(
+        (0.45..0.75).contains(&report.fig17.mean_top_share),
+        "top share {}",
+        report.fig17.mean_top_share
+    );
+    assert!(
+        (0.10..0.30).contains(&report.fig17.mean_second_share),
+        "second share {}",
+        report.fig17.mean_second_share
+    );
+}
+
+#[test]
+fn fig18_streaming_and_portal_heads_shared_across_homes() {
+    let (_, report) = study();
+    assert!(report.fig18.len() > 10, "a long tail of top-10 domains");
+    let homes = report.fig15.len().max(10);
+    // The #1 domain is top-5 in a large fraction of homes.
+    assert!(
+        report.fig18[0].top5_homes * 2 >= homes,
+        "head domain {} only top-5 in {}/{homes}",
+        report.fig18[0].domain,
+        report.fig18[0].top5_homes
+    );
+    // And the known heavy hitters appear.
+    let names: Vec<&str> = report.fig18.iter().map(|r| r.domain.as_str()).collect();
+    assert!(names.contains(&"youtube.com") || names.contains(&"netflix.com"));
+    // The tail is long: many domains are top-10 in only one or two homes.
+    let rare = report.fig18.iter().filter(|r| r.top10_homes <= 2).count();
+    assert!(rare >= 5, "tail domains: {rare}");
+}
+
+#[test]
+fn fig19_volume_concentrated_connections_less_so() {
+    let (_, report) = study();
+    let top_volume = report.fig19.volume_share_by_rank[0];
+    let top_conn = report.fig19.connection_share_by_rank[0];
+    let conns_of_top_volume = report.fig19.connections_of_volume_rank[0];
+    // Paper: 38% of bytes, 19% of connections (by conn rank), 14% of
+    // connections for the top-by-volume domain.
+    assert!((0.25..0.50).contains(&top_volume), "top volume share {top_volume}");
+    assert!((0.08..0.30).contains(&top_conn), "top connection share {top_conn}");
+    assert!(
+        conns_of_top_volume < top_volume / 2.0,
+        "top-by-volume domain must be connection-light: {conns_of_top_volume} vs {top_volume}"
+    );
+    // Ranks decay.
+    assert!(report.fig19.volume_share_by_rank[1] < top_volume);
+    // Whitelist captures roughly two thirds of bytes (paper: ~65%).
+    assert!(
+        (0.5..0.85).contains(&report.fig19.whitelisted_byte_fraction),
+        "whitelisted fraction {}",
+        report.fig19.whitelisted_byte_fraction
+    );
+}
+
+#[test]
+fn fig20_streamer_and_computer_differ() {
+    let (_, report) = study();
+    let (computer, streamer) = analysis::usage::fig20_exemplars(&report.fig20);
+    let streamer = streamer.expect("a streaming box with enough traffic");
+    let computer = computer.expect("a computer with enough traffic");
+    // The streamer's top domain is a streaming service with a large share.
+    let (top_domain, top_share) = &streamer.domains[0];
+    assert!(
+        ["netflix.com", "youtube.com", "hulu.com", "vimeo.com", "pandora.com", "spotify.com"]
+            .contains(&top_domain.as_str())
+            || top_domain.starts_with("anon-"),
+        "streamer top domain {top_domain}"
+    );
+    assert!(*top_share > 0.2, "streamer concentration {top_share}");
+    let top3: f64 = streamer.domains.iter().take(3).map(|(_, s)| s).sum();
+    assert!(top3 > 0.5, "streamer top-3 domains carry most bytes: {top3}");
+    // The computer's mix is broader than the streamer's.
+    assert!(computer.domains.len() >= 3);
+}
+
+#[test]
+fn tables_1_and_2_match_deployment() {
+    let (output, report) = study();
+    let total: usize = report.table1.iter().map(|r| r.routers).sum();
+    assert_eq!(total, 126);
+    assert_eq!(report.table1.len(), 19);
+    let heartbeats = report.table2.iter().find(|r| r.dataset == "Heartbeats").unwrap();
+    assert_eq!(heartbeats.routers, 126);
+    assert_eq!(heartbeats.countries, 19);
+    let traffic = report.table2.iter().find(|r| r.dataset == "Traffic").unwrap();
+    assert_eq!(traffic.countries, 1, "Traffic homes are US-only");
+    assert!((15..=40).contains(&traffic.routers), "{} traffic homes", traffic.routers);
+    assert_eq!(output.datasets.routers.len(), 126);
+}
+
+#[test]
+fn table6_highlights() {
+    let (_, report) = study();
+    let t6 = &report.table6;
+    assert!(t6.weekday_spread > t6.weekend_spread);
+    assert!((0.45..0.75).contains(&t6.dominant_device_share));
+    assert!(t6.top_domain_volume_share > 2.0 * t6.top_domain_connection_share);
+}

@@ -1,0 +1,176 @@
+//! Data-set integrity tests: internal consistency constraints that must
+//! hold for any study output, mirroring the sanity checks the paper's
+//! authors would have run on the deployment's database.
+
+use bismark::study::{run_study, StudyConfig, StudyOutput};
+use firmware::records::RouterId;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyOutput {
+    static STUDY: OnceLock<StudyOutput> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&StudyConfig::quick(4242, 10)))
+}
+
+#[test]
+fn every_record_belongs_to_a_registered_router() {
+    let data = &study().datasets;
+    let registered: HashSet<RouterId> = data.routers.iter().map(|m| m.router).collect();
+    for router in data.heartbeats.keys() {
+        assert!(registered.contains(router));
+    }
+    for r in &data.uptime {
+        assert!(registered.contains(&r.router));
+    }
+    for r in &data.capacity {
+        assert!(registered.contains(&r.router));
+    }
+    for r in &data.devices {
+        assert!(registered.contains(&r.router));
+    }
+    for r in &data.wifi {
+        assert!(registered.contains(&r.router));
+    }
+    for r in &data.flows {
+        assert!(registered.contains(&r.router));
+    }
+}
+
+#[test]
+fn records_fall_inside_their_windows() {
+    let output = study();
+    let w = &output.windows;
+    for r in &output.datasets.uptime {
+        assert!(w.uptime.contains(r.at), "uptime at {}", r.at);
+    }
+    for r in &output.datasets.capacity {
+        assert!(w.capacity.contains(r.at), "capacity at {}", r.at);
+    }
+    for r in &output.datasets.devices {
+        assert!(w.devices.contains(r.at), "census at {}", r.at);
+    }
+    for r in &output.datasets.wifi {
+        assert!(w.wifi.contains(r.at), "scan at {}", r.at);
+    }
+    for r in &output.datasets.packet_stats {
+        assert!(w.traffic.contains(r.at), "stats at {}", r.at);
+    }
+    for log in output.datasets.heartbeats.values() {
+        if let Some((first, last)) = log.extent() {
+            assert!(first >= w.span.start && last < w.span.end);
+        }
+    }
+}
+
+#[test]
+fn traffic_records_only_from_consenting_homes() {
+    let data = &study().datasets;
+    let consenting: HashSet<RouterId> = data.traffic_routers().into_iter().collect();
+    for r in &data.flows {
+        assert!(consenting.contains(&r.router));
+    }
+    for r in &data.dns {
+        assert!(consenting.contains(&r.router));
+    }
+    for r in &data.packet_stats {
+        assert!(consenting.contains(&r.router));
+    }
+    for r in &data.macs {
+        assert!(consenting.contains(&r.router));
+    }
+}
+
+#[test]
+fn census_totals_equal_association_counts() {
+    let data = &study().datasets;
+    // For every census instant, the association reports at that instant
+    // must count exactly the devices the census tallied.
+    use std::collections::HashMap;
+    let mut assoc_counts: HashMap<(RouterId, simnet::time::SimTime), u32> = HashMap::new();
+    for a in &data.associations {
+        *assoc_counts.entry((a.router, a.at)).or_default() += 1;
+    }
+    for census in &data.devices {
+        let n = assoc_counts.get(&(census.router, census.at)).copied().unwrap_or(0);
+        assert_eq!(census.total(), n, "census/association mismatch at {}", census.at);
+    }
+}
+
+#[test]
+fn flows_are_time_ordered_and_positive() {
+    let data = &study().datasets;
+    for flow in &data.flows {
+        assert!(flow.ended >= flow.started);
+        assert!(flow.total_bytes() > 0, "empty flow record");
+        assert!(flow.remote_port > 0);
+    }
+}
+
+#[test]
+fn heartbeat_runs_are_disjoint_and_ordered() {
+    let data = &study().datasets;
+    for log in data.heartbeats.values() {
+        for pair in log.runs().windows(2) {
+            assert!(pair[0].last < pair[1].first, "runs must be disjoint and ordered");
+        }
+        for run in log.runs() {
+            assert!(run.count >= 1);
+            assert!(run.last >= run.first);
+        }
+    }
+}
+
+#[test]
+fn capacity_estimates_are_physical() {
+    let output = study();
+    for rec in &output.datasets.capacity {
+        assert!(rec.down_bps > 100_000, "down {}", rec.down_bps);
+        assert!(rec.up_bps > 50_000, "up {}", rec.up_bps);
+        assert!(rec.down_bps < 1_000_000_000);
+        // Home broadband of the era: downstream at least upstream-class.
+        let home = &output.homes[rec.router.0 as usize];
+        assert!(
+            rec.down_bps as f64 <= 1.2 * home.down_link.peak_bps as f64,
+            "estimate cannot exceed the physical peak"
+        );
+    }
+}
+
+#[test]
+fn anonymization_holds_in_every_uploaded_record() {
+    let output = study();
+    let data = &output.datasets;
+    // Ground-truth NIC bits must never appear in uploaded MACs.
+    let truth: HashSet<(u32, u32)> = output
+        .homes
+        .iter()
+        .flat_map(|h| h.devices.iter().map(|d| (d.mac.oui(), d.mac.nic())))
+        .collect();
+    for flow in &data.flows {
+        assert!(
+            !truth.contains(&(flow.device.oui, flow.device.suffix_hash)),
+            "a raw NIC leaked through anonymization"
+        );
+    }
+    // Obfuscated domains never carry a readable name.
+    for dns in &data.dns {
+        if let Some(name) = dns.name.clear_name() {
+            assert!(!name.as_str().starts_with("tail"), "tail domains must be obfuscated");
+        }
+    }
+}
+
+#[test]
+fn device_counts_match_ground_truth_upper_bound() {
+    let output = study();
+    // A census can never count more devices than the home owns.
+    for census in &output.datasets.devices {
+        let home = &output.homes[census.router.0 as usize];
+        assert!(
+            census.total() as usize <= home.devices.len(),
+            "census {} exceeds owned {}",
+            census.total(),
+            home.devices.len()
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Privacy guarantees, end to end: the §3.2.2 anonymization rules must
+//! hold for every record a full study uploads, and the public release must
+//! exclude the Traffic data set entirely — the properties the paper's IRB
+//! approval rested on.
+
+use bismark::study::{run_study, StudyConfig, StudyOutput};
+use firmware::anonymize::ReportedDomain;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyOutput {
+    static STUDY: OnceLock<StudyOutput> = OnceLock::new();
+    STUDY.get_or_init(|| run_study(&StudyConfig::quick(1606, 10)))
+}
+
+#[test]
+fn no_raw_nic_bits_anywhere() {
+    let output = study();
+    // Ground truth: every (OUI, NIC) pair owned by any home.
+    let truth: HashSet<(u32, u32)> = output
+        .homes
+        .iter()
+        .flat_map(|h| h.devices.iter().map(|d| (d.mac.oui(), d.mac.nic())))
+        .collect();
+    let check = |oui: u32, suffix: u32, what: &str| {
+        assert!(
+            !truth.contains(&(oui, suffix)),
+            "{what} carries a raw NIC suffix for OUI {oui:06x}"
+        );
+    };
+    for r in &output.datasets.flows {
+        check(r.device.oui, r.device.suffix_hash, "flow record");
+    }
+    for r in &output.datasets.dns {
+        check(r.device.oui, r.device.suffix_hash, "dns sample");
+    }
+    for r in &output.datasets.macs {
+        check(r.device.oui, r.device.suffix_hash, "mac sighting");
+    }
+    for r in &output.datasets.associations {
+        check(r.device.oui, r.device.suffix_hash, "association report");
+    }
+}
+
+#[test]
+fn ouis_are_preserved_for_vendor_analysis() {
+    // The flip side of MAC anonymization: the OUI must survive, or Fig 12
+    // would be impossible.
+    let output = study();
+    assert!(!output.datasets.macs.is_empty());
+    for r in &output.datasets.macs {
+        assert!(
+            household::VendorClass::from_oui(r.device.oui).is_some(),
+            "sighting OUI {:06x} is not a deployed vendor",
+            r.device.oui
+        );
+    }
+}
+
+#[test]
+fn unlisted_domains_never_appear_in_clear() {
+    let output = study();
+    let whitelist: HashSet<String> = household::DomainUniverse::standard()
+        .whitelist()
+        .into_iter()
+        .map(|d| d.as_str().to_string())
+        .collect();
+    let mut clear = 0usize;
+    let mut obfuscated = 0usize;
+    for flow in &output.datasets.flows {
+        match &flow.domain {
+            ReportedDomain::Clear(name) => {
+                clear += 1;
+                assert!(
+                    whitelist.contains(name.as_str()),
+                    "clear domain {name} is not whitelisted"
+                );
+            }
+            ReportedDomain::Obfuscated(_) => obfuscated += 1,
+        }
+    }
+    assert!(clear > 0, "whitelisted traffic must appear in clear");
+    assert!(obfuscated > 0, "tail traffic must be obfuscated");
+    for dns in &output.datasets.dns {
+        if let ReportedDomain::Clear(name) = &dns.name {
+            assert!(whitelist.contains(name.as_str()), "clear DNS name {name} not whitelisted");
+        }
+    }
+}
+
+#[test]
+fn obfuscated_tokens_are_stable_within_a_home_but_not_across_homes() {
+    let output = study();
+    // Group tokens by (router, remote_ip_hash): the same service in the
+    // same home must always produce the same token.
+    use std::collections::HashMap;
+    let mut per_key: HashMap<(u32, u64), HashSet<u64>> = HashMap::new();
+    for flow in &output.datasets.flows {
+        if let ReportedDomain::Obfuscated(token) = flow.domain {
+            per_key
+                .entry((flow.router.0, flow.remote_ip_hash))
+                .or_default()
+                .insert(token);
+        }
+    }
+    for ((router, ip), tokens) in &per_key {
+        assert!(
+            tokens.len() <= 2, // IP reuse across domains is possible but rare
+            "home {router} service {ip:x} produced {} distinct tokens",
+            tokens.len()
+        );
+    }
+}
+
+#[test]
+fn public_release_contains_no_traffic_artifacts() {
+    let output = study();
+    assert!(!output.datasets.flows.is_empty(), "precondition");
+    let json = collector::export::to_json(&output.datasets).expect("serializes");
+    for forbidden in ["remote_ip_hash", "suffix_hash", "bytes_down", "Obfuscated", "cname"] {
+        assert!(!json.contains(forbidden), "public JSON leaks `{forbidden}`");
+    }
+    for (name, body) in collector::export::to_csv(&output.datasets) {
+        assert!(!body.contains("anon-"), "{name} leaks domain tokens");
+        assert!(!name.contains("flow") && !name.contains("traffic"), "{name} should not exist");
+    }
+}
+
+#[test]
+fn consent_boundary_is_absolute() {
+    let output = study();
+    let consenting: HashSet<u32> =
+        output.datasets.routers.iter().filter(|m| m.traffic_consent).map(|m| m.router.0).collect();
+    let non_consenting_with_traffic: Vec<u32> = output
+        .datasets
+        .flows
+        .iter()
+        .map(|f| f.router.0)
+        .filter(|r| !consenting.contains(r))
+        .collect();
+    assert!(
+        non_consenting_with_traffic.is_empty(),
+        "traffic uploaded without consent: {non_consenting_with_traffic:?}"
+    );
+    // And consent implies US-only in this study window (§3.3).
+    for meta in &output.datasets.routers {
+        if meta.traffic_consent {
+            assert_eq!(meta.country, household::Country::UnitedStates);
+        }
+    }
+}
