@@ -183,6 +183,15 @@ pub fn fig6_archetypes(
     data: &Datasets,
     routers: &[RouterAvailability],
 ) -> (Option<RouterId>, Option<RouterId>, Option<RouterId>) {
+    fig6_archetypes_with(&crate::index::DataIndex::new(data), routers)
+}
+
+/// [`fig6_archetypes`] over a prebuilt index: the flaky-home check reads
+/// each candidate's own uptime slice instead of re-scanning the table.
+pub fn fig6_archetypes_with(
+    idx: &crate::index::DataIndex,
+    routers: &[RouterAvailability],
+) -> (Option<RouterId>, Option<RouterId>, Option<RouterId>) {
     let always_on = routers
         .iter()
         .max_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("finite"))
@@ -198,10 +207,7 @@ pub fn fig6_archetypes(
         .iter()
         .filter(|r| r.downtimes_per_day > 0.2 && r.coverage > 0.6)
         .filter(|r| {
-            data.uptime
-                .iter()
-                .filter(|u| u.router == r.router)
-                .any(|u| u.uptime > SimDuration::from_days(7))
+            idx.uptime(r.router).iter().any(|u| u.uptime > SimDuration::from_days(7))
         })
         .max_by(|a, b| {
             a.downtimes_per_day.partial_cmp(&b.downtimes_per_day).expect("finite")

@@ -174,7 +174,20 @@ pub struct Table4 {
 
 /// Compute Table 4.
 pub fn table4(data: &Datasets, devices_window: Window, wifi_window: Window) -> Table4 {
-    let table5 = infrastructure::table5(data, devices_window);
+    table4_from(
+        &infrastructure::table5(data, devices_window),
+        &infrastructure::fig10(data, devices_window),
+        &infrastructure::fig11(data, wifi_window),
+    )
+}
+
+/// [`table4`] from the already-computed figures it summarizes — the
+/// report computes Table 5 and Figures 10/11 once and shares them here.
+pub fn table4_from(
+    table5: &[infrastructure::Table5Row],
+    fig10: &infrastructure::Fig10,
+    fig11: &infrastructure::Fig11,
+) -> Table4 {
     let frac = |region: Region| {
         table5
             .iter()
@@ -187,8 +200,6 @@ pub fn table4(data: &Datasets, devices_window: Window, wifi_window: Window) -> T
                 }
             })
     };
-    let fig10 = infrastructure::fig10(data, devices_window);
-    let fig11 = infrastructure::fig11(data, wifi_window);
     let safe_median = |cdf: &crate::stats::Cdf| if cdf.is_empty() { 0.0 } else { cdf.median() };
     Table4 {
         developed_always_on_wired: frac(Region::Developed),
@@ -221,10 +232,22 @@ pub struct Table6 {
 
 /// Compute Table 6.
 pub fn table6(data: &Datasets, traffic_window: Window, wifi_window: Window) -> Table6 {
-    let fig13 = usage::fig13(data, wifi_window);
-    let fig15 = usage::fig15(data, traffic_window);
-    let fig17 = usage::fig17(data, traffic_window);
-    let fig19 = usage::fig19(data, traffic_window, 10);
+    table6_from(
+        &usage::fig13(data, wifi_window),
+        &usage::fig15(data, traffic_window),
+        &usage::fig17(data, traffic_window),
+        &usage::fig19(data, traffic_window, 10),
+    )
+}
+
+/// [`table6`] from the already-computed figures it summarizes. Only each
+/// figure's rank-1 entries are read, so any `max_rank >= 1` Figure 19 works.
+pub fn table6_from(
+    fig13: &usage::Fig13,
+    fig15: &[usage::Fig15Point],
+    fig17: &usage::Fig17,
+    fig19: &usage::Fig19,
+) -> Table6 {
     Table6 {
         weekday_spread: usage::Fig13::spread(&fig13.weekday),
         weekend_spread: usage::Fig13::spread(&fig13.weekend),

@@ -1,0 +1,189 @@
+//! A shared per-router index over a [`Datasets`] snapshot.
+//!
+//! Snapshots keep every table sorted with the router ID as the leading
+//! key, so each router's records form one contiguous run. [`DataIndex`]
+//! finds those runs once (a handful of binary searches per router) and
+//! hands the figures zero-copy slices plus O(1) registration lookups —
+//! replacing the per-record `Datasets::meta` scans and whole-table
+//! filters the analyses used to do.
+
+use collector::{Datasets, RouterMeta};
+use firmware::latency::LatencyRecord;
+use firmware::records::{
+    AssociationRecord, CapacityRecord, DeviceCensusRecord, DnsSampleRecord, FlowRecord,
+    PacketStatsRecord, RouterId, UptimeRecord, WifiScanRecord,
+};
+use household::{Country, Region};
+use std::collections::HashMap;
+
+/// Split a router-sorted table into per-router contiguous slices.
+fn slices_by_router<T>(
+    table: &[T],
+    router_of: impl Fn(&T) -> RouterId,
+) -> HashMap<RouterId, &[T]> {
+    let mut out = HashMap::new();
+    let mut start = 0;
+    while start < table.len() {
+        let router = router_of(&table[start]);
+        let len = table[start..].partition_point(|r| router_of(r) == router);
+        out.insert(router, &table[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+/// Per-router slices into every sorted table of one snapshot, shared by
+/// all figures of a report so each table is grouped exactly once.
+#[derive(Debug)]
+pub struct DataIndex<'a> {
+    data: &'a Datasets,
+    meta: HashMap<RouterId, RouterMeta>,
+    uptime: HashMap<RouterId, &'a [UptimeRecord]>,
+    capacity: HashMap<RouterId, &'a [CapacityRecord]>,
+    devices: HashMap<RouterId, &'a [DeviceCensusRecord]>,
+    wifi: HashMap<RouterId, &'a [WifiScanRecord]>,
+    packet_stats: HashMap<RouterId, &'a [PacketStatsRecord]>,
+    flows: HashMap<RouterId, &'a [FlowRecord]>,
+    dns: HashMap<RouterId, &'a [DnsSampleRecord]>,
+    associations: HashMap<RouterId, &'a [AssociationRecord]>,
+    latency: HashMap<RouterId, &'a [LatencyRecord]>,
+}
+
+impl<'a> DataIndex<'a> {
+    /// Index a snapshot. Cost is O(routers · log records) — negligible next
+    /// to a single full-table scan.
+    pub fn new(data: &'a Datasets) -> DataIndex<'a> {
+        DataIndex {
+            meta: data.routers.iter().map(|m| (m.router, *m)).collect(),
+            uptime: slices_by_router(&data.uptime, |r| r.router),
+            capacity: slices_by_router(&data.capacity, |r| r.router),
+            devices: slices_by_router(&data.devices, |r| r.router),
+            wifi: slices_by_router(&data.wifi, |r| r.router),
+            packet_stats: slices_by_router(&data.packet_stats, |r| r.router),
+            flows: slices_by_router(&data.flows, |r| r.router),
+            dns: slices_by_router(&data.dns, |r| r.router),
+            associations: slices_by_router(&data.associations, |r| r.router),
+            latency: slices_by_router(&data.latency, |r| r.router),
+            data,
+        }
+    }
+
+    /// The underlying snapshot.
+    pub fn data(&self) -> &'a Datasets {
+        self.data
+    }
+
+    /// Registered routers, sorted by ID (the snapshot keeps them sorted),
+    /// for deterministic per-router iteration.
+    pub fn routers(&self) -> &'a [RouterMeta] {
+        &self.data.routers
+    }
+
+    /// Registration metadata, O(1).
+    pub fn meta(&self, router: RouterId) -> Option<&RouterMeta> {
+        self.meta.get(&router)
+    }
+
+    /// The router's country, if registered.
+    pub fn country(&self, router: RouterId) -> Option<Country> {
+        self.meta(router).map(|m| m.country)
+    }
+
+    /// The router's region, if registered.
+    pub fn region(&self, router: RouterId) -> Option<Region> {
+        self.meta(router).map(|m| m.country.region())
+    }
+
+    /// The router's UTC offset in hours (0 if unregistered).
+    pub fn utc_offset(&self, router: RouterId) -> i32 {
+        self.meta(router).map_or(0, |m| m.country.utc_offset_hours())
+    }
+
+    /// One router's uptime reports (empty if none).
+    pub fn uptime(&self, router: RouterId) -> &'a [UptimeRecord] {
+        self.uptime.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's capacity measurements.
+    pub fn capacity(&self, router: RouterId) -> &'a [CapacityRecord] {
+        self.capacity.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's device censuses.
+    pub fn devices(&self, router: RouterId) -> &'a [DeviceCensusRecord] {
+        self.devices.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's WiFi scans.
+    pub fn wifi(&self, router: RouterId) -> &'a [WifiScanRecord] {
+        self.wifi.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's per-minute packet statistics.
+    pub fn packet_stats(&self, router: RouterId) -> &'a [PacketStatsRecord] {
+        self.packet_stats.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's flow records.
+    pub fn flows(&self, router: RouterId) -> &'a [FlowRecord] {
+        self.flows.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's DNS samples.
+    pub fn dns(&self, router: RouterId) -> &'a [DnsSampleRecord] {
+        self.dns.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's association reports.
+    pub fn associations(&self, router: RouterId) -> &'a [AssociationRecord] {
+        self.associations.get(&router).copied().unwrap_or(&[])
+    }
+
+    /// One router's latency probes.
+    pub fn latency(&self, router: RouterId) -> &'a [LatencyRecord] {
+        self.latency.get(&router).copied().unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collector::Collector;
+    use firmware::records::Record;
+    use simnet::time::{SimDuration, SimTime};
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn index_groups_contiguous_runs() {
+        let collector = Collector::new();
+        collector.register(RouterMeta {
+            router: RouterId(1),
+            country: Country::UnitedStates,
+            traffic_consent: true,
+        });
+        collector.register(RouterMeta {
+            router: RouterId(2),
+            country: Country::India,
+            traffic_consent: false,
+        });
+        for (router, at) in [(2u32, 4u64), (1, 9), (2, 1), (1, 3)] {
+            collector.ingest(Record::Uptime(UptimeRecord {
+                router: RouterId(router),
+                at: t(at),
+                uptime: SimDuration::ZERO,
+            }));
+        }
+        let data = collector.snapshot();
+        let idx = DataIndex::new(&data);
+        assert_eq!(idx.uptime(RouterId(1)).len(), 2);
+        assert_eq!(idx.uptime(RouterId(2)).len(), 2);
+        assert_eq!(idx.uptime(RouterId(1))[0].at, t(3));
+        assert!(idx.uptime(RouterId(3)).is_empty());
+        assert_eq!(idx.region(RouterId(2)), Some(Region::Developing));
+        assert_eq!(idx.utc_offset(RouterId(1)), Country::UnitedStates.utc_offset_hours());
+        assert_eq!(idx.meta(RouterId(9)), None);
+    }
+}

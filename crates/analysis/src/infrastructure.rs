@@ -1,6 +1,7 @@
 //! §5 — Infrastructure: device counts, wired vs wireless, spectrum
 //! occupancy, neighboring APs, and device vendors (Figs 7–12, Tables 4–5).
 
+use crate::index::DataIndex;
 use crate::stats::{Cdf, MeanStd};
 use collector::windows::Window;
 use collector::Datasets;
@@ -8,10 +9,6 @@ use firmware::records::{Medium, RouterId};
 use household::{Region, VendorClass};
 use simnet::wifi::Band;
 use std::collections::{HashMap, HashSet};
-
-fn region_of(data: &Datasets, router: RouterId) -> Option<Region> {
-    data.meta(router).map(|m| m.country.region())
-}
 
 /// Figure 7: CDF of unique devices per home (from the hourly association
 /// reports within the Devices window).
@@ -37,18 +34,37 @@ pub struct Fig8 {
 
 /// Compute Figure 8 from the census records in `window`.
 pub fn fig8(data: &Datasets, window: Window) -> Fig8 {
-    let collect = |region: Region| {
-        let mut wired = Vec::new();
-        let mut wireless = Vec::new();
-        for census in &data.devices {
-            if window.contains(census.at) && region_of(data, census.router) == Some(region) {
-                wired.push(f64::from(census.wired));
-                wireless.push(f64::from(census.wireless_total()));
-            }
+    fig8_with(&DataIndex::new(data), window)
+}
+
+/// [`fig8`] over a prebuilt index: one pass over the censuses with a
+/// run-cached region lookup (the table is router-sorted), instead of a
+/// registration scan per record per region.
+pub fn fig8_with(idx: &DataIndex, window: Window) -> Fig8 {
+    let mut buckets = [(Vec::new(), Vec::new()), (Vec::new(), Vec::new())];
+    let mut current: Option<(RouterId, Option<Region>)> = None;
+    for census in &idx.data().devices {
+        if !window.contains(census.at) {
+            continue;
         }
-        (MeanStd::of(&wired), MeanStd::of(&wireless))
-    };
-    Fig8 { developed: collect(Region::Developed), developing: collect(Region::Developing) }
+        let region = match current {
+            Some((router, region)) if router == census.router => region,
+            _ => {
+                let region = idx.region(census.router);
+                current = Some((census.router, region));
+                region
+            }
+        };
+        let bucket = match region {
+            Some(Region::Developed) => &mut buckets[0],
+            Some(Region::Developing) => &mut buckets[1],
+            None => continue,
+        };
+        bucket.0.push(f64::from(census.wired));
+        bucket.1.push(f64::from(census.wireless_total()));
+    }
+    let stats = |b: &(Vec<f64>, Vec<f64>)| (MeanStd::of(&b.0), MeanStd::of(&b.1));
+    Fig8 { developed: stats(&buckets[0]), developing: stats(&buckets[1]) }
 }
 
 /// Figure 9: average simultaneously connected wireless stations per band,
@@ -115,9 +131,14 @@ pub struct Fig11 {
 
 /// Compute Figure 11 from the WiFi scans in `window`.
 pub fn fig11(data: &Datasets, window: Window) -> Fig11 {
+    fig11_with(&DataIndex::new(data), window)
+}
+
+/// [`fig11`] over a prebuilt index (O(1) region lookups).
+pub fn fig11_with(idx: &DataIndex, window: Window) -> Fig11 {
     let mut per_home: HashMap<RouterId, HashSet<u64>> = HashMap::new();
     let mut scanned: HashSet<RouterId> = HashSet::new();
-    for scan in &data.wifi {
+    for scan in &idx.data().wifi {
         if !window.contains(scan.at) || scan.band != Band::Ghz24 {
             continue;
         }
@@ -130,7 +151,7 @@ pub fn fig11(data: &Datasets, window: Window) -> Fig11 {
         Cdf::from_samples(
             scanned
                 .iter()
-                .filter(|router| region_of(data, **router) == Some(region))
+                .filter(|router| idx.region(**router) == Some(region))
                 .map(|router| per_home.get(router).map_or(0.0, |s| s.len() as f64)),
         )
     };
@@ -177,6 +198,12 @@ pub struct Table5Row {
 /// approximates the paper's five weeks) and the home has a meaningful
 /// number of censuses.
 pub fn table5(data: &Datasets, window: Window) -> Vec<Table5Row> {
+    table5_with(&DataIndex::new(data), window)
+}
+
+/// [`table5`] over a prebuilt index.
+pub fn table5_with(idx: &DataIndex, window: Window) -> Vec<Table5Row> {
+    let data = idx.data();
     // Census count per home, device-presence count per (home, device).
     let mut census_count: HashMap<RouterId, usize> = HashMap::new();
     for census in &data.devices {
@@ -220,7 +247,7 @@ pub fn table5(data: &Datasets, window: Window) -> Vec<Table5Row> {
         let homes: Vec<RouterId> = census_count
             .iter()
             .filter(|(router, count)| {
-                **count >= min_censuses && region_of(data, **router) == Some(region)
+                **count >= min_censuses && idx.region(**router) == Some(region)
             })
             .map(|(router, _)| *router)
             .collect();

@@ -7,6 +7,8 @@
 //! * [`infrastructure`] — §5: Figs 7–12, Table 5;
 //! * [`usage`] — §6: Figs 13–20;
 //! * [`highlights`] — Tables 1–4 and 6;
+//! * [`index`] — the shared per-router [`DataIndex`] the figures read
+//!   through instead of re-scanning whole tables;
 //! * [`stats`] — CDFs, quantiles, moments;
 //! * [`artifacts`] — correlated-gap detection separating collector-side
 //!   failures from genuine home downtime (§3.3's limitation, auditable);
@@ -23,6 +25,7 @@ pub mod availability;
 pub mod caps;
 pub mod fingerprint;
 pub mod highlights;
+pub mod index;
 pub mod latency;
 pub mod infrastructure;
 pub mod render;
@@ -30,5 +33,6 @@ pub mod report;
 pub mod stats;
 pub mod usage;
 
+pub use index::DataIndex;
 pub use report::{ReportWindows, StudyReport};
 pub use stats::Cdf;

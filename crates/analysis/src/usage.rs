@@ -1,6 +1,7 @@
 //! §6 — Usage: diurnal patterns, link saturation, per-device consumption,
 //! and domain popularity (Figs 13–20).
 
+use crate::index::DataIndex;
 use crate::stats::{mean, median, Cdf};
 use collector::windows::Window;
 use collector::Datasets;
@@ -10,10 +11,6 @@ use household::VendorClass;
 use simnet::time::SimTime;
 use simnet::wifi::Band;
 use std::collections::HashMap;
-
-fn utc_offset(data: &Datasets, router: RouterId) -> i32 {
-    data.meta(router).map_or(0, |m| m.country.utc_offset_hours())
-}
 
 /// Figure 13: mean wireless stations per local hour of day, weekday vs
 /// weekend, from the WiFi scans.
@@ -36,9 +33,14 @@ impl Fig13 {
 
 /// Compute Figure 13 from 2.4 GHz + 5 GHz scan-time station counts.
 pub fn fig13(data: &Datasets, window: Window) -> Fig13 {
+    fig13_with(&DataIndex::new(data), window)
+}
+
+/// [`fig13`] over a prebuilt index (UTC-offset lookups become O(1)).
+pub fn fig13_with(idx: &DataIndex, window: Window) -> Fig13 {
     // Sum both bands per (router, scan instant), then bucket by local hour.
     let mut per_scan: HashMap<(RouterId, SimTime), u32> = HashMap::new();
-    for scan in &data.wifi {
+    for scan in &idx.data().wifi {
         if window.contains(scan.at) {
             *per_scan.entry((scan.router, scan.at)).or_default() +=
                 u32::from(scan.associated_stations);
@@ -49,7 +51,7 @@ pub fn fig13(data: &Datasets, window: Window) -> Fig13 {
     let mut weekend_sum = [0.0f64; 24];
     let mut weekend_n = [0u32; 24];
     for ((router, at), stations) in per_scan {
-        let local = at.to_local(utc_offset(data, router));
+        let local = at.to_local(idx.utc_offset(router));
         let h = local.hour_of_day() as usize;
         if local.weekday().is_weekend() {
             weekend_sum[h] += f64::from(stations);
@@ -103,14 +105,35 @@ pub fn capacity_by_router(data: &Datasets, window: Window) -> HashMap<RouterId, 
         .collect()
 }
 
+/// Median capacity for one router within `window`, from its index slice.
+fn capacity_of(idx: &DataIndex, window: Window, router: RouterId) -> Option<(f64, f64)> {
+    let mut down = Vec::new();
+    let mut up = Vec::new();
+    for rec in idx.capacity(router) {
+        if window.contains(rec.at) {
+            down.push(rec.down_bps as f64);
+            up.push(rec.up_bps as f64);
+        }
+    }
+    if down.is_empty() {
+        return None;
+    }
+    Some((median(&down), median(&up)))
+}
+
 /// Compute Figure 14 for `router` (typically a busy, ordinary home).
 pub fn fig14(data: &Datasets, window: Window, router: RouterId) -> Option<Fig14> {
-    let capacity = capacity_by_router(data, window);
-    let (down_cap, up_cap) = capacity.get(&router).copied()?;
+    fig14_with(&DataIndex::new(data), window, router)
+}
+
+/// [`fig14`] over a prebuilt index: touches only `router`'s capacity and
+/// packet-stats slices instead of scanning whole tables.
+pub fn fig14_with(idx: &DataIndex, window: Window, router: RouterId) -> Option<Fig14> {
+    let (down_cap, up_cap) = capacity_of(idx, window, router)?;
     let mut up_series = Vec::new();
     let mut down_series = Vec::new();
-    for stats in &data.packet_stats {
-        if stats.router == router && window.contains(stats.at) {
+    for stats in idx.packet_stats(router) {
+        if window.contains(stats.at) {
             up_series.push((stats.at, stats.peak_up_bps() as f64));
             down_series.push((stats.at, stats.peak_down_bps() as f64));
         }
@@ -146,21 +169,31 @@ pub struct Fig15Point {
 /// count ("we only consider instances when there is some device exchanging
 /// traffic with the Internet").
 pub fn fig15(data: &Datasets, window: Window) -> Vec<Fig15Point> {
-    let capacity = capacity_by_router(data, window);
-    let mut peaks: HashMap<RouterId, (Vec<f64>, Vec<f64>)> = HashMap::new();
-    for stats in &data.packet_stats {
-        if window.contains(stats.at) {
-            let entry = peaks.entry(stats.router).or_default();
-            entry.0.push(stats.peak_down_bps() as f64);
-            entry.1.push(stats.peak_up_bps() as f64);
-        }
-    }
+    fig15_with(&DataIndex::new(data), window)
+}
+
+/// [`fig15`] over a prebuilt index: walks each registered router's
+/// packet-stats slice in ID order, so the output needs no final sort and
+/// the accumulation order is independent of hash layout.
+pub fn fig15_with(idx: &DataIndex, window: Window) -> Vec<Fig15Point> {
     let mut out = Vec::new();
-    for (router, (down, up)) in peaks {
-        let Some((down_cap, up_cap)) = capacity.get(&router).copied() else {
+    for meta in idx.routers() {
+        let router = meta.router;
+        let mut down = Vec::new();
+        let mut up = Vec::new();
+        for stats in idx.packet_stats(router) {
+            if window.contains(stats.at) {
+                down.push(stats.peak_down_bps() as f64);
+                up.push(stats.peak_up_bps() as f64);
+            }
+        }
+        if down.len() < 10 {
+            continue;
+        }
+        let Some((down_cap, up_cap)) = capacity_of(idx, window, router) else {
             continue;
         };
-        if down_cap <= 0.0 || up_cap <= 0.0 || down.len() < 10 {
+        if down_cap <= 0.0 || up_cap <= 0.0 {
             continue;
         }
         let p95_down = Cdf::from_samples(down).quantile(0.95);
@@ -173,17 +206,24 @@ pub fn fig15(data: &Datasets, window: Window) -> Vec<Fig15Point> {
             up_utilization: p95_up / up_cap,
         });
     }
-    out.sort_by_key(|p| p.router);
     out
 }
 
 /// Figure 16: the homes whose p95 uplink utilization exceeds measured
 /// capacity, with their timeseries.
 pub fn fig16(data: &Datasets, window: Window) -> Vec<Fig14> {
-    fig15(data, window)
+    let idx = DataIndex::new(data);
+    let points = fig15_with(&idx, window);
+    fig16_from(&idx, window, &points)
+}
+
+/// [`fig16`] when Figure 15's points are already computed — the report
+/// shares one `fig15` result between Figures 14, 15, 16, and Table 6.
+pub fn fig16_from(idx: &DataIndex, window: Window, points: &[Fig15Point]) -> Vec<Fig14> {
+    points
         .iter()
         .filter(|p| p.up_utilization > 1.0)
-        .filter_map(|p| fig14(data, window, p.router))
+        .filter_map(|p| fig14_with(idx, window, p.router))
         .collect()
 }
 
@@ -244,32 +284,46 @@ fn domain_key(d: &ReportedDomain) -> String {
     }
 }
 
-/// Per-home domain volumes and connection counts.
-fn domain_tallies(
-    data: &Datasets,
-    window: Window,
-) -> HashMap<RouterId, HashMap<String, (u64, u64)>> {
-    let mut out: HashMap<RouterId, HashMap<String, (u64, u64)>> = HashMap::new();
-    for flow in &data.flows {
-        if window.contains(flow.ended) {
-            let entry = out
-                .entry(flow.router)
-                .or_default()
-                .entry(domain_key(&flow.domain))
-                .or_default();
-            entry.0 += flow.total_bytes();
-            entry.1 += 1;
+/// Per-home domain volumes and connection counts, ordered by router so
+/// every figure derived from them accumulates deterministically.
+#[derive(Debug, Clone)]
+pub struct DomainTallies {
+    /// `(router, domain → (bytes, connections))`, sorted by router; homes
+    /// with no flows in the window are absent.
+    pub per_home: Vec<(RouterId, HashMap<String, (u64, u64)>)>,
+}
+
+/// Tally per-home domain volumes and connection counts once; Figures 18
+/// and 19 and Table 6 all read from the same result.
+pub fn domain_tallies(idx: &DataIndex, window: Window) -> DomainTallies {
+    let mut per_home = Vec::new();
+    for meta in idx.routers() {
+        let mut tally: HashMap<String, (u64, u64)> = HashMap::new();
+        for flow in idx.flows(meta.router) {
+            if window.contains(flow.ended) {
+                let entry = tally.entry(domain_key(&flow.domain)).or_default();
+                entry.0 += flow.total_bytes();
+                entry.1 += 1;
+            }
+        }
+        if !tally.is_empty() {
+            per_home.push((meta.router, tally));
         }
     }
-    out
+    DomainTallies { per_home }
 }
 
 /// Compute Figure 18 (whitelisted names only, as the paper plots names).
 pub fn fig18(data: &Datasets, window: Window) -> Vec<Fig18Row> {
-    let tallies = domain_tallies(data, window);
+    let idx = DataIndex::new(data);
+    fig18_from(&domain_tallies(&idx, window))
+}
+
+/// [`fig18`] from precomputed domain tallies.
+pub fn fig18_from(tallies: &DomainTallies) -> Vec<Fig18Row> {
     let mut top5: HashMap<String, usize> = HashMap::new();
     let mut top10: HashMap<String, usize> = HashMap::new();
-    for per_domain in tallies.values() {
+    for (_, per_domain) in &tallies.per_home {
         let mut ranked: Vec<(&String, u64)> =
             per_domain.iter().map(|(d, (bytes, _))| (d, *bytes)).collect();
         ranked.sort_by_key(|(_, bytes)| std::cmp::Reverse(*bytes));
@@ -317,12 +371,17 @@ pub struct Fig19 {
 /// Compute Figure 19, averaging per-home fractions over the first
 /// `max_rank` ranks.
 pub fn fig19(data: &Datasets, window: Window, max_rank: usize) -> Fig19 {
-    let tallies = domain_tallies(data, window);
+    let idx = DataIndex::new(data);
+    fig19_from(&domain_tallies(&idx, window), max_rank)
+}
+
+/// [`fig19`] from precomputed domain tallies.
+pub fn fig19_from(tallies: &DomainTallies, max_rank: usize) -> Fig19 {
     let mut vol_shares = vec![Vec::new(); max_rank];
     let mut conn_shares = vec![Vec::new(); max_rank];
     let mut conn_of_vol = vec![Vec::new(); max_rank];
     let mut whitelisted = Vec::new();
-    for per_domain in tallies.values() {
+    for (_, per_domain) in &tallies.per_home {
         let total_bytes: u64 = per_domain.values().map(|(b, _)| *b).sum();
         let total_conns: u64 = per_domain.values().map(|(_, c)| *c).sum();
         if total_bytes == 0 || total_conns == 0 {
@@ -405,7 +464,11 @@ pub fn fig20(data: &Datasets, window: Window, min_bytes: u64) -> Vec<Fig20Device
             total_bytes: total,
         });
     }
-    out.sort_by_key(|d| std::cmp::Reverse(d.total_bytes));
+    // Tie-break by (router, device) so equal-volume devices keep a stable
+    // order regardless of hash-map iteration.
+    out.sort_by_key(|d| {
+        (std::cmp::Reverse(d.total_bytes), d.router, d.device.oui, d.device.suffix_hash)
+    });
     out
 }
 

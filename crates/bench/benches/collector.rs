@@ -1,0 +1,151 @@
+//! Collector ingestion and merge benches: the sharded server's hot paths —
+//! per-record vs batched uploads, contended multi-thread ingestion, and
+//! snapshot/merge throughput over a deployment-sized dataset.
+
+use collector::{Collector, RouterMeta};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use firmware::records::{HeartbeatRecord, Record, RouterId, UptimeRecord};
+use household::Country;
+use simnet::time::{SimDuration, SimTime};
+
+fn mins(m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_mins(m)
+}
+
+fn uptime_records(router: RouterId, n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|m| {
+            Record::Uptime(UptimeRecord {
+                router,
+                at: mins(m),
+                uptime: SimDuration::from_mins(m),
+            })
+        })
+        .collect()
+}
+
+fn registered(routers: u32) -> Collector {
+    let collector = Collector::new();
+    for r in 0..routers {
+        collector.register(RouterMeta {
+            router: RouterId(r),
+            country: Country::UnitedStates,
+            traffic_consent: false,
+        });
+    }
+    collector
+}
+
+const RECORDS_PER_HOME: u64 = 5_000;
+
+/// One home's upload, record-at-a-time vs batched vs through a shard handle.
+fn bench_ingest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_ingest_5k");
+    group.sample_size(20);
+    group.bench_function("single_records", |b| {
+        b.iter_batched(
+            || uptime_records(RouterId(7), RECORDS_PER_HOME),
+            |records| {
+                let collector = registered(1);
+                for record in records {
+                    collector.ingest(record);
+                }
+                black_box(collector.snapshot().record_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("batch", |b| {
+        b.iter_batched(
+            || uptime_records(RouterId(7), RECORDS_PER_HOME),
+            |records| {
+                let collector = registered(1);
+                collector.ingest_batch(records);
+                black_box(collector.snapshot().record_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("shard_handle_batch", |b| {
+        b.iter_batched(
+            || uptime_records(RouterId(7), RECORDS_PER_HOME),
+            |records| {
+                let collector = registered(1);
+                collector.shard_handle(RouterId(7)).ingest_batch(records);
+                black_box(collector.snapshot().record_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Eight upload threads hammering the collector at once, deployment-style:
+/// each thread owns a slice of the 126 routers and interleaves heartbeats
+/// with small record batches through its routers' shard handles.
+fn bench_contended_ingest(c: &mut Criterion) {
+    const THREADS: u32 = 8;
+    const ROUTERS: u32 = 126;
+    const HEARTBEATS: u64 = 500;
+    let mut group = c.benchmark_group("collector_contended");
+    group.sample_size(10);
+    group.bench_function("8_threads_126_homes", |b| {
+        b.iter(|| {
+            let collector = registered(ROUTERS);
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let collector = &collector;
+                    scope.spawn(move || {
+                        for r in (t..ROUTERS).step_by(THREADS as usize) {
+                            let router = RouterId(r);
+                            let shard = collector.shard_handle(router);
+                            for m in 0..HEARTBEATS {
+                                shard.ingest_heartbeat(HeartbeatRecord { router, at: mins(m) });
+                                if m % 100 == 99 {
+                                    shard.ingest_batch(uptime_records(router, 50));
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            black_box(collector.into_datasets().record_count())
+        })
+    });
+    group.finish();
+}
+
+/// Snapshot (clone + merge) vs consuming merge over a full-deployment-sized
+/// collector: 126 homes, 5k records each, spread over all shards.
+fn bench_snapshot_merge(c: &mut Criterion) {
+    const ROUTERS: u32 = 126;
+    let filled = || {
+        let collector = registered(ROUTERS);
+        for r in 0..ROUTERS {
+            let router = RouterId(r);
+            let shard = collector.shard_handle(router);
+            shard.ingest_batch(uptime_records(router, RECORDS_PER_HOME));
+            for m in (0..RECORDS_PER_HOME).step_by(10) {
+                shard.ingest_heartbeat(HeartbeatRecord { router, at: mins(m) });
+            }
+        }
+        collector
+    };
+    let mut group = c.benchmark_group("collector_merge_126x5k");
+    group.sample_size(10);
+    let live = filled();
+    group.bench_function("snapshot", |b| {
+        b.iter(|| black_box(live.snapshot().record_count()))
+    });
+    group.bench_function("into_datasets", |b| {
+        b.iter_batched(
+            filled,
+            |collector| black_box(collector.into_datasets().record_count()),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_paths, bench_contended_ingest, bench_snapshot_merge);
+criterion_main!(benches);

@@ -15,5 +15,5 @@ pub mod server;
 pub mod windows;
 
 pub use runlog::{HeartbeatRun, RunLog};
-pub use server::{Collector, Datasets, RouterMeta};
+pub use server::{Collector, Datasets, RouterMeta, ShardHandle, NUM_SHARDS};
 pub use windows::Window;

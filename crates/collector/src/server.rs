@@ -2,9 +2,15 @@
 //! (including wire-level heartbeat packets), and snapshotting the six data
 //! sets for analysis.
 //!
-//! The server is thread-safe behind a [`parking_lot::Mutex`] because the
-//! study simulates independent homes on parallel threads, all uploading to
-//! one collector — the same topology as the deployment.
+//! The server shards its mutable state by router: each [`RouterId`] maps to
+//! one of [`NUM_SHARDS`] independently locked shards, so home simulations
+//! running on parallel threads never contend on the bulk upload path (homes
+//! never share a router ID, and the 126-router deployment maps onto 128
+//! shards collision-free). Snapshotting merges the shards back into one
+//! deterministic, (router, time)-sorted [`Datasets`] — concatenating
+//! already-ordered shard runs where possible and falling back to a stable
+//! sort otherwise — so the result is bit-identical regardless of how many
+//! threads uploaded.
 
 use crate::runlog::RunLog;
 use firmware::heartbeat::Heartbeat;
@@ -18,6 +24,15 @@ use parking_lot::Mutex;
 use simnet::packet::ParseError;
 use simnet::time::SimTime;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked ingestion shards. A power of two larger
+/// than the deployment so the study's 126 routers land on distinct shards.
+pub const NUM_SHARDS: usize = 128;
+
+fn shard_index(router: RouterId) -> usize {
+    router.0 as usize % NUM_SHARDS
+}
 
 /// Registration metadata for one router (what the deployment knew about
 /// each shipped unit).
@@ -34,7 +49,7 @@ pub struct RouterMeta {
 /// An immutable snapshot of everything collected, handed to the analysis.
 #[derive(Debug, Clone, Default)]
 pub struct Datasets {
-    /// Router registration metadata.
+    /// Router registration metadata, sorted by router ID.
     pub routers: Vec<RouterMeta>,
     /// Compressed heartbeat logs per router.
     pub heartbeats: HashMap<RouterId, RunLog>,
@@ -61,9 +76,13 @@ pub struct Datasets {
 }
 
 impl Datasets {
-    /// Metadata for one router, if registered.
+    /// Metadata for one router, if registered. Snapshots keep `routers`
+    /// sorted by ID, so this is a binary search, not a linear scan.
     pub fn meta(&self, router: RouterId) -> Option<&RouterMeta> {
-        self.routers.iter().find(|m| m.router == router)
+        self.routers
+            .binary_search_by_key(&router, |m| m.router)
+            .ok()
+            .map(|i| &self.routers[i])
     }
 
     /// Routers in the Traffic data set (consented).
@@ -87,10 +106,22 @@ impl Datasets {
     }
 }
 
+/// One shard's worth of collected state: the same tables as [`Datasets`]
+/// minus registration (which is global and rare), plus this shard's copy of
+/// the outage schedule so the hot path never reaches for shared state.
 #[derive(Debug, Default)]
-struct Inner {
-    data: Datasets,
-    rejected_heartbeats: u64,
+struct Shard {
+    heartbeats: HashMap<RouterId, RunLog>,
+    uptime: Vec<UptimeRecord>,
+    capacity: Vec<CapacityRecord>,
+    devices: Vec<DeviceCensusRecord>,
+    wifi: Vec<WifiScanRecord>,
+    packet_stats: Vec<PacketStatsRecord>,
+    flows: Vec<FlowRecord>,
+    dns: Vec<DnsSampleRecord>,
+    macs: Vec<MacSightingRecord>,
+    associations: Vec<AssociationRecord>,
+    latency: Vec<firmware::latency::LatencyRecord>,
     /// Windows during which the collection infrastructure itself was down
     /// (§3.3: "various outages and failures — both of the routers
     /// themselves and of the collection infrastructure"). Records arriving
@@ -99,16 +130,109 @@ struct Inner {
     dropped_in_outage: u64,
 }
 
-impl Inner {
+impl Shard {
     fn in_outage(&self, at: SimTime) -> bool {
         self.outages.iter().any(|w| w.contains(at))
+    }
+
+    /// Append a record to its table, with no outage check.
+    fn route(&mut self, record: Record) {
+        match record {
+            Record::Heartbeat(r) => self.heartbeats.entry(r.router).or_default().push(r.at),
+            Record::Uptime(r) => self.uptime.push(r),
+            Record::Capacity(r) => self.capacity.push(r),
+            Record::DeviceCensus(r) => self.devices.push(r),
+            Record::WifiScan(r) => self.wifi.push(r),
+            Record::PacketStats(r) => self.packet_stats.push(r),
+            Record::Flow(r) => self.flows.push(r),
+            Record::DnsSample(r) => self.dns.push(r),
+            Record::MacSighting(r) => self.macs.push(r),
+            Record::Association(r) => self.associations.push(r),
+            Record::Latency(r) => self.latency.push(r),
+        }
+    }
+
+    fn ingest(&mut self, record: Record) {
+        if !self.outages.is_empty() && self.in_outage(record.at()) {
+            self.dropped_in_outage += 1;
+            return;
+        }
+        self.route(record);
+    }
+
+    /// Batch ingestion: the outage-schedule check is hoisted out of the
+    /// record loop, so the common no-outage configuration never re-scans
+    /// the (empty) window list per record.
+    fn ingest_many(&mut self, records: impl IntoIterator<Item = Record>) {
+        if self.outages.is_empty() {
+            for record in records {
+                self.route(record);
+            }
+        } else {
+            for record in records {
+                if self.in_outage(record.at()) {
+                    self.dropped_in_outage += 1;
+                } else {
+                    self.route(record);
+                }
+            }
+        }
+    }
+
+    fn ingest_heartbeat(&mut self, rec: HeartbeatRecord) {
+        if !self.outages.is_empty() && self.in_outage(rec.at) {
+            self.dropped_in_outage += 1;
+            return;
+        }
+        self.heartbeats.entry(rec.router).or_default().push(rec.at);
     }
 }
 
 /// The collection server.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Shard>>,
+    routers: Mutex<Vec<RouterMeta>>,
+    rejected_heartbeats: AtomicU64,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            routers: Mutex::new(Vec::new()),
+            rejected_heartbeats: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A borrowed handle onto the shard owning one router's records. Home
+/// simulations grab one before their upload loop so the bulk path is a
+/// single uncontended lock per flush, with no per-record shard routing.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardHandle<'a> {
+    shard: &'a Mutex<Shard>,
+}
+
+impl ShardHandle<'_> {
+    /// Ingest one record. The caller is responsible for only sending
+    /// records belonging to this handle's shard.
+    pub fn ingest(&self, record: Record) {
+        self.shard.lock().ingest(record);
+    }
+
+    /// Ingest a batch under one lock acquisition.
+    pub fn ingest_batch(&self, records: Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        self.shard.lock().ingest_many(records);
+    }
+
+    /// Ingest an already-parsed heartbeat record.
+    pub fn ingest_heartbeat(&self, rec: HeartbeatRecord) {
+        self.shard.lock().ingest_heartbeat(rec);
+    }
 }
 
 impl Collector {
@@ -117,38 +241,44 @@ impl Collector {
         Collector::default()
     }
 
+    /// The ingestion handle for one router's shard.
+    pub fn shard_handle(&self, router: RouterId) -> ShardHandle<'_> {
+        ShardHandle { shard: &self.shards[shard_index(router)] }
+    }
+
     /// Register a shipped router.
     pub fn register(&self, meta: RouterMeta) {
-        self.inner.lock().data.routers.push(meta);
+        self.routers.lock().push(meta);
     }
 
     /// Inject collection-infrastructure outages: any record whose
     /// timestamp falls inside one of these windows is silently lost.
+    /// Each shard keeps its own copy so the hot path stays lock-local.
     pub fn set_outages(&self, outages: Vec<crate::windows::Window>) {
-        self.inner.lock().outages = outages;
+        for shard in &self.shards {
+            shard.lock().outages = outages.clone();
+        }
     }
 
     /// Records lost to collector-side outages so far.
     pub fn dropped_in_outage(&self) -> u64 {
-        self.inner.lock().dropped_in_outage
+        self.shards.iter().map(|s| s.lock().dropped_in_outage).sum()
     }
 
     /// Ingest a heartbeat that arrived as a raw packet: parse, validate,
     /// and log. Malformed packets are counted and dropped, as a real
-    /// server would.
+    /// server would — the reject counter is a lock-free atomic, so the
+    /// error path never touches a shard lock.
     pub fn ingest_heartbeat_wire(&self, at: SimTime, wire: &[u8]) -> Result<(), ParseError> {
         match Heartbeat::parse(wire) {
             Ok((hb, _src)) => {
-                let mut inner = self.inner.lock();
-                if inner.in_outage(at) {
-                    inner.dropped_in_outage += 1;
-                    return Ok(());
-                }
-                inner.data.heartbeats.entry(hb.router).or_default().push(at);
+                self.shards[shard_index(hb.router)]
+                    .lock()
+                    .ingest_heartbeat(HeartbeatRecord { router: hb.router, at });
                 Ok(())
             }
             Err(e) => {
-                self.inner.lock().rejected_heartbeats += 1;
+                self.rejected_heartbeats.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -159,87 +289,209 @@ impl Collector {
     /// goes through [`Collector::ingest_heartbeat_wire`] to keep the wire
     /// path honest).
     pub fn ingest_heartbeat(&self, rec: HeartbeatRecord) {
-        let mut inner = self.inner.lock();
-        if inner.in_outage(rec.at) {
-            inner.dropped_in_outage += 1;
-            return;
-        }
-        inner.data.heartbeats.entry(rec.router).or_default().push(rec.at);
+        self.shards[shard_index(rec.router)].lock().ingest_heartbeat(rec);
     }
 
     /// Ingest any other record.
     pub fn ingest(&self, record: Record) {
-        let mut inner = self.inner.lock();
-        if inner.in_outage(record.at()) {
-            inner.dropped_in_outage += 1;
-            return;
-        }
-        match record {
-            Record::Heartbeat(r) => {
-                inner.data.heartbeats.entry(r.router).or_default().push(r.at)
-            }
-            Record::Uptime(r) => inner.data.uptime.push(r),
-            Record::Capacity(r) => inner.data.capacity.push(r),
-            Record::DeviceCensus(r) => inner.data.devices.push(r),
-            Record::WifiScan(r) => inner.data.wifi.push(r),
-            Record::PacketStats(r) => inner.data.packet_stats.push(r),
-            Record::Flow(r) => inner.data.flows.push(r),
-            Record::DnsSample(r) => inner.data.dns.push(r),
-            Record::MacSighting(r) => inner.data.macs.push(r),
-            Record::Association(r) => inner.data.associations.push(r),
-            Record::Latency(r) => inner.data.latency.push(r),
-        }
+        self.shards[shard_index(record.router())].lock().ingest(record);
     }
 
-    /// Ingest a batch (one lock acquisition).
+    /// Ingest a batch. Runs of consecutive records for the same shard are
+    /// ingested under one lock acquisition; a single-router batch (what
+    /// home simulations upload) locks exactly once.
     pub fn ingest_batch(&self, records: Vec<Record>) {
-        let mut inner = self.inner.lock();
-        for record in records {
-            if inner.in_outage(record.at()) {
-                inner.dropped_in_outage += 1;
-                continue;
-            }
-            match record {
-                Record::Heartbeat(r) => {
-                    inner.data.heartbeats.entry(r.router).or_default().push(r.at)
-                }
-                Record::Uptime(r) => inner.data.uptime.push(r),
-                Record::Capacity(r) => inner.data.capacity.push(r),
-                Record::DeviceCensus(r) => inner.data.devices.push(r),
-                Record::WifiScan(r) => inner.data.wifi.push(r),
-                Record::PacketStats(r) => inner.data.packet_stats.push(r),
-                Record::Flow(r) => inner.data.flows.push(r),
-                Record::DnsSample(r) => inner.data.dns.push(r),
-                Record::MacSighting(r) => inner.data.macs.push(r),
-                Record::Association(r) => inner.data.associations.push(r),
-                Record::Latency(r) => inner.data.latency.push(r),
+        let mut records = records.into_iter().peekable();
+        while let Some(first) = records.next() {
+            let idx = shard_index(first.router());
+            let mut shard = self.shards[idx].lock();
+            shard.ingest(first);
+            while records.peek().map(|r| shard_index(r.router())) == Some(idx) {
+                shard.ingest(records.next().expect("peeked"));
             }
         }
     }
 
     /// Malformed heartbeat packets rejected so far.
     pub fn rejected_heartbeats(&self) -> u64 {
-        self.inner.lock().rejected_heartbeats
+        self.rejected_heartbeats.load(Ordering::Relaxed)
     }
 
-    /// Snapshot everything collected so far. Records are sorted by
-    /// (router, time) so snapshots are deterministic regardless of the
-    /// upload interleaving across home threads.
+    /// Snapshot everything collected so far, without disturbing ongoing
+    /// ingestion. Records are cloned out of each shard and merged sorted by
+    /// (router, time), so snapshots are deterministic regardless of the
+    /// upload interleaving across home threads. Finished callers should
+    /// prefer [`Collector::into_datasets`], which skips the clone.
     pub fn snapshot(&self) -> Datasets {
-        let mut data = self.inner.lock().data.clone();
-        data.routers.sort_by_key(|m| m.router);
-        data.uptime.sort_by_key(|r| (r.router, r.at));
-        data.capacity.sort_by_key(|r| (r.router, r.at));
-        data.devices.sort_by_key(|r| (r.router, r.at));
-        data.wifi.sort_by_key(|r| (r.router, r.at, r.band));
-        data.packet_stats.sort_by_key(|r| (r.router, r.at));
-        data.flows.sort_by_key(|r| (r.router, r.ended, r.started, r.device));
-        data.dns.sort_by_key(|r| (r.router, r.at, r.device));
-        data.macs.sort_by_key(|r| (r.router, r.first_seen, r.device));
-        data.associations.sort_by_key(|r| (r.router, r.at, r.device, r.medium));
-        data.latency.sort_by_key(|r| (r.router, r.at));
-        data
+        let chunks: Vec<ShardChunk> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock();
+                ShardChunk {
+                    heartbeats: shard.heartbeats.clone(),
+                    uptime: shard.uptime.clone(),
+                    capacity: shard.capacity.clone(),
+                    devices: shard.devices.clone(),
+                    wifi: shard.wifi.clone(),
+                    packet_stats: shard.packet_stats.clone(),
+                    flows: shard.flows.clone(),
+                    dns: shard.dns.clone(),
+                    macs: shard.macs.clone(),
+                    associations: shard.associations.clone(),
+                    latency: shard.latency.clone(),
+                }
+            })
+            .collect();
+        merge_chunks(self.routers.lock().clone(), chunks)
     }
+
+    /// Consume the collector and merge every shard into one sorted
+    /// [`Datasets`] without cloning a single record. The per-table merges
+    /// run on scoped threads, and shards that are already internally
+    /// ordered with disjoint router ranges (the steady-state shape, since
+    /// every router maps to one shard and emits chronologically)
+    /// concatenate in O(n) instead of re-sorting.
+    pub fn into_datasets(self) -> Datasets {
+        let chunks: Vec<ShardChunk> = self
+            .shards
+            .into_iter()
+            .map(|s| {
+                let shard = s.into_inner();
+                ShardChunk {
+                    heartbeats: shard.heartbeats,
+                    uptime: shard.uptime,
+                    capacity: shard.capacity,
+                    devices: shard.devices,
+                    wifi: shard.wifi,
+                    packet_stats: shard.packet_stats,
+                    flows: shard.flows,
+                    dns: shard.dns,
+                    macs: shard.macs,
+                    associations: shard.associations,
+                    latency: shard.latency,
+                }
+            })
+            .collect();
+        merge_chunks(self.routers.into_inner(), chunks)
+    }
+}
+
+/// The movable per-shard table set fed into the merge.
+struct ShardChunk {
+    heartbeats: HashMap<RouterId, RunLog>,
+    uptime: Vec<UptimeRecord>,
+    capacity: Vec<CapacityRecord>,
+    devices: Vec<DeviceCensusRecord>,
+    wifi: Vec<WifiScanRecord>,
+    packet_stats: Vec<PacketStatsRecord>,
+    flows: Vec<FlowRecord>,
+    dns: Vec<DnsSampleRecord>,
+    macs: Vec<MacSightingRecord>,
+    associations: Vec<AssociationRecord>,
+    latency: Vec<firmware::latency::LatencyRecord>,
+}
+
+/// Merge per-shard chunks of one table into a single sorted table.
+///
+/// Fast path: if every chunk is internally non-decreasing by `key` and the
+/// chunks' key ranges don't overlap once ordered by first key, the sorted
+/// result is just their concatenation — O(n) moves, no comparison sort.
+/// Every per-table sort key here starts with the router ID and each router
+/// lives on exactly one shard, so shards whose records were emitted in
+/// order hit this path. Otherwise fall back to concatenation plus a stable
+/// sort (run-adaptive, so nearly-sorted input stays cheap). Chunks arrive
+/// in shard-index order, which is a pure function of router ID — never of
+/// thread schedule — so both paths are deterministic.
+fn merge_table<T, K: Ord, F: Fn(&T) -> K>(mut chunks: Vec<Vec<T>>, key: F) -> Vec<T> {
+    chunks.retain(|c| !c.is_empty());
+    if chunks.is_empty() {
+        return Vec::new();
+    }
+    chunks.sort_by(|a, b| key(&a[0]).cmp(&key(&b[0])));
+    let sorted_disjoint = chunks.iter().all(|c| c.windows(2).all(|w| key(&w[0]) <= key(&w[1])))
+        && chunks.windows(2).all(|w| key(w[0].last().expect("non-empty")) <= key(&w[1][0]));
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    if !sorted_disjoint {
+        out.sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+    out
+}
+
+fn merge_chunks(mut routers: Vec<RouterMeta>, chunks: Vec<ShardChunk>) -> Datasets {
+    let mut uptime = Vec::new();
+    let mut capacity = Vec::new();
+    let mut devices = Vec::new();
+    let mut wifi = Vec::new();
+    let mut packet_stats = Vec::new();
+    let mut flows = Vec::new();
+    let mut dns = Vec::new();
+    let mut macs = Vec::new();
+    let mut associations = Vec::new();
+    let mut latency = Vec::new();
+    let mut heartbeats: HashMap<RouterId, RunLog> = HashMap::new();
+    for chunk in chunks {
+        uptime.push(chunk.uptime);
+        capacity.push(chunk.capacity);
+        devices.push(chunk.devices);
+        wifi.push(chunk.wifi);
+        packet_stats.push(chunk.packet_stats);
+        flows.push(chunk.flows);
+        dns.push(chunk.dns);
+        macs.push(chunk.macs);
+        associations.push(chunk.associations);
+        latency.push(chunk.latency);
+        // Routers are partitioned across shards, so no key collides.
+        heartbeats.extend(chunk.heartbeats);
+    }
+    routers.sort_by_key(|m| m.router);
+
+    let mut data = Datasets { routers, heartbeats, ..Datasets::default() };
+    // The per-table merges are independent; run them on scoped threads so a
+    // snapshot of a 33M-record study sorts all ten tables concurrently.
+    crossbeam::scope(|scope| {
+        let uptime = scope.spawn(|_| merge_table(uptime, |r: &UptimeRecord| (r.router, r.at)));
+        let capacity =
+            scope.spawn(|_| merge_table(capacity, |r: &CapacityRecord| (r.router, r.at)));
+        let devices =
+            scope.spawn(|_| merge_table(devices, |r: &DeviceCensusRecord| (r.router, r.at)));
+        let wifi =
+            scope.spawn(|_| merge_table(wifi, |r: &WifiScanRecord| (r.router, r.at, r.band)));
+        let packet_stats = scope
+            .spawn(|_| merge_table(packet_stats, |r: &PacketStatsRecord| (r.router, r.at)));
+        let flows = scope.spawn(|_| {
+            merge_table(flows, |r: &FlowRecord| (r.router, r.ended, r.started, r.device))
+        });
+        let dns =
+            scope.spawn(|_| merge_table(dns, |r: &DnsSampleRecord| (r.router, r.at, r.device)));
+        let macs = scope.spawn(|_| {
+            merge_table(macs, |r: &MacSightingRecord| (r.router, r.first_seen, r.device))
+        });
+        let associations = scope.spawn(|_| {
+            merge_table(associations, |r: &AssociationRecord| {
+                (r.router, r.at, r.device, r.medium)
+            })
+        });
+        let latency = scope.spawn(|_| {
+            merge_table(latency, |r: &firmware::latency::LatencyRecord| (r.router, r.at))
+        });
+        data.uptime = uptime.join().expect("merge uptime");
+        data.capacity = capacity.join().expect("merge capacity");
+        data.devices = devices.join().expect("merge devices");
+        data.wifi = wifi.join().expect("merge wifi");
+        data.packet_stats = packet_stats.join().expect("merge packet_stats");
+        data.flows = flows.join().expect("merge flows");
+        data.dns = dns.join().expect("merge dns");
+        data.macs = macs.join().expect("merge macs");
+        data.associations = associations.join().expect("merge associations");
+        data.latency = latency.join().expect("merge latency");
+    })
+    .expect("merge threads join");
+    data
 }
 
 #[cfg(test)]
@@ -308,6 +560,64 @@ mod tests {
         let snap = collector.snapshot();
         let order: Vec<(u32, SimTime)> = snap.uptime.iter().map(|r| (r.router.0, r.at)).collect();
         assert_eq!(order, vec![(1, m(50)), (1, m(200)), (2, m(10)), (2, m(100))]);
+    }
+
+    #[test]
+    fn shard_handle_matches_global_ingest() {
+        let direct = Collector::new();
+        let via_handle = Collector::new();
+        let records: Vec<Record> = (0..100u64)
+            .map(|i| {
+                Record::Uptime(UptimeRecord {
+                    router: RouterId(7),
+                    at: m(i),
+                    uptime: SimDuration::from_mins(i),
+                })
+            })
+            .collect();
+        direct.ingest_batch(records.clone());
+        via_handle.shard_handle(RouterId(7)).ingest_batch(records);
+        assert_eq!(direct.snapshot().uptime, via_handle.snapshot().uptime);
+    }
+
+    #[test]
+    fn into_datasets_matches_snapshot() {
+        let collector = Collector::new();
+        collector.register(RouterMeta {
+            router: RouterId(4),
+            country: Country::India,
+            traffic_consent: false,
+        });
+        collector.register(RouterMeta {
+            router: RouterId(3),
+            country: Country::UnitedStates,
+            traffic_consent: true,
+        });
+        // Routers 130 and 2 collide with 2 mod 128: exercises the in-shard
+        // stable-sort fallback as well as the disjoint fast path.
+        for (router, at) in [(130u32, 5u64), (2, 9), (3, 1), (130, 7), (2, 4)] {
+            collector.ingest(Record::Uptime(UptimeRecord {
+                router: RouterId(router),
+                at: m(at),
+                uptime: SimDuration::ZERO,
+            }));
+        }
+        // Heartbeat logs require chronological pushes per router.
+        for (router, at) in [(2u32, 4u64), (2, 9), (3, 1), (130, 5), (130, 7)] {
+            collector.ingest_heartbeat(HeartbeatRecord { router: RouterId(router), at: m(at) });
+        }
+        let snap = collector.snapshot();
+        let owned = collector.into_datasets();
+        assert_eq!(snap.routers, owned.routers);
+        assert_eq!(snap.uptime, owned.uptime);
+        assert_eq!(
+            snap.uptime.iter().map(|r| (r.router.0, r.at)).collect::<Vec<_>>(),
+            vec![(2, m(4)), (2, m(9)), (3, m(1)), (130, m(5)), (130, m(7))]
+        );
+        assert_eq!(snap.heartbeats.len(), owned.heartbeats.len());
+        for (router, log) in &snap.heartbeats {
+            assert_eq!(log.runs(), owned.heartbeats[router].runs());
+        }
     }
 
     #[test]

@@ -44,9 +44,10 @@ fn run(args: &[String]) {
     }
 
     eprintln!(
-        "running seed {seed} over {:.0} virtual days on {} threads...",
+        "running seed {seed} over {:.0} virtual days on {} thread{}...",
         config.windows.span.duration().as_days_f64(),
-        config.threads
+        config.threads,
+        if config.threads == 1 { "" } else { "s" }
     );
     let started = std::time::Instant::now();
     let output = run_study(&config);
@@ -57,8 +58,15 @@ fn run(args: &[String]) {
         output.datasets.heartbeats.len()
     );
 
+    let analyze_started = std::time::Instant::now();
     let report = output.report();
     let rendered = report.render(&output.datasets);
+    eprintln!(
+        "phases: simulate {:.2}s / snapshot {:.2}s / analyze {:.2}s",
+        output.timings.simulate.as_secs_f64(),
+        output.timings.snapshot.as_secs_f64(),
+        analyze_started.elapsed().as_secs_f64()
+    );
     match arg_value(args, "--report") {
         Some(path) => {
             std::fs::write(&path, &rendered).expect("write report file");

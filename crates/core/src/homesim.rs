@@ -211,19 +211,24 @@ impl<'a> HomeSim<'a> {
         }
     }
 
-    fn flush(&mut self, collector: &Collector) {
+    fn flush(&mut self, shard: &collector::ShardHandle<'_>) {
         if !self.out.is_empty() {
-            collector.ingest_batch(std::mem::take(&mut self.out));
+            shard.ingest_batch(std::mem::take(&mut self.out));
         }
     }
 
     /// Run to the end of the span, uploading records to `collector`.
+    ///
+    /// All of this home's records belong to one router, so the upload path
+    /// grabs that router's shard handle once and every flush is a single
+    /// uncontended lock — parallel homes never serialize on ingestion.
     pub fn run(mut self, collector: &Collector) {
+        let shard = collector.shard_handle(self.gateway.id);
         let end = self.windows.span.end;
         while let Some((now, ev)) = self.queue.pop_if_before(end) {
             self.handle(now, ev);
             if self.out.len() >= FLUSH_THRESHOLD {
-                self.flush(collector);
+                self.flush(&shard);
             }
         }
         // Study over: tear down flows so their records are emitted.
@@ -232,7 +237,7 @@ impl<'a> HomeSim<'a> {
             monitor.finalize(end);
             self.out.extend(monitor.drain());
         }
-        self.flush(collector);
+        self.flush(&shard);
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {

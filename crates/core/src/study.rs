@@ -108,6 +108,15 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
 }
 
+/// Wall-clock spent in each phase of [`run_study`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Simulating every home and ingesting its uploads.
+    pub simulate: std::time::Duration,
+    /// Merging the collector shards into the sorted data sets.
+    pub snapshot: std::time::Duration,
+}
+
 /// Everything a finished study produces.
 #[derive(Debug)]
 pub struct StudyOutput {
@@ -118,6 +127,8 @@ pub struct StudyOutput {
     pub homes: Vec<HomeConfig>,
     /// The windows the study ran with.
     pub windows: StudyWindows,
+    /// Per-phase wall-clock of the run.
+    pub timings: PhaseTimings,
 }
 
 impl StudyWindows {
@@ -159,6 +170,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = config.threads.max(1);
+    let sim_start = std::time::Instant::now();
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
@@ -178,7 +190,18 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
         }
     })
     .expect("home simulation threads must not panic");
-    StudyOutput { datasets: collector.snapshot(), homes, windows: config.windows.clone() }
+    let simulate = sim_start.elapsed();
+    // Every home is done uploading: consume the collector instead of
+    // cloning 33M records out of it.
+    let snap_start = std::time::Instant::now();
+    let datasets = collector.into_datasets();
+    let snapshot = snap_start.elapsed();
+    StudyOutput {
+        datasets,
+        homes,
+        windows: config.windows.clone(),
+        timings: PhaseTimings { simulate, snapshot },
+    }
 }
 
 #[cfg(test)]
@@ -228,8 +251,24 @@ mod tests {
         b_cfg.threads = 8;
         let a = run_study(&a_cfg);
         let b = run_study(&b_cfg);
-        assert_eq!(a.datasets.devices, b.datasets.devices);
-        assert_eq!(a.datasets.flows.len(), b.datasets.flows.len());
+        // Every table must be byte-identical, not just the easy ones: the
+        // sharded collector's determinism guarantee covers the whole
+        // snapshot regardless of upload interleaving.
+        assert_eq!(a.datasets.routers, b.datasets.routers);
         assert_eq!(a.datasets.heartbeats, b.datasets.heartbeats);
+        assert_eq!(a.datasets.uptime, b.datasets.uptime);
+        assert_eq!(a.datasets.capacity, b.datasets.capacity);
+        assert_eq!(a.datasets.devices, b.datasets.devices);
+        assert_eq!(a.datasets.wifi, b.datasets.wifi);
+        assert_eq!(a.datasets.packet_stats, b.datasets.packet_stats);
+        assert_eq!(a.datasets.flows, b.datasets.flows);
+        assert_eq!(a.datasets.dns, b.datasets.dns);
+        assert_eq!(a.datasets.macs, b.datasets.macs);
+        assert_eq!(a.datasets.associations, b.datasets.associations);
+        assert_eq!(a.datasets.latency, b.datasets.latency);
+        // ... and so must the rendered report built on top of them.
+        let report_a = a.report().render(&a.datasets);
+        let report_b = b.report().render(&b.datasets);
+        assert_eq!(report_a, report_b);
     }
 }

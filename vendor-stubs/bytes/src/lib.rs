@@ -1,0 +1,1 @@
+//! Offline stand-in; the workspace declares but does not use `bytes`.

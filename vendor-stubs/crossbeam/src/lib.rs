@@ -1,0 +1,49 @@
+//! Offline stand-in for `crossbeam` providing the scoped-thread API this
+//! workspace uses, backed by `std::thread::scope`. Panics in spawned
+//! threads surface as `Err` from `scope`, matching crossbeam semantics.
+
+use std::any::Any;
+
+pub mod thread {
+    use super::*;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Mirror of `crossbeam::thread::Scope`; wraps the std scope so spawned
+    /// closures can themselves spawn.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let nested = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&nested)) }
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;

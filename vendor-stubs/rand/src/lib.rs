@@ -1,0 +1,223 @@
+//! Offline stand-in for `rand` 0.8 providing the subset this workspace
+//! uses: `SmallRng` (xoshiro256++ with the same `seed_from_u64` expansion
+//! as rand 0.8.5), `Rng::gen`/`gen_range`, `RngCore`, `SeedableRng`.
+
+pub mod rngs {
+    /// xoshiro256++, matching rand 0.8.5's 64-bit `SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64(mut state: u64) -> SmallRng {
+            // SplitMix64 expansion, as in rand 0.8.5.
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+
+        #[inline]
+        pub(crate) fn next64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next64().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next64().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            if s.iter().all(|&w| w == 0) {
+                return SmallRng::from_u64(0);
+            }
+            SmallRng { s }
+        }
+        fn seed_from_u64(state: u64) -> SmallRng {
+            SmallRng::from_u64(state)
+        }
+    }
+}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+pub trait SeedableRng: Sized {
+    type Seed;
+    fn from_seed(seed: Self::Seed) -> Self;
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable by `Rng::gen` (rand's `Standard` distribution).
+pub trait StandardSample: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1), as rand's Standard does.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Integer types usable with `gen_range` (Lemire widening-multiply
+/// rejection, as rand 0.8's `UniformInt::sample_single`).
+pub trait UniformSampled: Copy {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_u64ish {
+    ($($t:ty),*) => {$(
+        impl UniformSampled for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let lo64 = lo as u64;
+                let hi64 = hi as u64;
+                let range = if inclusive {
+                    hi64.wrapping_sub(lo64).wrapping_add(1)
+                } else {
+                    assert!(lo64 < hi64, "gen_range: empty range");
+                    hi64 - lo64
+                };
+                if range == 0 {
+                    // Inclusive full-width range.
+                    return rng.next_u64() as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let hi_part = (m >> 64) as u64;
+                    let lo_part = m as u64;
+                    if lo_part <= zone {
+                        return lo64.wrapping_add(hi_part) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_u64ish!(u64, usize, u32, u16, u8, i64, i32);
+
+impl UniformSampled for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64, _inclusive: bool) -> f64 {
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// Ranges accepted by `gen_range`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSampled> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: UniformSampled> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+    pub use crate::rngs::SmallRng;
+}

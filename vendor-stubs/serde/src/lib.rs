@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`: marker traits with blanket impls plus the
+//! no-op derive re-exports. Serialization itself happens in the
+//! `serde_json` stub (which emits a placeholder document).
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait Serializer {}
+pub trait Deserializer<'de> {}
+
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+pub mod de {
+    pub use crate::{Deserialize, Deserializer};
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op derive macros standing in for `serde_derive` in the offline
+//! build. The `serde` stub's traits are blanket-implemented, so the
+//! derives only need to exist and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
