@@ -39,7 +39,7 @@ fn bench_bufferbloat_queue_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bufferbloat");
     for queue_kb in [16u64, 256, 1024] {
         let cfg = LinkConfig::simple(1_000_000, SimDuration::from_millis(10), queue_kb * 1024);
-        group.bench_function(format!("fill_queue_{queue_kb}kb"), |b| {
+        group.bench_function(&format!("fill_queue_{queue_kb}kb"), |b| {
             b.iter(|| {
                 let mut link = Link::new(cfg);
                 let mut accepted = 0;

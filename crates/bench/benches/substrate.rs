@@ -65,6 +65,14 @@ fn bench_packets(c: &mut Criterion) {
     group.bench_function("heartbeat_emit", |b| {
         b.iter(|| black_box(hb.emit(Ipv4Addr::new(100, 64, 0, 7))))
     });
+    group.bench_function("heartbeat_emit_into", |b| {
+        // The zero-allocation path the simulation hot loop uses.
+        let mut buf = [0u8; firmware::Heartbeat::WIRE_LEN];
+        b.iter(|| {
+            hb.emit_into(Ipv4Addr::new(100, 64, 0, 7), &mut buf);
+            black_box(buf[43])
+        })
+    });
     group.bench_function("heartbeat_parse", |b| {
         b.iter(|| black_box(firmware::Heartbeat::parse(&hb_wire).expect("valid")))
     });
@@ -72,6 +80,30 @@ fn bench_packets(c: &mut Criterion) {
     let q_wire = q.emit();
     group.bench_function("dns_query_roundtrip", |b| {
         b.iter(|| black_box(DnsQuery::parse(&q_wire).expect("valid")))
+    });
+    group.finish();
+}
+
+fn bench_dns_resolve(c: &mut Criterion) {
+    use simnet::dns::{CachingResolver, ZoneDb};
+    let mut group = c.benchmark_group("dns_resolve");
+    // A zone with a CNAME chain, like the CDN-backed domains in the
+    // standard universe: www.example.com -> cdn.example.net -> A.
+    let mut zone = ZoneDb::new();
+    let www = DomainName::new("www.example.com").unwrap();
+    let cdn = DomainName::new("cdn.example.net").unwrap();
+    let edge = DomainName::new("edge7.example.net").unwrap();
+    zone.insert_cname(www.clone(), cdn.clone(), SimDuration::from_secs(300));
+    zone.insert_cname(cdn, edge.clone(), SimDuration::from_secs(300));
+    zone.insert_a(edge, Ipv4Addr::new(23, 64, 1, 10), SimDuration::from_secs(60));
+    group.bench_function("zonedb_cname_chain", |b| {
+        let query = DnsQuery { id: 1, name: www.clone() };
+        b.iter(|| black_box(zone.resolve(&query)))
+    });
+    group.bench_function("caching_resolver_hit", |b| {
+        let mut resolver = CachingResolver::new();
+        resolver.lookup(SimTime::EPOCH, &zone, 1, &www);
+        b.iter(|| black_box(resolver.lookup(SimTime::EPOCH, &zone, 2, &www)))
     });
     group.finish();
 }
@@ -147,6 +179,6 @@ fn bench_rng_and_fair(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_event_queue, bench_packets, bench_nat, bench_link, bench_rng_and_fair
+    targets = bench_event_queue, bench_packets, bench_dns_resolve, bench_nat, bench_link, bench_rng_and_fair
 );
 criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `e2e` — the end-to-end simulation benchmark.
+//!
+//! Runs a fixed-seed quick study, reports per-phase wall-clock timings and
+//! the aggregate ingestion rate (records/sec over the simulate phase), and
+//! appends the measurement to `BENCH_simulate.json` at the repository root.
+//! The committed file carries before/after entries across optimization
+//! work, and `scripts/bench.sh` diffs a fresh run against it to catch
+//! regressions.
+//!
+//! ```text
+//! e2e [--seed N] [--days D] [--threads T] [--label STR]
+//!     [--output FILE] [--dry-run]
+//! ```
+
+use bismark::study::{run_study, StudyConfig};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One benchmark measurement, as stored in `BENCH_simulate.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Free-form tag: "before", "after", a commit subject, ...
+    pub label: String,
+    /// Study seed.
+    pub seed: u64,
+    /// Virtual days simulated.
+    pub days: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Total records across all data sets.
+    pub records: u64,
+    /// Wall-clock seconds simulating and ingesting.
+    pub simulate_secs: f64,
+    /// Wall-clock seconds merging shards into sorted data sets.
+    pub snapshot_secs: f64,
+    /// Wall-clock seconds computing and rendering the full report.
+    pub analyze_secs: f64,
+    /// records / simulate_secs — the headline throughput number.
+    pub records_per_sec: f64,
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn default_output() -> PathBuf {
+    // crates/bench -> repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_simulate.json")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = arg_value(&args, "--seed").map_or(7, |v| v.parse().expect("--seed N"));
+    let days: u64 = arg_value(&args, "--days").map_or(20, |v| v.parse().expect("--days D"));
+    let threads: usize =
+        arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads T"));
+    let label = arg_value(&args, "--label").unwrap_or_else(|| String::from("after"));
+    let output = arg_value(&args, "--output").map_or_else(default_output, PathBuf::from);
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+
+    let mut config = StudyConfig::quick(seed, days);
+    config.threads = threads;
+    eprintln!(
+        "e2e bench: seed {seed}, {days} virtual days, {threads} thread{}",
+        if threads == 1 { "" } else { "s" }
+    );
+
+    let study = run_study(&config);
+    let analyze_started = std::time::Instant::now();
+    let report = study.report();
+    let rendered = report.render(&study.datasets);
+    let analyze = analyze_started.elapsed();
+    assert!(!rendered.is_empty(), "report must render");
+
+    let records = study.datasets.record_count() as u64;
+    let simulate_secs = study.timings.simulate.as_secs_f64();
+    let entry = BenchEntry {
+        label,
+        seed,
+        days,
+        threads: threads as u64,
+        records,
+        simulate_secs,
+        snapshot_secs: study.timings.snapshot.as_secs_f64(),
+        analyze_secs: analyze.as_secs_f64(),
+        records_per_sec: records as f64 / simulate_secs,
+    };
+    eprintln!(
+        "simulate {:.2}s / snapshot {:.2}s / analyze {:.2}s — {} records, {:.0} records/sec",
+        entry.simulate_secs,
+        entry.snapshot_secs,
+        entry.analyze_secs,
+        entry.records,
+        entry.records_per_sec
+    );
+
+    if dry_run {
+        println!("{}", serde_json::to_string_pretty(&entry).expect("entry serializes"));
+        return;
+    }
+    let mut entries: Vec<BenchEntry> = match std::fs::read_to_string(&output) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_simulate.json parses"),
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry);
+    let json = serde_json::to_string_pretty(&entries).expect("entries serialize");
+    std::fs::write(&output, json + "\n").expect("write benchmark file");
+    eprintln!("appended to {}", output.display());
+}

@@ -229,6 +229,17 @@ impl ShardHandle<'_> {
         self.shard.lock().ingest_many(records);
     }
 
+    /// Ingest by draining the caller's buffer under one lock acquisition.
+    /// The buffer is left empty with its capacity intact, so a simulation
+    /// flushing every few thousand records reuses one allocation for the
+    /// whole run.
+    pub fn ingest_drain(&self, records: &mut Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        self.shard.lock().ingest_many(records.drain(..));
+    }
+
     /// Ingest an already-parsed heartbeat record.
     pub fn ingest_heartbeat(&self, rec: HeartbeatRecord) {
         self.shard.lock().ingest_heartbeat(rec);

@@ -115,6 +115,8 @@ pub struct HomeSim<'a> {
     rng_session: DetRng,
     rng_probe: DetRng,
     out: Vec<Record>,
+    /// Scratch buffer for DNS wire images, reused across lookups.
+    dns_wire_buf: Vec<u8>,
 }
 
 impl<'a> HomeSim<'a> {
@@ -199,7 +201,8 @@ impl<'a> HomeSim<'a> {
             rng_presence: root.derive("presence"),
             rng_session: root.derive("session"),
             rng_probe: probe_rng,
-            out: Vec::new(),
+            out: Vec::with_capacity(FLUSH_THRESHOLD),
+            dns_wire_buf: Vec::with_capacity(128),
         }
     }
 
@@ -212,9 +215,9 @@ impl<'a> HomeSim<'a> {
     }
 
     fn flush(&mut self, shard: &collector::ShardHandle<'_>) {
-        if !self.out.is_empty() {
-            shard.ingest_batch(std::mem::take(&mut self.out));
-        }
+        // Drain rather than hand off: the buffer keeps its capacity, so
+        // the whole run reuses one allocation for record batching.
+        shard.ingest_drain(&mut self.out);
     }
 
     /// Run to the end of the span, uploading records to `collector`.
@@ -307,13 +310,16 @@ impl<'a> HomeSim<'a> {
         // The packet crosses the uplink (it can be queued behind bulk
         // upload traffic, or dropped if the queue is full), then the WAN
         // path, where congestion loss applies; it only becomes a record if
-        // the ISP link is up and it survives.
-        let wire = hb.emit(self.cfg.wan_addr);
+        // the ISP link is up and it survives. The wire image is built and
+        // parsed on a stack buffer only for packets that actually arrive —
+        // emission is pure, so skipping it for lost packets changes nothing.
         if self.is_isp_up(now) {
             if let TxOutcome::Delivered { at } =
-                self.up_link.transmit(now, wire.len() as u64)
+                self.up_link.transmit(now, Heartbeat::wire_len())
             {
                 if self.wan.survives(&mut self.rng_heartbeat) {
+                    let mut wire = [0u8; Heartbeat::WIRE_LEN];
+                    hb.emit_into(self.cfg.wan_addr, &mut wire);
                     // Collector-side parse: only validated packets count.
                     if let Ok((parsed, _)) = Heartbeat::parse(&wire) {
                         self.out.push(Record::Heartbeat(HeartbeatRecord {
@@ -675,9 +681,11 @@ impl<'a> HomeSim<'a> {
         };
         if upstream {
             // The response crosses the gateway as a real wire image; parse
-            // it back as the capture path would.
-            let wire = response.emit();
-            if let Ok(parsed) = simnet::dns::DnsResponse::parse(&wire) {
+            // it back as the capture path would. The scratch buffer is
+            // reused across lookups, so steady state allocates nothing.
+            self.dns_wire_buf.clear();
+            response.emit_into(&mut self.dns_wire_buf);
+            if let Ok(parsed) = simnet::dns::DnsResponse::parse(&self.dns_wire_buf) {
                 if let Some(monitor) = self.monitor.as_mut() {
                     monitor.on_dns_response(now, device.mac, &parsed);
                 }

@@ -9,7 +9,7 @@
 //! parses and validates it before recording.
 
 use crate::records::RouterId;
-use simnet::packet::{IpProtocol, Ipv4Packet, ParseError, UdpDatagram};
+use simnet::packet::{IpProtocol, Ipv4View, ParseError, UdpView, IPV4_HEADER_LEN};
 use std::net::Ipv4Addr;
 
 /// The collector's UDP port for heartbeats.
@@ -30,29 +30,47 @@ pub struct Heartbeat {
 }
 
 impl Heartbeat {
+    /// Wire length of a heartbeat packet: 20 IP + 8 UDP + 16 payload.
+    pub const WIRE_LEN: usize = 44;
+
     /// Build the full IPv4+UDP wire image from the router's WAN address.
     pub fn emit(&self, wan_addr: Ipv4Addr) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(16);
-        payload.extend_from_slice(MAGIC);
-        payload.extend_from_slice(&self.router.0.to_be_bytes());
-        payload.extend_from_slice(&self.seq.to_be_bytes());
-        let udp = UdpDatagram::new(HEARTBEAT_PORT, HEARTBEAT_PORT, payload);
-        Ipv4Packet::new(
-            wan_addr,
-            COLLECTOR_ADDR,
-            IpProtocol::Udp,
-            udp.emit(wan_addr, COLLECTOR_ADDR),
-        )
-        .emit()
+        let mut out = [0u8; Self::WIRE_LEN];
+        self.emit_into(wan_addr, &mut out);
+        out.to_vec()
     }
 
-    /// Parse and validate a received wire image (collector side).
+    /// Write the full IPv4+UDP wire image into a caller-owned buffer
+    /// (typically a stack array) with zero heap allocations. Byte-identical
+    /// to [`Heartbeat::emit`].
+    pub fn emit_into(&self, wan_addr: Ipv4Addr, out: &mut [u8; Self::WIRE_LEN]) {
+        let mut payload = [0u8; 16];
+        payload[0..4].copy_from_slice(MAGIC);
+        payload[4..8].copy_from_slice(&self.router.0.to_be_bytes());
+        payload[8..16].copy_from_slice(&self.seq.to_be_bytes());
+        let (ip_header, udp_segment) = out.split_at_mut(IPV4_HEADER_LEN);
+        UdpView { src_port: HEARTBEAT_PORT, dst_port: HEARTBEAT_PORT, payload: &payload }
+            .emit_into(wan_addr, COLLECTOR_ADDR, udp_segment);
+        Ipv4View {
+            src: wan_addr,
+            dst: COLLECTOR_ADDR,
+            protocol: IpProtocol::Udp,
+            ttl: 64,
+            identification: 0,
+            dscp_ecn: 0,
+            payload: udp_segment,
+        }
+        .emit_header_into(ip_header);
+    }
+
+    /// Parse and validate a received wire image (collector side). Runs on
+    /// borrowed views all the way down: no heap allocations.
     pub fn parse(wire: &[u8]) -> Result<(Heartbeat, Ipv4Addr), ParseError> {
-        let ip = Ipv4Packet::parse(wire)?;
+        let ip = Ipv4View::parse(wire)?;
         if ip.protocol != IpProtocol::Udp || ip.dst != COLLECTOR_ADDR {
             return Err(ParseError::Unsupported);
         }
-        let udp = UdpDatagram::parse(&ip.payload, ip.src, ip.dst)?;
+        let udp = UdpView::parse(ip.payload, ip.src, ip.dst)?;
         if udp.dst_port != HEARTBEAT_PORT || udp.payload.len() != 16 {
             return Err(ParseError::Unsupported);
         }
@@ -68,14 +86,14 @@ impl Heartbeat {
 
     /// Wire length of a heartbeat packet (for link accounting).
     pub fn wire_len() -> u64 {
-        // 20 IP + 8 UDP + 16 payload.
-        44
+        Self::WIRE_LEN as u64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simnet::packet::{Ipv4Packet, UdpDatagram};
 
     const WAN: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 7);
 
@@ -85,6 +103,17 @@ mod tests {
         let wire = hb.emit(WAN);
         assert_eq!(wire.len() as u64, Heartbeat::wire_len());
         let (parsed, src) = Heartbeat::parse(&wire).unwrap();
+        assert_eq!(parsed, hb);
+        assert_eq!(src, WAN);
+    }
+
+    #[test]
+    fn emit_into_matches_emit() {
+        let hb = Heartbeat { router: RouterId(0xDEAD), seq: u64::MAX - 7 };
+        let mut stack = [0u8; Heartbeat::WIRE_LEN];
+        hb.emit_into(WAN, &mut stack);
+        assert_eq!(stack.as_slice(), hb.emit(WAN).as_slice());
+        let (parsed, src) = Heartbeat::parse(&stack).unwrap();
         assert_eq!(parsed, hb);
         assert_eq!(src, WAN);
     }

@@ -353,4 +353,55 @@ mod tests {
         let json = serde_json::to_string(&rec).unwrap();
         assert!(json.contains("20000000"));
     }
+
+    #[test]
+    fn records_round_trip() {
+        use simnet::dns::DomainName;
+
+        let records = vec![
+            Record::Heartbeat(HeartbeatRecord {
+                router: RouterId(3),
+                at: SimTime::from_micros(60_000_000),
+            }),
+            Record::Capacity(CapacityRecord {
+                router: RouterId(5),
+                at: SimTime::EPOCH,
+                down_bps: 20_000_000,
+                up_bps: 2_000_000,
+                shaping_detected: true,
+            }),
+            Record::WifiScan(WifiScanRecord {
+                router: RouterId(7),
+                at: SimTime::from_micros(1),
+                band: Band::Ghz5,
+                aps: vec![ApSighting { bssid_hash: 0xDEAD_BEEF, channel_number: 36, signal_dbm: -61 }],
+                associated_stations: 2,
+            }),
+            Record::Flow(FlowRecord {
+                router: RouterId(9),
+                started: SimTime::EPOCH,
+                ended: SimTime::from_micros(42),
+                device: AnonMac { oui: 0x0017F2, suffix_hash: 0x1234 },
+                remote_ip_hash: 99,
+                remote_port: 443,
+                proto: IpProtocol::Tcp,
+                domain: ReportedDomain::Clear(DomainName::new("netflix.com").unwrap()),
+                bytes_down: 4096,
+                bytes_up: 512,
+            }),
+            Record::DnsSample(DnsSampleRecord {
+                router: RouterId(9),
+                at: SimTime::from_micros(7),
+                device: AnonMac { oui: 0x0017F2, suffix_hash: 0x1234 },
+                name: ReportedDomain::Obfuscated(0x5EC237),
+                cname_links: 2,
+                resolved: true,
+            }),
+        ];
+        for rec in records {
+            let json = serde_json::to_string(&rec).unwrap();
+            let back: Record = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, rec, "round trip through {json}");
+        }
+    }
 }

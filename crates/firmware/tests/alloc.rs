@@ -1,0 +1,67 @@
+//! Allocation accounting for the heartbeat wire path.
+//!
+//! The simulation emits and parses on the order of 10^7 heartbeats per
+//! study run, so this path is required to touch the heap zero times per
+//! packet. A counting global allocator makes that a hard test rather than
+//! a code-review promise.
+
+use firmware::records::RouterId;
+use firmware::Heartbeat;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::net::Ipv4Addr;
+
+thread_local! {
+    // Const-initialized so the first access inside `alloc` cannot itself
+    // allocate (lazy TLS init would recurse into the allocator). Per-thread
+    // counting also keeps the libtest harness thread's own allocations from
+    // being charged to the code under test.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with`: an allocation during thread teardown (after this TLS
+        // slot is destroyed) must not panic inside the allocator.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn heartbeat_emit_and_parse_allocate_nothing() {
+    let wan = Ipv4Addr::new(100, 64, 0, 9);
+    let mut wire = [0u8; Heartbeat::WIRE_LEN];
+    // Warm-up iteration outside the counted window, in case anything lazy
+    // initializes on first use.
+    Heartbeat { router: RouterId(7), seq: 0 }.emit_into(wan, &mut wire);
+    Heartbeat::parse(&wire).expect("valid warm-up packet");
+
+    let before = ALLOCATIONS.with(Cell::get);
+    for seq in 1..=10_000u64 {
+        let hb = Heartbeat { router: RouterId(7), seq };
+        hb.emit_into(wan, &mut wire);
+        let (parsed, src) = Heartbeat::parse(&wire).expect("valid packet");
+        assert!(parsed == hb && src == wan);
+    }
+    let after = ALLOCATIONS.with(Cell::get);
+    assert!(
+        after == before,
+        "heartbeat emit+parse allocated {} times over 10k packets",
+        after - before
+    );
+}

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Maximum label length per RFC 1035.
 const MAX_LABEL: usize = 63;
@@ -23,8 +24,13 @@ const MAX_LABEL: usize = 63;
 const MAX_NAME: usize = 255;
 
 /// A validated, lower-cased domain name such as `www.example.com`.
+///
+/// Backed by an `Arc<str>`, so `clone()` is a reference-count bump rather
+/// than a heap copy — the resolver cache, CNAME chasing, and per-flow
+/// domain attribution all clone names on their hot paths. Equality,
+/// ordering, and hashing remain by string content.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct DomainName(String);
+pub struct DomainName(Arc<str>);
 
 impl DomainName {
     /// Parse and normalize a dotted name. Rejects empty names, empty labels,
@@ -47,7 +53,7 @@ impl DomainName {
         if encoded_len > MAX_NAME {
             return Err(BadName);
         }
-        Ok(DomainName(normalized))
+        Ok(DomainName(normalized.into()))
     }
 
     /// The name as a string (no trailing dot).
@@ -63,7 +69,7 @@ impl DomainName {
         if labels.len() <= 2 {
             self.clone()
         } else {
-            DomainName(labels[labels.len() - 2..].join("."))
+            DomainName(labels[labels.len() - 2..].join(".").into())
         }
     }
 
@@ -97,7 +103,7 @@ impl DomainName {
         if labels.is_empty() {
             return Err(ParseError::Unsupported);
         }
-        Ok((DomainName(labels.join(".")), pos))
+        Ok((DomainName(labels.join(".").into()), pos))
     }
 }
 
@@ -161,14 +167,19 @@ impl DnsQuery {
     /// Serialize to a wire image.
     pub fn emit(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(17 + self.name.as_str().len());
+        self.emit_into(&mut buf);
+        buf
+    }
+
+    /// Append the wire image to `buf`, reusing its capacity.
+    pub fn emit_into(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.id.to_be_bytes());
         buf.extend_from_slice(&[0x01, 0x00]); // RD set, standard query
         buf.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
         buf.extend_from_slice(&[0; 6]); // AN/NS/AR counts
-        self.name.encode_into(&mut buf);
+        self.name.encode_into(buf);
         buf.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
         buf.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
-        buf
     }
 
     /// Parse a wire image.
@@ -216,17 +227,23 @@ impl DnsResponse {
     /// Serialize to a wire image.
     pub fn emit(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
+        self.emit_into(&mut buf);
+        buf
+    }
+
+    /// Append the wire image to `buf`, reusing its capacity.
+    pub fn emit_into(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.id.to_be_bytes());
         let rcode: u8 = if self.answers.is_empty() { 3 } else { 0 }; // NXDOMAIN : NOERROR
         buf.extend_from_slice(&[0x81, 0x80 | rcode]); // QR, RD, RA
         buf.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
         buf.extend_from_slice(&(self.answers.len() as u16).to_be_bytes()); // ANCOUNT
         buf.extend_from_slice(&[0; 4]); // NS/AR counts
-        self.question.encode_into(&mut buf);
+        self.question.encode_into(buf);
         buf.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
         buf.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
         for record in &self.answers {
-            record.name.encode_into(&mut buf);
+            record.name.encode_into(buf);
             buf.extend_from_slice(&record.data.rtype().to_be_bytes());
             buf.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
             buf.extend_from_slice(&(record.ttl.as_secs() as u32).to_be_bytes());
@@ -236,14 +253,17 @@ impl DnsResponse {
                     buf.extend_from_slice(&addr.octets());
                 }
                 RecordData::Cname(target) => {
-                    let mut rdata = Vec::new();
-                    target.encode_into(&mut rdata);
-                    buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
-                    buf.extend_from_slice(&rdata);
+                    // Write a placeholder RDLENGTH, encode in place, then
+                    // backpatch — avoids a temporary rdata buffer.
+                    let len_at = buf.len();
+                    buf.extend_from_slice(&[0, 0]);
+                    let rdata_start = buf.len();
+                    target.encode_into(buf);
+                    let rdlen = (buf.len() - rdata_start) as u16;
+                    buf[len_at..len_at + 2].copy_from_slice(&rdlen.to_be_bytes());
                 }
             }
         }
-        buf
     }
 
     /// Parse a wire image.

@@ -139,8 +139,25 @@ impl<E> EventQueue<E> {
     /// already fired, been cancelled, or never existed.
     pub fn cancel(&mut self, id: EventId) -> bool {
         // Lazy deletion: drop the id from the live set now; the heap entry
-        // becomes a tombstone skipped at pop time.
-        self.live.remove(&id.0)
+        // becomes a tombstone discarded when it surfaces. Clearing dead
+        // heads here keeps the invariant that the heap head, if any, is
+        // always live — which is what lets `peek_time` take `&self`.
+        let was_live = self.live.remove(&id.0);
+        if was_live {
+            self.drop_dead_heads();
+        }
+        was_live
+    }
+
+    /// Discard tombstones sitting at the heap head. Called after every
+    /// mutation that can expose one, so the head is live between calls.
+    fn drop_dead_heads(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.live.contains(&entry.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
     }
 
     /// Pop the next event if its timestamp is strictly before `end`,
@@ -148,27 +165,22 @@ impl<E> EventQueue<E> {
     /// queued — when the next event is at or after `end`, or the queue is
     /// empty. On `None` the clock does not move.
     pub fn pop_if_before(&mut self, end: SimTime) -> Option<(SimTime, E)> {
-        loop {
-            let (head_at, head_seq) = match self.heap.peek() {
-                Some(Reverse(entry)) => (entry.at, entry.seq),
-                None => return None,
-            };
-            if !self.live.contains(&head_seq) {
-                // Tombstone of a cancelled event: discard regardless of
-                // horizon so stale entries never linger at the heap head.
-                self.heap.pop();
-                continue;
-            }
-            if head_at >= end {
-                return None;
-            }
-            let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
-            self.live.remove(&entry.seq);
-            debug_assert!(entry.at >= self.now, "event queue time went backwards");
-            self.now = entry.at;
-            self.processed += 1;
-            return Some((entry.at, entry.event));
+        // The head is live by invariant (see `drop_dead_heads`).
+        let head_at = match self.heap.peek() {
+            Some(Reverse(entry)) => entry.at,
+            None => return None,
+        };
+        if head_at >= end {
+            return None;
         }
+        let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+        self.live.remove(&entry.seq);
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        self.processed += 1;
+        // Popping may expose buried tombstones; restore the invariant.
+        self.drop_dead_heads();
+        Some((entry.at, entry.event))
     }
 
     /// Pop the next event unconditionally (if any).
@@ -176,19 +188,17 @@ impl<E> EventQueue<E> {
         self.pop_if_before(SimTime::from_micros(u64::MAX))
     }
 
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let (at, seq) = match self.heap.peek() {
-                Some(Reverse(entry)) => (entry.at, entry.seq),
-                None => return None,
-            };
-            if !self.live.contains(&seq) {
-                self.heap.pop();
-                continue;
-            }
-            return Some(at);
-        }
+    /// Timestamp of the next live event without popping it. Read-only:
+    /// cancellation tombstones are cleared from the heap head eagerly by
+    /// `cancel` and `pop_if_before`, so the head is always live here.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| {
+            debug_assert!(
+                self.live.contains(&entry.seq),
+                "heap head must never be a tombstone"
+            );
+            entry.at
+        })
     }
 
     /// Advance the clock to `to` without delivering anything.
@@ -288,6 +298,31 @@ mod tests {
         q.schedule(t(20), Ev::B);
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn peek_time_is_read_only() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), Ev::A);
+        q.schedule(t(20), Ev::B);
+        q.cancel(a);
+        // peek_time takes &self: observable through a shared reference.
+        let shared: &EventQueue<Ev> = &q;
+        assert_eq!(shared.peek_time(), Some(t(20)));
+        assert_eq!(shared.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn buried_tombstone_cleared_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), Ev::A);
+        let b = q.schedule(t(20), Ev::B);
+        q.schedule(t(30), Ev::C);
+        q.cancel(b); // not at the head yet: becomes a buried tombstone
+        assert_eq!(q.pop(), Some((t(10), Ev::A)));
+        // Popping A exposed B's tombstone; the head must already be live.
+        assert_eq!((&q).peek_time(), Some(t(30)));
+        assert_eq!(q.pop(), Some((t(30), Ev::C)));
     }
 
     #[test]

@@ -114,18 +114,69 @@ pub struct EthernetFrame {
 }
 
 impl EthernetFrame {
+    /// Length on the wire.
+    pub fn wire_len(&self) -> usize {
+        ETHERNET_HEADER_LEN + self.payload.len()
+    }
+
+    /// A borrowed view over this frame, for allocation-free emission.
+    pub fn view(&self) -> EthernetView<'_> {
+        EthernetView { dst: self.dst, src: self.src, ethertype: self.ethertype, payload: &self.payload }
+    }
+
     /// Serialize to a wire image.
     pub fn emit(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(ETHERNET_HEADER_LEN + self.payload.len());
-        buf.extend_from_slice(&self.dst.0);
-        buf.extend_from_slice(&self.src.0);
-        buf.extend_from_slice(&u16::from(self.ethertype).to_be_bytes());
-        buf.extend_from_slice(&self.payload);
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.emit_into(&mut buf);
         buf
+    }
+
+    /// Append the wire image to `out`, reusing its capacity.
+    pub fn emit_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + self.wire_len(), 0);
+        self.view().emit_into(&mut out[start..]);
     }
 
     /// Parse a wire image.
     pub fn parse(data: &[u8]) -> Result<EthernetFrame, ParseError> {
+        EthernetView::parse(data).map(|v| v.to_owned())
+    }
+}
+
+/// A borrowed Ethernet II frame: addresses plus a payload slice — the
+/// allocation-free counterpart of [`EthernetFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetView<'a> {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+    /// Frame payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> EthernetView<'a> {
+    /// Length on the wire.
+    pub fn wire_len(&self) -> usize {
+        ETHERNET_HEADER_LEN + self.payload.len()
+    }
+
+    /// Write the wire image into `out[..self.wire_len()]`. Returns the
+    /// number of bytes written.
+    pub fn emit_into(&self, out: &mut [u8]) -> usize {
+        let len = self.wire_len();
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&u16::from(self.ethertype).to_be_bytes());
+        out[ETHERNET_HEADER_LEN..len].copy_from_slice(self.payload);
+        len
+    }
+
+    /// Parse a wire image, borrowing the payload.
+    pub fn parse(data: &'a [u8]) -> Result<EthernetView<'a>, ParseError> {
         if data.len() < ETHERNET_HEADER_LEN {
             return Err(ParseError::Truncated);
         }
@@ -134,12 +185,22 @@ impl EthernetFrame {
         dst.copy_from_slice(&data[0..6]);
         src.copy_from_slice(&data[6..12]);
         let ethertype = u16::from_be_bytes([data[12], data[13]]).into();
-        Ok(EthernetFrame {
+        Ok(EthernetView {
             dst: MacAddr(dst),
             src: MacAddr(src),
             ethertype,
-            payload: data[ETHERNET_HEADER_LEN..].to_vec(),
+            payload: &data[ETHERNET_HEADER_LEN..],
         })
+    }
+
+    /// Copy into an owning [`EthernetFrame`].
+    pub fn to_owned(&self) -> EthernetFrame {
+        EthernetFrame {
+            dst: self.dst,
+            src: self.src,
+            ethertype: self.ethertype,
+            payload: self.payload.to_vec(),
+        }
     }
 }
 

@@ -74,29 +74,110 @@ impl Ipv4Packet {
         IPV4_HEADER_LEN + self.payload.len()
     }
 
+    /// A borrowed view over this packet, for allocation-free emission.
+    pub fn view(&self) -> Ipv4View<'_> {
+        Ipv4View {
+            src: self.src,
+            dst: self.dst,
+            protocol: self.protocol,
+            ttl: self.ttl,
+            identification: self.identification,
+            dscp_ecn: self.dscp_ecn,
+            payload: &self.payload,
+        }
+    }
+
     /// Serialize, computing the header checksum.
     pub fn emit(&self) -> Vec<u8> {
-        let total_len = self.wire_len();
-        assert!(total_len <= u16::MAX as usize, "IPv4 packet too large");
-        let mut buf = Vec::with_capacity(total_len);
-        buf.push(0x45); // version 4, IHL 5
-        buf.push(self.dscp_ecn);
-        buf.extend_from_slice(&(total_len as u16).to_be_bytes());
-        buf.extend_from_slice(&self.identification.to_be_bytes());
-        buf.extend_from_slice(&[0x40, 0x00]); // flags: don't fragment
-        buf.push(self.ttl);
-        buf.push(self.protocol.into());
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(&self.src.octets());
-        buf.extend_from_slice(&self.dst.octets());
-        let c = checksum::checksum(&buf[..IPV4_HEADER_LEN]);
-        buf[10..12].copy_from_slice(&c.to_be_bytes());
-        buf.extend_from_slice(&self.payload);
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.emit_into(&mut buf);
         buf
+    }
+
+    /// Append the wire image to `out`, reusing its capacity.
+    pub fn emit_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + self.wire_len(), 0);
+        self.view().emit_into(&mut out[start..]);
     }
 
     /// Parse and verify a wire image.
     pub fn parse(data: &[u8]) -> Result<Ipv4Packet, ParseError> {
+        Ipv4View::parse(data).map(|v| v.to_owned())
+    }
+
+    /// Decrement TTL, returning `false` when the packet must be dropped.
+    pub fn decrement_ttl(&mut self) -> bool {
+        if self.ttl <= 1 {
+            false
+        } else {
+            self.ttl -= 1;
+            true
+        }
+    }
+}
+
+/// A borrowed IPv4 packet: the header fields plus a payload slice. This is
+/// the allocation-free counterpart of [`Ipv4Packet`] — `parse` borrows the
+/// payload from the wire image and `emit_into` writes into a caller-owned
+/// buffer, so hot paths (heartbeats, probes) touch no heap at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4View<'a> {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol of the payload.
+    pub protocol: IpProtocol,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field (fragmentation is not used).
+    pub identification: u16,
+    /// Differentiated services byte; zero for normal traffic.
+    pub dscp_ecn: u8,
+    /// Transport payload bytes.
+    pub payload: &'a [u8],
+}
+
+impl<'a> Ipv4View<'a> {
+    /// Total length on the wire.
+    pub fn wire_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload.len()
+    }
+
+    /// Write the wire image into `out[..self.wire_len()]`, computing the
+    /// header checksum. Returns the number of bytes written.
+    pub fn emit_into(&self, out: &mut [u8]) -> usize {
+        let total_len = self.wire_len();
+        self.emit_header_into(out);
+        out[IPV4_HEADER_LEN..total_len].copy_from_slice(self.payload);
+        total_len
+    }
+
+    /// Write only the 20-byte header (checksum included) into
+    /// `out[..IPV4_HEADER_LEN]`, for callers that have already placed the
+    /// payload after the header in the same buffer. The header's total
+    /// length field still covers `self.payload.len()` payload bytes.
+    pub fn emit_header_into(&self, out: &mut [u8]) -> usize {
+        let total_len = self.wire_len();
+        assert!(total_len <= u16::MAX as usize, "IPv4 packet too large");
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = self.dscp_ecn;
+        out[2..4].copy_from_slice(&(total_len as u16).to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        out[6..8].copy_from_slice(&[0x40, 0x00]); // flags: don't fragment
+        out[8] = self.ttl;
+        out[9] = self.protocol.into();
+        out[10..12].copy_from_slice(&[0, 0]); // checksum placeholder
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+        let c = checksum::checksum(&out[..IPV4_HEADER_LEN]);
+        out[10..12].copy_from_slice(&c.to_be_bytes());
+        IPV4_HEADER_LEN
+    }
+
+    /// Parse and verify a wire image, borrowing the payload.
+    pub fn parse(data: &'a [u8]) -> Result<Ipv4View<'a>, ParseError> {
         if data.len() < IPV4_HEADER_LEN {
             return Err(ParseError::Truncated);
         }
@@ -112,24 +193,27 @@ impl Ipv4Packet {
         if !checksum::verify(&data[..IPV4_HEADER_LEN]) {
             return Err(ParseError::BadChecksum);
         }
-        Ok(Ipv4Packet {
+        Ok(Ipv4View {
             src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
             dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
             protocol: data[9].into(),
             ttl: data[8],
             identification: u16::from_be_bytes([data[4], data[5]]),
             dscp_ecn: data[1],
-            payload: data[IPV4_HEADER_LEN..total_len].to_vec(),
+            payload: &data[IPV4_HEADER_LEN..total_len],
         })
     }
 
-    /// Decrement TTL, returning `false` when the packet must be dropped.
-    pub fn decrement_ttl(&mut self) -> bool {
-        if self.ttl <= 1 {
-            false
-        } else {
-            self.ttl -= 1;
-            true
+    /// Copy into an owning [`Ipv4Packet`].
+    pub fn to_owned(&self) -> Ipv4Packet {
+        Ipv4Packet {
+            src: self.src,
+            dst: self.dst,
+            protocol: self.protocol,
+            ttl: self.ttl,
+            identification: self.identification,
+            dscp_ecn: self.dscp_ecn,
+            payload: self.payload.to_vec(),
         }
     }
 }

@@ -14,10 +14,10 @@ pub mod ipv4;
 pub mod tcp;
 pub mod udp;
 
-pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
-pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
+pub use ethernet::{EtherType, EthernetFrame, EthernetView, MacAddr, ETHERNET_HEADER_LEN};
+pub use ipv4::{IpProtocol, Ipv4Packet, Ipv4View, IPV4_HEADER_LEN};
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
-pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+pub use udp::{UdpDatagram, UdpView, UDP_HEADER_LEN};
 
 use std::net::Ipv4Addr;
 

@@ -30,27 +30,71 @@ impl UdpDatagram {
         UDP_HEADER_LEN + self.payload.len()
     }
 
+    /// A borrowed view over this datagram, for allocation-free emission.
+    pub fn view(&self) -> UdpView<'_> {
+        UdpView { src_port: self.src_port, dst_port: self.dst_port, payload: &self.payload }
+    }
+
     /// Serialize with the pseudo-header checksum for the given IP pair.
     pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        let len = self.wire_len();
-        assert!(len <= u16::MAX as usize, "UDP datagram too large");
-        let mut buf = Vec::with_capacity(len);
-        buf.extend_from_slice(&self.src_port.to_be_bytes());
-        buf.extend_from_slice(&self.dst_port.to_be_bytes());
-        buf.extend_from_slice(&(len as u16).to_be_bytes());
-        buf.extend_from_slice(&[0, 0]);
-        buf.extend_from_slice(&self.payload);
-        let mut c = checksum::pseudo_header_checksum(src, dst, 17, &buf);
-        if c == 0 {
-            // RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
-            c = 0xFFFF;
-        }
-        buf[6..8].copy_from_slice(&c.to_be_bytes());
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.emit_into(src, dst, &mut buf);
         buf
+    }
+
+    /// Append the wire image to `out`, reusing its capacity.
+    pub fn emit_into(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + self.wire_len(), 0);
+        self.view().emit_into(src, dst, &mut out[start..]);
     }
 
     /// Parse and verify against the pseudo-header for the given IP pair.
     pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram, ParseError> {
+        UdpView::parse(data, src, dst).map(|v| v.to_owned())
+    }
+}
+
+/// A borrowed UDP datagram: ports plus a payload slice — the
+/// allocation-free counterpart of [`UdpDatagram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpView<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub payload: &'a [u8],
+}
+
+impl<'a> UdpView<'a> {
+    /// Length on the wire.
+    pub fn wire_len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Write the wire image into `out[..self.wire_len()]`, computing the
+    /// pseudo-header checksum for the given IP pair. Returns the number of
+    /// bytes written.
+    pub fn emit_into(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut [u8]) -> usize {
+        let len = self.wire_len();
+        assert!(len <= u16::MAX as usize, "UDP datagram too large");
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]);
+        out[UDP_HEADER_LEN..len].copy_from_slice(self.payload);
+        let mut c = checksum::pseudo_header_checksum(src, dst, 17, &out[..len]);
+        if c == 0 {
+            // RFC 768: an all-zero computed checksum is transmitted as 0xFFFF.
+            c = 0xFFFF;
+        }
+        out[6..8].copy_from_slice(&c.to_be_bytes());
+        len
+    }
+
+    /// Parse and verify against the pseudo-header, borrowing the payload.
+    pub fn parse(data: &'a [u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpView<'a>, ParseError> {
         if data.len() < UDP_HEADER_LEN {
             return Err(ParseError::Truncated);
         }
@@ -67,11 +111,20 @@ impl UdpDatagram {
                 return Err(ParseError::BadChecksum);
             }
         }
-        Ok(UdpDatagram {
+        Ok(UdpView {
             src_port: u16::from_be_bytes([data[0], data[1]]),
             dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: data[UDP_HEADER_LEN..len].to_vec(),
+            payload: &data[UDP_HEADER_LEN..len],
         })
+    }
+
+    /// Copy into an owning [`UdpDatagram`].
+    pub fn to_owned(&self) -> UdpDatagram {
+        UdpDatagram {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            payload: self.payload.to_vec(),
+        }
     }
 }
 

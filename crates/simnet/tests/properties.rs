@@ -105,6 +105,66 @@ proptest! {
     }
 
     #[test]
+    fn emit_into_matches_emit(dst in arb_mac(), src in arb_mac(),
+                              src_ip in arb_ipv4(), dst_ip in arb_ipv4(),
+                              sport in any::<u16>(), dport in any::<u16>(),
+                              payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // The zero-allocation emit paths must be byte-identical to the
+        // allocating ones for arbitrary payloads, at every layer.
+        let dgram = UdpDatagram::new(sport, dport, payload);
+        let udp_wire = dgram.emit(src_ip, dst_ip);
+        let mut udp_buf = vec![0u8; dgram.wire_len()];
+        dgram.view().emit_into(src_ip, dst_ip, &mut udp_buf);
+        prop_assert_eq!(&udp_buf, &udp_wire);
+
+        let pkt = Ipv4Packet::new(src_ip, dst_ip, IpProtocol::Udp, udp_wire);
+        let ip_wire = pkt.emit();
+        let mut ip_buf = vec![0u8; pkt.wire_len()];
+        pkt.view().emit_into(&mut ip_buf);
+        prop_assert_eq!(&ip_buf, &ip_wire);
+        // Header-only emission over an already-placed payload agrees too.
+        let mut split_buf = vec![0u8; pkt.wire_len()];
+        split_buf[simnet::packet::IPV4_HEADER_LEN..].copy_from_slice(&pkt.payload);
+        pkt.view().emit_header_into(&mut split_buf);
+        prop_assert_eq!(&split_buf, &ip_wire);
+
+        let frame = EthernetFrame {
+            dst, src,
+            ethertype: EtherType::Ipv4,
+            payload: ip_wire.clone(),
+        };
+        let eth_wire = frame.emit();
+        let mut eth_buf = vec![0u8; frame.wire_len()];
+        frame.view().emit_into(&mut eth_buf);
+        prop_assert_eq!(&eth_buf, &eth_wire);
+    }
+
+    #[test]
+    fn view_parse_of_emit_round_trips(src_ip in arb_ipv4(), dst_ip in arb_ipv4(),
+                                      sport in any::<u16>(), dport in any::<u16>(),
+                                      payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Borrowed-view parsing sees exactly what the owning parse sees.
+        let dgram = UdpDatagram::new(sport, dport, payload);
+        let pkt = Ipv4Packet::new(src_ip, dst_ip, IpProtocol::Udp, dgram.emit(src_ip, dst_ip));
+        let wire = pkt.emit();
+        let ip_view = simnet::packet::Ipv4View::parse(&wire).unwrap();
+        prop_assert_eq!(ip_view.to_owned(), pkt);
+        let udp_view =
+            simnet::packet::UdpView::parse(ip_view.payload, ip_view.src, ip_view.dst).unwrap();
+        prop_assert_eq!(udp_view.to_owned(), dgram);
+    }
+
+    #[test]
+    fn dns_emit_into_appends(id in any::<u16>(), name in arb_domain(), junk in 0usize..32) {
+        // DnsQuery::emit_into appends after existing content and matches
+        // the allocating emit byte for byte.
+        let q = DnsQuery { id, name };
+        let mut buf = vec![0xEE; junk];
+        q.emit_into(&mut buf);
+        prop_assert_eq!(&buf[junk..], q.emit().as_slice());
+    }
+
+    #[test]
     fn dns_query_round_trip(id in any::<u16>(), name in arb_domain()) {
         let q = DnsQuery { id, name };
         prop_assert_eq!(DnsQuery::parse(&q.emit()).unwrap(), q);

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Offline benchmark driver: runs the substrate criterion microbenchmarks
+# and the end-to-end simulation benchmark, then gates on throughput
+# regressions against the committed BENCH_simulate.json baseline.
+#
+#   scripts/bench.sh                 # full run, fail on >20% regression
+#   THRESHOLD_PCT=10 scripts/bench.sh
+#   SKIP_MICRO=1 scripts/bench.sh    # e2e + regression gate only
+#   BENCH_RUNS=3 scripts/bench.sh    # fewer e2e repetitions
+#
+# The gate compares a fresh quick-study measurement (fixed seed, single
+# thread, best of BENCH_RUNS repetitions — scheduler noise only ever adds
+# time) against the most recent committed entry's records_per_sec. The
+# fresh measurement is NOT appended to the file; use the `e2e` binary
+# directly when recording a new baseline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT=${THRESHOLD_PCT:-20}
+BENCH_RUNS=${BENCH_RUNS:-5}
+
+if [ -z "${SKIP_MICRO:-}" ]; then
+    echo "== substrate microbenchmarks =="
+    cargo bench --offline -p bench --bench substrate
+fi
+
+echo "== end-to-end simulation benchmark (best of $BENCH_RUNS) =="
+cargo build --release --offline -p bench --bin e2e
+fresh=0
+for _ in $(seq "$BENCH_RUNS"); do
+    run_json=$(./target/release/e2e --dry-run)
+    run=$(printf '%s\n' "$run_json" | sed -n 's/.*"records_per_sec": \([0-9.]*\).*/\1/p')
+    echo "  run: $run records/sec"
+    fresh=$(awk -v a="$fresh" -v b="$run" 'BEGIN { print (b > a) ? b : a }')
+done
+baseline=$(grep -o '"records_per_sec": [0-9.]*' BENCH_simulate.json | tail -1 | sed 's/.*: //')
+
+if [ -z "$fresh" ] || [ -z "$baseline" ]; then
+    echo "failed to extract records_per_sec (fresh='$fresh' baseline='$baseline')" >&2
+    exit 1
+fi
+
+echo "baseline: $baseline records/sec (last committed entry)"
+echo "fresh:    $fresh records/sec"
+awk -v fresh="$fresh" -v base="$baseline" -v pct="$THRESHOLD_PCT" 'BEGIN {
+    floor = base * (1 - pct / 100);
+    if (fresh < floor) {
+        printf "REGRESSION: %.0f records/sec is more than %d%% below baseline %.0f\n",
+               fresh, pct, base;
+        exit 1;
+    }
+    printf "OK: within %d%% of baseline (floor %.0f records/sec)\n", pct, floor;
+}'

@@ -1,12 +1,90 @@
-//! Offline stand-in for `serde`: marker traits with blanket impls plus the
-//! no-op derive re-exports. Serialization itself happens in the
-//! `serde_json` stub (which emits a placeholder document).
+//! Offline stand-in for `serde`: a self-describing value tree instead of
+//! the visitor machinery. `Serialize` lowers a type into [`value::Value`],
+//! `Deserialize` rebuilds it from one; the `serde_json` stub renders and
+//! parses the tree. The derive macros in `serde_derive` generate real
+//! impls, so JSON output contains actual field data (the seed's blanket
+//! marker traits produced `{}` placeholders).
 
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+pub mod value {
+    /// A self-describing serialized value — the intermediate form every
+    /// `Serialize`/`Deserialize` impl speaks. Maps preserve insertion
+    /// order (field order / variant key), matching serde_json's default.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer.
+        Int(i64),
+        /// An unsigned integer that does not fit the signed range, or any
+        /// non-negative integer produced by the parser.
+        UInt(u64),
+        /// A floating-point number.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An ordered sequence.
+        Seq(Vec<Value>),
+        /// An ordered key/value map.
+        Map(Vec<(String, Value)>),
+    }
 
-pub trait Deserialize<'de>: Sized {}
-impl<'de, T> Deserialize<'de> for T {}
+    impl Value {
+        /// The map entries, if this is a map.
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// The sequence elements, if this is a sequence.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// A short description of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Int(_) | Value::UInt(_) => "integer",
+                Value::Float(_) => "float",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// Lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the self-describing intermediate form.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree. The lifetime parameter exists
+/// for signature compatibility with real serde; nothing borrows from the
+/// input here.
+pub trait Deserialize<'de>: Sized {
+    /// Convert from the self-describing intermediate form.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
 
 pub trait Serializer {}
 pub trait Deserializer<'de> {}
@@ -17,8 +95,283 @@ pub mod ser {
 
 pub mod de {
     pub use crate::{Deserialize, Deserializer};
+    use crate::value::Value;
+    use std::fmt;
+
     pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
     impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+
+    /// Deserialization failure: what was expected and what was found.
+    #[derive(Debug)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// A free-form error.
+        pub fn custom(msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+
+        /// "expected X while deserializing Y, found Z".
+        pub fn expected(what: &str, ty: &str, found: &Value) -> Error {
+            Error { msg: format!("expected {what} for {ty}, found {}", found.kind()) }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Look up `name` in a struct map and deserialize it — the helper the
+    /// derive-generated code calls per field.
+    pub fn field<T: for<'de> crate::Deserialize<'de>>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Err(Error::custom(format!("missing field `{name}` for {ty}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    // Non-negative integers always fit u64 here (every
+                    // integer field in the workspace is at most 64 bits).
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(v: &Value) -> Result<$ty, de::Error> {
+                match v {
+                    Value::Int(i) => <$ty>::try_from(*i)
+                        .map_err(|_| de::Error::custom(format!("{i} out of range for {}", stringify!($ty)))),
+                    Value::UInt(u) => <$ty>::try_from(*u)
+                        .map_err(|_| de::Error::custom(format!("{u} out of range for {}", stringify!($ty)))),
+                    other => Err(de::Error::expected("integer", stringify!($ty), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(v: &Value) -> Result<$ty, de::Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $ty),
+                    Value::Int(i) => Ok(*i as $ty),
+                    Value::UInt(u) => Ok(*u as $ty),
+                    other => Err(de::Error::expected("number", stringify!($ty), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<bool, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<String, de::Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(de::Error::expected("string", "String", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<std::sync::Arc<str>, de::Error> {
+        match v {
+            Value::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(de::Error::expected("string", "Arc<str>", other)),
+        }
+    }
+}
+
+// References, smart pointers: serialize through, like real serde.
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, de::Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::expected("sequence", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], de::Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<($($name,)+), de::Error> {
+                let items = v.as_seq().ok_or_else(|| de::Error::expected("sequence", "tuple", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(de::Error::custom(
+                        format!("expected tuple of {expected} elements, found {}", items.len()),
+                    ));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// IP addresses serialize as their display form, matching real serde's
+// human-readable representation.
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<std::net::Ipv4Addr, de::Error> {
+        let s = v.as_str().ok_or_else(|| de::Error::expected("string", "Ipv4Addr", v))?;
+        s.parse().map_err(|_| de::Error::custom(format!("invalid IPv4 address `{s}`")))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Value, de::Error> {
+        Ok(v.clone())
+    }
 }
 
 #[cfg(feature = "derive")]

@@ -1,15 +1,396 @@
-//! No-op derive macros standing in for `serde_derive` in the offline
-//! build. The `serde` stub's traits are blanket-implemented, so the
-//! derives only need to exist and emit nothing.
+//! Derive macros standing in for `serde_derive` in the offline build.
+//!
+//! Unlike real serde there is no visitor machinery to target: the `serde`
+//! stub's traits lower to / rebuild from a `serde::value::Value` tree, so
+//! the derives only need the *shape* of the item — field names, tuple
+//! arities, variant kinds — never the field types. That makes a hand
+//!-rolled token scan sufficient: we skip attributes and visibility, read
+//! the item name and (lifetime-only) generics, walk fields at top-level
+//! comma boundaries (tracking `<`/`>` depth so `Vec<(A, B)>` doesn't
+//! split), and emit the impl as a code string parsed back into a
+//! `TokenStream`. No `syn`/`quote` required.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Raw generic parameter text between `<` and `>` (lifetimes only in
+    /// this workspace), empty when the item is not generic.
+    generics: String,
+    body: Body,
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(toks: &mut Tokens) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Skip one type (or collect one generics list), stopping at a top-level
+/// `,` (consumed) or the end of the stream. Tracks `<`/`>` nesting; `()`,
+/// `[]`, `{}` arrive as single groups and need no tracking.
+fn skip_type(toks: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                toks.next();
+                return;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                toks.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                toks.next();
+            }
+            _ => {
+                toks.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut toks = group.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return names;
+        }
+        names.push(expect_ident(&mut toks, "field name"));
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&mut toks);
+    }
+}
+
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut toks = group.into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return arity;
+        }
+        arity += 1;
+        skip_type(&mut toks);
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut toks = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let name = expect_ident(&mut toks, "variant name");
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                toks.next();
+                Fields::Tuple(parse_tuple_arity(stream))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let kind = loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            Some(_) => continue,
+            None => panic!("serde derive: no struct or enum found"),
+        }
+    };
+    let name = expect_ident(&mut toks, "item name");
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            toks.next();
+            let mut depth = 1usize;
+            let mut collected = TokenStream::new();
+            for tt in toks.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                collected.extend([tt]);
+            }
+            generics = collected.to_string();
+        }
+    }
+    let body = match kind {
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        },
+        _ => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_arity(g.stream())))
+            }
+            _ => Body::Struct(Fields::Unit),
+        },
+    };
+    Item { name: name.to_string(), generics, body }
+}
+
+fn impl_header(item: &Item, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+    let mut params = String::new();
+    if let Some(lt) = extra_lifetime {
+        params.push_str(lt);
+    }
+    if !item.generics.is_empty() {
+        if !params.is_empty() {
+            params.push_str(", ");
+        }
+        params.push_str(&item.generics);
+    }
+    let ty_args =
+        if item.generics.is_empty() { String::new() } else { format!("<{}>", item.generics) };
+    let impl_params = if params.is_empty() { String::new() } else { format!("<{params}>") };
+    format!("impl{impl_params} {trait_path} for {}{ty_args}", item.name)
+}
+
+fn serialize_named(fields: &[String], access: &dyn Fn(&str) -> String) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(String::from({f:?}), serde::Serialize::to_value({})),",
+            access(f)
+        ));
+    }
+    format!("serde::value::Value::Map(vec![{entries}])")
+}
+
+fn serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            serialize_named(fields, &|f| format!("&self.{f}"))
+        }
+        Body::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(arity)) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::value::Value::Seq(vec![{}])", elems.join(","))
+        }
+        Body::Struct(Fields::Unit) => "serde::value::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::value::Value::Str(String::from({vn:?})),"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::value::Value::Map(vec![(String::from({vn:?}), serde::Serialize::to_value(__f0))]),"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::value::Value::Map(vec![(String::from({vn:?}), serde::value::Value::Seq(vec![{}]))]),",
+                            binds.join(","),
+                            elems.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inner = serialize_named(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::value::Value::Map(vec![(String::from({vn:?}), {inner})]),",
+                            fields.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    }
+}
+
+fn deserialize_named(ty: &str, path: &str, fields: &[String], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!("{f}: serde::de::field({source}, {f:?}, {ty:?})?,"));
+    }
+    format!("Ok({path} {{ {inits} }})")
+}
+
+fn deserialize_tuple(ty: &str, path: &str, arity: usize, source: &str) -> String {
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("serde::Deserialize::from_value(&{source}[{i}])?"))
+        .collect();
+    format!(
+        "if {source}.len() != {arity} {{ \
+             return Err(serde::de::Error::custom(format!(\
+                 \"expected {arity} elements for {ty}, found {{}}\", {source}.len()))); \
+         }} \
+         Ok({path}({}))",
+        elems.join(",")
+    )
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::Struct(Fields::Named(fields)) => format!(
+            "let __entries = __v.as_map().ok_or_else(|| serde::de::Error::expected(\"map\", {name:?}, __v))?; {}",
+            deserialize_named(name, name, fields, "__entries")
+        ),
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(arity)) => format!(
+            "let __items = __v.as_seq().ok_or_else(|| serde::de::Error::expected(\"sequence\", {name:?}, __v))?; {}",
+            deserialize_tuple(name, name, *arity, "__items")
+        ),
+        Body::Struct(Fields::Unit) => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let path = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!("{vn:?} => Ok({path}),")),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => Ok({path}(serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(arity) => data_arms.push_str(&format!(
+                        "{vn:?} => {{ let __items = __inner.as_seq().ok_or_else(|| serde::de::Error::expected(\"sequence\", {name:?}, __inner))?; {} }}",
+                        deserialize_tuple(name, &path, *arity, "__items")
+                    )),
+                    Fields::Named(fields) => data_arms.push_str(&format!(
+                        "{vn:?} => {{ let __fields = __inner.as_map().ok_or_else(|| serde::de::Error::expected(\"map\", {name:?}, __inner))?; {} }}",
+                        deserialize_named(name, &path, fields, "__fields")
+                    )),
+                }
+            }
+            let unknown = format!(
+                "__other => Err(serde::de::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),"
+            );
+            format!(
+                "match __v {{ \
+                     serde::value::Value::Str(__s) => match __s.as_str() {{ {unit_arms} {unknown} }}, \
+                     serde::value::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                         let (__key, __inner) = &__entries[0]; \
+                         match __key.as_str() {{ {data_arms} {unknown} }} \
+                     }} \
+                     __other => Err(serde::de::Error::expected(\"string or single-entry map\", {name:?}, __other)), \
+                 }}"
+            )
+        }
+    }
+}
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = format!(
+        "{} {{ fn to_value(&self) -> serde::value::Value {{ {} }} }}",
+        impl_header(&item, "serde::Serialize", None),
+        serialize_body(&item)
+    );
+    code.parse().expect("serde derive: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    if !item.generics.is_empty() {
+        // Borrowed data cannot be rebuilt from an owned value tree; no
+        // generic type in the workspace derives Deserialize.
+        panic!("serde derive: Deserialize on generic types is not supported by the offline stub");
+    }
+    let name = &item.name;
+    let code = format!(
+        "{} {{ fn from_value(__v: &serde::value::Value) -> Result<{name}, serde::de::Error> {{ {} }} }}",
+        impl_header(&item, "serde::Deserialize<'de>", Some("'de")),
+        deserialize_body(&item)
+    );
+    code.parse().expect("serde derive: generated Deserialize impl must parse")
 }
