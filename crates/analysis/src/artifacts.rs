@@ -104,6 +104,51 @@ pub fn correlated_gaps(
     out
 }
 
+/// How well a set of flagged gaps matches ground-truth outage windows.
+///
+/// Counterpart to the fault-injection subsystem: a study run under a
+/// `faultlab` scenario knows exactly when the collector was down, so the
+/// detector stops being a heuristic and becomes a measurable instrument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionScore {
+    /// Ground-truth windows matched by at least one flagged gap.
+    pub detected: usize,
+    /// Flagged gaps matching no ground-truth window.
+    pub false_positives: usize,
+    /// Ground-truth windows no flagged gap matched.
+    pub missed: usize,
+    /// Fraction of flagged gaps that are real (1.0 when nothing flagged).
+    pub precision: f64,
+    /// Fraction of ground-truth windows detected (1.0 when none exist).
+    pub recall: f64,
+}
+
+/// Score `flagged` against ground-truth outage `truth` windows. A flag and
+/// a truth window match when they overlap after widening both ends by
+/// `slack` (the per-minute bitmap and the run-length tolerance blur edges
+/// by a few minutes; slack keeps the score about detection, not rounding).
+pub fn score_against_truth(
+    flagged: &[CorrelatedGap],
+    truth: &[Window],
+    slack: SimDuration,
+) -> DetectionScore {
+    let matches =
+        |g: &CorrelatedGap, w: &Window| g.start <= w.end + slack && w.start <= g.end + slack;
+    let true_flags = flagged.iter().filter(|g| truth.iter().any(|w| matches(g, w))).count();
+    let detected = truth.iter().filter(|w| flagged.iter().any(|g| matches(g, w))).count();
+    DetectionScore {
+        detected,
+        false_positives: flagged.len() - true_flags,
+        missed: truth.len() - detected,
+        precision: if flagged.is_empty() {
+            1.0
+        } else {
+            true_flags as f64 / flagged.len() as f64
+        },
+        recall: if truth.is_empty() { 1.0 } else { detected as f64 / truth.len() as f64 },
+    }
+}
+
 fn make_gap(
     window: Window,
     start_idx: usize,
@@ -185,6 +230,93 @@ mod tests {
             SimDuration::from_mins(10),
         );
         assert!(flagged.is_empty(), "{flagged:?}");
+    }
+
+    /// The end-to-end ground-truth check: compile the `collector-flap`
+    /// scenario from faultlab, let the collector drop heartbeat datagrams
+    /// during the planned downtime exactly as the fault pipeline does, mix
+    /// in genuine single-home outages, and score the detector. Precision
+    /// and recall must both clear 0.9: every planned window flagged, the
+    /// per-home outages not.
+    #[test]
+    fn detector_scores_against_faultlab_ground_truth() {
+        let days = 20u64;
+        let span = Window { start: m(0), end: m(days * 24 * 60) };
+        let routers: Vec<RouterId> = (0..12u32).map(RouterId).collect();
+        let plan = faultlab::FaultPlan::scenario(
+            faultlab::FaultScenario::CollectorFlap,
+            11,
+            span,
+            &routers,
+        );
+        assert!(plan.collector_downtime.len() >= 2, "scenario must inject outages");
+        let collector = Collector::new();
+        collector.set_downtime(plan.collector_downtime.clone());
+        for &router in &routers {
+            collector.register(RouterMeta {
+                router,
+                country: Country::UnitedStates,
+                traffic_consent: false,
+            });
+        }
+        for minute in 0..days * 24 * 60 {
+            for &router in &routers {
+                // Router 3 takes a genuine 4-hour nap each day; router 7
+                // has one long multi-day outage. Neither is correlated.
+                let daily = minute % (24 * 60);
+                if router == RouterId(3) && (120..360).contains(&daily) {
+                    continue;
+                }
+                if router == RouterId(7) && (10_000..14_000).contains(&minute) {
+                    continue;
+                }
+                collector.ingest_heartbeat(HeartbeatRecord { router, at: m(minute) });
+            }
+        }
+        assert!(collector.dropped_in_downtime() > 0, "downtime must drop datagrams");
+        let data = collector.snapshot();
+        let flagged = correlated_gaps(&data, span, 0.8, SimDuration::from_mins(15));
+        let score = score_against_truth(
+            &flagged,
+            &plan.collector_downtime,
+            SimDuration::from_mins(5),
+        );
+        assert!(
+            score.precision >= 0.9,
+            "precision {:.2} ({} false positives): {flagged:?}",
+            score.precision,
+            score.false_positives
+        );
+        assert!(
+            score.recall >= 0.9,
+            "recall {:.2} ({} of {} missed)",
+            score.recall,
+            score.missed,
+            plan.collector_downtime.len()
+        );
+        // The genuine per-home outages must not be among the flags.
+        for gap in &flagged {
+            assert!(
+                plan.collector_downtime.iter().any(|w| gap.start <= w.end && w.start <= gap.end),
+                "flagged a window outside every planned outage: {gap:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_handles_empty_sides() {
+        let none: [CorrelatedGap; 0] = [];
+        let s = score_against_truth(&none, &[], SimDuration::from_mins(5));
+        assert_eq!((s.precision, s.recall), (1.0, 1.0));
+        let truth = [Window { start: m(10), end: m(40) }];
+        let s = score_against_truth(&none, &truth, SimDuration::from_mins(5));
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.missed, 1);
+        assert_eq!(s.precision, 1.0, "nothing flagged, nothing wrong");
+        let flag = [CorrelatedGap { start: m(100), end: m(130), silent_fraction: 1.0 }];
+        let s = score_against_truth(&flag, &truth, SimDuration::from_mins(5));
+        assert_eq!((s.detected, s.false_positives), (0, 1));
+        assert_eq!(s.precision, 0.0);
     }
 
     #[test]

@@ -48,6 +48,8 @@ fn bench_single_home(c: &mut Criterion) {
                     zone: &zone,
                     windows: &windows,
                     seed: 11,
+                    reliable_upload: false,
+                    faults: None,
                 })
                 .run(&collector);
                 black_box(collector.snapshot().record_count())

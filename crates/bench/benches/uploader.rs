@@ -1,0 +1,116 @@
+//! Microbenchmarks for the reliable-delivery pipeline: the firmware
+//! store-and-forward queue's steady-state cycle, the collector's
+//! sequence-checked batch ingestion, and fault-plan compilation. The
+//! steady-state numbers bound what a fault scenario can cost the
+//! simulation — `BENCH_simulate.json` carries the end-to-end check.
+
+use collector::windows::Window;
+use collector::{Collector, RouterMeta};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use firmware::records::{Record, RouterId, UptimeRecord};
+use firmware::uploader::{Uploader, UploaderConfig};
+use household::Country;
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+
+const BATCH: usize = 4_000;
+
+fn fill(out: &mut Vec<Record>, round: u64) {
+    for i in 0..BATCH as u64 {
+        out.push(Record::Uptime(UptimeRecord {
+            router: RouterId(3),
+            at: SimTime::EPOCH + SimDuration::from_mins(round * 10_000 + i),
+            uptime: SimDuration::from_mins(i),
+        }));
+    }
+}
+
+/// One full queue cycle per iteration: fill the accumulation buffer, seal
+/// it, fail the first offer (drawing a backoff delay), then ack. This is
+/// the worst realistic per-batch path — a clean run skips the failure.
+fn bench_uploader_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uploader");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("seal_fail_ack_cycle", |b| {
+        let mut up = Uploader::new(UploaderConfig::default());
+        let mut rng = DetRng::new(17).derive("bench");
+        let mut out: Vec<Record> = Vec::with_capacity(BATCH);
+        let mut round = 0u64;
+        b.iter(|| {
+            fill(&mut out, round);
+            round += 1;
+            up.seal(&mut out);
+            let _ = up.fail_front(&mut rng);
+            let a = up.attempt().expect("failed batch stays at the front");
+            a.records.clear(); // the collector drains the buffer on accept
+            up.ack_front();
+        });
+    });
+    group.finish();
+}
+
+/// A sealed batch offered to the collector and accepted in sequence:
+/// the single-lock shard path, watermark check included.
+fn bench_collector_ingest_upload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("ingest_upload_in_order", |b| {
+        let collector = Collector::new();
+        collector.register(RouterMeta {
+            router: RouterId(3),
+            country: Country::UnitedStates,
+            traffic_consent: false,
+        });
+        let shard = collector.shard_handle(RouterId(3));
+        let mut seq = 0u64;
+        b.iter_batched(
+            || {
+                let mut records = Vec::with_capacity(BATCH);
+                fill(&mut records, seq);
+                seq += 1;
+                (seq, records)
+            },
+            |(seq, mut records)| {
+                let outcome = shard.ingest_upload(
+                    SimTime::EPOCH + SimDuration::from_mins(seq * 10_000),
+                    RouterId(3),
+                    seq,
+                    0,
+                    &[],
+                    &mut records,
+                );
+                assert!(outcome.is_ack());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Compiling a scenario into a concrete per-router fault plan — runs once
+/// per study, so milliseconds here are invisible, but keep it honest.
+fn bench_plan_compile(c: &mut Criterion) {
+    let span = Window {
+        start: SimTime::EPOCH,
+        end: SimTime::EPOCH + SimDuration::from_days(20),
+    };
+    let routers: Vec<RouterId> = (0..64u32).map(RouterId).collect();
+    c.bench_function("faultlab/compile_collector_flap_64_routers", |b| {
+        b.iter(|| {
+            faultlab::FaultPlan::scenario(
+                faultlab::FaultScenario::CollectorFlap,
+                criterion::black_box(11),
+                span,
+                &routers,
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uploader_cycle,
+    bench_collector_ingest_upload,
+    bench_plan_compile
+);
+criterion_main!(benches);

@@ -9,15 +9,25 @@
 //!
 //! ```text
 //! e2e [--seed N] [--days D] [--threads T] [--label STR]
-//!     [--output FILE] [--dry-run]
+//!     [--faults SCENARIO] [--output FILE] [--dry-run]
 //! ```
+//!
+//! With `--faults` the study runs under a faultlab scenario: the reliable
+//! upload queue engages and the entry records the scenario name, so the
+//! committed file can carry fault-free vs faulted pairs demonstrating the
+//! pipeline's throughput cost.
 
 use bismark::study::{run_study, StudyConfig};
-use serde::{Deserialize, Serialize};
+use faultlab::FaultScenario;
+use serde::value::Value;
 use std::path::PathBuf;
 
 /// One benchmark measurement, as stored in `BENCH_simulate.json`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: `faults` must be *absent* (not `null`)
+/// in fault-free entries, and entries committed before the field existed
+/// must keep parsing.
+#[derive(Debug, Clone)]
 pub struct BenchEntry {
     /// Free-form tag: "before", "after", a commit subject, ...
     pub label: String,
@@ -37,6 +47,52 @@ pub struct BenchEntry {
     pub analyze_secs: f64,
     /// records / simulate_secs — the headline throughput number.
     pub records_per_sec: f64,
+    /// Faultlab scenario active during the run, if any. Absent in
+    /// fault-free entries (including all entries predating faultlab).
+    pub faults: Option<String>,
+}
+
+impl serde::Serialize for BenchEntry {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            (String::from("label"), serde::Serialize::to_value(&self.label)),
+            (String::from("seed"), serde::Serialize::to_value(&self.seed)),
+            (String::from("days"), serde::Serialize::to_value(&self.days)),
+            (String::from("threads"), serde::Serialize::to_value(&self.threads)),
+            (String::from("records"), serde::Serialize::to_value(&self.records)),
+            (String::from("simulate_secs"), serde::Serialize::to_value(&self.simulate_secs)),
+            (String::from("snapshot_secs"), serde::Serialize::to_value(&self.snapshot_secs)),
+            (String::from("analyze_secs"), serde::Serialize::to_value(&self.analyze_secs)),
+            (String::from("records_per_sec"), serde::Serialize::to_value(&self.records_per_sec)),
+        ];
+        if let Some(faults) = &self.faults {
+            entries.push((String::from("faults"), serde::Serialize::to_value(faults)));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BenchEntry {
+    fn from_value(v: &Value) -> Result<BenchEntry, serde::de::Error> {
+        let entries =
+            v.as_map().ok_or_else(|| serde::de::Error::expected("map", "BenchEntry", v))?;
+        let faults = match entries.iter().find(|(k, _)| k == "faults") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
+        Ok(BenchEntry {
+            label: serde::de::field(entries, "label", "BenchEntry")?,
+            seed: serde::de::field(entries, "seed", "BenchEntry")?,
+            days: serde::de::field(entries, "days", "BenchEntry")?,
+            threads: serde::de::field(entries, "threads", "BenchEntry")?,
+            records: serde::de::field(entries, "records", "BenchEntry")?,
+            simulate_secs: serde::de::field(entries, "simulate_secs", "BenchEntry")?,
+            snapshot_secs: serde::de::field(entries, "snapshot_secs", "BenchEntry")?,
+            analyze_secs: serde::de::field(entries, "analyze_secs", "BenchEntry")?,
+            records_per_sec: serde::de::field(entries, "records_per_sec", "BenchEntry")?,
+            faults,
+        })
+    }
 }
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
@@ -57,12 +113,20 @@ fn main() {
     let label = arg_value(&args, "--label").unwrap_or_else(|| String::from("after"));
     let output = arg_value(&args, "--output").map_or_else(default_output, PathBuf::from);
     let dry_run = args.iter().any(|a| a == "--dry-run");
+    let faults: Option<FaultScenario> = arg_value(&args, "--faults").map(|v| {
+        v.parse().unwrap_or_else(|err| {
+            eprintln!("e2e: {err}");
+            std::process::exit(2);
+        })
+    });
 
     let mut config = StudyConfig::quick(seed, days);
     config.threads = threads;
+    config.faults = faults;
     eprintln!(
-        "e2e bench: seed {seed}, {days} virtual days, {threads} thread{}",
-        if threads == 1 { "" } else { "s" }
+        "e2e bench: seed {seed}, {days} virtual days, {threads} thread{}{}",
+        if threads == 1 { "" } else { "s" },
+        faults.map_or_else(String::new, |f| format!(", faults: {f}"))
     );
 
     let study = run_study(&config);
@@ -84,6 +148,7 @@ fn main() {
         snapshot_secs: study.timings.snapshot.as_secs_f64(),
         analyze_secs: analyze.as_secs_f64(),
         records_per_sec: records as f64 / simulate_secs,
+        faults: faults.map(|f| f.to_string()),
     };
     eprintln!(
         "simulate {:.2}s / snapshot {:.2}s / analyze {:.2}s — {} records, {:.0} records/sec",

@@ -14,6 +14,8 @@ pub mod runlog;
 pub mod server;
 pub mod windows;
 
-pub use runlog::{HeartbeatRun, RunLog};
-pub use server::{Collector, Datasets, RouterMeta, ShardHandle, NUM_SHARDS};
+pub use runlog::{HeartbeatRun, RunLog, UploadCounters};
+pub use server::{
+    Collector, Datasets, RouterMeta, ShardHandle, UploadGapRecord, UploadOutcome, NUM_SHARDS,
+};
 pub use windows::Window;

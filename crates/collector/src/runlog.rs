@@ -143,12 +143,68 @@ impl RunLog {
     }
 }
 
+/// Delivery accounting for the batch upload path, kept alongside the run
+/// logs so an operator reading the collection run can tell a healthy fleet
+/// ("everything accepted first try") from one limping through faults
+/// ("retried-then-accepted"), and both from actual rejections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadCounters {
+    /// Batches accepted and applied (first appearance of their sequence
+    /// number, whether in order or buffered ahead of the watermark).
+    pub accepted: u64,
+    /// Of `accepted`, how many arrived with a non-zero attempt counter —
+    /// i.e. were retried at least once before getting through.
+    pub retried_accepted: u64,
+    /// Batches acknowledged but discarded because their sequence number
+    /// was already known (replays after a lost ack).
+    pub duplicates: u64,
+    /// Upload attempts nacked because the collector was down. These are
+    /// *rejections*, not losses: the router keeps the batch and retries.
+    pub rejected: u64,
+    /// Gap declarations accepted onto the ledger (declared-lost batch
+    /// ranges — the only path by which records are ever truly lost).
+    pub gap_declarations: u64,
+}
+
+impl UploadCounters {
+    /// Fold another counter set into this one (per-shard → global).
+    pub fn merge(&mut self, other: UploadCounters) {
+        self.accepted += other.accepted;
+        self.retried_accepted += other.retried_accepted;
+        self.duplicates += other.duplicates;
+        self.rejected += other.rejected;
+        self.gap_declarations += other.gap_declarations;
+    }
+
+    /// Batches that went through on their first attempt.
+    pub fn delivered_first_try(&self) -> u64 {
+        self.accepted - self.retried_accepted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn m(mins: u64) -> SimTime {
         SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn upload_counters_merge_and_distinguish_retries() {
+        let mut a = UploadCounters { accepted: 10, retried_accepted: 2, ..Default::default() };
+        let b = UploadCounters {
+            accepted: 5,
+            retried_accepted: 5,
+            duplicates: 3,
+            rejected: 7,
+            gap_declarations: 1,
+        };
+        a.merge(b);
+        assert_eq!(a.accepted, 15);
+        assert_eq!(a.retried_accepted, 7);
+        assert_eq!(a.delivered_first_try(), 8);
+        assert_eq!((a.duplicates, a.rejected, a.gap_declarations), (3, 7, 1));
     }
 
     #[test]

@@ -12,18 +12,20 @@
 //! sort otherwise — so the result is bit-identical regardless of how many
 //! threads uploaded.
 
-use crate::runlog::RunLog;
+use crate::runlog::{RunLog, UploadCounters};
+use crate::windows::Window;
 use firmware::heartbeat::Heartbeat;
 use firmware::records::{
     AssociationRecord, CapacityRecord, DeviceCensusRecord, DnsSampleRecord, FlowRecord,
     HeartbeatRecord, MacSightingRecord, PacketStatsRecord, Record, RouterId, UptimeRecord,
     WifiScanRecord,
 };
+use firmware::uploader::{GapCause, GapDecl};
 use household::Country;
 use parking_lot::Mutex;
 use simnet::packet::ParseError;
 use simnet::time::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of independently locked ingestion shards. A power of two larger
@@ -46,8 +48,55 @@ pub struct RouterMeta {
     pub traffic_consent: bool,
 }
 
+/// One row of the gap ledger: a range of upload batches a router declared
+/// lost for good (spool eviction or flash wipe). The ledger is the explicit
+/// record of every batch the collector will never receive — lost data is
+/// declared, never silent.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UploadGapRecord {
+    /// The declaring router.
+    pub router: RouterId,
+    /// First lost batch (inclusive).
+    pub first_seq: u64,
+    /// Last lost batch (inclusive).
+    pub last_seq: u64,
+    /// Records lost across the range.
+    pub records_lost: u64,
+    /// Earliest record timestamp in the lost range.
+    pub from: SimTime,
+    /// Latest record timestamp in the lost range.
+    pub to: SimTime,
+    /// What destroyed the data.
+    pub cause: GapCause,
+}
+
+/// Outcome of one batch upload attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadOutcome {
+    /// First sighting of this sequence number: applied (or buffered until
+    /// the batches before it arrive). The batch buffer has been drained.
+    Accepted,
+    /// The sequence number was already known — a replay after a lost ack.
+    /// Acknowledged so the router stops retrying; the payload is discarded.
+    Duplicate,
+    /// The collector is down: nothing was read. The router should retry at
+    /// or after `retry_at` (the end of the current downtime window).
+    Down {
+        /// When the current downtime window ends.
+        retry_at: SimTime,
+    },
+}
+
+impl UploadOutcome {
+    /// Did the collector take responsibility for the batch (fresh or
+    /// duplicate)? `false` means the router must retry.
+    pub fn is_ack(self) -> bool {
+        matches!(self, UploadOutcome::Accepted | UploadOutcome::Duplicate)
+    }
+}
+
 /// An immutable snapshot of everything collected, handed to the analysis.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Datasets {
     /// Router registration metadata, sorted by router ID.
     pub routers: Vec<RouterMeta>,
@@ -73,6 +122,12 @@ pub struct Datasets {
     pub associations: Vec<AssociationRecord>,
     /// Latency probes (platform companion data set).
     pub latency: Vec<firmware::latency::LatencyRecord>,
+    /// The gap ledger: batch ranges declared lost by routers, sorted by
+    /// (router, first_seq). Empty unless faults destroyed spooled data.
+    pub upload_gaps: Vec<UploadGapRecord>,
+    /// Downtime windows the collection infrastructure announced for this
+    /// run (injected by a fault plan). Empty in normal operation.
+    pub collector_downtime: Vec<Window>,
 }
 
 impl Datasets {
@@ -128,6 +183,40 @@ struct Shard {
     /// inside one are lost, exactly as on the deployment.
     outages: Vec<crate::windows::Window>,
     dropped_in_outage: u64,
+    /// Downtime windows for the *reliable* upload path: batch uploads
+    /// arriving inside one are nacked (the router retries), and heartbeat
+    /// datagrams are dropped (they are fire-and-forget). Unlike `outages`,
+    /// nothing batched is ever silently lost to these.
+    downtime: Vec<Window>,
+    /// Heartbeat datagrams dropped because the collector was down.
+    dropped_in_downtime: u64,
+    /// Per-router sequence tracking for idempotent batch ingestion.
+    seq: HashMap<RouterId, SeqState>,
+    /// Gap-ledger rows accepted by this shard.
+    upload_gaps: Vec<UploadGapRecord>,
+    /// Delivery accounting for the batch upload path.
+    counters: UploadCounters,
+}
+
+/// A batch known to exist but not yet applicable, keyed by sequence number.
+#[derive(Debug)]
+enum Pending {
+    /// Arrived ahead of the watermark; applied once contiguous.
+    Batch(Vec<Record>),
+    /// Declared lost; applying it is a no-op that advances the watermark.
+    Gap,
+}
+
+/// Sequence bookkeeping for one router: the high-watermark (every batch
+/// with `seq <= watermark` has been applied or declared lost) plus batches
+/// and gap declarations buffered ahead of it. The invariant that batches
+/// apply in strict sequence order is what lets the run logs keep their
+/// "arrivals are non-decreasing" contract even when retries and replays
+/// deliver batches out of order.
+#[derive(Debug, Default)]
+struct SeqState {
+    watermark: u64,
+    pending: BTreeMap<u64, Pending>,
 }
 
 impl Shard {
@@ -180,11 +269,134 @@ impl Shard {
     }
 
     fn ingest_heartbeat(&mut self, rec: HeartbeatRecord) {
+        if !self.downtime.is_empty() && self.downtime_at(rec.at).is_some() {
+            self.dropped_in_downtime += 1;
+            return;
+        }
         if !self.outages.is_empty() && self.in_outage(rec.at) {
             self.dropped_in_outage += 1;
             return;
         }
         self.heartbeats.entry(rec.router).or_default().push(rec.at);
+    }
+
+    fn downtime_at(&self, at: SimTime) -> Option<Window> {
+        self.downtime.iter().find(|w| w.contains(at)).copied()
+    }
+
+    /// Idempotent batch ingestion with per-router sequence tracking.
+    ///
+    /// * During a downtime window nothing is read; the caller gets a nack
+    ///   with a retry hint.
+    /// * Gap declarations riding with the attempt are applied first (and
+    ///   exactly once, however often they are replayed).
+    /// * A batch whose sequence number is already known is acknowledged
+    ///   and discarded; a fresh batch is applied immediately when it is
+    ///   the next in sequence, or buffered until the batches before it
+    ///   show up. Either way batches hit the tables in strict sequence
+    ///   order, which keeps per-router record streams chronological.
+    fn ingest_upload(
+        &mut self,
+        at: SimTime,
+        router: RouterId,
+        seq: u64,
+        attempt: u32,
+        gaps: &[GapDecl],
+        records: &mut Vec<Record>,
+    ) -> UploadOutcome {
+        if let Some(w) = self.downtime_at(at) {
+            self.counters.rejected += 1;
+            return UploadOutcome::Down { retry_at: w.end };
+        }
+        for g in gaps {
+            self.accept_gap_decl(router, g);
+        }
+        enum Disposition {
+            Duplicate,
+            Apply,
+            Buffered,
+        }
+        let disposition = {
+            let state = self.seq.entry(router).or_default();
+            if seq <= state.watermark || state.pending.contains_key(&seq) {
+                Disposition::Duplicate
+            } else if seq == state.watermark + 1 {
+                state.watermark += 1;
+                Disposition::Apply
+            } else {
+                state.pending.insert(seq, Pending::Batch(std::mem::take(records)));
+                Disposition::Buffered
+            }
+        };
+        let outcome = match disposition {
+            Disposition::Duplicate => {
+                self.counters.duplicates += 1;
+                records.clear();
+                UploadOutcome::Duplicate
+            }
+            Disposition::Apply => {
+                self.counters.accepted += 1;
+                if attempt > 0 {
+                    self.counters.retried_accepted += 1;
+                }
+                self.ingest_many(records.drain(..));
+                UploadOutcome::Accepted
+            }
+            Disposition::Buffered => {
+                self.counters.accepted += 1;
+                if attempt > 0 {
+                    self.counters.retried_accepted += 1;
+                }
+                UploadOutcome::Accepted
+            }
+        };
+        self.drain_contiguous(router);
+        outcome
+    }
+
+    /// Put a declared-lost batch range on the ledger, once. Replays are
+    /// recognized either by the watermark having passed the range or by
+    /// the range's first sequence number already being marked as a gap.
+    fn accept_gap_decl(&mut self, router: RouterId, g: &GapDecl) {
+        let state = self.seq.entry(router).or_default();
+        if g.last_seq <= state.watermark
+            || matches!(state.pending.get(&g.first_seq), Some(Pending::Gap))
+        {
+            return;
+        }
+        for s in g.first_seq.max(state.watermark + 1)..=g.last_seq {
+            state.pending.entry(s).or_insert(Pending::Gap);
+        }
+        self.upload_gaps.push(UploadGapRecord {
+            router,
+            first_seq: g.first_seq,
+            last_seq: g.last_seq,
+            records_lost: g.records_lost,
+            from: g.from,
+            to: g.to,
+            cause: g.cause,
+        });
+        self.counters.gap_declarations += 1;
+    }
+
+    /// Apply buffered batches (and skip declared gaps) while they continue
+    /// the sequence at the watermark.
+    fn drain_contiguous(&mut self, router: RouterId) {
+        loop {
+            let next = {
+                let Some(state) = self.seq.get_mut(&router) else { return };
+                match state.pending.remove(&(state.watermark + 1)) {
+                    Some(p) => {
+                        state.watermark += 1;
+                        p
+                    }
+                    None => return,
+                }
+            };
+            if let Pending::Batch(mut batch) = next {
+                self.ingest_many(batch.drain(..));
+            }
+        }
     }
 }
 
@@ -194,6 +406,9 @@ pub struct Collector {
     shards: Vec<Mutex<Shard>>,
     routers: Mutex<Vec<RouterMeta>>,
     rejected_heartbeats: AtomicU64,
+    /// The announced downtime schedule, kept once for the snapshot (each
+    /// shard holds its own copy for lock-local checks on the hot path).
+    downtime: Mutex<Vec<Window>>,
 }
 
 impl Default for Collector {
@@ -202,6 +417,7 @@ impl Default for Collector {
             shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             routers: Mutex::new(Vec::new()),
             rejected_heartbeats: AtomicU64::new(0),
+            downtime: Mutex::new(Vec::new()),
         }
     }
 }
@@ -244,6 +460,25 @@ impl ShardHandle<'_> {
     pub fn ingest_heartbeat(&self, rec: HeartbeatRecord) {
         self.shard.lock().ingest_heartbeat(rec);
     }
+
+    /// Offer a sequence-numbered batch (plus any gap declarations riding
+    /// with it) under one lock acquisition. On [`UploadOutcome::Accepted`]
+    /// and [`UploadOutcome::Duplicate`] the buffer is left drained with
+    /// its capacity intact (unless the batch had to be buffered ahead of
+    /// the watermark, in which case its storage moves to the collector);
+    /// on [`UploadOutcome::Down`] it is untouched and the caller retries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ingest_upload(
+        &self,
+        at: SimTime,
+        router: RouterId,
+        seq: u64,
+        attempt: u32,
+        gaps: &[GapDecl],
+        records: &mut Vec<Record>,
+    ) -> UploadOutcome {
+        self.shard.lock().ingest_upload(at, router, seq, attempt, gaps, records)
+    }
 }
 
 impl Collector {
@@ -274,6 +509,51 @@ impl Collector {
     /// Records lost to collector-side outages so far.
     pub fn dropped_in_outage(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().dropped_in_outage).sum()
+    }
+
+    /// Announce collector downtime windows for the reliable upload path:
+    /// batch uploads arriving inside one are nacked (and retried by the
+    /// router — no batched record is ever lost to downtime), while
+    /// heartbeat datagrams are dropped, leaving the correlated silence
+    /// that `analysis::artifacts` hunts for. The windows land in
+    /// [`Datasets::collector_downtime`] as the run's ground truth.
+    pub fn set_downtime(&self, mut windows: Vec<Window>) {
+        windows.sort_by_key(|w| (w.start, w.end));
+        for shard in &self.shards {
+            shard.lock().downtime = windows.clone();
+        }
+        *self.downtime.lock() = windows;
+    }
+
+    /// Heartbeat datagrams dropped during announced downtime so far.
+    pub fn dropped_in_downtime(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().dropped_in_downtime).sum()
+    }
+
+    /// Combined delivery accounting across all shards.
+    pub fn upload_counters(&self) -> UploadCounters {
+        let mut total = UploadCounters::default();
+        for shard in &self.shards {
+            total.merge(shard.lock().counters);
+        }
+        total
+    }
+
+    /// Offer a sequence-numbered batch for one router (see
+    /// [`ShardHandle::ingest_upload`] for the single-lock fast path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn ingest_upload(
+        &self,
+        at: SimTime,
+        router: RouterId,
+        seq: u64,
+        attempt: u32,
+        gaps: &[GapDecl],
+        records: &mut Vec<Record>,
+    ) -> UploadOutcome {
+        self.shards[shard_index(router)]
+            .lock()
+            .ingest_upload(at, router, seq, attempt, gaps, records)
     }
 
     /// Ingest a heartbeat that arrived as a raw packet: parse, validate,
@@ -351,10 +631,11 @@ impl Collector {
                     macs: shard.macs.clone(),
                     associations: shard.associations.clone(),
                     latency: shard.latency.clone(),
+                    upload_gaps: shard.upload_gaps.clone(),
                 }
             })
             .collect();
-        merge_chunks(self.routers.lock().clone(), chunks)
+        merge_chunks(self.routers.lock().clone(), self.downtime.lock().clone(), chunks)
     }
 
     /// Consume the collector and merge every shard into one sorted
@@ -381,10 +662,11 @@ impl Collector {
                     macs: shard.macs,
                     associations: shard.associations,
                     latency: shard.latency,
+                    upload_gaps: shard.upload_gaps,
                 }
             })
             .collect();
-        merge_chunks(self.routers.into_inner(), chunks)
+        merge_chunks(self.routers.into_inner(), self.downtime.into_inner(), chunks)
     }
 }
 
@@ -401,6 +683,7 @@ struct ShardChunk {
     macs: Vec<MacSightingRecord>,
     associations: Vec<AssociationRecord>,
     latency: Vec<firmware::latency::LatencyRecord>,
+    upload_gaps: Vec<UploadGapRecord>,
 }
 
 /// Merge per-shard chunks of one table into a single sorted table.
@@ -433,7 +716,11 @@ fn merge_table<T, K: Ord, F: Fn(&T) -> K>(mut chunks: Vec<Vec<T>>, key: F) -> Ve
     out
 }
 
-fn merge_chunks(mut routers: Vec<RouterMeta>, chunks: Vec<ShardChunk>) -> Datasets {
+fn merge_chunks(
+    mut routers: Vec<RouterMeta>,
+    collector_downtime: Vec<Window>,
+    chunks: Vec<ShardChunk>,
+) -> Datasets {
     let mut uptime = Vec::new();
     let mut capacity = Vec::new();
     let mut devices = Vec::new();
@@ -444,6 +731,7 @@ fn merge_chunks(mut routers: Vec<RouterMeta>, chunks: Vec<ShardChunk>) -> Datase
     let mut macs = Vec::new();
     let mut associations = Vec::new();
     let mut latency = Vec::new();
+    let mut upload_gaps = Vec::new();
     let mut heartbeats: HashMap<RouterId, RunLog> = HashMap::new();
     for chunk in chunks {
         uptime.push(chunk.uptime);
@@ -456,12 +744,21 @@ fn merge_chunks(mut routers: Vec<RouterMeta>, chunks: Vec<ShardChunk>) -> Datase
         macs.push(chunk.macs);
         associations.push(chunk.associations);
         latency.push(chunk.latency);
+        upload_gaps.push(chunk.upload_gaps);
         // Routers are partitioned across shards, so no key collides.
         heartbeats.extend(chunk.heartbeats);
     }
     routers.sort_by_key(|m| m.router);
 
-    let mut data = Datasets { routers, heartbeats, ..Datasets::default() };
+    let mut data = Datasets {
+        routers,
+        heartbeats,
+        collector_downtime,
+        // The ledger is tiny (one row per declared loss); merge it inline
+        // rather than on the scoped threads below.
+        upload_gaps: merge_table(upload_gaps, |r: &UploadGapRecord| (r.router, r.first_seq)),
+        ..Datasets::default()
+    };
     // The per-table merges are independent; run them on scoped threads so a
     // snapshot of a 33M-record study sorts all ten tables concurrently.
     crossbeam::scope(|scope| {
@@ -673,6 +970,127 @@ mod tests {
             SimDuration::from_mins(5),
         );
         assert_eq!(gaps, vec![(m(9), m(20))]);
+    }
+
+    fn uptime_batch(router: u32, mins: std::ops::Range<u64>) -> Vec<Record> {
+        mins.map(|i| {
+            Record::Uptime(UptimeRecord {
+                router: RouterId(router),
+                at: m(i),
+                uptime: SimDuration::from_mins(i),
+            })
+        })
+        .collect()
+    }
+
+    #[test]
+    fn upload_in_order_applies_and_acks() {
+        let collector = Collector::new();
+        let handle = collector.shard_handle(RouterId(7));
+        let mut batch = uptime_batch(7, 0..10);
+        let out = handle.ingest_upload(m(10), RouterId(7), 1, 0, &[], &mut batch);
+        assert_eq!(out, UploadOutcome::Accepted);
+        assert!(batch.is_empty(), "accepted batch is drained");
+        assert_eq!(collector.snapshot().uptime.len(), 10);
+        let c = collector.upload_counters();
+        assert_eq!((c.accepted, c.retried_accepted, c.duplicates, c.rejected), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn upload_replay_is_acked_but_discarded() {
+        let collector = Collector::new();
+        let handle = collector.shard_handle(RouterId(7));
+        let mut batch = uptime_batch(7, 0..10);
+        assert!(handle.ingest_upload(m(10), RouterId(7), 1, 0, &[], &mut batch).is_ack());
+        let mut replay = uptime_batch(7, 0..10);
+        let out = handle.ingest_upload(m(11), RouterId(7), 1, 2, &[], &mut replay);
+        assert_eq!(out, UploadOutcome::Duplicate);
+        assert!(replay.is_empty());
+        assert_eq!(collector.snapshot().uptime.len(), 10, "no double ingestion");
+        assert_eq!(collector.upload_counters().duplicates, 1);
+    }
+
+    #[test]
+    fn out_of_order_batches_apply_in_sequence_order() {
+        let collector = Collector::new();
+        let handle = collector.shard_handle(RouterId(3));
+        // Heartbeat records force chronological application: run logs
+        // assert non-decreasing arrivals, so applying batch 2 before
+        // batch 1 would blow up in debug builds.
+        let mut second: Vec<Record> = (10..20u64)
+            .map(|i| Record::Heartbeat(HeartbeatRecord { router: RouterId(3), at: m(i) }))
+            .collect();
+        let mut first: Vec<Record> = (0..10u64)
+            .map(|i| Record::Heartbeat(HeartbeatRecord { router: RouterId(3), at: m(i) }))
+            .collect();
+        assert_eq!(
+            handle.ingest_upload(m(30), RouterId(3), 2, 1, &[], &mut second),
+            UploadOutcome::Accepted,
+            "arrives first, buffered ahead of the watermark"
+        );
+        assert_eq!(collector.snapshot().heartbeats.len(), 0, "not applied yet");
+        assert_eq!(
+            handle.ingest_upload(m(31), RouterId(3), 1, 0, &[], &mut first),
+            UploadOutcome::Accepted
+        );
+        let snap = collector.snapshot();
+        assert_eq!(snap.heartbeats[&RouterId(3)].total_heartbeats(), 20);
+        assert_eq!(snap.heartbeats[&RouterId(3)].runs().len(), 1);
+    }
+
+    #[test]
+    fn downtime_nacks_batches_and_drops_heartbeat_datagrams() {
+        use crate::windows::Window;
+        let collector = Collector::new();
+        collector.set_downtime(vec![Window { start: m(10), end: m(20) }]);
+        let handle = collector.shard_handle(RouterId(5));
+        let mut batch = uptime_batch(5, 0..4);
+        let out = handle.ingest_upload(m(15), RouterId(5), 1, 0, &mut [], &mut batch);
+        assert_eq!(out, UploadOutcome::Down { retry_at: m(20) });
+        assert_eq!(batch.len(), 4, "nacked batch is untouched");
+        assert_eq!(collector.upload_counters().rejected, 1);
+        // Retry after the window: accepted, nothing lost.
+        let retry = handle.ingest_upload(m(20), RouterId(5), 1, 1, &[], &mut batch);
+        assert_eq!(retry, UploadOutcome::Accepted);
+        assert_eq!(collector.upload_counters().retried_accepted, 1);
+        assert_eq!(collector.snapshot().uptime.len(), 4);
+        // Heartbeat datagrams are fire-and-forget: dropped, counted.
+        collector.ingest_heartbeat(HeartbeatRecord { router: RouterId(5), at: m(15) });
+        collector.ingest_heartbeat(HeartbeatRecord { router: RouterId(5), at: m(25) });
+        assert_eq!(collector.dropped_in_downtime(), 1);
+        assert_eq!(collector.snapshot().heartbeats[&RouterId(5)].total_heartbeats(), 1);
+        assert_eq!(collector.snapshot().collector_downtime.len(), 1);
+    }
+
+    #[test]
+    fn gap_declarations_advance_watermark_and_ledger_once() {
+        use firmware::uploader::{GapCause, GapDecl};
+        let collector = Collector::new();
+        let handle = collector.shard_handle(RouterId(9));
+        let decl = GapDecl {
+            first_seq: 1,
+            last_seq: 2,
+            records_lost: 100,
+            from: m(0),
+            to: m(40),
+            cause: GapCause::FlashWipe,
+        };
+        // Batch 3 carries the declaration that 1..=2 are gone.
+        let mut batch = uptime_batch(9, 40..50);
+        let out = handle.ingest_upload(m(50), RouterId(9), 3, 0, &[decl], &mut batch);
+        assert_eq!(out, UploadOutcome::Accepted);
+        assert_eq!(collector.snapshot().uptime.len(), 10, "batch 3 applied past the gap");
+        // Replaying the declaration (with a duplicate batch) adds nothing.
+        let mut replay = uptime_batch(9, 40..50);
+        handle.ingest_upload(m(51), RouterId(9), 3, 1, &[decl], &mut replay);
+        let snap = collector.snapshot();
+        assert_eq!(snap.upload_gaps.len(), 1);
+        let row = snap.upload_gaps[0];
+        assert_eq!(
+            (row.router, row.first_seq, row.last_seq, row.records_lost, row.cause),
+            (RouterId(9), 1, 2, 100, GapCause::FlashWipe)
+        );
+        assert_eq!(collector.upload_counters().gap_declarations, 1);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bismark-study run   [--seed N] [--days D | --full] [--threads T]
-//!                     [--report FILE] [--export FILE] [--validate]
+//!                     [--faults SCENARIO] [--report FILE] [--export FILE]
+//!                     [--validate]
 //! bismark-study list-figures
 //! ```
 //!
@@ -16,7 +17,7 @@ use bismark::validation;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--threads T] \\\n                    [--report FILE] [--export FILE] [--validate]\n  bismark-study list-figures"
+        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--threads T] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] [--validate]\n  bismark-study list-figures"
     );
     std::process::exit(2)
 }
@@ -42,6 +43,12 @@ fn run(args: &[String]) {
     if let Some(threads) = arg_value(args, "--threads") {
         config.threads = threads.parse().expect("--threads T");
     }
+    if let Some(scenario) = arg_value(args, "--faults") {
+        config.faults = Some(scenario.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }));
+    }
 
     eprintln!(
         "running seed {seed} over {:.0} virtual days on {} thread{}...",
@@ -57,6 +64,20 @@ fn run(args: &[String]) {
         output.datasets.record_count(),
         output.datasets.heartbeats.len()
     );
+    if config.faults.is_some() {
+        let c = output.upload_counters;
+        eprintln!(
+            "faults: {} collector downtime windows, {} gap records; uploads {} accepted \
+             ({} after retries), {} duplicates, {} rejected in downtime; {} heartbeats dropped",
+            output.fault_plan.collector_downtime.len(),
+            output.datasets.upload_gaps.len(),
+            c.accepted,
+            c.retried_accepted,
+            c.duplicates,
+            c.rejected,
+            output.dropped_in_downtime
+        );
+    }
 
     let analyze_started = std::time::Instant::now();
     let report = output.report();

@@ -22,7 +22,8 @@
 //! random streams from `(study seed, home id)`.
 
 use crate::study::StudyWindows;
-use collector::Collector;
+use collector::{Collector, UploadOutcome};
+use faultlab::{ClockSkew, HomeFaults};
 use firmware::anonymize::Anonymizer;
 use firmware::gateway::Gateway;
 use firmware::heartbeat::Heartbeat;
@@ -31,10 +32,12 @@ use firmware::records::{
 };
 use firmware::shaperprobe;
 use firmware::traffic::TrafficMonitor;
+use firmware::uploader::{Uploader, UploaderConfig};
 use household::devices::{Attachment, Device};
 use household::domains::DomainUniverse;
 use household::home::{HomeConfig, Quirk};
-use household::interval::Interval;
+use household::interval::{self, Interval};
+use simnet::impair::ImpairmentSchedule;
 use netstack::{AppKind, Flow, FlowScheduler};
 use simnet::dns::ZoneDb;
 use simnet::event::EventQueue;
@@ -64,6 +67,16 @@ enum Ev {
     Reassociate { device: usize },
     NatSweep,
     LatencyProbe,
+    /// Retry the head of the upload spool after a backoff delay; `epoch`
+    /// guards against retries scheduled before a reboot (the power-on
+    /// handler re-pumps the spool itself).
+    UploadRetry { epoch: u32 },
+    /// Periodic store-and-forward flush (fault mode only): seal whatever
+    /// accumulated and push the spool, so a quiet home still uploads.
+    UploadFlush,
+    /// An injected flash-wipe reboot destroys the spool and the unsealed
+    /// accumulation buffer (fault mode only).
+    FlashWipe,
 }
 
 /// Per-device dynamic state.
@@ -86,6 +99,13 @@ pub struct SimParams<'a> {
     pub windows: &'a StudyWindows,
     /// The study seed (per-home streams derive from it).
     pub seed: u64,
+    /// Route records through the store-and-forward upload queue instead of
+    /// flushing straight to the collector. The study runner enables this
+    /// uniformly for every home whenever a fault plan is active; with it
+    /// off, the legacy direct-flush path runs untouched.
+    pub reliable_upload: bool,
+    /// This home's slice of the fault plan, if any.
+    pub faults: Option<&'a HomeFaults>,
 }
 
 /// The simulation engine for one home.
@@ -108,12 +128,22 @@ pub struct HomeSim<'a> {
     uploader_active: bool,
     dns_id: u16,
     ephemeral_port: u16,
+    /// The store-and-forward upload queue (`Some` iff the study runs with
+    /// a fault plan; `None` keeps the legacy direct-flush path).
+    upload_queue: Option<Uploader>,
+    /// Injected impairment on the WAN upload path (empty when unfaulted).
+    wan_faults: ImpairmentSchedule,
+    /// Injected clock skew on router-stamped records, if any.
+    clock_skew: Option<ClockSkew>,
+    /// Is an `UploadRetry` already in flight for the current boot?
+    retry_scheduled: bool,
     // Independent random streams, one per process.
     rng_heartbeat: DetRng,
     rng_scan: DetRng,
     rng_presence: DetRng,
     rng_session: DetRng,
     rng_probe: DetRng,
+    rng_upload: DetRng,
     out: Vec<Record>,
     /// Scratch buffer for DNS wire images, reused across lookups.
     dns_wire_buf: Vec<u8>,
@@ -135,13 +165,36 @@ impl<'a> HomeSim<'a> {
         let mut queue = EventQueue::new();
 
         let span = windows.span;
-        // Power schedule → PowerOn/PowerOff events.
+        // Power schedule → PowerOn/PowerOff events. Injected power cycles
+        // are subtracted from the home's own schedule up front, so the
+        // merged intervals drive the exact same two events and no handler
+        // needs to know whether an outage was organic or injected.
         let mut power_rng = root.derive("power");
-        let powered = cfg.availability.power_intervals(span.start, span.end, &mut power_rng);
+        let powered = {
+            let base = cfg.availability.power_intervals(span.start, span.end, &mut power_rng);
+            match params.faults {
+                Some(f) if !f.power_cycles.is_empty() => {
+                    let cuts: Vec<Interval> = f
+                        .power_cycles
+                        .iter()
+                        .map(|c| Interval::new(c.at, c.until()))
+                        .collect();
+                    interval::subtract(&base, &cuts)
+                }
+                _ => base,
+            }
+        };
         for iv in &powered {
             queue.schedule(iv.start, Ev::PowerOn);
             if iv.end < span.end {
                 queue.schedule(iv.end, Ev::PowerOff);
+            }
+        }
+        if let Some(f) = params.faults {
+            for c in f.power_cycles.iter().filter(|c| c.flash_wipe) {
+                if c.at >= span.start && c.at < span.end {
+                    queue.schedule(c.at, Ev::FlashWipe);
+                }
             }
         }
         // ISP outage schedule, queried on demand.
@@ -171,6 +224,21 @@ impl<'a> HomeSim<'a> {
             Ev::LatencyProbe,
         );
 
+        // Store-and-forward uploads: accumulate small batches and flush on
+        // a 6-hour cadence (staggered per home) instead of waiting for the
+        // big direct-flush threshold.
+        let upload_queue =
+            params.reliable_upload.then(|| Uploader::new(UploaderConfig::default()));
+        let mut rng_upload = root.derive("upload");
+        if params.reliable_upload {
+            queue.schedule(
+                span.start + SimDuration::from_mins(rng_upload.uniform_int(30, 361)),
+                Ev::UploadFlush,
+            );
+        }
+        let out_capacity =
+            upload_queue.as_ref().map_or(FLUSH_THRESHOLD, |u| u.config().batch_records);
+
         let device_state = cfg
             .devices
             .iter()
@@ -196,12 +264,20 @@ impl<'a> HomeSim<'a> {
             uploader_active: false,
             dns_id: 1,
             ephemeral_port: 20_000,
+            upload_queue,
+            wan_faults: params
+                .faults
+                .map(|f| f.wan.clone())
+                .unwrap_or_else(ImpairmentSchedule::none),
+            clock_skew: params.faults.and_then(|f| f.clock_skew),
+            retry_scheduled: false,
             rng_heartbeat: root.derive("heartbeat"),
             rng_scan: root.derive("scan"),
             rng_presence: root.derive("presence"),
             rng_session: root.derive("session"),
             rng_probe: probe_rng,
-            out: Vec::with_capacity(FLUSH_THRESHOLD),
+            rng_upload,
+            out: Vec::with_capacity(out_capacity),
             dns_wire_buf: Vec::with_capacity(128),
         }
     }
@@ -214,10 +290,129 @@ impl<'a> HomeSim<'a> {
         }
     }
 
-    fn flush(&mut self, shard: &collector::ShardHandle<'_>) {
-        // Drain rather than hand off: the buffer keeps its capacity, so
-        // the whole run reuses one allocation for record batching.
-        shard.ingest_drain(&mut self.out);
+    fn flush(&mut self, now: SimTime, shard: &collector::ShardHandle<'_>) {
+        match self.upload_queue.is_some() {
+            // Drain rather than hand off: the buffer keeps its capacity, so
+            // the whole run reuses one allocation for record batching.
+            false => shard.ingest_drain(&mut self.out),
+            // Fault mode: seal the buffer into a sequence-numbered batch
+            // and try to push the spool through the (possibly impaired)
+            // WAN path.
+            true => {
+                self.upload_queue.as_mut().expect("checked").seal(&mut self.out);
+                self.pump(now, shard);
+            }
+        }
+    }
+
+    /// Push a router-stamped record, applying any injected clock skew: a
+    /// drifting gateway stamps everything it records ahead by the skew
+    /// offset while the window is active. Heartbeats never come through
+    /// here — the collector stamps those on arrival, which is exactly why
+    /// the paper's availability analyses trust them over router logs.
+    fn emit(&mut self, now: SimTime, mut rec: Record) {
+        if let Some(sk) = self.clock_skew {
+            if sk.window.contains(now) {
+                rec.shift_time(sk.offset);
+            }
+        }
+        self.out.push(rec);
+    }
+
+    /// Apply clock skew to records appended since `from` (the bulk variant
+    /// of [`Self::emit`] for traffic-monitor drains).
+    fn apply_skew_from(&mut self, now: SimTime, from: usize) {
+        if let Some(sk) = self.clock_skew {
+            if sk.window.contains(now) {
+                for rec in &mut self.out[from..] {
+                    rec.shift_time(sk.offset);
+                }
+            }
+        }
+    }
+
+    /// Try to deliver spooled batches until the spool drains or an attempt
+    /// fails — lost on the impaired WAN path, or nacked by a down
+    /// collector — in which case one retry is scheduled with the
+    /// uploader's exponential backoff.
+    fn pump(&mut self, now: SimTime, shard: &collector::ShardHandle<'_>) {
+        let router = self.gateway.id;
+        loop {
+            match self.upload_queue.as_ref() {
+                Some(up) if up.spool_len() > 0 => {}
+                _ => return,
+            }
+            // The batch crosses the impaired WAN path first (an empty
+            // schedule never draws from the RNG).
+            let fate = self.wan_faults.transmit(now, &mut self.rng_upload);
+            let up = self.upload_queue.as_mut().expect("spool checked above");
+            let delivered = match fate {
+                None => false, // lost on the wire
+                Some(extra) => {
+                    let a = up.attempt().expect("spool checked above");
+                    shard
+                        .ingest_upload(now + extra, router, a.seq, a.attempt, a.gaps, a.records)
+                        .is_ack()
+                }
+            };
+            let up = self.upload_queue.as_mut().expect("spool checked above");
+            if delivered {
+                up.ack_front();
+            } else {
+                let delay = up.fail_front(&mut self.rng_upload);
+                self.schedule_retry(now + delay);
+                return;
+            }
+        }
+    }
+
+    fn schedule_retry(&mut self, at: SimTime) {
+        if !self.retry_scheduled {
+            self.retry_scheduled = true;
+            self.queue.schedule(at, Ev::UploadRetry { epoch: self.boot_epoch });
+        }
+    }
+
+    fn on_upload_retry(&mut self, now: SimTime, epoch: u32, shard: &collector::ShardHandle<'_>) {
+        if epoch != self.boot_epoch {
+            return; // stale: the reboot cleared the flag and power-on re-pumps
+        }
+        self.retry_scheduled = false;
+        if self.gateway.is_powered() {
+            self.pump(now, shard);
+        }
+    }
+
+    fn on_upload_flush(&mut self, now: SimTime, shard: &collector::ShardHandle<'_>) {
+        if self.gateway.is_powered() {
+            self.flush(now, shard);
+        }
+        let next = now + SimDuration::from_hours(6);
+        if next < self.windows.span.end {
+            self.queue.schedule(next, Ev::UploadFlush);
+        }
+    }
+
+    /// The study is over: seal the remainder (plus a carrier batch for any
+    /// still-undelivered gap declarations) and drain the spool. Scenario
+    /// fault windows end inside the span, so the path is clear by now; if
+    /// the collector still announces downtime, its nack says when to retry.
+    fn final_drain(&mut self, end: SimTime, shard: &collector::ShardHandle<'_>) {
+        let router = self.gateway.id;
+        let up = self.upload_queue.as_mut().expect("final_drain runs in fault mode only");
+        up.seal(&mut self.out);
+        up.seal_gap_carrier();
+        let mut at = self.wan_faults.next_clear(end);
+        loop {
+            let up = self.upload_queue.as_mut().expect("fault mode");
+            let Some(a) = up.attempt() else { break };
+            match shard.ingest_upload(at, router, a.seq, a.attempt, a.gaps, a.records) {
+                // A downtime window is half-open, so its end is strictly
+                // after `at`: the loop always advances and terminates.
+                UploadOutcome::Down { retry_at } => at = retry_at,
+                _ => up.ack_front(),
+            }
+        }
     }
 
     /// Run to the end of the span, uploading records to `collector`.
@@ -228,10 +423,12 @@ impl<'a> HomeSim<'a> {
     pub fn run(mut self, collector: &Collector) {
         let shard = collector.shard_handle(self.gateway.id);
         let end = self.windows.span.end;
+        let threshold =
+            self.upload_queue.as_ref().map_or(FLUSH_THRESHOLD, |u| u.config().batch_records);
         while let Some((now, ev)) = self.queue.pop_if_before(end) {
-            self.handle(now, ev);
-            if self.out.len() >= FLUSH_THRESHOLD {
-                self.flush(&shard);
+            self.handle(now, ev, &shard);
+            if self.out.len() >= threshold {
+                self.flush(now, &shard);
             }
         }
         // Study over: tear down flows so their records are emitted.
@@ -240,14 +437,17 @@ impl<'a> HomeSim<'a> {
             monitor.finalize(end);
             self.out.extend(monitor.drain());
         }
-        self.flush(&shard);
+        match self.upload_queue.is_some() {
+            false => self.flush(end, &shard),
+            true => self.final_drain(end, &shard),
+        }
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev) {
+    fn handle(&mut self, now: SimTime, ev: Ev, shard: &collector::ShardHandle<'_>) {
         match ev {
-            Ev::PowerOn => self.on_power_on(now),
+            Ev::PowerOn => self.on_power_on(now, shard),
             Ev::PowerOff => self.on_power_off(now),
-            Ev::Heartbeat { epoch } => self.on_heartbeat(now, epoch),
+            Ev::Heartbeat { epoch } => self.on_heartbeat(now, epoch, shard),
             Ev::UptimeReport => self.on_uptime(now),
             Ev::CapacityProbe => self.on_capacity_probe(now),
             Ev::Census => self.on_census(now),
@@ -262,10 +462,17 @@ impl<'a> HomeSim<'a> {
                 self.queue.schedule(now + SimDuration::from_hours(1), Ev::NatSweep);
             }
             Ev::LatencyProbe => self.on_latency_probe(now),
+            Ev::UploadRetry { epoch } => self.on_upload_retry(now, epoch, shard),
+            Ev::UploadFlush => self.on_upload_flush(now, shard),
+            Ev::FlashWipe => {
+                if let Some(up) = self.upload_queue.as_mut() {
+                    up.wipe(&mut self.out);
+                }
+            }
         }
     }
 
-    fn on_power_on(&mut self, now: SimTime) {
+    fn on_power_on(&mut self, now: SimTime, shard: &collector::ShardHandle<'_>) {
         self.gateway.power_on(now);
         self.up_link.reset(now);
         self.down_link.reset(now);
@@ -280,12 +487,19 @@ impl<'a> HomeSim<'a> {
             now + SimDuration::from_secs(self.rng_heartbeat.uniform_int(5, 65)),
             Ev::Heartbeat { epoch: self.boot_epoch },
         );
+        // Anything spooled from before the outage uploads at boot (any
+        // in-flight retry from the previous boot was invalidated by the
+        // epoch bump, so this is the path that resumes delivery).
+        if self.upload_queue.as_ref().is_some_and(Uploader::has_backlog) {
+            self.pump(now, shard);
+        }
     }
 
     fn on_power_off(&mut self, now: SimTime) {
         self.abort_flows(now);
         self.gateway.power_off(now);
         self.boot_epoch += 1;
+        self.retry_scheduled = false;
         for state in &mut self.device_state {
             state.online = false;
             state.band = None;
@@ -301,7 +515,7 @@ impl<'a> HomeSim<'a> {
         self.uploader_active = false;
     }
 
-    fn on_heartbeat(&mut self, now: SimTime, epoch: u32) {
+    fn on_heartbeat(&mut self, now: SimTime, epoch: u32, shard: &collector::ShardHandle<'_>) {
         if !self.gateway.is_powered() || epoch != self.boot_epoch {
             return; // stale event from a previous boot
         }
@@ -322,10 +536,21 @@ impl<'a> HomeSim<'a> {
                     hb.emit_into(self.cfg.wan_addr, &mut wire);
                     // Collector-side parse: only validated packets count.
                     if let Ok((parsed, _)) = Heartbeat::parse(&wire) {
-                        self.out.push(Record::Heartbeat(HeartbeatRecord {
+                        let rec = HeartbeatRecord {
                             router: parsed.router,
                             at: at + self.wan.transit_delay,
-                        }));
+                        };
+                        if self.upload_queue.is_some() {
+                            // Fault mode: heartbeats are datagrams, handed
+                            // to the collector on arrival (and dropped by
+                            // it during announced downtime) rather than
+                            // spooled — that asymmetry is what makes
+                            // collector outages visible as correlated
+                            // heartbeat silence while batch data survives.
+                            shard.ingest_heartbeat(rec);
+                        } else {
+                            self.out.push(Record::Heartbeat(rec));
+                        }
                     }
                 }
             }
@@ -337,7 +562,8 @@ impl<'a> HomeSim<'a> {
     fn on_uptime(&mut self, now: SimTime) {
         if self.windows.uptime.contains(now) && self.gateway.is_powered() && self.is_isp_up(now)
         {
-            self.out.push(Record::Uptime(self.gateway.uptime_report(now)));
+            let rec = Record::Uptime(self.gateway.uptime_report(now));
+            self.emit(now, rec);
         }
         let next = now + SimDuration::from_hours(12);
         if next < self.windows.span.end {
@@ -377,13 +603,16 @@ impl<'a> HomeSim<'a> {
             let up_est = shaperprobe::probe_link(&mut up, now, &mut self.rng_probe);
             let down_est = shaperprobe::probe_link(&mut down, now, &mut self.rng_probe);
             if let (Some(up_est), Some(down_est)) = (up_est, down_est) {
-                self.out.push(Record::Capacity(CapacityRecord {
-                    router: self.gateway.id,
-                    at: now,
-                    down_bps: down_est.bps,
-                    up_bps: up_est.bps,
-                    shaping_detected: up_est.shaping_detected || down_est.shaping_detected,
-                }));
+                self.emit(
+                    now,
+                    Record::Capacity(CapacityRecord {
+                        router: self.gateway.id,
+                        at: now,
+                        down_bps: down_est.bps,
+                        up_bps: up_est.bps,
+                        shaping_detected: up_est.shaping_detected || down_est.shaping_detected,
+                    }),
+                );
             }
         }
         let next = now + SimDuration::from_hours(12);
@@ -404,7 +633,7 @@ impl<'a> HomeSim<'a> {
                 &self.wan,
                 &mut self.rng_probe,
             ) {
-                self.out.push(Record::Latency(record));
+                self.emit(now, Record::Latency(record));
             }
         }
         let next = now + SimDuration::from_hours(1);
@@ -416,7 +645,8 @@ impl<'a> HomeSim<'a> {
     fn on_census(&mut self, now: SimTime) {
         if self.windows.devices.contains(now) && self.gateway.is_powered() && self.is_isp_up(now)
         {
-            self.out.push(Record::DeviceCensus(self.gateway.census(now)));
+            let census = Record::DeviceCensus(self.gateway.census(now));
+            self.emit(now, census);
             // Per-device association reports with anonymized MACs.
             let anonymizer = Anonymizer::new(
                 DetRng::new(self.rng_presence.seed()).derive("assoc-key").seed(),
@@ -431,12 +661,15 @@ impl<'a> HomeSim<'a> {
                     (_, Some(Band::Ghz5)) => Medium::Wireless5,
                     _ => Medium::Wireless24,
                 };
-                self.out.push(Record::Association(AssociationRecord {
-                    router: self.gateway.id,
-                    at: now,
-                    device: anonymizer.mac(device.mac),
-                    medium,
-                }));
+                self.emit(
+                    now,
+                    Record::Association(AssociationRecord {
+                        router: self.gateway.id,
+                        at: now,
+                        device: anonymizer.mac(device.mac),
+                        medium,
+                    }),
+                );
             }
         }
         let next = now + SimDuration::from_hours(1);
@@ -456,7 +689,7 @@ impl<'a> HomeSim<'a> {
                     &anonymizer,
                     &mut self.rng_scan,
                 ) {
-                    self.out.push(Record::WifiScan(record));
+                    self.emit(now, Record::WifiScan(record));
                     // Knocked-off stations reassociate shortly.
                     for mac in dropped {
                         if let Some(idx) =
@@ -782,6 +1015,7 @@ impl<'a> HomeSim<'a> {
         };
         let window = now.align_down(SimDuration::from_secs(1));
         let mut drained_up = 0;
+        let mut skew_from = None;
         if let Some(monitor) = self.monitor.as_mut() {
             for progress in &outcome.progress {
                 drained_up += progress.bytes_up;
@@ -793,8 +1027,12 @@ impl<'a> HomeSim<'a> {
                 monitor.on_flow_end(now, flow.id);
             }
             if !outcome.completed.is_empty() {
+                skew_from = Some(self.out.len());
                 self.out.extend(monitor.drain());
             }
+        }
+        if let Some(from) = skew_from {
+            self.apply_skew_from(now, from);
         }
         if self.uploader_active
             && outcome.completed.iter().any(|f| f.kind == AppKind::BulkUpload)
@@ -843,6 +1081,8 @@ mod tests {
             zone: &zone,
             windows: &windows,
             seed: 42,
+            reliable_upload: false,
+            faults: None,
         });
         sim.run(&collector);
         collector.snapshot()

@@ -3,7 +3,8 @@
 
 use crate::homesim::{HomeSim, SimParams};
 use collector::windows::{self, Window};
-use collector::{Collector, Datasets, RouterMeta};
+use collector::{Collector, Datasets, RouterMeta, UploadCounters};
+use faultlab::{FaultPlan, FaultScenario};
 use firmware::records::RouterId;
 use household::domains::DomainUniverse;
 use household::home::{build_deployment, HomeConfig};
@@ -75,6 +76,10 @@ pub struct StudyConfig {
     /// Collection-infrastructure outage windows (§3.3 failure injection):
     /// records arriving during one are lost at the server.
     pub collector_outages: Vec<Window>,
+    /// Fault scenario to compile and inject (see [`faultlab`]). `None`
+    /// disengages the fault subsystem entirely: the run is byte-identical
+    /// to one from a build without faultlab at all.
+    pub faults: Option<FaultScenario>,
 }
 
 impl StudyConfig {
@@ -85,6 +90,7 @@ impl StudyConfig {
             windows: StudyWindows::table2(),
             threads: default_threads(),
             collector_outages: Vec::new(),
+            faults: None,
         }
     }
 
@@ -100,6 +106,7 @@ impl StudyConfig {
             windows: StudyWindows::scaled(span),
             threads: default_threads(),
             collector_outages: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -129,6 +136,14 @@ pub struct StudyOutput {
     pub windows: StudyWindows,
     /// Per-phase wall-clock of the run.
     pub timings: PhaseTimings,
+    /// The injected fault plan (empty when the study ran fault-free) —
+    /// ground truth for scoring the analysis-side artifact detectors.
+    pub fault_plan: FaultPlan,
+    /// Store-and-forward delivery accounting across all shards.
+    pub upload_counters: UploadCounters,
+    /// Heartbeat datagrams the collector dropped during announced
+    /// downtime.
+    pub dropped_in_downtime: u64,
 }
 
 impl StudyWindows {
@@ -157,10 +172,23 @@ impl StudyOutput {
 /// the collected data sets.
 pub fn run_study(config: &StudyConfig) -> StudyOutput {
     let homes = build_deployment(config.seed);
+    // Compile the fault scenario (if any) against the actual deployment.
+    // An empty plan keeps every home on the legacy direct-flush path.
+    let fault_plan = match config.faults {
+        Some(scenario) => {
+            let routers: Vec<RouterId> = homes.iter().map(|h| RouterId(h.id.0)).collect();
+            FaultPlan::scenario(scenario, config.seed, config.windows.span, &routers)
+        }
+        None => FaultPlan::empty(),
+    };
+    let reliable_upload = !fault_plan.is_empty();
     let universe = DomainUniverse::standard();
     let zone = universe.build_zone();
     let collector = Collector::new();
     collector.set_outages(config.collector_outages.clone());
+    if !fault_plan.collector_downtime.is_empty() {
+        collector.set_downtime(fault_plan.collector_downtime.clone());
+    }
     for home in &homes {
         collector.register(RouterMeta {
             router: RouterId(home.id.0),
@@ -184,6 +212,8 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
                     zone: &zone,
                     windows: &config.windows,
                     seed: config.seed,
+                    reliable_upload,
+                    faults: fault_plan.for_router(RouterId(homes[idx].id.0)),
                 });
                 sim.run(&collector);
             });
@@ -194,6 +224,8 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     // Every home is done uploading: consume the collector instead of
     // cloning 33M records out of it.
     let snap_start = std::time::Instant::now();
+    let upload_counters = collector.upload_counters();
+    let dropped_in_downtime = collector.dropped_in_downtime();
     let datasets = collector.into_datasets();
     let snapshot = snap_start.elapsed();
     StudyOutput {
@@ -201,6 +233,9 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
         homes,
         windows: config.windows.clone(),
         timings: PhaseTimings { simulate, snapshot },
+        fault_plan,
+        upload_counters,
+        dropped_in_downtime,
     }
 }
 

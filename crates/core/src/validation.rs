@@ -167,6 +167,8 @@ mod tests {
             zone: &zone,
             windows: &windows,
             seed,
+            reliable_upload: false,
+            faults: None,
         })
         .run(&collector);
         let data = collector.snapshot();

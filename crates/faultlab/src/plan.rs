@@ -1,0 +1,173 @@
+//! The fault plan: pure data describing every injected failure.
+
+use collector::Window;
+use firmware::records::RouterId;
+use simnet::impair::ImpairmentSchedule;
+use simnet::time::{SimDuration, SimTime};
+
+/// One injected power cycle: the router loses power at `at` for
+/// `duration`. A flash-wipe cycle additionally destroys the uploader's
+/// spool and unsealed records on the way down — the "bricked and
+/// re-flashed" failure the deployment knew well.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCycle {
+    /// When the power goes out.
+    pub at: SimTime,
+    /// How long it stays out.
+    pub duration: SimDuration,
+    /// Whether the reboot wipes flash storage.
+    pub flash_wipe: bool,
+}
+
+impl PowerCycle {
+    /// When the power comes back.
+    pub fn until(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// A clock-skew fault: within `window`, the gateway's clock runs ahead by
+/// `offset`, so the records it *stamps itself* carry skewed timestamps.
+/// Heartbeats are immune — their timestamp is assigned collector-side on
+/// arrival, which is exactly why the paper's availability analyses lean on
+/// them rather than on router-stamped logs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSkew {
+    /// When the clock is wrong.
+    pub window: Window,
+    /// How far ahead it runs.
+    pub offset: SimDuration,
+}
+
+/// Everything that goes wrong for one home.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeFaults {
+    /// The afflicted router.
+    pub router: RouterId,
+    /// Injected power cycles, in time order, non-overlapping.
+    pub power_cycles: Vec<PowerCycle>,
+    /// Impairment on the router's WAN *upload* path (batch uploads draw
+    /// their fate from this schedule; an empty schedule never draws).
+    pub wan: ImpairmentSchedule,
+    /// Clock skew, if this home's gateway drifts.
+    pub clock_skew: Option<ClockSkew>,
+}
+
+impl HomeFaults {
+    /// A fault entry that injects nothing (useful as a building block).
+    pub fn none(router: RouterId) -> HomeFaults {
+        HomeFaults {
+            router,
+            power_cycles: Vec::new(),
+            wan: ImpairmentSchedule::none(),
+            clock_skew: None,
+        }
+    }
+
+    /// Does this entry actually inject anything?
+    pub fn is_empty(&self) -> bool {
+        self.power_cycles.is_empty() && self.wan.is_empty() && self.clock_skew.is_none()
+    }
+}
+
+/// The complete fault plan for one study run.
+///
+/// `homes` is kept sorted by router ID so per-home lookup during study
+/// setup is a binary search. An empty plan means the fault subsystem is
+/// entirely disengaged — the study runner must produce byte-identical
+/// output to a build without faultlab at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Windows during which the collection infrastructure is down. Ground
+    /// truth for the artifacts detector's precision/recall score.
+    pub collector_downtime: Vec<Window>,
+    /// Per-home fault entries, sorted by router ID.
+    pub homes: Vec<HomeFaults>,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from parts, normalizing the sort invariants.
+    pub fn new(mut collector_downtime: Vec<Window>, mut homes: Vec<HomeFaults>) -> FaultPlan {
+        collector_downtime.sort_by_key(|w| (w.start, w.end));
+        homes.retain(|h| !h.is_empty());
+        homes.sort_by_key(|h| h.router);
+        for h in &mut homes {
+            h.power_cycles.sort_by_key(|c| c.at);
+        }
+        FaultPlan { collector_downtime, homes }
+    }
+
+    /// Does the plan inject nothing at all?
+    pub fn is_empty(&self) -> bool {
+        self.collector_downtime.is_empty() && self.homes.iter().all(HomeFaults::is_empty)
+    }
+
+    /// This router's faults, if it has any.
+    pub fn for_router(&self, router: RouterId) -> Option<&HomeFaults> {
+        self.homes
+            .binary_search_by_key(&router, |h| h.router)
+            .ok()
+            .map(|i| &self.homes[i])
+    }
+
+    /// Total records the plan can destroy is not knowable up front, but
+    /// the number of injected flash wipes is — useful for sanity checks.
+    pub fn flash_wipe_count(&self) -> usize {
+        self.homes
+            .iter()
+            .map(|h| h.power_cycles.iter().filter(|c| c.flash_wipe).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::empty().is_empty());
+        assert!(FaultPlan::new(Vec::new(), vec![HomeFaults::none(RouterId(1))]).is_empty());
+    }
+
+    #[test]
+    fn new_normalizes_and_lookup_finds() {
+        let mut h9 = HomeFaults::none(RouterId(9));
+        h9.power_cycles.push(PowerCycle {
+            at: t(100),
+            duration: SimDuration::from_mins(10),
+            flash_wipe: true,
+        });
+        h9.power_cycles.insert(
+            0,
+            PowerCycle { at: t(200), duration: SimDuration::from_mins(5), flash_wipe: false },
+        );
+        let mut h2 = HomeFaults::none(RouterId(2));
+        h2.clock_skew =
+            Some(ClockSkew { window: Window { start: t(0), end: t(50) }, offset: SimDuration::from_secs(5) });
+        let plan = FaultPlan::new(
+            vec![Window { start: t(500), end: t(600) }, Window { start: t(10), end: t(20) }],
+            vec![h9, HomeFaults::none(RouterId(5)), h2],
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.homes.len(), 2, "no-op entries dropped");
+        assert_eq!(plan.homes[0].router, RouterId(2), "sorted by router");
+        assert_eq!(plan.collector_downtime[0].start, t(10), "windows sorted");
+        assert_eq!(plan.for_router(RouterId(9)).unwrap().power_cycles[0].at, t(100));
+        assert!(plan.for_router(RouterId(5)).is_none());
+        assert_eq!(plan.flash_wipe_count(), 1);
+        assert_eq!(
+            plan.for_router(RouterId(9)).unwrap().power_cycles[0].until(),
+            t(110)
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The shipped fault scenarios, compiled deterministically from a seed.
+//!
+//! Compilation is slot-based: the usable portion of the study span is cut
+//! into equal slots, one fault event per slot, placed uniformly inside it.
+//! That guarantees non-overlapping windows by construction (no rejection
+//! sampling, no draw-order coupling) and scales event counts with the span
+//! so `quick` studies and the full 197-day run both get meaningful
+//! scenarios. Every draw comes from a stream derived as
+//! `root → "faultlab" → <scenario> [→ router]`, so plans for different
+//! scenarios or routers never perturb one another.
+
+use crate::plan::{ClockSkew, FaultPlan, HomeFaults, PowerCycle};
+use collector::Window;
+use firmware::records::RouterId;
+use simnet::impair::{ImpairmentSchedule, ImpairmentWindow};
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+
+/// A named, shipped fault scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScenario {
+    /// Loss and latency spikes on every router's WAN upload path. The
+    /// store-and-forward uploader must deliver every batch anyway: the
+    /// resulting datasets are identical to a fault-free run.
+    LossyWan,
+    /// The collection server flaps: repeated downtime windows. Batch
+    /// uploads are nacked and retried (zero loss); heartbeat datagrams
+    /// die, producing the correlated gaps `analysis::artifacts` detects.
+    CollectorFlap,
+    /// Routers misbehave: extra power cycles, some flash-wiping the spool
+    /// (accounted on the gap ledger), plus mild clock skew on a minority
+    /// of gateways.
+    RouterChurn,
+}
+
+impl FaultScenario {
+    /// Every shipped scenario.
+    pub const ALL: [FaultScenario; 3] =
+        [FaultScenario::LossyWan, FaultScenario::CollectorFlap, FaultScenario::RouterChurn];
+
+    /// The scenario's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::LossyWan => "lossy-wan",
+            FaultScenario::CollectorFlap => "collector-flap",
+            FaultScenario::RouterChurn => "router-churn",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FaultScenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultScenario, String> {
+        FaultScenario::ALL
+            .into_iter()
+            .find(|sc| sc.name() == s)
+            .ok_or_else(|| format!("unknown fault scenario '{s}' (expected lossy-wan, collector-flap, or router-churn)"))
+    }
+}
+
+/// One fault slot: `[start, end)` with room for an event of `max_len`.
+struct Slot {
+    start: SimTime,
+    len: SimDuration,
+}
+
+/// Cut the central portion of `span` into `n` equal slots.
+fn slots(span: Window, n: usize) -> Vec<Slot> {
+    let total = span.duration();
+    // Faults live in the middle 80% of the span, so the run's edges stay
+    // clean (the final drain happens after the span and must find the
+    // path clear).
+    let usable_start = span.start + SimDuration::from_micros(total.as_micros() / 10);
+    let usable = SimDuration::from_micros(total.as_micros() * 8 / 10);
+    let slot = SimDuration::from_micros(usable.as_micros() / n as u64);
+    (0..n).map(|i| Slot { start: usable_start + slot * (i as u64), len: slot }).collect()
+}
+
+/// Place a window of `dur` uniformly inside the slot (clamped to fit).
+fn place(slot: &Slot, dur: SimDuration, rng: &mut DetRng) -> Window {
+    let dur = SimDuration::from_micros(dur.as_micros().min(slot.len.as_micros().saturating_sub(1)));
+    let slack = slot.len.as_micros() - dur.as_micros();
+    let offset = SimDuration::from_micros(rng.uniform_int(0, slack.max(1)));
+    let start = slot.start + offset;
+    Window { start, end: start + dur }
+}
+
+fn minutes_between(lo: u64, hi: u64, rng: &mut DetRng) -> SimDuration {
+    SimDuration::from_mins(rng.uniform_int(lo, hi + 1))
+}
+
+/// How many fault events a span earns: one per `days_per` days, clamped.
+fn scaled_count(span: Window, days_per: u64, lo: usize, hi: usize) -> usize {
+    let days = span.duration().as_micros() / SimDuration::from_days(1).as_micros();
+    ((days / days_per) as usize).clamp(lo, hi)
+}
+
+impl FaultPlan {
+    /// Compile a shipped scenario for the given seed, study span, and
+    /// deployment. Pure: same inputs, same plan, bit for bit.
+    pub fn scenario(
+        scenario: FaultScenario,
+        seed: u64,
+        span: Window,
+        routers: &[RouterId],
+    ) -> FaultPlan {
+        let root = DetRng::new(seed).derive("faultlab").derive(scenario.name());
+        match scenario {
+            FaultScenario::CollectorFlap => collector_flap(span, root),
+            FaultScenario::LossyWan => lossy_wan(span, root, routers),
+            FaultScenario::RouterChurn => router_churn(span, root, routers),
+        }
+    }
+}
+
+/// Repeated collector downtime: one 45–120 minute window every ~4 days
+/// (at least 2, at most 12). No per-home faults.
+fn collector_flap(span: Window, mut rng: DetRng) -> FaultPlan {
+    let n = scaled_count(span, 4, 2, 12);
+    let downtime = slots(span, n)
+        .iter()
+        .map(|s| {
+            let dur = minutes_between(45, 120, &mut rng);
+            place(s, dur, &mut rng)
+        })
+        .collect();
+    FaultPlan::new(downtime, Vec::new())
+}
+
+/// Per-router WAN upload impairment: every router gets loss/latency
+/// windows (one every ~5 days, 30–180 minutes, loss 0.3–0.9, extra delay
+/// 100–2000 ms). No collector downtime.
+fn lossy_wan(span: Window, rng: DetRng, routers: &[RouterId]) -> FaultPlan {
+    let n = scaled_count(span, 5, 2, 10);
+    let homes = routers
+        .iter()
+        .map(|&router| {
+            let mut hrng = rng.derive_indexed("home", u64::from(router.0));
+            let windows = slots(span, n)
+                .iter()
+                .map(|s| {
+                    let dur = minutes_between(30, 180, &mut hrng);
+                    let w = place(s, dur, &mut hrng);
+                    ImpairmentWindow {
+                        start: w.start,
+                        end: w.end,
+                        loss_prob: hrng.uniform_range(0.3, 0.9),
+                        extra_delay: SimDuration::from_millis(hrng.uniform_int(100, 2_001)),
+                    }
+                })
+                .collect();
+            HomeFaults {
+                router,
+                power_cycles: Vec::new(),
+                wan: ImpairmentSchedule::new(windows),
+                clock_skew: None,
+            }
+        })
+        .collect();
+    FaultPlan::new(Vec::new(), homes)
+}
+
+/// Router misbehavior: ~80% of routers get extra power cycles (one every
+/// ~3 days, 5–120 minutes, 25% of them flash wipes); ~25% get a clock
+/// that runs 1–30 s fast for one slot of the span.
+fn router_churn(span: Window, rng: DetRng, routers: &[RouterId]) -> FaultPlan {
+    let n = scaled_count(span, 3, 1, 20);
+    let homes = routers
+        .iter()
+        .filter_map(|&router| {
+            let mut hrng = rng.derive_indexed("home", u64::from(router.0));
+            let mut faults = HomeFaults::none(router);
+            if hrng.chance(0.8) {
+                faults.power_cycles = slots(span, n)
+                    .iter()
+                    .map(|s| {
+                        let dur = minutes_between(5, 120, &mut hrng);
+                        let w = place(s, dur, &mut hrng);
+                        PowerCycle {
+                            at: w.start,
+                            duration: w.duration(),
+                            flash_wipe: hrng.chance(0.25),
+                        }
+                    })
+                    .collect();
+            }
+            if hrng.chance(0.25) {
+                let slot_list = slots(span, n.max(2));
+                let slot = &slot_list[hrng.index(slot_list.len())];
+                faults.clock_skew = Some(ClockSkew {
+                    window: Window { start: slot.start, end: slot.start + slot.len },
+                    offset: SimDuration::from_secs(hrng.uniform_int(1, 31)),
+                });
+            }
+            (!faults.is_empty()).then_some(faults)
+        })
+        .collect();
+    FaultPlan::new(Vec::new(), homes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(days: u64) -> Window {
+        Window { start: SimTime::EPOCH, end: SimTime::EPOCH + SimDuration::from_days(days) }
+    }
+
+    fn deployment(n: u32) -> Vec<RouterId> {
+        (1..=n).map(RouterId).collect()
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        for sc in FaultScenario::ALL {
+            let a = FaultPlan::scenario(sc, 42, span(20), &deployment(30));
+            let b = FaultPlan::scenario(sc, 42, span(20), &deployment(30));
+            assert_eq!(a, b, "{sc} not deterministic");
+            let c = FaultPlan::scenario(sc, 43, span(20), &deployment(30));
+            assert_ne!(a, c, "{sc} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn collector_flap_windows_inside_span_and_disjoint() {
+        let plan = FaultPlan::scenario(FaultScenario::CollectorFlap, 7, span(20), &deployment(10));
+        assert!(plan.homes.is_empty());
+        let w = &plan.collector_downtime;
+        assert!(w.len() >= 2);
+        for win in w {
+            assert!(win.start >= span(20).start && win.end <= span(20).end);
+            assert!(win.duration() >= SimDuration::from_mins(30), "long enough to detect");
+        }
+        for pair in w.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "downtime windows overlap");
+        }
+    }
+
+    #[test]
+    fn lossy_wan_covers_every_router_with_partial_loss() {
+        let routers = deployment(12);
+        let plan = FaultPlan::scenario(FaultScenario::LossyWan, 7, span(20), &routers);
+        assert!(plan.collector_downtime.is_empty());
+        assert_eq!(plan.homes.len(), routers.len());
+        for h in &plan.homes {
+            assert!(!h.wan.is_empty());
+            for w in h.wan.windows() {
+                assert!((0.3..0.9).contains(&w.loss_prob), "loss never total: retries converge");
+                assert!(w.extra_delay >= SimDuration::from_millis(100));
+            }
+        }
+    }
+
+    #[test]
+    fn router_churn_injects_cycles_wipes_and_skew() {
+        let routers = deployment(40);
+        let plan = FaultPlan::scenario(FaultScenario::RouterChurn, 7, span(20), &routers);
+        assert!(plan.collector_downtime.is_empty());
+        assert!(!plan.homes.is_empty());
+        assert!(plan.flash_wipe_count() > 0, "churn without wipes proves nothing");
+        assert!(plan.homes.iter().any(|h| h.clock_skew.is_some()));
+        for h in &plan.homes {
+            for pair in h.power_cycles.windows(2) {
+                assert!(pair[0].until() <= pair[1].at, "power cycles overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in FaultScenario::ALL {
+            assert_eq!(sc.name().parse::<FaultScenario>().unwrap(), sc);
+        }
+        assert!("nonsense".parse::<FaultScenario>().is_err());
+    }
+
+    #[test]
+    fn short_quick_spans_still_compile() {
+        for sc in FaultScenario::ALL {
+            let plan = FaultPlan::scenario(sc, 3, span(2), &deployment(5));
+            // Tiny spans still produce a usable plan (or at least don't
+            // panic); collector-flap always has its minimum two windows.
+            if sc == FaultScenario::CollectorFlap {
+                assert_eq!(plan.collector_downtime.len(), 2);
+            }
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //!   statistics, flow records, DNS samples, and MAC sightings (Traffic set);
 //! * [`anonymize`] — the §3.2.2 privacy rules: OUI-preserving MAC hashing,
 //!   whitelist-or-token domain reporting, IP obfuscation;
-//! * [`records`] — the upload schema, one type per data set of Table 2.
+//! * [`records`] — the upload schema, one type per data set of Table 2;
+//! * [`uploader`] — the store-and-forward upload queue: sequence-numbered
+//!   batches, capped exponential backoff with jitter, bounded spill with
+//!   oldest-first eviction, and gap accounting for flash-wipe reboots.
 //!
 //! Nothing in this crate reads simulator-internal ground truth: every
 //! record is derived from what a real gateway could observe at its own
@@ -32,6 +35,7 @@ pub mod latency;
 pub mod records;
 pub mod shaperprobe;
 pub mod traffic;
+pub mod uploader;
 
 pub use anonymize::{AnonMac, Anonymizer, ReportedDomain};
 pub use gateway::Gateway;

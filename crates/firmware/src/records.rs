@@ -296,6 +296,30 @@ impl Record {
         }
     }
 
+    /// Shift every timestamp in the record forward by `offset` — the
+    /// clock-skew fault: a gateway whose clock runs ahead stamps its
+    /// records in its own skewed time, and the collector stores them as
+    /// stamped. Heartbeats are exempt in practice because their `at` is
+    /// assigned collector-side on arrival.
+    pub fn shift_time(&mut self, offset: SimDuration) {
+        match self {
+            Record::Heartbeat(r) => r.at = r.at + offset,
+            Record::Uptime(r) => r.at = r.at + offset,
+            Record::Capacity(r) => r.at = r.at + offset,
+            Record::DeviceCensus(r) => r.at = r.at + offset,
+            Record::WifiScan(r) => r.at = r.at + offset,
+            Record::PacketStats(r) => r.at = r.at + offset,
+            Record::Flow(r) => {
+                r.started = r.started + offset;
+                r.ended = r.ended + offset;
+            }
+            Record::DnsSample(r) => r.at = r.at + offset,
+            Record::MacSighting(r) => r.first_seen = r.first_seen + offset,
+            Record::Association(r) => r.at = r.at + offset,
+            Record::Latency(r) => r.at = r.at + offset,
+        }
+    }
+
     /// The record's timestamp (collection-relevant instant).
     pub fn at(&self) -> SimTime {
         match self {

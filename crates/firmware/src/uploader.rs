@@ -1,0 +1,542 @@
+//! Store-and-forward upload queue — the gateway's answer to an unreliable
+//! path to the collector.
+//!
+//! The real BISmark firmware spooled measurement files on flash and pushed
+//! them with a retrying uploader; §3.3 of the paper concedes that "various
+//! outages and failures" of both routers and the collection infrastructure
+//! shaped every dataset. This module reproduces that delivery layer:
+//!
+//! * records accumulate in the caller's buffer and are **sealed** into
+//!   sequence-numbered batches (seq starts at 1, never reused);
+//! * sealed batches wait in a spool and are offered to the collector
+//!   oldest-first; a failed attempt backs off exponentially (capped, with
+//!   jitter drawn from the caller's deterministic stream);
+//! * the spool is bounded: when it overflows, the *oldest* batch is evicted
+//!   and the loss is accounted for as a [`GapDecl`] instead of vanishing;
+//! * a flash-wipe reboot loses the spool and any unsealed records, again
+//!   with full gap accounting. The sequence counter and the pending gap
+//!   declarations survive a wipe — they model the tiny NVRAM journal a real
+//!   uploader keeps outside the wiped filesystem.
+//!
+//! Gap declarations ride along with the next successful upload so the
+//! collector can advance its per-router watermark past the missing batches
+//! and record the loss in its gap ledger — lost data is *declared*, never
+//! silent.
+//!
+//! The steady state (seal → deliver → ack) recycles batch buffers through a
+//! free pool and touches the heap zero times per cycle; this is enforced by
+//! the counting-allocator test in `tests/alloc.rs`, the same guarantee the
+//! heartbeat wire path carries.
+
+use crate::records::Record;
+use serde::{Deserialize, Serialize};
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Why a range of batches never reached the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GapCause {
+    /// The spool hit its bound and the oldest batch was evicted.
+    Evicted,
+    /// A flash-wipe reboot destroyed the spooled data.
+    FlashWipe,
+}
+
+/// A declaration that the batches `first_seq..=last_seq` are gone for good.
+///
+/// Sent to the collector with subsequent uploads; applied idempotently
+/// there, advancing the router's watermark past the hole and producing one
+/// gap-ledger row per declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapDecl {
+    /// First lost batch (inclusive).
+    pub first_seq: u64,
+    /// Last lost batch (inclusive).
+    pub last_seq: u64,
+    /// Records lost across the declared range.
+    pub records_lost: u64,
+    /// Earliest record timestamp in the lost range.
+    pub from: SimTime,
+    /// Latest record timestamp in the lost range.
+    pub to: SimTime,
+    /// What destroyed the data.
+    pub cause: GapCause,
+}
+
+/// Tuning knobs for the upload queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UploaderConfig {
+    /// Seal a batch once this many records have accumulated. (The caller
+    /// owns the accumulation buffer; this is the threshold it checks.)
+    pub batch_records: usize,
+    /// Evict oldest batches once the spool holds more than this many
+    /// records. Models the flash partition budget.
+    pub max_spill_records: usize,
+    /// First retry delay after a failed attempt.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: SimDuration,
+    /// Backoff jitter: the delay is drawn uniformly from
+    /// `[d·(1-j), d·(1+j))` to de-synchronize a fleet retrying into the
+    /// same recovering collector.
+    pub jitter_frac: f64,
+}
+
+impl Default for UploaderConfig {
+    fn default() -> UploaderConfig {
+        UploaderConfig {
+            batch_records: 4_000,
+            max_spill_records: 400_000,
+            backoff_base: SimDuration::from_secs(30),
+            backoff_cap: SimDuration::from_mins(15),
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+/// Delivery counters, visible to tests and the study summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UploaderStats {
+    /// Batches sealed from the accumulation buffer.
+    pub sealed_batches: u64,
+    /// Batches acknowledged by the collector (including duplicate acks).
+    pub acked_batches: u64,
+    /// Upload attempts that failed (lost in transit or nacked).
+    pub failed_attempts: u64,
+    /// Batches evicted by the spool bound.
+    pub evicted_batches: u64,
+    /// Records lost to eviction.
+    pub evicted_records: u64,
+    /// Batches destroyed by flash wipes.
+    pub wiped_batches: u64,
+    /// Records lost to flash wipes.
+    pub wiped_records: u64,
+}
+
+#[derive(Debug)]
+struct SealedBatch {
+    seq: u64,
+    attempt: u32,
+    /// Record count at seal time. The live `records` length cannot serve
+    /// for accounting: the collector drains the buffer on acceptance (and
+    /// may move its storage entirely when buffering ahead of the
+    /// watermark), so by ack time it is empty.
+    sealed_len: usize,
+    records: Vec<Record>,
+}
+
+/// One upload attempt's view of the queue head: everything the transport
+/// needs to hand the collector. `records` is drained by the collector on
+/// acceptance; the caller then reports the outcome via
+/// [`Uploader::ack_front`] or [`Uploader::fail_front`].
+#[derive(Debug)]
+pub struct UploadAttempt<'a> {
+    /// Sequence number of the batch being offered.
+    pub seq: u64,
+    /// How many times this batch has already failed (0 on first try). The
+    /// collector uses a non-zero value to count retried-then-accepted
+    /// uploads.
+    pub attempt: u32,
+    /// Gap declarations riding along with this upload.
+    pub gaps: &'a [GapDecl],
+    /// The batch payload.
+    pub records: &'a mut Vec<Record>,
+}
+
+/// The store-and-forward upload queue for one gateway.
+#[derive(Debug)]
+pub struct Uploader {
+    cfg: UploaderConfig,
+    spool: VecDeque<SealedBatch>,
+    spooled_records: usize,
+    next_seq: u64,
+    consecutive_failures: u32,
+    pending_gaps: Vec<GapDecl>,
+    free: Vec<Vec<Record>>,
+    stats: UploaderStats,
+}
+
+impl Uploader {
+    /// A fresh queue; the first sealed batch gets sequence number 1.
+    pub fn new(cfg: UploaderConfig) -> Uploader {
+        Uploader {
+            cfg,
+            spool: VecDeque::new(),
+            spooled_records: 0,
+            next_seq: 1,
+            consecutive_failures: 0,
+            pending_gaps: Vec::new(),
+            free: Vec::new(),
+            stats: UploaderStats::default(),
+        }
+    }
+
+    /// The configuration the queue was built with.
+    pub fn config(&self) -> &UploaderConfig {
+        &self.cfg
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> UploaderStats {
+        self.stats
+    }
+
+    /// Anything waiting to upload (batches or unsent gap declarations)?
+    pub fn has_backlog(&self) -> bool {
+        !self.spool.is_empty() || !self.pending_gaps.is_empty()
+    }
+
+    /// Sealed batches waiting in the spool.
+    pub fn spool_len(&self) -> usize {
+        self.spool.len()
+    }
+
+    /// Records across all spooled batches.
+    pub fn spooled_records(&self) -> usize {
+        self.spooled_records
+    }
+
+    /// Gap declarations not yet acknowledged by the collector.
+    pub fn pending_gaps(&self) -> &[GapDecl] {
+        &self.pending_gaps
+    }
+
+    /// Seal the caller's accumulation buffer into a sequence-numbered batch.
+    ///
+    /// The buffer's contents move into the spool; the caller gets back a
+    /// recycled (empty, pre-sized) buffer from the free pool, so the steady
+    /// state allocates nothing. An empty buffer seals nothing. Sealing may
+    /// evict the *oldest* spooled batches to honor `max_spill_records`;
+    /// evictions become pending [`GapDecl`]s.
+    pub fn seal(&mut self, buf: &mut Vec<Record>) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut records = self.free.pop().unwrap_or_default();
+        std::mem::swap(&mut records, buf);
+        let sealed_len = records.len();
+        self.spooled_records += sealed_len;
+        self.spool.push_back(SealedBatch { seq: self.next_seq, attempt: 0, sealed_len, records });
+        self.next_seq += 1;
+        self.stats.sealed_batches += 1;
+        // Spill bound: shed oldest-first, but never the batch just sealed.
+        while self.spooled_records > self.cfg.max_spill_records && self.spool.len() > 1 {
+            self.evict_oldest();
+        }
+    }
+
+    /// Seal an empty carrier batch if gap declarations are pending but no
+    /// data batch is spooled to carry them. Ensures a wipe near the end of
+    /// a run still gets its losses onto the collector's ledger.
+    pub fn seal_gap_carrier(&mut self) {
+        if !self.pending_gaps.is_empty() && self.spool.is_empty() {
+            let records = self.free.pop().unwrap_or_default();
+            self.spool.push_back(SealedBatch {
+                seq: self.next_seq,
+                attempt: 0,
+                sealed_len: 0,
+                records,
+            });
+            self.next_seq += 1;
+            self.stats.sealed_batches += 1;
+        }
+    }
+
+    /// The next upload to attempt (oldest spooled batch plus any pending
+    /// gap declarations), or `None` when the spool is empty.
+    pub fn attempt(&mut self) -> Option<UploadAttempt<'_>> {
+        let gaps = &self.pending_gaps;
+        self.spool.front_mut().map(|b| UploadAttempt {
+            seq: b.seq,
+            attempt: b.attempt,
+            gaps,
+            records: &mut b.records,
+        })
+    }
+
+    /// The collector accepted (or already had) the front batch: drop it,
+    /// recycle its buffer, clear the gap declarations it carried, and reset
+    /// the backoff ladder.
+    pub fn ack_front(&mut self) {
+        let batch = self.spool.pop_front().expect("ack with empty spool");
+        self.spooled_records -= batch.sealed_len;
+        let mut records = batch.records;
+        records.clear(); // empty already unless the ack was a duplicate
+        self.recycle(records);
+        self.pending_gaps.clear();
+        self.consecutive_failures = 0;
+        self.stats.acked_batches += 1;
+    }
+
+    /// The attempt failed (lost in transit or collector down): bump the
+    /// backoff ladder and return how long to wait before retrying.
+    pub fn fail_front(&mut self, rng: &mut DetRng) -> SimDuration {
+        if let Some(front) = self.spool.front_mut() {
+            front.attempt = front.attempt.saturating_add(1);
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.stats.failed_attempts += 1;
+        self.backoff_delay(rng)
+    }
+
+    /// A flash-wipe reboot: the spool and the caller's unsealed buffer are
+    /// destroyed. Every lost batch (including the records that were still
+    /// unsealed — they are sealed first so the loss has a sequence number)
+    /// becomes a pending [`GapDecl`] with cause [`GapCause::FlashWipe`].
+    /// The sequence counter and pending declarations survive, as a real
+    /// uploader's NVRAM journal would.
+    pub fn wipe(&mut self, buf: &mut Vec<Record>) {
+        // Seal the unsealed tail so its loss is declared, not silent.
+        if !buf.is_empty() {
+            let mut records = self.free.pop().unwrap_or_default();
+            std::mem::swap(&mut records, buf);
+            let sealed_len = records.len();
+            self.spooled_records += sealed_len;
+            self.spool.push_back(SealedBatch { seq: self.next_seq, attempt: 0, sealed_len, records });
+            self.next_seq += 1;
+            self.stats.sealed_batches += 1;
+        }
+        while let Some(batch) = self.spool.pop_front() {
+            self.spooled_records -= batch.sealed_len;
+            self.stats.wiped_batches += 1;
+            self.stats.wiped_records += batch.sealed_len as u64;
+            self.declare_lost(batch, GapCause::FlashWipe);
+        }
+        debug_assert_eq!(self.spooled_records, 0);
+        self.consecutive_failures = 0;
+    }
+
+    fn evict_oldest(&mut self) {
+        let batch = self.spool.pop_front().expect("evict with empty spool");
+        self.spooled_records -= batch.sealed_len;
+        self.stats.evicted_batches += 1;
+        self.stats.evicted_records += batch.sealed_len as u64;
+        self.declare_lost(batch, GapCause::Evicted);
+    }
+
+    fn declare_lost(&mut self, batch: SealedBatch, cause: GapCause) {
+        let (from, to) = batch
+            .records
+            .iter()
+            .fold(None, |acc: Option<(SimTime, SimTime)>, r| {
+                let at = r.at();
+                Some(acc.map_or((at, at), |(lo, hi)| (lo.min(at), hi.max(at))))
+            })
+            .unwrap_or((SimTime::EPOCH, SimTime::EPOCH));
+        // Coalesce with the previous declaration when the ranges are
+        // adjacent and share a cause (a wipe of N batches is one hole).
+        if let Some(last) = self.pending_gaps.last_mut() {
+            if last.cause == cause && last.last_seq + 1 == batch.seq {
+                last.last_seq = batch.seq;
+                last.records_lost += batch.records.len() as u64;
+                last.from = last.from.min(from);
+                last.to = last.to.max(to);
+                self.recycle(batch.records);
+                return;
+            }
+        }
+        self.pending_gaps.push(GapDecl {
+            first_seq: batch.seq,
+            last_seq: batch.seq,
+            records_lost: batch.records.len() as u64,
+            from,
+            to,
+            cause,
+        });
+        self.recycle(batch.records);
+    }
+
+    fn recycle(&mut self, mut records: Vec<Record>) {
+        records.clear();
+        if self.free.len() < 8 {
+            self.free.push(records);
+        }
+    }
+
+    fn backoff_delay(&self, rng: &mut DetRng) -> SimDuration {
+        let base = self.cfg.backoff_base.as_micros().max(1);
+        let cap = self.cfg.backoff_cap.as_micros().max(base);
+        let shift = u32::min(self.consecutive_failures.saturating_sub(1), 40);
+        let delay = base.saturating_shl(shift).min(cap);
+        let j = self.cfg.jitter_frac.clamp(0.0, 1.0);
+        let factor = 1.0 - j + 2.0 * j * rng.uniform();
+        SimDuration::from_micros(((delay as f64) * factor).max(1.0) as u64)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{RouterId, UptimeRecord};
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    fn uptime(at_min: u64) -> Record {
+        Record::Uptime(UptimeRecord {
+            router: RouterId(1),
+            at: t(at_min),
+            uptime: SimDuration::from_mins(at_min),
+        })
+    }
+
+    fn small_cfg(max_spill: usize) -> UploaderConfig {
+        UploaderConfig { batch_records: 4, max_spill_records: max_spill, ..Default::default() }
+    }
+
+    #[test]
+    fn seal_assigns_increasing_seqs_and_recycles_buffers() {
+        let mut up = Uploader::new(small_cfg(1_000));
+        let mut buf = vec![uptime(0), uptime(1)];
+        up.seal(&mut buf);
+        assert!(buf.is_empty());
+        buf.extend([uptime(2)]);
+        up.seal(&mut buf);
+        let a = up.attempt().unwrap();
+        assert_eq!((a.seq, a.attempt, a.records.len()), (1, 0, 2));
+        a.records.clear();
+        up.ack_front();
+        let b = up.attempt().unwrap();
+        assert_eq!(b.seq, 2);
+        b.records.clear();
+        up.ack_front();
+        assert!(up.attempt().is_none());
+        assert!(!up.has_backlog());
+        assert_eq!(up.stats().acked_batches, 2);
+    }
+
+    #[test]
+    fn empty_buffer_seals_nothing() {
+        let mut up = Uploader::new(small_cfg(1_000));
+        let mut buf = Vec::new();
+        up.seal(&mut buf);
+        assert_eq!(up.spool_len(), 0);
+        assert_eq!(up.stats().sealed_batches, 0);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_resets() {
+        let cfg = UploaderConfig {
+            backoff_base: SimDuration::from_secs(10),
+            backoff_cap: SimDuration::from_secs(60),
+            jitter_frac: 0.0,
+            ..small_cfg(1_000)
+        };
+        let mut up = Uploader::new(cfg);
+        let mut rng = DetRng::new(4);
+        let mut buf = vec![uptime(0)];
+        up.seal(&mut buf);
+        assert_eq!(up.fail_front(&mut rng), SimDuration::from_secs(10));
+        assert_eq!(up.fail_front(&mut rng), SimDuration::from_secs(20));
+        assert_eq!(up.fail_front(&mut rng), SimDuration::from_secs(40));
+        assert_eq!(up.fail_front(&mut rng), SimDuration::from_secs(60), "capped");
+        assert_eq!(up.fail_front(&mut rng), SimDuration::from_secs(60));
+        assert_eq!(up.attempt().unwrap().attempt, 5);
+        up.attempt().unwrap().records.clear();
+        up.ack_front();
+        buf.push(uptime(1));
+        up.seal(&mut buf);
+        assert_eq!(up.fail_front(&mut rng), SimDuration::from_secs(10), "ladder reset by ack");
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band() {
+        let cfg = UploaderConfig {
+            backoff_base: SimDuration::from_secs(100),
+            backoff_cap: SimDuration::from_secs(100),
+            jitter_frac: 0.25,
+            ..small_cfg(1_000)
+        };
+        let mut up = Uploader::new(cfg);
+        let mut rng = DetRng::new(11);
+        let mut buf = vec![uptime(0)];
+        up.seal(&mut buf);
+        for _ in 0..200 {
+            let d = up.fail_front(&mut rng);
+            assert!(
+                (SimDuration::from_secs(75)..=SimDuration::from_secs(125)).contains(&d),
+                "jittered delay {d:?} outside ±25% band"
+            );
+        }
+    }
+
+    #[test]
+    fn spill_bound_evicts_oldest_with_accounting() {
+        // Bound of 5 records, batches of 2: sealing the 4th batch evicts
+        // batches 1 then 2 (oldest first) to get back under the bound.
+        let mut up = Uploader::new(small_cfg(5));
+        for i in 0..4u64 {
+            let mut buf = vec![uptime(2 * i), uptime(2 * i + 1)];
+            up.seal(&mut buf);
+        }
+        assert_eq!(up.spool_len(), 2);
+        assert_eq!(up.spooled_records(), 4);
+        assert_eq!(up.stats().evicted_batches, 2);
+        assert_eq!(up.stats().evicted_records, 4);
+        // The two evictions coalesced into one declaration covering 1..=2.
+        let gaps = up.pending_gaps();
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(
+            (gaps[0].first_seq, gaps[0].last_seq, gaps[0].records_lost, gaps[0].cause),
+            (1, 2, 4, GapCause::Evicted)
+        );
+        assert_eq!((gaps[0].from, gaps[0].to), (t(0), t(3)));
+        // The surviving front is batch 3; its attempt carries the gaps.
+        let a = up.attempt().unwrap();
+        assert_eq!(a.seq, 3);
+        assert_eq!(a.gaps.len(), 1);
+        a.records.clear();
+        up.ack_front();
+        assert!(up.pending_gaps().is_empty(), "ack clears carried declarations");
+    }
+
+    #[test]
+    fn wipe_declares_spool_and_unsealed_tail() {
+        let mut up = Uploader::new(small_cfg(1_000));
+        let mut buf = vec![uptime(0), uptime(1)];
+        up.seal(&mut buf); // seq 1
+        buf.extend([uptime(2), uptime(3), uptime(4)]); // unsealed tail
+        up.wipe(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(up.spool_len(), 0);
+        assert_eq!(up.stats().wiped_batches, 2);
+        assert_eq!(up.stats().wiped_records, 5);
+        let gaps = up.pending_gaps();
+        assert_eq!(gaps.len(), 1, "adjacent wiped batches coalesce");
+        assert_eq!(
+            (gaps[0].first_seq, gaps[0].last_seq, gaps[0].records_lost, gaps[0].cause),
+            (1, 2, 5, GapCause::FlashWipe)
+        );
+        // Declarations survive the wipe and ride the next (carrier) batch.
+        assert!(up.has_backlog());
+        up.seal_gap_carrier();
+        let a = up.attempt().unwrap();
+        assert_eq!((a.seq, a.records.len(), a.gaps.len()), (3, 0, 1));
+        a.records.clear();
+        up.ack_front();
+        assert!(!up.has_backlog());
+    }
+
+    #[test]
+    fn seq_counter_survives_wipe() {
+        let mut up = Uploader::new(small_cfg(1_000));
+        let mut buf = vec![uptime(0)];
+        up.seal(&mut buf); // seq 1
+        up.wipe(&mut buf);
+        buf.push(uptime(9));
+        up.seal(&mut buf);
+        assert_eq!(up.attempt().unwrap().seq, 2, "seqs are never reused after a wipe");
+    }
+}

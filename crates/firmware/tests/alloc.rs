@@ -1,12 +1,17 @@
-//! Allocation accounting for the heartbeat wire path.
+//! Allocation accounting for the firmware hot paths.
 //!
 //! The simulation emits and parses on the order of 10^7 heartbeats per
 //! study run, so this path is required to touch the heap zero times per
-//! packet. A counting global allocator makes that a hard test rather than
-//! a code-review promise.
+//! packet; the store-and-forward upload queue sits on the same hot path
+//! whenever a fault plan is active, so its steady state (fill → seal →
+//! attempt → fail → ack) carries the same requirement. A counting global
+//! allocator makes both hard tests rather than code-review promises.
 
-use firmware::records::RouterId;
+use firmware::records::{Record, RouterId, UptimeRecord};
+use firmware::uploader::{Uploader, UploaderConfig};
 use firmware::Heartbeat;
+use simnet::rng::DetRng;
+use simnet::time::{SimDuration, SimTime};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::net::Ipv4Addr;
@@ -64,4 +69,54 @@ fn heartbeat_emit_and_parse_allocate_nothing() {
         "heartbeat emit+parse allocated {} times over 10k packets",
         after - before
     );
+}
+
+#[test]
+fn upload_queue_steady_state_allocates_nothing() {
+    let cfg = UploaderConfig { batch_records: 64, ..UploaderConfig::default() };
+    let batch = cfg.batch_records;
+    let mut up = Uploader::new(cfg);
+    let mut rng = DetRng::new(41).derive("alloc-test");
+    let mut out: Vec<Record> = Vec::with_capacity(batch);
+    let fill = |out: &mut Vec<Record>, round: u64| {
+        for i in 0..batch as u64 {
+            out.push(Record::Uptime(UptimeRecord {
+                router: RouterId(3),
+                at: SimTime::EPOCH + SimDuration::from_mins(round * 100 + i),
+                uptime: SimDuration::from_mins(i),
+            }));
+        }
+    };
+    // One full cycle: fill, seal, offer once and fail (exercising the
+    // backoff draw), offer again and ack. The ack recycles the batch's
+    // buffer into the uploader's free pool.
+    let cycle = |up: &mut Uploader, out: &mut Vec<Record>, rng: &mut DetRng, round: u64| {
+        fill(out, round);
+        up.seal(out);
+        let seq = up.attempt().expect("sealed batch is in the spool").seq;
+        let _backoff = up.fail_front(rng);
+        let a = up.attempt().expect("failed batch stays at the front");
+        assert_eq!(a.seq, seq);
+        a.records.clear(); // the collector drains the buffer on accept
+        up.ack_front();
+    };
+    // Warm-up rounds populate the free pool (the first seals hand the
+    // caller fresh, empty buffers that grow to batch capacity once).
+    for round in 0..4 {
+        cycle(&mut up, &mut out, &mut rng, round);
+    }
+    assert!(!up.has_backlog(), "warm-up must drain fully");
+
+    let before = ALLOCATIONS.with(Cell::get);
+    for round in 4..1_004 {
+        cycle(&mut up, &mut out, &mut rng, round);
+    }
+    let after = ALLOCATIONS.with(Cell::get);
+    assert!(
+        after == before,
+        "upload queue steady state allocated {} times over 1k seal/fail/ack cycles",
+        after - before
+    );
+    assert_eq!(up.stats().acked_batches, 1_004);
+    assert_eq!(up.stats().failed_attempts, 1_004);
 }

@@ -1,0 +1,221 @@
+//! Link and collector impairment schedules — the simnet-side hooks the
+//! fault-injection subsystem (`faultlab`) compiles its plans into.
+//!
+//! An [`ImpairmentSchedule`] is a normalized list of time windows during
+//! which a path is degraded: each window carries an extra loss probability
+//! and an extra one-way delay. The schedule itself is pure data — the
+//! simulation consults it at transmission time and draws losses from its
+//! own deterministic stream, so an empty schedule is bit-for-bit identical
+//! to no schedule at all (no RNG draws, no behavior change).
+//!
+//! The same window machinery doubles as a downtime schedule (loss
+//! probability 1.0) for modeling a collection server that is simply not
+//! there — see [`ImpairmentWindow::down`].
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One contiguous window of degraded service on a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpairmentWindow {
+    /// Inclusive start of the window.
+    pub start: SimTime,
+    /// Exclusive end of the window.
+    pub end: SimTime,
+    /// Additional loss probability applied to transmissions inside the
+    /// window (on top of whatever the path already loses).
+    pub loss_prob: f64,
+    /// Additional one-way delay applied to transmissions inside the window
+    /// (a congestion/latency spike).
+    pub extra_delay: SimDuration,
+}
+
+impl ImpairmentWindow {
+    /// A total-outage window: everything sent into it is lost.
+    pub fn down(start: SimTime, end: SimTime) -> ImpairmentWindow {
+        ImpairmentWindow { start, end, loss_prob: 1.0, extra_delay: SimDuration::ZERO }
+    }
+
+    /// Does the window contain `t`?
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A time-ordered, non-overlapping set of impairment windows for one path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImpairmentSchedule {
+    windows: Vec<ImpairmentWindow>,
+}
+
+impl ImpairmentSchedule {
+    /// The empty schedule: no impairment, ever. Consulting it performs no
+    /// RNG draws, so a simulation holding an empty schedule behaves
+    /// bit-identically to one with no schedule at all.
+    pub fn none() -> ImpairmentSchedule {
+        ImpairmentSchedule::default()
+    }
+
+    /// Build a schedule from windows, sorting them and rejecting overlaps.
+    ///
+    /// # Panics
+    /// Panics if two windows overlap or a window is inverted — a fault plan
+    /// with overlapping windows is a plan-compiler bug, not a runtime
+    /// condition.
+    pub fn new(mut windows: Vec<ImpairmentWindow>) -> ImpairmentSchedule {
+        windows.retain(|w| w.end > w.start);
+        windows.sort_by_key(|w| (w.start, w.end));
+        for pair in windows.windows(2) {
+            assert!(
+                pair[0].end <= pair[1].start,
+                "impairment windows overlap: {:?} and {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        ImpairmentSchedule { windows }
+    }
+
+    /// True when no windows are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows, in time order.
+    pub fn windows(&self) -> &[ImpairmentWindow] {
+        &self.windows
+    }
+
+    /// The active window at `t`, if any. Binary search: O(log n).
+    pub fn active_at(&self, t: SimTime) -> Option<&ImpairmentWindow> {
+        if self.windows.is_empty() {
+            return None; // the hot no-fault path: one branch, no search
+        }
+        let idx = self.windows.partition_point(|w| w.end <= t);
+        self.windows.get(idx).filter(|w| w.contains(t))
+    }
+
+    /// Is the path in a total outage (loss probability 1) at `t`?
+    pub fn is_down(&self, t: SimTime) -> bool {
+        self.active_at(t).is_some_and(|w| w.loss_prob >= 1.0)
+    }
+
+    /// Decide the fate of a transmission entering the path at `send`:
+    /// `None` if the impairment swallowed it, otherwise the extra delay to
+    /// add to its delivery. An empty schedule never draws from `rng`.
+    pub fn transmit(&self, send: SimTime, rng: &mut DetRng) -> Option<SimDuration> {
+        match self.active_at(send) {
+            None => Some(SimDuration::ZERO),
+            Some(w) => {
+                if w.loss_prob >= 1.0 || rng.chance(w.loss_prob) {
+                    None
+                } else {
+                    Some(w.extra_delay)
+                }
+            }
+        }
+    }
+
+    /// Earliest instant at or after `t` that is outside every window — when
+    /// a sender waiting out the impairment can next get through.
+    pub fn next_clear(&self, t: SimTime) -> SimTime {
+        match self.active_at(t) {
+            Some(w) => w.end,
+            None => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    fn sched() -> ImpairmentSchedule {
+        ImpairmentSchedule::new(vec![
+            ImpairmentWindow::down(t(10), t(20)),
+            ImpairmentWindow {
+                start: t(50),
+                end: t(60),
+                loss_prob: 0.5,
+                extra_delay: SimDuration::from_secs(2),
+            },
+        ])
+    }
+
+    #[test]
+    fn active_window_lookup() {
+        let s = sched();
+        assert!(s.active_at(t(0)).is_none());
+        assert_eq!(s.active_at(t(10)).unwrap().start, t(10));
+        assert_eq!(s.active_at(t(19)).unwrap().start, t(10));
+        assert!(s.active_at(t(20)).is_none());
+        assert_eq!(s.active_at(t(55)).unwrap().start, t(50));
+    }
+
+    #[test]
+    fn downtime_is_total_loss() {
+        let s = sched();
+        let mut rng = DetRng::new(1);
+        assert!(s.is_down(t(15)));
+        assert!(!s.is_down(t(55)), "partial loss is not downtime");
+        assert_eq!(s.transmit(t(15), &mut rng), None);
+    }
+
+    #[test]
+    fn clear_path_is_free_and_rng_silent() {
+        let s = sched();
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        assert_eq!(s.transmit(t(5), &mut a), Some(SimDuration::ZERO));
+        // The clear-path call drew nothing: both streams still agree.
+        assert_eq!(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+    }
+
+    #[test]
+    fn partial_loss_draws_and_delays() {
+        let s = sched();
+        let mut rng = DetRng::new(3);
+        let (mut lost, mut through) = (0u32, 0u32);
+        for _ in 0..1_000 {
+            match s.transmit(t(55), &mut rng) {
+                None => lost += 1,
+                Some(delay) => {
+                    assert_eq!(delay, SimDuration::from_secs(2));
+                    through += 1;
+                }
+            }
+        }
+        assert!((400..600).contains(&lost), "p=0.5 loss, got {lost}/{}", lost + through);
+    }
+
+    #[test]
+    fn next_clear_skips_to_window_end() {
+        let s = sched();
+        assert_eq!(s.next_clear(t(15)), t(20));
+        assert_eq!(s.next_clear(t(30)), t(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_windows_rejected() {
+        ImpairmentSchedule::new(vec![
+            ImpairmentWindow::down(t(0), t(10)),
+            ImpairmentWindow::down(t(5), t(15)),
+        ]);
+    }
+
+    #[test]
+    fn empty_windows_dropped_and_sorted() {
+        let s = ImpairmentSchedule::new(vec![
+            ImpairmentWindow::down(t(30), t(40)),
+            ImpairmentWindow::down(t(5), t(5)),
+            ImpairmentWindow::down(t(0), t(10)),
+        ]);
+        assert_eq!(s.windows().len(), 2);
+        assert_eq!(s.windows()[0].start, t(0));
+    }
+}

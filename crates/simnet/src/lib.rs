@@ -16,6 +16,8 @@
 //!   explicit parse/emit style of small event-driven TCP/IP stacks.
 //! * [`link`] — access links: serialization, token-bucket shaping,
 //!   drop-tail queues (the bufferbloat mechanism), and lossy WAN paths.
+//! * [`impair`] — scheduled link/collector impairment windows (loss and
+//!   latency spikes, total outages) that fault plans compile into.
 //! * [`nat`] — the address/port translator the paper peeks behind.
 //! * [`arp`] — neighbor discovery and the gateway's neighbor table.
 //! * [`icmp`] — echo request/reply for latency probing.
@@ -38,6 +40,7 @@ pub mod dhcp;
 pub mod dns;
 pub mod event;
 pub mod icmp;
+pub mod impair;
 pub mod link;
 pub mod nat;
 pub mod packet;

@@ -85,6 +85,8 @@ fn main() {
             zone: &zone,
             windows: &windows,
             seed: 6,
+            reliable_upload: false,
+            faults: None,
         })
         .run(&collector);
     }

@@ -30,7 +30,15 @@ fn run_one(mut mutate: impl FnMut(&mut HomeConfig), days: u64, seed: u64) -> (Da
         country: cfg.country,
         traffic_consent: cfg.traffic_consent,
     });
-    HomeSim::new(SimParams { cfg: &cfg, universe: &universe, zone: &zone, windows: &windows, seed })
+    HomeSim::new(SimParams {
+        cfg: &cfg,
+        universe: &universe,
+        zone: &zone,
+        windows: &windows,
+        seed,
+        reliable_upload: false,
+        faults: None,
+    })
         .run(&collector);
     (collector.snapshot(), span)
 }
