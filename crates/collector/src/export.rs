@@ -38,9 +38,10 @@ pub struct PublicRouter {
 
 /// Build the public release view over a snapshot.
 pub fn public_release(data: &Datasets) -> PublicRelease<'_> {
-    let mut heartbeats: Vec<(u32, &crate::runlog::RunLog)> =
+    // `Datasets::heartbeats` is a BTreeMap, so iteration is already in
+    // ascending router order — the order the release format promises.
+    let heartbeats: Vec<(u32, &crate::runlog::RunLog)> =
         data.heartbeats.iter().map(|(router, log)| (router.0, log)).collect();
-    heartbeats.sort_by_key(|(router, _)| *router);
     PublicRelease {
         routers: data
             .routers
@@ -82,9 +83,7 @@ pub fn to_csv(data: &Datasets) -> Vec<(String, String)> {
     files.push(("routers.csv".to_string(), routers));
 
     let mut heartbeats = String::from("router,run_first_us,run_last_us,count\n");
-    let mut hb: Vec<_> = data.heartbeats.iter().collect();
-    hb.sort_by_key(|(router, _)| **router);
-    for (router, log) in hb {
+    for (router, log) in data.heartbeats.iter() {
         for run in log.runs() {
             heartbeats.push_str(&format!(
                 "{},{},{},{}\n",

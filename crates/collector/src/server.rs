@@ -25,7 +25,7 @@ use household::Country;
 use parking_lot::Mutex;
 use simnet::packet::ParseError;
 use simnet::time::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of independently locked ingestion shards. A power of two larger
@@ -101,7 +101,7 @@ pub struct Datasets {
     /// Router registration metadata, sorted by router ID.
     pub routers: Vec<RouterMeta>,
     /// Compressed heartbeat logs per router.
-    pub heartbeats: HashMap<RouterId, RunLog>,
+    pub heartbeats: BTreeMap<RouterId, RunLog>,
     /// Uptime reports.
     pub uptime: Vec<UptimeRecord>,
     /// Capacity measurements.
@@ -137,7 +137,7 @@ impl Datasets {
         self.routers
             .binary_search_by_key(&router, |m| m.router)
             .ok()
-            .map(|i| &self.routers[i])
+            .and_then(|i| self.routers.get(i))
     }
 
     /// Routers in the Traffic data set (consented).
@@ -166,7 +166,7 @@ impl Datasets {
 /// the outage schedule so the hot path never reaches for shared state.
 #[derive(Debug, Default)]
 struct Shard {
-    heartbeats: HashMap<RouterId, RunLog>,
+    heartbeats: BTreeMap<RouterId, RunLog>,
     uptime: Vec<UptimeRecord>,
     capacity: Vec<CapacityRecord>,
     devices: Vec<DeviceCensusRecord>,
@@ -191,7 +191,7 @@ struct Shard {
     /// Heartbeat datagrams dropped because the collector was down.
     dropped_in_downtime: u64,
     /// Per-router sequence tracking for idempotent batch ingestion.
-    seq: HashMap<RouterId, SeqState>,
+    seq: BTreeMap<RouterId, SeqState>,
     /// Gap-ledger rows accepted by this shard.
     upload_gaps: Vec<UploadGapRecord>,
     /// Delivery accounting for the batch upload path.
@@ -487,9 +487,16 @@ impl Collector {
         Collector::default()
     }
 
+    /// The shard owning one router's records. Every caller routes through
+    /// here so the bounds argument lives in exactly one place.
+    fn shard(&self, router: RouterId) -> &Mutex<Shard> {
+        // simlint: allow(panic-in-ingest) — shard_index reduces modulo NUM_SHARDS and shards holds NUM_SHARDS entries, so the index is always in bounds
+        &self.shards[shard_index(router)]
+    }
+
     /// The ingestion handle for one router's shard.
     pub fn shard_handle(&self, router: RouterId) -> ShardHandle<'_> {
-        ShardHandle { shard: &self.shards[shard_index(router)] }
+        ShardHandle { shard: self.shard(router) }
     }
 
     /// Register a shipped router.
@@ -551,9 +558,7 @@ impl Collector {
         gaps: &[GapDecl],
         records: &mut Vec<Record>,
     ) -> UploadOutcome {
-        self.shards[shard_index(router)]
-            .lock()
-            .ingest_upload(at, router, seq, attempt, gaps, records)
+        self.shard(router).lock().ingest_upload(at, router, seq, attempt, gaps, records)
     }
 
     /// Ingest a heartbeat that arrived as a raw packet: parse, validate,
@@ -563,7 +568,7 @@ impl Collector {
     pub fn ingest_heartbeat_wire(&self, at: SimTime, wire: &[u8]) -> Result<(), ParseError> {
         match Heartbeat::parse(wire) {
             Ok((hb, _src)) => {
-                self.shards[shard_index(hb.router)]
+                self.shard(hb.router)
                     .lock()
                     .ingest_heartbeat(HeartbeatRecord { router: hb.router, at });
                 Ok(())
@@ -580,12 +585,12 @@ impl Collector {
     /// goes through [`Collector::ingest_heartbeat_wire`] to keep the wire
     /// path honest).
     pub fn ingest_heartbeat(&self, rec: HeartbeatRecord) {
-        self.shards[shard_index(rec.router)].lock().ingest_heartbeat(rec);
+        self.shard(rec.router).lock().ingest_heartbeat(rec);
     }
 
     /// Ingest any other record.
     pub fn ingest(&self, record: Record) {
-        self.shards[shard_index(record.router())].lock().ingest(record);
+        self.shard(record.router()).lock().ingest(record);
     }
 
     /// Ingest a batch. Runs of consecutive records for the same shard are
@@ -595,10 +600,10 @@ impl Collector {
         let mut records = records.into_iter().peekable();
         while let Some(first) = records.next() {
             let idx = shard_index(first.router());
-            let mut shard = self.shards[idx].lock();
+            let mut shard = self.shard(first.router()).lock();
             shard.ingest(first);
-            while records.peek().map(|r| shard_index(r.router())) == Some(idx) {
-                shard.ingest(records.next().expect("peeked"));
+            while let Some(next) = records.next_if(|r| shard_index(r.router()) == idx) {
+                shard.ingest(next);
             }
         }
     }
@@ -672,7 +677,7 @@ impl Collector {
 
 /// The movable per-shard table set fed into the merge.
 struct ShardChunk {
-    heartbeats: HashMap<RouterId, RunLog>,
+    heartbeats: BTreeMap<RouterId, RunLog>,
     uptime: Vec<UptimeRecord>,
     capacity: Vec<CapacityRecord>,
     devices: Vec<DeviceCensusRecord>,
@@ -702,9 +707,15 @@ fn merge_table<T, K: Ord, F: Fn(&T) -> K>(mut chunks: Vec<Vec<T>>, key: F) -> Ve
     if chunks.is_empty() {
         return Vec::new();
     }
-    chunks.sort_by(|a, b| key(&a[0]).cmp(&key(&b[0])));
-    let sorted_disjoint = chunks.iter().all(|c| c.windows(2).all(|w| key(&w[0]) <= key(&w[1])))
-        && chunks.windows(2).all(|w| key(w[0].last().expect("non-empty")) <= key(&w[1][0]));
+    chunks.sort_by(|a, b| a.first().map(&key).cmp(&b.first().map(&key)));
+    let internally_sorted =
+        chunks.iter().all(|c| c.iter().zip(c.iter().skip(1)).all(|(a, b)| key(a) <= key(b)));
+    let ranges_disjoint =
+        chunks.iter().zip(chunks.iter().skip(1)).all(|(a, b)| match (a.last(), b.first()) {
+            (Some(end), Some(start)) => key(end) <= key(start),
+            _ => true,
+        });
+    let sorted_disjoint = internally_sorted && ranges_disjoint;
     let total = chunks.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     for chunk in chunks {
@@ -714,6 +725,14 @@ fn merge_table<T, K: Ord, F: Fn(&T) -> K>(mut chunks: Vec<Vec<T>>, key: F) -> Ve
         out.sort_by(|a, b| key(a).cmp(&key(b)));
     }
     out
+}
+
+/// Collect one merge worker's table. A worker is pure comparison-and-move
+/// code, so the only failure mode is a panic; re-raising the original
+/// payload on the snapshot caller is the correct propagation (there is no
+/// half-merged data worth salvaging).
+fn join_merged<T>(handle: crossbeam::thread::ScopedJoinHandle<'_, T>) -> T {
+    handle.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))
 }
 
 fn merge_chunks(
@@ -732,7 +751,7 @@ fn merge_chunks(
     let mut associations = Vec::new();
     let mut latency = Vec::new();
     let mut upload_gaps = Vec::new();
-    let mut heartbeats: HashMap<RouterId, RunLog> = HashMap::new();
+    let mut heartbeats: BTreeMap<RouterId, RunLog> = BTreeMap::new();
     for chunk in chunks {
         uptime.push(chunk.uptime);
         capacity.push(chunk.capacity);
@@ -787,18 +806,18 @@ fn merge_chunks(
         let latency = scope.spawn(|_| {
             merge_table(latency, |r: &firmware::latency::LatencyRecord| (r.router, r.at))
         });
-        data.uptime = uptime.join().expect("merge uptime");
-        data.capacity = capacity.join().expect("merge capacity");
-        data.devices = devices.join().expect("merge devices");
-        data.wifi = wifi.join().expect("merge wifi");
-        data.packet_stats = packet_stats.join().expect("merge packet_stats");
-        data.flows = flows.join().expect("merge flows");
-        data.dns = dns.join().expect("merge dns");
-        data.macs = macs.join().expect("merge macs");
-        data.associations = associations.join().expect("merge associations");
-        data.latency = latency.join().expect("merge latency");
+        data.uptime = join_merged(uptime);
+        data.capacity = join_merged(capacity);
+        data.devices = join_merged(devices);
+        data.wifi = join_merged(wifi);
+        data.packet_stats = join_merged(packet_stats);
+        data.flows = join_merged(flows);
+        data.dns = join_merged(dns);
+        data.macs = join_merged(macs);
+        data.associations = join_merged(associations);
+        data.latency = join_merged(latency);
     })
-    .expect("merge threads join");
+    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
     data
 }
 

@@ -56,6 +56,7 @@ fn run(args: &[String]) {
         config.threads,
         if config.threads == 1 { "" } else { "s" }
     );
+    // simlint: allow(wall-clock) — CLI progress timing printed to stderr; no simulation state depends on it
     let started = std::time::Instant::now();
     let output = run_study(&config);
     eprintln!(
@@ -79,6 +80,7 @@ fn run(args: &[String]) {
         );
     }
 
+    // simlint: allow(wall-clock) — CLI progress timing printed to stderr; no simulation state depends on it
     let analyze_started = std::time::Instant::now();
     let report = output.report();
     let rendered = report.render(&output.datasets);

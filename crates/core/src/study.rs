@@ -198,6 +198,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = config.threads.max(1);
+    // simlint: allow(wall-clock) — operator-facing phase timing only; never feeds the simulation or its datasets
     let sim_start = std::time::Instant::now();
     crossbeam::scope(|scope| {
         for _ in 0..workers {
@@ -223,6 +224,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     let simulate = sim_start.elapsed();
     // Every home is done uploading: consume the collector instead of
     // cloning 33M records out of it.
+    // simlint: allow(wall-clock) — operator-facing phase timing only; never feeds the simulation or its datasets
     let snap_start = std::time::Instant::now();
     let upload_counters = collector.upload_counters();
     let dropped_in_downtime = collector.dropped_in_downtime();

@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 use simnet::dns::DomainName;
 use simnet::packet::MacAddr;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// A keyed 64-bit mixer (xorshift-multiply construction). Not
@@ -106,7 +106,7 @@ impl ReportedDomain {
 #[derive(Debug, Clone)]
 pub struct Anonymizer {
     key: u64,
-    whitelist: HashSet<DomainName>,
+    whitelist: BTreeSet<DomainName>,
 }
 
 impl Anonymizer {

@@ -262,6 +262,7 @@ impl TrafficMonitor {
         }
         let mut sightings: Vec<MacSightingRecord> = self
             .device_bytes
+            // simlint: allow(nondeterministic-iteration) — the sort below re-keys by the total (first_seen, device) key, so collection order never reaches the record stream
             .iter()
             .map(|(mac, (first_seen, bytes))| MacSightingRecord {
                 router: self.router,

@@ -259,6 +259,7 @@ impl Uploader {
     /// recycle its buffer, clear the gap declarations it carried, and reset
     /// the backoff ladder.
     pub fn ack_front(&mut self) {
+        // simlint: allow(panic-in-ingest) — the protocol only acks a batch attempt() just handed out, so the spool cannot be empty here; an empty-spool ack is a driver bug worth crashing on
         let batch = self.spool.pop_front().expect("ack with empty spool");
         self.spooled_records -= batch.sealed_len;
         let mut records = batch.records;
@@ -308,6 +309,7 @@ impl Uploader {
     }
 
     fn evict_oldest(&mut self) {
+        // simlint: allow(panic-in-ingest) — only called when spooled_records exceeds the cap, which implies at least one spooled batch
         let batch = self.spool.pop_front().expect("evict with empty spool");
         self.spooled_records -= batch.sealed_len;
         self.stats.evicted_batches += 1;

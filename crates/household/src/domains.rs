@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use simnet::dns::{DomainName, ZoneDb};
 use simnet::rng::{DetRng, ZipfTable};
 use simnet::time::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Service category of a domain.
@@ -70,7 +70,7 @@ pub type DomainIdx = usize;
 #[derive(Debug, Clone)]
 pub struct DomainUniverse {
     domains: Vec<DomainInfo>,
-    by_category: HashMap<Category, Vec<DomainIdx>>,
+    by_category: BTreeMap<Category, Vec<DomainIdx>>,
 }
 
 /// Named heads of the whitelist: (name, category). Order is global
@@ -160,7 +160,7 @@ impl DomainUniverse {
                 whitelisted: false,
             });
         }
-        let mut by_category: HashMap<Category, Vec<DomainIdx>> = HashMap::new();
+        let mut by_category: BTreeMap<Category, Vec<DomainIdx>> = BTreeMap::new();
         for (idx, d) in domains.iter().enumerate() {
             by_category.entry(d.category).or_default().push(idx);
         }
@@ -232,9 +232,9 @@ fn categories_for(kind: AppKind) -> &'static [(Category, f64)] {
 #[derive(Debug, Clone)]
 pub struct HomeTaste {
     /// Per-category domain orderings (most preferred first).
-    order: HashMap<Category, Vec<DomainIdx>>,
+    order: BTreeMap<Category, Vec<DomainIdx>>,
     /// Zipf sampler per category length.
-    zipf: HashMap<Category, ZipfTable>,
+    zipf: BTreeMap<Category, ZipfTable>,
 }
 
 impl HomeTaste {
@@ -242,15 +242,11 @@ impl HomeTaste {
     /// scores are jittered log-normally), so Google/YouTube stay near the
     /// top of most homes while each home still has personal favorites.
     pub fn sample(universe: &DomainUniverse, rng: &mut DetRng) -> HomeTaste {
-        let mut order = HashMap::new();
-        let mut zipf = HashMap::new();
-        // Iterate categories in a fixed order: HashMap iteration order is
-        // instance-dependent, and the per-category RNG draws below must be
-        // consumed identically on every construction for reproducibility.
-        let mut categories: Vec<(&Category, &Vec<DomainIdx>)> =
-            universe.by_category.iter().collect();
-        categories.sort_by_key(|(c, _)| **c);
-        for (&category, indices) in categories {
+        let mut order = BTreeMap::new();
+        let mut zipf = BTreeMap::new();
+        // BTreeMap iteration is Category-ordered, so the per-category RNG
+        // draws below are consumed identically on every construction.
+        for (&category, indices) in universe.by_category.iter() {
             let mut scored: Vec<(f64, DomainIdx)> = indices
                 .iter()
                 .map(|&idx| {
@@ -394,7 +390,7 @@ mod tests {
         let root = DetRng::new(34);
         let taste = HomeTaste::sample(&u, &mut root.derive("taste"));
         let mut rng = root.derive("picks");
-        let mut counts: HashMap<DomainIdx, u32> = HashMap::new();
+        let mut counts: BTreeMap<DomainIdx, u32> = BTreeMap::new();
         for _ in 0..2_000 {
             *counts.entry(taste.pick_domain(AppKind::Web, &mut rng)).or_default() += 1;
         }

@@ -1,0 +1,435 @@
+//! A hand-rolled Rust lexer, just deep enough for rule scanning.
+//!
+//! The workspace builds offline, so `syn` is not available; the rules in
+//! this crate only need token-level structure anyway. The lexer's job is
+//! to never misclassify source text that could hide or fabricate a
+//! finding: string and char literals must not leak their contents as
+//! identifiers, comments must be captured (suppressions live there), and
+//! lifetimes must not be confused with char literals. It must never
+//! panic, whatever bytes it is fed — `tests/fuzz.rs` holds it to that.
+
+/// What a token is. Literal contents are deliberately not retained:
+/// rules must never match inside a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Numeric literal (including suffixed and based forms).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokenKind,
+    /// Identifier text (empty for literals), or the punctuation character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A comment with the line it starts on (block comments may span more).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including delimiters.
+    pub text: String,
+    /// 1-based starting line.
+    pub line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Total function: any input produces some tokenization;
+/// unterminated literals and comments end at EOF.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i].iter().collect(),
+                    line,
+                    end_line: line,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i.min(chars.len())].iter().collect(),
+                    line: start_line,
+                    end_line: line,
+                });
+                continue;
+            }
+        }
+        // Identifiers, keywords, and the literal prefixes r / b / br.
+        if ident_start(c) {
+            let start = i;
+            while i < chars.len() && ident_cont(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            // Raw strings r"..", r#".."#, byte strings b"..", br#"..."#,
+            // byte chars b'x' — and raw identifiers r#name.
+            let next = chars.get(i).copied();
+            match (word.as_str(), next) {
+                ("r", Some('"')) | ("r", Some('#')) | ("br", Some('"')) | ("br", Some('#')) => {
+                    // Count hashes; if a quote follows, it is a raw string.
+                    let mut j = i;
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        j += 1;
+                        // Scan to `"` followed by `hashes` hashes.
+                        loop {
+                            match chars.get(j) {
+                                None => break,
+                                Some('"') if chars[j + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes => {
+                                    j += 1 + hashes;
+                                    break;
+                                }
+                                Some('\n') => {
+                                    line += 1;
+                                    j += 1;
+                                }
+                                Some(_) => j += 1,
+                            }
+                        }
+                        out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+                        i = j;
+                        continue;
+                    }
+                    if hashes > 0 && chars.get(j).is_some_and(|&ch| ident_start(ch)) {
+                        // Raw identifier r#name: emit the name itself.
+                        let ident_begin = j;
+                        while j < chars.len() && ident_cont(chars[j]) {
+                            j += 1;
+                        }
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident,
+                            text: chars[ident_begin..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                    // `r` / `br` was just an identifier after all.
+                    out.tokens.push(Token { kind: TokenKind::Ident, text: word, line });
+                    continue;
+                }
+                ("b", Some('"')) | ("b", Some('\'')) => {
+                    // Fall through to the string/char scanners below by
+                    // leaving `i` at the quote; the prefix is dropped.
+                }
+                _ => {
+                    out.tokens.push(Token { kind: TokenKind::Ident, text: word, line });
+                    continue;
+                }
+            }
+            // Only the ("b", quote) case reaches here.
+        }
+        let c = match chars.get(i) {
+            Some(&c) => c,
+            None => break,
+        };
+        // String literals.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => {
+                        if chars.get(i + 1) == Some(&'\n') {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line: start_line });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            if next.is_some_and(ident_start) {
+                // Scan the identifier after the quote: a closing quote
+                // right after makes it a char literal ('a'); otherwise it
+                // is a lifetime ('a, 'static, '_).
+                let mut j = i + 1;
+                while j < chars.len() && ident_cont(chars[j]) {
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '{', ' '.
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => break, // stray quote; do not swallow the file
+                    _ => j += 1,
+                }
+            }
+            out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+            i = j;
+            continue;
+        }
+        // Numbers (suffixes and base prefixes folded in; `1.5` lexes as
+        // Num '.' Num, which is fine for rule matching).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        out.tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let l = lex("fn main() { let x = 1; }");
+        let kinds: Vec<TokenKind> = l.tokens.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident, // fn
+                TokenKind::Ident, // main
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Punct,
+                TokenKind::Ident, // let
+                TokenKind::Ident, // x
+                TokenKind::Punct,
+                TokenKind::Num,
+                TokenKind::Punct,
+                TokenKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_not_identifiers() {
+        assert_eq!(idents(r#"let s = "thread_rng inside a string";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_embedded_quote() {
+        let src = r####"let s = r#"contains "quotes" and thread_rng"#; after"####;
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn raw_string_multiline_tracks_lines() {
+        let src = "let s = r\"line one\nline two\";\nnext";
+        let l = lex(src);
+        let next = l.tokens.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(idents(r#"b"bytes with thread_rng" tail"#), vec!["tail"]);
+        assert_eq!(idents(r##"br#"raw bytes"# tail"##), vec!["tail"]);
+        assert_eq!(idents("b'x' tail"), vec!["tail"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "match"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "before /* outer /* inner */ still comment */ after";
+        let l = lex(src);
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["before", "after"]
+        );
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_lines() {
+        let src = "let a = 1; // simlint: allow(x) — reason\nlet b = 2;";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("allow(x)"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let s = '\\''; }");
+        let lifetimes: Vec<&Token> =
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2, "two 'a lifetimes");
+        let chars: Vec<&Token> =
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Literal).collect();
+        assert_eq!(chars.len(), 2, "'a' and '\\'' are char literals");
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let l = lex("&'static str; &'_ T");
+        let names: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, vec!["static", "_"]);
+    }
+
+    #[test]
+    fn char_literal_with_unicode_escape() {
+        let l = lex(r"let c = '\u{1F600}'; tail");
+        assert!(l.tokens.iter().any(|t| t.is_ident("tail")), "scanner must recover");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_bases() {
+        let l = lex("0xFFu16 1_000_000 2.5f64");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0xFFu16", "1_000_000", "2", "5f64"]);
+    }
+
+    #[test]
+    fn unterminated_forms_do_not_hang_or_panic() {
+        for src in ["\"unterminated", "r#\"unterminated", "/* unterminated", "'", "b\"", "'\\"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn stray_quote_does_not_swallow_following_lines() {
+        let src = "let apostrophe = '\nfn visible() {}";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.is_ident("visible")));
+    }
+}

@@ -1,0 +1,270 @@
+//! `simlint` — workspace static analysis for the reproduction's
+//! determinism, hot-path, and panic-safety invariants.
+//!
+//! The binary (`cargo run -p simlint -- --workspace`) and the workspace
+//! test (`tests/simlint_clean.rs`) both go through [`scan_workspace`]:
+//! walk every first-party `.rs` file, run the rule catalog from
+//! [`rules`], filter through inline suppressions and the checked-in
+//! baseline, and report what is left. Zero unsuppressed findings is the
+//! contract; anything else fails the build.
+//!
+//! The tool is deliberately dependency-free (the build container has no
+//! crates.io access): lexing is hand-rolled in [`lexer`], JSON output is
+//! emitted by hand, and configuration is two flat files at the workspace
+//! root — `simlint-hotpaths.txt` (the hot-path manifest) and
+//! `simlint.baseline` (grandfathered findings, normally empty).
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Finding, HotPathFn};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the hot-path manifest at the workspace root.
+pub const HOTPATHS_FILE: &str = "simlint-hotpaths.txt";
+/// Name of the baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "simlint.baseline";
+
+/// Directories never scanned: generated/vendored code is not ours to lint.
+const SKIP_DIRS: &[&str] = &["target", "vendor-stubs", ".git"];
+
+/// Aggregated scan result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed, non-grandfathered findings (build-failing).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by justified inline suppressions.
+    pub suppressed: usize,
+    /// Findings matched by the baseline file.
+    pub grandfathered: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when nothing fails the build.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable diagnostics, one `file:line: [rule] message` per
+    /// finding, followed by a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.message));
+        }
+        out.push_str(&format!(
+            "simlint: {} finding{} ({} suppressed, {} grandfathered) across {} files\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed,
+            self.grandfathered,
+            self.files,
+        ));
+        out
+    }
+
+    /// Machine-readable JSON (hand-emitted; the tool is dependency-free).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(&f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"suppressed\": {},\n  \"grandfathered\": {},\n  \"files\": {}\n}}\n",
+            self.suppressed, self.grandfathered, self.files
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collect every first-party `.rs` file under the workspace root.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A baseline entry: findings matching (rule, path, line-agnostic
+/// message-free snippet) are reported as grandfathered, not failing.
+/// Line numbers are deliberately absent so unrelated edits above a
+/// grandfathered site do not invalidate the baseline.
+fn parse_baseline(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (rule, path) = l.split_once('\t')?;
+            Some((rule.trim().to_string(), path.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Scan an explicit set of files (paths may be absolute or root-relative).
+pub fn scan_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Report> {
+    let hotpaths = load_hotpaths(root)?;
+    let baseline = match fs::read_to_string(root.join(BASELINE_FILE)) {
+        Ok(text) => parse_baseline(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut report = Report::default();
+    let mut baseline_left = baseline;
+    for path in paths {
+        let rel = rel_path(root, path);
+        let source = match fs::read(path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(io::Error::new(e.kind(), format!("{}: not found", path.display())))
+            }
+            Err(e) => return Err(e),
+        };
+        let file_hotpaths: Vec<HotPathFn> =
+            hotpaths.iter().filter(|h| h.path == rel).cloned().collect();
+        let scan = rules::scan_file(&rules::FileInput {
+            path: &rel,
+            source: &source,
+            hotpaths: &file_hotpaths,
+        });
+        report.suppressed += scan.suppressed;
+        report.files += 1;
+        for f in scan.findings {
+            let bi = baseline_left.iter().position(|(r, p)| *r == f.rule && *p == f.path);
+            match bi {
+                Some(i) => {
+                    baseline_left.remove(i);
+                    report.grandfathered += 1;
+                }
+                None => report.findings.push(f),
+            }
+        }
+    }
+    report.findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule))
+    });
+    Ok(report)
+}
+
+/// Scan the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace_files(root)?;
+    scan_paths(root, &files)
+}
+
+fn load_hotpaths(root: &Path) -> io::Result<Vec<HotPathFn>> {
+    match fs::read_to_string(root.join(HOTPATHS_FILE)) {
+        Ok(text) => Ok(rules::parse_hotpaths(&text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn baseline_parsing() {
+        let text = "# comment\nwall-clock\tcrates/core/src/study.rs\n\n";
+        let b = parse_baseline(text);
+        assert_eq!(b, vec![("wall-clock".to_string(), "crates/core/src/study.rs".to_string())]);
+    }
+
+    #[test]
+    fn report_rendering() {
+        let mut r = Report::default();
+        r.files = 3;
+        r.findings.push(Finding {
+            rule: "wall-clock".into(),
+            path: "crates/core/src/study.rs".into(),
+            line: 7,
+            message: "bad \"clock\"".into(),
+        });
+        let human = r.render_human();
+        assert!(human.contains("crates/core/src/study.rs:7: [wall-clock]"));
+        let json = r.render_json();
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("bad \\\"clock\\\""));
+    }
+}

@@ -1,0 +1,989 @@
+//! The rule catalog and the scanning engine for one file.
+//!
+//! Every rule enforces an invariant the reproduction's determinism or
+//! performance story depends on (see DESIGN.md, "Static invariants &
+//! simlint"):
+//!
+//! * `nondeterministic-iteration` — iterating a `HashMap`/`HashSet` in a
+//!   crate whose output reaches `Datasets` can leak instance-dependent
+//!   order into seeded studies.
+//! * `wall-clock` — `Instant::now`/`SystemTime` outside `crates/bench`
+//!   would couple simulation output to the host clock.
+//! * `ambient-rng` — `thread_rng`/`from_entropy`/`OsRng` bypass the
+//!   seeded `SmallRng` derivation tree.
+//! * `panic-in-ingest` — `unwrap`/`expect`/`panic!`/slice indexing on the
+//!   collector ingest/export paths and the firmware uploader, which must
+//!   degrade into typed errors or gap declarations, never a crash.
+//! * `hot-path-alloc` — allocation constructors inside functions listed in
+//!   the hot-path manifest (`simlint-hotpaths.txt`), the static complement
+//!   of the counting-allocator tests in `crates/firmware/tests/alloc.rs`.
+//!
+//! Matching is token-level and per-file: there is no type inference, so
+//! the `HashMap` rule keys off declarations it can see in the same file.
+//! That trades a few heuristic misses for zero dependencies; the
+//! suppression mechanism absorbs deliberate exceptions.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// Rule identifiers, as written inside `allow(...)`.
+pub const RULES: &[&str] = &[
+    "nondeterministic-iteration",
+    "wall-clock",
+    "ambient-rng",
+    "panic-in-ingest",
+    "hot-path-alloc",
+];
+
+/// Crates whose emitted records reach `Datasets` (the determinism
+/// boundary): unordered iteration inside them is a finding.
+const DATASET_CRATES: &[&str] = &[
+    "crates/simnet/src/",
+    "crates/household/src/",
+    "crates/firmware/src/",
+    "crates/collector/src/",
+    "crates/core/src/",
+];
+
+/// Files making up the idempotent ingest / reliable upload path.
+const INGEST_FILES: &[&str] = &[
+    "crates/collector/src/server.rs",
+    "crates/collector/src/export.rs",
+    "crates/firmware/src/uploader.rs",
+];
+
+/// Map methods whose iteration order is the map's internal order.
+const ITERATING_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Words that look like identifiers to the lexer but can never name a
+/// local map binding (used to reject `let [a, b] = ...` as indexing).
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`RULES`], or the meta rules
+    /// `unjustified-suppression` / `unused-suppression`).
+    pub rule: String,
+    /// Workspace-relative path, unix separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// A parsed `// simlint: allow(rule, ...) — justification` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment ends on (it applies to this line and the next).
+    pub line: u32,
+    /// Rules it names.
+    pub rules: Vec<String>,
+    /// Whether non-empty justification text follows the rule list.
+    pub justified: bool,
+}
+
+/// An entry of the hot-path manifest: `path::function`.
+#[derive(Debug, Clone)]
+pub struct HotPathFn {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Function name.
+    pub func: String,
+}
+
+/// Parse the manifest format: one `path::function` per line, `#` comments.
+pub fn parse_hotpaths(text: &str) -> Vec<HotPathFn> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, func) = l.rsplit_once("::")?;
+            Some(HotPathFn { path: path.trim().to_string(), func: func.trim().to_string() })
+        })
+        .collect()
+}
+
+/// Extract suppressions from comments. Doc comments (`///`, `//!`) are
+/// documentation, not directives: mentioning the suppression syntax in
+/// rustdoc must not create one.
+pub fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.text.starts_with("///") || c.text.starts_with("//!") || c.text.starts_with("/**") {
+            continue;
+        }
+        let Some(pos) = c.text.find("simlint:") else { continue };
+        let rest = c.text[pos + "simlint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':', ' '])
+            .trim();
+        out.push(Suppression { line: c.end_line, rules, justified: !tail.is_empty() });
+    }
+    out
+}
+
+/// Inclusive line ranges of `#[cfg(test)]`-gated items (plus, the caller
+/// may treat whole files under `tests/`, `benches/`, `examples/` as test
+/// code). Findings are not raised inside test code: tests may unwrap and
+/// iterate freely, their output never reaches a dataset.
+pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip to the attribute's closing bracket.
+        let mut j = i + 2;
+        let mut bracket_depth = 1i32;
+        while j < tokens.len() && bracket_depth > 0 {
+            if tokens[j].is_punct('[') {
+                bracket_depth += 1;
+            } else if tokens[j].is_punct(']') {
+                bracket_depth -= 1;
+            }
+            j += 1;
+        }
+        // The gated item: find its body (first `{` before any `;`) and the
+        // matching close brace.
+        let mut body_start = None;
+        while j < tokens.len() {
+            if tokens[j].is_punct(';') {
+                break; // item without a body (e.g. a gated `use`)
+            }
+            if tokens[j].is_punct('{') {
+                body_start = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = body_start {
+            let mut depth = 0i32;
+            let mut k = open;
+            while k < tokens.len() {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            let end_line = tokens.get(k).or_else(|| tokens.last()).map_or(start_line, |t| t.line);
+            spans.push((start_line, end_line));
+            i = k.max(i + 1);
+        } else {
+            i = j.max(i + 1);
+        }
+    }
+    spans
+}
+
+fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Everything the rules need to scan one file.
+pub struct FileInput<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Source text.
+    pub source: &'a str,
+    /// Hot-path manifest entries for this file.
+    pub hotpaths: &'a [HotPathFn],
+}
+
+/// Result of scanning one file.
+pub struct FileScan {
+    /// Findings that survived suppression filtering.
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by justified suppressions.
+    pub suppressed: usize,
+}
+
+/// Scan one file: lex, run every applicable rule, then apply suppressions.
+pub fn scan_file(input: &FileInput<'_>) -> FileScan {
+    let lexed = lex(input.source);
+    let suppressions = parse_suppressions(&lexed.comments);
+    let is_test_file = input.path.contains("/tests/")
+        || input.path.contains("/benches/")
+        || input.path.starts_with("tests/")
+        || input.path.starts_with("examples/");
+    let spans = if is_test_file {
+        vec![(0, u32::MAX)]
+    } else {
+        test_spans(&lexed.tokens)
+    };
+
+    let mut raw = Vec::new();
+    rule_nondeterministic_iteration(input, &lexed.tokens, &spans, &mut raw);
+    rule_wall_clock(input, &lexed.tokens, &mut raw);
+    rule_ambient_rng(input, &lexed.tokens, &mut raw);
+    rule_panic_in_ingest(input, &lexed.tokens, &spans, &mut raw);
+    rule_hot_path_alloc(input, &lexed.tokens, &spans, &mut raw);
+
+    apply_suppressions(input.path, raw, &suppressions)
+}
+
+/// Filter findings through suppressions; flag unjustified and unused ones.
+fn apply_suppressions(
+    path: &str,
+    raw: Vec<Finding>,
+    suppressions: &[Suppression],
+) -> FileScan {
+    let mut used = vec![false; suppressions.len()];
+    let mut unjustified: Vec<usize> = Vec::new();
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        // Prefer a same-line suppression over a line-above one: when both
+        // exist (adjacent suppressed lines), each must pair with its own
+        // finding or the same-line one is falsely reported as unused.
+        let names_rule =
+            |s: &&Suppression| s.rules.iter().any(|r| *r == f.rule);
+        let hit = suppressions
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.line == f.line && names_rule(s))
+            .or_else(|| {
+                suppressions
+                    .iter()
+                    .enumerate()
+                    .find(|(_, s)| s.line + 1 == f.line && names_rule(s))
+            });
+        match hit {
+            Some((idx, s)) => {
+                used[idx] = true;
+                if s.justified {
+                    suppressed += 1;
+                } else {
+                    unjustified.push(idx);
+                }
+            }
+            None => findings.push(f),
+        }
+    }
+    for idx in unjustified {
+        let s = &suppressions[idx];
+        findings.push(Finding {
+            rule: "unjustified-suppression".to_string(),
+            path: path.to_string(),
+            line: s.line,
+            message: format!(
+                "suppression for `{}` has no justification; write `// simlint: allow({}) — <why>`",
+                s.rules.join(", "),
+                s.rules.join(", "),
+            ),
+        });
+    }
+    for (idx, s) in suppressions.iter().enumerate() {
+        if !used[idx] {
+            findings.push(Finding {
+                rule: "unused-suppression".to_string(),
+                path: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression for `{}` matches no finding; delete it",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+    FileScan { findings, suppressed }
+}
+
+fn push(out: &mut Vec<Finding>, rule: &str, path: &str, line: u32, message: String) {
+    // One finding per (rule, line): a line like `a.iter().chain(b.iter())`
+    // is one reviewable site, not two.
+    if out.iter().any(|f| f.rule == rule && f.line == line && f.path == path) {
+        return;
+    }
+    out.push(Finding { rule: rule.to_string(), path: path.to_string(), line, message });
+}
+
+/// `nondeterministic-iteration`: in dataset crates, iterating an
+/// identifier this file declares as `HashMap`/`HashSet`.
+fn rule_nondeterministic_iteration(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    test_spans: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !DATASET_CRATES.iter().any(|c| input.path.starts_with(c)) {
+        return;
+    }
+    // Pass 1: names bound to an unordered map or set anywhere in the file
+    // (fields `name: HashMap<..>`, params, and `let name = HashMap::new()`).
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk backwards over path segments (`std::collections::`),
+        // references, and `mut` to find `name :` or `name =`.
+        let mut j = i;
+        while j >= 2 {
+            let prev = &tokens[j - 1];
+            if prev.is_punct(':') && j >= 2 && tokens[j - 2].is_punct(':') {
+                // `::` path segment — skip the segment identifier too.
+                j -= 3;
+                continue;
+            }
+            if prev.is_punct('&') || prev.is_ident("mut") || prev.kind == TokenKind::Lifetime {
+                j -= 1;
+                continue;
+            }
+            if (prev.is_punct(':') || prev.is_punct('=')) && j >= 2 {
+                let name = &tokens[j - 2];
+                if name.kind == TokenKind::Ident && !KEYWORDS.contains(&name.text.as_str()) {
+                    names.push(name.text.clone());
+                }
+            }
+            break;
+        }
+    }
+    names.sort();
+    names.dedup();
+    if names.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration sites over those names.
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if in_spans(test_spans, t.line) {
+            continue;
+        }
+        // name.method( where method iterates.
+        if t.kind == TokenKind::Ident
+            && names.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+        {
+            if let Some(m) = tokens.get(i + 2) {
+                if m.kind == TokenKind::Ident
+                    && ITERATING_METHODS.contains(&m.text.as_str())
+                    && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+                {
+                    push(
+                        out,
+                        "nondeterministic-iteration",
+                        input.path,
+                        m.line,
+                        format!(
+                            "`{}.{}()` iterates a HashMap/HashSet in a crate feeding Datasets; \
+                             use BTreeMap/BTreeSet or sort before iterating",
+                            t.text, m.text
+                        ),
+                    );
+                }
+            }
+        }
+        // for x in [&mut] [self.] name {   — direct loop over the map.
+        if t.is_ident("for") {
+            if let Some(in_idx) =
+                (i + 1..tokens.len().min(i + 24)).find(|&k| tokens[k].is_ident("in"))
+            {
+                let mut k = in_idx + 1;
+                while tokens.get(k).is_some_and(|x| x.is_punct('&') || x.is_ident("mut")) {
+                    k += 1;
+                }
+                // Walk a field chain (`self.a.b`): the final segment names
+                // the collection being looped over.
+                while tokens.get(k).map_or(false, |x| x.kind == TokenKind::Ident)
+                    && tokens.get(k + 1).is_some_and(|x| x.is_punct('.'))
+                    && tokens.get(k + 2).map_or(false, |x| x.kind == TokenKind::Ident)
+                {
+                    k += 2;
+                }
+                if let (Some(name), Some(next)) = (tokens.get(k), tokens.get(k + 1)) {
+                    if name.kind == TokenKind::Ident
+                        && names.contains(&name.text)
+                        && next.is_punct('{')
+                    {
+                        push(
+                            out,
+                            "nondeterministic-iteration",
+                            input.path,
+                            name.line,
+                            format!(
+                                "`for .. in {}` iterates a HashMap/HashSet in a crate feeding \
+                                 Datasets; use BTreeMap/BTreeSet or sort before iterating",
+                                name.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // extend(name) — moves the map's iteration order into another table.
+        if t.is_ident("extend") && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let mut k = i + 2;
+            while tokens.get(k).is_some_and(|x| x.is_punct('&') || x.is_ident("mut")) {
+                k += 1;
+            }
+            while tokens.get(k).map_or(false, |x| x.kind == TokenKind::Ident)
+                && tokens.get(k + 1).is_some_and(|x| x.is_punct('.'))
+                && tokens.get(k + 2).map_or(false, |x| x.kind == TokenKind::Ident)
+            {
+                k += 2;
+            }
+            if let (Some(name), Some(close)) = (tokens.get(k), tokens.get(k + 1)) {
+                if name.kind == TokenKind::Ident && names.contains(&name.text) && close.is_punct(')')
+                {
+                    push(
+                        out,
+                        "nondeterministic-iteration",
+                        input.path,
+                        name.line,
+                        format!(
+                            "`extend({})` drains a HashMap/HashSet in map order into another \
+                             collection; use BTreeMap/BTreeSet or sort first",
+                            name.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `wall-clock`: `Instant::now` / `SystemTime` outside `crates/bench`.
+fn rule_wall_clock(input: &FileInput<'_>, tokens: &[Token], out: &mut Vec<Finding>) {
+    if input.path.starts_with("crates/bench/") {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            push(
+                out,
+                "wall-clock",
+                input.path,
+                t.line,
+                "`Instant::now()` reads the host clock; simulation code must use SimTime \
+                 (wall-clock timing belongs in crates/bench)"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("SystemTime") {
+            push(
+                out,
+                "wall-clock",
+                input.path,
+                t.line,
+                "`SystemTime` reads the host clock; simulation code must use SimTime".to_string(),
+            );
+        }
+    }
+}
+
+/// `ambient-rng`: entropy-seeded randomness anywhere in the workspace.
+fn rule_ambient_rng(input: &FileInput<'_>, tokens: &[Token], out: &mut Vec<Finding>) {
+    for t in tokens {
+        let bad = ["thread_rng", "from_entropy", "OsRng", "ThreadRng"]
+            .iter()
+            .any(|b| t.is_ident(b));
+        if bad {
+            push(
+                out,
+                "ambient-rng",
+                input.path,
+                t.line,
+                format!(
+                    "`{}` draws ambient entropy; all randomness must flow from the seeded \
+                     SmallRng derivation tree (simnet::rng::DetRng)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `panic-in-ingest`: potential panics on the ingest/export/upload path.
+fn rule_panic_in_ingest(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    test_spans: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !INGEST_FILES.contains(&input.path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(test_spans, t.line) {
+            continue;
+        }
+        // .unwrap( / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                out,
+                "panic-in-ingest",
+                input.path,
+                t.line,
+                format!(
+                    "`.{}()` can panic on the ingest path; return a typed error, handle the \
+                     None/Err case, or document infallibility with a suppression",
+                    t.text
+                ),
+            );
+        }
+        // panic!/unreachable!/todo!/unimplemented!
+        if ["panic", "unreachable", "todo", "unimplemented"].iter().any(|m| t.is_ident(m))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                out,
+                "panic-in-ingest",
+                input.path,
+                t.line,
+                format!("`{}!` aborts ingestion; degrade into a typed error instead", t.text),
+            );
+        }
+        // Slice/array indexing: `[` directly after an expression tail.
+        if t.is_punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexes_expr = (prev.kind == TokenKind::Ident
+                && !KEYWORDS.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if indexes_expr {
+                push(
+                    out,
+                    "panic-in-ingest",
+                    input.path,
+                    t.line,
+                    "slice indexing can panic on the ingest path; use .get() or document the \
+                     bounds invariant with a suppression"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// `hot-path-alloc`: allocation constructors inside manifest functions.
+fn rule_hot_path_alloc(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    test_spans: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    for hp in input.hotpaths {
+        let mut found_fn = false;
+        let mut i = 0usize;
+        while i + 1 < tokens.len() {
+            if !(tokens[i].is_ident("fn")
+                && tokens[i + 1].is_ident(&hp.func)
+                && !in_spans(test_spans, tokens[i].line))
+            {
+                i += 1;
+                continue;
+            }
+            found_fn = true;
+            // Find the body: first `{` after the signature. A `;` ends a
+            // bodyless trait method — but only at bracket depth 0, since
+            // array types in the signature (`[u8; LEN]`) also contain `;`.
+            let mut j = i + 2;
+            let mut bracket_depth = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('[') || t.is_punct('(') {
+                    bracket_depth += 1;
+                } else if t.is_punct(']') || t.is_punct(')') {
+                    bracket_depth -= 1;
+                } else if t.is_punct('{') || (t.is_punct(';') && bracket_depth == 0) {
+                    break;
+                }
+                j += 1;
+            }
+            if j >= tokens.len() || tokens[j].is_punct(';') {
+                i = j;
+                continue; // trait method without body
+            }
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < tokens.len() {
+                if tokens[k].is_punct('{') {
+                    depth += 1;
+                } else if tokens[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            scan_alloc_sites(input, tokens, j, k.min(tokens.len()), &hp.func, out);
+            i = k.max(i + 1);
+        }
+        if !found_fn {
+            push(
+                out,
+                "hot-path-alloc",
+                input.path,
+                1,
+                format!(
+                    "hot-path manifest names `{}::{}` but no such fn exists; update \
+                     simlint-hotpaths.txt",
+                    hp.path, hp.func
+                ),
+            );
+        }
+    }
+}
+
+fn scan_alloc_sites(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    func: &str,
+    out: &mut Vec<Finding>,
+) {
+    for i in start..end {
+        let t = &tokens[i];
+        let msg = |what: &str| {
+            format!(
+                "`{what}` allocates inside hot-path fn `{func}` (pinned allocation-free by \
+                 crates/firmware/tests/alloc.rs and simlint-hotpaths.txt)"
+            )
+        };
+        // Vec::new, Vec::with_capacity, String::new/from, Box::new.
+        if ["Vec", "String", "Box"].iter().any(|s| t.is_ident(s))
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+        {
+            if let Some(m) = tokens.get(i + 3) {
+                if ["new", "with_capacity", "from"].iter().any(|s| m.is_ident(s)) {
+                    push(
+                        out,
+                        "hot-path-alloc",
+                        input.path,
+                        t.line,
+                        msg(&format!("{}::{}", t.text, m.text)),
+                    );
+                }
+            }
+        }
+        // vec! / format! macros.
+        if (t.is_ident("vec") || t.is_ident("format"))
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct('!'))
+        {
+            push(out, "hot-path-alloc", input.path, t.line, msg(&format!("{}!", t.text)));
+        }
+        // .to_vec() .to_string() .to_owned() .clone() .collect()
+        if i > 0
+            && tokens[i - 1].is_punct('.')
+            && ["to_vec", "to_string", "to_owned", "clone", "collect"]
+                .iter()
+                .any(|s| t.is_ident(s))
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct('(') || a.is_punct(':'))
+        {
+            push(out, "hot-path-alloc", input.path, t.line, msg(&format!(".{}()", t.text)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, source: &str) -> Vec<Finding> {
+        scan_file(&FileInput { path, source, hotpaths: &[] }).findings
+    }
+
+    fn scan_hot(path: &str, source: &str, func: &str) -> Vec<Finding> {
+        let hp = vec![HotPathFn { path: path.to_string(), func: func.to_string() }];
+        scan_file(&FileInput { path, source, hotpaths: &hp }).findings
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged_in_dataset_crate() {
+        let src = "
+            use std::collections::HashMap;
+            struct S { leases: HashMap<u32, u32> }
+            impl S {
+                fn count(&self) -> usize { self.leases.values().count() }
+            }";
+        let f = scan("crates/simnet/src/dhcp.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "nondeterministic-iteration");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn hashmap_iteration_ignored_outside_dataset_crates() {
+        let src = "
+            use std::collections::HashMap;
+            fn f(m: HashMap<u32, u32>) { for x in m { drop(x); } }";
+        assert!(scan("crates/analysis/src/usage.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_and_extend_flagged() {
+        let src = "
+            use std::collections::HashMap;
+            fn f(seen: HashMap<u32, u32>, out: &mut Vec<(u32, u32)>) {
+                for pair in &seen {
+                    drop(pair);
+                }
+                out.extend(seen);
+            }";
+        let f = scan("crates/collector/src/server.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn btreemap_is_fine() {
+        let src = "
+            use std::collections::BTreeMap;
+            struct S { leases: BTreeMap<u32, u32> }
+            impl S {
+                fn count(&self) -> usize { self.leases.values().count() }
+            }";
+        assert!(scan("crates/simnet/src/dhcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn iteration_in_cfg_test_module_exempt() {
+        let src = "
+            use std::collections::HashMap;
+            fn decl(m: HashMap<u32, u32>) -> usize { m.len() }
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() {
+                    let counts: HashMap<u32, u32> = HashMap::new();
+                    for x in counts.values() { drop(x); }
+                }
+            }";
+        assert!(scan("crates/household/src/devices.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let f = scan("crates/core/src/study.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        assert!(scan("crates/bench/src/bin/e2e.rs", src).is_empty(), "bench crate exempt");
+    }
+
+    #[test]
+    fn ambient_rng_flagged_everywhere_even_tests() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }";
+        for path in ["crates/simnet/src/rng.rs", "crates/simnet/tests/properties.rs"] {
+            let f = scan(path, src);
+            assert_eq!(f.len(), 1, "{path}");
+            assert_eq!(f[0].rule, "ambient-rng");
+        }
+    }
+
+    #[test]
+    fn rng_names_inside_strings_not_flagged() {
+        let src = r#"fn f() { let s = "thread_rng"; }"#;
+        assert!(scan("crates/simnet/src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_ingest_unwrap_and_index() {
+        let src = "
+            fn ingest(v: &[u8]) -> u8 {
+                let first = v.first().unwrap();
+                v[10] + first
+            }";
+        let f = scan("crates/collector/src/server.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "panic-in-ingest"));
+        assert!(scan("crates/collector/src/windows.rs", src).is_empty(), "path-scoped");
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(scan("crates/collector/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn array_types_and_literals_not_indexing() {
+        let src = "
+            fn f(buf: &mut [u8; 4]) -> [u8; 2] {
+                let _x: Vec<[u8; 4]> = vec![];
+                let [a, b] = [0u8, 1u8];
+                [a, b]
+            }";
+        assert!(scan("crates/firmware/src/uploader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_flags_constructors() {
+        let src = "
+            impl H {
+                pub fn emit_into(&self, out: &mut [u8]) {
+                    let tmp = Vec::new();
+                    let s = format!(\"{}\", 1);
+                    let c = self.name.clone();
+                }
+                pub fn cold(&self) -> Vec<u8> { self.bytes.to_vec() }
+            }";
+        let f = scan_hot("crates/firmware/src/heartbeat.rs", src, "emit_into");
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "hot-path-alloc"));
+        assert!(f.iter().all(|x| (4..=6).contains(&x.line)), "cold fn not scanned: {f:?}");
+    }
+
+    #[test]
+    fn hot_path_fn_with_array_type_in_signature_is_scanned() {
+        // `[u8; LEN]` puts a `;` inside the signature; it must not be
+        // mistaken for a bodyless trait method (the real `emit_into`
+        // signatures all take fixed-size output buffers).
+        let src = "
+            impl H {
+                pub fn emit_into(&self, out: &mut [u8; Self::WIRE_LEN]) {
+                    let tmp = Vec::new();
+                }
+            }";
+        let f = scan_hot("crates/firmware/src/heartbeat.rs", src, "emit_into");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hot-path-alloc");
+        let trait_src = "trait T { fn emit_into(&self, out: &mut [u8; 4]) -> [u8; 2]; }";
+        assert!(scan_hot("crates/firmware/src/heartbeat.rs", trait_src, "emit_into").is_empty());
+    }
+
+    #[test]
+    fn hot_path_stale_manifest_entry_is_a_finding() {
+        let f = scan_hot("crates/firmware/src/heartbeat.rs", "fn other() {}", "emit_into");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hot-path-alloc");
+        assert!(f[0].message.contains("no such fn"));
+    }
+
+    #[test]
+    fn justified_suppression_silences_finding() {
+        let src = "
+            fn f() {
+                // simlint: allow(wall-clock) — CLI phase timing, never reaches datasets
+                let t = std::time::Instant::now();
+            }";
+        let scanned = scan_file(&FileInput {
+            path: "crates/core/src/study.rs",
+            source: src,
+            hotpaths: &[],
+        });
+        assert!(scanned.findings.is_empty(), "{:?}", scanned.findings);
+        assert_eq!(scanned.suppressed, 1);
+    }
+
+    #[test]
+    fn same_line_suppression_works() {
+        let src =
+            "fn f() { let t = std::time::Instant::now(); } // simlint: allow(wall-clock) — timing";
+        assert!(scan("crates/core/src/study.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_justification_fails() {
+        let src = "
+            fn f() {
+                // simlint: allow(wall-clock)
+                let t = std::time::Instant::now();
+            }";
+        let f = scan("crates/core/src/study.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unjustified-suppression");
+    }
+
+    #[test]
+    fn suppression_for_wrong_rule_does_not_silence() {
+        let src = "
+            fn f() {
+                // simlint: allow(ambient-rng) — wrong rule named
+                let t = std::time::Instant::now();
+            }";
+        let f = scan("crates/core/src/study.rs", src);
+        assert!(f.iter().any(|x| x.rule == "wall-clock"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "unused-suppression"), "{f:?}");
+    }
+
+    #[test]
+    fn unused_suppression_is_reported() {
+        let src = "// simlint: allow(wall-clock) — nothing here anymore\nfn f() {}";
+        let f = scan("crates/core/src/study.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unused-suppression");
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "
+            fn ingest(v: &[u8]) -> u8 {
+                // simlint: allow(panic-in-ingest) — length checked by caller contract
+                v[0]
+            }";
+        assert!(scan("crates/collector/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_create_suppressions() {
+        let src = "
+            /// Mentioning the syntax in docs is fine: simlint: allow(wall-clock) — example
+            fn f() {}";
+        assert!(scan("crates/core/src/study.rs", src).is_empty(), "no unused-suppression");
+    }
+
+    #[test]
+    fn hotpath_manifest_parsing() {
+        let text = "# comment\n\ncrates/firmware/src/heartbeat.rs::emit_into\n\
+                    crates/firmware/src/uploader.rs::seal\n";
+        let hp = parse_hotpaths(text);
+        assert_eq!(hp.len(), 2);
+        assert_eq!(hp[0].path, "crates/firmware/src/heartbeat.rs");
+        assert_eq!(hp[0].func, "emit_into");
+        assert_eq!(hp[1].func, "seal");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the scanner itself.
+//!
+//! Two invariants matter more than any individual rule:
+//!
+//! * the scanner must never panic, whatever bytes it is pointed at — it
+//!   runs inside `cargo test` on every build, so a crash on weird input
+//!   would take the whole gate down with it;
+//! * a justified suppression must actually silence its finding, and only
+//!   its finding — otherwise the escape hatch is either useless or a hole.
+
+use proptest::prelude::*;
+use simlint::rules::{parse_hotpaths, scan_file, FileInput};
+
+/// Single-line statements that each trip exactly one rule when placed in
+/// `crates/collector/src/server.rs` (a dataset crate and an ingest file),
+/// plus neutral filler. Kept single-line and comment-free so a `//`
+/// suppression can be appended to any of them.
+const FRAGMENTS: &[&str] = &[
+    "    let mut m: HashMap<u32, u32> = HashMap::new();",
+    "    for (k, v) in m.iter() { let _ = (k, v); }",
+    "    let _t = std::time::Instant::now();",
+    "    let mut _r = rand::thread_rng();",
+    "    let _v = input.unwrap();",
+    "    let _e = buf[0];",
+    "    let _x = 1u64 + 2;",
+    "    let _s = other.len();",
+];
+
+fn assemble(picks: &[usize]) -> String {
+    let mut src = String::from("fn scanned(input: Option<u32>, buf: &[u8], other: &str) {\n");
+    for &p in picks {
+        src.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
+        src.push('\n');
+    }
+    src.push_str("}\n");
+    src
+}
+
+fn scan(source: &str) -> simlint::rules::FileScan {
+    let hotpaths = parse_hotpaths("crates/collector/src/server.rs::scanned");
+    scan_file(&FileInput {
+        path: "crates/collector/src/server.rs",
+        source,
+        hotpaths: &hotpaths,
+    })
+}
+
+proptest! {
+    /// The lexer and every rule must survive arbitrary (lossily decoded)
+    /// bytes: unterminated strings, stray quotes, half comments, NULs.
+    #[test]
+    fn scanner_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let source = String::from_utf8_lossy(&bytes);
+        let scan = scan_file(&FileInput {
+            path: "crates/simnet/src/fuzzed.rs",
+            source: &source,
+            hotpaths: &[],
+        });
+        for f in &scan.findings {
+            prop_assert!(f.line >= 1, "finding lines are 1-based: {f:?}");
+        }
+    }
+
+    /// Appending a justified allow-comment to every finding line silences
+    /// exactly those findings: the rescan is clean, every original finding
+    /// is accounted for as suppressed, and no unused-suppression noise
+    /// appears.
+    #[test]
+    fn suppressed_findings_never_escape(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..40)) {
+        let source = assemble(&picks);
+        let first = scan(&source);
+
+        let mut lines: Vec<String> = source.lines().map(String::from).collect();
+        let mut per_line: std::collections::BTreeMap<u32, Vec<String>> = std::collections::BTreeMap::new();
+        for f in &first.findings {
+            per_line.entry(f.line).or_default().push(f.rule.clone());
+        }
+        for (line, mut rules) in per_line {
+            rules.sort();
+            rules.dedup();
+            let idx = (line - 1) as usize;
+            lines[idx].push_str(&format!(" // simlint: allow({}) — fuzz-injected", rules.join(", ")));
+        }
+        let patched = lines.join("\n");
+
+        let second = scan(&patched);
+        prop_assert!(
+            second.findings.is_empty(),
+            "suppressed findings escaped or suppressions misfired: {:?}",
+            second.findings
+        );
+        prop_assert_eq!(second.suppressed, first.findings.len());
+    }
+
+    /// The same comments without justification text must NOT produce a
+    /// clean scan: every suppression surfaces as unjustified-suppression.
+    #[test]
+    fn unjustified_suppressions_always_surface(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..40)) {
+        let source = assemble(&picks);
+        let first = scan(&source);
+        prop_assume!(!first.findings.is_empty());
+
+        let mut lines: Vec<String> = source.lines().map(String::from).collect();
+        let mut suppressed_lines = 0usize;
+        let mut per_line: std::collections::BTreeMap<u32, Vec<String>> = std::collections::BTreeMap::new();
+        for f in &first.findings {
+            per_line.entry(f.line).or_default().push(f.rule.clone());
+        }
+        for (line, mut rules) in per_line {
+            rules.sort();
+            rules.dedup();
+            let idx = (line - 1) as usize;
+            lines[idx].push_str(&format!(" // simlint: allow({})", rules.join(", ")));
+            suppressed_lines += 1;
+        }
+        let patched = lines.join("\n");
+
+        let second = scan(&patched);
+        let unjustified =
+            second.findings.iter().filter(|f| f.rule == "unjustified-suppression").count();
+        prop_assert_eq!(unjustified, suppressed_lines);
+        prop_assert_eq!(second.suppressed, 0);
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::packet::{MacAddr, ParseError};
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Default neighbor-entry lifetime (Linux base_reachable_time ballpark).
@@ -127,7 +127,7 @@ impl ArpPacket {
 /// A neighbor table with aging — the structure the census actually reads.
 #[derive(Debug, Default)]
 pub struct NeighborTable {
-    entries: HashMap<Ipv4Addr, (MacAddr, SimTime)>,
+    entries: BTreeMap<Ipv4Addr, (MacAddr, SimTime)>,
 }
 
 impl NeighborTable {

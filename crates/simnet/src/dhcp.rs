@@ -9,7 +9,7 @@
 
 use crate::packet::MacAddr;
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Default lease lifetime (the common consumer-gateway value of 24 h).
@@ -43,7 +43,7 @@ pub struct DhcpServer {
     /// gateway itself, .255 broadcast).
     subnet: [u8; 3],
     lease_time: SimDuration,
-    leases: HashMap<MacAddr, Lease>,
+    leases: BTreeMap<MacAddr, Lease>,
     next_host: u8,
 }
 
@@ -55,7 +55,7 @@ impl DhcpServer {
 
     /// A server for an arbitrary /24.
     pub fn with_subnet(subnet: [u8; 3], lease_time: SimDuration) -> Self {
-        DhcpServer { subnet, lease_time, leases: HashMap::new(), next_host: 2 }
+        DhcpServer { subnet, lease_time, leases: BTreeMap::new(), next_host: 2 }
     }
 
     /// The gateway's own address (.1).

@@ -13,7 +13,7 @@
 use crate::packet::ParseError;
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -322,7 +322,7 @@ impl DnsResponse {
 /// The simulated Internet's authoritative record store.
 #[derive(Debug, Default, Clone)]
 pub struct ZoneDb {
-    records: HashMap<DomainName, (RecordData, SimDuration)>,
+    records: BTreeMap<DomainName, (RecordData, SimDuration)>,
 }
 
 impl ZoneDb {
@@ -381,7 +381,7 @@ impl ZoneDb {
 /// A caching stub resolver (the gateway's dnsmasq equivalent).
 #[derive(Debug, Default)]
 pub struct CachingResolver {
-    cache: HashMap<DomainName, (Ipv4Addr, SimTime)>,
+    cache: BTreeMap<DomainName, (Ipv4Addr, SimTime)>,
     hits: u64,
     misses: u64,
 }

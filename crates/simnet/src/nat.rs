@@ -14,7 +14,7 @@
 
 use crate::packet::{Endpoint, FiveTuple, IpProtocol};
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Default idle timeout for UDP mappings (typical CPE value).
@@ -86,9 +86,9 @@ pub struct Nat {
     wan_addr: Ipv4Addr,
     /// (proto, LAN endpoint) -> mapping. Endpoint-independent: one WAN port
     /// per LAN endpoint regardless of destination.
-    by_lan: HashMap<(IpProtocol, Endpoint), Mapping>,
+    by_lan: BTreeMap<(IpProtocol, Endpoint), Mapping>,
     /// (proto, WAN port) -> LAN endpoint, the inbound direction.
-    by_wan: HashMap<(IpProtocol, u16), Endpoint>,
+    by_wan: BTreeMap<(IpProtocol, u16), Endpoint>,
     next_port: u16,
     udp_timeout: SimDuration,
     tcp_timeout: SimDuration,
@@ -113,8 +113,8 @@ impl Nat {
         assert!(capacity > 0);
         Nat {
             wan_addr,
-            by_lan: HashMap::new(),
-            by_wan: HashMap::new(),
+            by_lan: BTreeMap::new(),
+            by_wan: BTreeMap::new(),
             next_port: PORT_RANGE_START,
             udp_timeout,
             tcp_timeout,

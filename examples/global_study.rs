@@ -26,6 +26,7 @@ fn main() {
 
     let span_days = config.windows.span.duration().as_days_f64();
     eprintln!("Running the deployment over {span_days:.0} virtual days on {} threads...", config.threads);
+    // simlint: allow(wall-clock) — example prints wall-clock runtime for the reader; the study itself runs on SimTime
     let started = std::time::Instant::now();
     let output = run_study(&config);
     eprintln!(

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline verification gate: build, test, and static-analysis in one
+# command — what CI would run on every push.
+#
+#   scripts/check.sh              # build + tests + simlint
+#   SKIP_TESTS=1 scripts/check.sh # simlint only (fast pre-commit loop)
+#
+# simlint enforces the workspace's static invariants (deterministic
+# iteration in dataset crates, no wall-clock or ambient RNG in simulation
+# code, no panics on the ingest path, no allocation in manifest-listed hot
+# functions). The same scan runs as a test target (tests/simlint_clean.rs),
+# so `cargo test` alone also fails on a new finding; running it here too
+# gives the human-readable diagnostics first and a nonzero exit without
+# scanning the test harness output.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${SKIP_TESTS:-}" ]; then
+    echo "== build (release) =="
+    cargo build --release --offline --workspace
+    echo "== tests =="
+    cargo test -q --offline --workspace
+fi
+
+echo "== simlint =="
+cargo run -q --offline -p simlint -- --workspace
+echo "check.sh: all gates passed"

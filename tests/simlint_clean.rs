@@ -1,0 +1,42 @@
+//! Workspace gate: `cargo test` fails on any new unsuppressed simlint
+//! finding, so the invariants hold on every build — not only when
+//! someone remembers to run the binary.
+//!
+//! Registered as a test target of the `simlint` crate itself (see
+//! `crates/simlint/Cargo.toml`), so it needs nothing but the linter.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "workspace root not found at {}", root.display());
+
+    let report = simlint::scan_workspace(&root).expect("workspace scan succeeds");
+    assert!(report.files > 100, "scan must cover the whole workspace, saw {}", report.files);
+    assert!(
+        report.is_clean(),
+        "simlint found {} unsuppressed finding(s):\n{}",
+        report.findings.len(),
+        report.render_human(),
+    );
+}
+
+#[test]
+fn suppressions_all_carry_justifications() {
+    // `scan_workspace` already turns unjustified suppressions into
+    // findings; this test documents the policy separately so a failure
+    // names it directly. Every allow-comment must end in a justification.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf();
+    let report = simlint::scan_workspace(&root).expect("workspace scan succeeds");
+    let bad: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "unjustified-suppression" || f.rule == "unused-suppression")
+        .collect();
+    assert!(bad.is_empty(), "suppression hygiene violations: {bad:#?}");
+}
