@@ -144,6 +144,19 @@ struct DeploymentPart {
     latency: Vec<crate::latency::RegionLatency>,
 }
 
+/// Compute one artifact while measuring its wall-clock cost into the named
+/// `obs` wall span. The artifact is a pure function of the snapshot and the
+/// span is write-only host profiling (it reaches the manifest's text
+/// summary, never `metrics.json` or the report), so timing cannot perturb
+/// results.
+fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    // simlint: allow(wall-clock) — per-figure host profiling recorded into obs wall spans; never feeds figures or exports
+    let start = std::time::Instant::now();
+    let value = f();
+    obs::wall_span(name).record_micros(start.elapsed().as_micros() as u64);
+    value
+}
+
 impl StudyReport {
     /// Compute every figure and table from a snapshot.
     ///
@@ -153,7 +166,7 @@ impl StudyReport {
     /// Each group is internally deterministic, so the parallel report is
     /// identical to the sequential one.
     pub fn compute(data: &Datasets, windows: ReportWindows) -> StudyReport {
-        let idx = &DataIndex::new(data);
+        let idx = &timed("analysis_index", || DataIndex::new(data));
         let (avail, infra, usage_part, deploy) = crossbeam::scope(|scope| {
             let avail = scope.spawn(move |_| Self::compute_availability(data, idx, windows));
             let infra = scope.spawn(move |_| Self::compute_infrastructure(data, idx, windows));
@@ -204,14 +217,17 @@ impl StudyReport {
         idx: &DataIndex,
         windows: ReportWindows,
     ) -> AvailabilityPart {
-        let routers = availability::per_router(data, windows.heartbeats);
+        let routers =
+            timed("analysis_availability_per_router", || availability::per_router(data, windows.heartbeats));
         AvailabilityPart {
-            fig3: availability::fig3(&routers),
-            fig4: availability::fig4(&routers),
-            fig5: availability::fig5(&routers),
-            fig6: availability::fig6_archetypes_with(idx, &routers),
-            table3: highlights::table3(&routers),
-            coverage: availability::median_coverage_by_country(&routers),
+            fig3: timed("analysis_fig3", || availability::fig3(&routers)),
+            fig4: timed("analysis_fig4", || availability::fig4(&routers)),
+            fig5: timed("analysis_fig5", || availability::fig5(&routers)),
+            fig6: timed("analysis_fig6", || availability::fig6_archetypes_with(idx, &routers)),
+            table3: timed("analysis_table3", || highlights::table3(&routers)),
+            coverage: timed("analysis_coverage", || {
+                availability::median_coverage_by_country(&routers)
+            }),
             routers,
         }
     }
@@ -221,15 +237,18 @@ impl StudyReport {
         idx: &DataIndex,
         windows: ReportWindows,
     ) -> InfrastructurePart {
-        let fig10 = infrastructure::fig10(data, windows.devices);
-        let fig11 = infrastructure::fig11_with(idx, windows.wifi);
-        let table5 = infrastructure::table5_with(idx, windows.devices);
+        let fig10 = timed("analysis_fig10", || infrastructure::fig10(data, windows.devices));
+        let fig11 = timed("analysis_fig11", || infrastructure::fig11_with(idx, windows.wifi));
+        let table5 =
+            timed("analysis_table5", || infrastructure::table5_with(idx, windows.devices));
         InfrastructurePart {
-            fig7: infrastructure::fig7(data, windows.devices),
-            fig8: infrastructure::fig8_with(idx, windows.devices),
-            fig9: infrastructure::fig9(data, windows.devices),
-            fig12: infrastructure::fig12(data),
-            table4: highlights::table4_from(&table5, &fig10, &fig11),
+            fig7: timed("analysis_fig7", || infrastructure::fig7(data, windows.devices)),
+            fig8: timed("analysis_fig8", || infrastructure::fig8_with(idx, windows.devices)),
+            fig9: timed("analysis_fig9", || infrastructure::fig9(data, windows.devices)),
+            fig12: timed("analysis_fig12", || infrastructure::fig12(data)),
+            table4: timed("analysis_table4", || {
+                highlights::table4_from(&table5, &fig10, &fig11)
+            }),
             fig10,
             fig11,
             table5,
@@ -237,8 +256,8 @@ impl StudyReport {
     }
 
     fn compute_usage(data: &Datasets, idx: &DataIndex, windows: ReportWindows) -> UsagePart {
-        let fig13 = usage::fig13_with(idx, windows.wifi);
-        let fig15 = usage::fig15_with(idx, windows.traffic);
+        let fig13 = timed("analysis_fig13", || usage::fig13_with(idx, windows.wifi));
+        let fig15 = timed("analysis_fig15", || usage::fig15_with(idx, windows.traffic));
         // Fig 14 exemplar: an ordinary busy home — meaningful utilization
         // with clear headroom, as in the paper's example (its Fig 14 home
         // peaks well below capacity on most days).
@@ -252,15 +271,18 @@ impl StudyReport {
                     .expect("finite")
             })
             .map(|p| p.router);
-        let fig14 = fig14_home.and_then(|r| usage::fig14_with(idx, windows.traffic, r));
-        let fig16 = usage::fig16_from(idx, windows.traffic, &fig15);
-        let fig17 = usage::fig17(data, windows.traffic);
-        let tallies = usage::domain_tallies(idx, windows.traffic);
-        let fig18 = usage::fig18_from(&tallies);
-        let fig19 = usage::fig19_from(&tallies, 15);
-        let table6 = highlights::table6_from(&fig13, &fig15, &fig17, &fig19);
+        let fig14 = timed("analysis_fig14", || {
+            fig14_home.and_then(|r| usage::fig14_with(idx, windows.traffic, r))
+        });
+        let fig16 = timed("analysis_fig16", || usage::fig16_from(idx, windows.traffic, &fig15));
+        let fig17 = timed("analysis_fig17", || usage::fig17(data, windows.traffic));
+        let tallies = timed("analysis_domain_tallies", || usage::domain_tallies(idx, windows.traffic));
+        let fig18 = timed("analysis_fig18", || usage::fig18_from(&tallies));
+        let fig19 = timed("analysis_fig19", || usage::fig19_from(&tallies, 15));
+        let table6 =
+            timed("analysis_table6", || highlights::table6_from(&fig13, &fig15, &fig17, &fig19));
         UsagePart {
-            fig20: usage::fig20(data, windows.traffic, 100 * 1024),
+            fig20: timed("analysis_fig20", || usage::fig20(data, windows.traffic, 100 * 1024)),
             fig13,
             fig14,
             fig15,
@@ -274,19 +296,23 @@ impl StudyReport {
 
     fn compute_deployment(data: &Datasets, windows: ReportWindows) -> DeploymentPart {
         DeploymentPart {
-            table1: highlights::table1(data),
-            table2: highlights::table2(
-                data,
-                &[
-                    ("Heartbeats", windows.heartbeats),
-                    ("Capacity", windows.capacity),
-                    ("Uptime", windows.uptime),
-                    ("Devices", windows.devices),
-                    ("WiFi", windows.wifi),
-                    ("Traffic", windows.traffic),
-                ],
-            ),
-            latency: crate::latency::by_region(data, windows.heartbeats),
+            table1: timed("analysis_table1", || highlights::table1(data)),
+            table2: timed("analysis_table2", || {
+                highlights::table2(
+                    data,
+                    &[
+                        ("Heartbeats", windows.heartbeats),
+                        ("Capacity", windows.capacity),
+                        ("Uptime", windows.uptime),
+                        ("Devices", windows.devices),
+                        ("WiFi", windows.wifi),
+                        ("Traffic", windows.traffic),
+                    ],
+                )
+            }),
+            latency: timed("analysis_latency", || {
+                crate::latency::by_region(data, windows.heartbeats)
+            }),
         }
     }
 

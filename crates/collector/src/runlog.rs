@@ -164,6 +164,9 @@ pub struct UploadCounters {
     /// Gap declarations accepted onto the ledger (declared-lost batch
     /// ranges — the only path by which records are ever truly lost).
     pub gap_declarations: u64,
+    /// Per-router sequence watermark increments (a batch applied in order,
+    /// a buffered batch drained contiguous, or a declared gap skipped).
+    pub watermark_advances: u64,
 }
 
 impl UploadCounters {
@@ -174,6 +177,7 @@ impl UploadCounters {
         self.duplicates += other.duplicates;
         self.rejected += other.rejected;
         self.gap_declarations += other.gap_declarations;
+        self.watermark_advances += other.watermark_advances;
     }
 
     /// Batches that went through on their first attempt.
@@ -199,12 +203,14 @@ mod tests {
             duplicates: 3,
             rejected: 7,
             gap_declarations: 1,
+            watermark_advances: 4,
         };
         a.merge(b);
         assert_eq!(a.accepted, 15);
         assert_eq!(a.retried_accepted, 7);
         assert_eq!(a.delivered_first_try(), 8);
         assert_eq!((a.duplicates, a.rejected, a.gap_declarations), (3, 7, 1));
+        assert_eq!(a.watermark_advances, 4);
     }
 
     #[test]

@@ -335,6 +335,7 @@ impl Shard {
                 UploadOutcome::Duplicate
             }
             Disposition::Apply => {
+                self.counters.watermark_advances += 1;
                 self.counters.accepted += 1;
                 if attempt > 0 {
                     self.counters.retried_accepted += 1;
@@ -393,6 +394,7 @@ impl Shard {
                     None => return,
                 }
             };
+            self.counters.watermark_advances += 1;
             if let Pending::Batch(mut batch) = next {
                 self.ingest_many(batch.drain(..));
             }
@@ -611,6 +613,24 @@ impl Collector {
     /// Malformed heartbeat packets rejected so far.
     pub fn rejected_heartbeats(&self) -> u64 {
         self.rejected_heartbeats.load(Ordering::Relaxed)
+    }
+
+    /// Fold the server's delivery accounting into the global `obs`
+    /// registry. Every value is a sum over shards, so the publish is
+    /// order-independent; the study runner calls this once after the
+    /// simulation phase, never on the ingest hot path.
+    pub fn publish_metrics(&self) {
+        let c = self.upload_counters();
+        obs::counter("collector_accepted_total").add(c.accepted);
+        obs::counter("collector_retried_accepted_total").add(c.retried_accepted);
+        obs::counter("collector_duplicates_total").add(c.duplicates);
+        obs::counter("collector_rejected_total").add(c.rejected);
+        obs::counter("collector_gap_declarations_total").add(c.gap_declarations);
+        obs::counter("collector_watermark_advances_total").add(c.watermark_advances);
+        obs::counter("collector_heartbeats_rejected_total").add(self.rejected_heartbeats());
+        obs::counter("collector_records_dropped_outage_total").add(self.dropped_in_outage());
+        obs::counter("collector_heartbeats_dropped_downtime_total")
+            .add(self.dropped_in_downtime());
     }
 
     /// Snapshot everything collected so far, without disturbing ongoing

@@ -3,7 +3,7 @@
 //! ```text
 //! bismark-study run   [--seed N] [--days D | --full] [--threads T]
 //!                     [--faults SCENARIO] [--report FILE] [--export FILE]
-//!                     [--validate]
+//!                     [--metrics FILE] [--metrics-text] [--validate]
 //! bismark-study list-figures
 //! ```
 //!
@@ -11,13 +11,19 @@
 //! report, optionally exports the PII-free public data release as JSON
 //! (exactly what the paper released: everything except Traffic), and
 //! optionally validates the heartbeat instrument against ground truth.
+//! `--metrics` writes the deterministic run manifest (`metrics.json`);
+//! `--metrics-text` prints the human-readable summary — including the
+//! non-deterministic wall-clock host profile — to stderr.
+//!
+//! Flags are parsed strictly: an unrecognized flag (or a flag missing its
+//! value) is an error, not a silent no-op.
 
 use bismark::study::{run_study, StudyConfig};
 use bismark::validation;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--threads T] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] [--validate]\n  bismark-study list-figures"
+        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--threads T] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
     );
     std::process::exit(2)
 }
@@ -26,24 +32,76 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
-        Some("list-figures") => list_figures(),
+        Some("list-figures") if args.len() == 1 => list_figures(),
         _ => usage(),
     }
 }
 
-fn arg_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+/// Everything `run` accepts, resolved from the command line.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct RunOpts {
+    seed: u64,
+    days: u64,
+    full: bool,
+    threads: Option<usize>,
+    faults: Option<String>,
+    report: Option<String>,
+    export: Option<String>,
+    metrics: Option<String>,
+    metrics_text: bool,
+    validate: bool,
+}
+
+/// Strict flag parser: every token must be a known flag (with its value
+/// where one is required). Unknown or malformed flags are reported by name
+/// so a typo like `--export=x.json` or `--dya 7` fails loudly instead of
+/// silently running with defaults.
+fn parse_run(args: &[String]) -> Result<RunOpts, String> {
+    fn value<'a>(
+        flag: &str,
+        it: &mut std::slice::Iter<'a, String>,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("flag {flag} requires a value"))
+    }
+    fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+        raw.parse().map_err(|_| format!("flag {flag} expects a number, got {raw:?}"))
+    }
+
+    let mut opts = RunOpts { seed: 2013, days: 30, ..RunOpts::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_num(arg, value(arg, &mut it)?)?,
+            "--days" => opts.days = parse_num(arg, value(arg, &mut it)?)?,
+            "--full" => opts.full = true,
+            "--threads" => opts.threads = Some(parse_num(arg, value(arg, &mut it)?)?),
+            "--faults" => opts.faults = Some(value(arg, &mut it)?.clone()),
+            "--report" => opts.report = Some(value(arg, &mut it)?.clone()),
+            "--export" => opts.export = Some(value(arg, &mut it)?.clone()),
+            "--metrics" => opts.metrics = Some(value(arg, &mut it)?.clone()),
+            "--metrics-text" => opts.metrics_text = true,
+            "--validate" => opts.validate = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(opts)
 }
 
 fn run(args: &[String]) {
-    let seed: u64 = arg_value(args, "--seed").map_or(2013, |v| v.parse().expect("--seed N"));
-    let full = args.iter().any(|a| a == "--full");
-    let days: u64 = arg_value(args, "--days").map_or(30, |v| v.parse().expect("--days D"));
-    let mut config = if full { StudyConfig::full(seed) } else { StudyConfig::quick(seed, days) };
-    if let Some(threads) = arg_value(args, "--threads") {
-        config.threads = threads.parse().expect("--threads T");
+    let opts = parse_run(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+
+    // Fresh metric values for this run (handles and key set persist).
+    obs::reset();
+
+    let mut config =
+        if opts.full { StudyConfig::full(opts.seed) } else { StudyConfig::quick(opts.seed, opts.days) };
+    if let Some(threads) = opts.threads {
+        config.threads = threads;
     }
-    if let Some(scenario) = arg_value(args, "--faults") {
+    if let Some(scenario) = &opts.faults {
         config.faults = Some(scenario.parse().unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2)
@@ -51,7 +109,8 @@ fn run(args: &[String]) {
     }
 
     eprintln!(
-        "running seed {seed} over {:.0} virtual days on {} thread{}...",
+        "running seed {} over {:.0} virtual days on {} thread{}...",
+        opts.seed,
         config.windows.span.duration().as_days_f64(),
         config.threads,
         if config.threads == 1 { "" } else { "s" }
@@ -90,25 +149,47 @@ fn run(args: &[String]) {
         output.timings.snapshot.as_secs_f64(),
         analyze_started.elapsed().as_secs_f64()
     );
-    match arg_value(args, "--report") {
+    match &opts.report {
         Some(path) => {
-            std::fs::write(&path, &rendered).expect("write report file");
+            std::fs::write(path, &rendered).expect("write report file");
             eprintln!("report written to {path}");
         }
         None => println!("{rendered}"),
     }
 
-    if let Some(path) = arg_value(args, "--export") {
+    if let Some(path) = &opts.export {
         let json = collector::export::to_json(&output.datasets).expect("export serializes");
-        std::fs::write(&path, &json).expect("write export file");
+        std::fs::write(path, &json).expect("write export file");
         eprintln!(
             "public release ({} bytes, Traffic excluded) written to {path}",
             json.len()
         );
     }
 
-    if args.iter().any(|a| a == "--validate") {
-        let v = validation::validate_availability(&output, seed);
+    if opts.metrics.is_some() || opts.metrics_text {
+        let mut manifest = obs::manifest::RunManifest::new(obs::snapshot());
+        // Meta holds only run-describing strings so metrics.json stays
+        // byte-identical across repeat runs (and across thread counts —
+        // deliberately no timestamps, hostnames, or thread counts here).
+        manifest.set_meta("schema", "bismark-metrics/1");
+        manifest.set_meta("mode", if opts.full { "full" } else { "quick" });
+        manifest.set_meta("seed", opts.seed.to_string());
+        manifest.set_meta(
+            "virtual_days",
+            format!("{:.0}", config.windows.span.duration().as_days_f64()),
+        );
+        manifest.set_meta("faults", opts.faults.as_deref().unwrap_or("none"));
+        if let Some(path) = &opts.metrics {
+            std::fs::write(path, manifest.to_json()).expect("write metrics file");
+            eprintln!("metrics written to {path}");
+        }
+        if opts.metrics_text {
+            eprint!("{}", manifest.to_text());
+        }
+    }
+
+    if opts.validate {
+        let v = validation::validate_availability(&output, opts.seed);
         eprintln!(
             "instrument validation over {} homes: mean coverage error {:.4}, mean downtime-count error {:.2}",
             v.homes.len(),
@@ -147,5 +228,67 @@ fn list_figures() {
     ];
     for (id, what) in artifacts {
         println!("{id:<10} {what}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_run, RunOpts};
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_documented_values() {
+        let opts = parse_run(&[]).unwrap();
+        assert_eq!(opts, RunOpts { seed: 2013, days: 30, ..RunOpts::default() });
+    }
+
+    #[test]
+    fn all_flags_round_trip() {
+        let opts = parse_run(&strs(&[
+            "--seed", "7", "--days", "20", "--threads", "2", "--faults", "collector-flap",
+            "--report", "r.txt", "--export", "e.json", "--metrics", "m.json", "--metrics-text",
+            "--validate",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts,
+            RunOpts {
+                seed: 7,
+                days: 20,
+                full: false,
+                threads: Some(2),
+                faults: Some("collector-flap".into()),
+                report: Some("r.txt".into()),
+                export: Some("e.json".into()),
+                metrics: Some("m.json".into()),
+                metrics_text: true,
+                validate: true,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_named_in_the_error() {
+        let err = parse_run(&strs(&["--seed", "7", "--exprot", "e.json"])).unwrap_err();
+        assert!(err.contains("--exprot"), "error should name the bad flag: {err}");
+    }
+
+    #[test]
+    fn equals_style_flags_are_rejected() {
+        // We only support space-separated values; `--seed=7` must not be
+        // silently ignored.
+        let err = parse_run(&strs(&["--seed=7"])).unwrap_err();
+        assert!(err.contains("--seed=7"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_run(&strs(&["--report"])).unwrap_err();
+        assert!(err.contains("--report"), "{err}");
+        let err = parse_run(&strs(&["--days", "x"])).unwrap_err();
+        assert!(err.contains("--days"), "{err}");
     }
 }

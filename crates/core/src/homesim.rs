@@ -87,6 +87,21 @@ struct DeviceState {
     band: Option<Band>,
 }
 
+/// Observability for one home: pre-registered `obs` handles (registered
+/// once in [`HomeSim::new`], so increments never allocate or take the
+/// registry lock) plus local accumulators for the hot events. Everything
+/// here is write-only — nothing in the simulation ever reads a metric, so
+/// instrumentation cannot perturb results.
+struct HomeMetrics {
+    world: simnet::metrics::WorldMetrics,
+    flows: netstack::metrics::FlowMetrics,
+    fw: firmware::metrics::FirmwareMetrics,
+    /// Heartbeats sent this run; one per simulated minute while powered, so
+    /// it stays a plain local integer and folds into the shared counter
+    /// once, at end of run.
+    heartbeats_emitted: u64,
+}
+
 /// Parameters for one home's simulation.
 pub struct SimParams<'a> {
     /// The home to simulate.
@@ -147,6 +162,7 @@ pub struct HomeSim<'a> {
     out: Vec<Record>,
     /// Scratch buffer for DNS wire images, reused across lookups.
     dns_wire_buf: Vec<u8>,
+    metrics: HomeMetrics,
 }
 
 impl<'a> HomeSim<'a> {
@@ -184,7 +200,10 @@ impl<'a> HomeSim<'a> {
                 _ => base,
             }
         };
+        let powered_hist =
+            obs::histogram("home_powered_interval_micros", &obs::DURATION_BOUNDS_MICROS);
         for iv in &powered {
+            powered_hist.record(iv.end.since(iv.start).as_micros());
             queue.schedule(iv.start, Ev::PowerOn);
             if iv.end < span.end {
                 queue.schedule(iv.end, Ev::PowerOff);
@@ -279,6 +298,12 @@ impl<'a> HomeSim<'a> {
             rng_upload,
             out: Vec::with_capacity(out_capacity),
             dns_wire_buf: Vec::with_capacity(128),
+            metrics: HomeMetrics {
+                world: simnet::metrics::WorldMetrics::handles(),
+                flows: netstack::metrics::FlowMetrics::handles(),
+                fw: firmware::metrics::FirmwareMetrics::handles(),
+                heartbeats_emitted: 0,
+            },
         }
     }
 
@@ -360,6 +385,7 @@ impl<'a> HomeSim<'a> {
                 up.ack_front();
             } else {
                 let delay = up.fail_front(&mut self.rng_upload);
+                self.metrics.fw.record_backoff(delay);
                 self.schedule_retry(now + delay);
                 return;
             }
@@ -441,6 +467,24 @@ impl<'a> HomeSim<'a> {
             false => self.flush(end, &shard),
             true => self.final_drain(end, &shard),
         }
+        self.publish_metrics();
+    }
+
+    /// Fold this home's lifetime counts into the global `obs` registry —
+    /// one batch of relaxed atomic adds per home, after the last record is
+    /// uploaded, so the hot path never touches shared cache lines and the
+    /// totals are identical whatever order homes finish in.
+    fn publish_metrics(&self) {
+        let m = &self.metrics;
+        m.fw.add_heartbeats(m.heartbeats_emitted);
+        if let Some(up) = &self.upload_queue {
+            m.fw.publish_uploader(&up.stats());
+        }
+        m.world.publish_link(&self.up_link.stats());
+        m.world.publish_link(&self.down_link.stats());
+        m.world.publish_nat(&self.gateway.nat);
+        m.world.publish_dhcp(&self.gateway.dhcp);
+        m.flows.publish_scheduler(&self.flows);
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, shard: &collector::ShardHandle<'_>) {
@@ -521,6 +565,7 @@ impl<'a> HomeSim<'a> {
         }
         let hb = Heartbeat { router: self.gateway.id, seq: self.gateway.heartbeat_seq };
         self.gateway.heartbeat_seq += 1;
+        self.metrics.heartbeats_emitted += 1;
         // The packet crosses the uplink (it can be queued behind bulk
         // upload traffic, or dropped if the queue is full), then the WAN
         // path, where congestion loss applies; it only becomes a record if
@@ -1026,6 +1071,11 @@ impl<'a> HomeSim<'a> {
             for flow in &outcome.completed {
                 monitor.on_flow_end(now, flow.id);
             }
+        }
+        if !outcome.completed.is_empty() {
+            self.metrics.flows.record_completions(now, &outcome.completed);
+        }
+        if let Some(monitor) = self.monitor.as_mut() {
             if !outcome.completed.is_empty() {
                 skew_from = Some(self.out.len());
                 self.out.extend(monitor.drain());

@@ -167,6 +167,26 @@ impl StudyOutput {
     }
 }
 
+/// Set the end-of-study gauges: deployment size and the size of each
+/// collected data set. Gauges are written once, from this single-threaded
+/// epilogue, so their exported values are deterministic.
+fn publish_study_metrics(homes: &[HomeConfig], datasets: &Datasets) {
+    obs::gauge("study_homes").set(homes.len() as u64);
+    let hb: u64 = datasets.heartbeats.values().map(|log| log.total_heartbeats()).sum();
+    obs::gauge("dataset_heartbeat_records").set(hb);
+    obs::gauge("dataset_uptime_records").set(datasets.uptime.len() as u64);
+    obs::gauge("dataset_capacity_records").set(datasets.capacity.len() as u64);
+    obs::gauge("dataset_device_census_records").set(datasets.devices.len() as u64);
+    obs::gauge("dataset_wifi_scan_records").set(datasets.wifi.len() as u64);
+    obs::gauge("dataset_packet_stat_records").set(datasets.packet_stats.len() as u64);
+    obs::gauge("dataset_flow_records").set(datasets.flows.len() as u64);
+    obs::gauge("dataset_dns_records").set(datasets.dns.len() as u64);
+    obs::gauge("dataset_mac_sighting_records").set(datasets.macs.len() as u64);
+    obs::gauge("dataset_association_records").set(datasets.associations.len() as u64);
+    obs::gauge("dataset_latency_records").set(datasets.latency.len() as u64);
+    obs::gauge("dataset_upload_gap_records").set(datasets.upload_gaps.len() as u64);
+}
+
 /// Run the full study: build the Table 1 deployment from `seed`, simulate
 /// every home over the configured span on `threads` workers, and snapshot
 /// the collected data sets.
@@ -226,10 +246,16 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     // cloning 33M records out of it.
     // simlint: allow(wall-clock) — operator-facing phase timing only; never feeds the simulation or its datasets
     let snap_start = std::time::Instant::now();
+    collector.publish_metrics();
     let upload_counters = collector.upload_counters();
     let dropped_in_downtime = collector.dropped_in_downtime();
     let datasets = collector.into_datasets();
     let snapshot = snap_start.elapsed();
+    publish_study_metrics(&homes, &datasets);
+    // Wall-clock phase spans are host profiling: they reach the manifest's
+    // text summary only, never metrics.json.
+    obs::wall_span("study_simulate").record_micros(simulate.as_micros() as u64);
+    obs::wall_span("study_snapshot").record_micros(snapshot.as_micros() as u64);
     StudyOutput {
         datasets,
         homes,

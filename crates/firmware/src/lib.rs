@@ -16,6 +16,8 @@
 //!   statistics, flow records, DNS samples, and MAC sightings (Traffic set);
 //! * [`anonymize`] — the §3.2.2 privacy rules: OUI-preserving MAC hashing,
 //!   whitelist-or-token domain reporting, IP obfuscation;
+//! * [`metrics`] — `obs` handles for heartbeat/uploader telemetry (hot
+//!   counts stay in local integers; totals publish at end of run);
 //! * [`records`] — the upload schema, one type per data set of Table 2;
 //! * [`uploader`] — the store-and-forward upload queue: sequence-numbered
 //!   batches, capped exponential backoff with jitter, bounded spill with
@@ -32,6 +34,7 @@ pub mod anonymize;
 pub mod gateway;
 pub mod heartbeat;
 pub mod latency;
+pub mod metrics;
 pub mod records;
 pub mod shaperprobe;
 pub mod traffic;

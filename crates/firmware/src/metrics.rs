@@ -1,0 +1,92 @@
+//! Instrument-layer metric handles: what the gateway agent did.
+//!
+//! Heartbeat emission is the one genuinely hot firmware metric (one per
+//! simulated minute per home), so the per-home simulation counts it in a
+//! plain local `u64` and folds the total in through
+//! [`FirmwareMetrics::add_heartbeats`] at end of run. Uploader totals come
+//! straight from [`UploaderStats`]; backoff delays are recorded as they are
+//! drawn (a handful per fault window) in **sim-time microseconds**.
+
+use crate::uploader::UploaderStats;
+use simnet::time::SimDuration;
+
+/// Pre-registered handles for the firmware-layer metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct FirmwareMetrics {
+    /// Heartbeats the firmware sent (whether or not they survived the WAN).
+    pub heartbeats_emitted: &'static obs::Counter,
+    /// Upload attempts that failed and went into backoff (lost or nacked).
+    pub uploader_retries: &'static obs::Counter,
+    /// Batches sealed from the accumulation buffer.
+    pub uploader_sealed: &'static obs::Counter,
+    /// Batches acknowledged by the collector.
+    pub uploader_acked: &'static obs::Counter,
+    /// Batches evicted by the bounded spool.
+    pub uploader_spool_evictions: &'static obs::Counter,
+    /// Records destroyed by injected flash wipes.
+    pub uploader_wiped_records: &'static obs::Counter,
+    /// Backoff delays drawn after failed attempts, sim-time microseconds.
+    pub uploader_backoff_delay: &'static obs::Histogram,
+}
+
+impl FirmwareMetrics {
+    /// Register (or fetch) the firmware-layer handles.
+    pub fn handles() -> FirmwareMetrics {
+        FirmwareMetrics {
+            heartbeats_emitted: obs::counter("heartbeats_emitted_total"),
+            uploader_retries: obs::counter("uploader_retries_total"),
+            uploader_sealed: obs::counter("uploader_sealed_total"),
+            uploader_acked: obs::counter("uploader_acked_total"),
+            uploader_spool_evictions: obs::counter("uploader_spool_evictions_total"),
+            uploader_wiped_records: obs::counter("uploader_wiped_records_total"),
+            uploader_backoff_delay: obs::histogram(
+                "uploader_backoff_delay_micros",
+                &obs::DURATION_BOUNDS_MICROS,
+            ),
+        }
+    }
+
+    /// Fold a home's heartbeat count (kept as a local `u64` on the hot
+    /// path) into the global total.
+    pub fn add_heartbeats(&self, n: u64) {
+        self.heartbeats_emitted.add(n);
+    }
+
+    /// Record one backoff delay drawn after a failed upload attempt.
+    pub fn record_backoff(&self, delay: SimDuration) {
+        self.uploader_backoff_delay.record(delay.as_micros());
+    }
+
+    /// Fold one uploader's lifetime stats into the global totals.
+    pub fn publish_uploader(&self, stats: &UploaderStats) {
+        self.uploader_retries.add(stats.failed_attempts);
+        self.uploader_sealed.add(stats.sealed_batches);
+        self.uploader_acked.add(stats.acked_batches);
+        self.uploader_spool_evictions.add(stats.evicted_batches);
+        self.uploader_wiped_records.add(stats.wiped_records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uploader_stats_fold_into_counters() {
+        let m = FirmwareMetrics::handles();
+        let before = (m.uploader_retries.get(), m.uploader_sealed.get());
+        m.publish_uploader(&UploaderStats {
+            sealed_batches: 4,
+            acked_batches: 3,
+            failed_attempts: 2,
+            evicted_batches: 1,
+            evicted_records: 50,
+            wiped_batches: 0,
+            wiped_records: 0,
+        });
+        m.add_heartbeats(7);
+        m.record_backoff(SimDuration::from_secs(30));
+        assert_eq!(m.uploader_retries.get() - before.0, 2);
+        assert_eq!(m.uploader_sealed.get() - before.1, 4);
+    }
+}

@@ -4,8 +4,10 @@
 //! study run, so this path is required to touch the heap zero times per
 //! packet; the store-and-forward upload queue sits on the same hot path
 //! whenever a fault plan is active, so its steady state (fill → seal →
-//! attempt → fail → ack) carries the same requirement. A counting global
-//! allocator makes both hard tests rather than code-review promises.
+//! attempt → fail → ack) carries the same requirement. The `obs` metric
+//! handles ride these same hot paths, so their increments are held to the
+//! same bar. A counting global allocator makes all of this hard tests
+//! rather than code-review promises.
 
 use firmware::records::{Record, RouterId, UptimeRecord};
 use firmware::uploader::{Uploader, UploaderConfig};
@@ -46,6 +48,31 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn obs_counter_and_histogram_increments_allocate_nothing() {
+    // Handle registration allocates (Box::leak into the static registry);
+    // doing it in the warm-up phase mirrors how the simulation registers
+    // handles once, before any hot loop runs.
+    let counter = obs::counter("alloc_test_total");
+    let hist = obs::histogram("alloc_test_micros", &obs::DURATION_BOUNDS_MICROS);
+    counter.inc();
+    hist.record(1_000_000);
+
+    let before = ALLOCATIONS.with(Cell::get);
+    for i in 0..100_000u64 {
+        counter.add(2);
+        counter.inc();
+        hist.record(i * 37);
+    }
+    let after = ALLOCATIONS.with(Cell::get);
+    assert!(
+        after == before,
+        "obs increments allocated {} times over 100k iterations",
+        after - before
+    );
+    assert!(counter.get() >= 300_000);
+}
 
 #[test]
 fn heartbeat_emit_and_parse_allocate_nothing() {

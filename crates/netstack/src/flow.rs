@@ -173,6 +173,10 @@ pub struct TickOutcome {
 pub struct FlowScheduler {
     active: Vec<Flow>,
     next_id: u64,
+    /// Cumulative flows ever started; read by the observability layer.
+    started: u64,
+    /// Cumulative flows that ran to completion (aborts excluded).
+    completed: u64,
 }
 
 impl FlowScheduler {
@@ -190,7 +194,19 @@ impl FlowScheduler {
 
     /// Add a flow to the active set.
     pub fn start(&mut self, flow: Flow) {
+        self.started += 1;
         self.active.push(flow);
+    }
+
+    /// Cumulative count of flows ever started.
+    pub fn started_total(&self) -> u64 {
+        self.started
+    }
+
+    /// Cumulative count of flows that ran to completion (power-off aborts
+    /// are not completions).
+    pub fn completed_total(&self) -> u64 {
+        self.completed
     }
 
     /// Active flows, in start order.
@@ -294,6 +310,7 @@ impl FlowScheduler {
         let mut idx = 0;
         while idx < self.active.len() {
             if self.active[idx].is_complete() {
+                self.completed += 1;
                 outcome.completed.push(self.active.remove(idx));
             } else {
                 idx += 1;

@@ -18,6 +18,7 @@ pub mod apps;
 pub mod fair;
 pub mod flow;
 pub mod handshake;
+pub mod metrics;
 
 pub use apps::{sample_session, SessionProfile};
 pub use flow::{AppKind, Flow, FlowId, FlowProgress, FlowScheduler, TickOutcome};

@@ -1,0 +1,185 @@
+//! End-of-study run manifest: `metrics.json` plus a human text summary.
+//!
+//! The JSON side is the machine artifact the acceptance tests pin: it holds
+//! the run metadata (strings chosen by the caller — seed, days, scenario;
+//! never timestamps or hostnames) and the deterministic metric sections of a
+//! [`Snapshot`]. The text side is for people at the end of a run: the same
+//! metrics plus the wall-clock host profile, which is explicitly labelled
+//! non-deterministic and kept out of the JSON.
+
+use std::collections::BTreeMap;
+
+use crate::{json_escape_into, Snapshot};
+
+/// A finished run's metadata + frozen metrics, ready to serialize.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Free-form run metadata (seed, days, homes, scenario...). Callers must
+    /// only put run-describing, deterministic values here — a timestamp or
+    /// hostname would break the byte-identical-across-runs guarantee.
+    pub meta: BTreeMap<String, String>,
+    /// Frozen metric state at end of study.
+    pub snapshot: Snapshot,
+}
+
+impl RunManifest {
+    /// Start a manifest from a snapshot; add metadata with [`RunManifest::set_meta`].
+    pub fn new(snapshot: Snapshot) -> RunManifest {
+        RunManifest { meta: BTreeMap::new(), snapshot }
+    }
+
+    /// Attach one metadata key/value pair.
+    pub fn set_meta(&mut self, key: &str, value: impl Into<String>) {
+        self.meta.insert(key.to_string(), value.into());
+    }
+
+    /// Render `metrics.json`: `{"meta":{...},"counters":{...},"gauges":{...},
+    /// "histograms":{...}}`, every object sorted by key, no whitespace, and
+    /// no wall-clock content — byte-identical across repeat runs.
+    pub fn to_json(&self) -> String {
+        let body = self.snapshot.to_json();
+        let mut out = String::with_capacity(body.len() + 256);
+        out.push_str("{\"meta\":{");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(&mut out, k);
+            out.push_str("\":\"");
+            json_escape_into(&mut out, v);
+            out.push('"');
+        }
+        out.push_str("},");
+        // Splice the snapshot's sections into ours: drop its outer braces.
+        out.push_str(&body[1..body.len() - 1]);
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Render the human summary: metadata, counters, gauges, histograms,
+    /// then the wall-clock host profile (labelled non-deterministic).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("# run manifest\n");
+        if !self.meta.is_empty() {
+            out.push_str("\n## meta\n");
+            for (k, v) in &self.meta {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        if !self.snapshot.counters.is_empty() {
+            out.push_str("\n## counters\n");
+            let width = self.snapshot.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.snapshot.counters {
+                out.push_str(&format!("{k:width$}  {v}\n"));
+            }
+        }
+        if !self.snapshot.gauges.is_empty() {
+            out.push_str("\n## gauges\n");
+            let width = self.snapshot.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.snapshot.gauges {
+                out.push_str(&format!("{k:width$}  {v}\n"));
+            }
+        }
+        if !self.snapshot.histograms.is_empty() {
+            out.push_str("\n## histograms (sim-time)\n");
+            for (k, h) in &self.snapshot.histograms {
+                out.push_str(&format!(
+                    "{k}: count={} sum={} mean={} max={}\n",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.max
+                ));
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    match h.bounds.get(i) {
+                        Some(b) => out.push_str(&format!("  <= {b:>14}  {n}\n")),
+                        None => out.push_str(&format!("   > {:>14}  {n}\n", h.bounds.last().unwrap_or(&0))),
+                    }
+                }
+            }
+        }
+        if !self.snapshot.wall.is_empty() {
+            out.push_str("\n## wall-clock host profile (non-deterministic; excluded from metrics.json)\n");
+            let width = self.snapshot.wall.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, w) in &self.snapshot.wall {
+                out.push_str(&format!(
+                    "{k:width$}  {:>10.3} ms  ({} span{})\n",
+                    w.total_micros as f64 / 1_000.0,
+                    w.count,
+                    if w.count == 1 { "" } else { "s" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSnapshot, WallSnapshot};
+
+    fn sample_manifest() -> RunManifest {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("b_total".into(), 2);
+        snap.counters.insert("a_total".into(), 1);
+        snap.gauges.insert("study_homes".into(), 30);
+        snap.histograms.insert(
+            "flow_duration_micros".into(),
+            HistogramSnapshot {
+                bounds: vec![10, 100],
+                buckets: vec![1, 0, 2],
+                count: 3,
+                sum: 450,
+                max: 300,
+            },
+        );
+        snap.wall.insert("study_simulate".into(), WallSnapshot { total_micros: 1500, count: 1 });
+        let mut m = RunManifest::new(snap);
+        m.set_meta("seed", "7");
+        m.set_meta("days", "20");
+        m
+    }
+
+    #[test]
+    fn json_has_meta_first_and_no_wall_section() {
+        let json = sample_manifest().to_json();
+        assert!(json.starts_with("{\"meta\":{\"days\":\"20\",\"seed\":\"7\"},\"counters\":"));
+        assert!(json.ends_with("}\n"));
+        assert!(!json.contains("study_simulate"), "wall spans must stay out of metrics.json");
+        assert!(!json.contains("wall"));
+    }
+
+    #[test]
+    fn json_escapes_meta_strings() {
+        let mut m = RunManifest::new(Snapshot::default());
+        m.set_meta("note", "line\"one\"\nline\\two");
+        let json = m.to_json();
+        assert!(json.contains("\"note\":\"line\\\"one\\\"\\nline\\\\two\""));
+    }
+
+    #[test]
+    fn text_summary_labels_wall_clock_as_nondeterministic() {
+        let text = sample_manifest().to_text();
+        assert!(text.contains("## counters"));
+        assert!(text.contains("a_total"));
+        assert!(text.contains("flow_duration_micros: count=3 sum=450 mean=150 max=300"));
+        assert!(text.contains("non-deterministic"));
+        assert!(text.contains("study_simulate"));
+    }
+
+    #[test]
+    fn text_histogram_rows_skip_empty_buckets_and_mark_overflow() {
+        let text = sample_manifest().to_text();
+        assert!(text.contains("<="), "populated bounded bucket shown");
+        assert!(text.contains(" > "), "overflow bucket shown");
+        // Middle bucket (<=100) is empty and must be omitted.
+        assert!(!text.lines().any(|l| l.trim_start().starts_with("<= ") && l.contains("100 ") && l.ends_with(" 0")));
+    }
+}

@@ -37,6 +37,7 @@ pub const RULES: &[&str] = &[
 /// Crates whose emitted records reach `Datasets` (the determinism
 /// boundary): unordered iteration inside them is a finding.
 const DATASET_CRATES: &[&str] = &[
+    "crates/obs/src/",
     "crates/simnet/src/",
     "crates/household/src/",
     "crates/firmware/src/",

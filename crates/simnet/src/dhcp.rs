@@ -45,6 +45,9 @@ pub struct DhcpServer {
     lease_time: SimDuration,
     leases: BTreeMap<MacAddr, Lease>,
     next_host: u8,
+    /// Cumulative leases granted (fresh and renewed); survives `reset`,
+    /// read by the observability layer at end of run.
+    leases_granted: u64,
 }
 
 impl DhcpServer {
@@ -55,7 +58,7 @@ impl DhcpServer {
 
     /// A server for an arbitrary /24.
     pub fn with_subnet(subnet: [u8; 3], lease_time: SimDuration) -> Self {
-        DhcpServer { subnet, lease_time, leases: BTreeMap::new(), next_host: 2 }
+        DhcpServer { subnet, lease_time, leases: BTreeMap::new(), next_host: 2, leases_granted: 0 }
     }
 
     /// The gateway's own address (.1).
@@ -66,6 +69,11 @@ impl DhcpServer {
     /// Number of live leases as of `now`.
     pub fn active_leases(&self, now: SimTime) -> usize {
         self.leases.values().filter(|l| l.expires > now).count()
+    }
+
+    /// Cumulative count of leases granted (fresh allocations and renewals).
+    pub fn leases_granted(&self) -> u64 {
+        self.leases_granted
     }
 
     fn host_addr(&self, host: u8) -> Ipv4Addr {
@@ -85,6 +93,7 @@ impl DhcpServer {
             if lease.expires > now || !self.addr_in_use(lease.addr, now) {
                 self.leases
                     .insert(mac, Lease { addr: lease.addr, expires: now + self.lease_time });
+                self.leases_granted += 1;
                 return Ok(lease.addr);
             }
         }
@@ -95,6 +104,7 @@ impl DhcpServer {
             let addr = self.host_addr(host);
             if !self.addr_in_use(addr, now) {
                 self.leases.insert(mac, Lease { addr, expires: now + self.lease_time });
+                self.leases_granted += 1;
                 return Ok(addr);
             }
         }

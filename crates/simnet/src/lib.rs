@@ -18,6 +18,8 @@
 //!   drop-tail queues (the bufferbloat mechanism), and lossy WAN paths.
 //! * [`impair`] — scheduled link/collector impairment windows (loss and
 //!   latency spikes, total outages) that fault plans compile into.
+//! * [`metrics`] — `obs` handles for the world-layer counters (published
+//!   once at end of run; the substrate itself stays observability-free).
 //! * [`nat`] — the address/port translator the paper peeks behind.
 //! * [`arp`] — neighbor discovery and the gateway's neighbor table.
 //! * [`icmp`] — echo request/reply for latency probing.
@@ -42,6 +44,7 @@ pub mod event;
 pub mod icmp;
 pub mod impair;
 pub mod link;
+pub mod metrics;
 pub mod nat;
 pub mod packet;
 pub mod rng;

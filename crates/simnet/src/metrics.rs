@@ -1,0 +1,81 @@
+//! World-layer metric handles: what the simulated network substrate did.
+//!
+//! The substrate itself stays observability-free — links, NAT, and DHCP
+//! keep plain cumulative `u64` counters ([`crate::link::LinkStats`],
+//! [`crate::nat::Nat::evictions`], [`crate::dhcp::DhcpServer::leases_granted`])
+//! that cost nothing and never feed back into behavior. This module maps
+//! those counters onto the process-global `obs` registry; the per-home
+//! simulation publishes once at end of run, so hot paths are untouched and
+//! totals are order-independent across parallel homes.
+
+use crate::dhcp::DhcpServer;
+use crate::link::LinkStats;
+use crate::nat::Nat;
+
+/// Pre-registered handles for the world-layer counters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldMetrics {
+    /// Packets accepted onto access-link queues (both directions).
+    pub packets_forwarded: &'static obs::Counter,
+    /// Packets dropped at access-link queue tails.
+    pub packets_dropped: &'static obs::Counter,
+    /// DHCP leases granted (fresh and renewed).
+    pub dhcp_leases: &'static obs::Counter,
+    /// NAT mappings evicted under table or port pressure.
+    pub nat_evictions: &'static obs::Counter,
+}
+
+impl WorldMetrics {
+    /// Register (or fetch) the world-layer handles.
+    pub fn handles() -> WorldMetrics {
+        WorldMetrics {
+            packets_forwarded: obs::counter("packets_forwarded_total"),
+            packets_dropped: obs::counter("packets_dropped_total"),
+            dhcp_leases: obs::counter("dhcp_leases_total"),
+            nat_evictions: obs::counter("nat_evictions_total"),
+        }
+    }
+
+    /// Fold one link's lifetime counters into the global totals.
+    pub fn publish_link(&self, stats: &LinkStats) {
+        self.packets_forwarded.add(stats.accepted_packets);
+        self.packets_dropped.add(stats.dropped_packets);
+    }
+
+    /// Fold one NAT's lifetime eviction count into the global total.
+    pub fn publish_nat(&self, nat: &Nat) {
+        self.nat_evictions.add(nat.evictions());
+    }
+
+    /// Fold one DHCP server's lifetime grant count into the global total.
+    pub fn publish_dhcp(&self, dhcp: &DhcpServer) {
+        self.dhcp_leases.add(dhcp.leases_granted());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::MacAddr;
+    use crate::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn publish_folds_lifetime_counters() {
+        let m = WorldMetrics::handles();
+        let before = (m.packets_forwarded.get(), m.dhcp_leases.get());
+        let stats = LinkStats {
+            accepted_packets: 10,
+            accepted_bytes: 10_000,
+            dropped_packets: 3,
+            dropped_bytes: 3_000,
+        };
+        m.publish_link(&stats);
+        let mut dhcp = DhcpServer::new();
+        dhcp.request(SimTime::EPOCH, MacAddr::from_oui_nic(0x00_11_22, 1)).unwrap();
+        m.publish_dhcp(&dhcp);
+        m.publish_nat(&Nat::new(Ipv4Addr::new(203, 0, 113, 7)));
+        assert_eq!(m.packets_forwarded.get() - before.0, 10);
+        assert_eq!(m.dhcp_leases.get() - before.1, 1);
+    }
+}

@@ -94,6 +94,9 @@ pub struct Nat {
     tcp_timeout: SimDuration,
     /// Upper bound on simultaneous mappings (memory limit of the CPE).
     capacity: usize,
+    /// Cumulative LRU evictions (table pressure or port exhaustion); never
+    /// reset, read by the observability layer at end of run.
+    evictions: u64,
 }
 
 impl Nat {
@@ -119,6 +122,7 @@ impl Nat {
             udp_timeout,
             tcp_timeout,
             capacity,
+            evictions: 0,
         }
     }
 
@@ -130,6 +134,12 @@ impl Nat {
     /// Number of live mappings.
     pub fn mapping_count(&self) -> usize {
         self.by_lan.len()
+    }
+
+    /// Cumulative count of mappings evicted under pressure (LRU victim
+    /// chosen because the table or port space was full).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn timeout_for(&self, proto: IpProtocol) -> SimDuration {
@@ -180,6 +190,7 @@ impl Nat {
             Some((lan, port)) => {
                 self.by_lan.remove(&(proto, lan));
                 self.by_wan.remove(&(proto, port));
+                self.evictions += 1;
                 Ok(port)
             }
             None => Err(NatError::PortsExhausted),

@@ -21,6 +21,32 @@ if [ -z "${SKIP_TESTS:-}" ]; then
     cargo build --release --offline --workspace
     echo "== tests =="
     cargo test -q --offline --workspace
+    echo "== metrics smoke =="
+    # A short instrumented run must produce a valid run manifest with the
+    # headline series present and no wall-clock section (wall spans are
+    # text-summary-only; metrics.json stays deterministic).
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    ./target/release/bismark-study run --seed 7 --days 5 \
+        --report "$smoke_dir/report.txt" --metrics "$smoke_dir/metrics.json"
+    python3 - "$smoke_dir/metrics.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+for section in ("meta", "counters", "gauges", "histograms"):
+    assert section in m, f"missing section: {section}"
+assert m["meta"]["schema"] == "bismark-metrics/1", m["meta"]
+for key in ("packets_forwarded_total", "heartbeats_emitted_total",
+            "dhcp_leases_total", "nat_evictions_total",
+            "collector_accepted_total", "uploader_retries_total"):
+    assert key in m["counters"], f"missing counter: {key}"
+assert "wall" not in m, "wall-clock spans must not reach metrics.json"
+for name, h in m["histograms"].items():
+    assert len(h["buckets"]) == len(h["bounds"]) + 1, f"bucket shape: {name}"
+    assert sum(h["buckets"]) == h["count"], f"bucket sum: {name}"
+print("metrics.json OK: %d counters, %d gauges, %d histograms"
+      % (len(m["counters"]), len(m["gauges"]), len(m["histograms"])))
+PYEOF
 fi
 
 echo "== simlint =="

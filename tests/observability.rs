@@ -1,0 +1,172 @@
+//! Observer-effect and metric-semantics tests for the `obs` layer.
+//!
+//! The instrumentation contract, clause by clause:
+//!
+//! * **no observer effect** — every byte of scientific output (rendered
+//!   report, public data export) is identical whether metrics are collected
+//!   or not; the simulation never reads a metric, so it cannot steer on one;
+//! * **deterministic manifests** — `metrics.json` is byte-identical across
+//!   repeat runs of the same configuration (sim-time aggregates only; the
+//!   wall-clock host profile lives in the text summary, never the JSON);
+//! * **metrics tell the truth** — a collector-flap fault plan must move the
+//!   uploader-retry and collector-reject counters, and a fault-free run
+//!   must leave them at exactly zero;
+//! * **strict CLI** — a misspelled flag aborts the run with the offending
+//!   flag named, instead of silently running with defaults.
+
+use bismark::study::{run_study, StudyConfig};
+use faultlab::FaultScenario;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Mutex;
+
+/// The process-wide obs registry is shared by every `#[test]` thread in
+/// this binary; tests that reset and read it must not interleave.
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+const BIN: &str = env!("CARGO_BIN_EXE_bismark-study");
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("observability");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir.join(name)
+}
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(BIN).args(args).output().expect("spawn bismark-study")
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// quick(7, 20) with metrics off, then on, then on again: the report and
+/// export must not change by a single byte when instrumentation is enabled,
+/// and the manifest must not change by a single byte across repeat
+/// instrumented runs.
+#[test]
+fn instrumentation_has_no_observer_effect_and_manifests_are_deterministic() {
+    let (r0, e0) = (tmp("plain.report"), tmp("plain.export"));
+    let (r1, e1, m1) = (tmp("obs1.report"), tmp("obs1.export"), tmp("obs1.metrics"));
+    let m2 = tmp("obs2.metrics");
+    let quick = ["run", "--seed", "7", "--days", "20"];
+
+    let base = run_cli(&[&quick[..], &["--report", r0.to_str().unwrap(), "--export", e0.to_str().unwrap()]].concat());
+    assert!(base.status.success(), "plain run failed: {}", String::from_utf8_lossy(&base.stderr));
+
+    let inst = run_cli(
+        &[
+            &quick[..],
+            &[
+                "--report",
+                r1.to_str().unwrap(),
+                "--export",
+                e1.to_str().unwrap(),
+                "--metrics",
+                m1.to_str().unwrap(),
+                "--metrics-text",
+            ],
+        ]
+        .concat(),
+    );
+    assert!(inst.status.success(), "instrumented run failed: {}", String::from_utf8_lossy(&inst.stderr));
+
+    let again = run_cli(&[&quick[..], &["--report", "/dev/null", "--metrics", m2.to_str().unwrap()]].concat());
+    assert!(again.status.success(), "repeat run failed: {}", String::from_utf8_lossy(&again.stderr));
+
+    assert!(read(&r0) == read(&r1), "rendered report changed when metrics were enabled");
+    assert!(read(&e0) == read(&e1), "public export changed when metrics were enabled");
+    assert!(read(&m1) == read(&m2), "metrics.json differs across two identical instrumented runs");
+
+    // The manifest carries the advertised sections and the headline series.
+    let manifest = String::from_utf8(read(&m1)).expect("metrics.json is UTF-8");
+    for key in [
+        "\"meta\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"schema\"",
+        "bismark-metrics/1",
+        "\"packets_forwarded_total\"",
+        "\"heartbeats_emitted_total\"",
+        "\"dhcp_leases_total\"",
+        "\"collector_accepted_total\"",
+        "\"dataset_heartbeat_records\"",
+        "\"flow_duration_micros\"",
+        "\"home_powered_interval_micros\"",
+    ] {
+        assert!(manifest.contains(key), "metrics.json is missing {key}");
+    }
+    // Wall-clock host profiling is text-summary-only: its spans must never
+    // leak into the deterministic JSON.
+    assert!(!manifest.contains("wall"), "wall-clock spans leaked into metrics.json");
+    let text = String::from_utf8_lossy(&inst.stderr);
+    assert!(text.contains("wall-clock host profile"), "--metrics-text summary missing from stderr");
+}
+
+/// A typo'd flag must abort with the flag named, not silently run a study
+/// with default settings (the old behaviour: `--exprot e.json` produced a
+/// full report on stdout and no export, with exit code 0).
+#[test]
+fn unknown_flags_abort_with_the_flag_named() {
+    let out = run_cli(&["run", "--seed", "7", "--exprot", "e.json"]);
+    assert!(!out.status.success(), "unknown flag was accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--exprot"), "stderr does not name the bad flag: {stderr}");
+
+    let out = run_cli(&["run", "--seed=7"]);
+    assert!(!out.status.success(), "equals-style flag was accepted");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--seed=7"),
+        "stderr does not name the bad flag"
+    );
+}
+
+/// Fault injection must be visible in the metrics: a collector-flap run
+/// records uploader retries and collector rejections, and the same
+/// configuration without faults pins both counters at exactly zero.
+#[test]
+fn fault_runs_move_the_failure_counters_and_clean_runs_do_not() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    obs::reset();
+    let mut faulted = StudyConfig::quick(7, 6);
+    faulted.faults = Some(FaultScenario::CollectorFlap);
+    let _ = run_study(&faulted);
+    let snap = obs::snapshot();
+    assert!(
+        snap.counters["uploader_retries_total"] > 0,
+        "collector flaps must force uploader retries"
+    );
+    assert!(
+        snap.counters["collector_rejected_total"] > 0,
+        "collector flaps must reject uploads during announced downtime"
+    );
+
+    obs::reset();
+    let _ = run_study(&StudyConfig::quick(7, 6));
+    let snap = obs::snapshot();
+    assert_eq!(snap.counters["uploader_retries_total"], 0, "fault-free run saw retries");
+    assert_eq!(snap.counters["collector_rejected_total"], 0, "fault-free run saw rejections");
+    // The clean run still does real work; spot-check a throughput counter.
+    assert!(snap.counters["heartbeats_emitted_total"] > 0);
+    assert!(snap.counters["packets_forwarded_total"] > 0);
+}
+
+/// `reset()` zeroes values but keeps the registered key set, so manifests
+/// from consecutive in-process runs always expose the same series.
+#[test]
+fn key_set_is_stable_across_runs() {
+    let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    obs::reset();
+    let _ = run_study(&StudyConfig::quick(3, 5));
+    let first: Vec<String> = obs::snapshot().counters.keys().cloned().collect();
+
+    obs::reset();
+    let _ = run_study(&StudyConfig::quick(11, 5));
+    let second: Vec<String> = obs::snapshot().counters.keys().cloned().collect();
+
+    assert_eq!(first, second, "counter key set depends on the run");
+    assert!(!first.is_empty());
+}
