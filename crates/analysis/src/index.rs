@@ -7,11 +7,11 @@
 //! replacing the per-record `Datasets::meta` scans and whole-table
 //! filters the analyses used to do.
 
+use collector::columns::{RouterDns, RouterFlows, RouterPacketStats};
 use collector::{Datasets, RouterMeta};
 use firmware::latency::LatencyRecord;
 use firmware::records::{
-    AssociationRecord, CapacityRecord, DeviceCensusRecord, DnsSampleRecord, FlowRecord,
-    PacketStatsRecord, RouterId, UptimeRecord, WifiScanRecord,
+    AssociationRecord, CapacityRecord, DeviceCensusRecord, RouterId, UptimeRecord, WifiScanRecord,
 };
 use household::{Country, Region};
 use std::collections::HashMap;
@@ -42,9 +42,6 @@ pub struct DataIndex<'a> {
     capacity: HashMap<RouterId, &'a [CapacityRecord]>,
     devices: HashMap<RouterId, &'a [DeviceCensusRecord]>,
     wifi: HashMap<RouterId, &'a [WifiScanRecord]>,
-    packet_stats: HashMap<RouterId, &'a [PacketStatsRecord]>,
-    flows: HashMap<RouterId, &'a [FlowRecord]>,
-    dns: HashMap<RouterId, &'a [DnsSampleRecord]>,
     associations: HashMap<RouterId, &'a [AssociationRecord]>,
     latency: HashMap<RouterId, &'a [LatencyRecord]>,
 }
@@ -59,9 +56,6 @@ impl<'a> DataIndex<'a> {
             capacity: slices_by_router(&data.capacity, |r| r.router),
             devices: slices_by_router(&data.devices, |r| r.router),
             wifi: slices_by_router(&data.wifi, |r| r.router),
-            packet_stats: slices_by_router(&data.packet_stats, |r| r.router),
-            flows: slices_by_router(&data.flows, |r| r.router),
-            dns: slices_by_router(&data.dns, |r| r.router),
             associations: slices_by_router(&data.associations, |r| r.router),
             latency: slices_by_router(&data.latency, |r| r.router),
             data,
@@ -119,19 +113,20 @@ impl<'a> DataIndex<'a> {
         self.wifi.get(&router).copied().unwrap_or(&[])
     }
 
-    /// One router's per-minute packet statistics.
-    pub fn packet_stats(&self, router: RouterId) -> &'a [PacketStatsRecord] {
-        self.packet_stats.get(&router).copied().unwrap_or(&[])
+    /// One router's per-minute packet statistics, decoded from the
+    /// snapshot's columnar table (records yielded by value).
+    pub fn packet_stats(&self, router: RouterId) -> RouterPacketStats<'a> {
+        self.data.packet_stats.router(router)
     }
 
-    /// One router's flow records.
-    pub fn flows(&self, router: RouterId) -> &'a [FlowRecord] {
-        self.flows.get(&router).copied().unwrap_or(&[])
+    /// One router's flow records, decoded from columns.
+    pub fn flows(&self, router: RouterId) -> RouterFlows<'a> {
+        self.data.flows.router(router)
     }
 
-    /// One router's DNS samples.
-    pub fn dns(&self, router: RouterId) -> &'a [DnsSampleRecord] {
-        self.dns.get(&router).copied().unwrap_or(&[])
+    /// One router's DNS samples, decoded from columns.
+    pub fn dns(&self, router: RouterId) -> RouterDns<'a> {
+        self.data.dns.router(router)
     }
 
     /// One router's association reports.

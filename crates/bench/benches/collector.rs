@@ -2,10 +2,15 @@
 //! per-record vs batched uploads, contended multi-thread ingestion, and
 //! snapshot/merge throughput over a deployment-sized dataset.
 
-use collector::{Collector, RouterMeta};
+use analysis::DataIndex;
+use collector::{Collector, FlowTable, PacketStatsTable, RouterMeta};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use firmware::records::{HeartbeatRecord, Record, RouterId, UptimeRecord};
+use firmware::anonymize::{AnonMac, ReportedDomain};
+use firmware::records::{
+    FlowRecord, HeartbeatRecord, PacketStatsRecord, Record, RouterId, UptimeRecord,
+};
 use household::Country;
+use simnet::packet::IpProtocol;
 use simnet::time::{SimDuration, SimTime};
 
 fn mins(m: u64) -> SimTime {
@@ -147,5 +152,108 @@ fn bench_snapshot_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingest_paths, bench_contended_ingest, bench_snapshot_merge);
+fn stats_record(router: RouterId, m: u64) -> PacketStatsRecord {
+    PacketStatsRecord {
+        router,
+        at: mins(m),
+        bytes_down: m * 1500,
+        bytes_up: m * 400,
+        pkts_down: m,
+        pkts_up: m / 2,
+        peak_down_1s: 40_000,
+        peak_up_1s: 9_000,
+    }
+}
+
+fn flow_record(router: RouterId, m: u64) -> FlowRecord {
+    FlowRecord {
+        router,
+        started: mins(m),
+        ended: mins(m) + SimDuration::from_secs(30),
+        device: AnonMac { oui: 0x0001_02, suffix_hash: (m % 7) as u32 },
+        remote_ip_hash: m.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        remote_port: 443,
+        proto: IpProtocol::Tcp,
+        // A small rotating set so interning hits both lanes: repeats and
+        // first sightings.
+        domain: ReportedDomain::Obfuscated(m % 50),
+        bytes_down: m * 900,
+        bytes_up: m * 120,
+    }
+}
+
+/// The columnar append hot path: pushing high-volume records straight into
+/// the struct-of-arrays tables (delta time encoding, narrow columns, and
+/// domain interning all exercised).
+fn bench_columnar_append(c: &mut Criterion) {
+    const N: u64 = 50_000;
+    let mut group = c.benchmark_group("columnar_append_50k");
+    group.sample_size(20);
+    group.bench_function("packet_stats", |b| {
+        b.iter(|| {
+            let mut table = PacketStatsTable::default();
+            for m in 0..N {
+                table.push(stats_record(RouterId((m % 126) as u32), m));
+            }
+            black_box(table.len())
+        })
+    });
+    group.bench_function("flows", |b| {
+        b.iter(|| {
+            let mut table = FlowTable::default();
+            for m in 0..N {
+                table.push(flow_record(RouterId((m % 126) as u32), m));
+            }
+            black_box(table.len())
+        })
+    });
+    group.finish();
+}
+
+/// DataIndex construction over columnar datasets, plus a full per-router
+/// column scan — the analysis-side read path over the encoded columns.
+fn bench_index_from_columns(c: &mut Criterion) {
+    const ROUTERS: u32 = 126;
+    const PER_ROUTER: u64 = 2_000;
+    let collector = registered(ROUTERS);
+    for r in 0..ROUTERS {
+        let router = RouterId(r);
+        let shard = collector.shard_handle(router);
+        for m in 0..PER_ROUTER {
+            shard.ingest(Record::PacketStats(stats_record(router, m)));
+            shard.ingest(Record::Flow(flow_record(router, m)));
+        }
+    }
+    let datasets = collector.into_datasets();
+    let mut group = c.benchmark_group("columnar_index_126x4k");
+    group.sample_size(20);
+    group.bench_function("data_index_new", |b| {
+        b.iter(|| black_box(DataIndex::new(&datasets).routers().len()))
+    });
+    group.bench_function("scan_all_columns", |b| {
+        b.iter(|| {
+            let idx = DataIndex::new(&datasets);
+            let mut bytes = 0u64;
+            for r in 0..ROUTERS {
+                for s in idx.packet_stats(RouterId(r)) {
+                    bytes = bytes.wrapping_add(s.bytes_down);
+                }
+                for f in idx.flows(RouterId(r)) {
+                    bytes = bytes.wrapping_add(f.bytes_down);
+                }
+            }
+            black_box(bytes)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_paths,
+    bench_contended_ingest,
+    bench_snapshot_merge,
+    bench_columnar_append,
+    bench_index_from_columns
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! regressions.
 //!
 //! ```text
-//! e2e [--seed N] [--days D] [--threads T] [--label STR]
+//! e2e [--seed N] [--days D] [--homes H] [--threads T] [--label STR]
 //!     [--faults SCENARIO] [--output FILE] [--dry-run]
 //! ```
 //!
@@ -50,6 +50,9 @@ pub struct BenchEntry {
     /// Faultlab scenario active during the run, if any. Absent in
     /// fault-free entries (including all entries predating faultlab).
     pub faults: Option<String>,
+    /// Deployment size when scaled past the paper's 126 homes. Absent for
+    /// the calibrated Table 1 deployment (including pre-scaling entries).
+    pub homes: Option<u64>,
 }
 
 impl serde::Serialize for BenchEntry {
@@ -68,6 +71,9 @@ impl serde::Serialize for BenchEntry {
         if let Some(faults) = &self.faults {
             entries.push((String::from("faults"), serde::Serialize::to_value(faults)));
         }
+        if let Some(homes) = &self.homes {
+            entries.push((String::from("homes"), serde::Serialize::to_value(homes)));
+        }
         Value::Map(entries)
     }
 }
@@ -77,6 +83,10 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
         let entries =
             v.as_map().ok_or_else(|| serde::de::Error::expected("map", "BenchEntry", v))?;
         let faults = match entries.iter().find(|(k, _)| k == "faults") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
+        let homes = match entries.iter().find(|(k, _)| k == "homes") {
             Some((_, v)) => serde::Deserialize::from_value(v)?,
             None => None,
         };
@@ -91,6 +101,7 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
             analyze_secs: serde::de::field(entries, "analyze_secs", "BenchEntry")?,
             records_per_sec: serde::de::field(entries, "records_per_sec", "BenchEntry")?,
             faults,
+            homes,
         })
     }
 }
@@ -110,6 +121,7 @@ fn main() {
     let days: u64 = arg_value(&args, "--days").map_or(20, |v| v.parse().expect("--days D"));
     let threads: usize =
         arg_value(&args, "--threads").map_or(1, |v| v.parse().expect("--threads T"));
+    let homes: Option<u32> = arg_value(&args, "--homes").map(|v| v.parse().expect("--homes H"));
     let label = arg_value(&args, "--label").unwrap_or_else(|| String::from("after"));
     let output = arg_value(&args, "--output").map_or_else(default_output, PathBuf::from);
     let dry_run = args.iter().any(|a| a == "--dry-run");
@@ -121,10 +133,14 @@ fn main() {
     });
 
     let mut config = StudyConfig::quick(seed, days);
+    if let Some(homes) = homes {
+        config.homes = homes;
+    }
     config.threads = threads;
     config.faults = faults;
     eprintln!(
-        "e2e bench: seed {seed}, {days} virtual days, {threads} thread{}{}",
+        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}",
+        config.homes,
         if threads == 1 { "" } else { "s" },
         faults.map_or_else(String::new, |f| format!(", faults: {f}"))
     );
@@ -149,6 +165,7 @@ fn main() {
         analyze_secs: analyze.as_secs_f64(),
         records_per_sec: records as f64 / simulate_secs,
         faults: faults.map(|f| f.to_string()),
+        homes: homes.filter(|&h| h != 126).map(u64::from),
     };
     eprintln!(
         "simulate {:.2}s / snapshot {:.2}s / analyze {:.2}s — {} records, {:.0} records/sec",

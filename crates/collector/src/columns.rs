@@ -1,0 +1,1084 @@
+//! Columnar (struct-of-arrays) storage for the high-volume Traffic tables.
+//!
+//! The four Traffic tables — per-minute packet statistics, flows, DNS
+//! samples, and MAC sightings — dominate a study's memory footprint: the
+//! 197-day deployment materializes tens of millions of them, and scaling
+//! the deployment to 10k+ homes multiplies that by two orders of
+//! magnitude. Row-of-structs `Vec<Record>` storage pays padding and full
+//! `u64` width for every field; this module stores each table as one
+//! column per field, grouped per router, with narrow encodings:
+//!
+//! * **timestamps** ([`TimeCol`]) — delta-from-previous as `u32`
+//!   microseconds, with a sentinel escape to a 64-bit side array for
+//!   backward jumps or gaps over ~71 minutes. Per-router record streams
+//!   are chronological, so escapes are rare;
+//! * **counters** ([`NarrowCol`]) — `u32` fast lane with the same
+//!   sentinel escape for values that need 64 bits;
+//! * **domains** ([`DomainPool`]) — per-router interning of
+//!   [`ReportedDomain`] values to `u32` ids (homes revisit the same
+//!   handful of domains all study long);
+//! * **everything small** (`AnonMac`, ports, protocols, flags) — plain
+//!   dense vectors at natural width.
+//!
+//! The encodings are *pure functions of the pushed record sequence*, so
+//! the derived `PartialEq` on a table equals record-sequence equality —
+//! determinism tests can keep comparing snapshots directly. Iteration
+//! rebuilds records by value in (router, arrival) order, which after a
+//! snapshot merge is exactly the (router, time)-sorted global order the
+//! legacy row vectors had; callers iterate (`for r in &data.flows`)
+//! without caring that rows no longer exist in memory.
+
+use firmware::anonymize::{AnonMac, ReportedDomain};
+use firmware::records::{
+    DnsSampleRecord, FlowRecord, MacSightingRecord, PacketStatsRecord, RouterId,
+};
+use simnet::packet::IpProtocol;
+use simnet::time::SimTime;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// The escape marker in a narrow lane: the real value lives in the wide
+/// side array. Chosen at the top of the `u32` range so every in-range
+/// value encodes as itself.
+const ESCAPE: u32 = u32::MAX;
+
+/// A timestamp column: `u32` microsecond deltas from the previous entry,
+/// escaping to an absolute 64-bit side array when a record jumps backward
+/// or more than `u32::MAX - 1` microseconds (~71 minutes) forward.
+/// Lossless for any input order; 4 bytes per record in the steady state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeCol {
+    enc: Vec<u32>,
+    wide: Vec<u64>,
+    /// Encoder state: absolute microseconds of the last appended entry.
+    last: u64,
+}
+
+impl TimeCol {
+    /// An empty column (`const`, so shared static empties are possible).
+    pub const fn empty() -> TimeCol {
+        TimeCol { enc: Vec::new(), wide: Vec::new(), last: 0 }
+    }
+
+    /// Append one timestamp.
+    pub fn append(&mut self, t: SimTime) {
+        let us = t.as_micros();
+        let delta = us.wrapping_sub(self.last);
+        if us >= self.last && delta < u64::from(ESCAPE) {
+            self.enc.push(delta as u32);
+        } else {
+            self.enc.push(ESCAPE);
+            self.wide.push(us);
+        }
+        self.last = us;
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> usize {
+        self.enc.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.enc.is_empty()
+    }
+
+    /// Sequential decode of every timestamp, in append order.
+    pub fn iter(&self) -> TimeColIter<'_> {
+        TimeColIter { enc: self.enc.iter(), wide: self.wide.iter(), last: 0 }
+    }
+
+    /// Heap bytes held by the column.
+    pub fn heap_bytes(&self) -> usize {
+        self.enc.capacity() * 4 + self.wide.capacity() * 8
+    }
+}
+
+impl Default for TimeCol {
+    fn default() -> TimeCol {
+        TimeCol::empty()
+    }
+}
+
+/// Sequential decoder over a [`TimeCol`].
+#[derive(Debug, Clone)]
+pub struct TimeColIter<'a> {
+    enc: std::slice::Iter<'a, u32>,
+    wide: std::slice::Iter<'a, u64>,
+    last: u64,
+}
+
+impl Iterator for TimeColIter<'_> {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        let &e = self.enc.next()?;
+        self.last = if e == ESCAPE {
+            self.wide.next().copied()?
+        } else {
+            self.last + u64::from(e)
+        };
+        Some(SimTime::from_micros(self.last))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.enc.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TimeColIter<'_> {}
+
+/// A `u64` value column with a `u32` fast lane: values below the escape
+/// threshold store in 4 bytes, the rest go to a 64-bit side array. Byte
+/// and packet counts per one-minute window almost always fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarrowCol {
+    enc: Vec<u32>,
+    wide: Vec<u64>,
+}
+
+impl NarrowCol {
+    /// An empty column.
+    pub const fn empty() -> NarrowCol {
+        NarrowCol { enc: Vec::new(), wide: Vec::new() }
+    }
+
+    /// Append one value.
+    pub fn append(&mut self, v: u64) {
+        if v < u64::from(ESCAPE) {
+            self.enc.push(v as u32);
+        } else {
+            self.enc.push(ESCAPE);
+            self.wide.push(v);
+        }
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> usize {
+        self.enc.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.enc.is_empty()
+    }
+
+    /// Sequential decode of every value, in append order.
+    pub fn iter(&self) -> NarrowColIter<'_> {
+        NarrowColIter { enc: self.enc.iter(), wide: self.wide.iter() }
+    }
+
+    /// Heap bytes held by the column.
+    pub fn heap_bytes(&self) -> usize {
+        self.enc.capacity() * 4 + self.wide.capacity() * 8
+    }
+}
+
+impl Default for NarrowCol {
+    fn default() -> NarrowCol {
+        NarrowCol::empty()
+    }
+}
+
+/// Sequential decoder over a [`NarrowCol`].
+#[derive(Debug, Clone)]
+pub struct NarrowColIter<'a> {
+    enc: std::slice::Iter<'a, u32>,
+    wide: std::slice::Iter<'a, u64>,
+}
+
+impl Iterator for NarrowColIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let &e = self.enc.next()?;
+        if e == ESCAPE {
+            self.wide.next().copied()
+        } else {
+            Some(u64::from(e))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.enc.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NarrowColIter<'_> {}
+
+/// A per-router domain interner: each distinct [`ReportedDomain`] is
+/// stored once and referenced by a dense `u32` id. Equality compares the
+/// pool only — first-appearance order is a pure function of the pushed
+/// sequence, and the lookup map is derivable from the pool.
+#[derive(Debug, Clone)]
+pub struct DomainPool {
+    pool: Vec<ReportedDomain>,
+    lookup: BTreeMap<ReportedDomain, u32>,
+}
+
+impl DomainPool {
+    /// An empty pool.
+    pub const fn empty() -> DomainPool {
+        DomainPool { pool: Vec::new(), lookup: BTreeMap::new() }
+    }
+
+    /// The id for a domain, interning it on first sight.
+    pub fn intern(&mut self, domain: &ReportedDomain) -> u32 {
+        if let Some(&id) = self.lookup.get(domain) {
+            return id;
+        }
+        let id = self.pool.len() as u32;
+        self.pool.push(domain.clone());
+        self.lookup.insert(domain.clone(), id);
+        id
+    }
+
+    /// The domain behind an id issued by this pool.
+    ///
+    /// # Panics
+    /// If the id was not issued by this pool (a column/pool pairing bug).
+    pub fn get(&self, id: u32) -> &ReportedDomain {
+        &self.pool[id as usize]
+    }
+
+    /// Distinct domains interned.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+impl Default for DomainPool {
+    fn default() -> DomainPool {
+        DomainPool::empty()
+    }
+}
+
+impl PartialEq for DomainPool {
+    fn eq(&self, other: &DomainPool) -> bool {
+        self.pool == other.pool
+    }
+}
+
+/// Columns of one router's [`PacketStatsRecord`] stream.
+#[derive(Debug, Clone, PartialEq)]
+struct PacketStatsCols {
+    at: TimeCol,
+    bytes_down: NarrowCol,
+    bytes_up: NarrowCol,
+    pkts_down: NarrowCol,
+    pkts_up: NarrowCol,
+    peak_down_1s: NarrowCol,
+    peak_up_1s: NarrowCol,
+}
+
+impl PacketStatsCols {
+    const fn empty() -> PacketStatsCols {
+        PacketStatsCols {
+            at: TimeCol::empty(),
+            bytes_down: NarrowCol::empty(),
+            bytes_up: NarrowCol::empty(),
+            pkts_down: NarrowCol::empty(),
+            pkts_up: NarrowCol::empty(),
+            peak_down_1s: NarrowCol::empty(),
+            peak_up_1s: NarrowCol::empty(),
+        }
+    }
+
+    fn append(&mut self, r: &PacketStatsRecord) {
+        self.at.append(r.at);
+        self.bytes_down.append(r.bytes_down);
+        self.bytes_up.append(r.bytes_up);
+        self.pkts_down.append(r.pkts_down);
+        self.pkts_up.append(r.pkts_up);
+        self.peak_down_1s.append(r.peak_down_1s);
+        self.peak_up_1s.append(r.peak_up_1s);
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> RouterPacketStats<'_> {
+        RouterPacketStats {
+            router,
+            at: self.at.iter(),
+            bytes_down: self.bytes_down.iter(),
+            bytes_up: self.bytes_up.iter(),
+            pkts_down: self.pkts_down.iter(),
+            pkts_up: self.pkts_up.iter(),
+            peak_down_1s: self.peak_down_1s.iter(),
+            peak_up_1s: self.peak_up_1s.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.bytes_down.heap_bytes()
+            + self.bytes_up.heap_bytes()
+            + self.pkts_down.heap_bytes()
+            + self.pkts_up.heap_bytes()
+            + self.peak_down_1s.heap_bytes()
+            + self.peak_up_1s.heap_bytes()
+    }
+}
+
+impl Default for PacketStatsCols {
+    fn default() -> PacketStatsCols {
+        PacketStatsCols::empty()
+    }
+}
+
+/// One router's packet statistics, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct RouterPacketStats<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    bytes_down: NarrowColIter<'a>,
+    bytes_up: NarrowColIter<'a>,
+    pkts_down: NarrowColIter<'a>,
+    pkts_up: NarrowColIter<'a>,
+    peak_down_1s: NarrowColIter<'a>,
+    peak_up_1s: NarrowColIter<'a>,
+}
+
+impl Iterator for RouterPacketStats<'_> {
+    type Item = PacketStatsRecord;
+
+    fn next(&mut self) -> Option<PacketStatsRecord> {
+        Some(PacketStatsRecord {
+            router: self.router,
+            at: self.at.next()?,
+            bytes_down: self.bytes_down.next()?,
+            bytes_up: self.bytes_up.next()?,
+            pkts_down: self.pkts_down.next()?,
+            pkts_up: self.pkts_up.next()?,
+            peak_down_1s: self.peak_down_1s.next()?,
+            peak_up_1s: self.peak_up_1s.next()?,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RouterPacketStats<'_> {}
+
+/// Columns of one router's [`FlowRecord`] stream. `ended` is the
+/// chronological axis (records are emitted at completion); `started`
+/// stores as the flow duration relative to `ended`, which is small for
+/// real flows and losslessly wrapping for arbitrary test input.
+#[derive(Debug, Clone, PartialEq)]
+struct FlowCols {
+    ended: TimeCol,
+    dur: NarrowCol,
+    device: Vec<AnonMac>,
+    remote_ip_hash: Vec<u64>,
+    remote_port: Vec<u16>,
+    proto: Vec<IpProtocol>,
+    domain: Vec<u32>,
+    domains: DomainPool,
+    bytes_down: NarrowCol,
+    bytes_up: NarrowCol,
+}
+
+impl FlowCols {
+    const fn empty() -> FlowCols {
+        FlowCols {
+            ended: TimeCol::empty(),
+            dur: NarrowCol::empty(),
+            device: Vec::new(),
+            remote_ip_hash: Vec::new(),
+            remote_port: Vec::new(),
+            proto: Vec::new(),
+            domain: Vec::new(),
+            domains: DomainPool::empty(),
+            bytes_down: NarrowCol::empty(),
+            bytes_up: NarrowCol::empty(),
+        }
+    }
+
+    fn append(&mut self, r: &FlowRecord) {
+        self.ended.append(r.ended);
+        self.dur.append(r.ended.as_micros().wrapping_sub(r.started.as_micros()));
+        self.device.push(r.device);
+        self.remote_ip_hash.push(r.remote_ip_hash);
+        self.remote_port.push(r.remote_port);
+        self.proto.push(r.proto);
+        let id = self.domains.intern(&r.domain);
+        self.domain.push(id);
+        self.bytes_down.append(r.bytes_down);
+        self.bytes_up.append(r.bytes_up);
+    }
+
+    fn len(&self) -> usize {
+        self.ended.len()
+    }
+
+    fn iter(&self, router: RouterId) -> RouterFlows<'_> {
+        RouterFlows {
+            router,
+            ended: self.ended.iter(),
+            dur: self.dur.iter(),
+            device: self.device.iter(),
+            remote_ip_hash: self.remote_ip_hash.iter(),
+            remote_port: self.remote_port.iter(),
+            proto: self.proto.iter(),
+            domain: self.domain.iter(),
+            domains: &self.domains,
+            bytes_down: self.bytes_down.iter(),
+            bytes_up: self.bytes_up.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.ended.heap_bytes()
+            + self.dur.heap_bytes()
+            + self.device.capacity() * std::mem::size_of::<AnonMac>()
+            + self.remote_ip_hash.capacity() * 8
+            + self.remote_port.capacity() * 2
+            + self.proto.capacity()
+            + self.domain.capacity() * 4
+            + self.bytes_down.heap_bytes()
+            + self.bytes_up.heap_bytes()
+    }
+}
+
+impl Default for FlowCols {
+    fn default() -> FlowCols {
+        FlowCols::empty()
+    }
+}
+
+/// One router's flows, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct RouterFlows<'a> {
+    router: RouterId,
+    ended: TimeColIter<'a>,
+    dur: NarrowColIter<'a>,
+    device: std::slice::Iter<'a, AnonMac>,
+    remote_ip_hash: std::slice::Iter<'a, u64>,
+    remote_port: std::slice::Iter<'a, u16>,
+    proto: std::slice::Iter<'a, IpProtocol>,
+    domain: std::slice::Iter<'a, u32>,
+    domains: &'a DomainPool,
+    bytes_down: NarrowColIter<'a>,
+    bytes_up: NarrowColIter<'a>,
+}
+
+impl Iterator for RouterFlows<'_> {
+    type Item = FlowRecord;
+
+    fn next(&mut self) -> Option<FlowRecord> {
+        let ended = self.ended.next()?;
+        let dur = self.dur.next()?;
+        Some(FlowRecord {
+            router: self.router,
+            started: SimTime::from_micros(ended.as_micros().wrapping_sub(dur)),
+            ended,
+            device: self.device.next().copied()?,
+            remote_ip_hash: self.remote_ip_hash.next().copied()?,
+            remote_port: self.remote_port.next().copied()?,
+            proto: self.proto.next().copied()?,
+            domain: self.domains.get(*self.domain.next()?).clone(),
+            bytes_down: self.bytes_down.next()?,
+            bytes_up: self.bytes_up.next()?,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ended.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RouterFlows<'_> {}
+
+/// Columns of one router's [`DnsSampleRecord`] stream.
+#[derive(Debug, Clone, PartialEq)]
+struct DnsCols {
+    at: TimeCol,
+    device: Vec<AnonMac>,
+    name: Vec<u32>,
+    names: DomainPool,
+    cname_links: Vec<u8>,
+    resolved: Vec<bool>,
+}
+
+impl DnsCols {
+    const fn empty() -> DnsCols {
+        DnsCols {
+            at: TimeCol::empty(),
+            device: Vec::new(),
+            name: Vec::new(),
+            names: DomainPool::empty(),
+            cname_links: Vec::new(),
+            resolved: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, r: &DnsSampleRecord) {
+        self.at.append(r.at);
+        self.device.push(r.device);
+        let id = self.names.intern(&r.name);
+        self.name.push(id);
+        self.cname_links.push(r.cname_links);
+        self.resolved.push(r.resolved);
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> RouterDns<'_> {
+        RouterDns {
+            router,
+            at: self.at.iter(),
+            device: self.device.iter(),
+            name: self.name.iter(),
+            names: &self.names,
+            cname_links: self.cname_links.iter(),
+            resolved: self.resolved.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.device.capacity() * std::mem::size_of::<AnonMac>()
+            + self.name.capacity() * 4
+            + self.cname_links.capacity()
+            + self.resolved.capacity()
+    }
+}
+
+impl Default for DnsCols {
+    fn default() -> DnsCols {
+        DnsCols::empty()
+    }
+}
+
+/// One router's DNS samples, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct RouterDns<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    device: std::slice::Iter<'a, AnonMac>,
+    name: std::slice::Iter<'a, u32>,
+    names: &'a DomainPool,
+    cname_links: std::slice::Iter<'a, u8>,
+    resolved: std::slice::Iter<'a, bool>,
+}
+
+impl Iterator for RouterDns<'_> {
+    type Item = DnsSampleRecord;
+
+    fn next(&mut self) -> Option<DnsSampleRecord> {
+        Some(DnsSampleRecord {
+            router: self.router,
+            at: self.at.next()?,
+            device: self.device.next().copied()?,
+            name: self.names.get(*self.name.next()?).clone(),
+            cname_links: self.cname_links.next().copied()?,
+            resolved: self.resolved.next().copied()?,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RouterDns<'_> {}
+
+/// Columns of one router's [`MacSightingRecord`] stream.
+#[derive(Debug, Clone, PartialEq)]
+struct MacCols {
+    first_seen: TimeCol,
+    device: Vec<AnonMac>,
+    bytes_total: NarrowCol,
+}
+
+impl MacCols {
+    const fn empty() -> MacCols {
+        MacCols {
+            first_seen: TimeCol::empty(),
+            device: Vec::new(),
+            bytes_total: NarrowCol::empty(),
+        }
+    }
+
+    fn append(&mut self, r: &MacSightingRecord) {
+        self.first_seen.append(r.first_seen);
+        self.device.push(r.device);
+        self.bytes_total.append(r.bytes_total);
+    }
+
+    fn len(&self) -> usize {
+        self.first_seen.len()
+    }
+
+    fn iter(&self, router: RouterId) -> RouterMacs<'_> {
+        RouterMacs {
+            router,
+            first_seen: self.first_seen.iter(),
+            device: self.device.iter(),
+            bytes_total: self.bytes_total.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.first_seen.heap_bytes()
+            + self.device.capacity() * std::mem::size_of::<AnonMac>()
+            + self.bytes_total.heap_bytes()
+    }
+}
+
+impl Default for MacCols {
+    fn default() -> MacCols {
+        MacCols::empty()
+    }
+}
+
+/// One router's MAC sightings, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct RouterMacs<'a> {
+    router: RouterId,
+    first_seen: TimeColIter<'a>,
+    device: std::slice::Iter<'a, AnonMac>,
+    bytes_total: NarrowColIter<'a>,
+}
+
+impl Iterator for RouterMacs<'_> {
+    type Item = MacSightingRecord;
+
+    fn next(&mut self) -> Option<MacSightingRecord> {
+        Some(MacSightingRecord {
+            router: self.router,
+            first_seen: self.first_seen.next()?,
+            device: self.device.next().copied()?,
+            bytes_total: self.bytes_total.next()?,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.first_seen.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RouterMacs<'_> {}
+
+/// Generates one public columnar table: per-router column groups keyed by
+/// a `BTreeMap`, a flat record iterator in (router, arrival) order, and a
+/// shard merge that reproduces the legacy row-table merge byte for byte.
+macro_rules! columnar_table {
+    (
+        $(#[$tdoc:meta])*
+        table $Table:ident;
+        $(#[$idoc:meta])*
+        iter $TableIter:ident;
+        cols $Cols:ident;
+        record $Record:ty;
+        router_iter $RouterIter:ident;
+        empty $EMPTY:ident;
+        key |$r:ident| $key:expr;
+    ) => {
+        static $EMPTY: $Cols = $Cols::empty();
+
+        $(#[$tdoc])*
+        #[derive(Debug, Clone, Default, PartialEq)]
+        pub struct $Table {
+            by_router: BTreeMap<RouterId, $Cols>,
+            len: usize,
+        }
+
+        impl $Table {
+            /// Append one record to its router's column group.
+            pub fn push(&mut self, record: $Record) {
+                self.by_router.entry(record.router).or_default().append(&record);
+                self.len += 1;
+            }
+
+            /// Total records across all routers.
+            pub fn len(&self) -> usize {
+                self.len
+            }
+
+            /// True when no record has been pushed.
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// Iterate every record by value in (router, per-router
+            /// arrival) order — after a snapshot merge, the same global
+            /// (router, time)-sorted order the legacy row vector had.
+            pub fn iter(&self) -> $TableIter<'_> {
+                $TableIter { routers: self.by_router.iter(), current: None }
+            }
+
+            /// Iterate one router's records (empty if it never reported).
+            pub fn router(&self, router: RouterId) -> $RouterIter<'_> {
+                self.by_router.get(&router).unwrap_or(&$EMPTY).iter(router)
+            }
+
+            /// Records held for one router.
+            pub fn router_len(&self, router: RouterId) -> usize {
+                self.by_router.get(&router).map_or(0, $Cols::len)
+            }
+
+            /// Heap bytes held by all columns (diagnostic).
+            pub fn heap_bytes(&self) -> usize {
+                self.by_router.values().map($Cols::heap_bytes).sum()
+            }
+
+            /// Merge per-shard tables into one globally sorted table.
+            ///
+            /// Routers are partitioned across shards, so each router's
+            /// column group normally arrives from exactly one chunk: the
+            /// merge moves groups into the output map (router order) and
+            /// then stable-sorts any router whose arrival order violates
+            /// the table's time subkey — exactly the order the legacy
+            /// row merge produced, whether it took its concatenation
+            /// fast path (all runs sorted and disjoint) or its global
+            /// stable-sort fallback. A router appearing in several
+            /// chunks (hand-built tables only) concatenates in chunk
+            /// order before the same normalize pass.
+            pub fn merge(chunks: Vec<$Table>) -> $Table {
+                let mut out = $Table::default();
+                for chunk in chunks {
+                    out.len += chunk.len;
+                    for (router, cols) in chunk.by_router {
+                        match out.by_router.entry(router) {
+                            Entry::Vacant(slot) => {
+                                slot.insert(cols);
+                            }
+                            Entry::Occupied(mut slot) => {
+                                let mut rows: Vec<$Record> =
+                                    slot.get().iter(router).collect();
+                                rows.extend(cols.iter(router));
+                                let mut rebuilt = $Cols::empty();
+                                for row in &rows {
+                                    rebuilt.append(row);
+                                }
+                                *slot.get_mut() = rebuilt;
+                            }
+                        }
+                    }
+                }
+                for (router, cols) in out.by_router.iter_mut() {
+                    let router = *router;
+                    let mut prev = None;
+                    let mut sorted = true;
+                    for record in cols.iter(router) {
+                        let $r = &record;
+                        let k = $key;
+                        if prev.as_ref() > Some(&k) {
+                            sorted = false;
+                            break;
+                        }
+                        prev = Some(k);
+                    }
+                    if !sorted {
+                        let mut rows: Vec<$Record> = cols.iter(router).collect();
+                        rows.sort_by(|a, b| {
+                            let ka = {
+                                let $r = a;
+                                $key
+                            };
+                            let kb = {
+                                let $r = b;
+                                $key
+                            };
+                            ka.cmp(&kb)
+                        });
+                        let mut rebuilt = $Cols::empty();
+                        for row in &rows {
+                            rebuilt.append(row);
+                        }
+                        *cols = rebuilt;
+                    }
+                }
+                out
+            }
+        }
+
+        impl<'a> IntoIterator for &'a $Table {
+            type Item = $Record;
+            type IntoIter = $TableIter<'a>;
+
+            fn into_iter(self) -> $TableIter<'a> {
+                self.iter()
+            }
+        }
+
+        $(#[$idoc])*
+        #[derive(Debug, Clone)]
+        pub struct $TableIter<'a> {
+            routers: std::collections::btree_map::Iter<'a, RouterId, $Cols>,
+            current: Option<$RouterIter<'a>>,
+        }
+
+        impl<'a> Iterator for $TableIter<'a> {
+            type Item = $Record;
+
+            fn next(&mut self) -> Option<$Record> {
+                loop {
+                    if let Some(current) = &mut self.current {
+                        if let Some(record) = current.next() {
+                            return Some(record);
+                        }
+                    }
+                    let (&router, cols) = self.routers.next()?;
+                    self.current = Some(cols.iter(router));
+                }
+            }
+        }
+    };
+}
+
+columnar_table! {
+    /// The packet-statistics table (Traffic data set) in columnar form:
+    /// per-minute windows, ~28 bytes/record instead of the 64-byte row.
+    table PacketStatsTable;
+    /// Flat record iterator over a [`PacketStatsTable`].
+    iter PacketStatsIter;
+    cols PacketStatsCols;
+    record PacketStatsRecord;
+    router_iter RouterPacketStats;
+    empty EMPTY_PACKET_STATS;
+    key |r| r.at;
+}
+
+columnar_table! {
+    /// The flow table (Traffic data set) in columnar form: interned
+    /// domains and delta-coded times, ~40 bytes/record instead of the
+    /// 88-byte row.
+    table FlowTable;
+    /// Flat record iterator over a [`FlowTable`].
+    iter FlowsIter;
+    cols FlowCols;
+    record FlowRecord;
+    router_iter RouterFlows;
+    empty EMPTY_FLOWS;
+    key |r| (r.ended, r.started, r.device);
+}
+
+columnar_table! {
+    /// The DNS-sample table (Traffic data set) in columnar form:
+    /// interned names, ~18 bytes/record instead of the 56-byte row.
+    table DnsTable;
+    /// Flat record iterator over a [`DnsTable`].
+    iter DnsIter;
+    cols DnsCols;
+    record DnsSampleRecord;
+    router_iter RouterDns;
+    empty EMPTY_DNS;
+    key |r| (r.at, r.device);
+}
+
+columnar_table! {
+    /// The MAC-sighting table (Traffic data set) in columnar form:
+    /// ~16 bytes/record instead of the 32-byte row.
+    table MacTable;
+    /// Flat record iterator over a [`MacTable`].
+    iter MacsIter;
+    cols MacCols;
+    record MacSightingRecord;
+    router_iter RouterMacs;
+    empty EMPTY_MACS;
+    key |r| (r.first_seen, r.device);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::dns::DomainName;
+    use simnet::time::SimDuration;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn time_col_round_trips_monotone_jumpy_and_backward_sequences() {
+        let inputs = vec![
+            SimTime::from_micros(0),
+            SimTime::from_micros(5),
+            SimTime::from_micros(5),
+            // Forward jump past the u32 delta range: escapes.
+            SimTime::from_micros(6_000_000_000),
+            // Backward jump: escapes.
+            SimTime::from_micros(100),
+            SimTime::from_micros(u64::MAX),
+            SimTime::from_micros(u64::MAX),
+        ];
+        let mut col = TimeCol::empty();
+        for &v in &inputs {
+            col.append(v);
+        }
+        assert_eq!(col.iter().collect::<Vec<_>>(), inputs);
+        assert_eq!(col.len(), 7);
+        // Only the three non-delta-codable entries hit the wide lane.
+        assert_eq!(col.wide.len(), 3);
+    }
+
+    #[test]
+    fn narrow_col_round_trips_across_the_escape_threshold() {
+        let inputs =
+            vec![0, 1, u64::from(u32::MAX) - 1, u64::from(u32::MAX), u64::from(u32::MAX) + 1, u64::MAX];
+        let mut col = NarrowCol::empty();
+        for &v in &inputs {
+            col.append(v);
+        }
+        assert_eq!(col.iter().collect::<Vec<_>>(), inputs);
+        assert_eq!(col.wide.len(), 3);
+    }
+
+    #[test]
+    fn domain_pool_interns_by_value_and_compares_by_pool() {
+        let clear = ReportedDomain::Clear(DomainName::new("netflix.com").unwrap());
+        let obf = ReportedDomain::Obfuscated(7);
+        let mut a = DomainPool::empty();
+        assert_eq!(a.intern(&clear), 0);
+        assert_eq!(a.intern(&obf), 1);
+        assert_eq!(a.intern(&clear), 0, "re-interning is id-stable");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(1), &obf);
+        let mut b = DomainPool::empty();
+        b.intern(&clear);
+        b.intern(&obf);
+        assert_eq!(a, b);
+        let mut c = DomainPool::empty();
+        c.intern(&obf);
+        c.intern(&clear);
+        assert_ne!(a, c, "interning order is part of equality");
+    }
+
+    fn flow(router: u32, started: u64, ended: u64, suffix: u32, domain: u64) -> FlowRecord {
+        FlowRecord {
+            router: RouterId(router),
+            started: t(started),
+            ended: t(ended),
+            device: AnonMac { oui: 0x0017F2, suffix_hash: suffix },
+            remote_ip_hash: 99,
+            remote_port: 443,
+            proto: IpProtocol::Tcp,
+            domain: ReportedDomain::Obfuscated(domain),
+            bytes_down: 4096,
+            bytes_up: 512,
+        }
+    }
+
+    #[test]
+    fn flow_table_round_trips_and_indexes_per_router() {
+        let rows = vec![
+            flow(2, 0, 5, 1, 10),
+            flow(1, 3, 4, 2, 10),
+            flow(2, 1, 6, 1, 11),
+            // started after ended: wrapping duration still round-trips.
+            flow(1, 9, 7, 3, 10),
+        ];
+        let mut table = FlowTable::default();
+        for r in &rows {
+            table.push(r.clone());
+        }
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.router_len(RouterId(1)), 2);
+        assert_eq!(table.router(RouterId(3)).count(), 0);
+        // Flat iteration groups by router, preserving arrival order within.
+        let expect = vec![rows[1].clone(), rows[3].clone(), rows[0].clone(), rows[2].clone()];
+        assert_eq!(table.iter().collect::<Vec<_>>(), expect);
+        assert_eq!(table.router(RouterId(2)).collect::<Vec<_>>(), vec![rows[0].clone(), rows[2].clone()]);
+    }
+
+    #[test]
+    fn table_equality_tracks_the_pushed_sequence() {
+        let mut a = FlowTable::default();
+        let mut b = FlowTable::default();
+        for r in [flow(1, 0, 1, 1, 5), flow(1, 2, 3, 1, 6)] {
+            a.push(r.clone());
+            b.push(r);
+        }
+        assert_eq!(a, b);
+        b.push(flow(1, 4, 5, 1, 5));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merge_concatenates_disjoint_routers_and_sorts_unordered_ones() {
+        // Shard A: router 1 in order; shard B: router 2 out of order.
+        let mut a = FlowTable::default();
+        a.push(flow(1, 0, 2, 1, 5));
+        a.push(flow(1, 1, 3, 1, 5));
+        let mut b = FlowTable::default();
+        b.push(flow(2, 5, 9, 1, 6));
+        b.push(flow(2, 2, 4, 1, 6));
+        let merged = FlowTable::merge(vec![a, b]);
+        assert_eq!(merged.len(), 4);
+        let order: Vec<(u32, SimTime)> =
+            merged.iter().map(|r| (r.router.0, r.ended)).collect();
+        assert_eq!(order, vec![(1, t(2)), (1, t(3)), (2, t(4)), (2, t(9))]);
+        // The unordered router was rebuilt; the ordered one kept its
+        // original (already-sorted) encoding.
+        let rebuilt: Vec<SimTime> =
+            merged.router(RouterId(2)).map(|r| r.ended).collect();
+        assert_eq!(rebuilt, vec![t(4), t(9)]);
+    }
+
+    #[test]
+    fn merge_with_a_router_split_across_chunks_stays_stable() {
+        // Ties on the full subkey must preserve chunk order (stable sort).
+        let first = flow(7, 0, 5, 1, 10);
+        let second = flow(7, 0, 5, 1, 11);
+        let mut a = FlowTable::default();
+        a.push(first.clone());
+        let mut b = FlowTable::default();
+        b.push(second.clone());
+        let merged = FlowTable::merge(vec![a, b]);
+        assert_eq!(merged.iter().collect::<Vec<_>>(), vec![first, second]);
+    }
+
+    #[test]
+    fn packet_stats_dns_and_mac_tables_round_trip() {
+        let ps = PacketStatsRecord {
+            router: RouterId(3),
+            at: t(1),
+            bytes_down: u64::MAX,
+            bytes_up: 1,
+            pkts_down: 2,
+            pkts_up: 3,
+            peak_down_1s: 4,
+            peak_up_1s: 5,
+        };
+        let mut pst = PacketStatsTable::default();
+        pst.push(ps);
+        assert_eq!(pst.iter().collect::<Vec<_>>(), vec![ps]);
+
+        let dns = DnsSampleRecord {
+            router: RouterId(3),
+            at: t(2),
+            device: AnonMac { oui: 1, suffix_hash: 2 },
+            name: ReportedDomain::Clear(DomainName::new("netflix.com").unwrap()),
+            cname_links: 2,
+            resolved: true,
+        };
+        let mut dt = DnsTable::default();
+        dt.push(dns.clone());
+        dt.push(dns.clone());
+        assert_eq!(dt.iter().collect::<Vec<_>>(), vec![dns.clone(), dns]);
+
+        let mac = MacSightingRecord {
+            router: RouterId(4),
+            first_seen: t(3),
+            device: AnonMac { oui: 5, suffix_hash: 6 },
+            bytes_total: 1 << 40,
+        };
+        let mut mt = MacTable::default();
+        mt.push(mac);
+        assert_eq!(mt.iter().collect::<Vec<_>>(), vec![mac]);
+        assert!(mt.heap_bytes() > 0);
+    }
+}

@@ -2,18 +2,22 @@
 //!
 //! The deployment's back end: routers upload records ([`server`]), the
 //! collector compresses the firehose of heartbeats into run logs
-//! ([`runlog`]), clips analyses to the per-data-set collection windows of
-//! Table 2 ([`windows`]), and exports the PII-free public release
-//! ([`export`] — everything except Traffic, exactly as the paper did).
+//! ([`runlog`]), stores the high-volume Traffic tables in compact
+//! columnar form ([`columns`]), clips analyses to the per-data-set
+//! collection windows of Table 2 ([`windows`]), and exports the PII-free
+//! public release ([`export`] — everything except Traffic, exactly as
+//! the paper did).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod export;
 pub mod runlog;
 pub mod server;
 pub mod windows;
 
+pub use columns::{DnsTable, FlowTable, MacTable, PacketStatsTable};
 pub use runlog::{HeartbeatRun, RunLog, UploadCounters};
 pub use server::{
     Collector, Datasets, RouterMeta, ShardHandle, UploadGapRecord, UploadOutcome, NUM_SHARDS,

@@ -12,13 +12,13 @@
 //! sort otherwise — so the result is bit-identical regardless of how many
 //! threads uploaded.
 
+use crate::columns::{DnsTable, FlowTable, MacTable, PacketStatsTable};
 use crate::runlog::{RunLog, UploadCounters};
 use crate::windows::Window;
 use firmware::heartbeat::Heartbeat;
 use firmware::records::{
-    AssociationRecord, CapacityRecord, DeviceCensusRecord, DnsSampleRecord, FlowRecord,
-    HeartbeatRecord, MacSightingRecord, PacketStatsRecord, Record, RouterId, UptimeRecord,
-    WifiScanRecord,
+    AssociationRecord, CapacityRecord, DeviceCensusRecord, HeartbeatRecord, Record, RouterId,
+    UptimeRecord, WifiScanRecord,
 };
 use firmware::uploader::{GapCause, GapDecl};
 use household::Country;
@@ -110,14 +110,14 @@ pub struct Datasets {
     pub devices: Vec<DeviceCensusRecord>,
     /// WiFi scans.
     pub wifi: Vec<WifiScanRecord>,
-    /// Per-second packet statistics (Traffic).
-    pub packet_stats: Vec<PacketStatsRecord>,
-    /// Flow records (Traffic).
-    pub flows: Vec<FlowRecord>,
-    /// DNS samples (Traffic).
-    pub dns: Vec<DnsSampleRecord>,
-    /// MAC sightings (Traffic).
-    pub macs: Vec<MacSightingRecord>,
+    /// Per-minute packet statistics (Traffic), in columnar form.
+    pub packet_stats: PacketStatsTable,
+    /// Flow records (Traffic), in columnar form.
+    pub flows: FlowTable,
+    /// DNS samples (Traffic), in columnar form.
+    pub dns: DnsTable,
+    /// MAC sightings (Traffic), in columnar form.
+    pub macs: MacTable,
     /// Hourly per-device association reports (Devices companion).
     pub associations: Vec<AssociationRecord>,
     /// Latency probes (platform companion data set).
@@ -159,6 +159,16 @@ impl Datasets {
             + self.associations.len()
             + self.latency.len()
     }
+
+    /// Heap bytes held by the four columnar high-volume tables. The row
+    /// tables and heartbeat run-logs are small by comparison; this is the
+    /// number that moves when the deployment is scaled with more homes.
+    pub fn columnar_heap_bytes(&self) -> usize {
+        self.packet_stats.heap_bytes()
+            + self.flows.heap_bytes()
+            + self.dns.heap_bytes()
+            + self.macs.heap_bytes()
+    }
 }
 
 /// One shard's worth of collected state: the same tables as [`Datasets`]
@@ -171,10 +181,10 @@ struct Shard {
     capacity: Vec<CapacityRecord>,
     devices: Vec<DeviceCensusRecord>,
     wifi: Vec<WifiScanRecord>,
-    packet_stats: Vec<PacketStatsRecord>,
-    flows: Vec<FlowRecord>,
-    dns: Vec<DnsSampleRecord>,
-    macs: Vec<MacSightingRecord>,
+    packet_stats: PacketStatsTable,
+    flows: FlowTable,
+    dns: DnsTable,
+    macs: MacTable,
     associations: Vec<AssociationRecord>,
     latency: Vec<firmware::latency::LatencyRecord>,
     /// Windows during which the collection infrastructure itself was down
@@ -702,10 +712,10 @@ struct ShardChunk {
     capacity: Vec<CapacityRecord>,
     devices: Vec<DeviceCensusRecord>,
     wifi: Vec<WifiScanRecord>,
-    packet_stats: Vec<PacketStatsRecord>,
-    flows: Vec<FlowRecord>,
-    dns: Vec<DnsSampleRecord>,
-    macs: Vec<MacSightingRecord>,
+    packet_stats: PacketStatsTable,
+    flows: FlowTable,
+    dns: DnsTable,
+    macs: MacTable,
     associations: Vec<AssociationRecord>,
     latency: Vec<firmware::latency::LatencyRecord>,
     upload_gaps: Vec<UploadGapRecord>,
@@ -808,16 +818,10 @@ fn merge_chunks(
             scope.spawn(|_| merge_table(devices, |r: &DeviceCensusRecord| (r.router, r.at)));
         let wifi =
             scope.spawn(|_| merge_table(wifi, |r: &WifiScanRecord| (r.router, r.at, r.band)));
-        let packet_stats = scope
-            .spawn(|_| merge_table(packet_stats, |r: &PacketStatsRecord| (r.router, r.at)));
-        let flows = scope.spawn(|_| {
-            merge_table(flows, |r: &FlowRecord| (r.router, r.ended, r.started, r.device))
-        });
-        let dns =
-            scope.spawn(|_| merge_table(dns, |r: &DnsSampleRecord| (r.router, r.at, r.device)));
-        let macs = scope.spawn(|_| {
-            merge_table(macs, |r: &MacSightingRecord| (r.router, r.first_seen, r.device))
-        });
+        let packet_stats = scope.spawn(|_| PacketStatsTable::merge(packet_stats));
+        let flows = scope.spawn(|_| FlowTable::merge(flows));
+        let dns = scope.spawn(|_| DnsTable::merge(dns));
+        let macs = scope.spawn(|_| MacTable::merge(macs));
         let associations = scope.spawn(|_| {
             merge_table(associations, |r: &AssociationRecord| {
                 (r.router, r.at, r.device, r.medium)

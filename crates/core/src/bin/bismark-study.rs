@@ -1,7 +1,7 @@
 //! `bismark-study` — the command-line front end of the reproduction.
 //!
 //! ```text
-//! bismark-study run   [--seed N] [--days D | --full] [--threads T]
+//! bismark-study run   [--seed N] [--days D | --full] [--homes H] [--threads T]
 //!                     [--faults SCENARIO] [--report FILE] [--export FILE]
 //!                     [--metrics FILE] [--metrics-text] [--validate]
 //! bismark-study list-figures
@@ -11,6 +11,9 @@
 //! report, optionally exports the PII-free public data release as JSON
 //! (exactly what the paper released: everything except Traffic), and
 //! optionally validates the heartbeat instrument against ground truth.
+//! `--homes H` scales the deployment generatively (country mix preserved)
+//! past the paper's 126 homes; it is a quick-mode axis and cannot be
+//! combined with `--full`, whose 197-day study is pinned to Table 1.
 //! `--metrics` writes the deterministic run manifest (`metrics.json`);
 //! `--metrics-text` prints the human-readable summary — including the
 //! non-deterministic wall-clock host profile — to stderr.
@@ -23,7 +26,7 @@ use bismark::validation;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--threads T] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
+        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
     );
     std::process::exit(2)
 }
@@ -43,6 +46,7 @@ struct RunOpts {
     seed: u64,
     days: u64,
     full: bool,
+    homes: Option<u32>,
     threads: Option<usize>,
     faults: Option<String>,
     report: Option<String>,
@@ -74,6 +78,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--seed" => opts.seed = parse_num(arg, value(arg, &mut it)?)?,
             "--days" => opts.days = parse_num(arg, value(arg, &mut it)?)?,
             "--full" => opts.full = true,
+            "--homes" => opts.homes = Some(parse_num(arg, value(arg, &mut it)?)?),
             "--threads" => opts.threads = Some(parse_num(arg, value(arg, &mut it)?)?),
             "--faults" => opts.faults = Some(value(arg, &mut it)?.clone()),
             "--report" => opts.report = Some(value(arg, &mut it)?.clone()),
@@ -83,6 +88,15 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--validate" => opts.validate = true,
             other => return Err(format!("unknown flag: {other}")),
         }
+    }
+    if opts.homes == Some(0) {
+        return Err("flag --homes expects at least 1 home, got 0".to_string());
+    }
+    if opts.homes.is_some() && opts.full {
+        return Err(
+            "flag --homes cannot be combined with --full (the 197-day full study is pinned to the 126-home Table 1 deployment)"
+                .to_string(),
+        );
     }
     Ok(opts)
 }
@@ -98,6 +112,9 @@ fn run(args: &[String]) {
 
     let mut config =
         if opts.full { StudyConfig::full(opts.seed) } else { StudyConfig::quick(opts.seed, opts.days) };
+    if let Some(homes) = opts.homes {
+        config.homes = homes;
+    }
     if let Some(threads) = opts.threads {
         config.threads = threads;
     }
@@ -109,9 +126,10 @@ fn run(args: &[String]) {
     }
 
     eprintln!(
-        "running seed {} over {:.0} virtual days on {} thread{}...",
+        "running seed {} over {:.0} virtual days across {} homes on {} thread{}...",
         opts.seed,
         config.windows.span.duration().as_days_f64(),
+        config.homes,
         config.threads,
         if config.threads == 1 { "" } else { "s" }
     );
@@ -178,7 +196,18 @@ fn run(args: &[String]) {
             "virtual_days",
             format!("{:.0}", config.windows.span.duration().as_days_f64()),
         );
+        manifest.set_meta("homes", config.homes.to_string());
         manifest.set_meta("faults", opts.faults.as_deref().unwrap_or("none"));
+        // Host facts (peak RSS) render only in the text summary; putting
+        // them in meta would leak machine state into metrics.json.
+        if let Some(peak) = peak_rss_bytes() {
+            manifest.set_host("peak_rss_bytes", peak.to_string());
+            manifest.set_host("peak_rss_mib", format!("{:.1}", peak as f64 / (1024.0 * 1024.0)));
+        }
+        manifest.set_host(
+            "columnar_heap_bytes",
+            output.datasets.columnar_heap_bytes().to_string(),
+        );
         if let Some(path) = &opts.metrics {
             std::fs::write(path, manifest.to_json()).expect("write metrics file");
             eprintln!("metrics written to {path}");
@@ -197,6 +226,17 @@ fn run(args: &[String]) {
             v.mean_downtime_count_error
         );
     }
+}
+
+/// Peak resident-set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. Returns `None` off Linux (or in sandboxes that hide
+/// procfs) so the host section simply omits the line instead of failing.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:    123456 kB`
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 fn list_figures() {
@@ -248,9 +288,9 @@ mod tests {
     #[test]
     fn all_flags_round_trip() {
         let opts = parse_run(&strs(&[
-            "--seed", "7", "--days", "20", "--threads", "2", "--faults", "collector-flap",
-            "--report", "r.txt", "--export", "e.json", "--metrics", "m.json", "--metrics-text",
-            "--validate",
+            "--seed", "7", "--days", "20", "--homes", "500", "--threads", "2",
+            "--faults", "collector-flap", "--report", "r.txt", "--export", "e.json",
+            "--metrics", "m.json", "--metrics-text", "--validate",
         ]))
         .unwrap();
         assert_eq!(
@@ -259,6 +299,7 @@ mod tests {
                 seed: 7,
                 days: 20,
                 full: false,
+                homes: Some(500),
                 threads: Some(2),
                 faults: Some("collector-flap".into()),
                 report: Some("r.txt".into()),
@@ -268,6 +309,29 @@ mod tests {
                 validate: true,
             }
         );
+    }
+
+    #[test]
+    fn zero_homes_is_rejected_by_name() {
+        let err = parse_run(&strs(&["--homes", "0"])).unwrap_err();
+        assert!(err.contains("--homes"), "error should name the flag: {err}");
+    }
+
+    #[test]
+    fn non_numeric_homes_is_rejected_by_name() {
+        let err = parse_run(&strs(&["--homes", "many"])).unwrap_err();
+        assert!(err.contains("--homes"), "{err}");
+        assert!(err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn homes_and_full_together_are_rejected_by_name() {
+        // Both orders: the conflict is checked after the parse loop.
+        for args in [&["--homes", "500", "--full"][..], &["--full", "--homes", "500"][..]] {
+            let err = parse_run(&strs(args)).unwrap_err();
+            assert!(err.contains("--homes"), "{err}");
+            assert!(err.contains("--full"), "{err}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use collector::{Collector, Datasets, RouterMeta, UploadCounters};
 use faultlab::{FaultPlan, FaultScenario};
 use firmware::records::RouterId;
 use household::domains::DomainUniverse;
-use household::home::{build_deployment, HomeConfig};
+use household::home::{build_deployment_scaled, HomeConfig};
 use simnet::time::{SimDuration, SimTime};
 
 /// The per-data-set collection windows a study runs with.
@@ -69,6 +69,10 @@ impl StudyWindows {
 pub struct StudyConfig {
     /// Master seed: everything derives from it.
     pub seed: u64,
+    /// Deployment size. 126 reproduces the paper's Table 1 deployment
+    /// exactly; any other value scales it generatively while preserving
+    /// the country mix (see [`household::build_deployment_scaled`]).
+    pub homes: u32,
     /// Collection windows (defaults to Table 2's).
     pub windows: StudyWindows,
     /// Worker threads for the home simulations.
@@ -87,6 +91,7 @@ impl StudyConfig {
     pub fn full(seed: u64) -> StudyConfig {
         StudyConfig {
             seed,
+            homes: 126,
             windows: StudyWindows::table2(),
             threads: default_threads(),
             collector_outages: Vec::new(),
@@ -103,6 +108,7 @@ impl StudyConfig {
         };
         StudyConfig {
             seed,
+            homes: 126,
             windows: StudyWindows::scaled(span),
             threads: default_threads(),
             collector_outages: Vec::new(),
@@ -187,11 +193,12 @@ fn publish_study_metrics(homes: &[HomeConfig], datasets: &Datasets) {
     obs::gauge("dataset_upload_gap_records").set(datasets.upload_gaps.len() as u64);
 }
 
-/// Run the full study: build the Table 1 deployment from `seed`, simulate
-/// every home over the configured span on `threads` workers, and snapshot
-/// the collected data sets.
+/// Run the full study: build the deployment from `seed` (Table 1 at the
+/// default 126 homes, mix-preserving generative scaling otherwise),
+/// simulate every home over the configured span on `threads` workers, and
+/// snapshot the collected data sets.
 pub fn run_study(config: &StudyConfig) -> StudyOutput {
-    let homes = build_deployment(config.seed);
+    let homes = build_deployment_scaled(config.seed, config.homes);
     // Compile the fault scenario (if any) against the actual deployment.
     // An empty plan keeps every home on the legacy direct-flush path.
     let fault_plan = match config.faults {
@@ -304,6 +311,16 @@ mod tests {
         assert!(!output.datasets.wifi.is_empty());
         assert!(!output.datasets.capacity.is_empty());
         assert!(!output.datasets.flows.is_empty());
+    }
+
+    #[test]
+    fn scaled_study_covers_the_requested_deployment() {
+        let mut cfg = StudyConfig::quick(5, 3);
+        cfg.homes = 10;
+        let output = run_study(&cfg);
+        assert_eq!(output.homes.len(), 10);
+        assert_eq!(output.datasets.routers.len(), 10);
+        assert!(!output.datasets.heartbeats.is_empty());
     }
 
     #[test]

@@ -173,21 +173,67 @@ impl HomeConfig {
 /// Two US Traffic-consent homes receive the [`Quirk::ScientificUploader`]
 /// behavior, matching the uplink-saturating households of Fig 16.
 pub fn build_deployment(seed: u64) -> Vec<HomeConfig> {
+    build_deployment_scaled(seed, 126)
+}
+
+/// Largest-remainder apportionment of `homes` across the Table 1 country
+/// mix: each country's exact share `homes * count / 126` is floored, and
+/// the leftover homes go to the countries with the largest fractional
+/// remainders (ties broken in Table 1 order). Exact at `homes == 126` —
+/// every country gets precisely its Table 1 router count — and
+/// mix-preserving (each share within one home of proportional) at any
+/// other size.
+fn apportion(homes: u32) -> Vec<(Country, u32)> {
+    let counts: Vec<u64> = Country::ALL.iter().map(|c| c.router_count() as u64).collect();
+    let total: u64 = counts.iter().sum();
+    let mut shares: Vec<u32> = Vec::with_capacity(counts.len());
+    let mut rems: Vec<u64> = Vec::with_capacity(counts.len());
+    for &count in &counts {
+        let exact = u64::from(homes) * count;
+        shares.push((exact / total) as u32);
+        rems.push(exact % total);
+    }
+    let mut leftover = homes - shares.iter().sum::<u32>();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(rems[i]));
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+    Country::ALL.into_iter().zip(shares).collect()
+}
+
+/// Instantiate a generatively scaled deployment of `homes` homes: the
+/// calibrated Table 1 country mix is preserved by largest-remainder
+/// apportionment, and every synthetic home is sampled from its country
+/// profile on its own RNG stream (`derive_indexed("home", id)` off the
+/// study seed, exactly as the 126-home deployment does). At
+/// `homes == 126` this is byte-for-byte [`build_deployment`].
+///
+/// The Fig 16 uploader quirk scales with the deployment: the first
+/// `max(2, homes * 2 / 126)` consenting homes with a modest uplink
+/// saturate their upstream around the clock.
+pub fn build_deployment_scaled(seed: u64, homes: u32) -> Vec<HomeConfig> {
     let root = DetRng::new(seed);
-    let mut homes = Vec::with_capacity(126);
+    let mut out = Vec::with_capacity(homes as usize);
     let mut id = 0u32;
-    for country in Country::ALL {
-        for _ in 0..country.router_count() {
+    for (country, count) in apportion(homes) {
+        for _ in 0..count {
             let home_rng = root.derive_indexed("home", u64::from(id));
-            homes.push(HomeConfig::sample(HomeId(id), country, &home_rng));
+            out.push(HomeConfig::sample(HomeId(id), country, &home_rng));
             id += 1;
         }
     }
-    // Assign the uploader quirk to the first two consenting US homes with a
-    // modest uplink, mirroring the paper's two Fig 16 households.
+    // Assign the uploader quirk to the first consenting homes with a
+    // modest uplink, mirroring the paper's two Fig 16 households and
+    // keeping their prevalence constant as the deployment grows.
+    let target = ((u64::from(homes) * 2) / 126).max(2);
     let mut assigned = 0;
-    for home in homes.iter_mut() {
-        if assigned == 2 {
+    for home in out.iter_mut() {
+        if assigned == target {
             break;
         }
         if home.traffic_consent && home.up_link.rate_bps < 3_000_000 {
@@ -195,7 +241,7 @@ pub fn build_deployment(seed: u64) -> Vec<HomeConfig> {
             assigned += 1;
         }
     }
-    homes
+    out
 }
 
 #[cfg(test)]
@@ -275,6 +321,75 @@ mod tests {
             let drain_secs = h.up_link.queue_limit_bytes as f64 * 8.0 / h.up_link.rate_bps as f64;
             assert!(drain_secs > 0.1, "uplink queue should hold >100 ms of data");
         }
+    }
+
+    #[test]
+    fn scaled_deployment_at_126_is_the_table1_deployment() {
+        let base = build_deployment(7);
+        let scaled = build_deployment_scaled(7, 126);
+        assert_eq!(base.len(), scaled.len());
+        for (a, b) in base.iter().zip(&scaled) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.country, b.country);
+            assert_eq!(a.wan_addr, b.wan_addr);
+            assert_eq!(a.session_rate_per_hour, b.session_rate_per_hour);
+            assert_eq!(a.quirk, b.quirk);
+        }
+    }
+
+    #[test]
+    fn scaled_deployment_preserves_the_country_mix() {
+        let homes = build_deployment_scaled(1, 1000);
+        assert_eq!(homes.len(), 1000);
+        for country in Country::ALL {
+            let got = homes.iter().filter(|h| h.country == country).count() as f64;
+            let exact = 1000.0 * country.router_count() as f64 / 126.0;
+            assert!(
+                (got - exact).abs() <= 1.0,
+                "{country:?}: {got} homes vs exact share {exact:.2}"
+            );
+        }
+        // US keeps its Table 1 half-share exactly (63/126 divides evenly).
+        let us = homes.iter().filter(|h| h.country == Country::UnitedStates).count();
+        assert_eq!(us, 500);
+        // Ids stay unique and dense at scale.
+        let mut ids: Vec<u32> = homes.iter().map(|h| h.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1000);
+        // Quirk prevalence scales with the deployment.
+        let uploaders = homes.iter().filter(|h| h.quirk == Some(Quirk::ScientificUploader)).count();
+        assert_eq!(uploaders, (1000 * 2) / 126);
+    }
+
+    #[test]
+    fn scaled_deployment_handles_tiny_and_odd_sizes() {
+        for n in [1u32, 5, 19, 127, 311] {
+            let homes = build_deployment_scaled(3, n);
+            assert_eq!(homes.len(), n as usize, "size {n}");
+        }
+        // The largest country (US) absorbs the first homes of a tiny
+        // deployment; every home still gets a valid country profile.
+        let five = build_deployment_scaled(3, 5);
+        assert!(five.iter().filter(|h| h.country == Country::UnitedStates).count() >= 2);
+    }
+
+    #[test]
+    fn scaled_deployment_is_deterministic_and_seed_sensitive() {
+        let a = build_deployment_scaled(7, 300);
+        let b = build_deployment_scaled(7, 300);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.wan_addr, y.wan_addr);
+            assert_eq!(x.session_rate_per_hour, y.session_rate_per_hour);
+        }
+        let c = build_deployment_scaled(8, 300);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.wan_addr != y.wan_addr));
+        // Growing the deployment keeps each country's block a prefix
+        // extension: home ids are stable within the country ordering, so
+        // the first homes of a bigger study share nothing *by accident* —
+        // each id derives its own stream.
+        let big = build_deployment_scaled(7, 600);
+        assert_eq!(big.len(), 600);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct RunManifest {
     /// only put run-describing, deterministic values here — a timestamp or
     /// hostname would break the byte-identical-across-runs guarantee.
     pub meta: BTreeMap<String, String>,
+    /// Host-side facts that vary between machines and runs (peak RSS, CPU
+    /// count...). Rendered only in the text summary, never in the JSON, so
+    /// recording them cannot break byte-identity of `metrics.json`.
+    pub host: BTreeMap<String, String>,
     /// Frozen metric state at end of study.
     pub snapshot: Snapshot,
 }
@@ -25,12 +29,17 @@ pub struct RunManifest {
 impl RunManifest {
     /// Start a manifest from a snapshot; add metadata with [`RunManifest::set_meta`].
     pub fn new(snapshot: Snapshot) -> RunManifest {
-        RunManifest { meta: BTreeMap::new(), snapshot }
+        RunManifest { meta: BTreeMap::new(), host: BTreeMap::new(), snapshot }
     }
 
     /// Attach one metadata key/value pair.
     pub fn set_meta(&mut self, key: &str, value: impl Into<String>) {
         self.meta.insert(key.to_string(), value.into());
+    }
+
+    /// Attach one host-side fact (text summary only; kept out of the JSON).
+    pub fn set_host(&mut self, key: &str, value: impl Into<String>) {
+        self.host.insert(key.to_string(), value.into());
     }
 
     /// Render `metrics.json`: `{"meta":{...},"counters":{...},"gauges":{...},
@@ -116,6 +125,13 @@ impl RunManifest {
                 ));
             }
         }
+        if !self.host.is_empty() {
+            out.push_str("\n## host (non-deterministic; excluded from metrics.json)\n");
+            let width = self.host.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.host {
+                out.push_str(&format!("{k:width$}  {v}\n"));
+            }
+        }
         out
     }
 }
@@ -144,6 +160,7 @@ mod tests {
         let mut m = RunManifest::new(snap);
         m.set_meta("seed", "7");
         m.set_meta("days", "20");
+        m.set_host("peak_rss_bytes", "12345678");
         m
     }
 
@@ -154,6 +171,7 @@ mod tests {
         assert!(json.ends_with("}\n"));
         assert!(!json.contains("study_simulate"), "wall spans must stay out of metrics.json");
         assert!(!json.contains("wall"));
+        assert!(!json.contains("peak_rss_bytes"), "host facts must stay out of metrics.json");
     }
 
     #[test]
@@ -172,6 +190,8 @@ mod tests {
         assert!(text.contains("flow_duration_micros: count=3 sum=450 mean=150 max=300"));
         assert!(text.contains("non-deterministic"));
         assert!(text.contains("study_simulate"));
+        assert!(text.contains("## host (non-deterministic; excluded from metrics.json)"));
+        assert!(text.contains("peak_rss_bytes  12345678"));
     }
 
     #[test]

@@ -8,6 +8,8 @@
 #   SKIP_MICRO=1 scripts/bench.sh    # e2e + regression gate only
 #   SKIP_FAULTS=1 scripts/bench.sh   # skip the faultlab overhead sample
 #   BENCH_RUNS=3 scripts/bench.sh    # fewer e2e repetitions
+#   RECORD_SCALING=1 scripts/bench.sh # append thread- and homes-scaling
+#                                     # series to BENCH_simulate.json
 #
 # The faultlab sample runs the same study under the collector-flap
 # scenario and reports the throughput delta of the reliable upload
@@ -43,14 +45,18 @@ for _ in $(seq "$BENCH_RUNS"); do
     echo "  run: $run records/sec"
     fresh=$(awk -v a="$fresh" -v b="$run" 'BEGIN { print (b > a) ? b : a }')
 done
-# Gate against the last committed *fault-free* entry: faulted entries
-# measure the reliable-upload pipeline under injected failures and are
-# not comparable to a clean fresh run.
+# Gate against the last committed *comparable* entry: the fresh run is a
+# fault-free, single-thread, 20-day, 126-home quick study, so skip faulted
+# entries (reliable-upload pipeline under injected failures), thread- and
+# homes-scaling series, and any entry measured over a different horizon.
 baseline=$(awk '
-    /\{/      { rps = ""; faulted = 0 }
-    /"records_per_sec":/ { gsub(/[^0-9.]/, ""); rps = $0 }
+    /\{/      { rps = ""; faulted = 0; scaled = 0; threads = ""; days = "" }
+    /"records_per_sec":/ { s = $0; gsub(/[^0-9.]/, "", s); rps = s }
+    /"threads":/         { s = $0; gsub(/[^0-9]/, "", s); threads = s }
+    /"days":/            { s = $0; gsub(/[^0-9]/, "", s); days = s }
     /"faults":/          { faulted = 1 }
-    /\}/      { if (rps != "" && !faulted) last = rps }
+    /"homes":/           { scaled = 1 }
+    /\}/      { if (rps != "" && !faulted && !scaled && threads == "1" && days == "20") last = rps }
     END       { print last }
 ' BENCH_simulate.json)
 
@@ -68,6 +74,24 @@ if [ -z "${SKIP_FAULTS:-}" ]; then
     awk -v clean="$fresh" -v faulted="$fault" 'BEGIN {
         printf "  overhead: %.1f%% (informational)\n", (1 - faulted / clean) * 100;
     }'
+fi
+
+if [ -n "${RECORD_SCALING:-}" ]; then
+    echo "== thread-scaling series (appended to BENCH_simulate.json) =="
+    # The CI container pins this workspace to a single core, so the
+    # 2/4/8-thread rows serialize onto that core and measure sharding
+    # overhead rather than speedup. On multi-core hosts the same series
+    # shows the parallel scaling of the sharded collector.
+    for t in 1 2 4 8; do
+        ./target/release/e2e --threads "$t" --label "threads-$t"
+    done
+    echo "== homes-scaling series (appended to BENCH_simulate.json) =="
+    # Generative deployments past the paper's 126 homes; 7 virtual days
+    # keeps the 10k-home row affordable while still dominated by the
+    # columnar ingest path.
+    for h in 126 1000 10000; do
+        ./target/release/e2e --days 7 --homes "$h" --label "homes-$h"
+    done
 fi
 
 echo "baseline: $baseline records/sec (last committed entry)"

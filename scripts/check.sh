@@ -47,6 +47,32 @@ for name, h in m["histograms"].items():
 print("metrics.json OK: %d counters, %d gauges, %d histograms"
       % (len(m["counters"]), len(m["gauges"]), len(m["histograms"])))
 PYEOF
+    echo "== scale smoke (generative 5000-home deployment) =="
+    # A scaled quick study must run to completion and its manifest must
+    # describe exactly the requested deployment, with dataset gauges that
+    # are plausible for that many homes (every home reports device
+    # censuses, packet stats, and at least one MAC sighting).
+    ./target/release/bismark-study run --seed 7 --days 2 --homes 5000 \
+        --report "$smoke_dir/scale_report.txt" --metrics "$smoke_dir/scale_metrics.json"
+    python3 - "$smoke_dir/scale_metrics.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["meta"]["homes"] == "5000", m["meta"]
+g = m["gauges"]
+assert g["study_homes"] == 5000, g.get("study_homes")
+# Consent-free data sets cover (nearly) every home...
+for key in ("dataset_device_census_records", "dataset_wifi_scan_records"):
+    assert g.get(key, 0) >= 5000, (key, g.get(key))
+# ...while the Traffic tables are consent-gated (a fraction of US homes),
+# so they must be populated but can be well under one record per home.
+for key in ("dataset_packet_stat_records", "dataset_flow_records",
+            "dataset_mac_sighting_records"):
+    assert g.get(key, 0) > 0, (key, g.get(key))
+assert g["dataset_heartbeat_records"] > g["dataset_uptime_records"], g
+print("scale smoke OK: 5000 homes, %d packet-stat records"
+      % g["dataset_packet_stat_records"])
+PYEOF
 fi
 
 echo "== simlint =="

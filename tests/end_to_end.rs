@@ -236,3 +236,58 @@ fn public_release_excludes_traffic() {
     assert!(!json.contains("suffix_hash"));
     assert!(json.contains("heartbeats"));
 }
+
+// ---- CLI deployment scaling (--homes) ---------------------------------
+
+const BIN: &str = env!("CARGO_BIN_EXE_bismark-study");
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    std::process::Command::new(BIN).args(args).output().expect("spawn bismark-study")
+}
+
+/// Strict-parser contract from the observability PR, extended to the
+/// scaling axis: every bad `--homes` spelling exits 2 and names the flag.
+#[test]
+fn cli_rejects_bad_homes_values_by_name_with_exit_2() {
+    for args in [
+        &["run", "--homes", "0"][..],
+        &["run", "--homes", "many"][..],
+        &["run", "--homes"][..],
+        &["run", "--homes", "500", "--full"][..],
+        &["run", "--full", "--homes", "500"][..],
+    ] {
+        let out = run_cli(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--homes"), "stderr must name the flag for {args:?}: {stderr}");
+    }
+    // The --full conflict names both sides.
+    let out = run_cli(&["run", "--homes", "500", "--full"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--full"), "conflict error must also name --full: {stderr}");
+}
+
+/// A generatively scaled study runs end to end: 1000 synthetic homes,
+/// every one of them reporting through the full pipeline.
+#[test]
+fn cli_scales_the_deployment_to_1000_homes() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("scaling");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let report = dir.join("homes1000.report");
+    let metrics = dir.join("homes1000.metrics");
+    let out = run_cli(&[
+        "run", "--seed", "7", "--days", "2", "--homes", "1000",
+        "--report", report.to_str().unwrap(), "--metrics", metrics.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "scaled run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("across 1000 homes"), "progress line: {stderr}");
+    // The manifest pins the deployment size; the reporter count in the
+    // progress line can be a handful lower (appliance-mode homes that
+    // never power on inside a 2-day window).
+    let manifest = std::fs::read_to_string(&metrics).expect("read metrics");
+    assert!(manifest.contains("\"homes\":\"1000\""), "meta homes: {manifest}");
+    assert!(manifest.contains("\"study_homes\":1000"), "study_homes gauge");
+    let rendered = std::fs::read_to_string(&report).expect("read report");
+    assert!(!rendered.is_empty(), "scaled report renders");
+}
