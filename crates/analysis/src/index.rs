@@ -6,13 +6,21 @@
 //! hands the figures zero-copy slices plus O(1) registration lookups —
 //! replacing the per-record `Datasets::meta` scans and whole-table
 //! filters the analyses used to do.
+//!
+//! The seven high-volume tables (the four Traffic tables plus WiFi
+//! scans, associations, and latency probes) are columnar and may be
+//! partially **spilled to disk** when the study ran under a memory
+//! budget (`collector::spill`). Their per-router iterators stream
+//! spilled blocks lazily — one router's rows are decoded at a time,
+//! never the whole table — so figure computation over a 100k-home
+//! spilled snapshot holds only the small row tables plus one router's
+//! columnar rows in RAM at once.
 
-use collector::columns::{RouterDns, RouterFlows, RouterPacketStats};
-use collector::{Datasets, RouterMeta};
-use firmware::latency::LatencyRecord;
-use firmware::records::{
-    AssociationRecord, CapacityRecord, DeviceCensusRecord, RouterId, UptimeRecord, WifiScanRecord,
+use collector::columns::{
+    RouterAssociations, RouterDns, RouterFlows, RouterLatency, RouterPacketStats, RouterWifi,
 };
+use collector::{Datasets, RouterMeta};
+use firmware::records::{CapacityRecord, DeviceCensusRecord, RouterId, UptimeRecord};
 use household::{Country, Region};
 use std::collections::HashMap;
 
@@ -41,9 +49,6 @@ pub struct DataIndex<'a> {
     uptime: HashMap<RouterId, &'a [UptimeRecord]>,
     capacity: HashMap<RouterId, &'a [CapacityRecord]>,
     devices: HashMap<RouterId, &'a [DeviceCensusRecord]>,
-    wifi: HashMap<RouterId, &'a [WifiScanRecord]>,
-    associations: HashMap<RouterId, &'a [AssociationRecord]>,
-    latency: HashMap<RouterId, &'a [LatencyRecord]>,
 }
 
 impl<'a> DataIndex<'a> {
@@ -55,9 +60,6 @@ impl<'a> DataIndex<'a> {
             uptime: slices_by_router(&data.uptime, |r| r.router),
             capacity: slices_by_router(&data.capacity, |r| r.router),
             devices: slices_by_router(&data.devices, |r| r.router),
-            wifi: slices_by_router(&data.wifi, |r| r.router),
-            associations: slices_by_router(&data.associations, |r| r.router),
-            latency: slices_by_router(&data.latency, |r| r.router),
             data,
         }
     }
@@ -108,35 +110,49 @@ impl<'a> DataIndex<'a> {
         self.devices.get(&router).copied().unwrap_or(&[])
     }
 
-    /// One router's WiFi scans.
-    pub fn wifi(&self, router: RouterId) -> &'a [WifiScanRecord] {
-        self.wifi.get(&router).copied().unwrap_or(&[])
+    /// One router's WiFi scans, decoded from the snapshot's columnar
+    /// table (records yielded by value; spilled blocks stream in lazily).
+    pub fn wifi(&self, router: RouterId) -> RouterWifi<'a> {
+        self.data.wifi.router(router)
     }
 
     /// One router's per-minute packet statistics, decoded from the
-    /// snapshot's columnar table (records yielded by value).
+    /// snapshot's columnar table (records yielded by value). For spilled
+    /// snapshots this streams the router's on-disk block in, then chains
+    /// the resident tail — the rest of the table stays on disk.
     pub fn packet_stats(&self, router: RouterId) -> RouterPacketStats<'a> {
         self.data.packet_stats.router(router)
     }
 
-    /// One router's flow records, decoded from columns.
+    /// One router's flow records, decoded from columns (streaming spilled
+    /// blocks lazily; see [`DataIndex::packet_stats`]).
     pub fn flows(&self, router: RouterId) -> RouterFlows<'a> {
         self.data.flows.router(router)
     }
 
-    /// One router's DNS samples, decoded from columns.
+    /// One router's DNS samples, decoded from columns (streaming spilled
+    /// blocks lazily; see [`DataIndex::packet_stats`]).
     pub fn dns(&self, router: RouterId) -> RouterDns<'a> {
         self.data.dns.router(router)
     }
 
-    /// One router's association reports.
-    pub fn associations(&self, router: RouterId) -> &'a [AssociationRecord] {
-        self.associations.get(&router).copied().unwrap_or(&[])
+    /// Bytes of Traffic data living in on-disk spill segments rather than
+    /// RAM (0 for ordinary in-memory snapshots). Diagnostic: lets report
+    /// code and tests confirm a bounded-memory run really stayed bounded.
+    pub fn spilled_traffic_bytes(&self) -> u64 {
+        self.data.spilled_bytes()
     }
 
-    /// One router's latency probes.
-    pub fn latency(&self, router: RouterId) -> &'a [LatencyRecord] {
-        self.latency.get(&router).copied().unwrap_or(&[])
+    /// One router's association reports, decoded from columns (streaming
+    /// spilled blocks lazily; see [`DataIndex::packet_stats`]).
+    pub fn associations(&self, router: RouterId) -> RouterAssociations<'a> {
+        self.data.associations.router(router)
+    }
+
+    /// One router's latency probes, decoded from columns (streaming
+    /// spilled blocks lazily; see [`DataIndex::packet_stats`]).
+    pub fn latency(&self, router: RouterId) -> RouterLatency<'a> {
+        self.data.latency.router(router)
     }
 }
 

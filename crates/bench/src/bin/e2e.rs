@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! e2e [--seed N] [--days D] [--homes H] [--threads T] [--label STR]
-//!     [--faults SCENARIO] [--output FILE] [--dry-run]
+//!     [--spill-budget BYTES[KiB|MiB|GiB]] [--faults SCENARIO]
+//!     [--output FILE] [--dry-run]
 //! ```
 //!
 //! With `--faults` the study runs under a faultlab scenario: the reliable
@@ -53,6 +54,10 @@ pub struct BenchEntry {
     /// Deployment size when scaled past the paper's 126 homes. Absent for
     /// the calibrated Table 1 deployment (including pre-scaling entries).
     pub homes: Option<u64>,
+    /// Out-of-core memory budget active during the run (the raw
+    /// `--spill-budget` string, e.g. `"64MiB"`). Absent for unbounded
+    /// in-memory runs — `bench.sh`'s baseline gate skips spilled entries.
+    pub spill: Option<String>,
 }
 
 impl serde::Serialize for BenchEntry {
@@ -74,6 +79,9 @@ impl serde::Serialize for BenchEntry {
         if let Some(homes) = &self.homes {
             entries.push((String::from("homes"), serde::Serialize::to_value(homes)));
         }
+        if let Some(spill) = &self.spill {
+            entries.push((String::from("spill"), serde::Serialize::to_value(spill)));
+        }
         Value::Map(entries)
     }
 }
@@ -90,6 +98,10 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
             Some((_, v)) => serde::Deserialize::from_value(v)?,
             None => None,
         };
+        let spill = match entries.iter().find(|(k, _)| k == "spill") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
         Ok(BenchEntry {
             label: serde::de::field(entries, "label", "BenchEntry")?,
             seed: serde::de::field(entries, "seed", "BenchEntry")?,
@@ -102,12 +114,28 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
             records_per_sec: serde::de::field(entries, "records_per_sec", "BenchEntry")?,
             faults,
             homes,
+            spill,
         })
     }
 }
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `4GiB` / `512MiB` / `64KiB` / plain bytes → byte count.
+fn parse_bytes(raw: &str) -> Option<u64> {
+    let split = raw.find(|c: char| !c.is_ascii_digit()).unwrap_or(raw.len());
+    let (digits, unit) = raw.split_at(split);
+    let n: u64 = digits.parse().ok()?;
+    let scale: u64 = match unit {
+        "" | "B" => 1,
+        "KiB" => 1 << 10,
+        "MiB" => 1 << 20,
+        "GiB" => 1 << 30,
+        _ => return None,
+    };
+    n.checked_mul(scale)
 }
 
 fn default_output() -> PathBuf {
@@ -131,6 +159,14 @@ fn main() {
             std::process::exit(2);
         })
     });
+    // Raw string kept verbatim for the JSON entry; parsed for the run.
+    let spill = arg_value(&args, "--spill-budget");
+    let spill_budget = spill.as_deref().map(|raw| {
+        parse_bytes(raw).unwrap_or_else(|| {
+            eprintln!("e2e: --spill-budget expects BYTES with optional KiB/MiB/GiB, got {raw:?}");
+            std::process::exit(2);
+        })
+    });
 
     let mut config = StudyConfig::quick(seed, days);
     if let Some(homes) = homes {
@@ -138,11 +174,15 @@ fn main() {
     }
     config.threads = threads;
     config.faults = faults;
+    if let Some(budget_bytes) = spill_budget {
+        config.spill = Some(collector::SpillConfig { budget_bytes, dir: None });
+    }
     eprintln!(
-        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}",
+        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}{}",
         config.homes,
         if threads == 1 { "" } else { "s" },
-        faults.map_or_else(String::new, |f| format!(", faults: {f}"))
+        faults.map_or_else(String::new, |f| format!(", faults: {f}")),
+        spill.as_deref().map_or_else(String::new, |s| format!(", spill budget: {s}"))
     );
 
     let study = run_study(&config);
@@ -166,7 +206,16 @@ fn main() {
         records_per_sec: records as f64 / simulate_secs,
         faults: faults.map(|f| f.to_string()),
         homes: homes.filter(|&h| h != 126).map(u64::from),
+        spill,
     };
+    if let Some(stats) = &study.spill {
+        eprintln!(
+            "spill: {} segments, {:.1} MiB written",
+            stats.segments,
+            stats.bytes_written as f64 / (1024.0 * 1024.0)
+        );
+        assert!(stats.error.is_none(), "spill I/O failed: {:?}", stats.error);
+    }
     eprintln!(
         "simulate {:.2}s / snapshot {:.2}s / analyze {:.2}s — {} records, {:.0} records/sec",
         entry.simulate_secs,

@@ -1,7 +1,9 @@
-//! Columnar (struct-of-arrays) storage for the high-volume Traffic tables.
+//! Columnar (struct-of-arrays) storage for the high-volume tables.
 //!
-//! The four Traffic tables — per-minute packet statistics, flows, DNS
-//! samples, and MAC sightings — dominate a study's memory footprint: the
+//! Seven tables dominate a study's memory footprint — the four
+//! consent-gated Traffic tables (per-minute packet statistics, flows,
+//! DNS samples, MAC sightings) plus the consent-free WiFi scans,
+//! associations, and latency probes that *every* home emits: the
 //! 197-day deployment materializes tens of millions of them, and scaling
 //! the deployment to 10k+ homes multiplies that by two orders of
 //! magnitude. Row-of-structs `Vec<Record>` storage pays padding and full
@@ -21,21 +23,38 @@
 //!   dense vectors at natural width.
 //!
 //! The encodings are *pure functions of the pushed record sequence*, so
-//! the derived `PartialEq` on a table equals record-sequence equality —
-//! determinism tests can keep comparing snapshots directly. Iteration
-//! rebuilds records by value in (router, arrival) order, which after a
-//! snapshot merge is exactly the (router, time)-sorted global order the
-//! legacy row vectors had; callers iterate (`for r in &data.flows`)
-//! without caring that rows no longer exist in memory.
+//! `PartialEq` on a table equals record-sequence equality — determinism
+//! tests can keep comparing snapshots directly. Iteration rebuilds
+//! records by value in (router, arrival) order, which after a snapshot
+//! merge is exactly the (router, time)-sorted global order the legacy row
+//! vectors had; callers iterate (`for r in &data.flows`) without caring
+//! that rows no longer exist in memory.
+//!
+//! Under a spill budget ([`crate::spill`]) a table may additionally own a
+//! disk-backed part: per-router blocks of these same columns in a merged
+//! segment file, framed little-endian by the `encode`/`decode` pairs in
+//! this module. Per-router iteration then streams the spilled head from
+//! disk before the resident tail; flat iteration walks the ordered union
+//! of resident and spilled routers, so every consumer sees the identical
+//! record sequence whether or not the study spilled.
 
-use firmware::anonymize::{AnonMac, ReportedDomain};
-use firmware::records::{
-    DnsSampleRecord, FlowRecord, MacSightingRecord, PacketStatsRecord, RouterId,
+use crate::spill::{
+    put_u16, put_u32, put_u64, put_u8, read_block, BlockRef, Cursor, SegmentStore, SpillError,
+    TableToc,
 };
+use firmware::anonymize::{AnonMac, ReportedDomain};
+use firmware::latency::LatencyRecord;
+use firmware::records::{
+    ApSighting, AssociationRecord, DnsSampleRecord, FlowRecord, MacSightingRecord, Medium,
+    PacketStatsRecord, RouterId, WifiScanRecord,
+};
+use simnet::dns::DomainName;
 use simnet::packet::IpProtocol;
-use simnet::time::SimTime;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wifi::Band;
 use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The escape marker in a narrow lane: the real value lives in the wide
 /// side array. Chosen at the top of the `u32` range so every in-range
@@ -91,6 +110,38 @@ impl TimeCol {
     /// Heap bytes held by the column.
     pub fn heap_bytes(&self) -> usize {
         self.enc.capacity() * 4 + self.wide.capacity() * 8
+    }
+
+    /// Append the little-endian segment framing of this column.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.last);
+        put_u64(out, self.enc.len() as u64);
+        for &v in &self.enc {
+            put_u32(out, v);
+        }
+        put_u64(out, self.wide.len() as u64);
+        for &v in &self.wide {
+            put_u64(out, v);
+        }
+    }
+
+    /// Decode a column previously written by [`TimeCol::encode`].
+    pub(crate) fn decode(cur: &mut Cursor<'_>) -> Result<TimeCol, SpillError> {
+        let last = cur.u64()?;
+        let n = cur.len_prefix(4)?;
+        let mut enc = Vec::with_capacity(n);
+        for _ in 0..n {
+            enc.push(cur.u32()?);
+        }
+        let w = cur.len_prefix(8)?;
+        let mut wide = Vec::with_capacity(w);
+        for _ in 0..w {
+            wide.push(cur.u64()?);
+        }
+        if enc.iter().filter(|&&e| e == ESCAPE).count() != wide.len() {
+            return Err(SpillError::Corrupt("time column escape/wide mismatch"));
+        }
+        Ok(TimeCol { enc, wide, last })
     }
 }
 
@@ -172,6 +223,36 @@ impl NarrowCol {
     pub fn heap_bytes(&self) -> usize {
         self.enc.capacity() * 4 + self.wide.capacity() * 8
     }
+
+    /// Append the little-endian segment framing of this column.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.enc.len() as u64);
+        for &v in &self.enc {
+            put_u32(out, v);
+        }
+        put_u64(out, self.wide.len() as u64);
+        for &v in &self.wide {
+            put_u64(out, v);
+        }
+    }
+
+    /// Decode a column previously written by [`NarrowCol::encode`].
+    pub(crate) fn decode(cur: &mut Cursor<'_>) -> Result<NarrowCol, SpillError> {
+        let n = cur.len_prefix(4)?;
+        let mut enc = Vec::with_capacity(n);
+        for _ in 0..n {
+            enc.push(cur.u32()?);
+        }
+        let w = cur.len_prefix(8)?;
+        let mut wide = Vec::with_capacity(w);
+        for _ in 0..w {
+            wide.push(cur.u64()?);
+        }
+        if enc.iter().filter(|&&e| e == ESCAPE).count() != wide.len() {
+            return Err(SpillError::Corrupt("narrow column escape/wide mismatch"));
+        }
+        Ok(NarrowCol { enc, wide })
+    }
 }
 
 impl Default for NarrowCol {
@@ -250,6 +331,73 @@ impl DomainPool {
     pub fn is_empty(&self) -> bool {
         self.pool.is_empty()
     }
+
+    /// Append the little-endian segment framing of the pool, in id order
+    /// (so decoding re-interns into the identical pool).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.pool.len() as u64);
+        for d in &self.pool {
+            match d {
+                ReportedDomain::Clear(name) => {
+                    put_u8(out, 0);
+                    let s = name.as_str().as_bytes();
+                    put_u32(out, s.len() as u32);
+                    out.extend_from_slice(s);
+                }
+                ReportedDomain::Obfuscated(token) => {
+                    put_u8(out, 1);
+                    put_u64(out, *token);
+                }
+            }
+        }
+    }
+
+    /// Decode a pool previously written by [`DomainPool::encode`].
+    pub(crate) fn decode(cur: &mut Cursor<'_>) -> Result<DomainPool, SpillError> {
+        let n = cur.len_prefix(1)?;
+        let mut pool = DomainPool::empty();
+        for _ in 0..n {
+            let domain = match cur.u8()? {
+                0 => {
+                    let len = cur.u32()? as usize;
+                    let bytes = cur.take(len)?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| SpillError::Corrupt("domain name is not utf-8"))?;
+                    let name = DomainName::new(s)
+                        .map_err(|_| SpillError::Corrupt("invalid domain name"))?;
+                    ReportedDomain::Clear(name)
+                }
+                1 => ReportedDomain::Obfuscated(cur.u64()?),
+                _ => return Err(SpillError::Corrupt("unknown domain tag")),
+            };
+            pool.intern(&domain);
+        }
+        if pool.len() != n {
+            return Err(SpillError::Corrupt("duplicate domain in pool"));
+        }
+        Ok(pool)
+    }
+}
+
+/// Encode a dense [`AnonMac`] column.
+fn encode_macs(out: &mut Vec<u8>, macs: &[AnonMac]) {
+    put_u64(out, macs.len() as u64);
+    for m in macs {
+        put_u32(out, m.oui);
+        put_u32(out, m.suffix_hash);
+    }
+}
+
+/// Decode a dense [`AnonMac`] column.
+fn decode_macs(cur: &mut Cursor<'_>) -> Result<Vec<AnonMac>, SpillError> {
+    let n = cur.len_prefix(8)?;
+    let mut macs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let oui = cur.u32()?;
+        let suffix_hash = cur.u32()?;
+        macs.push(AnonMac { oui, suffix_hash });
+    }
+    Ok(macs)
 }
 
 impl Default for DomainPool {
@@ -303,8 +451,8 @@ impl PacketStatsCols {
         self.at.len()
     }
 
-    fn iter(&self, router: RouterId) -> RouterPacketStats<'_> {
-        RouterPacketStats {
+    fn iter(&self, router: RouterId) -> ResidentPacketStats<'_> {
+        ResidentPacketStats {
             router,
             at: self.at.iter(),
             bytes_down: self.bytes_down.iter(),
@@ -325,6 +473,43 @@ impl PacketStatsCols {
             + self.peak_down_1s.heap_bytes()
             + self.peak_up_1s.heap_bytes()
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.bytes_down.encode(out);
+        self.bytes_up.encode(out);
+        self.pkts_down.encode(out);
+        self.pkts_up.encode(out);
+        self.peak_down_1s.encode(out);
+        self.peak_up_1s.encode(out);
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<PacketStatsCols, SpillError> {
+        let cols = PacketStatsCols {
+            at: TimeCol::decode(cur)?,
+            bytes_down: NarrowCol::decode(cur)?,
+            bytes_up: NarrowCol::decode(cur)?,
+            pkts_down: NarrowCol::decode(cur)?,
+            pkts_up: NarrowCol::decode(cur)?,
+            peak_down_1s: NarrowCol::decode(cur)?,
+            peak_up_1s: NarrowCol::decode(cur)?,
+        };
+        let n = cols.at.len();
+        if [
+            cols.bytes_down.len(),
+            cols.bytes_up.len(),
+            cols.pkts_down.len(),
+            cols.pkts_up.len(),
+            cols.peak_down_1s.len(),
+            cols.peak_up_1s.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err(SpillError::Corrupt("packet-stats column length mismatch"));
+        }
+        Ok(cols)
+    }
 }
 
 impl Default for PacketStatsCols {
@@ -335,7 +520,7 @@ impl Default for PacketStatsCols {
 
 /// One router's packet statistics, rebuilt record-by-record from columns.
 #[derive(Debug, Clone)]
-pub struct RouterPacketStats<'a> {
+pub struct ResidentPacketStats<'a> {
     router: RouterId,
     at: TimeColIter<'a>,
     bytes_down: NarrowColIter<'a>,
@@ -346,7 +531,7 @@ pub struct RouterPacketStats<'a> {
     peak_up_1s: NarrowColIter<'a>,
 }
 
-impl Iterator for RouterPacketStats<'_> {
+impl Iterator for ResidentPacketStats<'_> {
     type Item = PacketStatsRecord;
 
     fn next(&mut self) -> Option<PacketStatsRecord> {
@@ -367,7 +552,7 @@ impl Iterator for RouterPacketStats<'_> {
     }
 }
 
-impl ExactSizeIterator for RouterPacketStats<'_> {}
+impl ExactSizeIterator for ResidentPacketStats<'_> {}
 
 /// Columns of one router's [`FlowRecord`] stream. `ended` is the
 /// chronological axis (records are emitted at completion); `started`
@@ -420,8 +605,8 @@ impl FlowCols {
         self.ended.len()
     }
 
-    fn iter(&self, router: RouterId) -> RouterFlows<'_> {
-        RouterFlows {
+    fn iter(&self, router: RouterId) -> ResidentFlows<'_> {
+        ResidentFlows {
             router,
             ended: self.ended.iter(),
             dur: self.dur.iter(),
@@ -447,6 +632,91 @@ impl FlowCols {
             + self.bytes_down.heap_bytes()
             + self.bytes_up.heap_bytes()
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ended.encode(out);
+        self.dur.encode(out);
+        encode_macs(out, &self.device);
+        put_u64(out, self.remote_ip_hash.len() as u64);
+        for &v in &self.remote_ip_hash {
+            put_u64(out, v);
+        }
+        put_u64(out, self.remote_port.len() as u64);
+        for &v in &self.remote_port {
+            put_u16(out, v);
+        }
+        put_u64(out, self.proto.len() as u64);
+        for &p in &self.proto {
+            put_u8(out, u8::from(p));
+        }
+        put_u64(out, self.domain.len() as u64);
+        for &v in &self.domain {
+            put_u32(out, v);
+        }
+        self.domains.encode(out);
+        self.bytes_down.encode(out);
+        self.bytes_up.encode(out);
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<FlowCols, SpillError> {
+        let ended = TimeCol::decode(cur)?;
+        let dur = NarrowCol::decode(cur)?;
+        let device = decode_macs(cur)?;
+        let n_ip = cur.len_prefix(8)?;
+        let mut remote_ip_hash = Vec::with_capacity(n_ip);
+        for _ in 0..n_ip {
+            remote_ip_hash.push(cur.u64()?);
+        }
+        let n_port = cur.len_prefix(2)?;
+        let mut remote_port = Vec::with_capacity(n_port);
+        for _ in 0..n_port {
+            remote_port.push(cur.u16()?);
+        }
+        let n_proto = cur.len_prefix(1)?;
+        let mut proto = Vec::with_capacity(n_proto);
+        for _ in 0..n_proto {
+            proto.push(IpProtocol::from(cur.u8()?));
+        }
+        let n_dom = cur.len_prefix(4)?;
+        let mut domain = Vec::with_capacity(n_dom);
+        for _ in 0..n_dom {
+            domain.push(cur.u32()?);
+        }
+        let domains = DomainPool::decode(cur)?;
+        let bytes_down = NarrowCol::decode(cur)?;
+        let bytes_up = NarrowCol::decode(cur)?;
+        let n = ended.len();
+        if [
+            dur.len(),
+            device.len(),
+            remote_ip_hash.len(),
+            remote_port.len(),
+            proto.len(),
+            domain.len(),
+            bytes_down.len(),
+            bytes_up.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err(SpillError::Corrupt("flow column length mismatch"));
+        }
+        if domain.iter().any(|&id| id as usize >= domains.len()) {
+            return Err(SpillError::Corrupt("flow domain id out of pool range"));
+        }
+        Ok(FlowCols {
+            ended,
+            dur,
+            device,
+            remote_ip_hash,
+            remote_port,
+            proto,
+            domain,
+            domains,
+            bytes_down,
+            bytes_up,
+        })
+    }
 }
 
 impl Default for FlowCols {
@@ -457,7 +727,7 @@ impl Default for FlowCols {
 
 /// One router's flows, rebuilt record-by-record from columns.
 #[derive(Debug, Clone)]
-pub struct RouterFlows<'a> {
+pub struct ResidentFlows<'a> {
     router: RouterId,
     ended: TimeColIter<'a>,
     dur: NarrowColIter<'a>,
@@ -471,7 +741,7 @@ pub struct RouterFlows<'a> {
     bytes_up: NarrowColIter<'a>,
 }
 
-impl Iterator for RouterFlows<'_> {
+impl Iterator for ResidentFlows<'_> {
     type Item = FlowRecord;
 
     fn next(&mut self) -> Option<FlowRecord> {
@@ -496,7 +766,7 @@ impl Iterator for RouterFlows<'_> {
     }
 }
 
-impl ExactSizeIterator for RouterFlows<'_> {}
+impl ExactSizeIterator for ResidentFlows<'_> {}
 
 /// Columns of one router's [`DnsSampleRecord`] stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -534,8 +804,8 @@ impl DnsCols {
         self.at.len()
     }
 
-    fn iter(&self, router: RouterId) -> RouterDns<'_> {
-        RouterDns {
+    fn iter(&self, router: RouterId) -> ResidentDns<'_> {
+        ResidentDns {
             router,
             at: self.at.iter(),
             device: self.device.iter(),
@@ -553,6 +823,60 @@ impl DnsCols {
             + self.cname_links.capacity()
             + self.resolved.capacity()
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        encode_macs(out, &self.device);
+        put_u64(out, self.name.len() as u64);
+        for &v in &self.name {
+            put_u32(out, v);
+        }
+        self.names.encode(out);
+        put_u64(out, self.cname_links.len() as u64);
+        for &v in &self.cname_links {
+            put_u8(out, v);
+        }
+        put_u64(out, self.resolved.len() as u64);
+        for &v in &self.resolved {
+            put_u8(out, u8::from(v));
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<DnsCols, SpillError> {
+        let at = TimeCol::decode(cur)?;
+        let device = decode_macs(cur)?;
+        let n_name = cur.len_prefix(4)?;
+        let mut name = Vec::with_capacity(n_name);
+        for _ in 0..n_name {
+            name.push(cur.u32()?);
+        }
+        let names = DomainPool::decode(cur)?;
+        let n_links = cur.len_prefix(1)?;
+        let mut cname_links = Vec::with_capacity(n_links);
+        for _ in 0..n_links {
+            cname_links.push(cur.u8()?);
+        }
+        let n_res = cur.len_prefix(1)?;
+        let mut resolved = Vec::with_capacity(n_res);
+        for _ in 0..n_res {
+            resolved.push(match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SpillError::Corrupt("dns resolved flag out of range")),
+            });
+        }
+        let n = at.len();
+        if [device.len(), name.len(), cname_links.len(), resolved.len()]
+            .iter()
+            .any(|&l| l != n)
+        {
+            return Err(SpillError::Corrupt("dns column length mismatch"));
+        }
+        if name.iter().any(|&id| id as usize >= names.len()) {
+            return Err(SpillError::Corrupt("dns name id out of pool range"));
+        }
+        Ok(DnsCols { at, device, name, names, cname_links, resolved })
+    }
 }
 
 impl Default for DnsCols {
@@ -563,7 +887,7 @@ impl Default for DnsCols {
 
 /// One router's DNS samples, rebuilt record-by-record from columns.
 #[derive(Debug, Clone)]
-pub struct RouterDns<'a> {
+pub struct ResidentDns<'a> {
     router: RouterId,
     at: TimeColIter<'a>,
     device: std::slice::Iter<'a, AnonMac>,
@@ -573,7 +897,7 @@ pub struct RouterDns<'a> {
     resolved: std::slice::Iter<'a, bool>,
 }
 
-impl Iterator for RouterDns<'_> {
+impl Iterator for ResidentDns<'_> {
     type Item = DnsSampleRecord;
 
     fn next(&mut self) -> Option<DnsSampleRecord> {
@@ -592,7 +916,7 @@ impl Iterator for RouterDns<'_> {
     }
 }
 
-impl ExactSizeIterator for RouterDns<'_> {}
+impl ExactSizeIterator for ResidentDns<'_> {}
 
 /// Columns of one router's [`MacSightingRecord`] stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -621,8 +945,8 @@ impl MacCols {
         self.first_seen.len()
     }
 
-    fn iter(&self, router: RouterId) -> RouterMacs<'_> {
-        RouterMacs {
+    fn iter(&self, router: RouterId) -> ResidentMacs<'_> {
+        ResidentMacs {
             router,
             first_seen: self.first_seen.iter(),
             device: self.device.iter(),
@@ -635,6 +959,22 @@ impl MacCols {
             + self.device.capacity() * std::mem::size_of::<AnonMac>()
             + self.bytes_total.heap_bytes()
     }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.first_seen.encode(out);
+        encode_macs(out, &self.device);
+        self.bytes_total.encode(out);
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<MacCols, SpillError> {
+        let first_seen = TimeCol::decode(cur)?;
+        let device = decode_macs(cur)?;
+        let bytes_total = NarrowCol::decode(cur)?;
+        if device.len() != first_seen.len() || bytes_total.len() != first_seen.len() {
+            return Err(SpillError::Corrupt("mac column length mismatch"));
+        }
+        Ok(MacCols { first_seen, device, bytes_total })
+    }
 }
 
 impl Default for MacCols {
@@ -645,14 +985,14 @@ impl Default for MacCols {
 
 /// One router's MAC sightings, rebuilt record-by-record from columns.
 #[derive(Debug, Clone)]
-pub struct RouterMacs<'a> {
+pub struct ResidentMacs<'a> {
     router: RouterId,
     first_seen: TimeColIter<'a>,
     device: std::slice::Iter<'a, AnonMac>,
     bytes_total: NarrowColIter<'a>,
 }
 
-impl Iterator for RouterMacs<'_> {
+impl Iterator for ResidentMacs<'_> {
     type Item = MacSightingRecord;
 
     fn next(&mut self) -> Option<MacSightingRecord> {
@@ -669,11 +1009,36 @@ impl Iterator for RouterMacs<'_> {
     }
 }
 
-impl ExactSizeIterator for RouterMacs<'_> {}
+impl ExactSizeIterator for ResidentMacs<'_> {}
+
+/// A disk-backed portion of a merged table: per-router blocks of encoded
+/// column groups in one merged segment file owned (with the rest of the
+/// spill directory) by a shared [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub(crate) struct SpilledPart {
+    store: Arc<SegmentStore>,
+    file: String,
+    blocks: BTreeMap<RouterId, BlockRef>,
+}
+
+impl SpilledPart {
+    /// Read one block into `buf`. Opens the file per call so concurrent
+    /// report threads can stream the same table independently.
+    fn read(&self, at: &BlockRef, buf: &mut Vec<u8>) -> Result<(), SpillError> {
+        let mut file = self.store.open(&self.file)?;
+        read_block(&mut file, at, buf)
+    }
+
+    /// Total encoded bytes across all blocks.
+    fn bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.len).sum()
+    }
+}
 
 /// Generates one public columnar table: per-router column groups keyed by
-/// a `BTreeMap`, a flat record iterator in (router, arrival) order, and a
-/// shard merge that reproduces the legacy row-table merge byte for byte.
+/// a `BTreeMap`, an optional disk-backed [`SpilledPart`], a flat record
+/// iterator in (router, arrival) order, and shard merges (in-memory and
+/// spilled) that reproduce the legacy row-table merge byte for byte.
 macro_rules! columnar_table {
     (
         $(#[$tdoc:meta])*
@@ -683,16 +1048,18 @@ macro_rules! columnar_table {
         cols $Cols:ident;
         record $Record:ty;
         router_iter $RouterIter:ident;
+        resident_iter $ResidentIter:ident;
         empty $EMPTY:ident;
         key |$r:ident| $key:expr;
     ) => {
         static $EMPTY: $Cols = $Cols::empty();
 
         $(#[$tdoc])*
-        #[derive(Debug, Clone, Default, PartialEq)]
+        #[derive(Debug, Clone, Default)]
         pub struct $Table {
             by_router: BTreeMap<RouterId, $Cols>,
             len: usize,
+            spilled: Option<SpilledPart>,
         }
 
         impl $Table {
@@ -715,23 +1082,70 @@ macro_rules! columnar_table {
             /// Iterate every record by value in (router, per-router
             /// arrival) order — after a snapshot merge, the same global
             /// (router, time)-sorted order the legacy row vector had.
+            /// Spilled routers stream from disk one router at a time.
             pub fn iter(&self) -> $TableIter<'_> {
-                $TableIter { routers: self.by_router.iter(), current: None }
+                let mut routers: BTreeSet<RouterId> =
+                    self.by_router.keys().copied().collect();
+                if let Some(part) = &self.spilled {
+                    routers.extend(part.blocks.keys().copied());
+                }
+                $TableIter {
+                    table: self,
+                    routers: routers.into_iter().collect::<Vec<_>>().into_iter(),
+                    current: None,
+                }
             }
 
-            /// Iterate one router's records (empty if it never reported).
+            /// Iterate one router's records (empty if it never reported):
+            /// the spilled head, decoded from the merged segment file,
+            /// followed by the resident tail.
             pub fn router(&self, router: RouterId) -> $RouterIter<'_> {
-                self.by_router.get(&router).unwrap_or(&$EMPTY).iter(router)
+                $RouterIter {
+                    head: self.spilled_rows(router).into_iter(),
+                    tail: self.by_router.get(&router).unwrap_or(&$EMPTY).iter(router),
+                }
             }
 
-            /// Records held for one router.
+            /// Decode one router's spilled rows (empty when nothing
+            /// spilled for it). Segment files are process-private and
+            /// written by this same build, so a read or decode failure
+            /// here is a bug, not an input condition — panic with the
+            /// file name rather than thread `Result` through every
+            /// analysis iterator.
+            fn spilled_rows(&self, router: RouterId) -> Vec<$Record> {
+                let Some(part) = &self.spilled else { return Vec::new() };
+                let Some(block) = part.blocks.get(&router) else { return Vec::new() };
+                let mut buf = Vec::new();
+                if let Err(e) = part.read(block, &mut buf) {
+                    panic!("spilled column read failed ({}): {e}", part.file);
+                }
+                let mut cur = Cursor::new(&buf);
+                match <$Cols>::decode(&mut cur) {
+                    Ok(cols) => cols.iter(router).collect(),
+                    Err(e) => panic!("spilled column decode failed ({}): {e}", part.file),
+                }
+            }
+
+            /// Records held for one router (resident + spilled).
             pub fn router_len(&self, router: RouterId) -> usize {
-                self.by_router.get(&router).map_or(0, $Cols::len)
+                let resident = self.by_router.get(&router).map_or(0, $Cols::len);
+                let spilled = self
+                    .spilled
+                    .as_ref()
+                    .and_then(|p| p.blocks.get(&router))
+                    .map_or(0, |b| b.rows as usize);
+                resident + spilled
             }
 
-            /// Heap bytes held by all columns (diagnostic).
+            /// Heap bytes held by the resident columns (diagnostic; the
+            /// spilled part stays on disk — see [`Self::spilled_bytes`]).
             pub fn heap_bytes(&self) -> usize {
                 self.by_router.values().map($Cols::heap_bytes).sum()
+            }
+
+            /// Encoded bytes of this table living in spilled blocks.
+            pub fn spilled_bytes(&self) -> u64 {
+                self.spilled.as_ref().map_or(0, SpilledPart::bytes)
             }
 
             /// Merge per-shard tables into one globally sorted table.
@@ -769,39 +1183,197 @@ macro_rules! columnar_table {
                     }
                 }
                 for (router, cols) in out.by_router.iter_mut() {
-                    let router = *router;
-                    let mut prev = None;
-                    let mut sorted = true;
-                    for record in cols.iter(router) {
-                        let $r = &record;
-                        let k = $key;
-                        if prev.as_ref() > Some(&k) {
-                            sorted = false;
-                            break;
-                        }
-                        prev = Some(k);
+                    Self::normalize(*router, cols);
+                }
+                out
+            }
+
+            /// Rebuild one router's columns in time-subkey order when
+            /// the concatenated arrival order violates it — the shared
+            /// normalize pass of [`Self::merge`] and
+            /// [`Self::merge_spilled`]. Ties keep arrival order.
+            fn normalize(router: RouterId, cols: &mut $Cols) {
+                let mut prev = None;
+                let mut sorted = true;
+                for record in cols.iter(router) {
+                    let $r = &record;
+                    let k = $key;
+                    if prev.as_ref() > Some(&k) {
+                        sorted = false;
+                        break;
                     }
-                    if !sorted {
-                        let mut rows: Vec<$Record> = cols.iter(router).collect();
-                        rows.sort_by(|a, b| {
+                    prev = Some(k);
+                }
+                if !sorted {
+                    let mut rows: Vec<$Record> = cols.iter(router).collect();
+                    Self::sort_rows(&mut rows);
+                    let mut rebuilt = $Cols::empty();
+                    for row in &rows {
+                        rebuilt.append(row);
+                    }
+                    *cols = rebuilt;
+                }
+            }
+
+            /// Stable-sort rows by the table's time subkey.
+            fn sort_rows(rows: &mut Vec<$Record>) {
+                rows.sort_by(|a, b| {
+                    let ka = {
+                        let $r = a;
+                        $key
+                    };
+                    let kb = {
+                        let $r = b;
+                        $key
+                    };
+                    ka.cmp(&kb)
+                });
+            }
+
+            /// Encode every non-empty router column group into `out`
+            /// (which already starts with the segment magic, so offsets
+            /// are file-absolute) and return the per-router block table.
+            pub(crate) fn encode_segment(
+                &self,
+                out: &mut Vec<u8>,
+            ) -> BTreeMap<RouterId, BlockRef> {
+                let mut blocks = BTreeMap::new();
+                for (&router, cols) in &self.by_router {
+                    if cols.len() == 0 {
+                        continue;
+                    }
+                    let offset = out.len() as u64;
+                    cols.encode(out);
+                    blocks.insert(
+                        router,
+                        BlockRef {
+                            offset,
+                            len: out.len() as u64 - offset,
+                            rows: cols.len() as u64,
+                        },
+                    );
+                }
+                blocks
+            }
+
+            /// Merge per-shard inputs — each shard's sealed-segment
+            /// slices (in seal order) plus its resident table — into one
+            /// globally sorted table whose spilled routers live in a
+            /// fresh merged file written through `store`.
+            ///
+            /// Routers are disjoint across shards (`router % NUM_SHARDS`
+            /// addressing), so each router merges independently: spilled
+            /// pieces concatenate in seal order, the resident tail
+            /// follows, and the same normalize pass as the in-memory
+            /// [`Self::merge`] restores the time subkey — which is why a
+            /// spilled run's record stream is identical to the unbounded
+            /// one. Routers that never spilled keep their columns
+            /// resident; the rest re-encode to disk, so peak memory
+            /// stays one router's rows above the resident set.
+            pub(crate) fn merge_spilled(
+                inputs: Vec<(Vec<TableToc>, $Table)>,
+                store: &Arc<SegmentStore>,
+                out_name: &str,
+            ) -> Result<$Table, SpillError> {
+                let mut out = $Table::default();
+                let mut writer = store.writer(out_name)?;
+                let mut out_blocks: BTreeMap<RouterId, BlockRef> = BTreeMap::new();
+                let mut buf = Vec::new();
+                let mut enc: Vec<u8> = Vec::new();
+                for (tocs, resident) in inputs {
+                    let mut resident_map = resident.by_router;
+                    let mut files = Vec::with_capacity(tocs.len());
+                    for toc in &tocs {
+                        files.push(store.open(&toc.file)?);
+                    }
+                    let mut routers: BTreeSet<RouterId> =
+                        resident_map.keys().copied().collect();
+                    for toc in &tocs {
+                        routers.extend(toc.blocks.keys().copied());
+                    }
+                    for router in routers {
+                        if !tocs.iter().any(|t| t.blocks.contains_key(&router)) {
+                            // Never spilled: keep the columns resident,
+                            // normalized exactly as the in-memory merge
+                            // would have.
+                            let Some(mut cols) = resident_map.remove(&router) else {
+                                continue;
+                            };
+                            out.len += cols.len();
+                            Self::normalize(router, &mut cols);
+                            out.by_router.insert(router, cols);
+                            continue;
+                        }
+                        let mut rows: Vec<$Record> = Vec::new();
+                        for (toc, file) in tocs.iter().zip(files.iter_mut()) {
+                            let Some(block) = toc.blocks.get(&router) else {
+                                continue;
+                            };
+                            read_block(file, block, &mut buf)?;
+                            let mut cur = Cursor::new(&buf);
+                            let cols = <$Cols>::decode(&mut cur)?;
+                            rows.extend(cols.iter(router));
+                        }
+                        if let Some(cols) = resident_map.remove(&router) {
+                            rows.extend(cols.iter(router));
+                        }
+                        let sorted = rows.windows(2).all(|w| {
                             let ka = {
-                                let $r = a;
+                                let $r = &w[0];
                                 $key
                             };
                             let kb = {
-                                let $r = b;
+                                let $r = &w[1];
                                 $key
                             };
-                            ka.cmp(&kb)
+                            ka <= kb
                         });
+                        if !sorted {
+                            Self::sort_rows(&mut rows);
+                        }
                         let mut rebuilt = $Cols::empty();
                         for row in &rows {
                             rebuilt.append(row);
                         }
-                        *cols = rebuilt;
+                        out.len += rows.len();
+                        enc.clear();
+                        rebuilt.encode(&mut enc);
+                        let offset = writer.append(&enc)?;
+                        out_blocks.insert(
+                            router,
+                            BlockRef {
+                                offset,
+                                len: enc.len() as u64,
+                                rows: rows.len() as u64,
+                            },
+                        );
                     }
                 }
-                out
+                writer.finish()?;
+                if !out_blocks.is_empty() {
+                    out.spilled = Some(SpilledPart {
+                        store: Arc::clone(store),
+                        file: out_name.to_string(),
+                        blocks: out_blocks,
+                    });
+                }
+                Ok(out)
+            }
+        }
+
+        /// Record-sequence equality. Two fully resident tables compare
+        /// their encoded columns directly (a pure function of the pushed
+        /// sequence); when either side has a spilled part, the record
+        /// streams are compared element by element instead.
+        impl PartialEq for $Table {
+            fn eq(&self, other: &$Table) -> bool {
+                if self.len != other.len {
+                    return false;
+                }
+                if self.spilled.is_none() && other.spilled.is_none() {
+                    return self.by_router == other.by_router;
+                }
+                self.iter().eq(other.iter())
             }
         }
 
@@ -817,7 +1389,8 @@ macro_rules! columnar_table {
         $(#[$idoc])*
         #[derive(Debug, Clone)]
         pub struct $TableIter<'a> {
-            routers: std::collections::btree_map::Iter<'a, RouterId, $Cols>,
+            table: &'a $Table,
+            routers: std::vec::IntoIter<RouterId>,
             current: Option<$RouterIter<'a>>,
         }
 
@@ -831,11 +1404,36 @@ macro_rules! columnar_table {
                             return Some(record);
                         }
                     }
-                    let (&router, cols) = self.routers.next()?;
-                    self.current = Some(cols.iter(router));
+                    let router = self.routers.next()?;
+                    self.current = Some(self.table.router(router));
                 }
             }
         }
+
+        #[doc = concat!(
+            "One router's records from a [`", stringify!($Table), "`]: the ",
+            "spilled head (already decoded from disk) then the resident tail."
+        )]
+        #[derive(Debug, Clone)]
+        pub struct $RouterIter<'a> {
+            head: std::vec::IntoIter<$Record>,
+            tail: $ResidentIter<'a>,
+        }
+
+        impl<'a> Iterator for $RouterIter<'a> {
+            type Item = $Record;
+
+            fn next(&mut self) -> Option<$Record> {
+                self.head.next().or_else(|| self.tail.next())
+            }
+
+            fn size_hint(&self) -> (usize, Option<usize>) {
+                let n = self.head.len() + self.tail.len();
+                (n, Some(n))
+            }
+        }
+
+        impl ExactSizeIterator for $RouterIter<'_> {}
     };
 }
 
@@ -848,6 +1446,7 @@ columnar_table! {
     cols PacketStatsCols;
     record PacketStatsRecord;
     router_iter RouterPacketStats;
+    resident_iter ResidentPacketStats;
     empty EMPTY_PACKET_STATS;
     key |r| r.at;
 }
@@ -862,6 +1461,7 @@ columnar_table! {
     cols FlowCols;
     record FlowRecord;
     router_iter RouterFlows;
+    resident_iter ResidentFlows;
     empty EMPTY_FLOWS;
     key |r| (r.ended, r.started, r.device);
 }
@@ -875,6 +1475,7 @@ columnar_table! {
     cols DnsCols;
     record DnsSampleRecord;
     router_iter RouterDns;
+    resident_iter ResidentDns;
     empty EMPTY_DNS;
     key |r| (r.at, r.device);
 }
@@ -888,8 +1489,478 @@ columnar_table! {
     cols MacCols;
     record MacSightingRecord;
     router_iter RouterMacs;
+    resident_iter ResidentMacs;
     empty EMPTY_MACS;
     key |r| (r.first_seen, r.device);
+}
+
+/// Columns of one router's [`WifiScanRecord`] stream. The variable-length
+/// `aps` list flattens into parallel per-sighting columns addressed by a
+/// per-scan count, so a scan costs ~6 bytes plus 10 per neighbor instead
+/// of a 56-byte row plus a heap `Vec`.
+#[derive(Debug, Clone, PartialEq)]
+struct WifiCols {
+    at: TimeCol,
+    band: Vec<Band>,
+    associated_stations: Vec<u8>,
+    /// APs sighted per scan; indexes the three flattened AP columns.
+    ap_counts: Vec<u32>,
+    ap_bssid_hash: Vec<u64>,
+    ap_channel: Vec<u8>,
+    ap_signal: Vec<i8>,
+}
+
+impl WifiCols {
+    const fn empty() -> WifiCols {
+        WifiCols {
+            at: TimeCol::empty(),
+            band: Vec::new(),
+            associated_stations: Vec::new(),
+            ap_counts: Vec::new(),
+            ap_bssid_hash: Vec::new(),
+            ap_channel: Vec::new(),
+            ap_signal: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, r: &WifiScanRecord) {
+        self.at.append(r.at);
+        self.band.push(r.band);
+        self.associated_stations.push(r.associated_stations);
+        self.ap_counts.push(r.aps.len() as u32);
+        for ap in &r.aps {
+            self.ap_bssid_hash.push(ap.bssid_hash);
+            self.ap_channel.push(ap.channel_number);
+            self.ap_signal.push(ap.signal_dbm);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> ResidentWifi<'_> {
+        ResidentWifi {
+            router,
+            at: self.at.iter(),
+            band: self.band.iter(),
+            associated_stations: self.associated_stations.iter(),
+            ap_counts: self.ap_counts.iter(),
+            ap_bssid_hash: &self.ap_bssid_hash,
+            ap_channel: &self.ap_channel,
+            ap_signal: &self.ap_signal,
+            ap_at: 0,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.band.capacity()
+            + self.associated_stations.capacity()
+            + self.ap_counts.capacity() * 4
+            + self.ap_bssid_hash.capacity() * 8
+            + self.ap_channel.capacity()
+            + self.ap_signal.capacity()
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        put_u64(out, self.band.len() as u64);
+        for &b in &self.band {
+            put_u8(out, match b {
+                Band::Ghz24 => 0,
+                Band::Ghz5 => 1,
+            });
+        }
+        put_u64(out, self.associated_stations.len() as u64);
+        for &v in &self.associated_stations {
+            put_u8(out, v);
+        }
+        put_u64(out, self.ap_counts.len() as u64);
+        for &v in &self.ap_counts {
+            put_u32(out, v);
+        }
+        put_u64(out, self.ap_bssid_hash.len() as u64);
+        for &v in &self.ap_bssid_hash {
+            put_u64(out, v);
+        }
+        for &v in &self.ap_channel {
+            put_u8(out, v);
+        }
+        for &v in &self.ap_signal {
+            put_u8(out, v as u8);
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<WifiCols, SpillError> {
+        let at = TimeCol::decode(cur)?;
+        let n_band = cur.len_prefix(1)?;
+        let mut band = Vec::with_capacity(n_band);
+        for _ in 0..n_band {
+            band.push(match cur.u8()? {
+                0 => Band::Ghz24,
+                1 => Band::Ghz5,
+                _ => return Err(SpillError::Corrupt("wifi band tag out of range")),
+            });
+        }
+        let n_sta = cur.len_prefix(1)?;
+        let mut associated_stations = Vec::with_capacity(n_sta);
+        for _ in 0..n_sta {
+            associated_stations.push(cur.u8()?);
+        }
+        let n_counts = cur.len_prefix(4)?;
+        let mut ap_counts = Vec::with_capacity(n_counts);
+        for _ in 0..n_counts {
+            ap_counts.push(cur.u32()?);
+        }
+        let n_aps = cur.len_prefix(8)?;
+        let mut ap_bssid_hash = Vec::with_capacity(n_aps);
+        for _ in 0..n_aps {
+            ap_bssid_hash.push(cur.u64()?);
+        }
+        let mut ap_channel = Vec::with_capacity(n_aps);
+        for _ in 0..n_aps {
+            ap_channel.push(cur.u8()?);
+        }
+        let mut ap_signal = Vec::with_capacity(n_aps);
+        for _ in 0..n_aps {
+            ap_signal.push(cur.u8()? as i8);
+        }
+        let n = at.len();
+        if band.len() != n || associated_stations.len() != n || ap_counts.len() != n {
+            return Err(SpillError::Corrupt("wifi column length mismatch"));
+        }
+        let total: u64 = ap_counts.iter().map(|&c| u64::from(c)).sum();
+        if total != n_aps as u64 {
+            return Err(SpillError::Corrupt("wifi AP counts do not sum to AP columns"));
+        }
+        Ok(WifiCols {
+            at,
+            band,
+            associated_stations,
+            ap_counts,
+            ap_bssid_hash,
+            ap_channel,
+            ap_signal,
+        })
+    }
+}
+
+impl Default for WifiCols {
+    fn default() -> WifiCols {
+        WifiCols::empty()
+    }
+}
+
+/// One router's WiFi scans, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct ResidentWifi<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    band: std::slice::Iter<'a, Band>,
+    associated_stations: std::slice::Iter<'a, u8>,
+    ap_counts: std::slice::Iter<'a, u32>,
+    ap_bssid_hash: &'a [u64],
+    ap_channel: &'a [u8],
+    ap_signal: &'a [i8],
+    /// Cursor into the flattened AP columns.
+    ap_at: usize,
+}
+
+impl Iterator for ResidentWifi<'_> {
+    type Item = WifiScanRecord;
+
+    fn next(&mut self) -> Option<WifiScanRecord> {
+        let at = self.at.next()?;
+        let band = *self.band.next()?;
+        let associated_stations = *self.associated_stations.next()?;
+        let count = *self.ap_counts.next()? as usize;
+        let (start, end) = (self.ap_at, self.ap_at + count);
+        self.ap_at = end;
+        let aps = (start..end)
+            .map(|i| ApSighting {
+                bssid_hash: self.ap_bssid_hash[i],
+                channel_number: self.ap_channel[i],
+                signal_dbm: self.ap_signal[i],
+            })
+            .collect();
+        Some(WifiScanRecord { router: self.router, at, band, aps, associated_stations })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResidentWifi<'_> {}
+
+/// Columns of one router's [`AssociationRecord`] stream.
+#[derive(Debug, Clone, PartialEq)]
+struct AssociationCols {
+    at: TimeCol,
+    device: Vec<AnonMac>,
+    medium: Vec<Medium>,
+}
+
+impl AssociationCols {
+    const fn empty() -> AssociationCols {
+        AssociationCols { at: TimeCol::empty(), device: Vec::new(), medium: Vec::new() }
+    }
+
+    fn append(&mut self, r: &AssociationRecord) {
+        self.at.append(r.at);
+        self.device.push(r.device);
+        self.medium.push(r.medium);
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> ResidentAssociations<'_> {
+        ResidentAssociations {
+            router,
+            at: self.at.iter(),
+            device: self.device.iter(),
+            medium: self.medium.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.device.capacity() * std::mem::size_of::<AnonMac>()
+            + self.medium.capacity()
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        encode_macs(out, &self.device);
+        put_u64(out, self.medium.len() as u64);
+        for &m in &self.medium {
+            put_u8(out, match m {
+                Medium::Wired => 0,
+                Medium::Wireless24 => 1,
+                Medium::Wireless5 => 2,
+            });
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<AssociationCols, SpillError> {
+        let at = TimeCol::decode(cur)?;
+        let device = decode_macs(cur)?;
+        let n_med = cur.len_prefix(1)?;
+        let mut medium = Vec::with_capacity(n_med);
+        for _ in 0..n_med {
+            medium.push(match cur.u8()? {
+                0 => Medium::Wired,
+                1 => Medium::Wireless24,
+                2 => Medium::Wireless5,
+                _ => return Err(SpillError::Corrupt("association medium tag out of range")),
+            });
+        }
+        if device.len() != at.len() || medium.len() != at.len() {
+            return Err(SpillError::Corrupt("association column length mismatch"));
+        }
+        Ok(AssociationCols { at, device, medium })
+    }
+}
+
+impl Default for AssociationCols {
+    fn default() -> AssociationCols {
+        AssociationCols::empty()
+    }
+}
+
+/// One router's association reports, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct ResidentAssociations<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    device: std::slice::Iter<'a, AnonMac>,
+    medium: std::slice::Iter<'a, Medium>,
+}
+
+impl Iterator for ResidentAssociations<'_> {
+    type Item = AssociationRecord;
+
+    fn next(&mut self) -> Option<AssociationRecord> {
+        Some(AssociationRecord {
+            router: self.router,
+            at: self.at.next()?,
+            device: self.device.next().copied()?,
+            medium: self.medium.next().copied()?,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResidentAssociations<'_> {}
+
+/// Columns of one router's [`LatencyRecord`] stream. RTTs are stored as
+/// narrow microsecond columns (a home's RTT is tens of milliseconds, far
+/// under the `u32` escape threshold).
+#[derive(Debug, Clone, PartialEq)]
+struct LatencyCols {
+    at: TimeCol,
+    rtt_min: NarrowCol,
+    rtt_median: NarrowCol,
+    rtt_max: NarrowCol,
+    lost: Vec<u8>,
+}
+
+impl LatencyCols {
+    const fn empty() -> LatencyCols {
+        LatencyCols {
+            at: TimeCol::empty(),
+            rtt_min: NarrowCol::empty(),
+            rtt_median: NarrowCol::empty(),
+            rtt_max: NarrowCol::empty(),
+            lost: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, r: &LatencyRecord) {
+        self.at.append(r.at);
+        self.rtt_min.append(r.rtt_min.as_micros());
+        self.rtt_median.append(r.rtt_median.as_micros());
+        self.rtt_max.append(r.rtt_max.as_micros());
+        self.lost.push(r.lost);
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> ResidentLatency<'_> {
+        ResidentLatency {
+            router,
+            at: self.at.iter(),
+            rtt_min: self.rtt_min.iter(),
+            rtt_median: self.rtt_median.iter(),
+            rtt_max: self.rtt_max.iter(),
+            lost: self.lost.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.rtt_min.heap_bytes()
+            + self.rtt_median.heap_bytes()
+            + self.rtt_max.heap_bytes()
+            + self.lost.capacity()
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.rtt_min.encode(out);
+        self.rtt_median.encode(out);
+        self.rtt_max.encode(out);
+        put_u64(out, self.lost.len() as u64);
+        for &v in &self.lost {
+            put_u8(out, v);
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<LatencyCols, SpillError> {
+        let at = TimeCol::decode(cur)?;
+        let rtt_min = NarrowCol::decode(cur)?;
+        let rtt_median = NarrowCol::decode(cur)?;
+        let rtt_max = NarrowCol::decode(cur)?;
+        let n_lost = cur.len_prefix(1)?;
+        let mut lost = Vec::with_capacity(n_lost);
+        for _ in 0..n_lost {
+            lost.push(cur.u8()?);
+        }
+        let n = at.len();
+        if [rtt_min.len(), rtt_median.len(), rtt_max.len(), lost.len()].iter().any(|&l| l != n) {
+            return Err(SpillError::Corrupt("latency column length mismatch"));
+        }
+        Ok(LatencyCols { at, rtt_min, rtt_median, rtt_max, lost })
+    }
+}
+
+impl Default for LatencyCols {
+    fn default() -> LatencyCols {
+        LatencyCols::empty()
+    }
+}
+
+/// One router's latency probes, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct ResidentLatency<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    rtt_min: NarrowColIter<'a>,
+    rtt_median: NarrowColIter<'a>,
+    rtt_max: NarrowColIter<'a>,
+    lost: std::slice::Iter<'a, u8>,
+}
+
+impl Iterator for ResidentLatency<'_> {
+    type Item = LatencyRecord;
+
+    fn next(&mut self) -> Option<LatencyRecord> {
+        Some(LatencyRecord {
+            router: self.router,
+            at: self.at.next()?,
+            rtt_min: SimDuration::from_micros(self.rtt_min.next()?),
+            rtt_median: SimDuration::from_micros(self.rtt_median.next()?),
+            rtt_max: SimDuration::from_micros(self.rtt_max.next()?),
+            lost: *self.lost.next()?,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResidentLatency<'_> {}
+
+columnar_table! {
+    /// The WiFi-scan table in columnar form: flattened AP sightings,
+    /// ~6 bytes/scan plus 10 per neighbor instead of a 56-byte row plus
+    /// a heap `Vec` per scan.
+    table WifiTable;
+    /// Flat record iterator over a [`WifiTable`].
+    iter WifiIter;
+    cols WifiCols;
+    record WifiScanRecord;
+    router_iter RouterWifi;
+    resident_iter ResidentWifi;
+    empty EMPTY_WIFI;
+    key |r| (r.at, r.band);
+}
+
+columnar_table! {
+    /// The association table in columnar form: ~11 bytes/record instead
+    /// of the 24-byte row.
+    table AssociationTable;
+    /// Flat record iterator over an [`AssociationTable`].
+    iter AssociationsIter;
+    cols AssociationCols;
+    record AssociationRecord;
+    router_iter RouterAssociations;
+    resident_iter ResidentAssociations;
+    empty EMPTY_ASSOCIATIONS;
+    key |r| (r.at, r.device, r.medium);
+}
+
+columnar_table! {
+    /// The latency-probe table in columnar form: ~15 bytes/record
+    /// instead of the 48-byte row.
+    table LatencyTable;
+    /// Flat record iterator over a [`LatencyTable`].
+    iter LatencyIter;
+    cols LatencyCols;
+    record LatencyRecord;
+    router_iter RouterLatency;
+    resident_iter ResidentLatency;
+    empty EMPTY_LATENCY;
+    key |r| r.at;
 }
 
 #[cfg(test)]
@@ -1080,5 +2151,73 @@ mod tests {
         mt.push(mac);
         assert_eq!(mt.iter().collect::<Vec<_>>(), vec![mac]);
         assert!(mt.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn flow_cols_encode_decode_round_trips() {
+        let mut cols = FlowCols::empty();
+        for r in [flow(1, 0, 5, 1, 10), flow(1, 3, 4, 2, 11), flow(1, 9, 7, 3, 10)] {
+            cols.append(&r);
+        }
+        let mut buf = Vec::new();
+        cols.encode(&mut buf);
+        let decoded = FlowCols::decode(&mut crate::spill::Cursor::new(&buf)).unwrap();
+        assert_eq!(
+            cols.iter(RouterId(1)).collect::<Vec<_>>(),
+            decoded.iter(RouterId(1)).collect::<Vec<_>>()
+        );
+        // Truncation anywhere inside the block is a decode error, not UB.
+        for cut in [0, 1, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                FlowCols::decode(&mut crate::spill::Cursor::new(&buf[..cut])).is_err(),
+                "truncated at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_spilled_reunifies_disk_and_resident_rows() {
+        use crate::spill::{SegmentStore, SEGMENT_MAGIC};
+        use std::sync::Arc;
+
+        // Model: what an unbounded in-memory shard would hold.
+        let spilled_rows = [flow(1, 0, 2, 1, 5), flow(129, 1, 3, 1, 6), flow(1, 2, 4, 2, 5)];
+        let resident_rows = [flow(1, 5, 6, 1, 7), flow(129, 4, 8, 2, 6)];
+        let mut model = FlowTable::default();
+        for r in spilled_rows.iter().chain(&resident_rows) {
+            model.push(r.clone());
+        }
+        let merged_model = FlowTable::merge(vec![model]);
+
+        // Out-of-core: the first batch sealed to disk, the rest resident.
+        let mut sealed = FlowTable::default();
+        for r in &spilled_rows {
+            sealed.push(r.clone());
+        }
+        let store = Arc::new(SegmentStore::create(None).unwrap());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SEGMENT_MAGIC);
+        let blocks = sealed.encode_segment(&mut buf);
+        store.write_file("shard001-seg00000.seg", &buf).unwrap();
+        let toc = TableToc { file: "shard001-seg00000.seg".to_string(), blocks };
+        let mut resident = FlowTable::default();
+        for r in &resident_rows {
+            resident.push(r.clone());
+        }
+        let merged =
+            FlowTable::merge_spilled(vec![(vec![toc], resident)], &store, "merged.col").unwrap();
+
+        assert_eq!(merged.len(), merged_model.len());
+        assert!(merged.spilled_bytes() > 0, "merged rows should live on disk");
+        assert_eq!(
+            merged.iter().collect::<Vec<_>>(),
+            merged_model.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(merged, merged_model, "PartialEq must see through the spill");
+        assert_eq!(
+            merged.router(RouterId(129)).collect::<Vec<_>>(),
+            merged_model.router(RouterId(129)).collect::<Vec<_>>()
+        );
+        assert_eq!(merged.router_len(RouterId(1)), 3);
     }
 }

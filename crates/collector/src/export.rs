@@ -23,8 +23,9 @@ pub struct PublicRelease<'a> {
     pub capacity: &'a [firmware::records::CapacityRecord],
     /// Device censuses.
     pub devices: &'a [firmware::records::DeviceCensusRecord],
-    /// WiFi scans.
-    pub wifi: &'a [firmware::records::WifiScanRecord],
+    /// WiFi scans, materialized from the columnar table in its global
+    /// (router, time, band) order.
+    pub wifi: Vec<firmware::records::WifiScanRecord>,
 }
 
 /// Router metadata in the release.
@@ -52,7 +53,7 @@ pub fn public_release(data: &Datasets) -> PublicRelease<'_> {
         uptime: &data.uptime,
         capacity: &data.capacity,
         devices: &data.devices,
-        wifi: &data.wifi,
+        wifi: data.wifi.iter().collect(),
     }
 }
 

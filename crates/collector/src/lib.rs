@@ -3,10 +3,11 @@
 //! The deployment's back end: routers upload records ([`server`]), the
 //! collector compresses the firehose of heartbeats into run logs
 //! ([`runlog`]), stores the high-volume Traffic tables in compact
-//! columnar form ([`columns`]), clips analyses to the per-data-set
-//! collection windows of Table 2 ([`windows`]), and exports the PII-free
-//! public release ([`export`] — everything except Traffic, exactly as
-//! the paper did).
+//! columnar form ([`columns`]), spills those columns to bounded-memory
+//! disk segments when a budget is set ([`spill`]), clips analyses to the
+//! per-data-set collection windows of Table 2 ([`windows`]), and exports
+//! the PII-free public release ([`export`] — everything except Traffic,
+//! exactly as the paper did).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,11 +16,16 @@ pub mod columns;
 pub mod export;
 pub mod runlog;
 pub mod server;
+pub mod spill;
 pub mod windows;
 
-pub use columns::{DnsTable, FlowTable, MacTable, PacketStatsTable};
+pub use columns::{
+    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, PacketStatsTable, WifiTable,
+};
 pub use runlog::{HeartbeatRun, RunLog, UploadCounters};
 pub use server::{
-    Collector, Datasets, RouterMeta, ShardHandle, UploadGapRecord, UploadOutcome, NUM_SHARDS,
+    Collector, Datasets, RouterMeta, ShardHandle, SpillStats, UploadGapRecord, UploadOutcome,
+    NUM_SHARDS,
 };
+pub use spill::{SpillConfig, SpillError};
 pub use windows::Window;

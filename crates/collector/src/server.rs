@@ -12,13 +12,15 @@
 //! sort otherwise — so the result is bit-identical regardless of how many
 //! threads uploaded.
 
-use crate::columns::{DnsTable, FlowTable, MacTable, PacketStatsTable};
+use crate::columns::{
+    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, PacketStatsTable, WifiTable,
+};
 use crate::runlog::{RunLog, UploadCounters};
+use crate::spill::{SealedSegment, SegmentStore, SpillConfig, SpillError, TableToc, SEGMENT_MAGIC};
 use crate::windows::Window;
 use firmware::heartbeat::Heartbeat;
 use firmware::records::{
-    AssociationRecord, CapacityRecord, DeviceCensusRecord, HeartbeatRecord, Record, RouterId,
-    UptimeRecord, WifiScanRecord,
+    CapacityRecord, DeviceCensusRecord, HeartbeatRecord, Record, RouterId, UptimeRecord,
 };
 use firmware::uploader::{GapCause, GapDecl};
 use household::Country;
@@ -27,6 +29,7 @@ use simnet::packet::ParseError;
 use simnet::time::SimTime;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Number of independently locked ingestion shards. A power of two larger
 /// than the deployment so the study's 126 routers land on distinct shards.
@@ -35,6 +38,20 @@ pub const NUM_SHARDS: usize = 128;
 fn shard_index(router: RouterId) -> usize {
     router.0 as usize % NUM_SHARDS
 }
+
+/// Per-record growth estimates (bytes) for the seven columnar tables,
+/// accumulated on the ingest path to decide when a shard crosses its spill
+/// budget. These match the steady-state per-record costs documented in
+/// [`crate::columns`], keeping the running estimate within a few percent of
+/// `heap_bytes()` without walking the tables per record.
+const EST_PACKET_STATS: usize = 28;
+const EST_FLOW: usize = 40;
+const EST_DNS: usize = 18;
+const EST_MAC: usize = 16;
+const EST_WIFI_BASE: usize = 10;
+const EST_WIFI_AP: usize = 10;
+const EST_ASSOCIATION: usize = 14;
+const EST_LATENCY: usize = 19;
 
 /// Registration metadata for one router (what the deployment knew about
 /// each shipped unit).
@@ -108,8 +125,8 @@ pub struct Datasets {
     pub capacity: Vec<CapacityRecord>,
     /// Hourly device censuses.
     pub devices: Vec<DeviceCensusRecord>,
-    /// WiFi scans.
-    pub wifi: Vec<WifiScanRecord>,
+    /// WiFi scans, in columnar form.
+    pub wifi: WifiTable,
     /// Per-minute packet statistics (Traffic), in columnar form.
     pub packet_stats: PacketStatsTable,
     /// Flow records (Traffic), in columnar form.
@@ -118,10 +135,11 @@ pub struct Datasets {
     pub dns: DnsTable,
     /// MAC sightings (Traffic), in columnar form.
     pub macs: MacTable,
-    /// Hourly per-device association reports (Devices companion).
-    pub associations: Vec<AssociationRecord>,
-    /// Latency probes (platform companion data set).
-    pub latency: Vec<firmware::latency::LatencyRecord>,
+    /// Hourly per-device association reports (Devices companion), in
+    /// columnar form.
+    pub associations: AssociationTable,
+    /// Latency probes (platform companion data set), in columnar form.
+    pub latency: LatencyTable,
     /// The gap ledger: batch ranges declared lost by routers, sorted by
     /// (router, first_seq). Empty unless faults destroyed spooled data.
     pub upload_gaps: Vec<UploadGapRecord>,
@@ -160,15 +178,52 @@ impl Datasets {
             + self.latency.len()
     }
 
-    /// Heap bytes held by the four columnar high-volume tables. The row
-    /// tables and heartbeat run-logs are small by comparison; this is the
-    /// number that moves when the deployment is scaled with more homes.
+    /// Heap bytes held by the seven columnar high-volume tables. The
+    /// remaining row tables and heartbeat run-logs are small by
+    /// comparison; this is the number that moves when the deployment is
+    /// scaled with more homes.
     pub fn columnar_heap_bytes(&self) -> usize {
         self.packet_stats.heap_bytes()
             + self.flows.heap_bytes()
             + self.dns.heap_bytes()
             + self.macs.heap_bytes()
+            + self.wifi.heap_bytes()
+            + self.associations.heap_bytes()
+            + self.latency.heap_bytes()
     }
+
+    /// Bytes of columnar data living in on-disk segment files rather than
+    /// RAM. Zero unless the collector ran with a spill budget and crossed
+    /// it; rows behind these bytes stream in lazily during iteration.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.packet_stats.spilled_bytes()
+            + self.flows.spilled_bytes()
+            + self.dns.spilled_bytes()
+            + self.macs.spilled_bytes()
+            + self.wifi.spilled_bytes()
+            + self.associations.spilled_bytes()
+            + self.latency.spilled_bytes()
+    }
+}
+
+/// Per-shard out-of-core state, armed by [`Collector::set_spill`].
+#[derive(Debug)]
+struct ShardSpill {
+    /// Shared segment store (one directory per collector, removed on drop).
+    store: Arc<SegmentStore>,
+    /// This shard's index, used in segment file names.
+    index: usize,
+    /// Resident-columnar budget for this shard in bytes — the study budget
+    /// split evenly across shards. A budget of 0 seals on every batch.
+    budget: usize,
+    /// Segments sealed so far, in seal order. Seal order concatenated with
+    /// the resident tail reproduces each router's exact arrival order, which
+    /// is what keeps the spilled merge byte-identical to the in-memory one.
+    segments: Vec<SealedSegment>,
+    /// First seal failure, if any. Spilling disables on error and data
+    /// stays resident from then on — degraded to unbounded memory, never
+    /// data loss.
+    error: Option<String>,
 }
 
 /// One shard's worth of collected state: the same tables as [`Datasets`]
@@ -180,13 +235,13 @@ struct Shard {
     uptime: Vec<UptimeRecord>,
     capacity: Vec<CapacityRecord>,
     devices: Vec<DeviceCensusRecord>,
-    wifi: Vec<WifiScanRecord>,
+    wifi: WifiTable,
     packet_stats: PacketStatsTable,
     flows: FlowTable,
     dns: DnsTable,
     macs: MacTable,
-    associations: Vec<AssociationRecord>,
-    latency: Vec<firmware::latency::LatencyRecord>,
+    associations: AssociationTable,
+    latency: LatencyTable,
     /// Windows during which the collection infrastructure itself was down
     /// (§3.3: "various outages and failures — both of the routers
     /// themselves and of the collection infrastructure"). Records arriving
@@ -206,6 +261,11 @@ struct Shard {
     upload_gaps: Vec<UploadGapRecord>,
     /// Delivery accounting for the batch upload path.
     counters: UploadCounters,
+    /// Estimated resident heap bytes of the seven columnar tables, grown by
+    /// per-record constants on the ingest path and reset at each seal.
+    columnar_est: usize,
+    /// Out-of-core state; `None` (the default) runs fully in memory.
+    spill: Option<ShardSpill>,
 }
 
 /// A batch known to exist but not yet applicable, keyed by sequence number.
@@ -234,20 +294,42 @@ impl Shard {
         self.outages.iter().any(|w| w.contains(at))
     }
 
-    /// Append a record to its table, with no outage check.
+    /// Append a record to its table, with no outage check. The columnar
+    /// arms also grow the resident-size estimate that drives spilling.
     fn route(&mut self, record: Record) {
         match record {
             Record::Heartbeat(r) => self.heartbeats.entry(r.router).or_default().push(r.at),
             Record::Uptime(r) => self.uptime.push(r),
             Record::Capacity(r) => self.capacity.push(r),
             Record::DeviceCensus(r) => self.devices.push(r),
-            Record::WifiScan(r) => self.wifi.push(r),
-            Record::PacketStats(r) => self.packet_stats.push(r),
-            Record::Flow(r) => self.flows.push(r),
-            Record::DnsSample(r) => self.dns.push(r),
-            Record::MacSighting(r) => self.macs.push(r),
-            Record::Association(r) => self.associations.push(r),
-            Record::Latency(r) => self.latency.push(r),
+            Record::WifiScan(r) => {
+                self.columnar_est += EST_WIFI_BASE + EST_WIFI_AP * r.aps.len();
+                self.wifi.push(r);
+            }
+            Record::PacketStats(r) => {
+                self.columnar_est += EST_PACKET_STATS;
+                self.packet_stats.push(r);
+            }
+            Record::Flow(r) => {
+                self.columnar_est += EST_FLOW;
+                self.flows.push(r);
+            }
+            Record::DnsSample(r) => {
+                self.columnar_est += EST_DNS;
+                self.dns.push(r);
+            }
+            Record::MacSighting(r) => {
+                self.columnar_est += EST_MAC;
+                self.macs.push(r);
+            }
+            Record::Association(r) => {
+                self.columnar_est += EST_ASSOCIATION;
+                self.associations.push(r);
+            }
+            Record::Latency(r) => {
+                self.columnar_est += EST_LATENCY;
+                self.latency.push(r);
+            }
         }
     }
 
@@ -257,6 +339,7 @@ impl Shard {
             return;
         }
         self.route(record);
+        self.maybe_spill();
     }
 
     /// Batch ingestion: the outage-schedule check is hoisted out of the
@@ -276,6 +359,74 @@ impl Shard {
                 }
             }
         }
+        self.maybe_spill();
+    }
+
+    /// Seal the columnar tables to disk if spilling is armed and the
+    /// resident estimate has crossed this shard's budget slice. On the hot
+    /// path after every ingest call: the common cases (spill disabled, or
+    /// under budget) are two branches and zero allocation.
+    fn maybe_spill(&mut self) {
+        let Some(sp) = &self.spill else { return };
+        if sp.error.is_some() || self.columnar_est <= sp.budget {
+            return;
+        }
+        self.seal_columns();
+    }
+
+    /// Seal unconditionally, recording (rather than propagating) any I/O
+    /// failure: the ingest path has no caller that can retry, so on error
+    /// the shard falls back to keeping data resident.
+    fn seal_columns(&mut self) {
+        if let Err(e) = self.try_seal() {
+            if let Some(sp) = &mut self.spill {
+                sp.error = Some(e.to_string());
+            }
+        }
+    }
+
+    /// Encode the seven columnar tables into one segment file, remember its
+    /// table of contents, and reset the tables to fresh empty columns.
+    ///
+    /// The buffer is fully encoded *before* the tables are reset, so an
+    /// I/O error leaves every record resident — sealing is all-or-nothing.
+    fn try_seal(&mut self) -> Result<(), SpillError> {
+        if self.columnar_est == 0 {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(self.columnar_est / 2 + 1024);
+        buf.extend_from_slice(SEGMENT_MAGIC);
+        let packet_stats = self.packet_stats.encode_segment(&mut buf);
+        let flows = self.flows.encode_segment(&mut buf);
+        let dns = self.dns.encode_segment(&mut buf);
+        let macs = self.macs.encode_segment(&mut buf);
+        let wifi = self.wifi.encode_segment(&mut buf);
+        let associations = self.associations.encode_segment(&mut buf);
+        let latency = self.latency.encode_segment(&mut buf);
+        let Some(sp) = &mut self.spill else { return Ok(()) };
+        let file = format!("shard{:03}-seg{:05}.seg", sp.index, sp.segments.len());
+        sp.store.write_file(&file, &buf)?;
+        let bytes = buf.len() as u64;
+        sp.segments.push(SealedSegment {
+            file,
+            packet_stats,
+            flows,
+            dns,
+            macs,
+            wifi,
+            associations,
+            latency,
+            bytes,
+        });
+        self.packet_stats = PacketStatsTable::default();
+        self.flows = FlowTable::default();
+        self.dns = DnsTable::default();
+        self.macs = MacTable::default();
+        self.wifi = WifiTable::default();
+        self.associations = AssociationTable::default();
+        self.latency = LatencyTable::default();
+        self.columnar_est = 0;
+        Ok(())
     }
 
     fn ingest_heartbeat(&mut self, rec: HeartbeatRecord) {
@@ -421,6 +572,9 @@ pub struct Collector {
     /// The announced downtime schedule, kept once for the snapshot (each
     /// shard holds its own copy for lock-local checks on the hot path).
     downtime: Mutex<Vec<Window>>,
+    /// The shared segment store when out-of-core mode is armed. Shards hold
+    /// their own `Arc` for lock-local sealing; this copy feeds the merge.
+    spill: Mutex<Option<Arc<SegmentStore>>>,
 }
 
 impl Default for Collector {
@@ -430,8 +584,22 @@ impl Default for Collector {
             routers: Mutex::new(Vec::new()),
             rejected_heartbeats: AtomicU64::new(0),
             downtime: Mutex::new(Vec::new()),
+            spill: Mutex::new(None),
         }
     }
+}
+
+/// Aggregated out-of-core accounting across all shards. Only available
+/// when a spill budget was armed via [`Collector::set_spill`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Segment files sealed across all shards.
+    pub segments: u64,
+    /// Bytes written across all sealed segments.
+    pub bytes_written: u64,
+    /// First seal failure observed on any shard, if any. A failing shard
+    /// keeps its data resident (unbounded memory, never data loss).
+    pub error: Option<String>,
 }
 
 /// A borrowed handle onto the shard owning one router's records. Home
@@ -549,6 +717,45 @@ impl Collector {
         self.shards.iter().map(|s| s.lock().dropped_in_downtime).sum()
     }
 
+    /// Arm out-of-core mode: every shard gets an even slice of
+    /// `config.budget_bytes` as its resident-columnar budget and seals its
+    /// columnar tables into segment files (under `config.dir`, or the OS
+    /// temp directory) whenever ingestion crosses that slice. Call before
+    /// ingestion starts; the snapshot merge reunifies spilled and resident
+    /// rows deterministically, so reports are byte-identical to an
+    /// unbounded run. Fails only if the spill directory cannot be created.
+    pub fn set_spill(&self, config: &SpillConfig) -> std::io::Result<()> {
+        let store = Arc::new(SegmentStore::create(config.dir.as_deref())?);
+        let budget = (config.budget_bytes / NUM_SHARDS as u64) as usize;
+        for (index, shard) in self.shards.iter().enumerate() {
+            shard.lock().spill = Some(ShardSpill {
+                store: Arc::clone(&store),
+                index,
+                budget,
+                segments: Vec::new(),
+                error: None,
+            });
+        }
+        *self.spill.lock() = Some(store);
+        Ok(())
+    }
+
+    /// Out-of-core accounting, if spilling is armed (`None` otherwise).
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill.lock().as_ref()?;
+        let mut stats = SpillStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            let Some(sp) = &shard.spill else { continue };
+            stats.segments += sp.segments.len() as u64;
+            stats.bytes_written += sp.segments.iter().map(|s| s.bytes).sum::<u64>();
+            if stats.error.is_none() {
+                stats.error = sp.error.clone();
+            }
+        }
+        Some(stats)
+    }
+
     /// Combined delivery accounting across all shards.
     pub fn upload_counters(&self) -> UploadCounters {
         let mut total = UploadCounters::default();
@@ -641,6 +848,13 @@ impl Collector {
         obs::counter("collector_records_dropped_outage_total").add(self.dropped_in_outage());
         obs::counter("collector_heartbeats_dropped_downtime_total")
             .add(self.dropped_in_downtime());
+        // Spill metrics register only when out-of-core mode is armed, so
+        // the manifest key set stays stable for ordinary in-memory runs.
+        if let Some(s) = self.spill_stats() {
+            obs::counter("spill_segments_written_total").add(s.segments);
+            obs::counter("spill_bytes_written_total").add(s.bytes_written);
+            obs::counter("spill_errors_total").add(u64::from(s.error.is_some()));
+        }
     }
 
     /// Snapshot everything collected so far, without disturbing ongoing
@@ -648,7 +862,21 @@ impl Collector {
     /// (router, time), so snapshots are deterministic regardless of the
     /// upload interleaving across home threads. Finished callers should
     /// prefer [`Collector::into_datasets`], which skips the clone.
+    ///
+    /// Panics if a spilled run's segment merge hits an I/O error; use
+    /// [`Collector::try_snapshot`] to handle that case. In-memory runs
+    /// (the default) cannot fail.
     pub fn snapshot(&self) -> Datasets {
+        match self.try_snapshot() {
+            Ok(data) => data,
+            // simlint: allow(panic-in-ingest) — this is the analysis boundary, not the ingest path; callers that can recover from a failed segment merge use try_snapshot
+            Err(e) => panic!("spill segment merge failed during snapshot: {e}"),
+        }
+    }
+
+    /// Fallible [`Collector::snapshot`]: surfaces spill-merge I/O errors
+    /// instead of panicking. Always `Ok` when spilling is disabled.
+    pub fn try_snapshot(&self) -> Result<Datasets, SpillError> {
         let chunks: Vec<ShardChunk> = self
             .shards
             .iter()
@@ -667,10 +895,20 @@ impl Collector {
                     associations: shard.associations.clone(),
                     latency: shard.latency.clone(),
                     upload_gaps: shard.upload_gaps.clone(),
+                    segments: shard
+                        .spill
+                        .as_ref()
+                        .map(|sp| sp.segments.clone())
+                        .unwrap_or_default(),
                 }
             })
             .collect();
-        merge_chunks(self.routers.lock().clone(), self.downtime.lock().clone(), chunks)
+        merge_chunks(
+            self.routers.lock().clone(),
+            self.downtime.lock().clone(),
+            self.spill.lock().clone(),
+            chunks,
+        )
     }
 
     /// Consume the collector and merge every shard into one sorted
@@ -679,12 +917,28 @@ impl Collector {
     /// ordered with disjoint router ranges (the steady-state shape, since
     /// every router maps to one shard and emits chronologically)
     /// concatenate in O(n) instead of re-sorting.
+    ///
+    /// Panics if a spilled run's segment merge hits an I/O error; use
+    /// [`Collector::try_into_datasets`] to handle that case. In-memory
+    /// runs (the default) cannot fail.
     pub fn into_datasets(self) -> Datasets {
+        match self.try_into_datasets() {
+            Ok(data) => data,
+            // simlint: allow(panic-in-ingest) — this is the analysis boundary, not the ingest path; callers that can recover from a failed segment merge use try_into_datasets
+            Err(e) => panic!("spill segment merge failed while finalizing datasets: {e}"),
+        }
+    }
+
+    /// Fallible [`Collector::into_datasets`]: surfaces spill-merge I/O
+    /// errors instead of panicking. Always `Ok` when spilling is disabled.
+    pub fn try_into_datasets(self) -> Result<Datasets, SpillError> {
+        let spill = self.spill.into_inner();
         let chunks: Vec<ShardChunk> = self
             .shards
             .into_iter()
             .map(|s| {
-                let shard = s.into_inner();
+                let mut shard = s.into_inner();
+                let segments = shard.spill.take().map(|sp| sp.segments).unwrap_or_default();
                 ShardChunk {
                     heartbeats: shard.heartbeats,
                     uptime: shard.uptime,
@@ -698,10 +952,11 @@ impl Collector {
                     associations: shard.associations,
                     latency: shard.latency,
                     upload_gaps: shard.upload_gaps,
+                    segments,
                 }
             })
             .collect();
-        merge_chunks(self.routers.into_inner(), self.downtime.into_inner(), chunks)
+        merge_chunks(self.routers.into_inner(), self.downtime.into_inner(), spill, chunks)
     }
 }
 
@@ -711,14 +966,17 @@ struct ShardChunk {
     uptime: Vec<UptimeRecord>,
     capacity: Vec<CapacityRecord>,
     devices: Vec<DeviceCensusRecord>,
-    wifi: Vec<WifiScanRecord>,
+    wifi: WifiTable,
     packet_stats: PacketStatsTable,
     flows: FlowTable,
     dns: DnsTable,
     macs: MacTable,
-    associations: Vec<AssociationRecord>,
-    latency: Vec<firmware::latency::LatencyRecord>,
+    associations: AssociationTable,
+    latency: LatencyTable,
     upload_gaps: Vec<UploadGapRecord>,
+    /// Segments this shard sealed to disk, in seal order. Empty unless
+    /// out-of-core mode was armed and this shard crossed its budget.
+    segments: Vec<SealedSegment>,
 }
 
 /// Merge per-shard chunks of one table into a single sorted table.
@@ -765,11 +1023,63 @@ fn join_merged<T>(handle: crossbeam::thread::ScopedJoinHandle<'_, T>) -> T {
     handle.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic))
 }
 
+/// Per-shard table-of-contents lists for the seven columnar tables, split
+/// out of each shard's [`SealedSegment`] run so every table's k-way merge
+/// can run on its own thread with only its own blocks.
+struct SegmentTocs {
+    packet_stats: Vec<Vec<TableToc>>,
+    flows: Vec<Vec<TableToc>>,
+    dns: Vec<Vec<TableToc>>,
+    macs: Vec<Vec<TableToc>>,
+    wifi: Vec<Vec<TableToc>>,
+    associations: Vec<Vec<TableToc>>,
+    latency: Vec<Vec<TableToc>>,
+}
+
+fn split_tocs(segments: Vec<Vec<SealedSegment>>) -> SegmentTocs {
+    let mut tocs = SegmentTocs {
+        packet_stats: Vec::with_capacity(segments.len()),
+        flows: Vec::with_capacity(segments.len()),
+        dns: Vec::with_capacity(segments.len()),
+        macs: Vec::with_capacity(segments.len()),
+        wifi: Vec::with_capacity(segments.len()),
+        associations: Vec::with_capacity(segments.len()),
+        latency: Vec::with_capacity(segments.len()),
+    };
+    for segs in segments {
+        let mut ps = Vec::with_capacity(segs.len());
+        let mut fl = Vec::with_capacity(segs.len());
+        let mut dn = Vec::with_capacity(segs.len());
+        let mut mc = Vec::with_capacity(segs.len());
+        let mut wf = Vec::with_capacity(segs.len());
+        let mut ac = Vec::with_capacity(segs.len());
+        let mut lt = Vec::with_capacity(segs.len());
+        for seg in segs {
+            ps.push(TableToc { file: seg.file.clone(), blocks: seg.packet_stats });
+            fl.push(TableToc { file: seg.file.clone(), blocks: seg.flows });
+            dn.push(TableToc { file: seg.file.clone(), blocks: seg.dns });
+            mc.push(TableToc { file: seg.file.clone(), blocks: seg.macs });
+            wf.push(TableToc { file: seg.file.clone(), blocks: seg.wifi });
+            ac.push(TableToc { file: seg.file.clone(), blocks: seg.associations });
+            lt.push(TableToc { file: seg.file, blocks: seg.latency });
+        }
+        tocs.packet_stats.push(ps);
+        tocs.flows.push(fl);
+        tocs.dns.push(dn);
+        tocs.macs.push(mc);
+        tocs.wifi.push(wf);
+        tocs.associations.push(ac);
+        tocs.latency.push(lt);
+    }
+    tocs
+}
+
 fn merge_chunks(
     mut routers: Vec<RouterMeta>,
     collector_downtime: Vec<Window>,
+    spill: Option<Arc<SegmentStore>>,
     chunks: Vec<ShardChunk>,
-) -> Datasets {
+) -> Result<Datasets, SpillError> {
     let mut uptime = Vec::new();
     let mut capacity = Vec::new();
     let mut devices = Vec::new();
@@ -781,6 +1091,7 @@ fn merge_chunks(
     let mut associations = Vec::new();
     let mut latency = Vec::new();
     let mut upload_gaps = Vec::new();
+    let mut segments = Vec::new();
     let mut heartbeats: BTreeMap<RouterId, RunLog> = BTreeMap::new();
     for chunk in chunks {
         uptime.push(chunk.uptime);
@@ -794,10 +1105,17 @@ fn merge_chunks(
         associations.push(chunk.associations);
         latency.push(chunk.latency);
         upload_gaps.push(chunk.upload_gaps);
+        segments.push(chunk.segments);
         // Routers are partitioned across shards, so no key collides.
         heartbeats.extend(chunk.heartbeats);
     }
     routers.sort_by_key(|m| m.router);
+
+    // The spilled merge path engages only when some shard actually sealed a
+    // segment: a spill-armed run that stayed under budget takes the plain
+    // in-memory path and produces bit-identical in-memory Datasets.
+    let total_segments: usize = segments.iter().map(Vec::len).sum();
+    let spill = spill.filter(|_| total_segments > 0);
 
     let mut data = Datasets {
         routers,
@@ -810,39 +1128,103 @@ fn merge_chunks(
     };
     // The per-table merges are independent; run them on scoped threads so a
     // snapshot of a 33M-record study sorts all ten tables concurrently.
-    crossbeam::scope(|scope| {
+    crossbeam::scope(|scope| -> Result<(), SpillError> {
         let uptime = scope.spawn(|_| merge_table(uptime, |r: &UptimeRecord| (r.router, r.at)));
         let capacity =
             scope.spawn(|_| merge_table(capacity, |r: &CapacityRecord| (r.router, r.at)));
         let devices =
             scope.spawn(|_| merge_table(devices, |r: &DeviceCensusRecord| (r.router, r.at)));
-        let wifi =
-            scope.spawn(|_| merge_table(wifi, |r: &WifiScanRecord| (r.router, r.at, r.band)));
-        let packet_stats = scope.spawn(|_| PacketStatsTable::merge(packet_stats));
-        let flows = scope.spawn(|_| FlowTable::merge(flows));
-        let dns = scope.spawn(|_| DnsTable::merge(dns));
-        let macs = scope.spawn(|_| MacTable::merge(macs));
-        let associations = scope.spawn(|_| {
-            merge_table(associations, |r: &AssociationRecord| {
-                (r.router, r.at, r.device, r.medium)
-            })
-        });
-        let latency = scope.spawn(|_| {
-            merge_table(latency, |r: &firmware::latency::LatencyRecord| (r.router, r.at))
-        });
+        let (packet_stats, flows, dns, macs, wifi, associations, latency) = match &spill {
+            None => (
+                scope.spawn(|_| Ok(PacketStatsTable::merge(packet_stats))),
+                scope.spawn(|_| Ok(FlowTable::merge(flows))),
+                scope.spawn(|_| Ok(DnsTable::merge(dns))),
+                scope.spawn(|_| Ok(MacTable::merge(macs))),
+                scope.spawn(|_| Ok(WifiTable::merge(wifi))),
+                scope.spawn(|_| Ok(AssociationTable::merge(associations))),
+                scope.spawn(|_| Ok(LatencyTable::merge(latency))),
+            ),
+            Some(store) => {
+                // Merge fan-in: every sealed segment plus every shard with
+                // resident columnar rows contributes one sorted input run.
+                let resident_shards = packet_stats
+                    .iter()
+                    .zip(&flows)
+                    .zip(&dns)
+                    .zip(&macs)
+                    .zip(&wifi)
+                    .zip(&associations)
+                    .zip(&latency)
+                    .filter(|((((((p, f), d), m), w), a), l)| {
+                        p.len() + f.len() + d.len() + m.len() + w.len() + a.len() + l.len() > 0
+                    })
+                    .count();
+                obs::gauge("spill_merge_fanin").set((total_segments + resident_shards) as u64);
+                // Snapshots can merge repeatedly over the same store, so
+                // every merged output gets a unique file-name generation.
+                let merge_id = store.next_merge_id();
+                let tocs = split_tocs(std::mem::take(&mut segments));
+                let ps_in: Vec<_> = tocs.packet_stats.into_iter().zip(packet_stats).collect();
+                let fl_in: Vec<_> = tocs.flows.into_iter().zip(flows).collect();
+                let dn_in: Vec<_> = tocs.dns.into_iter().zip(dns).collect();
+                let mc_in: Vec<_> = tocs.macs.into_iter().zip(macs).collect();
+                let wf_in: Vec<_> = tocs.wifi.into_iter().zip(wifi).collect();
+                let ac_in: Vec<_> = tocs.associations.into_iter().zip(associations).collect();
+                let lt_in: Vec<_> = tocs.latency.into_iter().zip(latency).collect();
+                let (s1, s2, s3, s4) =
+                    (Arc::clone(store), Arc::clone(store), Arc::clone(store), Arc::clone(store));
+                let (s5, s6, s7) = (Arc::clone(store), Arc::clone(store), Arc::clone(store));
+                (
+                    scope.spawn(move |_| {
+                        PacketStatsTable::merge_spilled(
+                            ps_in,
+                            &s1,
+                            &format!("merged-{merge_id}-packet-stats.col"),
+                        )
+                    }),
+                    scope.spawn(move |_| {
+                        FlowTable::merge_spilled(fl_in, &s2, &format!("merged-{merge_id}-flows.col"))
+                    }),
+                    scope.spawn(move |_| {
+                        DnsTable::merge_spilled(dn_in, &s3, &format!("merged-{merge_id}-dns.col"))
+                    }),
+                    scope.spawn(move |_| {
+                        MacTable::merge_spilled(mc_in, &s4, &format!("merged-{merge_id}-macs.col"))
+                    }),
+                    scope.spawn(move |_| {
+                        WifiTable::merge_spilled(wf_in, &s5, &format!("merged-{merge_id}-wifi.col"))
+                    }),
+                    scope.spawn(move |_| {
+                        AssociationTable::merge_spilled(
+                            ac_in,
+                            &s6,
+                            &format!("merged-{merge_id}-associations.col"),
+                        )
+                    }),
+                    scope.spawn(move |_| {
+                        LatencyTable::merge_spilled(
+                            lt_in,
+                            &s7,
+                            &format!("merged-{merge_id}-latency.col"),
+                        )
+                    }),
+                )
+            }
+        };
         data.uptime = join_merged(uptime);
         data.capacity = join_merged(capacity);
         data.devices = join_merged(devices);
-        data.wifi = join_merged(wifi);
-        data.packet_stats = join_merged(packet_stats);
-        data.flows = join_merged(flows);
-        data.dns = join_merged(dns);
-        data.macs = join_merged(macs);
-        data.associations = join_merged(associations);
-        data.latency = join_merged(latency);
+        data.packet_stats = join_merged(packet_stats)?;
+        data.flows = join_merged(flows)?;
+        data.dns = join_merged(dns)?;
+        data.macs = join_merged(macs)?;
+        data.wifi = join_merged(wifi)?;
+        data.associations = join_merged(associations)?;
+        data.latency = join_merged(latency)?;
+        Ok(())
     })
-    .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
-    data
+    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;
+    Ok(data)
 }
 
 #[cfg(test)]
@@ -1134,6 +1516,88 @@ mod tests {
             (RouterId(9), 1, 2, 100, GapCause::FlashWipe)
         );
         assert_eq!(collector.upload_counters().gap_declarations, 1);
+    }
+
+    fn traffic_records(router: u32, n: u64) -> Vec<Record> {
+        use firmware::records::PacketStatsRecord;
+        (0..n)
+            .map(|i| {
+                Record::PacketStats(PacketStatsRecord {
+                    router: RouterId(router),
+                    at: m(i),
+                    bytes_down: i * 100,
+                    bytes_up: i * 10,
+                    pkts_down: i,
+                    pkts_up: i / 2,
+                    peak_down_1s: i,
+                    peak_up_1s: i,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spill_budget_zero_spills_everything_and_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("bismark-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let unbounded = Collector::new();
+        let spilled = Collector::new();
+        spilled
+            .set_spill(&SpillConfig { budget_bytes: 0, dir: Some(dir.clone()) })
+            .expect("spill dir creation");
+        for c in [&unbounded, &spilled] {
+            c.register(RouterMeta {
+                router: RouterId(2),
+                country: Country::UnitedStates,
+                traffic_consent: true,
+            });
+            // Two colliding routers on one shard, uploaded in several
+            // batches so multiple segments seal per shard.
+            for router in [2u32, 130, 7] {
+                for chunk in 0..4u64 {
+                    c.ingest_batch(traffic_records(router, 50 + chunk));
+                }
+            }
+        }
+        let stats = spilled.spill_stats().expect("spilling armed");
+        assert!(stats.segments > 0, "budget 0 must seal every batch");
+        assert!(stats.bytes_written > 0);
+        assert_eq!(stats.error, None);
+        assert_eq!(unbounded.spill_stats(), None, "unarmed collector reports no stats");
+
+        let snap = spilled.snapshot();
+        let from_memory = unbounded.into_datasets();
+        assert_eq!(snap.packet_stats, from_memory.packet_stats);
+        assert!(snap.spilled_bytes() > 0);
+        assert_eq!(from_memory.spilled_bytes(), 0);
+        assert_eq!(
+            snap.packet_stats.iter().collect::<Vec<_>>(),
+            from_memory.packet_stats.iter().collect::<Vec<_>>()
+        );
+
+        // A second merge from the same collector (snapshot then consume)
+        // must agree with the first — unique merged-file generations.
+        let owned = spilled.into_datasets();
+        assert_eq!(owned.packet_stats, from_memory.packet_stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_under_budget_stays_resident_and_identical() {
+        let spilled = Collector::new();
+        spilled
+            .set_spill(&SpillConfig { budget_bytes: 1 << 30, dir: None })
+            .expect("spill dir creation");
+        let unbounded = Collector::new();
+        for c in [&spilled, &unbounded] {
+            c.ingest_batch(traffic_records(3, 100));
+        }
+        let stats = spilled.spill_stats().expect("spilling armed");
+        assert_eq!(stats.segments, 0, "under budget: nothing seals");
+        let a = spilled.into_datasets();
+        let b = unbounded.into_datasets();
+        assert_eq!(a.packet_stats, b.packet_stats);
+        assert_eq!(a.spilled_bytes(), 0, "under-budget run is purely in-memory");
     }
 
     #[test]

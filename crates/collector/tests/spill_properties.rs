@@ -1,0 +1,221 @@
+//! Property-based tests for the out-of-core spill path: a collector that
+//! seals columnar segments to disk whenever its memory estimate crosses an
+//! arbitrary budget must produce data sets *identical* to the unbounded
+//! in-memory collector, for arbitrary record mixes, batch arrival orders,
+//! and shard collision patterns.
+//!
+//! The in-memory columnar model is the specification: spilling is purely a
+//! storage decision, so `into_datasets()` after any sequence of seals must
+//! equal the run where nothing ever left RAM — including the degenerate
+//! budget of zero bytes, where every batch seals its own segment.
+
+use collector::{Collector, RouterMeta, SpillConfig};
+use firmware::anonymize::{AnonMac, ReportedDomain};
+use firmware::latency::LatencyRecord;
+use firmware::records::{
+    ApSighting, AssociationRecord, DnsSampleRecord, FlowRecord, MacSightingRecord, Medium,
+    PacketStatsRecord, Record, RouterId, WifiScanRecord,
+};
+use household::Country;
+use proptest::prelude::*;
+use simnet::dns::DomainName;
+use simnet::packet::IpProtocol;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wifi::Band;
+
+/// Compact generated form of one record: (router selector, kind selector,
+/// time µs, device seed, domain selector, bytes). Expanded by
+/// [`record_from`].
+type RecordSpec = (u8, u8, u64, u8, u8, u64);
+
+/// Router IDs chosen so the specs cover single-router shards, two routers
+/// colliding on one shard (1 and 129, 2 and 130), and a far shard.
+const ROUTERS: [u32; 6] = [1, 2, 7, 129, 130, 257];
+
+fn device_from(seed: u8) -> AnonMac {
+    AnonMac { oui: u32::from(seed % 5) * 0x0001_0203, suffix_hash: u32::from(seed) }
+}
+
+fn domain_from(selector: u8) -> ReportedDomain {
+    match selector % 4 {
+        0 => ReportedDomain::Clear(DomainName::new("example.com").unwrap()),
+        1 => ReportedDomain::Clear(DomainName::new("video.example.net").unwrap()),
+        2 => ReportedDomain::Obfuscated(7),
+        _ => ReportedDomain::Obfuscated(u64::from(selector)),
+    }
+}
+
+/// Expand one spec into a columnar-table record; the kind selector cycles
+/// through all seven spilled tables so every segment carries a mix.
+fn record_from(spec: RecordSpec) -> Record {
+    let (router_sel, kind, at_us, dev, dom, bytes) = spec;
+    let router = RouterId(ROUTERS[usize::from(router_sel) % ROUTERS.len()]);
+    let at = SimTime::from_micros(at_us);
+    match kind % 7 {
+        0 => Record::PacketStats(PacketStatsRecord {
+            router,
+            at,
+            bytes_down: bytes,
+            bytes_up: bytes / 2,
+            pkts_down: bytes / 1500 + 1,
+            pkts_up: bytes / 3000,
+            peak_down_1s: u64::from(dev) * 1000,
+            peak_up_1s: u64::from(dev) * 250,
+        }),
+        1 => Record::Flow(FlowRecord {
+            router,
+            started: at,
+            ended: SimTime::from_micros(at_us.saturating_add(u64::from(dom) * 1_000_000)),
+            device: device_from(dev),
+            remote_ip_hash: u64::from(dev) << 8 | u64::from(dom),
+            remote_port: u16::from(dom) | 443,
+            proto: if dom % 2 == 0 { IpProtocol::Tcp } else { IpProtocol::Udp },
+            domain: domain_from(dom),
+            bytes_down: bytes,
+            bytes_up: bytes / 3,
+        }),
+        2 => Record::DnsSample(DnsSampleRecord {
+            router,
+            at,
+            device: device_from(dev),
+            name: domain_from(dom),
+            cname_links: dom % 3,
+            resolved: bytes % 2 == 0,
+        }),
+        3 => Record::MacSighting(MacSightingRecord {
+            router,
+            first_seen: at,
+            device: device_from(dev),
+            bytes_total: bytes,
+        }),
+        4 => Record::WifiScan(WifiScanRecord {
+            router,
+            at,
+            band: if dom % 2 == 0 { Band::Ghz24 } else { Band::Ghz5 },
+            // AP lists of varying length, including empty, so the
+            // flattened AP columns cross record boundaries.
+            aps: (0..dev % 4)
+                .map(|i| ApSighting {
+                    bssid_hash: u64::from(dom) << 16 | u64::from(i),
+                    channel_number: 1 + (i % 11),
+                    signal_dbm: -30 - (dev % 60) as i8,
+                })
+                .collect(),
+            associated_stations: dev % 9,
+        }),
+        5 => Record::Association(AssociationRecord {
+            router,
+            at,
+            device: device_from(dev),
+            medium: match dom % 3 {
+                0 => Medium::Wired,
+                1 => Medium::Wireless24,
+                _ => Medium::Wireless5,
+            },
+        }),
+        _ => Record::Latency(LatencyRecord {
+            router,
+            at,
+            rtt_min: SimDuration::from_micros(u64::from(dev) * 997),
+            rtt_median: SimDuration::from_micros(u64::from(dev) * 997 + u64::from(dom) * 131),
+            // Cross the narrow-column escape for some specs.
+            rtt_max: SimDuration::from_micros(bytes),
+            lost: dom % 5,
+        }),
+    }
+}
+
+/// Arbitrary record specs: timestamps mix in-order and out-of-order
+/// arrivals and byte counts cross the narrow-column escape threshold.
+fn specs() -> impl Strategy<Value = Vec<RecordSpec>> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..7, 0u64..20_000_000_000, 0u8..20, 0u8..16, 0u64..1 << 40),
+        0..300,
+    )
+}
+
+fn register_all(collector: &Collector) {
+    for router in ROUTERS {
+        collector.register(RouterMeta {
+            router: RouterId(router),
+            country: Country::UnitedStates,
+            traffic_consent: true,
+        });
+    }
+}
+
+/// Ingest the same stream into a spilled and an unbounded collector in the
+/// same chunked arrival order, then assert the merged data sets agree.
+fn assert_spill_matches_memory(specs: Vec<RecordSpec>, batch: usize, budget: u64) {
+    let records: Vec<Record> = specs.into_iter().map(record_from).collect();
+    let spilled = Collector::new();
+    spilled
+        .set_spill(&SpillConfig { budget_bytes: budget, dir: None })
+        .expect("spill dir creation");
+    let unbounded = Collector::new();
+    for c in [&spilled, &unbounded] {
+        register_all(c);
+        for chunk in records.chunks(batch.max(1)) {
+            c.ingest_batch(chunk.to_vec());
+        }
+    }
+    let stats = spilled.spill_stats().expect("spilling armed");
+    assert_eq!(stats.error, None, "segment I/O must not fail");
+    if budget == 0 && !records.is_empty() {
+        assert!(stats.segments > 0, "budget 0 must seal every non-empty batch");
+    }
+
+    // snapshot() merges while the collector stays live; into_datasets()
+    // merges again as a fresh generation. Both must equal the in-memory
+    // model, row for row.
+    let snap = spilled.snapshot();
+    let owned = spilled.into_datasets();
+    let model = unbounded.into_datasets();
+    for got in [&snap, &owned] {
+        assert_eq!(got.packet_stats, model.packet_stats);
+        assert_eq!(got.flows, model.flows);
+        assert_eq!(got.dns, model.dns);
+        assert_eq!(got.macs, model.macs);
+        assert_eq!(got.wifi, model.wifi);
+        assert_eq!(got.associations, model.associations);
+        assert_eq!(got.latency, model.latency);
+    }
+    assert_eq!(
+        snap.flows.iter().collect::<Vec<_>>(),
+        model.flows.iter().collect::<Vec<_>>(),
+        "spilled per-row iteration must match the in-memory merge"
+    );
+    for router in ROUTERS {
+        assert_eq!(
+            snap.packet_stats.router(RouterId(router)).collect::<Vec<_>>(),
+            model.packet_stats.router(RouterId(router)).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            snap.wifi.router(RouterId(router)).collect::<Vec<_>>(),
+            model.wifi.router(RouterId(router)).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            snap.latency.router(RouterId(router)).collect::<Vec<_>>(),
+            model.latency.router(RouterId(router)).collect::<Vec<_>>(),
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn spill_merge_equals_in_memory_model(
+        specs in specs(),
+        batch in 1usize..64,
+        budget in prop_oneof![Just(0u64), 1u64..8192],
+    ) {
+        assert_spill_matches_memory(specs, batch, budget);
+    }
+
+    #[test]
+    fn spill_everything_budget_zero_equals_in_memory_model(
+        specs in specs(),
+        batch in 1usize..16,
+    ) {
+        assert_spill_matches_memory(specs, batch, 0);
+    }
+}

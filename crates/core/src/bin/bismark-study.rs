@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bismark-study run   [--seed N] [--days D | --full] [--homes H] [--threads T]
+//!                     [--spill-budget BYTES] [--spill-dir DIR]
 //!                     [--faults SCENARIO] [--report FILE] [--export FILE]
 //!                     [--metrics FILE] [--metrics-text] [--validate]
 //! bismark-study list-figures
@@ -14,6 +15,11 @@
 //! `--homes H` scales the deployment generatively (country mix preserved)
 //! past the paper's 126 homes; it is a quick-mode axis and cannot be
 //! combined with `--full`, whose 197-day study is pinned to Table 1.
+//! `--spill-budget BYTES` caps collector memory: past the budget, shards
+//! seal their columnar tables into disk segments (under `--spill-dir`, or
+//! the OS temp dir) and the snapshot k-way-merges them back — reports are
+//! byte-identical to the unbounded run. `BYTES` takes an optional binary
+//! suffix: `4GiB`, `512MiB`, `64KiB`, or a plain byte count.
 //! `--metrics` writes the deterministic run manifest (`metrics.json`);
 //! `--metrics-text` prints the human-readable summary — including the
 //! non-deterministic wall-clock host profile — to stderr.
@@ -26,7 +32,7 @@ use bismark::validation;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
+        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--spill-budget BYTES[KiB|MiB|GiB]] [--spill-dir DIR] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
     );
     std::process::exit(2)
 }
@@ -48,6 +54,8 @@ struct RunOpts {
     full: bool,
     homes: Option<u32>,
     threads: Option<usize>,
+    spill_budget: Option<u64>,
+    spill_dir: Option<String>,
     faults: Option<String>,
     report: Option<String>,
     export: Option<String>,
@@ -70,6 +78,30 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
         raw.parse().map_err(|_| format!("flag {flag} expects a number, got {raw:?}"))
     }
+    /// A byte count with an optional binary suffix: `4GiB`, `512MiB`,
+    /// `64KiB`, `1024B`, or a plain number of bytes.
+    fn parse_bytes(flag: &str, raw: &str) -> Result<u64, String> {
+        let (digits, unit) = match raw.find(|c: char| !c.is_ascii_digit()) {
+            Some(split) => raw.split_at(split),
+            None => (raw, ""),
+        };
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| format!("flag {flag} expects a byte count, got {raw:?}"))?;
+        let scale: u64 = match unit {
+            "" | "B" => 1,
+            "KiB" => 1 << 10,
+            "MiB" => 1 << 20,
+            "GiB" => 1 << 30,
+            other => {
+                return Err(format!(
+                    "flag {flag} has unknown unit {other:?} in {raw:?} (use B, KiB, MiB, or GiB)"
+                ))
+            }
+        };
+        n.checked_mul(scale)
+            .ok_or_else(|| format!("flag {flag} overflows u64 bytes: {raw:?}"))
+    }
 
     let mut opts = RunOpts { seed: 2013, days: 30, ..RunOpts::default() };
     let mut it = args.iter();
@@ -80,6 +112,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--full" => opts.full = true,
             "--homes" => opts.homes = Some(parse_num(arg, value(arg, &mut it)?)?),
             "--threads" => opts.threads = Some(parse_num(arg, value(arg, &mut it)?)?),
+            "--spill-budget" => opts.spill_budget = Some(parse_bytes(arg, value(arg, &mut it)?)?),
+            "--spill-dir" => opts.spill_dir = Some(value(arg, &mut it)?.clone()),
             "--faults" => opts.faults = Some(value(arg, &mut it)?.clone()),
             "--report" => opts.report = Some(value(arg, &mut it)?.clone()),
             "--export" => opts.export = Some(value(arg, &mut it)?.clone()),
@@ -95,6 +129,12 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     if opts.homes.is_some() && opts.full {
         return Err(
             "flag --homes cannot be combined with --full (the 197-day full study is pinned to the 126-home Table 1 deployment)"
+                .to_string(),
+        );
+    }
+    if opts.spill_dir.is_some() && opts.spill_budget.is_none() {
+        return Err(
+            "flag --spill-dir requires --spill-budget (a directory without a budget never spills)"
                 .to_string(),
         );
     }
@@ -124,6 +164,12 @@ fn run(args: &[String]) {
             std::process::exit(2)
         }));
     }
+    if let Some(budget_bytes) = opts.spill_budget {
+        config.spill = Some(collector::SpillConfig {
+            budget_bytes,
+            dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
+        });
+    }
 
     eprintln!(
         "running seed {} over {:.0} virtual days across {} homes on {} thread{}...",
@@ -142,6 +188,17 @@ fn run(args: &[String]) {
         output.datasets.record_count(),
         output.datasets.heartbeats.len()
     );
+    if let Some(stats) = &output.spill {
+        eprintln!(
+            "spill: {} segments, {:.1} MiB written, {:.1} MiB behind the merged datasets",
+            stats.segments,
+            stats.bytes_written as f64 / (1024.0 * 1024.0),
+            output.datasets.spilled_bytes() as f64 / (1024.0 * 1024.0)
+        );
+        if let Some(e) = &stats.error {
+            eprintln!("warning: spilling degraded to in-memory after an I/O error: {e}");
+        }
+    }
     if config.faults.is_some() {
         let c = output.upload_counters;
         eprintln!(
@@ -200,14 +257,25 @@ fn run(args: &[String]) {
         manifest.set_meta("faults", opts.faults.as_deref().unwrap_or("none"));
         // Host facts (peak RSS) render only in the text summary; putting
         // them in meta would leak machine state into metrics.json.
-        if let Some(peak) = peak_rss_bytes() {
-            manifest.set_host("peak_rss_bytes", peak.to_string());
-            manifest.set_host("peak_rss_mib", format!("{:.1}", peak as f64 / (1024.0 * 1024.0)));
+        match peak_rss_bytes() {
+            Some(peak) => {
+                manifest.set_host("peak_rss_bytes", peak.to_string());
+                manifest
+                    .set_host("peak_rss_mib", format!("{:.1}", peak as f64 / (1024.0 * 1024.0)));
+            }
+            // Off Linux (or with procfs hidden) emit an explicit marker:
+            // manifest-diffing tools must not misread absence as zero.
+            None => manifest.set_host("peak_rss_bytes", "unavailable"),
         }
         manifest.set_host(
             "columnar_heap_bytes",
             output.datasets.columnar_heap_bytes().to_string(),
         );
+        if let Some(stats) = &output.spill {
+            manifest.set_host("spill_segments", stats.segments.to_string());
+            manifest.set_host("spill_bytes_written", stats.bytes_written.to_string());
+            manifest.set_host("spilled_bytes", output.datasets.spilled_bytes().to_string());
+        }
         if let Some(path) = &opts.metrics {
             std::fs::write(path, manifest.to_json()).expect("write metrics file");
             eprintln!("metrics written to {path}");
@@ -289,6 +357,7 @@ mod tests {
     fn all_flags_round_trip() {
         let opts = parse_run(&strs(&[
             "--seed", "7", "--days", "20", "--homes", "500", "--threads", "2",
+            "--spill-budget", "64MiB", "--spill-dir", "/tmp/spill",
             "--faults", "collector-flap", "--report", "r.txt", "--export", "e.json",
             "--metrics", "m.json", "--metrics-text", "--validate",
         ]))
@@ -301,6 +370,8 @@ mod tests {
                 full: false,
                 homes: Some(500),
                 threads: Some(2),
+                spill_budget: Some(64 << 20),
+                spill_dir: Some("/tmp/spill".into()),
                 faults: Some("collector-flap".into()),
                 report: Some("r.txt".into()),
                 export: Some("e.json".into()),
@@ -309,6 +380,40 @@ mod tests {
                 validate: true,
             }
         );
+    }
+
+    #[test]
+    fn spill_budget_accepts_binary_suffixes() {
+        for (raw, bytes) in [
+            ("4GiB", 4u64 << 30),
+            ("512MiB", 512 << 20),
+            ("64KiB", 64 << 10),
+            ("1024B", 1024),
+            ("123456", 123_456),
+            ("0", 0),
+        ] {
+            let opts = parse_run(&strs(&["--spill-budget", raw])).unwrap();
+            assert_eq!(opts.spill_budget, Some(bytes), "parsing {raw}");
+        }
+        assert_eq!(parse_run(&strs(&["--spill-budget", "4GiB"])).unwrap().spill_budget,
+                   Some(4_294_967_296));
+    }
+
+    #[test]
+    fn malformed_spill_budget_is_rejected_by_name() {
+        for raw in ["lots", "4GB", "1.5GiB", "GiB", "-1", "99999999999GiB", "4 GiB"] {
+            let err = parse_run(&strs(&["--spill-budget", raw])).unwrap_err();
+            assert!(err.contains("--spill-budget"), "error should name the flag: {err}");
+        }
+        let err = parse_run(&strs(&["--spill-budget"])).unwrap_err();
+        assert!(err.contains("--spill-budget"), "{err}");
+    }
+
+    #[test]
+    fn spill_dir_without_budget_is_rejected_naming_both_flags() {
+        let err = parse_run(&strs(&["--spill-dir", "/tmp/x"])).unwrap_err();
+        assert!(err.contains("--spill-dir"), "{err}");
+        assert!(err.contains("--spill-budget"), "{err}");
     }
 
     #[test]

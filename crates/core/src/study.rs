@@ -3,7 +3,7 @@
 
 use crate::homesim::{HomeSim, SimParams};
 use collector::windows::{self, Window};
-use collector::{Collector, Datasets, RouterMeta, UploadCounters};
+use collector::{Collector, Datasets, RouterMeta, SpillConfig, SpillStats, UploadCounters};
 use faultlab::{FaultPlan, FaultScenario};
 use firmware::records::RouterId;
 use household::domains::DomainUniverse;
@@ -84,6 +84,11 @@ pub struct StudyConfig {
     /// disengages the fault subsystem entirely: the run is byte-identical
     /// to one from a build without faultlab at all.
     pub faults: Option<FaultScenario>,
+    /// Out-of-core memory budget. `None` (the default) keeps every record
+    /// in RAM; `Some` makes collector shards seal their columnar tables to
+    /// disk segments past the budget and k-way-merge them back at snapshot
+    /// — reports stay byte-identical to the unbounded run.
+    pub spill: Option<SpillConfig>,
 }
 
 impl StudyConfig {
@@ -96,6 +101,7 @@ impl StudyConfig {
             threads: default_threads(),
             collector_outages: Vec::new(),
             faults: None,
+            spill: None,
         }
     }
 
@@ -113,6 +119,7 @@ impl StudyConfig {
             threads: default_threads(),
             collector_outages: Vec::new(),
             faults: None,
+            spill: None,
         }
     }
 }
@@ -150,6 +157,9 @@ pub struct StudyOutput {
     /// Heartbeat datagrams the collector dropped during announced
     /// downtime.
     pub dropped_in_downtime: u64,
+    /// Out-of-core accounting, present only when the study ran with a
+    /// spill budget ([`StudyConfig::spill`]).
+    pub spill: Option<SpillStats>,
 }
 
 impl StudyWindows {
@@ -212,6 +222,11 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     let universe = DomainUniverse::standard();
     let zone = universe.build_zone();
     let collector = Collector::new();
+    if let Some(spill) = &config.spill {
+        collector
+            .set_spill(spill)
+            .expect("spill directory must be creatable before the study starts");
+    }
     collector.set_outages(config.collector_outages.clone());
     if !fault_plan.collector_downtime.is_empty() {
         collector.set_downtime(fault_plan.collector_downtime.clone());
@@ -256,6 +271,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     collector.publish_metrics();
     let upload_counters = collector.upload_counters();
     let dropped_in_downtime = collector.dropped_in_downtime();
+    let spill = collector.spill_stats();
     let datasets = collector.into_datasets();
     let snapshot = snap_start.elapsed();
     publish_study_metrics(&homes, &datasets);
@@ -271,6 +287,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
         fault_plan,
         upload_counters,
         dropped_in_downtime,
+        spill,
     }
 }
 
@@ -350,5 +367,28 @@ mod tests {
         let report_a = a.report().render(&a.datasets);
         let report_b = b.report().render(&b.datasets);
         assert_eq!(report_a, report_b);
+    }
+
+    #[test]
+    fn spilled_study_report_is_byte_identical_to_unbounded() {
+        let unbounded = run_study(&StudyConfig::quick(11, 5));
+        let mut cfg = StudyConfig::quick(11, 5);
+        // Small enough that the traffic tables cross it many times over.
+        cfg.spill = Some(SpillConfig { budget_bytes: 1 << 18, dir: None });
+        let spilled = run_study(&cfg);
+        let stats = spilled.spill.as_ref().expect("spill stats present when armed");
+        assert!(stats.segments > 0, "budget must actually be exceeded");
+        assert_eq!(stats.error, None);
+        assert!(spilled.datasets.spilled_bytes() > 0);
+        assert_eq!(unbounded.spill, None);
+        assert_eq!(unbounded.datasets.packet_stats, spilled.datasets.packet_stats);
+        assert_eq!(unbounded.datasets.flows, spilled.datasets.flows);
+        assert_eq!(unbounded.datasets.dns, spilled.datasets.dns);
+        assert_eq!(unbounded.datasets.macs, spilled.datasets.macs);
+        assert_eq!(
+            unbounded.report().render(&unbounded.datasets),
+            spilled.report().render(&spilled.datasets),
+            "spilled report must be byte-identical to the in-memory run"
+        );
     }
 }

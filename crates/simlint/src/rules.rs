@@ -45,10 +45,14 @@ const DATASET_CRATES: &[&str] = &[
     "crates/core/src/",
 ];
 
-/// Files making up the idempotent ingest / reliable upload path.
+/// Files making up the idempotent ingest / reliable upload path. The
+/// spill module is included because segment I/O runs underneath ingestion:
+/// a disk error must surface as a `Result` (degrading to in-memory), never
+/// as a panic that takes the collector down mid-study.
 const INGEST_FILES: &[&str] = &[
     "crates/collector/src/server.rs",
     "crates/collector/src/export.rs",
+    "crates/collector/src/spill.rs",
     "crates/firmware/src/uploader.rs",
 ];
 

@@ -46,17 +46,20 @@ for _ in $(seq "$BENCH_RUNS"); do
     fresh=$(awk -v a="$fresh" -v b="$run" 'BEGIN { print (b > a) ? b : a }')
 done
 # Gate against the last committed *comparable* entry: the fresh run is a
-# fault-free, single-thread, 20-day, 126-home quick study, so skip faulted
-# entries (reliable-upload pipeline under injected failures), thread- and
-# homes-scaling series, and any entry measured over a different horizon.
+# fault-free, single-thread, 20-day, 126-home, unbounded-memory quick
+# study, so skip faulted entries (reliable-upload pipeline under injected
+# failures), thread- and homes-scaling series, spilled entries (bounded
+# memory does strictly more I/O), and any entry measured over a different
+# horizon.
 baseline=$(awk '
-    /\{/      { rps = ""; faulted = 0; scaled = 0; threads = ""; days = "" }
+    /\{/      { rps = ""; faulted = 0; scaled = 0; spilled = 0; threads = ""; days = "" }
     /"records_per_sec":/ { s = $0; gsub(/[^0-9.]/, "", s); rps = s }
     /"threads":/         { s = $0; gsub(/[^0-9]/, "", s); threads = s }
     /"days":/            { s = $0; gsub(/[^0-9]/, "", s); days = s }
     /"faults":/          { faulted = 1 }
     /"homes":/           { scaled = 1 }
-    /\}/      { if (rps != "" && !faulted && !scaled && threads == "1" && days == "20") last = rps }
+    /"spill":/           { spilled = 1 }
+    /\}/      { if (rps != "" && !faulted && !scaled && !spilled && threads == "1" && days == "20") last = rps }
     END       { print last }
 ' BENCH_simulate.json)
 
@@ -92,6 +95,17 @@ if [ -n "${RECORD_SCALING:-}" ]; then
     for h in 126 1000 10000; do
         ./target/release/e2e --days 7 --homes "$h" --label "homes-$h"
     done
+    echo "== out-of-core spill series (appended to BENCH_simulate.json) =="
+    # Spill-off vs spill-on pair at the standard quick study, then a
+    # 50k-home run under a 512 MiB budget (its columnar heap is ~1 GiB,
+    # so roughly half goes out-of-core) — the bounded-memory
+    # configuration the 100k–1M scaling work targets. Spilled entries
+    # carry a "spill" key, so the baseline gate above never compares
+    # against them.
+    ./target/release/e2e --label "spill-off"
+    ./target/release/e2e --label "spill-on" --spill-budget 4MiB
+    ./target/release/e2e --days 7 --homes 50000 --label "homes-50000-spilled" \
+        --spill-budget 512MiB
 fi
 
 echo "baseline: $baseline records/sec (last committed entry)"

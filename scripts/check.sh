@@ -73,6 +73,52 @@ assert g["dataset_heartbeat_records"] > g["dataset_uptime_records"], g
 print("scale smoke OK: 5000 homes, %d packet-stat records"
       % g["dataset_packet_stat_records"])
 PYEOF
+    echo "== bounded-memory smoke (20000 homes under a 4MiB spill budget) =="
+    # The same 20k-home study unbounded and under a small out-of-core
+    # budget: the spilled run must actually seal segments, keep peak RSS
+    # bounded (budget + a fixed slack for the non-columnar simulation
+    # state, which the budget deliberately does not govern), and produce a
+    # byte-identical report. 4 MiB is two orders of magnitude under this
+    # study's columnar heap (all seven high-volume tables), so every
+    # shard seals many segments.
+    ./target/release/bismark-study run --seed 7 --days 2 --homes 20000 \
+        --report "$smoke_dir/unbounded_report.txt"
+    ./target/release/bismark-study run --seed 7 --days 2 --homes 20000 \
+        --spill-budget 4MiB --spill-dir "$smoke_dir/spill" \
+        --report "$smoke_dir/spill_report.txt" \
+        --metrics "$smoke_dir/spill_metrics.json" --metrics-text \
+        2> "$smoke_dir/spill_stderr.txt" \
+        || { cat "$smoke_dir/spill_stderr.txt" >&2; exit 1; }
+    cmp "$smoke_dir/unbounded_report.txt" "$smoke_dir/spill_report.txt" \
+        && echo "spilled report is byte-identical to the unbounded run"
+    python3 - "$smoke_dir/spill_metrics.json" "$smoke_dir/spill_stderr.txt" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+c = m["counters"]
+assert c.get("spill_segments_written_total", 0) > 0, c
+assert c.get("spill_bytes_written_total", 0) > 0, c
+assert c.get("spill_errors_total", 1) == 0, c
+assert m["gauges"].get("spill_merge_fanin", 0) > 0, m["gauges"]
+with open(sys.argv[2]) as f:
+    stderr = f.read()
+peak = None
+for line in stderr.splitlines():
+    parts = line.split()
+    if parts[:1] == ["peak_rss_bytes"] and len(parts) == 2 and parts[1].isdigit():
+        peak = int(parts[1])
+if peak is None:
+    assert "peak_rss_bytes  unavailable" in stderr, "peak_rss_bytes line missing"
+    print("bounded-memory smoke OK (RSS check skipped: no VmHWM on this host)")
+else:
+    budget = 4 * 2**20
+    slack = 896 * 2**20  # deployment + runlogs + row tables + merge buffers
+    assert peak < budget + slack, \
+        f"peak RSS {peak} exceeds budget {budget} + slack {slack}"
+    print("bounded-memory smoke OK: %d segments, %.0f MiB spilled, peak RSS %.0f MiB"
+          % (c["spill_segments_written_total"],
+             c["spill_bytes_written_total"] / 2**20, peak / 2**20))
+PYEOF
 fi
 
 echo "== simlint =="

@@ -1,0 +1,40 @@
+//! Out-of-core spill, end to end: the full quick study run under a tight
+//! `--spill-budget` must be observationally identical to the unbounded
+//! in-memory run — byte-identical rendered report and byte-identical
+//! public-release export — while actually sealing segments to disk.
+
+use bismark::study::{run_study, StudyConfig};
+use collector::SpillConfig;
+
+#[test]
+fn spilled_quick_study_report_and_export_are_byte_identical() {
+    let unbounded = run_study(&StudyConfig::quick(7, 20));
+    let mut config = StudyConfig::quick(7, 20);
+    // ~1 MiB across 128 shards: every active traffic shard seals multiple
+    // segment generations over 20 virtual days.
+    config.spill = Some(SpillConfig { budget_bytes: 1 << 20, dir: None });
+    let spilled = run_study(&config);
+
+    let stats = spilled.spill.as_ref().expect("spill stats present when armed");
+    assert!(stats.segments > 0, "a 1 MiB budget must force segment seals");
+    assert!(stats.bytes_written > 0);
+    assert_eq!(stats.error, None, "segment I/O must not fail");
+    assert_eq!(unbounded.spill, None, "unarmed run must not report spill stats");
+    assert!(
+        spilled.datasets.spilled_bytes() > 0,
+        "merged data sets must be backed by on-disk segments"
+    );
+    assert_eq!(unbounded.datasets.spilled_bytes(), 0);
+
+    let report_memory = unbounded.report().render(&unbounded.datasets);
+    let report_spilled = spilled.report().render(&spilled.datasets);
+    assert_eq!(report_memory, report_spilled, "reports must match byte for byte");
+
+    let export_memory = collector::export::to_json(&unbounded.datasets).expect("export");
+    let export_spilled = collector::export::to_json(&spilled.datasets).expect("export");
+    assert_eq!(export_memory, export_spilled, "JSON exports must match byte for byte");
+
+    let csv_memory = collector::export::to_csv(&unbounded.datasets);
+    let csv_spilled = collector::export::to_csv(&spilled.datasets);
+    assert_eq!(csv_memory, csv_spilled, "CSV exports must match byte for byte");
+}
