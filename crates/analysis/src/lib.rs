@@ -13,6 +13,8 @@
 //! * [`artifacts`] — correlated-gap detection separating collector-side
 //!   failures from genuine home downtime (§3.3's limitation, auditable);
 //! * [`caps`] — the uCap usage-cap manager (paper ref [24]);
+//! * [`natchar`] — NAT-type characterization and CGN detection from the
+//!   firmware's STUN-style probe tables;
 //! * [`fingerprint`] — §7's device-fingerprinting future work, implemented;
 //! * [`render`] — plain-text plots and tables;
 //! * [`report`] — [`report::StudyReport`], the whole paper in one struct.
@@ -28,6 +30,7 @@ pub mod highlights;
 pub mod index;
 pub mod latency;
 pub mod infrastructure;
+pub mod natchar;
 pub mod render;
 pub mod report;
 pub mod stats;

@@ -92,6 +92,9 @@ pub struct StudyReport {
     pub coverage: Vec<(household::Country, f64, usize)>,
     /// Companion latency data set, summarized per region.
     pub latency: Vec<crate::latency::RegionLatency>,
+    /// NAT characterization (`None` unless the run collected NAT probes,
+    /// i.e. a `--cgn` scenario was armed).
+    pub natchar: Option<crate::natchar::NatCharacterization>,
 }
 
 /// §4's artifacts, computed as one unit (they all derive from
@@ -142,6 +145,7 @@ struct DeploymentPart {
     table1: Vec<highlights::Table1Row>,
     table2: Vec<highlights::Table2Row>,
     latency: Vec<crate::latency::RegionLatency>,
+    natchar: Option<crate::natchar::NatCharacterization>,
 }
 
 /// Compute one artifact while measuring its wall-clock cost into the named
@@ -207,6 +211,7 @@ impl StudyReport {
             table6: usage_part.table6,
             coverage: avail.coverage,
             latency: deploy.latency,
+            natchar: deploy.natchar,
             routers: avail.routers,
             windows,
         }
@@ -312,6 +317,9 @@ impl StudyReport {
             }),
             latency: timed("analysis_latency", || {
                 crate::latency::by_region(data, windows.heartbeats)
+            }),
+            natchar: timed("analysis_natchar", || {
+                (!data.nat_probes.is_empty()).then(|| crate::natchar::characterize(data))
             }),
         }
     }
@@ -639,6 +647,63 @@ impl StudyReport {
             self.table6.top_domain_connection_share * 100.0,
             self.table6.whitelisted_byte_fraction * 100.0,
         ));
+        if let Some(nc) = &self.natchar {
+            out.push('\n');
+            out.push_str(&render::table(
+                "NAT characterization: modal NAT type per home",
+                &["NAT type", "homes"],
+                &nc.type_counts
+                    .iter()
+                    .map(|(t, n)| vec![t.name().to_string(), n.to_string()])
+                    .collect::<Vec<_>>(),
+            ));
+            out.push_str(&render::table(
+                "CGN detection by country (homes whose probes flagged CGN)",
+                &["country", "flagged", "probed", "rate"],
+                &nc.detection_by_country
+                    .iter()
+                    .map(|c| {
+                        vec![
+                            c.country.code().to_string(),
+                            c.flagged.to_string(),
+                            c.probed.to_string(),
+                            format!("{:.0}%", 100.0 * c.flagged as f64 / c.probed.max(1) as f64),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+            let locals: Vec<firmware::records::NatType> = firmware::records::NatType::ALL
+                .into_iter()
+                .filter(|&t| nc.matrix.iter().any(|c| c.local == t))
+                .collect();
+            let mut header = vec!["local \\ peer"];
+            header.extend(firmware::records::NatType::ALL.iter().map(|t| t.name()));
+            out.push_str(&render::table(
+                "Hole-punch success by NAT-type pair (successes/attempts)",
+                &header,
+                &locals
+                    .iter()
+                    .map(|&l| {
+                        let mut row = vec![l.name().to_string()];
+                        row.extend(firmware::records::NatType::ALL.iter().map(|&p| {
+                            nc.matrix
+                                .iter()
+                                .find(|c| c.local == l && c.peer == p)
+                                .map_or("-".to_string(), |c| {
+                                    format!("{}/{}", c.successes, c.attempts)
+                                })
+                        }));
+                        row
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+            out.push_str(&format!(
+                "  NAT probes: {} across {} home(s); punch trials: {}\n",
+                nc.probes,
+                nc.homes.len(),
+                nc.trials,
+            ));
+        }
         out
     }
 }

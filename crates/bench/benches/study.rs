@@ -50,6 +50,7 @@ fn bench_single_home(c: &mut Criterion) {
                     seed: 11,
                     reliable_upload: false,
                     faults: None,
+                    cgn: None,
                 })
                 .run(&collector);
                 black_box(collector.snapshot().record_count())

@@ -10,13 +10,15 @@
 //! ```text
 //! e2e [--seed N] [--days D] [--homes H] [--threads T] [--label STR]
 //!     [--spill-budget BYTES[KiB|MiB|GiB]] [--faults SCENARIO]
-//!     [--output FILE] [--dry-run]
+//!     [--cgn SCENARIO] [--output FILE] [--dry-run]
 //! ```
 //!
 //! With `--faults` the study runs under a faultlab scenario: the reliable
 //! upload queue engages and the entry records the scenario name, so the
 //! committed file can carry fault-free vs faulted pairs demonstrating the
-//! pipeline's throughput cost.
+//! pipeline's throughput cost. `--cgn` does the same for the carrier-grade
+//! NAT tier (second translation hop plus the STUN probe and hole-punch
+//! experiments); entries carry a `cgn` key the regression gate skips.
 
 use bismark::study::{run_study, StudyConfig};
 use faultlab::FaultScenario;
@@ -51,6 +53,9 @@ pub struct BenchEntry {
     /// Faultlab scenario active during the run, if any. Absent in
     /// fault-free entries (including all entries predating faultlab).
     pub faults: Option<String>,
+    /// CGN scenario active during the run, if any. Absent in CGN-free
+    /// entries (including all entries predating the CGN tier).
+    pub cgn: Option<String>,
     /// Deployment size when scaled past the paper's 126 homes. Absent for
     /// the calibrated Table 1 deployment (including pre-scaling entries).
     pub homes: Option<u64>,
@@ -76,6 +81,9 @@ impl serde::Serialize for BenchEntry {
         if let Some(faults) = &self.faults {
             entries.push((String::from("faults"), serde::Serialize::to_value(faults)));
         }
+        if let Some(cgn) = &self.cgn {
+            entries.push((String::from("cgn"), serde::Serialize::to_value(cgn)));
+        }
         if let Some(homes) = &self.homes {
             entries.push((String::from("homes"), serde::Serialize::to_value(homes)));
         }
@@ -91,6 +99,10 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
         let entries =
             v.as_map().ok_or_else(|| serde::de::Error::expected("map", "BenchEntry", v))?;
         let faults = match entries.iter().find(|(k, _)| k == "faults") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
+        let cgn = match entries.iter().find(|(k, _)| k == "cgn") {
             Some((_, v)) => serde::Deserialize::from_value(v)?,
             None => None,
         };
@@ -113,6 +125,7 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
             analyze_secs: serde::de::field(entries, "analyze_secs", "BenchEntry")?,
             records_per_sec: serde::de::field(entries, "records_per_sec", "BenchEntry")?,
             faults,
+            cgn,
             homes,
             spill,
         })
@@ -159,6 +172,12 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let cgn: Option<cgn::CgnScenario> = arg_value(&args, "--cgn").map(|v| {
+        v.parse().unwrap_or_else(|err| {
+            eprintln!("e2e: {err}");
+            std::process::exit(2);
+        })
+    });
     // Raw string kept verbatim for the JSON entry; parsed for the run.
     let spill = arg_value(&args, "--spill-budget");
     let spill_budget = spill.as_deref().map(|raw| {
@@ -174,14 +193,16 @@ fn main() {
     }
     config.threads = threads;
     config.faults = faults;
+    config.cgn = cgn;
     if let Some(budget_bytes) = spill_budget {
         config.spill = Some(collector::SpillConfig { budget_bytes, dir: None });
     }
     eprintln!(
-        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}{}",
+        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}{}{}",
         config.homes,
         if threads == 1 { "" } else { "s" },
         faults.map_or_else(String::new, |f| format!(", faults: {f}")),
+        cgn.map_or_else(String::new, |c| format!(", cgn: {c}")),
         spill.as_deref().map_or_else(String::new, |s| format!(", spill budget: {s}"))
     );
 
@@ -205,6 +226,7 @@ fn main() {
         analyze_secs: analyze.as_secs_f64(),
         records_per_sec: records as f64 / simulate_secs,
         faults: faults.map(|f| f.to_string()),
+        cgn: cgn.map(|c| c.to_string()),
         homes: homes.filter(|&h| h != 126).map(u64::from),
         spill,
     };

@@ -1,0 +1,118 @@
+//! The full translation chain a probe packet traverses: home NAT first,
+//! then (when the home is CGN-fronted) the carrier-grade hop.
+//!
+//! This is the [`firmware::natprobe::UdpPath`] the gateway's STUN-style
+//! experiment runs against, so the classified NAT type is a mechanical
+//! consequence of the real translation state — never a label copied from
+//! the plan.
+
+use firmware::natprobe::UdpPath;
+use simnet::nat::Nat;
+use simnet::packet::{Endpoint, FiveTuple, IpProtocol};
+use simnet::time::SimTime;
+
+use crate::hop::CgnHop;
+
+/// Borrowed view over a home's translation path.
+pub struct NatChain<'a> {
+    home: &'a mut Nat,
+    cgn: Option<&'a mut CgnHop>,
+}
+
+impl<'a> NatChain<'a> {
+    /// Chain the home NAT with an optional CGN hop.
+    pub fn new(home: &'a mut Nat, cgn: Option<&'a mut CgnHop>) -> NatChain<'a> {
+        NatChain { home, cgn }
+    }
+}
+
+impl UdpPath for NatChain<'_> {
+    fn send(&mut self, now: SimTime, src: Endpoint, dst: Endpoint) -> Option<Endpoint> {
+        let flow = FiveTuple { proto: IpProtocol::Udp, src, dst };
+        let out = self.home.translate_outbound(now, flow).ok()?;
+        match self.cgn.as_deref_mut() {
+            None => Some(out.wan_flow.src),
+            Some(hop) => hop.translate_outbound(now, out.wan_flow).ok().map(|f| f.src),
+        }
+    }
+
+    fn admits(&mut self, now: SimTime, from: Endpoint, to: Endpoint) -> bool {
+        match self.cgn.as_deref_mut() {
+            None => {
+                let flow = FiveTuple { proto: IpProtocol::Udp, src: from, dst: to };
+                self.home.translate_inbound(now, flow).is_ok()
+            }
+            Some(hop) => {
+                let Some(home_wan) = hop.admits_inbound(now, from, to, IpProtocol::Udp) else {
+                    return false;
+                };
+                let flow = FiveTuple { proto: IpProtocol::Udp, src: from, dst: home_wan };
+                self.home.translate_inbound(now, flow).is_ok()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hop::BoxBehavior;
+    use firmware::natprobe::{classify, NatType, STUN_SERVERS};
+    use std::net::Ipv4Addr;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_micros(secs * 1_000_000)
+    }
+
+    fn local() -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(192, 168, 1, 1), 54_320)
+    }
+
+    const HOME_WAN: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 9);
+    const POOL: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+
+    #[test]
+    fn bare_home_nat_classifies_full_cone_with_wan_mapped_addr() {
+        let mut home = Nat::new(HOME_WAN);
+        let mut chain = NatChain::new(&mut home, None);
+        let out = classify(&mut chain, t(1), local(), &STUN_SERVERS).unwrap();
+        assert_eq!(out.nat_type, NatType::FullCone);
+        assert_eq!(out.mapped.addr, HOME_WAN, "no CGN: mapped address is the WAN address");
+    }
+
+    #[test]
+    fn chained_classification_reports_cgn_behavior_and_pool_addr() {
+        for (behavior, expected) in [
+            (BoxBehavior::FULL_CONE, NatType::FullCone),
+            (BoxBehavior::RESTRICTED, NatType::Restricted),
+            (BoxBehavior::PORT_RESTRICTED, NatType::PortRestricted),
+            (BoxBehavior::SYMMETRIC, NatType::Symmetric),
+        ] {
+            let mut home = Nat::new(HOME_WAN);
+            let mut hop = CgnHop::synthetic(behavior, POOL);
+            let mut chain = NatChain::new(&mut home, Some(&mut hop));
+            let out = classify(&mut chain, t(1), local(), &STUN_SERVERS).unwrap();
+            assert_eq!(out.nat_type, expected, "{behavior:?}");
+            assert_eq!(out.mapped.addr, POOL, "mapped address exposes the CGN pool");
+            assert_ne!(out.mapped.addr, HOME_WAN, "mapped != WAN is the CGN tell");
+        }
+    }
+
+    #[test]
+    fn blocked_cgn_hop_fails_the_probe() {
+        let mut home = Nat::new(HOME_WAN);
+        // A hop whose only lease is already over.
+        let mut hop = CgnHop::new(
+            BoxBehavior::FULL_CONE,
+            vec![crate::plan::BlockLease {
+                window: collector::Window { start: t(0), end: t(1) },
+                addr: POOL,
+                port_start: 2048,
+                port_len: 64,
+                evicted: true,
+            }],
+        );
+        let mut chain = NatChain::new(&mut home, Some(&mut hop));
+        assert!(classify(&mut chain, t(100), local(), &STUN_SERVERS).is_none());
+    }
+}

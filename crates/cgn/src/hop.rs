@@ -1,0 +1,518 @@
+//! The carrier-grade translation hop: a second NAT between a home
+//! router's WAN side and the internet.
+//!
+//! Unlike the home NAT (always endpoint-independent in both mapping and
+//! filtering — a full cone), CGN boxes in the field span the whole RFC
+//! 4787 behavior matrix, and each box only ever owns a *port block* on a
+//! shared pool address, not a whole address. This module models exactly
+//! that: mappings are confined to the currently leased block, the block
+//! can be evicted out from under the subscriber (flushing every mapping),
+//! and mapping/filtering behavior is a per-box [`BoxBehavior`] drawn at
+//! plan-compile time.
+//!
+//! Everything is `BTreeMap`/array based so iteration order — and thus
+//! LRU-eviction tie-breaking — is deterministic.
+
+use firmware::natprobe::NatType;
+use simnet::nat::NatError;
+use simnet::packet::{Endpoint, FiveTuple, IpProtocol};
+use simnet::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use crate::plan::BlockLease;
+
+/// How the box maps (lan endpoint → public port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MappingBehavior {
+    /// One public port per internal source endpoint, reused for every
+    /// destination (RFC 4787 "endpoint-independent mapping").
+    EndpointIndependent,
+    /// A fresh public port per (source, destination) pair — the symmetric
+    /// NAT of RFC 3489.
+    EndpointDependent,
+}
+
+/// Which inbound packets an established mapping admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FilteringBehavior {
+    /// Anyone may send to the mapped port (full cone).
+    EndpointIndependent,
+    /// Only addresses this mapping has sent to (address-restricted).
+    Address,
+    /// Only exact (address, port) pairs this mapping has sent to.
+    AddressAndPort,
+}
+
+/// A box's complete translation behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BoxBehavior {
+    /// Mapping discipline.
+    pub mapping: MappingBehavior,
+    /// Filtering discipline.
+    pub filtering: FilteringBehavior,
+}
+
+impl BoxBehavior {
+    /// Full-cone behavior: endpoint-independent mapping and filtering.
+    pub const FULL_CONE: BoxBehavior = BoxBehavior {
+        mapping: MappingBehavior::EndpointIndependent,
+        filtering: FilteringBehavior::EndpointIndependent,
+    };
+    /// Address-restricted cone.
+    pub const RESTRICTED: BoxBehavior = BoxBehavior {
+        mapping: MappingBehavior::EndpointIndependent,
+        filtering: FilteringBehavior::Address,
+    };
+    /// Port-restricted cone.
+    pub const PORT_RESTRICTED: BoxBehavior = BoxBehavior {
+        mapping: MappingBehavior::EndpointIndependent,
+        filtering: FilteringBehavior::AddressAndPort,
+    };
+    /// Symmetric: endpoint-dependent mapping, strictest filtering.
+    pub const SYMMETRIC: BoxBehavior = BoxBehavior {
+        mapping: MappingBehavior::EndpointDependent,
+        filtering: FilteringBehavior::AddressAndPort,
+    };
+
+    /// The NAT type a correct STUN probe through this box (behind a
+    /// full-cone home NAT) must conclude — the scoring ground truth.
+    pub fn nat_type(self) -> NatType {
+        match (self.mapping, self.filtering) {
+            (MappingBehavior::EndpointDependent, _) => NatType::Symmetric,
+            (_, FilteringBehavior::EndpointIndependent) => NatType::FullCone,
+            (_, FilteringBehavior::Address) => NatType::Restricted,
+            (_, FilteringBehavior::AddressAndPort) => NatType::PortRestricted,
+        }
+    }
+}
+
+/// Mapping key: protocol, subscriber-WAN source, and (for
+/// endpoint-dependent mapping only) the destination.
+type MapKey = (IpProtocol, Endpoint, Option<Endpoint>);
+
+/// How many contacted peers a mapping remembers for filtering decisions.
+/// The probe and hole-punch experiments contact at most four distinct
+/// endpoints per mapping; older peers age out of the ring.
+const PEER_SLOTS: usize = 4;
+
+/// Idle timeouts mirror the home NAT's (RFC 4787 minimums).
+const UDP_IDLE_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+const TCP_IDLE_TIMEOUT: SimDuration = SimDuration::from_secs(1_800);
+
+#[derive(Debug, Clone, Copy)]
+struct CgnMapping {
+    pub_port: u16,
+    last_used: SimTime,
+    /// Ring buffer of contacted peers (filtering state).
+    peers: [Endpoint; PEER_SLOTS],
+    peer_len: u8,
+    peer_next: u8,
+}
+
+impl CgnMapping {
+    fn new(pub_port: u16, now: SimTime) -> CgnMapping {
+        CgnMapping {
+            pub_port,
+            last_used: now,
+            peers: [Endpoint::new(Ipv4Addr::UNSPECIFIED, 0); PEER_SLOTS],
+            peer_len: 0,
+            peer_next: 0,
+        }
+    }
+
+    fn note_peer(&mut self, dst: Endpoint) {
+        let live = &self.peers[..self.peer_len as usize];
+        if live.contains(&dst) {
+            return;
+        }
+        self.peers[self.peer_next as usize] = dst;
+        self.peer_next = (self.peer_next + 1) % PEER_SLOTS as u8;
+        self.peer_len = (self.peer_len + 1).min(PEER_SLOTS as u8);
+    }
+
+    fn admits_from(&self, filtering: FilteringBehavior, from: Endpoint) -> bool {
+        let live = &self.peers[..self.peer_len as usize];
+        match filtering {
+            FilteringBehavior::EndpointIndependent => true,
+            FilteringBehavior::Address => live.iter().any(|p| p.addr == from.addr),
+            FilteringBehavior::AddressAndPort => live.contains(&from),
+        }
+    }
+}
+
+/// One subscriber's runtime view of the CGN box fronting it: the leased
+/// port blocks (compile-time plan) plus the live translation table.
+#[derive(Debug, Clone)]
+pub struct CgnHop {
+    behavior: BoxBehavior,
+    /// Time-ordered, non-overlapping block leases from the plan.
+    leases: Vec<BlockLease>,
+    /// Index of the first lease whose window hasn't ended yet.
+    next_lease: usize,
+    by_lan: BTreeMap<MapKey, CgnMapping>,
+    by_pub: BTreeMap<(IpProtocol, u16), MapKey>,
+    next_offset: u16,
+    mappings_created: u64,
+    evictions: u64,
+    blocked: u64,
+    flushes: u64,
+}
+
+impl CgnHop {
+    /// Build the hop from a plan assignment.
+    pub fn new(behavior: BoxBehavior, leases: Vec<BlockLease>) -> CgnHop {
+        CgnHop {
+            behavior,
+            leases,
+            next_lease: 0,
+            by_lan: BTreeMap::new(),
+            by_pub: BTreeMap::new(),
+            next_offset: 0,
+            mappings_created: 0,
+            evictions: 0,
+            blocked: 0,
+            flushes: 0,
+        }
+    }
+
+    /// A synthetic hop holding one effectively-permanent full-width lease
+    /// on `addr` — the stand-in peer stack hole-punch trials run against.
+    pub fn synthetic(behavior: BoxBehavior, addr: Ipv4Addr) -> CgnHop {
+        let forever = collector::Window {
+            start: SimTime::EPOCH,
+            end: SimTime::EPOCH + SimDuration::from_days(36_500),
+        };
+        CgnHop::new(
+            behavior,
+            vec![BlockLease {
+                window: forever,
+                addr,
+                port_start: 1024,
+                port_len: u16::MAX - 1024,
+                evicted: false,
+            }],
+        )
+    }
+
+    /// This box's behavior.
+    pub fn behavior(&self) -> BoxBehavior {
+        self.behavior
+    }
+
+    /// Live mapping count.
+    pub fn mapping_count(&self) -> usize {
+        self.by_lan.len()
+    }
+
+    /// Mappings created over the hop's lifetime.
+    pub fn mappings_created(&self) -> u64 {
+        self.mappings_created
+    }
+
+    /// Mappings evicted because the leased block's ports ran out.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Outbound packets refused because no block lease was active.
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Lease transitions that flushed live mappings.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Advance to the lease covering `now`, flushing every mapping when
+    /// the block changes (a new block means every old public port died).
+    fn active_lease(&mut self, now: SimTime) -> Option<usize> {
+        let mut advanced = false;
+        while self.next_lease < self.leases.len() && self.leases[self.next_lease].window.end <= now
+        {
+            self.next_lease += 1;
+            advanced = true;
+        }
+        if advanced && !self.by_lan.is_empty() {
+            self.by_lan.clear();
+            self.by_pub.clear();
+            self.flushes += 1;
+        }
+        let lease = self.leases.get(self.next_lease)?;
+        lease.window.contains(now).then_some(self.next_lease)
+    }
+
+    fn timeout_for(proto: IpProtocol) -> SimDuration {
+        if proto == IpProtocol::Udp {
+            UDP_IDLE_TIMEOUT
+        } else {
+            TCP_IDLE_TIMEOUT
+        }
+    }
+
+    /// Translate an outbound flow already rewritten by the home NAT (its
+    /// source is the subscriber's WAN endpoint). Creates a mapping inside
+    /// the active block if needed; fails when no lease is active.
+    pub fn translate_outbound(
+        &mut self,
+        now: SimTime,
+        flow: FiveTuple,
+    ) -> Result<FiveTuple, NatError> {
+        let Some(li) = self.active_lease(now) else {
+            self.blocked += 1;
+            return Err(NatError::PortsExhausted);
+        };
+        let lease = self.leases[li];
+        let dst_key = match self.behavior.mapping {
+            MappingBehavior::EndpointIndependent => None,
+            MappingBehavior::EndpointDependent => Some(flow.dst),
+        };
+        let key = (flow.proto, flow.src, dst_key);
+        let timeout = CgnHop::timeout_for(flow.proto);
+        if let Some(m) = self.by_lan.get_mut(&key) {
+            if now.saturating_since(m.last_used) < timeout {
+                m.last_used = now;
+                m.note_peer(flow.dst);
+                let src = Endpoint::new(lease.addr, m.pub_port);
+                return Ok(FiveTuple { proto: flow.proto, src, dst: flow.dst });
+            }
+            // Stale: the mapping outlived its idle timeout without a sweep.
+            let dead = self.by_lan.remove(&key).map(|m| m.pub_port);
+            if let Some(p) = dead {
+                self.by_pub.remove(&(flow.proto, p));
+            }
+        }
+        let port = self.alloc_port(now, &lease, flow.proto)?;
+        let mut m = CgnMapping::new(port, now);
+        m.note_peer(flow.dst);
+        self.by_lan.insert(key, m);
+        self.by_pub.insert((flow.proto, port), key);
+        self.mappings_created += 1;
+        let src = Endpoint::new(lease.addr, port);
+        Ok(FiveTuple { proto: flow.proto, src, dst: flow.dst })
+    }
+
+    /// Find a free port inside the active block, evicting the least
+    /// recently used mapping of this protocol when the block is full.
+    /// LRU ties break on `BTreeMap` key order, so eviction is fully
+    /// deterministic.
+    fn alloc_port(
+        &mut self,
+        _now: SimTime,
+        lease: &BlockLease,
+        proto: IpProtocol,
+    ) -> Result<u16, NatError> {
+        let len = lease.port_len;
+        if len == 0 {
+            return Err(NatError::PortsExhausted);
+        }
+        for i in 0..len {
+            let candidate = lease.port_start + (self.next_offset.wrapping_add(i) % len);
+            if !self.by_pub.contains_key(&(proto, candidate)) {
+                self.next_offset = self.next_offset.wrapping_add(i).wrapping_add(1) % len;
+                return Ok(candidate);
+            }
+        }
+        let victim = self
+            .by_lan
+            .iter()
+            .filter(|((p, _, _), _)| *p == proto)
+            .min_by_key(|(_, m)| m.last_used)
+            .map(|(k, m)| (*k, m.pub_port));
+        match victim {
+            Some((key, port)) => {
+                self.by_lan.remove(&key);
+                self.by_pub.remove(&(proto, port));
+                self.evictions += 1;
+                Ok(port)
+            }
+            None => Err(NatError::PortsExhausted),
+        }
+    }
+
+    /// Would an inbound datagram from `from` addressed to public endpoint
+    /// `to` pass the box's filtering? Returns the subscriber-WAN endpoint
+    /// to forward to (the home NAT's side) when admitted. Never creates a
+    /// mapping; refreshes the matched one, exactly like the home NAT's
+    /// inbound path.
+    pub fn admits_inbound(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        proto: IpProtocol,
+    ) -> Option<Endpoint> {
+        let li = self.active_lease(now)?;
+        if to.addr != self.leases[li].addr {
+            return None;
+        }
+        let key = *self.by_pub.get(&(proto, to.port))?;
+        let timeout = CgnHop::timeout_for(proto);
+        let m = self.by_lan.get_mut(&key)?;
+        if now.saturating_since(m.last_used) >= timeout {
+            self.by_lan.remove(&key);
+            self.by_pub.remove(&(proto, to.port));
+            return None;
+        }
+        if !m.admits_from(self.behavior.filtering, from) {
+            return None;
+        }
+        m.last_used = now;
+        Some(key.1)
+    }
+
+    /// Drop mappings idle past their protocol timeout.
+    pub fn expire(&mut self, now: SimTime) {
+        let by_pub = &mut self.by_pub;
+        self.by_lan.retain(|(proto, _, _), m| {
+            let live = now.saturating_since(m.last_used) < CgnHop::timeout_for(*proto);
+            if !live {
+                by_pub.remove(&(*proto, m.pub_port));
+            }
+            live
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collector::Window;
+
+    const POOL: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+    const SUB_WAN: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 9);
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_micros(secs * 1_000_000)
+    }
+
+    fn lease(start: u64, end: u64, port_start: u16, port_len: u16) -> BlockLease {
+        BlockLease {
+            window: Window { start: t(start), end: t(end) },
+            addr: POOL,
+            port_start,
+            port_len,
+            evicted: false,
+        }
+    }
+
+    fn out_flow(sport: u16, dst: Endpoint) -> FiveTuple {
+        FiveTuple {
+            proto: IpProtocol::Udp,
+            src: Endpoint::new(SUB_WAN, sport),
+            dst,
+        }
+    }
+
+    fn server(n: u8) -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(192, 0, 2, n), 3478)
+    }
+
+    #[test]
+    fn eim_reuses_port_across_destinations() {
+        let mut hop = CgnHop::new(BoxBehavior::FULL_CONE, vec![lease(0, 10_000, 2048, 64)]);
+        let a = hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap();
+        let b = hop.translate_outbound(t(2), out_flow(5000, server(20))).unwrap();
+        assert_eq!(a.src, b.src, "endpoint-independent mapping");
+        assert_eq!(a.src.addr, POOL);
+        assert!(a.src.port >= 2048 && a.src.port < 2048 + 64, "inside the leased block");
+    }
+
+    #[test]
+    fn edm_allocates_per_destination() {
+        let mut hop = CgnHop::new(BoxBehavior::SYMMETRIC, vec![lease(0, 10_000, 2048, 64)]);
+        let a = hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap();
+        let b = hop.translate_outbound(t(2), out_flow(5000, server(20))).unwrap();
+        assert_ne!(a.src.port, b.src.port, "endpoint-dependent mapping");
+        assert_eq!(hop.mapping_count(), 2);
+    }
+
+    #[test]
+    fn filtering_disciplines_admit_correctly() {
+        for (behavior, any, same_addr, exact) in [
+            (BoxBehavior::FULL_CONE, true, true, true),
+            (BoxBehavior::RESTRICTED, false, true, true),
+            (BoxBehavior::PORT_RESTRICTED, false, false, true),
+        ] {
+            let mut hop = CgnHop::new(behavior, vec![lease(0, 10_000, 2048, 64)]);
+            let mapped =
+                hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap().src;
+            let stranger = Endpoint::new(Ipv4Addr::new(203, 0, 113, 5), 9);
+            let same = Endpoint::new(server(10).addr, 9999);
+            assert_eq!(
+                hop.admits_inbound(t(2), stranger, mapped, IpProtocol::Udp).is_some(),
+                any,
+                "{behavior:?} stranger"
+            );
+            assert_eq!(
+                hop.admits_inbound(t(2), same, mapped, IpProtocol::Udp).is_some(),
+                same_addr,
+                "{behavior:?} same-address"
+            );
+            assert_eq!(
+                hop.admits_inbound(t(2), server(10), mapped, IpProtocol::Udp).is_some(),
+                exact,
+                "{behavior:?} exact peer"
+            );
+        }
+    }
+
+    #[test]
+    fn admitted_packet_forwards_to_subscriber_wan() {
+        let mut hop = CgnHop::new(BoxBehavior::FULL_CONE, vec![lease(0, 10_000, 2048, 64)]);
+        let mapped = hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap().src;
+        let back = hop.admits_inbound(t(2), server(10), mapped, IpProtocol::Udp);
+        assert_eq!(back, Some(Endpoint::new(SUB_WAN, 5000)));
+    }
+
+    #[test]
+    fn block_exhaustion_evicts_lru_deterministically() {
+        let mut hop = CgnHop::new(BoxBehavior::FULL_CONE, vec![lease(0, 10_000, 2048, 2)]);
+        let a = hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap();
+        let _b = hop.translate_outbound(t(2), out_flow(5001, server(10))).unwrap();
+        // Third mapping: block full, the oldest (t=1) mapping dies.
+        let c = hop.translate_outbound(t(3), out_flow(5002, server(10))).unwrap();
+        assert_eq!(hop.evictions(), 1);
+        assert_eq!(c.src.port, a.src.port, "evicted port is recycled");
+        // The recycled public port now belongs to source 5002, not 5000.
+        let back = hop.admits_inbound(t(4), server(10), a.src, IpProtocol::Udp);
+        assert_eq!(back, Some(Endpoint::new(SUB_WAN, 5002)));
+    }
+
+    #[test]
+    fn lease_change_flushes_mappings() {
+        let mut hop = CgnHop::new(
+            BoxBehavior::FULL_CONE,
+            vec![lease(0, 100, 2048, 64), lease(200, 10_000, 4096, 64)],
+        );
+        let a = hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap();
+        // In the gap between leases the hop refuses outbound traffic.
+        assert!(hop.translate_outbound(t(150), out_flow(5000, server(10))).is_err());
+        assert_eq!(hop.blocked(), 1);
+        // Under the new lease the old public endpoint is dead and a fresh
+        // port comes from the new block.
+        let b = hop.translate_outbound(t(250), out_flow(5000, server(10))).unwrap();
+        assert!(b.src.port >= 4096);
+        assert_ne!(a.src.port, b.src.port);
+        assert_eq!(hop.flushes(), 1);
+        assert!(hop.admits_inbound(t(251), server(10), a.src, IpProtocol::Udp).is_none());
+    }
+
+    #[test]
+    fn idle_mappings_expire() {
+        let mut hop = CgnHop::new(BoxBehavior::FULL_CONE, vec![lease(0, 100_000, 2048, 64)]);
+        let mapped = hop.translate_outbound(t(1), out_flow(5000, server(10))).unwrap().src;
+        hop.expire(t(300));
+        assert_eq!(hop.mapping_count(), 0);
+        assert!(hop.admits_inbound(t(300), server(10), mapped, IpProtocol::Udp).is_none());
+    }
+
+    #[test]
+    fn behavior_to_nat_type_ground_truth() {
+        assert_eq!(BoxBehavior::FULL_CONE.nat_type(), NatType::FullCone);
+        assert_eq!(BoxBehavior::RESTRICTED.nat_type(), NatType::Restricted);
+        assert_eq!(BoxBehavior::PORT_RESTRICTED.nat_type(), NatType::PortRestricted);
+        assert_eq!(BoxBehavior::SYMMETRIC.nat_type(), NatType::Symmetric);
+    }
+}

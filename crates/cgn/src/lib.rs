@@ -1,0 +1,156 @@
+//! # cgn — the carrier-grade NAT tier
+//!
+//! The paper measured home routers from the inside; what the home router
+//! itself cannot see is the ISP's *second* NAT. This crate adds that
+//! tier to the simulation:
+//!
+//! * [`scenarios`] — the shipped deployment scenarios (`isp-mix`,
+//!   `all-cgn`, `port-starved`), pure configuration;
+//! * [`plan`] — the seed-compiled [`CgnPlan`]: which homes are fronted,
+//!   box grouping, per-box RFC 4787 behavior, the full port-block lease
+//!   history per subscriber, and every scheduled hole-punch trial;
+//! * [`allocator`] — the compile-time port-block allocator: lowest free
+//!   block first, oldest lease evicted on exhaustion, deterministic to
+//!   the byte;
+//! * [`hop`] — the runtime [`CgnHop`]: a second translation hop with
+//!   endpoint-dependent or -independent mapping, three filtering
+//!   disciplines, block-confined port allocation with LRU eviction, and
+//!   mapping flushes when the leased block changes;
+//! * [`chain`] — [`NatChain`], the home-NAT-then-CGN
+//!   [`firmware::natprobe::UdpPath`] the STUN experiment classifies;
+//! * [`punch`] — mechanical pairwise hole punching and the analytic
+//!   [`expected_success`] matrix it is scored against.
+//!
+//! An empty plan compiles to a no-op: the study runner must produce
+//! byte-identical output to a build without this crate at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod chain;
+pub mod hop;
+pub mod plan;
+pub mod punch;
+pub mod scenarios;
+
+pub use chain::NatChain;
+pub use hop::{BoxBehavior, CgnHop, FilteringBehavior, MappingBehavior};
+pub use plan::{BlockLease, CgnAssignment, CgnPlan, HomeCgn, PlanStats, PunchTrialPlan};
+pub use punch::{expected_success, run_trial, SyntheticPeer};
+pub use scenarios::CgnScenario;
+
+#[cfg(test)]
+mod proptests {
+    use crate::plan::CgnPlan;
+    use crate::scenarios::CgnScenario;
+    use collector::Window;
+    use firmware::records::RouterId;
+    use household::Country;
+    use proptest::prelude::*;
+    use simnet::time::{SimDuration, SimTime};
+
+    fn deployment(n: u32) -> Vec<(RouterId, Country)> {
+        (1..=n)
+            .map(|i| {
+                let c = match i % 4 {
+                    0 => Country::UnitedStates,
+                    1 => Country::India,
+                    2 => Country::Brazil,
+                    _ => Country::China,
+                };
+                (RouterId(i), c)
+            })
+            .collect()
+    }
+
+    fn span(days: u64) -> Window {
+        Window { start: SimTime::EPOCH, end: SimTime::EPOCH + SimDuration::from_days(days) }
+    }
+
+    proptest! {
+        /// The port-block allocator never hands the same block to two
+        /// subscribers at once, for any seed, deployment size, and
+        /// scenario.
+        #[test]
+        fn no_block_is_double_allocated(
+            seed in 0u64..10_000,
+            homes in 1u32..160,
+            days in 2u64..30,
+            sc_idx in 0usize..3,
+        ) {
+            let sc = CgnScenario::ALL[sc_idx];
+            let plan = CgnPlan::scenario(sc, seed, span(days), &deployment(homes));
+            // Collect every lease with its holder, grouped by block.
+            let mut by_block: std::collections::BTreeMap<_, Vec<Window>> =
+                std::collections::BTreeMap::new();
+            for h in &plan.homes {
+                if let Some(a) = &h.assignment {
+                    for l in &a.leases {
+                        by_block
+                            .entry((a.box_id, l.addr, l.port_start))
+                            .or_default()
+                            .push(l.window);
+                    }
+                }
+            }
+            for ((_, addr, port), mut wins) in by_block {
+                wins.sort_by_key(|w| (w.start, w.end));
+                for pair in wins.windows(2) {
+                    prop_assert!(
+                        pair[0].end <= pair[1].start,
+                        "block {addr}:{port} held twice at once"
+                    );
+                }
+            }
+        }
+
+        /// Eviction is oldest-first: when a lease ends by eviction, no
+        /// other lease in the same box both started earlier and survived
+        /// past the eviction instant.
+        #[test]
+        fn eviction_is_oldest_first(
+            seed in 0u64..10_000,
+            homes in 96u32..200,
+            days in 5u64..30,
+        ) {
+            let plan =
+                CgnPlan::scenario(CgnScenario::PortStarved, seed, span(days), &deployment(homes));
+            let mut by_box: std::collections::BTreeMap<u32, Vec<&crate::plan::BlockLease>> =
+                std::collections::BTreeMap::new();
+            for h in &plan.homes {
+                if let Some(a) = &h.assignment {
+                    for l in &a.leases {
+                        by_box.entry(a.box_id).or_default().push(l);
+                    }
+                }
+            }
+            for leases in by_box.values() {
+                for evicted in leases.iter().filter(|l| l.evicted) {
+                    for other in leases.iter() {
+                        prop_assert!(
+                            !(other.window.start < evicted.window.start
+                                && other.window.end > evicted.window.end),
+                            "a strictly older lease outlived an eviction"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Compilation is pure: identical inputs give identical plans.
+        #[test]
+        fn plan_compilation_is_pure(
+            seed in 0u64..10_000,
+            homes in 1u32..120,
+            days in 2u64..30,
+            sc_idx in 0usize..3,
+        ) {
+            let sc = CgnScenario::ALL[sc_idx];
+            let d = deployment(homes);
+            let a = CgnPlan::scenario(sc, seed, span(days), &d);
+            let b = CgnPlan::scenario(sc, seed, span(days), &d);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Pairwise UDP hole punching, run mechanically through real translation
+//! state.
+//!
+//! Both sides learn their mapped endpoint from an introducer (the STUN
+//! server), exchange them out of band, then fire simultaneous datagrams
+//! at each other for up to three rounds, re-aiming at the source endpoint
+//! of anything that got through (the standard symmetric-rescue trick: a
+//! cone-side peer can learn a symmetric peer's fresh per-destination
+//! port from the packet that reaches it). The trial succeeds when both
+//! directions have been admitted.
+//!
+//! [`expected_success`] is the analytic ground truth the analysis layer
+//! scores measured outcomes against: punching fails exactly when a
+//! symmetric NAT faces a symmetric or port-restricted peer.
+
+use firmware::natprobe::{NatType, UdpPath};
+use simnet::nat::Nat;
+use simnet::packet::Endpoint;
+use simnet::time::SimTime;
+use std::net::Ipv4Addr;
+
+use crate::chain::NatChain;
+use crate::hop::{BoxBehavior, CgnHop};
+
+/// Maximum simultaneous-open rounds before the trial gives up.
+const MAX_ROUNDS: usize = 3;
+
+/// The analytic punch-success matrix: the pair fails iff a symmetric NAT
+/// faces a peer that filters on exact (address, port) — the peer can
+/// never pre-open the right pinhole for a mapping whose port it cannot
+/// predict.
+pub fn expected_success(a: NatType, b: NatType) -> bool {
+    let doomed = |x: NatType, y: NatType| {
+        x == NatType::Symmetric && (y == NatType::Symmetric || y == NatType::PortRestricted)
+    };
+    !(doomed(a, b) || doomed(b, a))
+}
+
+/// Run one hole-punch trial between two translation paths. Returns
+/// `None` when either side cannot even reach the introducer (blocked CGN
+/// hop), `Some(success)` otherwise.
+pub fn run_trial(
+    now: SimTime,
+    a: &mut impl UdpPath,
+    a_local: Endpoint,
+    b: &mut impl UdpPath,
+    b_local: Endpoint,
+    introducer: Endpoint,
+) -> Option<bool> {
+    // Rendezvous: both sides bind via the introducer and exchange the
+    // mapped endpoints it observed.
+    let a_pub = a.send(now, a_local, introducer)?;
+    let b_pub = b.send(now, b_local, introducer)?;
+    let mut a_target = b_pub;
+    let mut b_target = a_pub;
+    let mut a_received = false;
+    let mut b_received = false;
+    for _ in 0..MAX_ROUNDS {
+        if a_received && b_received {
+            break;
+        }
+        let a_sent_to = a_target;
+        let b_sent_to = b_target;
+        // Both sides transmit before either delivery is evaluated — the
+        // simultaneous open that makes restricted-cone pairs work.
+        let a_src = a.send(now, a_local, a_sent_to);
+        let b_src = b.send(now, b_local, b_sent_to);
+        if let Some(src) = a_src {
+            if b.admits(now, src, a_sent_to) {
+                b_received = true;
+                b_target = src;
+            }
+        }
+        if let Some(src) = b_src {
+            if a.admits(now, src, b_sent_to) {
+                a_received = true;
+                a_target = src;
+            }
+        }
+    }
+    Some(a_received && b_received)
+}
+
+/// A self-contained synthetic peer stack: a plain home NAT, optionally
+/// fronted by a synthetic CGN hop with the planned behavior. Hole-punch
+/// trials run the local side against one of these, so no cross-home
+/// runtime state is needed (the peer's *behavior* travels in the plan).
+pub struct SyntheticPeer {
+    home: Nat,
+    hop: Option<CgnHop>,
+    /// The peer's LAN-side socket.
+    pub local: Endpoint,
+}
+
+/// TEST-NET-3 addresses for the synthetic stack: its home WAN and its
+/// CGN pool address, disjoint from everything the deployment uses.
+const PEER_WAN: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 77);
+const PEER_POOL: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 200);
+
+impl SyntheticPeer {
+    /// Build the peer stack for a planned behavior (`None`: home NAT
+    /// only).
+    pub fn new(behavior: Option<BoxBehavior>) -> SyntheticPeer {
+        SyntheticPeer {
+            home: Nat::new(PEER_WAN),
+            hop: behavior.map(|b| CgnHop::synthetic(b, PEER_POOL)),
+            local: Endpoint::new(Ipv4Addr::new(192, 168, 9, 2), 40_000),
+        }
+    }
+
+    /// The peer's translation path.
+    pub fn path(&mut self) -> NatChain<'_> {
+        NatChain::new(&mut self.home, self.hop.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmware::natprobe::STUN_SERVERS;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_micros(secs * 1_000_000)
+    }
+
+    fn introducer() -> Endpoint {
+        Endpoint::new(STUN_SERVERS.primary, STUN_SERVERS.port)
+    }
+
+    fn behavior_of(t: NatType) -> Option<BoxBehavior> {
+        match t {
+            NatType::Open | NatType::FullCone => None,
+            NatType::Restricted => Some(BoxBehavior::RESTRICTED),
+            NatType::PortRestricted => Some(BoxBehavior::PORT_RESTRICTED),
+            NatType::Symmetric => Some(BoxBehavior::SYMMETRIC),
+        }
+    }
+
+    /// The mechanical trial must reproduce the analytic matrix for every
+    /// type pair we can build from synthetic stacks (a bare home NAT is
+    /// a full cone, so `Open` collapses onto `FullCone` here).
+    #[test]
+    fn mechanics_match_expected_matrix() {
+        let types =
+            [NatType::FullCone, NatType::Restricted, NatType::PortRestricted, NatType::Symmetric];
+        for ta in types {
+            for tb in types {
+                let mut a = SyntheticPeer::new(behavior_of(ta));
+                let mut b = SyntheticPeer::new(behavior_of(tb));
+                let a_local = a.local;
+                let b_local = b.local;
+                let got = {
+                    let mut ap = NatChain::new(&mut a.home, a.hop.as_mut());
+                    let mut bp = NatChain::new(&mut b.home, b.hop.as_mut());
+                    run_trial(t(5), &mut ap, a_local, &mut bp, b_local, introducer())
+                        .expect("synthetic stacks never block")
+                };
+                assert_eq!(
+                    got,
+                    expected_success(ta, tb),
+                    "{ta} vs {tb}: mechanics disagree with the matrix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_matrix_shape() {
+        use NatType::*;
+        // Symmetric against symmetric or port-restricted is the only
+        // doomed combination, in either order.
+        assert!(!expected_success(Symmetric, Symmetric));
+        assert!(!expected_success(Symmetric, PortRestricted));
+        assert!(!expected_success(PortRestricted, Symmetric));
+        assert!(expected_success(Symmetric, Restricted));
+        assert!(expected_success(Restricted, Symmetric));
+        assert!(expected_success(Symmetric, FullCone));
+        assert!(expected_success(Open, Symmetric));
+        for a in NatType::ALL {
+            for b in [Open, FullCone, Restricted] {
+                if a != Symmetric {
+                    assert!(expected_success(a, b));
+                }
+            }
+        }
+    }
+
+    /// Two peers behind the *same* kind of stack punch as the matrix
+    /// says even when both sides are CGN-fronted (double translation on
+    /// both paths).
+    #[test]
+    fn double_cgn_port_restricted_pair_succeeds() {
+        let mut a = SyntheticPeer::new(Some(BoxBehavior::PORT_RESTRICTED));
+        let mut b = SyntheticPeer::new(Some(BoxBehavior::PORT_RESTRICTED));
+        let (al, bl) = (a.local, b.local);
+        let mut ap = NatChain::new(&mut a.home, a.hop.as_mut());
+        let mut bp = NatChain::new(&mut b.home, b.hop.as_mut());
+        assert_eq!(run_trial(t(5), &mut ap, al, &mut bp, bl, introducer()), Some(true));
+    }
+}

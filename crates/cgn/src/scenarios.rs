@@ -1,0 +1,144 @@
+//! The shipped CGN deployment scenarios.
+//!
+//! A scenario is pure configuration: what fraction of each region's homes
+//! an ISP fronts with carrier-grade NAT, how many subscribers share a
+//! box, how big the shared address pool and its port blocks are, and the
+//! box-behavior mix. Compilation into a concrete [`crate::CgnPlan`]
+//! happens in [`crate::plan`], deterministically from the study seed.
+
+use simnet::time::SimDuration;
+
+/// A named, shipped CGN deployment scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgnScenario {
+    /// The realistic mix: a minority of developed-region ISPs and a
+    /// majority of developing-region ISPs deploy CGN, with generous port
+    /// blocks (little churn). The bread-and-butter characterization run.
+    IspMix,
+    /// Every home is behind CGN — maximizes probe/punch sample counts so
+    /// the NAT-type matrix fills quickly even on quick spans.
+    AllCgn,
+    /// An under-provisioned deployment: many subscribers share a single
+    /// pool address with small port blocks, forcing block exhaustion and
+    /// oldest-first lease eviction under load.
+    PortStarved,
+}
+
+/// Compile-time knobs for one scenario.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScenarioParams {
+    /// Fraction of developed-region homes fronted by CGN.
+    pub developed_fraction: f64,
+    /// Fraction of developing-region homes fronted by CGN.
+    pub developing_fraction: f64,
+    /// Subscribers grouped behind one box.
+    pub subscribers_per_box: usize,
+    /// Shared pool addresses each box owns.
+    pub pool_addrs_per_box: usize,
+    /// Ports per allocated block.
+    pub block_ports: u16,
+    /// Lease budget per subscriber: after this many leases (evictions
+    /// included) the subscriber stops re-applying, bounding compile work.
+    pub max_leases: usize,
+    /// How long an evicted subscriber waits before re-applying.
+    pub retry: SimDuration,
+    /// Behavior mix weights: [full-cone, restricted, port-restricted,
+    /// symmetric].
+    pub behavior_weights: [f64; 4],
+}
+
+impl CgnScenario {
+    /// Every shipped scenario.
+    pub const ALL: [CgnScenario; 3] =
+        [CgnScenario::IspMix, CgnScenario::AllCgn, CgnScenario::PortStarved];
+
+    /// The scenario's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CgnScenario::IspMix => "isp-mix",
+            CgnScenario::AllCgn => "all-cgn",
+            CgnScenario::PortStarved => "port-starved",
+        }
+    }
+
+    pub(crate) fn params(self) -> ScenarioParams {
+        match self {
+            CgnScenario::IspMix => ScenarioParams {
+                developed_fraction: 0.15,
+                developing_fraction: 0.60,
+                subscribers_per_box: 64,
+                pool_addrs_per_box: 4,
+                block_ports: 2_048,
+                max_leases: 3,
+                retry: SimDuration::from_hours(6),
+                behavior_weights: [0.30, 0.20, 0.30, 0.20],
+            },
+            CgnScenario::AllCgn => ScenarioParams {
+                developed_fraction: 1.0,
+                developing_fraction: 1.0,
+                subscribers_per_box: 64,
+                pool_addrs_per_box: 4,
+                block_ports: 2_048,
+                max_leases: 3,
+                retry: SimDuration::from_hours(6),
+                behavior_weights: [0.25, 0.20, 0.30, 0.25],
+            },
+            CgnScenario::PortStarved => ScenarioParams {
+                developed_fraction: 0.40,
+                developing_fraction: 0.80,
+                subscribers_per_box: 96,
+                pool_addrs_per_box: 1,
+                block_ports: 1_024,
+                max_leases: 3,
+                retry: SimDuration::from_hours(8),
+                behavior_weights: [0.30, 0.20, 0.30, 0.20],
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for CgnScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CgnScenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CgnScenario, String> {
+        CgnScenario::ALL
+            .into_iter()
+            .find(|sc| sc.name() == s)
+            .ok_or_else(|| {
+                format!("unknown CGN scenario '{s}' (expected isp-mix, all-cgn, or port-starved)")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in CgnScenario::ALL {
+            assert_eq!(sc.name().parse::<CgnScenario>().unwrap(), sc);
+        }
+        assert!("nonsense".parse::<CgnScenario>().is_err());
+    }
+
+    #[test]
+    fn port_starved_is_actually_starved() {
+        let p = CgnScenario::PortStarved.params();
+        let blocks = p.pool_addrs_per_box * ((65_536 - 1_024) / p.block_ports as usize);
+        assert!(
+            blocks < p.subscribers_per_box,
+            "{blocks} blocks must not cover {} subscribers",
+            p.subscribers_per_box
+        );
+        let p = CgnScenario::IspMix.params();
+        let blocks = p.pool_addrs_per_box * ((65_536 - 1_024) / p.block_ports as usize);
+        assert!(blocks >= p.subscribers_per_box, "isp-mix must not churn");
+    }
+}

@@ -46,7 +46,7 @@ use firmware::anonymize::{AnonMac, ReportedDomain};
 use firmware::latency::LatencyRecord;
 use firmware::records::{
     ApSighting, AssociationRecord, DnsSampleRecord, FlowRecord, MacSightingRecord, Medium,
-    PacketStatsRecord, RouterId, WifiScanRecord,
+    NatProbeRecord, NatType, PacketStatsRecord, PunchTrialRecord, RouterId, WifiScanRecord,
 };
 use simnet::dns::DomainName;
 use simnet::packet::IpProtocol;
@@ -1961,6 +1961,320 @@ columnar_table! {
     resident_iter ResidentLatency;
     empty EMPTY_LATENCY;
     key |r| r.at;
+}
+
+/// Columns of one router's [`NatProbeRecord`] stream. NAT types are
+/// 1-byte wire codes; mapped-address hashes are dense `u64`s (they never
+/// fit a narrow lane anyway).
+#[derive(Debug, Clone, PartialEq)]
+struct NatProbeCols {
+    at: TimeCol,
+    nat_type: Vec<u8>,
+    mapped_ip_hash: Vec<u64>,
+    mapped_port: Vec<u16>,
+    cgn_detected: Vec<u8>,
+}
+
+impl NatProbeCols {
+    const fn empty() -> NatProbeCols {
+        NatProbeCols {
+            at: TimeCol::empty(),
+            nat_type: Vec::new(),
+            mapped_ip_hash: Vec::new(),
+            mapped_port: Vec::new(),
+            cgn_detected: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, r: &NatProbeRecord) {
+        self.at.append(r.at);
+        self.nat_type.push(r.nat_type.code());
+        self.mapped_ip_hash.push(r.mapped_ip_hash);
+        self.mapped_port.push(r.mapped_port);
+        self.cgn_detected.push(u8::from(r.cgn_detected));
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> ResidentNatProbes<'_> {
+        ResidentNatProbes {
+            router,
+            at: self.at.iter(),
+            nat_type: self.nat_type.iter(),
+            mapped_ip_hash: self.mapped_ip_hash.iter(),
+            mapped_port: self.mapped_port.iter(),
+            cgn_detected: self.cgn_detected.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.nat_type.capacity()
+            + self.mapped_ip_hash.capacity() * 8
+            + self.mapped_port.capacity() * 2
+            + self.cgn_detected.capacity()
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        put_u64(out, self.nat_type.len() as u64);
+        for &v in &self.nat_type {
+            put_u8(out, v);
+        }
+        put_u64(out, self.mapped_ip_hash.len() as u64);
+        for &v in &self.mapped_ip_hash {
+            put_u64(out, v);
+        }
+        put_u64(out, self.mapped_port.len() as u64);
+        for &v in &self.mapped_port {
+            put_u16(out, v);
+        }
+        put_u64(out, self.cgn_detected.len() as u64);
+        for &v in &self.cgn_detected {
+            put_u8(out, v);
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<NatProbeCols, SpillError> {
+        let at = TimeCol::decode(cur)?;
+        let n_types = cur.len_prefix(1)?;
+        let mut nat_type = Vec::with_capacity(n_types);
+        for _ in 0..n_types {
+            let code = cur.u8()?;
+            if NatType::from_code(code).is_none() {
+                return Err(SpillError::Corrupt("nat probe type code out of range"));
+            }
+            nat_type.push(code);
+        }
+        let n_hash = cur.len_prefix(8)?;
+        let mut mapped_ip_hash = Vec::with_capacity(n_hash);
+        for _ in 0..n_hash {
+            mapped_ip_hash.push(cur.u64()?);
+        }
+        let n_port = cur.len_prefix(2)?;
+        let mut mapped_port = Vec::with_capacity(n_port);
+        for _ in 0..n_port {
+            mapped_port.push(cur.u16()?);
+        }
+        let n_det = cur.len_prefix(1)?;
+        let mut cgn_detected = Vec::with_capacity(n_det);
+        for _ in 0..n_det {
+            let v = cur.u8()?;
+            if v > 1 {
+                return Err(SpillError::Corrupt("nat probe cgn flag out of range"));
+            }
+            cgn_detected.push(v);
+        }
+        let n = at.len();
+        if [nat_type.len(), mapped_ip_hash.len(), mapped_port.len(), cgn_detected.len()]
+            .iter()
+            .any(|&l| l != n)
+        {
+            return Err(SpillError::Corrupt("nat probe column length mismatch"));
+        }
+        Ok(NatProbeCols { at, nat_type, mapped_ip_hash, mapped_port, cgn_detected })
+    }
+}
+
+impl Default for NatProbeCols {
+    fn default() -> NatProbeCols {
+        NatProbeCols::empty()
+    }
+}
+
+/// One router's NAT probes, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct ResidentNatProbes<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    nat_type: std::slice::Iter<'a, u8>,
+    mapped_ip_hash: std::slice::Iter<'a, u64>,
+    mapped_port: std::slice::Iter<'a, u16>,
+    cgn_detected: std::slice::Iter<'a, u8>,
+}
+
+impl Iterator for ResidentNatProbes<'_> {
+    type Item = NatProbeRecord;
+
+    fn next(&mut self) -> Option<NatProbeRecord> {
+        Some(NatProbeRecord {
+            router: self.router,
+            at: self.at.next()?,
+            nat_type: NatType::from_code(*self.nat_type.next()?)
+                .expect("codes validated on append/decode"),
+            mapped_ip_hash: *self.mapped_ip_hash.next()?,
+            mapped_port: *self.mapped_port.next()?,
+            cgn_detected: *self.cgn_detected.next()? != 0,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResidentNatProbes<'_> {}
+
+/// Columns of one router's [`PunchTrialRecord`] stream: peer router ids
+/// in a narrow lane, type pair and outcome as single bytes.
+#[derive(Debug, Clone, PartialEq)]
+struct PunchTrialCols {
+    at: TimeCol,
+    peer: NarrowCol,
+    local_type: Vec<u8>,
+    peer_type: Vec<u8>,
+    success: Vec<u8>,
+}
+
+impl PunchTrialCols {
+    const fn empty() -> PunchTrialCols {
+        PunchTrialCols {
+            at: TimeCol::empty(),
+            peer: NarrowCol::empty(),
+            local_type: Vec::new(),
+            peer_type: Vec::new(),
+            success: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, r: &PunchTrialRecord) {
+        self.at.append(r.at);
+        self.peer.append(u64::from(r.peer.0));
+        self.local_type.push(r.local_type.code());
+        self.peer_type.push(r.peer_type.code());
+        self.success.push(u8::from(r.success));
+    }
+
+    fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    fn iter(&self, router: RouterId) -> ResidentPunchTrials<'_> {
+        ResidentPunchTrials {
+            router,
+            at: self.at.iter(),
+            peer: self.peer.iter(),
+            local_type: self.local_type.iter(),
+            peer_type: self.peer_type.iter(),
+            success: self.success.iter(),
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.at.heap_bytes()
+            + self.peer.heap_bytes()
+            + self.local_type.capacity()
+            + self.peer_type.capacity()
+            + self.success.capacity()
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.peer.encode(out);
+        for list in [&self.local_type, &self.peer_type, &self.success] {
+            put_u64(out, list.len() as u64);
+            for &v in list {
+                put_u8(out, v);
+            }
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<PunchTrialCols, SpillError> {
+        let at = TimeCol::decode(cur)?;
+        let peer = NarrowCol::decode(cur)?;
+        let mut lists: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, list) in lists.iter_mut().enumerate() {
+            let n = cur.len_prefix(1)?;
+            list.reserve(n);
+            for _ in 0..n {
+                let v = cur.u8()?;
+                let bad = if i == 2 { v > 1 } else { NatType::from_code(v).is_none() };
+                if bad {
+                    return Err(SpillError::Corrupt("punch trial byte column out of range"));
+                }
+                list.push(v);
+            }
+        }
+        let [local_type, peer_type, success] = lists;
+        let n = at.len();
+        if [peer.len(), local_type.len(), peer_type.len(), success.len()]
+            .iter()
+            .any(|&l| l != n)
+        {
+            return Err(SpillError::Corrupt("punch trial column length mismatch"));
+        }
+        Ok(PunchTrialCols { at, peer, local_type, peer_type, success })
+    }
+}
+
+impl Default for PunchTrialCols {
+    fn default() -> PunchTrialCols {
+        PunchTrialCols::empty()
+    }
+}
+
+/// One router's punch trials, rebuilt record-by-record from columns.
+#[derive(Debug, Clone)]
+pub struct ResidentPunchTrials<'a> {
+    router: RouterId,
+    at: TimeColIter<'a>,
+    peer: NarrowColIter<'a>,
+    local_type: std::slice::Iter<'a, u8>,
+    peer_type: std::slice::Iter<'a, u8>,
+    success: std::slice::Iter<'a, u8>,
+}
+
+impl Iterator for ResidentPunchTrials<'_> {
+    type Item = PunchTrialRecord;
+
+    fn next(&mut self) -> Option<PunchTrialRecord> {
+        Some(PunchTrialRecord {
+            router: self.router,
+            at: self.at.next()?,
+            peer: RouterId(self.peer.next()? as u32),
+            local_type: NatType::from_code(*self.local_type.next()?)
+                .expect("codes validated on append/decode"),
+            peer_type: NatType::from_code(*self.peer_type.next()?)
+                .expect("codes validated on append/decode"),
+            success: *self.success.next()? != 0,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.at.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ResidentPunchTrials<'_> {}
+
+columnar_table! {
+    /// The NAT-probe table in columnar form: ~16 bytes/record instead of
+    /// the 32-byte row.
+    table NatProbeTable;
+    /// Flat record iterator over a [`NatProbeTable`].
+    iter NatProbesIter;
+    cols NatProbeCols;
+    record NatProbeRecord;
+    router_iter RouterNatProbes;
+    resident_iter ResidentNatProbes;
+    empty EMPTY_NAT_PROBES;
+    key |r| r.at;
+}
+
+columnar_table! {
+    /// The hole-punch-trial table in columnar form: ~12 bytes/record
+    /// instead of the 32-byte row.
+    table PunchTrialTable;
+    /// Flat record iterator over a [`PunchTrialTable`].
+    iter PunchTrialsIter;
+    cols PunchTrialCols;
+    record PunchTrialRecord;
+    router_iter RouterPunchTrials;
+    resident_iter ResidentPunchTrials;
+    empty EMPTY_PUNCH_TRIALS;
+    key |r| (r.at, r.peer);
 }
 
 #[cfg(test)]

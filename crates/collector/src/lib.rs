@@ -20,7 +20,8 @@ pub mod spill;
 pub mod windows;
 
 pub use columns::{
-    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, PacketStatsTable, WifiTable,
+    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, NatProbeTable, PacketStatsTable,
+    PunchTrialTable, WifiTable,
 };
 pub use runlog::{HeartbeatRun, RunLog, UploadCounters};
 pub use server::{

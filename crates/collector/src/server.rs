@@ -13,7 +13,8 @@
 //! threads uploaded.
 
 use crate::columns::{
-    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, PacketStatsTable, WifiTable,
+    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, NatProbeTable,
+    PacketStatsTable, PunchTrialTable, WifiTable,
 };
 use crate::runlog::{RunLog, UploadCounters};
 use crate::spill::{SealedSegment, SegmentStore, SpillConfig, SpillError, TableToc, SEGMENT_MAGIC};
@@ -52,6 +53,8 @@ const EST_WIFI_BASE: usize = 10;
 const EST_WIFI_AP: usize = 10;
 const EST_ASSOCIATION: usize = 14;
 const EST_LATENCY: usize = 19;
+const EST_NAT_PROBE: usize = 16;
+const EST_PUNCH_TRIAL: usize = 12;
 
 /// Registration metadata for one router (what the deployment knew about
 /// each shipped unit).
@@ -140,6 +143,12 @@ pub struct Datasets {
     pub associations: AssociationTable,
     /// Latency probes (platform companion data set), in columnar form.
     pub latency: LatencyTable,
+    /// STUN-style NAT-type probes (CGN characterization), in columnar
+    /// form. Empty unless a CGN scenario is armed.
+    pub nat_probes: NatProbeTable,
+    /// Pairwise hole-punch trials (CGN characterization), in columnar
+    /// form. Empty unless a CGN scenario is armed.
+    pub punch_trials: PunchTrialTable,
     /// The gap ledger: batch ranges declared lost by routers, sorted by
     /// (router, first_seq). Empty unless faults destroyed spooled data.
     pub upload_gaps: Vec<UploadGapRecord>,
@@ -176,6 +185,8 @@ impl Datasets {
             + self.macs.len()
             + self.associations.len()
             + self.latency.len()
+            + self.nat_probes.len()
+            + self.punch_trials.len()
     }
 
     /// Heap bytes held by the seven columnar high-volume tables. The
@@ -190,6 +201,8 @@ impl Datasets {
             + self.wifi.heap_bytes()
             + self.associations.heap_bytes()
             + self.latency.heap_bytes()
+            + self.nat_probes.heap_bytes()
+            + self.punch_trials.heap_bytes()
     }
 
     /// Bytes of columnar data living in on-disk segment files rather than
@@ -203,6 +216,8 @@ impl Datasets {
             + self.wifi.spilled_bytes()
             + self.associations.spilled_bytes()
             + self.latency.spilled_bytes()
+            + self.nat_probes.spilled_bytes()
+            + self.punch_trials.spilled_bytes()
     }
 }
 
@@ -242,6 +257,8 @@ struct Shard {
     macs: MacTable,
     associations: AssociationTable,
     latency: LatencyTable,
+    nat_probes: NatProbeTable,
+    punch_trials: PunchTrialTable,
     /// Windows during which the collection infrastructure itself was down
     /// (§3.3: "various outages and failures — both of the routers
     /// themselves and of the collection infrastructure"). Records arriving
@@ -330,6 +347,14 @@ impl Shard {
                 self.columnar_est += EST_LATENCY;
                 self.latency.push(r);
             }
+            Record::NatProbe(r) => {
+                self.columnar_est += EST_NAT_PROBE;
+                self.nat_probes.push(r);
+            }
+            Record::PunchTrial(r) => {
+                self.columnar_est += EST_PUNCH_TRIAL;
+                self.punch_trials.push(r);
+            }
         }
     }
 
@@ -403,6 +428,8 @@ impl Shard {
         let wifi = self.wifi.encode_segment(&mut buf);
         let associations = self.associations.encode_segment(&mut buf);
         let latency = self.latency.encode_segment(&mut buf);
+        let nat_probes = self.nat_probes.encode_segment(&mut buf);
+        let punch_trials = self.punch_trials.encode_segment(&mut buf);
         let Some(sp) = &mut self.spill else { return Ok(()) };
         let file = format!("shard{:03}-seg{:05}.seg", sp.index, sp.segments.len());
         sp.store.write_file(&file, &buf)?;
@@ -416,6 +443,8 @@ impl Shard {
             wifi,
             associations,
             latency,
+            nat_probes,
+            punch_trials,
             bytes,
         });
         self.packet_stats = PacketStatsTable::default();
@@ -425,6 +454,8 @@ impl Shard {
         self.wifi = WifiTable::default();
         self.associations = AssociationTable::default();
         self.latency = LatencyTable::default();
+        self.nat_probes = NatProbeTable::default();
+        self.punch_trials = PunchTrialTable::default();
         self.columnar_est = 0;
         Ok(())
     }
@@ -894,6 +925,8 @@ impl Collector {
                     macs: shard.macs.clone(),
                     associations: shard.associations.clone(),
                     latency: shard.latency.clone(),
+                    nat_probes: shard.nat_probes.clone(),
+                    punch_trials: shard.punch_trials.clone(),
                     upload_gaps: shard.upload_gaps.clone(),
                     segments: shard
                         .spill
@@ -951,6 +984,8 @@ impl Collector {
                     macs: shard.macs,
                     associations: shard.associations,
                     latency: shard.latency,
+                    nat_probes: shard.nat_probes,
+                    punch_trials: shard.punch_trials,
                     upload_gaps: shard.upload_gaps,
                     segments,
                 }
@@ -973,6 +1008,8 @@ struct ShardChunk {
     macs: MacTable,
     associations: AssociationTable,
     latency: LatencyTable,
+    nat_probes: NatProbeTable,
+    punch_trials: PunchTrialTable,
     upload_gaps: Vec<UploadGapRecord>,
     /// Segments this shard sealed to disk, in seal order. Empty unless
     /// out-of-core mode was armed and this shard crossed its budget.
@@ -1034,6 +1071,8 @@ struct SegmentTocs {
     wifi: Vec<Vec<TableToc>>,
     associations: Vec<Vec<TableToc>>,
     latency: Vec<Vec<TableToc>>,
+    nat_probes: Vec<Vec<TableToc>>,
+    punch_trials: Vec<Vec<TableToc>>,
 }
 
 fn split_tocs(segments: Vec<Vec<SealedSegment>>) -> SegmentTocs {
@@ -1045,6 +1084,8 @@ fn split_tocs(segments: Vec<Vec<SealedSegment>>) -> SegmentTocs {
         wifi: Vec::with_capacity(segments.len()),
         associations: Vec::with_capacity(segments.len()),
         latency: Vec::with_capacity(segments.len()),
+        nat_probes: Vec::with_capacity(segments.len()),
+        punch_trials: Vec::with_capacity(segments.len()),
     };
     for segs in segments {
         let mut ps = Vec::with_capacity(segs.len());
@@ -1054,6 +1095,8 @@ fn split_tocs(segments: Vec<Vec<SealedSegment>>) -> SegmentTocs {
         let mut wf = Vec::with_capacity(segs.len());
         let mut ac = Vec::with_capacity(segs.len());
         let mut lt = Vec::with_capacity(segs.len());
+        let mut np = Vec::with_capacity(segs.len());
+        let mut pt = Vec::with_capacity(segs.len());
         for seg in segs {
             ps.push(TableToc { file: seg.file.clone(), blocks: seg.packet_stats });
             fl.push(TableToc { file: seg.file.clone(), blocks: seg.flows });
@@ -1061,7 +1104,9 @@ fn split_tocs(segments: Vec<Vec<SealedSegment>>) -> SegmentTocs {
             mc.push(TableToc { file: seg.file.clone(), blocks: seg.macs });
             wf.push(TableToc { file: seg.file.clone(), blocks: seg.wifi });
             ac.push(TableToc { file: seg.file.clone(), blocks: seg.associations });
-            lt.push(TableToc { file: seg.file, blocks: seg.latency });
+            lt.push(TableToc { file: seg.file.clone(), blocks: seg.latency });
+            np.push(TableToc { file: seg.file.clone(), blocks: seg.nat_probes });
+            pt.push(TableToc { file: seg.file, blocks: seg.punch_trials });
         }
         tocs.packet_stats.push(ps);
         tocs.flows.push(fl);
@@ -1070,6 +1115,8 @@ fn split_tocs(segments: Vec<Vec<SealedSegment>>) -> SegmentTocs {
         tocs.wifi.push(wf);
         tocs.associations.push(ac);
         tocs.latency.push(lt);
+        tocs.nat_probes.push(np);
+        tocs.punch_trials.push(pt);
     }
     tocs
 }
@@ -1090,6 +1137,8 @@ fn merge_chunks(
     let mut macs = Vec::new();
     let mut associations = Vec::new();
     let mut latency = Vec::new();
+    let mut nat_probes = Vec::new();
+    let mut punch_trials = Vec::new();
     let mut upload_gaps = Vec::new();
     let mut segments = Vec::new();
     let mut heartbeats: BTreeMap<RouterId, RunLog> = BTreeMap::new();
@@ -1104,6 +1153,8 @@ fn merge_chunks(
         macs.push(chunk.macs);
         associations.push(chunk.associations);
         latency.push(chunk.latency);
+        nat_probes.push(chunk.nat_probes);
+        punch_trials.push(chunk.punch_trials);
         upload_gaps.push(chunk.upload_gaps);
         segments.push(chunk.segments);
         // Routers are partitioned across shards, so no key collides.
@@ -1134,83 +1185,127 @@ fn merge_chunks(
             scope.spawn(|_| merge_table(capacity, |r: &CapacityRecord| (r.router, r.at)));
         let devices =
             scope.spawn(|_| merge_table(devices, |r: &DeviceCensusRecord| (r.router, r.at)));
-        let (packet_stats, flows, dns, macs, wifi, associations, latency) = match &spill {
-            None => (
-                scope.spawn(|_| Ok(PacketStatsTable::merge(packet_stats))),
-                scope.spawn(|_| Ok(FlowTable::merge(flows))),
-                scope.spawn(|_| Ok(DnsTable::merge(dns))),
-                scope.spawn(|_| Ok(MacTable::merge(macs))),
-                scope.spawn(|_| Ok(WifiTable::merge(wifi))),
-                scope.spawn(|_| Ok(AssociationTable::merge(associations))),
-                scope.spawn(|_| Ok(LatencyTable::merge(latency))),
-            ),
-            Some(store) => {
-                // Merge fan-in: every sealed segment plus every shard with
-                // resident columnar rows contributes one sorted input run.
-                let resident_shards = packet_stats
-                    .iter()
-                    .zip(&flows)
-                    .zip(&dns)
-                    .zip(&macs)
-                    .zip(&wifi)
-                    .zip(&associations)
-                    .zip(&latency)
-                    .filter(|((((((p, f), d), m), w), a), l)| {
-                        p.len() + f.len() + d.len() + m.len() + w.len() + a.len() + l.len() > 0
-                    })
-                    .count();
-                obs::gauge("spill_merge_fanin").set((total_segments + resident_shards) as u64);
-                // Snapshots can merge repeatedly over the same store, so
-                // every merged output gets a unique file-name generation.
-                let merge_id = store.next_merge_id();
-                let tocs = split_tocs(std::mem::take(&mut segments));
-                let ps_in: Vec<_> = tocs.packet_stats.into_iter().zip(packet_stats).collect();
-                let fl_in: Vec<_> = tocs.flows.into_iter().zip(flows).collect();
-                let dn_in: Vec<_> = tocs.dns.into_iter().zip(dns).collect();
-                let mc_in: Vec<_> = tocs.macs.into_iter().zip(macs).collect();
-                let wf_in: Vec<_> = tocs.wifi.into_iter().zip(wifi).collect();
-                let ac_in: Vec<_> = tocs.associations.into_iter().zip(associations).collect();
-                let lt_in: Vec<_> = tocs.latency.into_iter().zip(latency).collect();
-                let (s1, s2, s3, s4) =
-                    (Arc::clone(store), Arc::clone(store), Arc::clone(store), Arc::clone(store));
-                let (s5, s6, s7) = (Arc::clone(store), Arc::clone(store), Arc::clone(store));
-                (
-                    scope.spawn(move |_| {
-                        PacketStatsTable::merge_spilled(
-                            ps_in,
-                            &s1,
-                            &format!("merged-{merge_id}-packet-stats.col"),
-                        )
-                    }),
-                    scope.spawn(move |_| {
-                        FlowTable::merge_spilled(fl_in, &s2, &format!("merged-{merge_id}-flows.col"))
-                    }),
-                    scope.spawn(move |_| {
-                        DnsTable::merge_spilled(dn_in, &s3, &format!("merged-{merge_id}-dns.col"))
-                    }),
-                    scope.spawn(move |_| {
-                        MacTable::merge_spilled(mc_in, &s4, &format!("merged-{merge_id}-macs.col"))
-                    }),
-                    scope.spawn(move |_| {
-                        WifiTable::merge_spilled(wf_in, &s5, &format!("merged-{merge_id}-wifi.col"))
-                    }),
-                    scope.spawn(move |_| {
-                        AssociationTable::merge_spilled(
-                            ac_in,
-                            &s6,
-                            &format!("merged-{merge_id}-associations.col"),
-                        )
-                    }),
-                    scope.spawn(move |_| {
-                        LatencyTable::merge_spilled(
-                            lt_in,
-                            &s7,
-                            &format!("merged-{merge_id}-latency.col"),
-                        )
-                    }),
-                )
-            }
-        };
+        let (packet_stats, flows, dns, macs, wifi, associations, latency, nat_probes, punch_trials) =
+            match &spill {
+                None => (
+                    scope.spawn(|_| Ok(PacketStatsTable::merge(packet_stats))),
+                    scope.spawn(|_| Ok(FlowTable::merge(flows))),
+                    scope.spawn(|_| Ok(DnsTable::merge(dns))),
+                    scope.spawn(|_| Ok(MacTable::merge(macs))),
+                    scope.spawn(|_| Ok(WifiTable::merge(wifi))),
+                    scope.spawn(|_| Ok(AssociationTable::merge(associations))),
+                    scope.spawn(|_| Ok(LatencyTable::merge(latency))),
+                    scope.spawn(|_| Ok(NatProbeTable::merge(nat_probes))),
+                    scope.spawn(|_| Ok(PunchTrialTable::merge(punch_trials))),
+                ),
+                Some(store) => {
+                    // Merge fan-in: every sealed segment plus every shard with
+                    // resident columnar rows contributes one sorted input run.
+                    let resident_shards = packet_stats
+                        .iter()
+                        .zip(&flows)
+                        .zip(&dns)
+                        .zip(&macs)
+                        .zip(&wifi)
+                        .zip(&associations)
+                        .zip(&latency)
+                        .zip(&nat_probes)
+                        .zip(&punch_trials)
+                        .filter(|((((((((p, f), d), m), w), a), l), n), u)| {
+                            p.len()
+                                + f.len()
+                                + d.len()
+                                + m.len()
+                                + w.len()
+                                + a.len()
+                                + l.len()
+                                + n.len()
+                                + u.len()
+                                > 0
+                        })
+                        .count();
+                    obs::gauge("spill_merge_fanin").set((total_segments + resident_shards) as u64);
+                    // Snapshots can merge repeatedly over the same store, so
+                    // every merged output gets a unique file-name generation.
+                    let merge_id = store.next_merge_id();
+                    let tocs = split_tocs(std::mem::take(&mut segments));
+                    let ps_in: Vec<_> = tocs.packet_stats.into_iter().zip(packet_stats).collect();
+                    let fl_in: Vec<_> = tocs.flows.into_iter().zip(flows).collect();
+                    let dn_in: Vec<_> = tocs.dns.into_iter().zip(dns).collect();
+                    let mc_in: Vec<_> = tocs.macs.into_iter().zip(macs).collect();
+                    let wf_in: Vec<_> = tocs.wifi.into_iter().zip(wifi).collect();
+                    let ac_in: Vec<_> = tocs.associations.into_iter().zip(associations).collect();
+                    let lt_in: Vec<_> = tocs.latency.into_iter().zip(latency).collect();
+                    let np_in: Vec<_> = tocs.nat_probes.into_iter().zip(nat_probes).collect();
+                    let pt_in: Vec<_> = tocs.punch_trials.into_iter().zip(punch_trials).collect();
+                    let (s1, s2, s3, s4) = (
+                        Arc::clone(store),
+                        Arc::clone(store),
+                        Arc::clone(store),
+                        Arc::clone(store),
+                    );
+                    let (s5, s6, s7) =
+                        (Arc::clone(store), Arc::clone(store), Arc::clone(store));
+                    let (s8, s9) = (Arc::clone(store), Arc::clone(store));
+                    (
+                        scope.spawn(move |_| {
+                            PacketStatsTable::merge_spilled(
+                                ps_in,
+                                &s1,
+                                &format!("merged-{merge_id}-packet-stats.col"),
+                            )
+                        }),
+                        scope.spawn(move |_| {
+                            FlowTable::merge_spilled(
+                                fl_in,
+                                &s2,
+                                &format!("merged-{merge_id}-flows.col"),
+                            )
+                        }),
+                        scope.spawn(move |_| {
+                            DnsTable::merge_spilled(dn_in, &s3, &format!("merged-{merge_id}-dns.col"))
+                        }),
+                        scope.spawn(move |_| {
+                            MacTable::merge_spilled(mc_in, &s4, &format!("merged-{merge_id}-macs.col"))
+                        }),
+                        scope.spawn(move |_| {
+                            WifiTable::merge_spilled(
+                                wf_in,
+                                &s5,
+                                &format!("merged-{merge_id}-wifi.col"),
+                            )
+                        }),
+                        scope.spawn(move |_| {
+                            AssociationTable::merge_spilled(
+                                ac_in,
+                                &s6,
+                                &format!("merged-{merge_id}-associations.col"),
+                            )
+                        }),
+                        scope.spawn(move |_| {
+                            LatencyTable::merge_spilled(
+                                lt_in,
+                                &s7,
+                                &format!("merged-{merge_id}-latency.col"),
+                            )
+                        }),
+                        scope.spawn(move |_| {
+                            NatProbeTable::merge_spilled(
+                                np_in,
+                                &s8,
+                                &format!("merged-{merge_id}-nat-probes.col"),
+                            )
+                        }),
+                        scope.spawn(move |_| {
+                            PunchTrialTable::merge_spilled(
+                                pt_in,
+                                &s9,
+                                &format!("merged-{merge_id}-punch-trials.col"),
+                            )
+                        }),
+                    )
+                }
+            };
         data.uptime = join_merged(uptime);
         data.capacity = join_merged(capacity);
         data.devices = join_merged(devices);
@@ -1221,6 +1316,8 @@ fn merge_chunks(
         data.wifi = join_merged(wifi)?;
         data.associations = join_merged(associations)?;
         data.latency = join_merged(latency)?;
+        data.nat_probes = join_merged(nat_probes)?;
+        data.punch_trials = join_merged(punch_trials)?;
         Ok(())
     })
     .unwrap_or_else(|panic| std::panic::resume_unwind(panic))?;

@@ -111,6 +111,10 @@ pub(crate) struct SealedSegment {
     pub associations: BTreeMap<RouterId, BlockRef>,
     /// Latency-probe blocks by router.
     pub latency: BTreeMap<RouterId, BlockRef>,
+    /// NAT-probe blocks by router.
+    pub nat_probes: BTreeMap<RouterId, BlockRef>,
+    /// Hole-punch-trial blocks by router.
+    pub punch_trials: BTreeMap<RouterId, BlockRef>,
     /// Total bytes written for this segment (including the magic).
     pub bytes: u64,
 }

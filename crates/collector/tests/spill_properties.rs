@@ -14,7 +14,8 @@ use firmware::anonymize::{AnonMac, ReportedDomain};
 use firmware::latency::LatencyRecord;
 use firmware::records::{
     ApSighting, AssociationRecord, DnsSampleRecord, FlowRecord, MacSightingRecord, Medium,
-    PacketStatsRecord, Record, RouterId, WifiScanRecord,
+    NatProbeRecord, NatType, PacketStatsRecord, PunchTrialRecord, Record, RouterId,
+    WifiScanRecord,
 };
 use household::Country;
 use proptest::prelude::*;
@@ -46,12 +47,12 @@ fn domain_from(selector: u8) -> ReportedDomain {
 }
 
 /// Expand one spec into a columnar-table record; the kind selector cycles
-/// through all seven spilled tables so every segment carries a mix.
+/// through all nine spilled tables so every segment carries a mix.
 fn record_from(spec: RecordSpec) -> Record {
     let (router_sel, kind, at_us, dev, dom, bytes) = spec;
     let router = RouterId(ROUTERS[usize::from(router_sel) % ROUTERS.len()]);
     let at = SimTime::from_micros(at_us);
-    match kind % 7 {
+    match kind % 9 {
         0 => Record::PacketStats(PacketStatsRecord {
             router,
             at,
@@ -113,7 +114,7 @@ fn record_from(spec: RecordSpec) -> Record {
                 _ => Medium::Wireless5,
             },
         }),
-        _ => Record::Latency(LatencyRecord {
+        6 => Record::Latency(LatencyRecord {
             router,
             at,
             rtt_min: SimDuration::from_micros(u64::from(dev) * 997),
@@ -122,6 +123,22 @@ fn record_from(spec: RecordSpec) -> Record {
             rtt_max: SimDuration::from_micros(bytes),
             lost: dom % 5,
         }),
+        7 => Record::NatProbe(NatProbeRecord {
+            router,
+            at,
+            nat_type: NatType::from_code(dom % 5).expect("codes 0..5 are valid"),
+            mapped_ip_hash: bytes ^ (u64::from(dev) << 32),
+            mapped_port: 1024 | u16::from(dom) << 4,
+            cgn_detected: dev % 2 == 0,
+        }),
+        _ => Record::PunchTrial(PunchTrialRecord {
+            router,
+            at,
+            peer: RouterId(ROUTERS[usize::from(dev) % ROUTERS.len()]),
+            local_type: NatType::from_code(dom % 5).expect("codes 0..5 are valid"),
+            peer_type: NatType::from_code(dev % 5).expect("codes 0..5 are valid"),
+            success: bytes % 2 == 1,
+        }),
     }
 }
 
@@ -129,7 +146,7 @@ fn record_from(spec: RecordSpec) -> Record {
 /// arrivals and byte counts cross the narrow-column escape threshold.
 fn specs() -> impl Strategy<Value = Vec<RecordSpec>> {
     proptest::collection::vec(
-        (0u8..6, 0u8..7, 0u64..20_000_000_000, 0u8..20, 0u8..16, 0u64..1 << 40),
+        (0u8..6, 0u8..9, 0u64..20_000_000_000, 0u8..20, 0u8..16, 0u64..1 << 40),
         0..300,
     )
 }
@@ -179,6 +196,8 @@ fn assert_spill_matches_memory(specs: Vec<RecordSpec>, batch: usize, budget: u64
         assert_eq!(got.wifi, model.wifi);
         assert_eq!(got.associations, model.associations);
         assert_eq!(got.latency, model.latency);
+        assert_eq!(got.nat_probes, model.nat_probes);
+        assert_eq!(got.punch_trials, model.punch_trials);
     }
     assert_eq!(
         snap.flows.iter().collect::<Vec<_>>(),
@@ -197,6 +216,14 @@ fn assert_spill_matches_memory(specs: Vec<RecordSpec>, batch: usize, budget: u64
         assert_eq!(
             snap.latency.router(RouterId(router)).collect::<Vec<_>>(),
             model.latency.router(RouterId(router)).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            snap.nat_probes.router(RouterId(router)).collect::<Vec<_>>(),
+            model.nat_probes.router(RouterId(router)).collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            snap.punch_trials.router(RouterId(router)).collect::<Vec<_>>(),
+            model.punch_trials.router(RouterId(router)).collect::<Vec<_>>(),
         );
     }
 }

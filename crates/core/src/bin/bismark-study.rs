@@ -3,7 +3,8 @@
 //! ```text
 //! bismark-study run   [--seed N] [--days D | --full] [--homes H] [--threads T]
 //!                     [--spill-budget BYTES] [--spill-dir DIR]
-//!                     [--faults SCENARIO] [--report FILE] [--export FILE]
+//!                     [--faults SCENARIO] [--cgn SCENARIO]
+//!                     [--report FILE] [--export FILE]
 //!                     [--metrics FILE] [--metrics-text] [--validate]
 //! bismark-study list-figures
 //! ```
@@ -20,6 +21,10 @@
 //! the OS temp dir) and the snapshot k-way-merges them back — reports are
 //! byte-identical to the unbounded run. `BYTES` takes an optional binary
 //! suffix: `4GiB`, `512MiB`, `64KiB`, or a plain byte count.
+//! `--cgn SCENARIO` puts part of the deployment behind a carrier-grade
+//! NAT tier (`isp-mix`, `all-cgn`, or `port-starved`) and arms the
+//! firmware's STUN-style NAT-type and hole-punch experiments; it cannot
+//! be combined with `--faults` (one injected experiment layer at a time).
 //! `--metrics` writes the deterministic run manifest (`metrics.json`);
 //! `--metrics-text` prints the human-readable summary — including the
 //! non-deterministic wall-clock host profile — to stderr.
@@ -32,7 +37,7 @@ use bismark::validation;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--spill-budget BYTES[KiB|MiB|GiB]] [--spill-dir DIR] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
+        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--spill-budget BYTES[KiB|MiB|GiB]] [--spill-dir DIR] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--cgn isp-mix|all-cgn|port-starved] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
     );
     std::process::exit(2)
 }
@@ -57,6 +62,7 @@ struct RunOpts {
     spill_budget: Option<u64>,
     spill_dir: Option<String>,
     faults: Option<String>,
+    cgn: Option<String>,
     report: Option<String>,
     export: Option<String>,
     metrics: Option<String>,
@@ -115,6 +121,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--spill-budget" => opts.spill_budget = Some(parse_bytes(arg, value(arg, &mut it)?)?),
             "--spill-dir" => opts.spill_dir = Some(value(arg, &mut it)?.clone()),
             "--faults" => opts.faults = Some(value(arg, &mut it)?.clone()),
+            "--cgn" => opts.cgn = Some(value(arg, &mut it)?.clone()),
             "--report" => opts.report = Some(value(arg, &mut it)?.clone()),
             "--export" => opts.export = Some(value(arg, &mut it)?.clone()),
             "--metrics" => opts.metrics = Some(value(arg, &mut it)?.clone()),
@@ -129,6 +136,12 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     if opts.homes.is_some() && opts.full {
         return Err(
             "flag --homes cannot be combined with --full (the 197-day full study is pinned to the 126-home Table 1 deployment)"
+                .to_string(),
+        );
+    }
+    if opts.cgn.is_some() && opts.faults.is_some() {
+        return Err(
+            "flag --cgn cannot be combined with --faults (arm one injected experiment layer at a time)"
                 .to_string(),
         );
     }
@@ -161,6 +174,12 @@ fn run(args: &[String]) {
     if let Some(scenario) = &opts.faults {
         config.faults = Some(scenario.parse().unwrap_or_else(|e| {
             eprintln!("{e}");
+            std::process::exit(2)
+        }));
+    }
+    if let Some(scenario) = &opts.cgn {
+        config.cgn = Some(scenario.parse().unwrap_or_else(|e| {
+            eprintln!("flag --cgn: {e}");
             std::process::exit(2)
         }));
     }
@@ -198,6 +217,22 @@ fn run(args: &[String]) {
         if let Some(e) = &stats.error {
             eprintln!("warning: spilling degraded to in-memory after an I/O error: {e}");
         }
+    }
+    if config.cgn.is_some() {
+        let s = &output.cgn_plan.stats;
+        eprintln!(
+            "cgn: {} of {} homes fronted by {} boxes ({} pool addrs); {} block leases, \
+             {} evictions, {} exhaustion events; {} NAT probes, {} punch trials collected",
+            s.fronted_homes,
+            config.homes,
+            output.cgn_plan.boxes,
+            s.pool_addrs,
+            s.leases,
+            s.evictions,
+            s.exhaustion_events,
+            output.datasets.nat_probes.len(),
+            output.datasets.punch_trials.len()
+        );
     }
     if config.faults.is_some() {
         let c = output.upload_counters;
@@ -255,6 +290,7 @@ fn run(args: &[String]) {
         );
         manifest.set_meta("homes", config.homes.to_string());
         manifest.set_meta("faults", opts.faults.as_deref().unwrap_or("none"));
+        manifest.set_meta("cgn", opts.cgn.as_deref().unwrap_or("none"));
         // Host facts (peak RSS) render only in the text summary; putting
         // them in meta would leak machine state into metrics.json.
         match peak_rss_bytes() {
@@ -373,6 +409,7 @@ mod tests {
                 spill_budget: Some(64 << 20),
                 spill_dir: Some("/tmp/spill".into()),
                 faults: Some("collector-flap".into()),
+                cgn: None,
                 report: Some("r.txt".into()),
                 export: Some("e.json".into()),
                 metrics: Some("m.json".into()),
@@ -414,6 +451,30 @@ mod tests {
         let err = parse_run(&strs(&["--spill-dir", "/tmp/x"])).unwrap_err();
         assert!(err.contains("--spill-dir"), "{err}");
         assert!(err.contains("--spill-budget"), "{err}");
+    }
+
+    #[test]
+    fn cgn_flag_round_trips() {
+        let opts = parse_run(&strs(&["--cgn", "port-starved"])).unwrap();
+        assert_eq!(opts.cgn, Some("port-starved".into()));
+    }
+
+    #[test]
+    fn cgn_with_faults_is_rejected_naming_both_flags() {
+        for args in [
+            &["--cgn", "isp-mix", "--faults", "lossy-wan"][..],
+            &["--faults", "lossy-wan", "--cgn", "isp-mix"][..],
+        ] {
+            let err = parse_run(&strs(args)).unwrap_err();
+            assert!(err.contains("--cgn"), "{err}");
+            assert!(err.contains("--faults"), "{err}");
+        }
+    }
+
+    #[test]
+    fn cgn_missing_value_is_an_error() {
+        let err = parse_run(&strs(&["--cgn"])).unwrap_err();
+        assert!(err.contains("--cgn"), "{err}");
     }
 
     #[test]

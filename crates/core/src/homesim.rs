@@ -22,13 +22,17 @@
 //! random streams from `(study seed, home id)`.
 
 use crate::study::StudyWindows;
+use cgn::plan::HomeCgn;
+use cgn::{run_trial, CgnHop, NatChain, SyntheticPeer};
 use collector::{Collector, UploadOutcome};
 use faultlab::{ClockSkew, HomeFaults};
 use firmware::anonymize::Anonymizer;
 use firmware::gateway::Gateway;
 use firmware::heartbeat::Heartbeat;
+use firmware::natprobe::{self, NatType, STUN_SERVERS};
 use firmware::records::{
-    AssociationRecord, CapacityRecord, HeartbeatRecord, Medium, Record, RouterId,
+    AssociationRecord, CapacityRecord, HeartbeatRecord, Medium, NatProbeRecord, PunchTrialRecord,
+    Record, RouterId,
 };
 use firmware::shaperprobe;
 use firmware::traffic::TrafficMonitor;
@@ -67,6 +71,11 @@ enum Ev {
     Reassociate { device: usize },
     NatSweep,
     LatencyProbe,
+    /// Periodic STUN-style NAT-type probe (CGN studies only).
+    NatProbe,
+    /// A scheduled pairwise hole-punch trial (CGN studies only); `idx`
+    /// indexes this home's trial list in the compiled plan.
+    PunchTrial { idx: u32 },
     /// Retry the head of the upload spool after a backoff delay; `epoch`
     /// guards against retries scheduled before a reboot (the power-on
     /// handler re-pumps the spool itself).
@@ -100,6 +109,19 @@ struct HomeMetrics {
     /// it stays a plain local integer and folds into the shared counter
     /// once, at end of run.
     heartbeats_emitted: u64,
+    /// CGN experiment accumulators; folded into armed-gated counters at end
+    /// of run, so a CGN-free study registers none of them.
+    cgn: CgnLocal,
+}
+
+/// Local accumulators for the CGN/NAT-characterization experiments.
+#[derive(Default)]
+struct CgnLocal {
+    probes: u64,
+    probes_blocked: u64,
+    punch_trials: u64,
+    punch_success: u64,
+    session_blocked: u64,
 }
 
 /// Parameters for one home's simulation.
@@ -121,6 +143,12 @@ pub struct SimParams<'a> {
     pub reliable_upload: bool,
     /// This home's slice of the fault plan, if any.
     pub faults: Option<&'a HomeFaults>,
+    /// This home's slice of the CGN plan. `Some` for *every* home when a
+    /// CGN scenario is armed (unfronted homes carry no assignment but
+    /// still run the NAT-characterization experiments, providing the
+    /// detection negatives); `None` keeps the legacy single-NAT path
+    /// byte-identical.
+    pub cgn: Option<&'a HomeCgn>,
 }
 
 /// The simulation engine for one home.
@@ -150,6 +178,12 @@ pub struct HomeSim<'a> {
     wan_faults: ImpairmentSchedule,
     /// Injected clock skew on router-stamped records, if any.
     clock_skew: Option<ClockSkew>,
+    /// This home's slice of the CGN plan (`Some` iff a scenario is armed).
+    cgn_plan: Option<&'a HomeCgn>,
+    /// The carrier-grade second translation hop (`Some` iff this home is
+    /// CGN-fronted): every outbound session and probe crosses it after the
+    /// home NAT.
+    cgn_hop: Option<CgnHop>,
     /// Is an `UploadRetry` already in flight for the current boot?
     retry_scheduled: bool,
     // Independent random streams, one per process.
@@ -242,6 +276,21 @@ impl<'a> HomeSim<'a> {
             span.start + SimDuration::from_mins(probe_rng.uniform_int(5, 65)),
             Ev::LatencyProbe,
         );
+        // CGN studies: a periodic STUN-style NAT-type probe (first one a
+        // random 1–12 h into the span, then every 12 h) plus this home's
+        // scheduled hole-punch trials. The stream is private to the CGN
+        // experiments and draws nothing unless a scenario is armed, so a
+        // CGN-free run stays byte-identical.
+        let mut rng_cgn = root.derive("cgn-probe");
+        if let Some(plan) = params.cgn {
+            queue.schedule(
+                span.start + SimDuration::from_mins(rng_cgn.uniform_int(60, 12 * 60)),
+                Ev::NatProbe,
+            );
+            for (idx, p) in plan.punches.iter().enumerate() {
+                queue.schedule(p.at, Ev::PunchTrial { idx: idx as u32 });
+            }
+        }
 
         // Store-and-forward uploads: accumulate small batches and flush on
         // a 6-hour cadence (staggered per home) instead of waiting for the
@@ -289,6 +338,11 @@ impl<'a> HomeSim<'a> {
                 .map(|f| f.wan.clone())
                 .unwrap_or_else(ImpairmentSchedule::none),
             clock_skew: params.faults.and_then(|f| f.clock_skew),
+            cgn_plan: params.cgn,
+            cgn_hop: params
+                .cgn
+                .and_then(|p| p.assignment.as_ref())
+                .map(|a| CgnHop::new(a.behavior, a.leases.clone())),
             retry_scheduled: false,
             rng_heartbeat: root.derive("heartbeat"),
             rng_scan: root.derive("scan"),
@@ -303,6 +357,7 @@ impl<'a> HomeSim<'a> {
                 flows: netstack::metrics::FlowMetrics::handles(),
                 fw: firmware::metrics::FirmwareMetrics::handles(),
                 heartbeats_emitted: 0,
+                cgn: CgnLocal::default(),
             },
         }
     }
@@ -485,6 +540,25 @@ impl<'a> HomeSim<'a> {
         m.world.publish_nat(&self.gateway.nat);
         m.world.publish_dhcp(&self.gateway.dhcp);
         m.flows.publish_scheduler(&self.flows);
+        // CGN counters exist only when a scenario is armed, so the metrics
+        // key set of a CGN-free run is unchanged. Every armed home
+        // registers the full set (hop counters add zero when unfronted) —
+        // the exported keys never depend on which homes were fronted.
+        if self.cgn_plan.is_some() {
+            obs::counter("cgn_probes_total").add(m.cgn.probes);
+            obs::counter("cgn_probes_blocked_total").add(m.cgn.probes_blocked);
+            obs::counter("cgn_punch_trials_total").add(m.cgn.punch_trials);
+            obs::counter("cgn_punch_success_total").add(m.cgn.punch_success);
+            obs::counter("cgn_session_blocked_total").add(m.cgn.session_blocked);
+            let (mapped, evicted, blocked, flushed) =
+                self.cgn_hop.as_ref().map_or((0, 0, 0, 0), |h| {
+                    (h.mappings_created(), h.evictions(), h.blocked(), h.flushes())
+                });
+            obs::counter("cgn_hop_mappings_total").add(mapped);
+            obs::counter("cgn_hop_evictions_total").add(evicted);
+            obs::counter("cgn_hop_blocked_total").add(blocked);
+            obs::counter("cgn_hop_flushes_total").add(flushed);
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, shard: &collector::ShardHandle<'_>) {
@@ -503,9 +577,14 @@ impl<'a> HomeSim<'a> {
             Ev::NatSweep => {
                 self.gateway.nat.expire(now);
                 self.gateway.neighbors.expire(now);
+                if let Some(hop) = self.cgn_hop.as_mut() {
+                    hop.expire(now);
+                }
                 self.queue.schedule(now + SimDuration::from_hours(1), Ev::NatSweep);
             }
             Ev::LatencyProbe => self.on_latency_probe(now),
+            Ev::NatProbe => self.on_nat_probe(now),
+            Ev::PunchTrial { idx } => self.on_punch_trial(now, idx),
             Ev::UploadRetry { epoch } => self.on_upload_retry(now, epoch, shard),
             Ev::UploadFlush => self.on_upload_flush(now, shard),
             Ev::FlashWipe => {
@@ -684,6 +763,88 @@ impl<'a> HomeSim<'a> {
         let next = now + SimDuration::from_hours(1);
         if next < self.windows.span.end {
             self.queue.schedule(next, Ev::LatencyProbe);
+        }
+    }
+
+    /// The gateway's STUN-style NAT-type experiment (RFC 3489 Tests 1–3
+    /// against two simulated servers), run through the *live* translation
+    /// chain — home NAT plus the CGN hop when fronted — so the classified
+    /// type and the CGN tell (mapped address ≠ WAN address) are mechanical
+    /// facts of real state, never labels copied from the plan.
+    fn on_nat_probe(&mut self, now: SimTime) {
+        if self.gateway.is_powered() && self.is_isp_up(now) {
+            let local = Endpoint::new(std::net::Ipv4Addr::new(192, 168, 1, 1), 54_320);
+            let outcome = {
+                let mut chain = NatChain::new(&mut self.gateway.nat, self.cgn_hop.as_mut());
+                natprobe::classify(&mut chain, now, local, &STUN_SERVERS)
+            };
+            match outcome {
+                Some(out) => {
+                    self.metrics.cgn.probes += 1;
+                    let rec = NatProbeRecord {
+                        router: self.gateway.id,
+                        at: now,
+                        nat_type: out.nat_type,
+                        mapped_ip_hash: natprobe::ip_hash(out.mapped.addr),
+                        mapped_port: out.mapped.port,
+                        cgn_detected: out.mapped.addr != self.cfg.wan_addr,
+                    };
+                    self.emit(now, Record::NatProbe(rec));
+                }
+                // The CGN hop refused the binding (no leased port block):
+                // the probe packets never left the access network.
+                None => self.metrics.cgn.probes_blocked += 1,
+            }
+        }
+        let next = now + SimDuration::from_hours(12);
+        if next < self.windows.span.end {
+            self.queue.schedule(next, Ev::NatProbe);
+        }
+    }
+
+    /// One scheduled hole-punch trial: classify the local side live, build
+    /// the synthetic peer stack the plan prescribes, and run the
+    /// simultaneous-open mechanics through both translation paths.
+    fn on_punch_trial(&mut self, now: SimTime, idx: u32) {
+        let Some(plan) = self.cgn_plan else { return };
+        let trial = &plan.punches[idx as usize];
+        if !self.gateway.is_powered() || !self.is_isp_up(now) {
+            return;
+        }
+        let local = Endpoint::new(std::net::Ipv4Addr::new(192, 168, 1, 1), 54_320);
+        let introducer = Endpoint::new(STUN_SERVERS.primary, STUN_SERVERS.port);
+        let mut peer = SyntheticPeer::new(trial.peer_behavior);
+        let peer_local = peer.local;
+        let result = {
+            let mut chain = NatChain::new(&mut self.gateway.nat, self.cgn_hop.as_mut());
+            let local_type =
+                natprobe::classify(&mut chain, now, local, &STUN_SERVERS).map(|o| o.nat_type);
+            local_type.and_then(|lt| {
+                let mut peer_path = peer.path();
+                run_trial(now, &mut chain, local, &mut peer_path, peer_local, introducer)
+                    .map(|success| (lt, success))
+            })
+        };
+        match result {
+            Some((local_type, success)) => {
+                self.metrics.cgn.punch_trials += 1;
+                if success {
+                    self.metrics.cgn.punch_success += 1;
+                }
+                let peer_type = trial.peer_behavior.map_or(NatType::FullCone, |b| b.nat_type());
+                let rec = PunchTrialRecord {
+                    router: self.gateway.id,
+                    at: now,
+                    peer: trial.peer,
+                    local_type,
+                    peer_type,
+                    success,
+                };
+                self.emit(now, Record::PunchTrial(rec));
+            }
+            // The local chain could not even rendezvous (no leased block):
+            // the trial is a blocked probe, not a punch failure.
+            None => self.metrics.cgn.probes_blocked += 1,
         }
     }
 
@@ -982,8 +1143,18 @@ impl<'a> HomeSim<'a> {
             src: local,
             dst: remote,
         };
-        if self.gateway.nat.translate_outbound(now, five_tuple).is_err() {
-            return; // NAT exhausted
+        let xlate = match self.gateway.nat.translate_outbound(now, five_tuple) {
+            Ok(x) => x,
+            Err(_) => return, // NAT exhausted
+        };
+        // CGN-fronted homes cross the carrier hop too: with no leased port
+        // block (an exhaustion gap between leases) the session never
+        // reaches the Internet.
+        if let Some(hop) = self.cgn_hop.as_mut() {
+            if hop.translate_outbound(now, xlate.wan_flow).is_err() {
+                self.metrics.cgn.session_blocked += 1;
+                return;
+            }
         }
         if kind.protocol() == simnet::packet::IpProtocol::Tcp {
             // The connection opens with a real three-way handshake; the
@@ -1133,6 +1304,7 @@ mod tests {
             seed: 42,
             reliable_upload: false,
             faults: None,
+            cgn: None,
         });
         sim.run(&collector);
         collector.snapshot()

@@ -2,12 +2,14 @@
 //! (in parallel), and collect the six data sets.
 
 use crate::homesim::{HomeSim, SimParams};
+use cgn::{CgnPlan, CgnScenario};
 use collector::windows::{self, Window};
 use collector::{Collector, Datasets, RouterMeta, SpillConfig, SpillStats, UploadCounters};
 use faultlab::{FaultPlan, FaultScenario};
 use firmware::records::RouterId;
 use household::domains::DomainUniverse;
 use household::home::{build_deployment_scaled, HomeConfig};
+use household::Country;
 use simnet::time::{SimDuration, SimTime};
 
 /// The per-data-set collection windows a study runs with.
@@ -84,6 +86,11 @@ pub struct StudyConfig {
     /// disengages the fault subsystem entirely: the run is byte-identical
     /// to one from a build without faultlab at all.
     pub faults: Option<FaultScenario>,
+    /// CGN deployment scenario (see [`cgn`]). `None` disengages the
+    /// carrier-grade tier entirely — no second translation hop, no NAT
+    /// probes, no punch trials — and the run is byte-identical to one from
+    /// a build without the cgn crate at all.
+    pub cgn: Option<CgnScenario>,
     /// Out-of-core memory budget. `None` (the default) keeps every record
     /// in RAM; `Some` makes collector shards seal their columnar tables to
     /// disk segments past the budget and k-way-merge them back at snapshot
@@ -101,6 +108,7 @@ impl StudyConfig {
             threads: default_threads(),
             collector_outages: Vec::new(),
             faults: None,
+            cgn: None,
             spill: None,
         }
     }
@@ -119,6 +127,7 @@ impl StudyConfig {
             threads: default_threads(),
             collector_outages: Vec::new(),
             faults: None,
+            cgn: None,
             spill: None,
         }
     }
@@ -152,6 +161,9 @@ pub struct StudyOutput {
     /// The injected fault plan (empty when the study ran fault-free) —
     /// ground truth for scoring the analysis-side artifact detectors.
     pub fault_plan: FaultPlan,
+    /// The compiled CGN plan (empty when no scenario was armed) — ground
+    /// truth for scoring the NAT-characterization analyses.
+    pub cgn_plan: CgnPlan,
     /// Store-and-forward delivery accounting across all shards.
     pub upload_counters: UploadCounters,
     /// Heartbeat datagrams the collector dropped during announced
@@ -200,6 +212,8 @@ fn publish_study_metrics(homes: &[HomeConfig], datasets: &Datasets) {
     obs::gauge("dataset_mac_sighting_records").set(datasets.macs.len() as u64);
     obs::gauge("dataset_association_records").set(datasets.associations.len() as u64);
     obs::gauge("dataset_latency_records").set(datasets.latency.len() as u64);
+    obs::gauge("dataset_nat_probe_records").set(datasets.nat_probes.len() as u64);
+    obs::gauge("dataset_punch_trial_records").set(datasets.punch_trials.len() as u64);
     obs::gauge("dataset_upload_gap_records").set(datasets.upload_gaps.len() as u64);
 }
 
@@ -218,7 +232,17 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
         }
         None => FaultPlan::empty(),
     };
-    let reliable_upload = !fault_plan.is_empty();
+    // Compile the CGN scenario (if any) against the deployment's country
+    // mix. An empty plan leaves every home on the single-NAT path.
+    let cgn_plan = match config.cgn {
+        Some(scenario) => {
+            let deployment: Vec<(RouterId, Country)> =
+                homes.iter().map(|h| (RouterId(h.id.0), h.country)).collect();
+            CgnPlan::scenario(scenario, config.seed, config.windows.span, &deployment)
+        }
+        None => CgnPlan::empty(),
+    };
+    let reliable_upload = !fault_plan.is_empty() || !cgn_plan.is_empty();
     let universe = DomainUniverse::standard();
     let zone = universe.build_zone();
     let collector = Collector::new();
@@ -257,6 +281,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
                     seed: config.seed,
                     reliable_upload,
                     faults: fault_plan.for_router(RouterId(homes[idx].id.0)),
+                    cgn: cgn_plan.for_router(RouterId(homes[idx].id.0)),
                 });
                 sim.run(&collector);
             });
@@ -275,6 +300,9 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     let datasets = collector.into_datasets();
     let snapshot = snap_start.elapsed();
     publish_study_metrics(&homes, &datasets);
+    if !cgn_plan.is_empty() {
+        cgn_plan.publish_metrics();
+    }
     // Wall-clock phase spans are host profiling: they reach the manifest's
     // text summary only, never metrics.json.
     obs::wall_span("study_simulate").record_micros(simulate.as_micros() as u64);
@@ -285,6 +313,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
         windows: config.windows.clone(),
         timings: PhaseTimings { simulate, snapshot },
         fault_plan,
+        cgn_plan,
         upload_counters,
         dropped_in_downtime,
         spill,

@@ -169,6 +169,7 @@ mod tests {
             seed,
             reliable_upload: false,
             faults: None,
+            cgn: None,
         })
         .run(&collector);
         let data = collector.snapshot();

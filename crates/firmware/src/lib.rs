@@ -18,6 +18,8 @@
 //!   whitelist-or-token domain reporting, IP obfuscation;
 //! * [`metrics`] — `obs` handles for heartbeat/uploader telemetry (hot
 //!   counts stay in local integers; totals publish at end of run);
+//! * [`natprobe`] — STUN-style Test1/2/3 NAT-type classification and CGN
+//!   detection over the gateway's real translation path (NAT Probes set);
 //! * [`records`] — the upload schema, one type per data set of Table 2;
 //! * [`uploader`] — the store-and-forward upload queue: sequence-numbered
 //!   batches, capped exponential backoff with jitter, bounded spill with
@@ -35,6 +37,7 @@ pub mod gateway;
 pub mod heartbeat;
 pub mod latency;
 pub mod metrics;
+pub mod natprobe;
 pub mod records;
 pub mod shaperprobe;
 pub mod traffic;

@@ -1,0 +1,305 @@
+//! STUN-style NAT-type characterization (the RFC 3489 Test1/2/3 dance).
+//!
+//! The paper could only peek behind *home* NATs from the inside; this
+//! module gives the firmware the standard outside-in experiment: send
+//! binding requests to two cooperating STUN servers and observe (a) the
+//! mapped address each reports back and (b) which unsolicited reply
+//! directions the translation path admits. The decision tree classifies
+//! the path as open, full-cone, address-restricted, port-restricted, or
+//! symmetric, and comparing the mapped address against the gateway's own
+//! WAN address detects a carrier-grade NAT tier the home router cannot
+//! otherwise see.
+//!
+//! The probe is generic over a [`UdpPath`]: the simulation supplies the
+//! real translation chain (home NAT, optionally fronted by a CGN hop), so
+//! the classification is a mechanical consequence of the path's mapping
+//! and filtering behavior, never a label copied from ground truth.
+
+use serde::{Deserialize, Serialize};
+use simnet::packet::Endpoint;
+use simnet::time::SimTime;
+use std::net::Ipv4Addr;
+
+/// The NAT type the Test1/2/3 decision tree can conclude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NatType {
+    /// No translation: the mapped address equals the local address.
+    Open,
+    /// Endpoint-independent mapping and filtering: anyone may reply to
+    /// the mapped endpoint.
+    FullCone,
+    /// Endpoint-independent mapping, address-restricted filtering: only
+    /// previously contacted *addresses* get through.
+    Restricted,
+    /// Endpoint-independent mapping, address-and-port-restricted
+    /// filtering: only previously contacted (address, port) pairs.
+    PortRestricted,
+    /// Endpoint-dependent mapping: every destination sees a different
+    /// mapped port, so reply paths learned from third parties are useless.
+    Symmetric,
+}
+
+impl NatType {
+    /// Every classifiable type, in severity order.
+    pub const ALL: [NatType; 5] = [
+        NatType::Open,
+        NatType::FullCone,
+        NatType::Restricted,
+        NatType::PortRestricted,
+        NatType::Symmetric,
+    ];
+
+    /// Stable wire code for columnar storage.
+    pub fn code(self) -> u8 {
+        match self {
+            NatType::Open => 0,
+            NatType::FullCone => 1,
+            NatType::Restricted => 2,
+            NatType::PortRestricted => 3,
+            NatType::Symmetric => 4,
+        }
+    }
+
+    /// Decode a wire code written by [`NatType::code`].
+    pub fn from_code(code: u8) -> Option<NatType> {
+        NatType::ALL.into_iter().find(|t| t.code() == code)
+    }
+
+    /// Human-readable name, as rendered in the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            NatType::Open => "open",
+            NatType::FullCone => "full-cone",
+            NatType::Restricted => "restricted",
+            NatType::PortRestricted => "port-restricted",
+            NatType::Symmetric => "symmetric",
+        }
+    }
+}
+
+impl std::fmt::Display for NatType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The two cooperating STUN servers the experiment probes against. Both
+/// answer binding requests on `port`; "change address" / "change port"
+/// replies come from the other server and/or `alt_port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StunServers {
+    /// Primary server address.
+    pub primary: Ipv4Addr,
+    /// Alternate server address (different IP, for the Test2 change-address
+    /// reply and the second Test1).
+    pub alternate: Ipv4Addr,
+    /// Binding-request port on both servers.
+    pub port: u16,
+    /// Alternate source port for change-port replies.
+    pub alt_port: u16,
+}
+
+/// The deployment's simulated STUN infrastructure (TEST-NET-1 addresses,
+/// so they can never collide with home WAN or CGN pool space).
+pub const STUN_SERVERS: StunServers = StunServers {
+    primary: Ipv4Addr::new(192, 0, 2, 10),
+    alternate: Ipv4Addr::new(192, 0, 2, 20),
+    port: 3478,
+    alt_port: 3479,
+};
+
+/// The translation path a probe exercises: everything between the
+/// gateway's LAN-side socket and the open internet (home NAT alone, or
+/// home NAT behind a CGN box).
+pub trait UdpPath {
+    /// Send one UDP datagram from the local endpoint to `dst`. Returns the
+    /// source endpoint as the destination server observes it (the "mapped
+    /// address"), or `None` if the path refused the packet (port space or
+    /// CGN block exhausted).
+    fn send(&mut self, now: SimTime, src: Endpoint, dst: Endpoint) -> Option<Endpoint>;
+
+    /// Would an inbound datagram from `from`, addressed to the public
+    /// endpoint `to`, traverse the path back to the host? Pure filtering
+    /// question: implementations must not create mappings here.
+    fn admits(&mut self, now: SimTime, from: Endpoint, to: Endpoint) -> bool;
+}
+
+/// What one completed probe learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The classified NAT type.
+    pub nat_type: NatType,
+    /// The mapped endpoint the primary server reported (Test1).
+    pub mapped: Endpoint,
+}
+
+/// Run the RFC 3489 decision tree over `path` from the local endpoint
+/// `local`. Returns `None` when the path drops the very first binding
+/// request (an exhausted translator), in which case nothing was learned.
+pub fn classify(
+    path: &mut impl UdpPath,
+    now: SimTime,
+    local: Endpoint,
+    servers: &StunServers,
+) -> Option<ProbeOutcome> {
+    let s1 = Endpoint::new(servers.primary, servers.port);
+    let s2 = Endpoint::new(servers.alternate, servers.port);
+    // Test1 against the primary server: learn the mapped address.
+    let mapped = path.send(now, local, s1)?;
+    if mapped == local {
+        return Some(ProbeOutcome { nat_type: NatType::Open, mapped });
+    }
+    // Test2: the primary relays a reply sourced from the *alternate*
+    // server's address and the alternate port — different address AND
+    // port. Only endpoint-independent filtering lets it through.
+    if path.admits(now, Endpoint::new(servers.alternate, servers.alt_port), mapped) {
+        return Some(ProbeOutcome { nat_type: NatType::FullCone, mapped });
+    }
+    // Test1 against the alternate server: a different mapped endpoint
+    // means the mapping depends on the destination — symmetric.
+    let mapped2 = path.send(now, local, s2)?;
+    if mapped2 != mapped {
+        return Some(ProbeOutcome { nat_type: NatType::Symmetric, mapped });
+    }
+    // Test3: reply from the primary server's address but the alternate
+    // port — same address, different port. Address-restricted filtering
+    // admits it; address-and-port-restricted does not.
+    let nat_type = if path.admits(now, Endpoint::new(servers.primary, servers.alt_port), mapped) {
+        NatType::Restricted
+    } else {
+        NatType::PortRestricted
+    };
+    Some(ProbeOutcome { nat_type, mapped })
+}
+
+/// Deterministic, unkeyed FNV-1a hash of an IPv4 address, used to store
+/// mapped addresses in the `nat_probes` table without carrying raw
+/// `Ipv4Addr` columns. Mapped addresses are simulated infrastructure
+/// (shared CGN pools), not user data, and the table never reaches the
+/// public export; the hash only needs to be stable and collision-free
+/// over the handful of pool addresses a study uses.
+pub fn ip_hash(addr: Ipv4Addr) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.octets() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted path: endpoint-independent mapping to a fixed public
+    /// endpoint with configurable filtering, enough to drive every branch
+    /// of the decision tree.
+    struct FakePath {
+        mapped: Endpoint,
+        /// Second Test1 answer (differs for symmetric paths).
+        mapped2: Endpoint,
+        admit_any: bool,
+        admit_same_addr: bool,
+        sent_to: Vec<Endpoint>,
+    }
+
+    impl UdpPath for FakePath {
+        fn send(&mut self, _now: SimTime, _src: Endpoint, dst: Endpoint) -> Option<Endpoint> {
+            self.sent_to.push(dst);
+            Some(if self.sent_to.len() >= 2 { self.mapped2 } else { self.mapped })
+        }
+
+        fn admits(&mut self, _now: SimTime, from: Endpoint, _to: Endpoint) -> bool {
+            if self.admit_any {
+                return true;
+            }
+            self.admit_same_addr && self.sent_to.iter().any(|d| d.addr == from.addr)
+        }
+    }
+
+    fn local() -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(192, 168, 1, 10), 5000)
+    }
+
+    fn mapped() -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(100, 64, 0, 9), 1024)
+    }
+
+    fn run(path: &mut FakePath) -> ProbeOutcome {
+        classify(path, SimTime::EPOCH, local(), &STUN_SERVERS).expect("path never drops")
+    }
+
+    #[test]
+    fn open_path_classifies_open() {
+        let mut p = FakePath {
+            mapped: local(),
+            mapped2: local(),
+            admit_any: true,
+            admit_same_addr: true,
+            sent_to: Vec::new(),
+        };
+        assert_eq!(run(&mut p).nat_type, NatType::Open);
+    }
+
+    #[test]
+    fn full_cone_admits_changed_address_and_port() {
+        let mut p = FakePath {
+            mapped: mapped(),
+            mapped2: mapped(),
+            admit_any: true,
+            admit_same_addr: true,
+            sent_to: Vec::new(),
+        };
+        let out = run(&mut p);
+        assert_eq!(out.nat_type, NatType::FullCone);
+        assert_eq!(out.mapped, mapped());
+    }
+
+    #[test]
+    fn symmetric_changes_mapping_per_destination() {
+        let mut p = FakePath {
+            mapped: mapped(),
+            mapped2: Endpoint::new(mapped().addr, 2048),
+            admit_any: false,
+            admit_same_addr: false,
+            sent_to: Vec::new(),
+        };
+        assert_eq!(run(&mut p).nat_type, NatType::Symmetric);
+    }
+
+    #[test]
+    fn restricted_vs_port_restricted_split_on_test3() {
+        let mut addr_only = FakePath {
+            mapped: mapped(),
+            mapped2: mapped(),
+            admit_any: false,
+            admit_same_addr: true,
+            sent_to: Vec::new(),
+        };
+        assert_eq!(run(&mut addr_only).nat_type, NatType::Restricted);
+        let mut strict = FakePath {
+            mapped: mapped(),
+            mapped2: mapped(),
+            admit_any: false,
+            admit_same_addr: false,
+            sent_to: Vec::new(),
+        };
+        assert_eq!(run(&mut strict).nat_type, NatType::PortRestricted);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for t in NatType::ALL {
+            assert_eq!(NatType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(NatType::from_code(9), None);
+    }
+
+    #[test]
+    fn ip_hash_distinguishes_pool_addresses() {
+        let a = ip_hash(Ipv4Addr::new(198, 18, 0, 1));
+        let b = ip_hash(Ipv4Addr::new(198, 18, 0, 2));
+        assert_ne!(a, b);
+        assert_eq!(a, ip_hash(Ipv4Addr::new(198, 18, 0, 1)), "hash is stable");
+    }
+}

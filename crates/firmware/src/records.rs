@@ -259,6 +259,49 @@ pub struct AssociationRecord {
 }
 
 pub use crate::latency::LatencyRecord;
+pub use crate::natprobe::NatType;
+
+/// One completed STUN-style NAT characterization probe (NAT Probes data
+/// set): the classified NAT type, the mapped endpoint the primary STUN
+/// server reported, and whether the mapped address differed from the
+/// gateway's own WAN address — the carrier-grade-NAT detection signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NatProbeRecord {
+    /// Reporting router.
+    pub router: RouterId,
+    /// Probe time.
+    pub at: SimTime,
+    /// The classified NAT type.
+    pub nat_type: NatType,
+    /// Hash of the mapped address the STUN server observed (see
+    /// [`crate::natprobe::ip_hash`]); lets the analysis count distinct
+    /// shared pool addresses without carrying raw IPs.
+    pub mapped_ip_hash: u64,
+    /// The mapped port the STUN server observed.
+    pub mapped_port: u16,
+    /// True when the mapped address differs from the gateway's WAN
+    /// address: a second translation tier sits between home and internet.
+    pub cgn_detected: bool,
+}
+
+/// One pairwise UDP hole-punch trial (Punch Trials data set): two homes
+/// exchange mapped endpoints through an introducer and attempt a
+/// simultaneous open; `success` records whether traffic flowed both ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PunchTrialRecord {
+    /// Reporting router (the initiating side).
+    pub router: RouterId,
+    /// Trial time.
+    pub at: SimTime,
+    /// The peer home's router.
+    pub peer: RouterId,
+    /// This side's NAT type at trial time (the latest probe's verdict).
+    pub local_type: NatType,
+    /// The peer's NAT type, as exchanged through the introducer.
+    pub peer_type: NatType,
+    /// Did both sides receive at least one datagram?
+    pub success: bool,
+}
 
 /// Everything a router can upload, as a single enum for transport through
 /// the collector's ingestion path.
@@ -276,6 +319,8 @@ pub enum Record {
     MacSighting(MacSightingRecord),
     Association(AssociationRecord),
     Latency(LatencyRecord),
+    NatProbe(NatProbeRecord),
+    PunchTrial(PunchTrialRecord),
 }
 
 impl Record {
@@ -293,6 +338,8 @@ impl Record {
             Record::MacSighting(r) => r.router,
             Record::Association(r) => r.router,
             Record::Latency(r) => r.router,
+            Record::NatProbe(r) => r.router,
+            Record::PunchTrial(r) => r.router,
         }
     }
 
@@ -317,6 +364,8 @@ impl Record {
             Record::MacSighting(r) => r.first_seen = r.first_seen + offset,
             Record::Association(r) => r.at = r.at + offset,
             Record::Latency(r) => r.at = r.at + offset,
+            Record::NatProbe(r) => r.at = r.at + offset,
+            Record::PunchTrial(r) => r.at = r.at + offset,
         }
     }
 
@@ -334,6 +383,8 @@ impl Record {
             Record::MacSighting(r) => r.first_seen,
             Record::Association(r) => r.at,
             Record::Latency(r) => r.at,
+            Record::NatProbe(r) => r.at,
+            Record::PunchTrial(r) => r.at,
         }
     }
 }

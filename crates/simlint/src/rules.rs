@@ -42,6 +42,7 @@ const DATASET_CRATES: &[&str] = &[
     "crates/household/src/",
     "crates/firmware/src/",
     "crates/collector/src/",
+    "crates/cgn/src/",
     "crates/core/src/",
 ];
 

@@ -87,6 +87,7 @@ fn main() {
             seed: 6,
             reliable_upload: false,
             faults: None,
+            cgn: None,
         })
         .run(&collector);
     }

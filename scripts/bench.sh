@@ -7,6 +7,7 @@
 #   THRESHOLD_PCT=10 scripts/bench.sh
 #   SKIP_MICRO=1 scripts/bench.sh    # e2e + regression gate only
 #   SKIP_FAULTS=1 scripts/bench.sh   # skip the faultlab overhead sample
+#   SKIP_CGN=1 scripts/bench.sh      # skip the CGN tier overhead sample
 #   BENCH_RUNS=3 scripts/bench.sh    # fewer e2e repetitions
 #   RECORD_SCALING=1 scripts/bench.sh # append thread- and homes-scaling
 #                                     # series to BENCH_simulate.json
@@ -46,20 +47,22 @@ for _ in $(seq "$BENCH_RUNS"); do
     fresh=$(awk -v a="$fresh" -v b="$run" 'BEGIN { print (b > a) ? b : a }')
 done
 # Gate against the last committed *comparable* entry: the fresh run is a
-# fault-free, single-thread, 20-day, 126-home, unbounded-memory quick
-# study, so skip faulted entries (reliable-upload pipeline under injected
-# failures), thread- and homes-scaling series, spilled entries (bounded
-# memory does strictly more I/O), and any entry measured over a different
-# horizon.
+# fault-free, CGN-free, single-thread, 20-day, 126-home, unbounded-memory
+# quick study, so skip faulted entries (reliable-upload pipeline under
+# injected failures), CGN entries (second translation hop plus the NAT
+# probe experiments do strictly more work), thread- and homes-scaling
+# series, spilled entries (bounded memory does strictly more I/O), and
+# any entry measured over a different horizon.
 baseline=$(awk '
-    /\{/      { rps = ""; faulted = 0; scaled = 0; spilled = 0; threads = ""; days = "" }
+    /\{/      { rps = ""; faulted = 0; cgned = 0; scaled = 0; spilled = 0; threads = ""; days = "" }
     /"records_per_sec":/ { s = $0; gsub(/[^0-9.]/, "", s); rps = s }
     /"threads":/         { s = $0; gsub(/[^0-9]/, "", s); threads = s }
     /"days":/            { s = $0; gsub(/[^0-9]/, "", s); days = s }
     /"faults":/          { faulted = 1 }
+    /"cgn":/             { cgned = 1 }
     /"homes":/           { scaled = 1 }
     /"spill":/           { spilled = 1 }
-    /\}/      { if (rps != "" && !faulted && !scaled && !spilled && threads == "1" && days == "20") last = rps }
+    /\}/      { if (rps != "" && !faulted && !cgned && !scaled && !spilled && threads == "1" && days == "20") last = rps }
     END       { print last }
 ' BENCH_simulate.json)
 
@@ -76,6 +79,17 @@ if [ -z "${SKIP_FAULTS:-}" ]; then
     echo "  faulted:    $fault records/sec"
     awk -v clean="$fresh" -v faulted="$fault" 'BEGIN {
         printf "  overhead: %.1f%% (informational)\n", (1 - faulted / clean) * 100;
+    }'
+fi
+
+if [ -z "${SKIP_CGN:-}" ]; then
+    echo "== CGN tier overhead sample (isp-mix vs cgn-free) =="
+    cgn_json=$(./target/release/e2e --dry-run --cgn isp-mix)
+    cgn=$(printf '%s\n' "$cgn_json" | sed -n 's/.*"records_per_sec": \([0-9.]*\).*/\1/p')
+    echo "  cgn-free: $fresh records/sec"
+    echo "  cgn-on:   $cgn records/sec"
+    awk -v clean="$fresh" -v cgned="$cgn" 'BEGIN {
+        printf "  overhead: %.1f%% (informational)\n", (1 - cgned / clean) * 100;
     }'
 fi
 
@@ -106,6 +120,13 @@ if [ -n "${RECORD_SCALING:-}" ]; then
     ./target/release/e2e --label "spill-on" --spill-budget 4MiB
     ./target/release/e2e --days 7 --homes 50000 --label "homes-50000-spilled" \
         --spill-budget 512MiB
+    echo "== CGN overhead pair (appended to BENCH_simulate.json) =="
+    # cgn-off vs cgn-on at the standard quick study: the delta prices the
+    # second translation hop plus the NAT probe / hole-punch experiments.
+    # CGN entries carry a "cgn" key, so the baseline gate above never
+    # compares against them.
+    ./target/release/e2e --label "cgn-off"
+    ./target/release/e2e --label "cgn-on" --cgn isp-mix
 fi
 
 echo "baseline: $baseline records/sec (last committed entry)"

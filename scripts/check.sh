@@ -119,6 +119,45 @@ else:
           % (c["spill_segments_written_total"],
              c["spill_bytes_written_total"] / 2**20, peak / 2**20))
 PYEOF
+    echo "== CGN smoke (isp-mix scenario + no-CGN baseline identity) =="
+    # An armed CGN run must publish the cgn counter/gauge families, leave
+    # ground-truth plan gauges in the manifest, and grow the report's NAT
+    # characterization section; the same study without --cgn must be
+    # byte-identical (report and export) to a plain run — the subsystem
+    # fully disengages.
+    ./target/release/bismark-study run --seed 7 --days 5 --cgn isp-mix \
+        --report "$smoke_dir/cgn_report.txt" --metrics "$smoke_dir/cgn_metrics.json"
+    python3 - "$smoke_dir/cgn_metrics.json" "$smoke_dir/cgn_report.txt" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["meta"]["cgn"] == "isp-mix", m["meta"]
+c, g = m["counters"], m["gauges"]
+for key in ("cgn_probes_total", "cgn_punch_trials_total",
+            "cgn_hop_mappings_total"):
+    assert c.get(key, 0) > 0, (key, c.get(key))
+for key in ("cgn_fronted_homes", "cgn_boxes", "cgn_blocks",
+            "cgn_block_leases"):
+    assert g.get(key, 0) > 0, (key, g.get(key))
+assert g.get("dataset_nat_probe_records", 0) > 0, g
+assert g.get("dataset_punch_trial_records", 0) > 0, g
+with open(sys.argv[2]) as f:
+    report = f.read()
+for section in ("NAT characterization", "CGN detection by country",
+                "Hole-punch success by NAT-type pair"):
+    assert section in report, f"report missing section: {section}"
+print("cgn smoke OK: %d probes, %d punch trials, %d fronted homes"
+      % (c["cgn_probes_total"], c["cgn_punch_trials_total"],
+         g["cgn_fronted_homes"]))
+PYEOF
+    # No --cgn → byte-identical to a plain run of the same binary.
+    ./target/release/bismark-study run --seed 7 --days 5 \
+        --report "$smoke_dir/nocgn_report.txt" --export "$smoke_dir/nocgn_export.json"
+    ./target/release/bismark-study run --seed 7 --days 5 \
+        --report "$smoke_dir/plain_report.txt" --export "$smoke_dir/plain_export.json"
+    cmp "$smoke_dir/nocgn_report.txt" "$smoke_dir/plain_report.txt" \
+        && cmp "$smoke_dir/nocgn_export.json" "$smoke_dir/plain_export.json" \
+        && echo "no-CGN run is byte-identical to the plain run"
 fi
 
 echo "== simlint =="

@@ -1,0 +1,152 @@
+//! End-to-end tests for the carrier-grade NAT tier and the STUN-style
+//! NAT-type characterization experiment.
+//!
+//! The contract under test:
+//!
+//! * no `--cgn` scenario → the subsystem is fully disengaged: no probe
+//!   tables, no report section, and datasets identical to a run where the
+//!   crate might as well not exist;
+//! * armed scenario → every home probes, the report gains the NAT
+//!   characterization section, and — scored against the simulator's own
+//!   CGN plan — both CGN detection and NAT-type classification clear 0.9
+//!   precision/recall (the experiment is an instrument, not a heuristic);
+//! * punch trials match the RFC 3489 feasibility rule for the probed
+//!   type pair;
+//! * armed runs are deterministic, bit for bit.
+
+use analysis::natchar;
+use bismark::study::{run_study, StudyConfig, StudyOutput};
+use cgn::{expected_success, CgnScenario};
+use firmware::records::RouterId;
+use std::collections::BTreeSet;
+
+fn quick(seed: u64, days: u64, cgn: Option<CgnScenario>) -> StudyConfig {
+    let mut config = StudyConfig::quick(seed, days);
+    config.cgn = cgn;
+    config
+}
+
+fn fronted(output: &StudyOutput) -> BTreeSet<RouterId> {
+    output
+        .cgn_plan
+        .homes
+        .iter()
+        .filter(|h| h.is_fronted())
+        .map(|h| h.router)
+        .collect()
+}
+
+/// Without a scenario the subsystem is invisible: empty plan, empty probe
+/// tables, no report section.
+#[test]
+fn unarmed_study_has_no_cgn_trace() {
+    let output = run_study(&quick(7, 6, None));
+    assert!(output.cgn_plan.is_empty());
+    assert!(output.datasets.nat_probes.is_empty());
+    assert!(output.datasets.punch_trials.is_empty());
+    let report = output.report();
+    assert!(report.natchar.is_none());
+    let rendered = report.render(&output.datasets);
+    assert!(!rendered.contains("NAT characterization"), "unarmed report grew a NAT section");
+}
+
+/// An armed scenario populates both probe tables and the report's NAT
+/// section, and the probes see through to the CGN: detection and type
+/// classification both clear 0.9 precision/recall against the plan.
+#[test]
+fn armed_study_characterizes_nats_above_point_nine() {
+    let output = run_study(&quick(7, 10, Some(CgnScenario::IspMix)));
+    assert!(!output.cgn_plan.is_empty());
+    assert!(output.cgn_plan.stats.fronted_homes > 0);
+    assert!(!output.datasets.nat_probes.is_empty(), "armed homes must probe");
+    assert!(!output.datasets.punch_trials.is_empty(), "armed homes must punch");
+
+    let report = output.report();
+    let nc = report.natchar.as_ref().expect("armed report has a NAT section");
+    // Fronted or not, nearly every home probes; the stragglers are
+    // appliance-mode homes powered off at every 12-hour probe instant.
+    assert!(
+        nc.homes.len() as f64 >= 0.9 * output.homes.len() as f64,
+        "only {} of {} homes produced probe verdicts",
+        nc.homes.len(),
+        output.homes.len()
+    );
+
+    let score = natchar::score_detection(&nc.homes, &fronted(&output));
+    assert!(
+        score.precision >= 0.9,
+        "CGN detection precision {:.2} ({} false positives)",
+        score.precision,
+        score.false_positives
+    );
+    assert!(
+        score.recall >= 0.9,
+        "CGN detection recall {:.2} ({} of {} missed)",
+        score.recall,
+        score.missed,
+        score.detected + score.missed
+    );
+
+    // Modal NAT type vs. the plan's ground truth, same bar.
+    let correct = nc
+        .homes
+        .iter()
+        .filter(|h| {
+            output
+                .cgn_plan
+                .for_router(h.router)
+                .is_some_and(|truth| truth.truth_nat_type() == h.modal_type)
+        })
+        .count();
+    assert!(
+        correct as f64 >= 0.9 * nc.homes.len() as f64,
+        "only {correct} of {} homes classified to the planned type",
+        nc.homes.len()
+    );
+
+    let rendered = report.render(&output.datasets);
+    for section in [
+        "NAT characterization: modal NAT type per home",
+        "CGN detection by country",
+        "Hole-punch success by NAT-type pair",
+    ] {
+        assert!(rendered.contains(section), "report missing {section:?}");
+    }
+}
+
+/// Every recorded punch outcome obeys the RFC 3489 feasibility rule for
+/// the *probed* type pair: hole punching fails exactly when a symmetric
+/// NAT faces a symmetric or port-restricted peer.
+#[test]
+fn punch_outcomes_match_the_type_pair_rule() {
+    let output = run_study(&quick(11, 10, Some(CgnScenario::AllCgn)));
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    for trial in output.datasets.punch_trials.iter() {
+        total += 1;
+        agree += usize::from(trial.success == expected_success(trial.local_type, trial.peer_type));
+    }
+    assert!(total > 0);
+    assert!(
+        agree as f64 >= 0.9 * total as f64,
+        "only {agree} of {total} punch outcomes match the feasibility rule"
+    );
+}
+
+/// The port-starved scenario actually exercises exhaustion: the plan
+/// records evictions, and the session path sees blocked flows.
+#[test]
+fn port_starved_scenario_exhausts_blocks() {
+    let output = run_study(&quick(3, 8, Some(CgnScenario::PortStarved)));
+    assert!(output.cgn_plan.stats.exhaustion_events > 0, "no exhaustion under port-starved");
+    assert!(output.cgn_plan.stats.evictions > 0, "no evictions under port-starved");
+}
+
+/// Same seed, same scenario → bit-identical datasets and plan.
+#[test]
+fn armed_runs_are_deterministic() {
+    let a = run_study(&quick(5, 6, Some(CgnScenario::IspMix)));
+    let b = run_study(&quick(5, 6, Some(CgnScenario::IspMix)));
+    assert!(a.datasets == b.datasets, "armed datasets differ across identical runs");
+    assert_eq!(a.cgn_plan, b.cgn_plan);
+}

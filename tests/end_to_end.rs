@@ -38,6 +38,7 @@ fn run_one(mut mutate: impl FnMut(&mut HomeConfig), days: u64, seed: u64) -> (Da
         seed,
         reliable_upload: false,
         faults: None,
+        cgn: None,
     })
         .run(&collector);
     (collector.snapshot(), span)
@@ -290,4 +291,30 @@ fn cli_scales_the_deployment_to_1000_homes() {
     assert!(manifest.contains("\"study_homes\":1000"), "study_homes gauge");
     let rendered = std::fs::read_to_string(&report).expect("read report");
     assert!(!rendered.is_empty(), "scaled report renders");
+}
+
+/// Strict-parser contract for the CGN axis: every bad `--cgn` spelling —
+/// unknown scenario, missing value, combination with `--faults` — exits 2
+/// and names the flag.
+#[test]
+fn cli_rejects_bad_cgn_values_by_name_with_exit_2() {
+    for args in [
+        &["run", "--cgn", "bogus"][..],
+        &["run", "--cgn"][..],
+        &["run", "--cgn", "isp-mix", "--faults", "lossy-wan"][..],
+        &["run", "--faults", "lossy-wan", "--cgn", "isp-mix"][..],
+    ] {
+        let out = run_cli(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--cgn"), "stderr must name the flag for {args:?}: {stderr}");
+    }
+    // The unknown-scenario error teaches the valid spellings.
+    let out = run_cli(&["run", "--cgn", "bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("isp-mix"), "error must list valid scenarios: {stderr}");
+    // The --faults conflict names both sides.
+    let out = run_cli(&["run", "--cgn", "isp-mix", "--faults", "lossy-wan"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--faults"), "conflict error must also name --faults: {stderr}");
 }

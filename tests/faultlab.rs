@@ -62,6 +62,7 @@ fn unfaulted_upload_queue_is_invisible() {
             seed: 5,
             reliable_upload,
             faults: None,
+            cgn: None,
         })
         .run(&collector);
         collector.snapshot()

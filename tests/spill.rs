@@ -38,3 +38,37 @@ fn spilled_quick_study_report_and_export_are_byte_identical() {
     let csv_spilled = collector::export::to_csv(&spilled.datasets);
     assert_eq!(csv_memory, csv_spilled, "CSV exports must match byte for byte");
 }
+
+/// Same property with the CGN tier armed: the NAT probe and punch-trial
+/// tables ride the spill path too, so a 1 MiB budget must leave the
+/// rendered report — including its NAT characterization section — byte
+/// for byte identical to the unbounded run.
+#[test]
+fn spilled_cgn_study_report_is_byte_identical() {
+    let days = 10;
+    let mut unbounded_cfg = StudyConfig::quick(7, days);
+    unbounded_cfg.cgn = Some(cgn::CgnScenario::IspMix);
+    let unbounded = run_study(&unbounded_cfg);
+
+    let mut spilled_cfg = StudyConfig::quick(7, days);
+    spilled_cfg.cgn = Some(cgn::CgnScenario::IspMix);
+    spilled_cfg.spill = Some(SpillConfig { budget_bytes: 1 << 20, dir: None });
+    let spilled = run_study(&spilled_cfg);
+
+    let stats = spilled.spill.as_ref().expect("spill stats present when armed");
+    assert!(stats.segments > 0, "a 1 MiB budget must force segment seals");
+    assert_eq!(stats.error, None, "segment I/O must not fail");
+    assert!(!spilled.datasets.nat_probes.is_empty(), "armed run must collect NAT probes");
+
+    let report_memory = unbounded.report().render(&unbounded.datasets);
+    let report_spilled = spilled.report().render(&spilled.datasets);
+    assert!(
+        report_memory.contains("NAT characterization"),
+        "armed report must include the NAT section"
+    );
+    assert_eq!(report_memory, report_spilled, "CGN reports must match byte for byte");
+
+    let export_memory = collector::export::to_json(&unbounded.datasets).expect("export");
+    let export_spilled = collector::export::to_json(&spilled.datasets).expect("export");
+    assert_eq!(export_memory, export_spilled, "JSON exports must match byte for byte");
+}
