@@ -275,6 +275,60 @@ mod tests {
     }
 
     #[test]
+    fn single_probe_home_gets_a_verdict_from_that_one_probe() {
+        // One probe is a majority of itself: the modal type is the probed
+        // type and a single CGN flag is a detection (1 flag * 2 > 1 probe).
+        let collector = Collector::new();
+        collector.ingest(probe(5, 0, NatType::Symmetric, true));
+        let nc = characterize(&collector.snapshot());
+        assert_eq!(nc.homes.len(), 1);
+        assert_eq!(nc.homes[0].probes, 1);
+        assert_eq!(nc.homes[0].modal_type, NatType::Symmetric);
+        assert!(nc.homes[0].cgn_detected);
+        assert_eq!(nc.type_counts, vec![(NatType::Symmetric, 1)]);
+        // No punch trials and no registered router: empty matrix, no
+        // country row, but the home still appears in the per-home table.
+        assert!(nc.matrix.is_empty());
+        assert!(nc.detection_by_country.is_empty());
+    }
+
+    #[test]
+    fn three_way_modal_tie_still_picks_the_mildest_type_present() {
+        // One probe each of Restricted / PortRestricted / Symmetric:
+        // every count ties at 1, and the winner must be the mildest type
+        // that actually appeared — not `ALL[0]` (Open, count 0).
+        let collector = Collector::new();
+        collector.ingest(probe(9, 0, NatType::Symmetric, false));
+        collector.ingest(probe(9, 720, NatType::PortRestricted, false));
+        collector.ingest(probe(9, 1_440, NatType::Restricted, false));
+        let nc = characterize(&collector.snapshot());
+        assert_eq!(nc.homes[0].modal_type, NatType::Restricted);
+    }
+
+    #[test]
+    fn detection_score_with_empty_truth_set_grades_flags_as_false_positives() {
+        // Probed homes but nothing actually fronted: every flag is a
+        // false positive, precision collapses, recall stays 1.0 by
+        // convention (no fronted home was missed).
+        let homes = [
+            HomeNat { router: RouterId(1), modal_type: NatType::Symmetric, probes: 2, cgn_detected: true },
+            HomeNat { router: RouterId(2), modal_type: NatType::FullCone, probes: 2, cgn_detected: false },
+        ];
+        let s = score_detection(&homes, &BTreeSet::new());
+        assert_eq!((s.detected, s.false_positives, s.missed), (0, 1, 0));
+        assert_eq!((s.precision, s.recall), (0.0, 1.0));
+
+        // Same homes with no flags at all: both ratios are the 1.0
+        // convention — nothing flagged, nothing fronted.
+        let quiet = [
+            HomeNat { router: RouterId(3), modal_type: NatType::Open, probes: 1, cgn_detected: false },
+        ];
+        let clean = score_detection(&quiet, &BTreeSet::new());
+        assert_eq!((clean.detected, clean.false_positives, clean.missed), (0, 0, 0));
+        assert_eq!((clean.precision, clean.recall), (1.0, 1.0));
+    }
+
+    #[test]
     fn detection_score_counts_all_four_quadrants() {
         let homes = [
             HomeNat { router: RouterId(1), modal_type: NatType::Symmetric, probes: 3, cgn_detected: true },

@@ -10,7 +10,7 @@ use firmware::records::RouterId;
 use household::VendorClass;
 use simnet::time::SimTime;
 use simnet::wifi::Band;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Figure 13: mean wireless stations per local hour of day, weekday vs
 /// weekend, from the WiFi scans.
@@ -39,7 +39,10 @@ pub fn fig13(data: &Datasets, window: Window) -> Fig13 {
 /// [`fig13`] over a prebuilt index (UTC-offset lookups become O(1)).
 pub fn fig13_with(idx: &DataIndex, window: Window) -> Fig13 {
     // Sum both bands per (router, scan instant), then bucket by local hour.
-    let mut per_scan: HashMap<(RouterId, SimTime), u32> = HashMap::new();
+    // BTreeMap so the float accumulation below runs in key order — the
+    // sums are exact (small integers) but ordered iteration keeps the
+    // float-accum-order invariant by construction.
+    let mut per_scan: BTreeMap<(RouterId, SimTime), u32> = BTreeMap::new();
     for scan in &idx.data().wifi {
         if window.contains(scan.at) {
             *per_scan.entry((scan.router, scan.at)).or_default() +=

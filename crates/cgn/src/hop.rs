@@ -185,6 +185,7 @@ impl CgnHop {
         };
         CgnHop::new(
             behavior,
+            // simlint: allow(hot-path-transitive) — setup-time constructor for hole-punch trials, conflated with hot `new` by name-level call resolution
             vec![BlockLease {
                 window: forever,
                 addr,

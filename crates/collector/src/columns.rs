@@ -309,7 +309,9 @@ impl DomainPool {
             return id;
         }
         let id = self.pool.len() as u32;
+        // simlint: allow(hot-path-transitive) — first-sight interning clones once per unique domain, amortized away on the per-record path
         self.pool.push(domain.clone());
+        // simlint: allow(hot-path-transitive) — second copy of the same first-sight-only clone
         self.lookup.insert(domain.clone(), id);
         id
     }

@@ -3,21 +3,26 @@
 //! ```text
 //! simlint --workspace [--json]          # scan every first-party .rs file
 //! simlint PATH... [--json]              # scan specific files
+//! simlint --audit                       # list suppressions + whitelist + baseline
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. `--audit` is
+//! informational and always exits 0 on success.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  simlint --workspace [--json]\n  simlint PATH... [--json]\n\n\
+        "usage:\n  simlint --workspace [--json]\n  simlint PATH... [--json]\n  simlint --audit\n\n\
          Scans for violations of the project invariants (rules: {}).\n\
          Suppress with `// simlint: allow(<rule>) — <justification>`.\n\
-         Config at the workspace root: {} (hot-path manifest), {} (baseline).",
+         Config at the workspace root: {} (hot-path manifest), {} (layering manifest),\n\
+         {} (shared-state whitelist), {} (baseline).",
         simlint::rules::RULES.join(", "),
         simlint::HOTPATHS_FILE,
+        simlint::LAYERS_FILE,
+        simlint::SHARED_STATE_FILE,
         simlint::BASELINE_FILE,
     );
     ExitCode::from(2)
@@ -27,16 +32,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let workspace = args.iter().any(|a| a == "--workspace");
+    let audit = args.iter().any(|a| a == "--audit");
     let paths: Vec<PathBuf> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(PathBuf::from)
         .collect();
-    if !workspace && paths.is_empty() {
+    if !workspace && !audit && paths.is_empty() {
         return usage();
     }
-    if workspace && !paths.is_empty() {
-        eprintln!("simlint: --workspace takes no paths");
+    if (workspace || audit) && !paths.is_empty() {
+        eprintln!("simlint: --workspace/--audit take no paths");
         return usage();
     }
 
@@ -51,6 +57,19 @@ fn main() -> ExitCode {
         eprintln!("simlint: no workspace Cargo.toml found above {}", cwd.display());
         return ExitCode::from(2);
     };
+
+    if audit {
+        return match simlint::audit_workspace(&root) {
+            Ok(listing) => {
+                print!("{listing}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let result = if workspace {
         simlint::scan_workspace(&root)

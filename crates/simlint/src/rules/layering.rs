@@ -1,0 +1,224 @@
+//! Layering family: the workspace's crate-dependency edges must match
+//! the checked-in `simlint-layers.txt`, which mirrors DESIGN.md's
+//! dep-flow (`simnet ← netstack ← household ← core`, etc.).
+//!
+//! This is the one rule that runs on the whole-workspace graph rather
+//! than per file, with three arms:
+//!
+//! 1. a `[dependencies]` edge between members that the manifest does not
+//!    declare — the finding points at the `Cargo.toml` line, so adding a
+//!    dependency forces a deliberate layering decision;
+//! 2. a manifest line no `Cargo.toml` backs — stale entries are
+//!    findings, exactly like hot-path manifest rot;
+//! 3. a declared edge whose dependency is never referenced from the
+//!    consumer's sources — dead edges blur the layer diagram and slow
+//!    builds, so they must be deleted from both files.
+
+use super::{push, Finding};
+use crate::graph::SymbolGraph;
+
+/// Name of the layering manifest at the workspace root.
+pub const LAYERS_FILE: &str = "simlint-layers.txt";
+
+/// One `consumer -> dependency` line of `simlint-layers.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEdge {
+    /// Consumer package name.
+    pub from: String,
+    /// Dependency package name.
+    pub to: String,
+    /// 1-based line in the manifest.
+    pub line: u32,
+}
+
+/// Parse the manifest: one `consumer -> dependency` per line, `#` comments.
+pub fn parse_layers(text: &str) -> Vec<LayerEdge> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((from, to)) = line.split_once("->") else { continue };
+        out.push(LayerEdge {
+            from: from.trim().to_string(),
+            to: to.trim().to_string(),
+            line: (i + 1) as u32,
+        });
+    }
+    out
+}
+
+/// `layering`: reconcile the graph's Cargo edges with the manifest.
+pub(crate) fn rule_layering(
+    graph: &SymbolGraph,
+    manifest: &[LayerEdge],
+    out: &mut Vec<Finding>,
+) {
+    // Arm 1 + 3: walk every declared dependency edge.
+    for cg in graph.crates.values() {
+        for dep in &cg.deps {
+            let cargo_path = format!("{}/Cargo.toml", cg.dir);
+            if !manifest.iter().any(|e| e.from == cg.package && e.to == dep.to) {
+                push(
+                    out,
+                    "layering",
+                    &cargo_path,
+                    dep.line,
+                    format!(
+                        "dependency edge `{} -> {}` is not declared in {LAYERS_FILE}; add it \
+                         there (a deliberate layering decision) or remove the dependency",
+                        cg.package, dep.to
+                    ),
+                );
+            }
+            let dep_lib = graph
+                .crates
+                .values()
+                .find(|c| c.package == dep.to)
+                .map(|c| c.lib_name.clone())
+                .unwrap_or_else(|| dep.to.clone());
+            if !cg.refs.contains(&dep_lib) {
+                push(
+                    out,
+                    "layering",
+                    &cargo_path,
+                    dep.line,
+                    format!(
+                        "declared dependency `{}` is never referenced from `{}` sources; \
+                         delete the edge from Cargo.toml and {LAYERS_FILE}",
+                        dep.to, cg.package
+                    ),
+                );
+            }
+        }
+    }
+    // Arm 2: manifest lines with no backing Cargo edge.
+    for e in manifest {
+        let backed = graph
+            .crates
+            .values()
+            .any(|cg| cg.package == e.from && cg.deps.iter().any(|d| d.to == e.to));
+        if !backed {
+            push(
+                out,
+                "layering",
+                LAYERS_FILE,
+                e.line,
+                format!(
+                    "manifest edge `{} -> {}` matches no [dependencies] entry; delete the \
+                     stale line",
+                    e.from, e.to
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CrateGraph, DepEdge};
+    use std::collections::BTreeSet;
+
+    fn crate_entry(package: &str, deps: &[(&str, u32)], refs: &[&str]) -> CrateGraph {
+        CrateGraph {
+            package: package.to_string(),
+            lib_name: package.to_string(),
+            dir: format!("crates/{package}"),
+            deps: deps
+                .iter()
+                .map(|&(to, line)| DepEdge { to: to.to_string(), line })
+                .collect(),
+            refs: refs.iter().map(|r| r.to_string()).collect::<BTreeSet<_>>(),
+            ..CrateGraph::default()
+        }
+    }
+
+    fn graph(crates: Vec<CrateGraph>) -> SymbolGraph {
+        let mut g = SymbolGraph::default();
+        for c in crates {
+            g.crates.insert(c.dir.clone(), c);
+        }
+        g
+    }
+
+    #[test]
+    fn layers_parsing() {
+        let m = parse_layers("# deps\nanalysis -> collector\n\nnetstack->simnet\n");
+        assert_eq!(m.len(), 2);
+        assert_eq!((m[0].from.as_str(), m[0].to.as_str(), m[0].line), ("analysis", "collector", 2));
+        assert_eq!((m[1].from.as_str(), m[1].to.as_str(), m[1].line), ("netstack", "simnet", 4));
+    }
+
+    #[test]
+    fn undeclared_cargo_edge_is_a_finding_at_the_dep_line() {
+        let g = graph(vec![
+            crate_entry("netstack", &[("simnet", 9)], &["simnet"]),
+            crate_entry("simnet", &[], &[]),
+        ]);
+        let mut out = Vec::new();
+        rule_layering(&g, &[], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, "crates/netstack/Cargo.toml");
+        assert_eq!(out[0].line, 9);
+        assert!(out[0].message.contains("netstack -> simnet"));
+    }
+
+    #[test]
+    fn matching_manifest_is_clean() {
+        let g = graph(vec![
+            crate_entry("netstack", &[("simnet", 9)], &["simnet"]),
+            crate_entry("simnet", &[], &[]),
+        ]);
+        let manifest =
+            vec![LayerEdge { from: "netstack".into(), to: "simnet".into(), line: 2 }];
+        let mut out = Vec::new();
+        rule_layering(&g, &manifest, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stale_manifest_edge_is_a_finding_at_the_manifest_line() {
+        let g = graph(vec![crate_entry("simnet", &[], &[])]);
+        let manifest =
+            vec![LayerEdge { from: "netstack".into(), to: "simnet".into(), line: 7 }];
+        let mut out = Vec::new();
+        rule_layering(&g, &manifest, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, LAYERS_FILE);
+        assert_eq!(out[0].line, 7);
+        assert!(out[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn unreferenced_dependency_is_a_finding() {
+        let g = graph(vec![
+            crate_entry("netstack", &[("simnet", 9)], &[]),
+            crate_entry("simnet", &[], &[]),
+        ]);
+        let manifest =
+            vec![LayerEdge { from: "netstack".into(), to: "simnet".into(), line: 2 }];
+        let mut out = Vec::new();
+        rule_layering(&g, &manifest, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("never referenced"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn lib_name_is_used_for_reference_checks() {
+        // bismark-core's lib is `bismark`: a `bismark::` path in the
+        // consumer justifies the `bismark-core` dependency edge.
+        let mut core = crate_entry("bismark-core", &[], &[]);
+        core.lib_name = "bismark".to_string();
+        let g = graph(vec![
+            crate_entry("bench", &[("bismark-core", 12)], &["bismark"]),
+            core,
+        ]);
+        let manifest =
+            vec![LayerEdge { from: "bench".into(), to: "bismark-core".into(), line: 3 }];
+        let mut out = Vec::new();
+        rule_layering(&g, &manifest, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Panic-safety family: the ingest / spill / upload path must degrade
+//! into typed errors or explicit gap declarations — it may neither
+//! crash (`panic-in-ingest`) nor silently discard a `Result`
+//! (`error-swallow`).
+
+use super::{in_spans, push, FileInput, Finding, INGEST_FILES, KEYWORDS};
+use crate::lexer::{Token, TokenKind};
+
+/// `panic-in-ingest`: potential panics on the ingest/export/upload path.
+pub(crate) fn rule_panic_in_ingest(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    test_spans: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !INGEST_FILES.contains(&input.path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(test_spans, t.line) {
+            continue;
+        }
+        // .unwrap( / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                out,
+                "panic-in-ingest",
+                input.path,
+                t.line,
+                format!(
+                    "`.{}()` can panic on the ingest path; return a typed error, handle the \
+                     None/Err case, or document infallibility with a suppression",
+                    t.text
+                ),
+            );
+        }
+        // panic!/unreachable!/todo!/unimplemented!
+        if ["panic", "unreachable", "todo", "unimplemented"].iter().any(|m| t.is_ident(m))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                out,
+                "panic-in-ingest",
+                input.path,
+                t.line,
+                format!("`{}!` aborts ingestion; degrade into a typed error instead", t.text),
+            );
+        }
+        // Slice/array indexing: `[` directly after an expression tail.
+        if t.is_punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexes_expr = (prev.kind == TokenKind::Ident
+                && !KEYWORDS.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if indexes_expr {
+                push(
+                    out,
+                    "panic-in-ingest",
+                    input.path,
+                    t.line,
+                    "slice indexing can panic on the ingest path; use .get() or document the \
+                     bounds invariant with a suppression"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// `error-swallow`: `let _ = ..` and statement-tail `.ok();` on the
+/// ingest path discard a `Result` the loss-accounting story depends on
+/// (PR 3 made every loss an explicit gap declaration; PR 7 extended
+/// that to spill I/O). Either handle the error or record it on the
+/// gap/stats ledger — and if discarding really is correct, say why in a
+/// suppression.
+pub(crate) fn rule_error_swallow(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    test_spans: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !INGEST_FILES.contains(&input.path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(test_spans, t.line) {
+            continue;
+        }
+        // let _ = <expr>;  (exactly the wildcard: `let _x` keeps the value
+        // nameable and is not a discard pattern).
+        if t.is_ident("let")
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("_"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            push(
+                out,
+                "error-swallow",
+                input.path,
+                t.line,
+                "`let _ =` discards a Result on the ingest path; handle the error, record it \
+                 on the gap/stats ledger, or justify the discard with a suppression"
+                    .to_string(),
+            );
+        }
+        // <expr>.ok();  — the Result evaporates at statement end.
+        if t.is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident("ok"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            && tokens.get(i + 4).is_some_and(|n| n.is_punct(';'))
+        {
+            push(
+                out,
+                "error-swallow",
+                input.path,
+                t.line,
+                "statement-tail `.ok()` discards a Result on the ingest path; handle the \
+                 error, record it on the gap/stats ledger, or justify the discard with a \
+                 suppression"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::scan;
+
+    #[test]
+    fn panic_in_ingest_unwrap_and_index() {
+        let src = "
+            fn ingest(v: &[u8]) -> u8 {
+                let first = v.first().unwrap();
+                v[10] + first
+            }";
+        let f = scan("crates/collector/src/server.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "panic-in-ingest"));
+        assert!(scan("crates/collector/src/windows.rs", src).is_empty(), "path-scoped");
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(scan("crates/collector/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn array_types_and_literals_not_indexing() {
+        let src = "
+            fn f(buf: &mut [u8; 4]) -> [u8; 2] {
+                let _x: Vec<[u8; 4]> = vec![];
+                let [a, b] = [0u8, 1u8];
+                [a, b]
+            }";
+        assert!(scan("crates/firmware/src/uploader.rs", src).is_empty());
+    }
+
+    #[test]
+    fn let_underscore_discard_flagged_on_ingest_path() {
+        let src = "
+            fn cleanup(dir: &std::path::Path) {
+                let _ = std::fs::remove_dir_all(dir);
+            }";
+        let f = scan("crates/collector/src/spill.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "error-swallow");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn statement_tail_ok_discard_flagged() {
+        let src = "
+            fn cleanup(dir: &std::path::Path) {
+                std::fs::remove_dir_all(dir).ok();
+            }";
+        let f = scan("crates/collector/src/server.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "error-swallow");
+    }
+
+    #[test]
+    fn ok_in_expression_position_not_flagged() {
+        // `.ok()` feeding a combinator keeps the outcome observable.
+        let src = "
+            fn read(p: &std::path::Path) -> Option<Vec<u8>> {
+                std::fs::read(p).ok().filter(|v| !v.is_empty())
+            }";
+        let f = scan("crates/collector/src/spill.rs", src);
+        assert!(f.iter().all(|x| x.rule != "error-swallow"), "{f:?}");
+    }
+
+    #[test]
+    fn named_underscore_binding_not_flagged() {
+        let src = "fn f() { let _guard = acquire(); }";
+        assert!(scan("crates/collector/src/spill.rs", src).is_empty());
+    }
+
+    #[test]
+    fn error_swallow_scoped_to_ingest_files() {
+        let src = "fn f() { let _ = send(); }";
+        assert!(scan("crates/simnet/src/packet.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Threading family: `shared-state` confines concurrency primitives in
+//! dataset/analysis crates to files whitelisted in
+//! `simlint-shared-state.txt`.
+//!
+//! The flagged constructs are the three ways this workspace could grow
+//! schedule-dependent behavior ahead of the multicore refactor (ROADMAP
+//! item 2): `static mut` (unsynchronized globals), `spawn(..)` (ad-hoc
+//! threads outside the audited scoped-merge orchestration), and
+//! `Ordering::Relaxed` atomics (no cross-thread ordering). Each
+//! whitelist entry names one file + construct with a justification; one
+//! entry covers every site of that construct in the file, because the
+//! review unit is "this file's use of threads/atomics is deliberate".
+//! Entries that match no site are flagged as stale by the workspace
+//! pass, exactly like hot-path manifest rot.
+
+use super::{in_spans, push, FileInput, Finding, DATASET_CRATES};
+use crate::lexer::Token;
+
+/// Constructs the rule recognizes (the second column of the whitelist).
+pub const SHARED_STATE_CONSTRUCTS: &[&str] = &["static-mut", "spawn", "relaxed-atomic"];
+
+/// One line of `simlint-shared-state.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedStateEntry {
+    /// Workspace-relative file the entry covers.
+    pub path: String,
+    /// One of [`SHARED_STATE_CONSTRUCTS`].
+    pub construct: String,
+    /// Why this file's use of the construct is sound (required).
+    pub justification: String,
+    /// 1-based line in the whitelist file.
+    pub line: u32,
+}
+
+/// Parse the whitelist: `path construct justification...` per line
+/// (whitespace-separated, justification is the rest of the line),
+/// `#` comments.
+pub fn parse_shared_whitelist(text: &str) -> Vec<SharedStateEntry> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let (Some(path), Some(construct)) = (parts.next(), parts.next()) else { continue };
+        out.push(SharedStateEntry {
+            path: path.to_string(),
+            construct: construct.to_string(),
+            justification: parts.next().unwrap_or("").trim().to_string(),
+            line: (i + 1) as u32,
+        });
+    }
+    out
+}
+
+/// `shared-state`: returns `(whitelisted site count, used whitelist
+/// entry lines)` alongside any findings for unlisted sites.
+pub(crate) fn rule_shared_state(
+    input: &FileInput<'_>,
+    tokens: &[Token],
+    test_spans: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) -> (usize, Vec<u32>) {
+    let scoped = DATASET_CRATES.iter().any(|c| input.path.starts_with(c))
+        || input.path.starts_with("crates/analysis/src/");
+    if !scoped {
+        return (0, Vec::new());
+    }
+    let mut whitelisted = 0usize;
+    let mut used: Vec<u32> = Vec::new();
+    let mut site = |construct: &str, line: u32, message: String, out: &mut Vec<Finding>| {
+        let hit = input
+            .shared_whitelist
+            .iter()
+            .find(|e| e.path == input.path && e.construct == construct);
+        match hit {
+            Some(e) => {
+                whitelisted += 1;
+                used.push(e.line);
+            }
+            None => push(out, "shared-state", input.path, line, message),
+        }
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(test_spans, t.line) {
+            continue;
+        }
+        if t.is_ident("static") && tokens.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            site(
+                "static-mut",
+                t.line,
+                "`static mut` is an unsynchronized global; use an atomic or pass state \
+                 explicitly, or whitelist the file in simlint-shared-state.txt with a \
+                 justification"
+                    .to_string(),
+                out,
+            );
+        }
+        if t.is_ident("spawn") && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            site(
+                "spawn",
+                t.line,
+                "`spawn(..)` creates a thread in a dataset crate; keep orchestration in the \
+                 audited scoped-merge files (whitelist the file in simlint-shared-state.txt \
+                 with a justification)"
+                    .to_string(),
+                out,
+            );
+        }
+        if t.is_ident("Relaxed") {
+            site(
+                "relaxed-atomic",
+                t.line,
+                "`Ordering::Relaxed` gives no cross-thread ordering; use Acquire/Release or \
+                 whitelist the file in simlint-shared-state.txt with a justification for why \
+                 relaxed counters stay deterministic"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+    used.sort_unstable();
+    used.dedup();
+    (whitelisted, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::scan;
+    use super::super::{scan_file, FileInput};
+    use super::*;
+
+    #[test]
+    fn whitelist_parsing_reads_path_construct_and_justification() {
+        let text = "# comment\n\ncrates/obs/src/lib.rs\trelaxed-atomic\tcounters merged by sum\n\
+                    crates/core/src/study.rs spawn scoped workers joined before snapshot\n";
+        let w = parse_shared_whitelist(text);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].path, "crates/obs/src/lib.rs");
+        assert_eq!(w[0].construct, "relaxed-atomic");
+        assert_eq!(w[0].justification, "counters merged by sum");
+        assert_eq!(w[0].line, 3);
+        assert_eq!(w[1].construct, "spawn");
+        assert_eq!(w[1].justification, "scoped workers joined before snapshot");
+    }
+
+    #[test]
+    fn spawn_and_relaxed_flagged_in_dataset_crate() {
+        let src = "
+            use std::sync::atomic::{AtomicU64, Ordering};
+            fn f(c: &AtomicU64) {
+                std::thread::spawn(|| {});
+                c.fetch_add(1, Ordering::Relaxed);
+            }";
+        let f = scan("crates/collector/src/columns.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "shared-state" && x.line == 4));
+        assert!(f.iter().any(|x| x.rule == "shared-state" && x.line == 5));
+    }
+
+    #[test]
+    fn static_mut_flagged() {
+        let src = "static mut COUNTER: u64 = 0;";
+        let f = scan("crates/simnet/src/packet.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "shared-state");
+        assert!(f[0].message.contains("static mut"));
+    }
+
+    #[test]
+    fn whitelisted_file_is_silent_and_reports_usage() {
+        let src = "
+            use std::sync::atomic::{AtomicU64, Ordering};
+            fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let wl = vec![SharedStateEntry {
+            path: "crates/obs/src/lib.rs".to_string(),
+            construct: "relaxed-atomic".to_string(),
+            justification: "counters merged by sum".to_string(),
+            line: 4,
+        }];
+        let scanned = scan_file(&FileInput {
+            path: "crates/obs/src/lib.rs",
+            source: src,
+            shared_whitelist: &wl,
+            ..FileInput::default()
+        });
+        assert!(scanned.findings.is_empty(), "{:?}", scanned.findings);
+        assert_eq!(scanned.whitelisted, 1);
+        assert_eq!(scanned.whitelist_used, vec![4]);
+    }
+
+    #[test]
+    fn whitelist_entry_does_not_cover_other_construct() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let wl = vec![SharedStateEntry {
+            path: "crates/obs/src/lib.rs".to_string(),
+            construct: "relaxed-atomic".to_string(),
+            justification: "counters merged by sum".to_string(),
+            line: 4,
+        }];
+        let scanned = scan_file(&FileInput {
+            path: "crates/obs/src/lib.rs",
+            source: src,
+            shared_whitelist: &wl,
+            ..FileInput::default()
+        });
+        assert_eq!(scanned.findings.len(), 1, "{:?}", scanned.findings);
+        assert_eq!(scanned.findings[0].rule, "shared-state");
+    }
+
+    #[test]
+    fn shared_state_ignores_test_code_and_out_of_scope_crates() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn t() { std::thread::spawn(|| {}); }
+            }";
+        assert!(scan("crates/collector/src/columns.rs", src).is_empty());
+        let bench = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(scan("crates/bench/src/lib.rs", bench).is_empty());
+    }
+}

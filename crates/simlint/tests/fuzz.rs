@@ -1,32 +1,39 @@
-//! Property tests for the scanner itself.
+//! Property tests for the scanner and the symbol-graph builder.
 //!
-//! Two invariants matter more than any individual rule:
+//! Three invariants matter more than any individual rule:
 //!
-//! * the scanner must never panic, whatever bytes it is pointed at — it
-//!   runs inside `cargo test` on every build, so a crash on weird input
-//!   would take the whole gate down with it;
+//! * the scanner and the graph builder must never panic, whatever bytes
+//!   they are pointed at — they run inside `cargo test` on every build,
+//!   so a crash on weird input would take the whole gate down with it;
 //! * a justified suppression must actually silence its finding, and only
-//!   its finding — otherwise the escape hatch is either useless or a hole.
+//!   its finding — otherwise the escape hatch is either useless or a hole;
+//! * the call graph must be deterministic: two builds over the same
+//!   sources produce identical edges, or graph-aware rules would flap.
 
 use proptest::prelude::*;
+use simlint::graph::{CrateGraph, SymbolGraph};
 use simlint::rules::{parse_hotpaths, scan_file, FileInput};
 
-/// Single-line statements that each trip exactly one rule when placed in
+/// Single-line statements that each trip at least one rule when placed in
 /// `crates/collector/src/server.rs` (a dataset crate and an ingest file),
 /// plus neutral filler. Kept single-line and comment-free so a `//`
 /// suppression can be appended to any of them.
 const FRAGMENTS: &[&str] = &[
     "    let mut m: HashMap<u32, u32> = HashMap::new();",
-    "    for (k, v) in m.iter() { let _ = (k, v); }",
+    "    for (k, v) in m.iter() { sink(k, v); }",
     "    let _t = std::time::Instant::now();",
     "    let mut _r = rand::thread_rng();",
     "    let _v = input.unwrap();",
+    "    let _ = input;",
+    "    input.clone().ok();",
+    "    std::thread::spawn(move || {});",
+    "    flag.store(true, Ordering::Relaxed);",
     "    let _e = buf[0];",
     "    let _x = 1u64 + 2;",
     "    let _s = other.len();",
 ];
 
-fn assemble(picks: &[usize]) -> String {
+fn assemble_source(picks: &[usize]) -> String {
     let mut src = String::from("fn scanned(input: Option<u32>, buf: &[u8], other: &str) {\n");
     for &p in picks {
         src.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
@@ -42,7 +49,21 @@ fn scan(source: &str) -> simlint::rules::FileScan {
         path: "crates/collector/src/server.rs",
         source,
         hotpaths: &hotpaths,
+        ..FileInput::default()
     })
+}
+
+/// Build the symbol graph for a single synthetic member crate over the
+/// given sources, the same way `SymbolGraph::build` would after manifest
+/// parsing.
+fn graph_over(sources: Vec<(String, String)>) -> SymbolGraph {
+    let member = CrateGraph {
+        package: "fuzz".to_string(),
+        lib_name: "fuzz".to_string(),
+        dir: "crates/fuzz".to_string(),
+        ..CrateGraph::default()
+    };
+    SymbolGraph::assemble(vec![member], &sources)
 }
 
 proptest! {
@@ -55,10 +76,47 @@ proptest! {
             path: "crates/simnet/src/fuzzed.rs",
             source: &source,
             hotpaths: &[],
+            ..FileInput::default()
         });
         for f in &scan.findings {
             prop_assert!(f.line >= 1, "finding lines are 1-based: {f:?}");
         }
+    }
+
+    /// The symbol-graph builder must survive the same arbitrary bytes: it
+    /// runs over every workspace file before any rule does.
+    #[test]
+    fn graph_builder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let g = graph_over(vec![("crates/fuzz/src/lib.rs".to_string(), source)]);
+        let cg = &g.crates["crates/fuzz"];
+        for f in &cg.fns {
+            prop_assert!(f.line >= 1, "fn lines are 1-based: {f:?}");
+        }
+        for c in &cg.calls {
+            prop_assert!(c.line >= 1, "call lines are 1-based: {c:?}");
+            prop_assert!(c.caller < cg.fns.len(), "caller index in range: {c:?}");
+        }
+    }
+
+    /// Two graph builds over identical sources must produce identical
+    /// fns, call edges, types, and refs — the call graph feeds
+    /// hot-path-transitive, so nondeterminism here would make the lint
+    /// gate itself flap.
+    #[test]
+    fn call_graph_edges_are_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let files = vec![
+            ("crates/fuzz/src/lib.rs".to_string(), source.clone()),
+            ("crates/fuzz/src/extra.rs".to_string(), format!("pub fn seeded() {{ helper(); }}\n{source}")),
+        ];
+        let a = graph_over(files.clone());
+        let b = graph_over(files);
+        let (ca, cb) = (&a.crates["crates/fuzz"], &b.crates["crates/fuzz"]);
+        prop_assert_eq!(&ca.fns, &cb.fns);
+        prop_assert_eq!(&ca.calls, &cb.calls);
+        prop_assert_eq!(&ca.types, &cb.types);
+        prop_assert_eq!(&ca.refs, &cb.refs);
     }
 
     /// Appending a justified allow-comment to every finding line silences
@@ -67,7 +125,7 @@ proptest! {
     /// appears.
     #[test]
     fn suppressed_findings_never_escape(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..40)) {
-        let source = assemble(&picks);
+        let source = assemble_source(&picks);
         let first = scan(&source);
 
         let mut lines: Vec<String> = source.lines().map(String::from).collect();
@@ -96,7 +154,7 @@ proptest! {
     /// clean scan: every suppression surfaces as unjustified-suppression.
     #[test]
     fn unjustified_suppressions_always_surface(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 1..40)) {
-        let source = assemble(&picks);
+        let source = assemble_source(&picks);
         let first = scan(&source);
         prop_assume!(!first.findings.is_empty());
 

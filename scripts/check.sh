@@ -6,12 +6,16 @@
 #   SKIP_TESTS=1 scripts/check.sh # simlint only (fast pre-commit loop)
 #
 # simlint enforces the workspace's static invariants (deterministic
-# iteration in dataset crates, no wall-clock or ambient RNG in simulation
-# code, no panics on the ingest path, no allocation in manifest-listed hot
-# functions). The same scan runs as a test target (tests/simlint_clean.rs),
-# so `cargo test` alone also fails on a new finding; running it here too
-# gives the human-readable diagnostics first and a nonzero exit without
-# scanning the test harness output.
+# iteration and ordered float accumulation in dataset/analysis crates, no
+# wall-clock or ambient RNG in simulation code, no panics or swallowed
+# errors on the ingest path, no allocation in manifest-listed hot
+# functions or anything the call graph reaches from them, layering per
+# simlint-layers.txt, threads/atomics only in whitelisted files). The same
+# scan runs as a test target (tests/simlint_clean.rs), so `cargo test`
+# alone also fails on a new finding; running it here too gives the
+# human-readable diagnostics first and a nonzero exit without scanning the
+# test harness output. The JSON report lands in target/simlint-report.json
+# for tooling, and the audit listing accounts for every suppression.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -162,4 +166,12 @@ fi
 
 echo "== simlint =="
 cargo run -q --offline -p simlint -- --workspace
+mkdir -p target
+cargo run -q --offline -p simlint -- --workspace --json > target/simlint-report.json
+echo "simlint report artifact: target/simlint-report.json"
+echo "== simlint audit =="
+# Every accepted deviation (inline suppression, shared-state whitelist
+# entry, baseline line) listed with its justification; the summary line
+# is the count a reviewer should expect to stay flat or shrink.
+cargo run -q --offline -p simlint -- --audit | tail -n 1
 echo "check.sh: all gates passed"

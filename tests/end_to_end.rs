@@ -268,6 +268,23 @@ fn cli_rejects_bad_homes_values_by_name_with_exit_2() {
     assert!(stderr.contains("--full"), "conflict error must also name --full: {stderr}");
 }
 
+/// Strict-parser contract for the spill axis: `--spill-dir` without
+/// `--spill-budget` is a configuration that silently never spills, so it
+/// exits 2 and the error names both flags.
+#[test]
+fn cli_rejects_spill_dir_without_budget_by_name_with_exit_2() {
+    for args in [
+        &["run", "--spill-dir", "/tmp/spill"][..],
+        &["run", "--homes", "50", "--spill-dir", "/tmp/spill"][..],
+    ] {
+        let out = run_cli(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--spill-dir"), "stderr must name --spill-dir for {args:?}: {stderr}");
+        assert!(stderr.contains("--spill-budget"), "stderr must name --spill-budget for {args:?}: {stderr}");
+    }
+}
+
 /// A generatively scaled study runs end to end: 1000 synthetic homes,
 /// every one of them reporting through the full pipeline.
 #[test]
