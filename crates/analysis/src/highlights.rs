@@ -7,6 +7,7 @@ use crate::infrastructure;
 use crate::usage;
 use collector::windows::Window;
 use collector::Datasets;
+use firmware::records::RouterId;
 use household::{Country, Region};
 use simnet::time::SimDuration;
 
@@ -95,13 +96,23 @@ pub fn table2(data: &Datasets, windows: &[(&'static str, Window)]) -> Vec<Table2
                     .collect(),
                 other => panic!("unknown dataset {other}"),
             };
-            let countries: HashSet<_> = routers
-                .iter()
-                .filter_map(|r| data.meta(*r).map(|m| m.country))
-                .collect();
-            Table2Row { dataset: name, routers: routers.len(), countries: countries.len(), window: *window }
+            table2_row(data, name, *window, &routers)
         })
         .collect()
+}
+
+/// One [`table2`] row from an already-collected contributing-router set
+/// (shared by the batch arms above and the stream-mode accumulator,
+/// which maintains the WiFi and Traffic sets incrementally).
+pub(crate) fn table2_row(
+    data: &Datasets,
+    dataset: &'static str,
+    window: Window,
+    routers: &std::collections::HashSet<RouterId>,
+) -> Table2Row {
+    let countries: std::collections::HashSet<_> =
+        routers.iter().filter_map(|r| data.meta(*r).map(|m| m.country)).collect();
+    Table2Row { dataset, routers: routers.len(), countries: countries.len(), window }
 }
 
 /// Table 3: §4's highlight numbers.

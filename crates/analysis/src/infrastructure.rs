@@ -5,6 +5,7 @@ use crate::index::DataIndex;
 use crate::stats::{Cdf, MeanStd};
 use collector::windows::Window;
 use collector::Datasets;
+use firmware::anonymize::AnonMac;
 use firmware::records::{Medium, RouterId};
 use household::{Region, VendorClass};
 use simnet::wifi::Band;
@@ -13,12 +14,18 @@ use std::collections::{HashMap, HashSet};
 /// Figure 7: CDF of unique devices per home (from the hourly association
 /// reports within the Devices window).
 pub fn fig7(data: &Datasets, window: Window) -> Cdf {
-    let mut per_home: HashMap<RouterId, HashSet<_>> = HashMap::new();
+    let mut per_home: HashMap<RouterId, HashSet<AnonMac>> = HashMap::new();
     for assoc in &data.associations {
         if window.contains(assoc.at) {
             per_home.entry(assoc.router).or_default().insert(assoc.device);
         }
     }
+    fig7_from_sets(&per_home)
+}
+
+/// [`fig7`] from already-collected per-home device sets (shared by the
+/// batch pass above and the stream-mode incremental accumulator).
+pub(crate) fn fig7_from_sets(per_home: &HashMap<RouterId, HashSet<AnonMac>>) -> Cdf {
     Cdf::from_samples(per_home.values().map(|set| set.len() as f64))
 }
 
@@ -101,7 +108,7 @@ pub struct Fig10 {
 
 /// Compute Figure 10 from the association reports in `window`.
 pub fn fig10(data: &Datasets, window: Window) -> Fig10 {
-    let mut per_home: HashMap<(RouterId, Band), HashSet<_>> = HashMap::new();
+    let mut per_home: HashMap<(RouterId, Band), HashSet<AnonMac>> = HashMap::new();
     let mut homes: HashSet<RouterId> = HashSet::new();
     for assoc in &data.associations {
         if !window.contains(assoc.at) {
@@ -112,6 +119,15 @@ pub fn fig10(data: &Datasets, window: Window) -> Fig10 {
             per_home.entry((assoc.router, band)).or_default().insert(assoc.device);
         }
     }
+    fig10_from_sets(&homes, &per_home)
+}
+
+/// [`fig10`] from already-collected per-band device sets (shared by the
+/// batch pass above and the stream-mode incremental accumulator).
+pub(crate) fn fig10_from_sets(
+    homes: &HashSet<RouterId>,
+    per_home: &HashMap<(RouterId, Band), HashSet<AnonMac>>,
+) -> Fig10 {
     let collect = |band: Band| {
         Cdf::from_samples(homes.iter().map(|router| {
             per_home.get(&(*router, band)).map_or(0.0, |set| set.len() as f64)
@@ -147,6 +163,16 @@ pub fn fig11_with(idx: &DataIndex, window: Window) -> Fig11 {
             per_home.entry(scan.router).or_default().insert(ap.bssid_hash);
         }
     }
+    fig11_from_sets(idx, &scanned, &per_home)
+}
+
+/// [`fig11`] from already-collected neighbor-BSSID sets (shared by the
+/// batch pass above and the stream-mode incremental accumulator).
+pub(crate) fn fig11_from_sets(
+    idx: &DataIndex,
+    scanned: &HashSet<RouterId>,
+    per_home: &HashMap<RouterId, HashSet<u64>>,
+) -> Fig11 {
     let collect = |region: Region| {
         Cdf::from_samples(
             scanned
@@ -174,7 +200,13 @@ pub fn fig12(data: &Datasets) -> Vec<(VendorClass, usize)> {
             *counts.entry(vendor).or_default() += 1;
         }
     }
-    let mut out: Vec<(VendorClass, usize)> = counts.into_iter().collect();
+    fig12_from_counts(&counts)
+}
+
+/// [`fig12`]'s final ranking from already-deduplicated vendor counts
+/// (shared by the batch pass above and the incremental accumulator).
+pub(crate) fn fig12_from_counts(counts: &HashMap<VendorClass, usize>) -> Vec<(VendorClass, usize)> {
+    let mut out: Vec<(VendorClass, usize)> = counts.iter().map(|(&v, &n)| (v, n)).collect();
     out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     out
 }
@@ -204,13 +236,7 @@ pub fn table5(data: &Datasets, window: Window) -> Vec<Table5Row> {
 /// [`table5`] over a prebuilt index.
 pub fn table5_with(idx: &DataIndex, window: Window) -> Vec<Table5Row> {
     let data = idx.data();
-    // Census count per home, device-presence count per (home, device).
-    let mut census_count: HashMap<RouterId, usize> = HashMap::new();
-    for census in &data.devices {
-        if window.contains(census.at) {
-            *census_count.entry(census.router).or_default() += 1;
-        }
-    }
+    let census_count = census_counts(data, window);
     let mut presence: HashMap<(RouterId, u32, u32), (usize, Medium)> = HashMap::new();
     for assoc in &data.associations {
         if window.contains(assoc.at) {
@@ -221,12 +247,38 @@ pub fn table5_with(idx: &DataIndex, window: Window) -> Vec<Table5Row> {
             entry.1 = assoc.medium;
         }
     }
+    table5_from_parts(idx, window, &census_count, &presence)
+}
+
+/// Census count per home within `window` (Table 5's denominator).
+pub(crate) fn census_counts(data: &Datasets, window: Window) -> HashMap<RouterId, usize> {
+    let mut census_count: HashMap<RouterId, usize> = HashMap::new();
+    for census in &data.devices {
+        if window.contains(census.at) {
+            *census_count.entry(census.router).or_default() += 1;
+        }
+    }
+    census_count
+}
+
+/// [`table5`]'s row construction from already-folded census counts and
+/// per-device presence tallies. The batch pass above records each
+/// device's *last* medium in association-table order; the incremental
+/// accumulator reproduces that as the medium at the maximal
+/// `(at, medium)` sort key, which is the same record because the table
+/// is sorted by exactly that key within a device's run.
+pub(crate) fn table5_from_parts(
+    idx: &DataIndex,
+    window: Window,
+    census_count: &HashMap<RouterId, usize>,
+    presence: &HashMap<(RouterId, u32, u32), (usize, Medium)>,
+) -> Vec<Table5Row> {
     // A home must have been censused a reasonable number of times.
     let min_censuses =
         (window.duration().as_hours() as usize / 4).max(24);
     let mut wired_homes: HashSet<RouterId> = HashSet::new();
     let mut wireless_homes: HashSet<RouterId> = HashSet::new();
-    for ((router, _, _), (count, medium)) in &presence {
+    for ((router, _, _), (count, medium)) in presence {
         let total = census_count.get(router).copied().unwrap_or(0);
         if total < min_censuses {
             continue;

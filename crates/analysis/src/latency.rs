@@ -35,11 +35,22 @@ pub fn by_region(data: &Datasets, window: Window) -> Vec<RegionLatency> {
             entry.1.push(rec.rtt_max.as_secs_f64() * 1e3);
         }
     }
+    by_region_from(data, &per_home)
+}
+
+/// [`by_region`] from already-collected per-home RTT sample vectors
+/// (shared by the batch pass above and the stream-mode accumulator).
+/// Every aggregate below is a median, which sorts its inputs, so the
+/// result depends only on the per-home sample multisets.
+pub(crate) fn by_region_from(
+    data: &Datasets,
+    per_home: &HashMap<RouterId, (Vec<f64>, Vec<f64>)>,
+) -> Vec<RegionLatency> {
     let mut out = Vec::new();
     for region in [Region::Developed, Region::Developing] {
         let mut medians = Vec::new();
         let mut peaks = Vec::new();
-        for (router, (med, max)) in &per_home {
+        for (router, (med, max)) in per_home {
             if data.meta(*router).map(|m| m.country.region()) == Some(region) {
                 medians.push(median(med));
                 peaks.push(median(max));

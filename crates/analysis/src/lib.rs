@@ -9,6 +9,9 @@
 //! * [`highlights`] — Tables 1–4 and 6;
 //! * [`index`] — the shared per-router [`DataIndex`] the figures read
 //!   through instead of re-scanning whole tables;
+//! * [`incremental`] — stream-mode [`incremental::IncrementalReport`]:
+//!   per-figure partial state folded window by window, finalized to the
+//!   byte-identical batch report;
 //! * [`stats`] — CDFs, quantiles, moments;
 //! * [`artifacts`] — correlated-gap detection separating collector-side
 //!   failures from genuine home downtime (§3.3's limitation, auditable);
@@ -27,6 +30,7 @@ pub mod availability;
 pub mod caps;
 pub mod fingerprint;
 pub mod highlights;
+pub mod incremental;
 pub mod index;
 pub mod latency;
 pub mod infrastructure;
@@ -36,6 +40,7 @@ pub mod report;
 pub mod stats;
 pub mod usage;
 
+pub use incremental::IncrementalReport;
 pub use index::DataIndex;
 pub use report::{ReportWindows, StudyReport};
 pub use stats::Cdf;

@@ -55,6 +55,40 @@ pub struct CountryDetection {
     pub probed: usize,
 }
 
+/// Granularity used to cluster observed mapped ports into blocks for the
+/// port-allocation figure. 512 ports is the common carrier-grade block
+/// size (and the order of magnitude every deployment guide quotes), so
+/// ordinary-NAT homes scatter across many blocks while block-allocated
+/// CGN homes collapse into one or two.
+pub const PORT_BLOCK: u16 = 512;
+
+/// One home's row in the port-allocation figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortAllocRow {
+    /// The home.
+    pub router: RouterId,
+    /// Distinct mapped ports its probes observed.
+    pub distinct_ports: usize,
+    /// Distinct [`PORT_BLOCK`]-sized blocks those ports fall into.
+    pub blocks: usize,
+}
+
+/// The port-allocation distribution over the probe lease timeline: how
+/// each home's observed mapped ports cluster into fixed-size blocks.
+/// Homes whose every observation lands in a single block are the
+/// signature of a block-allocating CGN holding one lease; homes spread
+/// over several blocks either re-leased (eviction) or sit behind an
+/// ordinary per-connection NAT.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PortAllocation {
+    /// Per home, sorted by router ID.
+    pub per_home: Vec<PortAllocRow>,
+    /// Homes whose observed ports all share one block.
+    pub single_block_homes: usize,
+    /// Homes spread over more than one block.
+    pub multi_block_homes: usize,
+}
+
 /// The complete NAT section of the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NatCharacterization {
@@ -68,6 +102,8 @@ pub struct NatCharacterization {
     /// Punch-success matrix cells with at least one attempt, ordered by
     /// (local, peer) wire code.
     pub matrix: Vec<PunchCell>,
+    /// Port-allocation distribution from the probe lease timeline.
+    pub port_allocation: PortAllocation,
     /// Total probe verdicts across all homes.
     pub probes: usize,
     /// Total punch trials across all homes.
@@ -78,13 +114,40 @@ pub struct NatCharacterization {
 pub fn characterize(data: &Datasets) -> NatCharacterization {
     // Per-home verdict tallies: counts by type code, plus CGN flags.
     let mut tally: BTreeMap<RouterId, ([usize; 5], usize, usize)> = BTreeMap::new();
+    let mut ports: BTreeMap<RouterId, BTreeSet<u16>> = BTreeMap::new();
     for probe in data.nat_probes.iter() {
         let entry = tally.entry(probe.router).or_insert(([0; 5], 0, 0));
         entry.0[probe.nat_type.code() as usize] += 1;
         entry.1 += usize::from(probe.cgn_detected);
         entry.2 += 1;
+        ports.entry(probe.router).or_default().insert(probe.mapped_port);
     }
 
+    // Punch matrix: 5×5 cells keyed by (local, peer) wire code.
+    let mut cells: BTreeMap<(u8, u8), (usize, usize)> = BTreeMap::new();
+    let mut trials = 0usize;
+    for trial in data.punch_trials.iter() {
+        let cell = cells.entry((trial.local_type.code(), trial.peer_type.code())).or_insert((0, 0));
+        cell.0 += 1;
+        cell.1 += usize::from(trial.success);
+        trials += 1;
+    }
+
+    characterize_from_parts(data, &tally, &cells, data.nat_probes.len(), trials, &ports)
+}
+
+/// [`characterize`] from already-folded probe tallies — the batch path
+/// builds them in one pass above; the stream-mode accumulator maintains
+/// the same maps across windows (all entries are pure sums and sets, so
+/// fold order cannot matter) and finalizes here.
+pub(crate) fn characterize_from_parts(
+    data: &Datasets,
+    tally: &BTreeMap<RouterId, ([usize; 5], usize, usize)>,
+    cells: &BTreeMap<(u8, u8), (usize, usize)>,
+    probes: usize,
+    trials: usize,
+    ports: &BTreeMap<RouterId, BTreeSet<u16>>,
+) -> NatCharacterization {
     let homes: Vec<HomeNat> = tally
         .iter()
         .map(|(&router, &(by_type, flagged, probes))| {
@@ -118,18 +181,9 @@ pub fn characterize(data: &Datasets) -> NatCharacterization {
         entry.flagged += usize::from(h.cgn_detected);
     }
 
-    // Punch matrix: 5×5 cells keyed by (local, peer) wire code.
-    let mut cells: BTreeMap<(u8, u8), (usize, usize)> = BTreeMap::new();
-    let mut trials = 0usize;
-    for trial in data.punch_trials.iter() {
-        let cell = cells.entry((trial.local_type.code(), trial.peer_type.code())).or_insert((0, 0));
-        cell.0 += 1;
-        cell.1 += usize::from(trial.success);
-        trials += 1;
-    }
     let matrix = cells
-        .into_iter()
-        .map(|((l, p), (attempts, successes))| PunchCell {
+        .iter()
+        .map(|(&(l, p), &(attempts, successes))| PunchCell {
             local: NatType::from_code(l).expect("codes come from NatType::code"),
             peer: NatType::from_code(p).expect("codes come from NatType::code"),
             attempts,
@@ -138,12 +192,29 @@ pub fn characterize(data: &Datasets) -> NatCharacterization {
         .collect();
 
     NatCharacterization {
-        probes: data.nat_probes.len(),
+        probes,
         trials,
         homes,
         type_counts,
         detection_by_country: by_country.into_values().collect(),
         matrix,
+        port_allocation: port_allocation_from(ports),
+    }
+}
+
+/// Fold per-home observed-port sets into the port-allocation figure.
+pub(crate) fn port_allocation_from(ports: &BTreeMap<RouterId, BTreeSet<u16>>) -> PortAllocation {
+    let per_home: Vec<PortAllocRow> = ports
+        .iter()
+        .map(|(&router, observed)| {
+            let blocks: BTreeSet<u16> = observed.iter().map(|p| p / PORT_BLOCK).collect();
+            PortAllocRow { router, distinct_ports: observed.len(), blocks: blocks.len() }
+        })
+        .collect();
+    PortAllocation {
+        single_block_homes: per_home.iter().filter(|r| r.blocks == 1).count(),
+        multi_block_homes: per_home.iter().filter(|r| r.blocks > 1).count(),
+        per_home,
     }
 }
 
@@ -263,6 +334,43 @@ mod tests {
         assert_eq!((nc.matrix[0].attempts, nc.matrix[0].successes), (2, 1));
         let india = nc.detection_by_country.iter().find(|c| c.country == Country::India);
         assert_eq!(india.map(|c| (c.flagged, c.probed)), Some((0, 1)));
+    }
+
+    #[test]
+    fn port_allocation_clusters_lease_timeline_into_blocks() {
+        let probe_port = |router: u32, at: u64, port: u16| {
+            Record::NatProbe(NatProbeRecord {
+                router: RouterId(router),
+                at: t(at),
+                nat_type: NatType::PortRestricted,
+                mapped_ip_hash: 7,
+                mapped_port: port,
+                cgn_detected: true,
+            })
+        };
+        let collector = Collector::new();
+        // Home 1 holds one 512-port block for its whole timeline (three
+        // observations, two distinct ports, same block).
+        collector.ingest(probe_port(1, 0, 2_050));
+        collector.ingest(probe_port(1, 720, 2_070));
+        collector.ingest(probe_port(1, 1_440, 2_050));
+        // Home 2 was re-leased: its ports span two distant blocks.
+        collector.ingest(probe_port(2, 0, 2_050));
+        collector.ingest(probe_port(2, 720, 9_000));
+        let nc = characterize(&collector.snapshot());
+        let pa = &nc.port_allocation;
+        assert_eq!(pa.per_home.len(), 2);
+        assert_eq!(pa.per_home[0], PortAllocRow {
+            router: RouterId(1),
+            distinct_ports: 2,
+            blocks: 1,
+        });
+        assert_eq!(pa.per_home[1], PortAllocRow {
+            router: RouterId(2),
+            distinct_ports: 2,
+            blocks: 2,
+        });
+        assert_eq!((pa.single_block_homes, pa.multi_block_homes), (1, 1));
     }
 
     #[test]

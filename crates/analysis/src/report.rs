@@ -697,6 +697,30 @@ impl StudyReport {
                     })
                     .collect::<Vec<_>>(),
             ));
+            let pa = &nc.port_allocation;
+            if !pa.per_home.is_empty() {
+                let max_blocks = pa.per_home.iter().map(|r| r.blocks).max().unwrap_or(0);
+                out.push_str(&render::table(
+                    &format!(
+                        "Port allocation from the probe lease timeline \
+                         ({}-port blocks)",
+                        crate::natchar::PORT_BLOCK
+                    ),
+                    &["blocks used", "homes"],
+                    &(1..=max_blocks)
+                        .map(|b| {
+                            vec![
+                                b.to_string(),
+                                pa.per_home.iter().filter(|r| r.blocks == b).count().to_string(),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                ));
+                out.push_str(&format!(
+                    "  single-block homes: {}; re-leased or unconstrained: {}\n",
+                    pa.single_block_homes, pa.multi_block_homes,
+                ));
+            }
             out.push_str(&format!(
                 "  NAT probes: {} across {} home(s); punch trials: {}\n",
                 nc.probes,

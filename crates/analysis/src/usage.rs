@@ -49,11 +49,21 @@ pub fn fig13_with(idx: &DataIndex, window: Window) -> Fig13 {
                 u32::from(scan.associated_stations);
         }
     }
+    fig13_from_scans(idx, &per_scan)
+}
+
+/// [`fig13`] from an already-summed per-(router, instant) station map —
+/// the batch path builds the map in one pass above; the incremental path
+/// maintains it across stream windows and finalizes here.
+pub(crate) fn fig13_from_scans(
+    idx: &DataIndex,
+    per_scan: &BTreeMap<(RouterId, SimTime), u32>,
+) -> Fig13 {
     let mut weekday_sum = [0.0f64; 24];
     let mut weekday_n = [0u32; 24];
     let mut weekend_sum = [0.0f64; 24];
     let mut weekend_n = [0u32; 24];
-    for ((router, at), stations) in per_scan {
+    for (&(router, at), &stations) in per_scan {
         let local = at.to_local(idx.utc_offset(router));
         let h = local.hour_of_day() as usize;
         if local.weekday().is_weekend() {
@@ -109,7 +119,7 @@ pub fn capacity_by_router(data: &Datasets, window: Window) -> HashMap<RouterId, 
 }
 
 /// Median capacity for one router within `window`, from its index slice.
-fn capacity_of(idx: &DataIndex, window: Window, router: RouterId) -> Option<(f64, f64)> {
+pub(crate) fn capacity_of(idx: &DataIndex, window: Window, router: RouterId) -> Option<(f64, f64)> {
     let mut down = Vec::new();
     let mut up = Vec::new();
     for rec in idx.capacity(router) {
@@ -249,8 +259,14 @@ pub fn fig17(data: &Datasets, window: Window) -> Fig17 {
             *per_device.entry((flow.router, flow.device)).or_default() += flow.total_bytes();
         }
     }
+    fig17_from_device_bytes(&per_device)
+}
+
+/// [`fig17`] from already-summed per-device byte totals (shared by the
+/// batch pass above and the stream-mode incremental accumulator).
+pub(crate) fn fig17_from_device_bytes(per_device: &HashMap<(RouterId, AnonMac), u64>) -> Fig17 {
     let mut per_home: HashMap<RouterId, Vec<u64>> = HashMap::new();
-    for ((router, _), bytes) in per_device {
+    for (&(router, _), &bytes) in per_device {
         per_home.entry(router).or_default().push(bytes);
     }
     let mut rows = Vec::new();
@@ -280,7 +296,7 @@ pub struct Fig18Row {
     pub top10_homes: usize,
 }
 
-fn domain_key(d: &ReportedDomain) -> String {
+pub(crate) fn domain_key(d: &ReportedDomain) -> String {
     match d {
         ReportedDomain::Clear(name) => name.as_str().to_string(),
         ReportedDomain::Obfuscated(token) => format!("anon-{token:016x}"),
@@ -292,8 +308,10 @@ fn domain_key(d: &ReportedDomain) -> String {
 #[derive(Debug, Clone)]
 pub struct DomainTallies {
     /// `(router, domain → (bytes, connections))`, sorted by router; homes
-    /// with no flows in the window are absent.
-    pub per_home: Vec<(RouterId, HashMap<String, (u64, u64)>)>,
+    /// with no flows in the window are absent. The inner map is ordered so
+    /// the rank sorts below see ties in one deterministic order whether
+    /// the tally was built in one batch pass or folded window by window.
+    pub per_home: Vec<(RouterId, BTreeMap<String, (u64, u64)>)>,
 }
 
 /// Tally per-home domain volumes and connection counts once; Figures 18
@@ -301,7 +319,7 @@ pub struct DomainTallies {
 pub fn domain_tallies(idx: &DataIndex, window: Window) -> DomainTallies {
     let mut per_home = Vec::new();
     for meta in idx.routers() {
-        let mut tally: HashMap<String, (u64, u64)> = HashMap::new();
+        let mut tally: BTreeMap<String, (u64, u64)> = BTreeMap::new();
         for flow in idx.flows(meta.router) {
             if window.contains(flow.ended) {
                 let entry = tally.entry(domain_key(&flow.domain)).or_default();
@@ -445,15 +463,24 @@ pub fn fig20(data: &Datasets, window: Window, min_bytes: u64) -> Vec<Fig20Device
                 .or_default() += flow.total_bytes();
         }
     }
+    fig20_from_device_domains(&per_device, min_bytes)
+}
+
+/// [`fig20`] from already-summed per-device domain volumes (shared by
+/// the batch pass above and the stream-mode incremental accumulator).
+pub(crate) fn fig20_from_device_domains(
+    per_device: &HashMap<(RouterId, AnonMac), HashMap<String, u64>>,
+    min_bytes: u64,
+) -> Vec<Fig20Device> {
     let mut out = Vec::new();
-    for ((router, device), domains) in per_device {
+    for (&(router, device), domains) in per_device {
         let total: u64 = domains.values().sum();
         if total < min_bytes {
             continue;
         }
         let mut ranked: Vec<(String, f64)> = domains
-            .into_iter()
-            .map(|(d, b)| (d, b as f64 / total as f64))
+            .iter()
+            .map(|(d, &b)| (d.clone(), b as f64 / total as f64))
             .collect();
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1).expect("finite shares").then_with(|| a.0.cmp(&b.0))

@@ -1,0 +1,267 @@
+//! Property-based differential testing for [`analysis::IncrementalReport`]:
+//! for *arbitrary* record soups, *arbitrary* window boundaries, *arbitrary*
+//! ingest orderings, and duplicated records, folding the stream window by
+//! window must finalize to exactly the report a batch recompute produces.
+//!
+//! This is the generalization of the fixed-cut unit test in
+//! `analysis::incremental`: proptest explores the partition space (empty
+//! windows, one-record windows, windows straddling every sub-window
+//! boundary) that hand-picked cuts cannot.
+
+use analysis::{IncrementalReport, ReportWindows, StudyReport};
+use collector::windows::Window;
+use collector::{Collector, DatasetsAbsorber, RouterMeta};
+use firmware::anonymize::{AnonMac, ReportedDomain};
+use firmware::latency::LatencyRecord;
+use firmware::records::{
+    ApSighting, AssociationRecord, CapacityRecord, DeviceCensusRecord, DnsSampleRecord,
+    FlowRecord, HeartbeatRecord, MacSightingRecord, Medium, NatProbeRecord, NatType,
+    PacketStatsRecord, PunchTrialRecord, Record, RouterId, UptimeRecord, WifiScanRecord,
+};
+use household::Country;
+use proptest::prelude::*;
+use simnet::dns::DomainName;
+use simnet::packet::IpProtocol;
+use simnet::time::{SimDuration, SimTime};
+use simnet::wifi::Band;
+
+/// Two simulated days, in minutes: long enough that generated cuts can
+/// land on either side of every figure's activity, short enough that 64
+/// cases stay cheap.
+const TOTAL_MINS: u64 = 2 * 24 * 60;
+const ROUTERS: u32 = 3;
+
+fn t(mins: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_mins(mins)
+}
+
+fn mac(n: u32) -> AnonMac {
+    AnonMac { oui: household::VendorClass::Apple.oui(), suffix_hash: n }
+}
+
+/// One generated event, materialized into a record. All fields derive
+/// deterministically from the tuple, so a duplicated event is a truly
+/// duplicated record — the dedup paths (Fig 12 sightings, Table 5
+/// presence) see identical bytes twice.
+fn materialize(router: u32, minute: u64, kind: u8, a: u8, b: u8) -> Record {
+    let r = RouterId(router);
+    let at = t(minute);
+    match kind % 13 {
+        0 => Record::Heartbeat(HeartbeatRecord { router: r, at }),
+        1 => Record::Uptime(UptimeRecord {
+            router: r,
+            at,
+            uptime: SimDuration::from_mins(minute.min(u64::from(a) * 60)),
+        }),
+        2 => Record::Capacity(CapacityRecord {
+            router: r,
+            at,
+            down_bps: 5_000_000 + u64::from(a) * 1_000_000,
+            up_bps: 500_000 + u64::from(b) * 100_000,
+            shaping_detected: a % 2 == 0,
+        }),
+        3 => Record::DeviceCensus(DeviceCensusRecord {
+            router: r,
+            at,
+            wired: a % 3,
+            wireless_24: b % 4,
+            wireless_5: a % 2,
+        }),
+        4 => Record::WifiScan(WifiScanRecord {
+            router: r,
+            at,
+            band: if a % 2 == 0 { Band::Ghz24 } else { Band::Ghz5 },
+            aps: vec![ApSighting {
+                bssid_hash: 100 + u64::from(b),
+                channel_number: 1 + a % 11,
+                signal_dbm: -40 - (b % 50) as i8,
+            }],
+            associated_stations: a % 4,
+        }),
+        5 => Record::Association(AssociationRecord {
+            router: r,
+            at,
+            device: mac(router * 10 + u32::from(a % 5)),
+            medium: match b % 3 {
+                0 => Medium::Wired,
+                1 => Medium::Wireless24,
+                _ => Medium::Wireless5,
+            },
+        }),
+        6 => Record::PacketStats(PacketStatsRecord {
+            router: r,
+            at,
+            bytes_down: 1_000_000 + minute * 1_000,
+            bytes_up: 50_000 + u64::from(b) * 100,
+            pkts_down: 700,
+            pkts_up: 100,
+            peak_down_1s: 200_000 + u64::from(a) * 10_000,
+            peak_up_1s: 20_000 + u64::from(b) * 1_000,
+        }),
+        7 => Record::Flow(FlowRecord {
+            router: r,
+            started: t(minute.saturating_sub(u64::from(a % 3))),
+            ended: at,
+            device: mac(router * 10 + u32::from(b % 4)),
+            remote_ip_hash: minute ^ u64::from(a),
+            remote_port: 443,
+            proto: IpProtocol::Tcp,
+            domain: match a % 3 {
+                0 => ReportedDomain::Clear(DomainName::new("netflix.com").unwrap()),
+                1 => ReportedDomain::Clear(DomainName::new("youtube.com").unwrap()),
+                _ => ReportedDomain::Obfuscated(u64::from(b)),
+            },
+            bytes_down: 50_000 + u64::from(b) * 60_000,
+            bytes_up: 9_000,
+        }),
+        8 => Record::MacSighting(MacSightingRecord {
+            router: r,
+            first_seen: at,
+            device: mac(router * 10 + u32::from(a % 4)),
+            // Straddle the 100 KiB prevalence threshold from both sides.
+            bytes_total: if a % 2 == 0 { 500_000 } else { 50_000 },
+        }),
+        9 => Record::Latency(LatencyRecord {
+            router: r,
+            at,
+            rtt_min: SimDuration::from_millis(20),
+            rtt_median: SimDuration::from_millis(30 + u64::from(b)),
+            rtt_max: SimDuration::from_millis(200),
+            lost: a % 3,
+        }),
+        10 => Record::NatProbe(NatProbeRecord {
+            router: r,
+            at,
+            nat_type: NatType::ALL[(a % 5) as usize],
+            mapped_ip_hash: u64::from(b),
+            mapped_port: 1_024 + u16::from(a) * 97,
+            cgn_detected: b % 2 == 0,
+        }),
+        11 => Record::PunchTrial(PunchTrialRecord {
+            router: r,
+            at,
+            peer: RouterId((router + 1) % ROUTERS),
+            local_type: NatType::ALL[(a % 5) as usize],
+            peer_type: NatType::ALL[(b % 5) as usize],
+            success: (a ^ b) % 2 == 0,
+        }),
+        _ => Record::DnsSample(DnsSampleRecord {
+            router: r,
+            at,
+            device: mac(router * 10 + u32::from(a % 4)),
+            name: match b % 2 {
+                0 => ReportedDomain::Clear(DomainName::new("netflix.com").unwrap()),
+                _ => ReportedDomain::Obfuscated(u64::from(a)),
+            },
+            cname_links: b % 4,
+            resolved: a % 2 == 0,
+        }),
+    }
+}
+
+fn register(c: &Collector) {
+    for (router, country) in
+        [(0u32, Country::UnitedStates), (1, Country::UnitedStates), (2, Country::India)]
+    {
+        c.register(RouterMeta { router: RouterId(router), country, traffic_consent: true });
+    }
+}
+
+/// The record's stream-arrival minute: the instant the firmware emits it,
+/// which is what assigns it to a window. Flows arrive when they *end*.
+fn arrival_minute(record: &Record) -> u64 {
+    record.at().since(SimTime::EPOCH).as_mins()
+}
+
+proptest! {
+    #[test]
+    fn incremental_equals_batch_for_arbitrary_windows_orderings_and_dups(
+        events in proptest::collection::vec(
+            (0u32..ROUTERS, 0u64..TOTAL_MINS, 0u8..26, 0u8..=255, 0u8..=255),
+            1..160,
+        ),
+        dups in proptest::collection::vec(0usize..1_000, 0..12),
+        cut_mins in proptest::collection::vec(1u64..TOTAL_MINS, 0..6),
+        order_seed in any::<u64>(),
+    ) {
+        // Materialize, duplicate a few events verbatim, then shuffle: the
+        // arrival order the collector sees is arbitrary.
+        let mut records: Vec<Record> = events
+            .iter()
+            .map(|&(router, minute, kind, a, b)| materialize(router, minute, kind, a, b))
+            .collect();
+        for d in &dups {
+            let copy = records[d % events.len()].clone();
+            records.push(copy);
+        }
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        let mut rng = simnet::rng::DetRng::new(order_seed);
+        rng.shuffle(&mut order);
+        let mut records: Vec<Record> = order.into_iter().map(|i| records[i].clone()).collect();
+        // One firmware constraint survives the shuffle: heartbeats feed an
+        // RLE run log and must arrive non-decreasing per router. Re-sort
+        // the heartbeat records among themselves (stable, so equal stamps
+        // keep their shuffled order) while every other record stays where
+        // the shuffle put it.
+        let slots: Vec<usize> = (0..records.len())
+            .filter(|&i| matches!(records[i], Record::Heartbeat(_)))
+            .collect();
+        let mut beats: Vec<Record> = slots.iter().map(|&i| records[i].clone()).collect();
+        beats.sort_by_key(|rec| rec.at());
+        for (&slot, beat) in slots.iter().zip(beats) {
+            records[slot] = beat;
+        }
+
+        let span = Window { start: t(0), end: t(TOTAL_MINS) };
+        let windows = ReportWindows {
+            heartbeats: span,
+            uptime: span,
+            devices: span,
+            wifi: span,
+            capacity: span,
+            traffic: span,
+        };
+
+        // Batch: every record through one collector, one recompute.
+        let batch = Collector::new();
+        register(&batch);
+        batch.ingest_batch(records.clone());
+        let data = batch.into_datasets();
+        let expected = StudyReport::compute(&data, windows);
+
+        // Stream: the same arrival sequence partitioned at arbitrary cut
+        // points (dedup'd and sorted; empty windows are legal and must be
+        // no-ops). Each window's delta feeds `update`, then is absorbed
+        // into the accumulated snapshot exactly as `run_study_stream` does.
+        let mut cuts = vec![0u64];
+        cuts.extend(cut_mins.iter().copied());
+        cuts.push(TOTAL_MINS);
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut inc = IncrementalReport::new(windows);
+        let mut acc = collector::Datasets::default();
+        let mut absorber = DatasetsAbsorber::default();
+        for pair in cuts.windows(2) {
+            let delta = Collector::new();
+            register(&delta);
+            delta.ingest_batch(
+                records
+                    .iter()
+                    .filter(|rec| (pair[0]..pair[1]).contains(&arrival_minute(rec)))
+                    .cloned()
+                    .collect(),
+            );
+            let delta = delta.into_datasets();
+            inc.update(&delta);
+            acc.absorb(delta, &mut absorber);
+        }
+
+        // The windowed partition reassembles the batch snapshot exactly...
+        prop_assert!(acc == data, "absorbed windows diverged from the batch datasets");
+        // ...and the incremental report finalizes to the batch recompute,
+        // byte for byte in its rendered form.
+        let streamed = inc.finalize(&acc);
+        prop_assert_eq!(expected.render(&data), streamed.render(&acc));
+    }
+}

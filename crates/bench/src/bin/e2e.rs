@@ -10,7 +10,7 @@
 //! ```text
 //! e2e [--seed N] [--days D] [--homes H] [--threads T] [--label STR]
 //!     [--spill-budget BYTES[KiB|MiB|GiB]] [--faults SCENARIO]
-//!     [--cgn SCENARIO] [--output FILE] [--dry-run]
+//!     [--cgn SCENARIO] [--stream CADENCE] [--output FILE] [--dry-run]
 //! ```
 //!
 //! With `--faults` the study runs under a faultlab scenario: the reliable
@@ -19,10 +19,18 @@
 //! pipeline's throughput cost. `--cgn` does the same for the carrier-grade
 //! NAT tier (second translation hop plus the STUN probe and hole-punch
 //! experiments); entries carry a `cgn` key the regression gate skips.
+//!
+//! With `--stream CADENCE` (`90m`, `36h`, `1d`) the study runs in
+//! continuous-operation mode: the entry additionally records the mean
+//! per-window incremental update cost next to `analyze_secs` (here the
+//! cost of one *full* recompute on the final datasets), pricing the
+//! steady-state saving of the incremental path. Stream entries carry a
+//! `stream` key the regression gate skips.
 
-use bismark::study::{run_study, StudyConfig};
+use bismark::study::{run_study, run_study_stream, StudyConfig};
 use faultlab::FaultScenario;
 use serde::value::Value;
+use simnet::time::SimDuration;
 use std::path::PathBuf;
 
 /// One benchmark measurement, as stored in `BENCH_simulate.json`.
@@ -63,6 +71,17 @@ pub struct BenchEntry {
     /// `--spill-budget` string, e.g. `"64MiB"`). Absent for unbounded
     /// in-memory runs — `bench.sh`'s baseline gate skips spilled entries.
     pub spill: Option<String>,
+    /// Stream-mode window cadence (the raw `--stream` string, e.g.
+    /// `"1d"`). Absent for batch runs — `bench.sh`'s baseline gate skips
+    /// stream entries.
+    pub stream: Option<String>,
+    /// Stream windows run. Present only with `stream`.
+    pub windows: Option<u64>,
+    /// Mean per-window incremental cost in seconds (delta fold plus
+    /// rolling-report finalize). Present only with `stream`; compare
+    /// against `analyze_secs`, which for stream entries times one full
+    /// recompute of the report on the final datasets.
+    pub window_update_secs: Option<f64>,
 }
 
 impl serde::Serialize for BenchEntry {
@@ -90,6 +109,15 @@ impl serde::Serialize for BenchEntry {
         if let Some(spill) = &self.spill {
             entries.push((String::from("spill"), serde::Serialize::to_value(spill)));
         }
+        if let Some(stream) = &self.stream {
+            entries.push((String::from("stream"), serde::Serialize::to_value(stream)));
+        }
+        if let Some(windows) = &self.windows {
+            entries.push((String::from("windows"), serde::Serialize::to_value(windows)));
+        }
+        if let Some(cost) = &self.window_update_secs {
+            entries.push((String::from("window_update_secs"), serde::Serialize::to_value(cost)));
+        }
         Value::Map(entries)
     }
 }
@@ -114,6 +142,18 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
             Some((_, v)) => serde::Deserialize::from_value(v)?,
             None => None,
         };
+        let stream = match entries.iter().find(|(k, _)| k == "stream") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
+        let windows = match entries.iter().find(|(k, _)| k == "windows") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
+        let window_update_secs = match entries.iter().find(|(k, _)| k == "window_update_secs") {
+            Some((_, v)) => serde::Deserialize::from_value(v)?,
+            None => None,
+        };
         Ok(BenchEntry {
             label: serde::de::field(entries, "label", "BenchEntry")?,
             seed: serde::de::field(entries, "seed", "BenchEntry")?,
@@ -128,6 +168,9 @@ impl<'de> serde::Deserialize<'de> for BenchEntry {
             cgn,
             homes,
             spill,
+            stream,
+            windows,
+            window_update_secs,
         })
     }
 }
@@ -149,6 +192,20 @@ fn parse_bytes(raw: &str) -> Option<u64> {
         _ => return None,
     };
     n.checked_mul(scale)
+}
+
+/// `90m` / `36h` / `2d` → virtual-time cadence.
+fn parse_cadence(raw: &str) -> Option<SimDuration> {
+    let split = raw.find(|c: char| !c.is_ascii_digit())?;
+    let (digits, unit) = raw.split_at(split);
+    let n: u64 = digits.parse().ok()?;
+    let dur = match unit {
+        "m" => SimDuration::from_mins(n),
+        "h" => SimDuration::from_hours(n),
+        "d" => SimDuration::from_days(n),
+        _ => return None,
+    };
+    (!dur.is_zero()).then_some(dur)
 }
 
 fn default_output() -> PathBuf {
@@ -178,7 +235,14 @@ fn main() {
             std::process::exit(2);
         })
     });
-    // Raw string kept verbatim for the JSON entry; parsed for the run.
+    // Raw strings kept verbatim for the JSON entry; parsed for the run.
+    let stream = arg_value(&args, "--stream");
+    let cadence = stream.as_deref().map(|raw| {
+        parse_cadence(raw).unwrap_or_else(|| {
+            eprintln!("e2e: --stream expects a cadence like 90m, 36h, or 1d, got {raw:?}");
+            std::process::exit(2);
+        })
+    });
     let spill = arg_value(&args, "--spill-budget");
     let spill_budget = spill.as_deref().map(|raw| {
         parse_bytes(raw).unwrap_or_else(|| {
@@ -198,15 +262,31 @@ fn main() {
         config.spill = Some(collector::SpillConfig { budget_bytes, dir: None });
     }
     eprintln!(
-        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}{}{}",
+        "e2e bench: seed {seed}, {days} virtual days, {} homes, {threads} thread{}{}{}{}{}",
         config.homes,
         if threads == 1 { "" } else { "s" },
         faults.map_or_else(String::new, |f| format!(", faults: {f}")),
         cgn.map_or_else(String::new, |c| format!(", cgn: {c}")),
-        spill.as_deref().map_or_else(String::new, |s| format!(", spill budget: {s}"))
+        spill.as_deref().map_or_else(String::new, |s| format!(", spill budget: {s}")),
+        stream.as_deref().map_or_else(String::new, |s| format!(", stream cadence: {s}"))
     );
 
-    let study = run_study(&config);
+    // In stream mode, tally the per-window incremental cost (delta fold +
+    // rolling-report finalize) as the study runs; the analyze phase below
+    // then times a *full* recompute on the final datasets, so the entry
+    // carries both sides of the steady-state comparison.
+    let mut incremental = std::time::Duration::ZERO;
+    let mut windows_run: u64 = 0;
+    let study = match cadence {
+        Some(cadence) => {
+            let out = run_study_stream(&config, cadence, |w| {
+                incremental += w.update_cost + w.finalize_cost;
+                windows_run += 1;
+            });
+            out.study
+        }
+        None => run_study(&config),
+    };
     let analyze_started = std::time::Instant::now();
     let report = study.report();
     let rendered = report.render(&study.datasets);
@@ -229,7 +309,21 @@ fn main() {
         cgn: cgn.map(|c| c.to_string()),
         homes: homes.filter(|&h| h != 126).map(u64::from),
         spill,
+        stream,
+        windows: (windows_run > 0).then_some(windows_run),
+        window_update_secs: (windows_run > 0)
+            .then(|| incremental.as_secs_f64() / windows_run as f64),
     };
+    if let (Some(mean), analyze_secs) = (entry.window_update_secs, analyze.as_secs_f64()) {
+        eprintln!(
+            "steady-state: {} windows, mean incremental {:.1} ms/window vs full recompute \
+             {:.1} ms ({:.1}x cheaper)",
+            windows_run,
+            mean * 1_000.0,
+            analyze_secs * 1_000.0,
+            analyze_secs / mean
+        );
+    }
     if let Some(stats) = &study.spill {
         eprintln!(
             "spill: {} segments, {:.1} MiB written",

@@ -1037,6 +1037,22 @@ impl SpilledPart {
     }
 }
 
+/// Per-router accumulated tail records, carried across stream windows so
+/// a table's `absorb` can tell the in-order fast path (the delta lands at
+/// or after the accumulated tail, append directly) from a late window
+/// that needs one router re-sorted. One state per table, parameterized by
+/// that table's record type.
+#[derive(Debug, Clone)]
+pub struct AbsorbState<R> {
+    last: BTreeMap<RouterId, R>,
+}
+
+impl<R> Default for AbsorbState<R> {
+    fn default() -> AbsorbState<R> {
+        AbsorbState { last: BTreeMap::new() }
+    }
+}
+
 /// Generates one public columnar table: per-router column groups keyed by
 /// a `BTreeMap`, an optional disk-backed [`SpilledPart`], a flat record
 /// iterator in (router, arrival) order, and shard merges (in-memory and
@@ -1360,6 +1376,88 @@ macro_rules! columnar_table {
                     });
                 }
                 Ok(out)
+            }
+
+            /// Fold a stream-window delta into this accumulated table.
+            ///
+            /// The delta holds everything the collector sealed behind
+            /// the per-router watermark since the previous drain, so
+            /// concatenating the deltas per router reproduces the batch
+            /// arrival sequence exactly. Per router the delta is already
+            /// in time-subkey order (its merge normalized it); when its
+            /// first record lands at or after the accumulated tail — the
+            /// steady state — the rows append straight into the resident
+            /// columns. A router whose timestamps step backwards across
+            /// a drain boundary (clock skew) instead rebuilds with the
+            /// same stable sort the batch merge uses, so the final
+            /// record stream matches a single batch merge of all
+            /// arrivals byte for byte.
+            ///
+            /// `state` carries each router's accumulated tail record
+            /// across windows. The accumulator must be fully resident;
+            /// the delta may be spill-backed (its rows stream in through
+            /// [`Self::router`]).
+            pub fn absorb(&mut self, delta: &$Table, state: &mut AbsorbState<$Record>) {
+                debug_assert!(self.spilled.is_none(), "absorb target must be resident");
+                let mut routers: BTreeSet<RouterId> =
+                    delta.by_router.keys().copied().collect();
+                if let Some(part) = &delta.spilled {
+                    routers.extend(part.blocks.keys().copied());
+                }
+                for router in routers {
+                    let mut rows = delta.router(router);
+                    let Some(first) = rows.next() else { continue };
+                    let in_order = match state.last.get(&router) {
+                        None => true,
+                        Some(prev) => {
+                            let ka = {
+                                let $r = prev;
+                                $key
+                            };
+                            let kb = {
+                                let $r = &first;
+                                $key
+                            };
+                            ka <= kb
+                        }
+                    };
+                    if in_order {
+                        let mut tail = first;
+                        for next in rows {
+                            self.push(tail);
+                            tail = next;
+                        }
+                        state.last.insert(router, tail.clone());
+                        self.push(tail);
+                    } else {
+                        let mut all: Vec<$Record> = self
+                            .by_router
+                            .get(&router)
+                            .map(|c| c.iter(router).collect())
+                            .unwrap_or_default();
+                        let held = all.len();
+                        all.push(first);
+                        all.extend(rows);
+                        self.len += all.len() - held;
+                        Self::sort_rows(&mut all);
+                        let mut rebuilt = $Cols::empty();
+                        for row in &all {
+                            rebuilt.append(row);
+                        }
+                        let last = all.last().expect("router delta is non-empty");
+                        state.last.insert(router, last.clone());
+                        self.by_router.insert(router, rebuilt);
+                    }
+                }
+            }
+
+            /// Delete this table's merged segment file from its store —
+            /// stream-mode cleanup once a spill-backed delta's rows have
+            /// been absorbed into the resident accumulator.
+            pub fn release_spilled(&mut self) {
+                if let Some(part) = self.spilled.take() {
+                    part.store.remove_file(&part.file);
+                }
             }
         }
 

@@ -20,13 +20,13 @@ pub mod spill;
 pub mod windows;
 
 pub use columns::{
-    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, NatProbeTable, PacketStatsTable,
-    PunchTrialTable, WifiTable,
+    AbsorbState, AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, NatProbeTable,
+    PacketStatsTable, PunchTrialTable, WifiTable,
 };
 pub use runlog::{HeartbeatRun, RunLog, UploadCounters};
 pub use server::{
-    Collector, Datasets, RouterMeta, ShardHandle, SpillStats, UploadGapRecord, UploadOutcome,
-    NUM_SHARDS,
+    Collector, Datasets, DatasetsAbsorber, RouterMeta, ShardHandle, SpillStats, UploadGapRecord,
+    UploadOutcome, NUM_SHARDS,
 };
 pub use spill::{SpillConfig, SpillError};
 pub use windows::Window;

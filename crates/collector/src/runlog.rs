@@ -76,6 +76,25 @@ impl RunLog {
         }
     }
 
+    /// Append a later log onto this one — the stream-mode fold of one
+    /// window's heartbeats behind the accumulated history. When the
+    /// other log's first run starts within [`RUN_TOLERANCE`] of this
+    /// log's last heartbeat the two boundary runs merge, so the result
+    /// is exactly the log a single [`RunLog::push`] stream of all the
+    /// arrivals would have produced.
+    pub fn append(&mut self, other: &RunLog) {
+        let mut incoming = other.runs.iter();
+        if let (Some(last), Some(first)) = (self.runs.last_mut(), other.runs.first()) {
+            debug_assert!(first.first >= last.last, "window logs must arrive in order");
+            if first.first >= last.last && first.first.since(last.last) <= RUN_TOLERANCE {
+                last.last = first.last;
+                last.count += first.count;
+                incoming.next();
+            }
+        }
+        self.runs.extend(incoming.copied());
+    }
+
     /// The runs, in time order.
     pub fn runs(&self) -> &[HeartbeatRun] {
         &self.runs
@@ -244,6 +263,30 @@ mod tests {
         log.push(m(30));
         log.push(m(31));
         assert_eq!(log.runs().len(), 2);
+    }
+
+    #[test]
+    fn append_equals_continuous_push_at_every_split() {
+        // Whatever minute a stream window boundary lands on — mid-run,
+        // inside a short hole, across a real downtime — folding the two
+        // halves back together must reproduce the continuously pushed log.
+        let arrivals: Vec<u64> = (0..10).chain(15..20).chain(40..50).collect();
+        let mut whole = RunLog::new();
+        for &i in &arrivals {
+            whole.push(m(i));
+        }
+        for split in 0..=arrivals.len() {
+            let mut head = RunLog::new();
+            for &i in &arrivals[..split] {
+                head.push(m(i));
+            }
+            let mut tail = RunLog::new();
+            for &i in &arrivals[split..] {
+                tail.push(m(i));
+            }
+            head.append(&tail);
+            assert_eq!(head, whole, "split at {split}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! threads uploaded.
 
 use crate::columns::{
-    AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, NatProbeTable,
+    AbsorbState, AssociationTable, DnsTable, FlowTable, LatencyTable, MacTable, NatProbeTable,
     PacketStatsTable, PunchTrialTable, WifiTable,
 };
 use crate::runlog::{RunLog, UploadCounters};
@@ -157,6 +157,24 @@ pub struct Datasets {
     pub collector_downtime: Vec<Window>,
 }
 
+/// Cross-window absorb state for a streamed study: every table's
+/// per-router accumulated tail, so [`Datasets::absorb`] can take the
+/// append fast path for in-order window deltas and fall back to a
+/// per-router stable re-sort only when a delta steps backwards in time
+/// (clock skew across a drain boundary).
+#[derive(Debug, Default)]
+pub struct DatasetsAbsorber {
+    wifi: AbsorbState<firmware::records::WifiScanRecord>,
+    packet_stats: AbsorbState<firmware::records::PacketStatsRecord>,
+    flows: AbsorbState<firmware::records::FlowRecord>,
+    dns: AbsorbState<firmware::records::DnsSampleRecord>,
+    macs: AbsorbState<firmware::records::MacSightingRecord>,
+    associations: AbsorbState<firmware::records::AssociationRecord>,
+    latency: AbsorbState<firmware::latency::LatencyRecord>,
+    nat_probes: AbsorbState<firmware::records::NatProbeRecord>,
+    punch_trials: AbsorbState<firmware::records::PunchTrialRecord>,
+}
+
 impl Datasets {
     /// Metadata for one router, if registered. Snapshots keep `routers`
     /// sorted by ID, so this is a binary search, not a linear scan.
@@ -218,6 +236,92 @@ impl Datasets {
             + self.latency.spilled_bytes()
             + self.nat_probes.spilled_bytes()
             + self.punch_trials.spilled_bytes()
+    }
+
+    /// Fold one stream-window delta (from [`Collector::drain_delta`])
+    /// into this accumulator. Per router the deltas concatenate in the
+    /// exact batch arrival order (the drain hands over only what was
+    /// applied behind the watermark), so after the final window every
+    /// table here is byte-identical to the single batch snapshot —
+    /// row tables merge with ties keeping the earlier window, columnar
+    /// tables append behind each router's tail (see the per-table
+    /// `absorb`), and heartbeat logs splice at run granularity.
+    ///
+    /// The accumulator stays fully resident; a spill-backed delta
+    /// streams its rows in from disk and its merged segment files are
+    /// reclaimed before returning.
+    pub fn absorb(&mut self, mut delta: Datasets, state: &mut DatasetsAbsorber) {
+        // Registration and announced downtime are global, not windowed:
+        // every drain clones the full current sets into the delta.
+        self.routers = std::mem::take(&mut delta.routers);
+        self.collector_downtime = std::mem::take(&mut delta.collector_downtime);
+        for (router, log) in &delta.heartbeats {
+            match self.heartbeats.get_mut(router) {
+                Some(acc) => acc.append(log),
+                None => {
+                    self.heartbeats.insert(*router, log.clone());
+                }
+            }
+        }
+        absorb_rows(&mut self.uptime, std::mem::take(&mut delta.uptime), |r| (r.router, r.at));
+        absorb_rows(&mut self.capacity, std::mem::take(&mut delta.capacity), |r| {
+            (r.router, r.at)
+        });
+        absorb_rows(&mut self.devices, std::mem::take(&mut delta.devices), |r| {
+            (r.router, r.at)
+        });
+        absorb_rows(&mut self.upload_gaps, std::mem::take(&mut delta.upload_gaps), |r| {
+            (r.router, r.first_seq)
+        });
+        self.wifi.absorb(&delta.wifi, &mut state.wifi);
+        self.packet_stats.absorb(&delta.packet_stats, &mut state.packet_stats);
+        self.flows.absorb(&delta.flows, &mut state.flows);
+        self.dns.absorb(&delta.dns, &mut state.dns);
+        self.macs.absorb(&delta.macs, &mut state.macs);
+        self.associations.absorb(&delta.associations, &mut state.associations);
+        self.latency.absorb(&delta.latency, &mut state.latency);
+        self.nat_probes.absorb(&delta.nat_probes, &mut state.nat_probes);
+        self.punch_trials.absorb(&delta.punch_trials, &mut state.punch_trials);
+        // Every spilled row is resident now; reclaim the delta's merged
+        // segment files instead of letting one pile up per window until
+        // the store drops.
+        delta.wifi.release_spilled();
+        delta.packet_stats.release_spilled();
+        delta.flows.release_spilled();
+        delta.dns.release_spilled();
+        delta.macs.release_spilled();
+        delta.associations.release_spilled();
+        delta.latency.release_spilled();
+        delta.nat_probes.release_spilled();
+        delta.punch_trials.release_spilled();
+    }
+}
+
+/// Fold one window's sorted rows behind an accumulated sorted row table.
+///
+/// Both sides are already sorted by `key` (the accumulator inductively,
+/// the delta by its shard merge); the steady state is a plain append, and
+/// a delta that starts before the accumulated tail takes a two-pointer
+/// stable merge with ties keeping the accumulated side — element for
+/// element the order one batch-wide stable sort of all arrivals produces.
+fn absorb_rows<T, K: Ord>(acc: &mut Vec<T>, delta: Vec<T>, key: impl Fn(&T) -> K) {
+    let Some(first) = delta.first() else { return };
+    if acc.last().map_or(true, |last| key(last) <= key(first)) {
+        acc.extend(delta);
+        return;
+    }
+    let old = std::mem::replace(acc, Vec::with_capacity(acc.len() + delta.len()));
+    let mut a = old.into_iter().peekable();
+    let mut b = delta.into_iter().peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => key(x) <= key(y),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let next = if take_a { a.next() } else { b.next() };
+        acc.extend(next);
     }
 }
 
@@ -996,6 +1100,73 @@ impl Collector {
             .collect();
         merge_chunks(self.routers.into_inner(), self.downtime.into_inner(), spill, chunks)
     }
+
+    /// Drain everything applied behind the per-router watermarks since
+    /// the previous drain (or since startup) as one merged window delta,
+    /// leaving the collector running: batches buffered ahead of a
+    /// watermark, sequence state, delivery counters, and the outage and
+    /// downtime schedules all stay in place, so later uploads keep
+    /// composing with earlier ones exactly as in one batch run. Per
+    /// router, concatenating successive deltas reproduces the batch
+    /// arrival sequence record for record — the invariant the stream
+    /// mode's batch-equality proof rests on.
+    ///
+    /// With a spill budget armed, the shards' sealed segments move into
+    /// the delta (whose merge may write one merged file per table, later
+    /// reclaimed by [`Datasets::absorb`]) and each shard keeps spilling
+    /// the next window against a reset resident estimate.
+    ///
+    /// Panics if a spilled delta's segment merge hits an I/O error; use
+    /// [`Collector::try_drain_delta`] to handle that case.
+    pub fn drain_delta(&self) -> Datasets {
+        match self.try_drain_delta() {
+            Ok(data) => data,
+            // simlint: allow(panic-in-ingest) — the analysis boundary, not the ingest path; stream drivers that can recover from a failed segment merge use try_drain_delta
+            Err(e) => panic!("spill segment merge failed during stream drain: {e}"),
+        }
+    }
+
+    /// Fallible [`Collector::drain_delta`]: surfaces spill-merge I/O
+    /// errors instead of panicking. Always `Ok` when spilling is
+    /// disabled.
+    pub fn try_drain_delta(&self) -> Result<Datasets, SpillError> {
+        let chunks: Vec<ShardChunk> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut shard = s.lock();
+                let shard = &mut *shard;
+                let segments = match &mut shard.spill {
+                    Some(sp) => std::mem::take(&mut sp.segments),
+                    None => Vec::new(),
+                };
+                shard.columnar_est = 0;
+                ShardChunk {
+                    heartbeats: std::mem::take(&mut shard.heartbeats),
+                    uptime: std::mem::take(&mut shard.uptime),
+                    capacity: std::mem::take(&mut shard.capacity),
+                    devices: std::mem::take(&mut shard.devices),
+                    wifi: std::mem::take(&mut shard.wifi),
+                    packet_stats: std::mem::take(&mut shard.packet_stats),
+                    flows: std::mem::take(&mut shard.flows),
+                    dns: std::mem::take(&mut shard.dns),
+                    macs: std::mem::take(&mut shard.macs),
+                    associations: std::mem::take(&mut shard.associations),
+                    latency: std::mem::take(&mut shard.latency),
+                    nat_probes: std::mem::take(&mut shard.nat_probes),
+                    punch_trials: std::mem::take(&mut shard.punch_trials),
+                    upload_gaps: std::mem::take(&mut shard.upload_gaps),
+                    segments,
+                }
+            })
+            .collect();
+        merge_chunks(
+            self.routers.lock().clone(),
+            self.downtime.lock().clone(),
+            self.spill.lock().clone(),
+            chunks,
+        )
+    }
 }
 
 /// The movable per-shard table set fed into the merge.
@@ -1698,6 +1869,108 @@ mod tests {
         let b = unbounded.into_datasets();
         assert_eq!(a.packet_stats, b.packet_stats);
         assert_eq!(a.spilled_bytes(), 0, "under-budget run is purely in-memory");
+    }
+
+    #[test]
+    fn windowed_drain_absorb_matches_batch_snapshot() {
+        windowed_drain_matches_batch(None);
+    }
+
+    #[test]
+    fn windowed_drain_absorb_matches_batch_under_spill() {
+        // Budget 0 seals every batch, so every window's delta arrives
+        // spill-backed and the absorb streams it in from disk.
+        windowed_drain_matches_batch(Some(0));
+    }
+
+    /// The stream-mode core claim at collector granularity: the same
+    /// arrival sequence pushed through N drain+absorb windows must equal
+    /// the single batch snapshot field for field.
+    fn windowed_drain_matches_batch(spill_budget: Option<u64>) {
+        let stream = Collector::new();
+        if let Some(budget_bytes) = spill_budget {
+            stream.set_spill(&SpillConfig { budget_bytes, dir: None }).expect("spill dir");
+        }
+        let batch = Collector::new();
+        for c in [&stream, &batch] {
+            c.register(RouterMeta {
+                router: RouterId(2),
+                country: Country::UnitedStates,
+                traffic_consent: true,
+            });
+            c.register(RouterMeta {
+                router: RouterId(130),
+                country: Country::India,
+                traffic_consent: false,
+            });
+        }
+        let mut acc = Datasets::default();
+        let mut absorber = DatasetsAbsorber::default();
+        let per = 30u64;
+        for w in 0..4u64 {
+            let (lo, hi) = (w * per, (w + 1) * per);
+            for c in [&stream, &batch] {
+                // Routers 2 and 130 share a shard (130 ≡ 2 mod 128):
+                // the in-shard merge paths run every window.
+                for router in [2u32, 130, 7] {
+                    c.ingest_batch(
+                        (lo..hi)
+                            .map(|i| {
+                                Record::PacketStats(firmware::records::PacketStatsRecord {
+                                    router: RouterId(router),
+                                    at: m(i),
+                                    bytes_down: i * 100,
+                                    bytes_up: i * 10,
+                                    pkts_down: i,
+                                    pkts_up: i / 2,
+                                    peak_down_1s: i,
+                                    peak_up_1s: i,
+                                })
+                            })
+                            .collect(),
+                    );
+                    c.ingest(Record::Uptime(UptimeRecord {
+                        router: RouterId(router),
+                        at: m(hi),
+                        uptime: SimDuration::from_mins(hi),
+                    }));
+                    for i in lo..hi {
+                        c.ingest_heartbeat(HeartbeatRecord {
+                            router: RouterId(router),
+                            at: m(i),
+                        });
+                    }
+                }
+                // Router 9's clock steps backwards across every window
+                // boundary: absorb must take the per-router re-sort
+                // fallback (row and columnar) and still match the batch
+                // merge's stable sort.
+                c.ingest(Record::Uptime(UptimeRecord {
+                    router: RouterId(9),
+                    at: m(1000 - lo),
+                    uptime: SimDuration::from_mins(w),
+                }));
+                c.ingest(Record::PacketStats(firmware::records::PacketStatsRecord {
+                    router: RouterId(9),
+                    at: m(2000 - lo),
+                    bytes_down: w,
+                    bytes_up: w,
+                    pkts_down: w,
+                    pkts_up: w,
+                    peak_down_1s: w,
+                    peak_up_1s: w,
+                }));
+            }
+            acc.absorb(stream.drain_delta(), &mut absorber);
+        }
+        if spill_budget.is_some() {
+            let stats = stream.spill_stats().expect("spilling armed");
+            assert_eq!(stats.segments, 0, "sealed segments moved into the deltas");
+            assert_eq!(stats.error, None);
+        }
+        assert_eq!(acc.spilled_bytes(), 0, "the accumulator stays resident");
+        let expect = batch.into_datasets();
+        assert_eq!(acc, expect);
     }
 
     #[test]

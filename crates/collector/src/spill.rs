@@ -182,6 +182,14 @@ impl SegmentStore {
         File::open(self.dir.join(name))
     }
 
+    /// Delete a segment or merged file no longer referenced by any
+    /// table — stream mode reclaims each window's merged delta file once
+    /// its rows have been absorbed into the resident accumulator.
+    pub(crate) fn remove_file(&self, name: &str) {
+        // simlint: allow(error-swallow) — best-effort reclaim of an unreferenced temp file; the store's Drop removes the whole directory anyway, so a failed unlink only defers cleanup
+        let _ = fs::remove_file(self.dir.join(name));
+    }
+
     /// Start an append-only merged-column file (magic already written;
     /// block offsets returned by [`BlockWriter::append`] account for it).
     pub(crate) fn writer(&self, name: &str) -> io::Result<BlockWriter> {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bismark-study run   [--seed N] [--days D | --full] [--homes H] [--threads T]
+//!                     [--stream] [--window DUR]
 //!                     [--spill-budget BYTES] [--spill-dir DIR]
 //!                     [--faults SCENARIO] [--cgn SCENARIO]
 //!                     [--report FILE] [--export FILE]
@@ -25,6 +26,13 @@
 //! NAT tier (`isp-mix`, `all-cgn`, or `port-starved`) and arms the
 //! firmware's STUN-style NAT-type and hole-punch experiments; it cannot
 //! be combined with `--faults` (one injected experiment layer at a time).
+//! `--stream` runs in continuous-operation mode: the collector's sealed
+//! window deltas fold into incremental per-figure state every `--window`
+//! of virtual time (default `1d`; `DUR` takes `90m`, `36h`, or `2d`
+//! forms), the `--report` file is rewritten as a rolling report at each
+//! boundary, and `--metrics` additionally writes one gauges-only manifest
+//! per window at a derived path (`metrics.w0001.json`, …). After the
+//! final window, report and exports are byte-identical to a batch run.
 //! `--metrics` writes the deterministic run manifest (`metrics.json`);
 //! `--metrics-text` prints the human-readable summary — including the
 //! non-deterministic wall-clock host profile — to stderr.
@@ -32,12 +40,13 @@
 //! Flags are parsed strictly: an unrecognized flag (or a flag missing its
 //! value) is an error, not a silent no-op.
 
-use bismark::study::{run_study, StudyConfig};
+use bismark::study::{run_study, run_study_stream, StudyConfig};
 use bismark::validation;
+use simnet::time::SimDuration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--spill-budget BYTES[KiB|MiB|GiB]] [--spill-dir DIR] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--cgn isp-mix|all-cgn|port-starved] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
+        "usage:\n  bismark-study run [--seed N] [--days D | --full] [--homes H] [--threads T] \\\n                    [--stream] [--window DUR[m|h|d]] \\\n                    [--spill-budget BYTES[KiB|MiB|GiB]] [--spill-dir DIR] \\\n                    [--faults lossy-wan|collector-flap|router-churn] \\\n                    [--cgn isp-mix|all-cgn|port-starved] \\\n                    [--report FILE] [--export FILE] \\\n                    [--metrics FILE] [--metrics-text] [--validate]\n  bismark-study list-figures"
     );
     std::process::exit(2)
 }
@@ -59,6 +68,8 @@ struct RunOpts {
     full: bool,
     homes: Option<u32>,
     threads: Option<usize>,
+    stream: bool,
+    window: Option<SimDuration>,
     spill_budget: Option<u64>,
     spill_dir: Option<String>,
     faults: Option<String>,
@@ -109,6 +120,35 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             .ok_or_else(|| format!("flag {flag} overflows u64 bytes: {raw:?}"))
     }
 
+    /// A virtual-time duration with a required unit: `90m`, `36h`, `2d`.
+    fn parse_duration(flag: &str, raw: &str) -> Result<SimDuration, String> {
+        let (digits, unit) = match raw.find(|c: char| !c.is_ascii_digit()) {
+            Some(split) => raw.split_at(split),
+            None => {
+                return Err(format!(
+                    "flag {flag} expects a duration with a unit (90m, 36h, 2d), got {raw:?}"
+                ))
+            }
+        };
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| format!("flag {flag} expects a duration, got {raw:?}"))?;
+        let dur = match unit {
+            "m" => SimDuration::from_mins(n),
+            "h" => SimDuration::from_hours(n),
+            "d" => SimDuration::from_days(n),
+            other => {
+                return Err(format!(
+                    "flag {flag} has unknown unit {other:?} in {raw:?} (use m, h, or d)"
+                ))
+            }
+        };
+        if dur.as_micros() == 0 {
+            return Err(format!("flag {flag} expects a positive duration, got {raw:?}"));
+        }
+        Ok(dur)
+    }
+
     let mut opts = RunOpts { seed: 2013, days: 30, ..RunOpts::default() };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -118,6 +158,8 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--full" => opts.full = true,
             "--homes" => opts.homes = Some(parse_num(arg, value(arg, &mut it)?)?),
             "--threads" => opts.threads = Some(parse_num(arg, value(arg, &mut it)?)?),
+            "--stream" => opts.stream = true,
+            "--window" => opts.window = Some(parse_duration(arg, value(arg, &mut it)?)?),
             "--spill-budget" => opts.spill_budget = Some(parse_bytes(arg, value(arg, &mut it)?)?),
             "--spill-dir" => opts.spill_dir = Some(value(arg, &mut it)?.clone()),
             "--faults" => opts.faults = Some(value(arg, &mut it)?.clone()),
@@ -148,6 +190,12 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     if opts.spill_dir.is_some() && opts.spill_budget.is_none() {
         return Err(
             "flag --spill-dir requires --spill-budget (a directory without a budget never spills)"
+                .to_string(),
+        );
+    }
+    if opts.window.is_some() && !opts.stream {
+        return Err(
+            "flag --window requires --stream (the window cadence only exists in streaming mode)"
                 .to_string(),
         );
     }
@@ -200,7 +248,40 @@ fn run(args: &[String]) {
     );
     // simlint: allow(wall-clock) — CLI progress timing printed to stderr; no simulation state depends on it
     let started = std::time::Instant::now();
-    let output = run_study(&config);
+    let (output, stream_report) = if opts.stream {
+        let cadence = opts.window.unwrap_or_else(|| SimDuration::from_days(1));
+        let streamed = run_study_stream(&config, cadence, |w| {
+            // Rolling report: the file is rewritten at every boundary, so
+            // an operator tailing it always sees the freshest full report.
+            if let Some(path) = &opts.report {
+                std::fs::write(path, w.report.render(w.datasets))
+                    .expect("write rolling report file");
+            }
+            // Per-window manifest at a derived path: gauges only, built
+            // from the accumulated snapshot, so it is as deterministic as
+            // the datasets themselves.
+            if let Some(path) = &opts.metrics {
+                let manifest = window_manifest(w, opts.seed, &config);
+                std::fs::write(window_metrics_path(path, w.index), manifest.to_json())
+                    .expect("write window metrics file");
+            }
+            eprintln!(
+                "window {:>4} sealed at day {:>6.2}: fold {:.3}s, report {:.3}s",
+                w.index + 1,
+                w.window.end.since(config.windows.span.start).as_days_f64(),
+                w.update_cost.as_secs_f64(),
+                w.finalize_cost.as_secs_f64()
+            );
+        });
+        eprintln!(
+            "stream: {} windows at a {:.0}-minute cadence",
+            streamed.windows_run,
+            cadence.as_secs_f64() / 60.0
+        );
+        (streamed.study, Some(streamed.report))
+    } else {
+        (run_study(&config), None)
+    };
     eprintln!(
         "done in {:.1}s: {} records from {} routers",
         started.elapsed().as_secs_f64(),
@@ -251,7 +332,12 @@ fn run(args: &[String]) {
 
     // simlint: allow(wall-clock) — CLI progress timing printed to stderr; no simulation state depends on it
     let analyze_started = std::time::Instant::now();
-    let report = output.report();
+    // Stream mode already has the rolling report — by construction (and
+    // by the differential harness) identical to a batch recompute.
+    let report = match stream_report {
+        Some(report) => report,
+        None => output.report(),
+    };
     let rendered = report.render(&output.datasets);
     eprintln!(
         "phases: simulate {:.2}s / snapshot {:.2}s / analyze {:.2}s",
@@ -291,6 +377,10 @@ fn run(args: &[String]) {
         manifest.set_meta("homes", config.homes.to_string());
         manifest.set_meta("faults", opts.faults.as_deref().unwrap_or("none"));
         manifest.set_meta("cgn", opts.cgn.as_deref().unwrap_or("none"));
+        if opts.stream {
+            let cadence = opts.window.unwrap_or_else(|| SimDuration::from_days(1));
+            manifest.set_meta("stream", format!("{:.0}m", cadence.as_secs_f64() / 60.0));
+        }
         // Host facts (peak RSS) render only in the text summary; putting
         // them in meta would leak machine state into metrics.json.
         match peak_rss_bytes() {
@@ -330,6 +420,65 @@ fn run(args: &[String]) {
             v.mean_downtime_count_error
         );
     }
+}
+
+/// Derived per-window manifest path: `metrics.json` → `metrics.w0001.json`
+/// for the first window, counting from 1.
+fn window_metrics_path(path: &str, index: u32) -> String {
+    let tag = format!("w{:04}", index + 1);
+    match path.rsplit_once('.') {
+        // The `/` guard keeps a dot inside a directory name (`out.d/metrics`)
+        // from being mistaken for an extension separator.
+        Some((stem, ext)) if !stem.is_empty() && !ext.contains('/') => {
+            format!("{stem}.{tag}.{ext}")
+        }
+        _ => format!("{path}.{tag}"),
+    }
+}
+
+/// The gauges-only manifest for one sealed stream window: data-set sizes
+/// from the accumulated snapshot (the same gauge keys the end-of-run
+/// manifest carries), plus window-describing meta. No counters or
+/// histograms — those accumulate on worker threads mid-run and only
+/// settle at study end, so a per-window snapshot of them would not be
+/// deterministic. Everything here derives from the datasets alone.
+fn window_manifest(
+    w: &bismark::study::StreamWindow<'_>,
+    seed: u64,
+    config: &StudyConfig,
+) -> obs::manifest::RunManifest {
+    let d = w.datasets;
+    let heartbeats: u64 = d.heartbeats.values().map(|log| log.total_heartbeats()).sum();
+    let mut gauges = std::collections::BTreeMap::new();
+    for (key, value) in [
+        ("dataset_heartbeat_records", heartbeats),
+        ("dataset_uptime_records", d.uptime.len() as u64),
+        ("dataset_capacity_records", d.capacity.len() as u64),
+        ("dataset_device_census_records", d.devices.len() as u64),
+        ("dataset_wifi_scan_records", d.wifi.len() as u64),
+        ("dataset_packet_stat_records", d.packet_stats.len() as u64),
+        ("dataset_flow_records", d.flows.len() as u64),
+        ("dataset_dns_records", d.dns.len() as u64),
+        ("dataset_mac_sighting_records", d.macs.len() as u64),
+        ("dataset_association_records", d.associations.len() as u64),
+        ("dataset_latency_records", d.latency.len() as u64),
+        ("dataset_nat_probe_records", d.nat_probes.len() as u64),
+        ("dataset_punch_trial_records", d.punch_trials.len() as u64),
+        ("dataset_upload_gap_records", d.upload_gaps.len() as u64),
+    ] {
+        gauges.insert(key.to_string(), value);
+    }
+    let mut manifest =
+        obs::manifest::RunManifest::new(obs::Snapshot { gauges, ..obs::Snapshot::default() });
+    manifest.set_meta("schema", "bismark-metrics/1");
+    manifest.set_meta("mode", "stream-window");
+    manifest.set_meta("seed", seed.to_string());
+    manifest.set_meta("window_index", (w.index + 1).to_string());
+    manifest.set_meta(
+        "window_end_day",
+        format!("{:.2}", w.window.end.since(config.windows.span.start).as_days_f64()),
+    );
+    manifest
 }
 
 /// Peak resident-set size of this process in bytes, from `VmHWM` in
@@ -377,7 +526,8 @@ fn list_figures() {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_run, RunOpts};
+    use super::{parse_run, window_metrics_path, RunOpts};
+    use simnet::time::SimDuration;
 
     fn strs(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -396,6 +546,7 @@ mod tests {
             "--spill-budget", "64MiB", "--spill-dir", "/tmp/spill",
             "--faults", "collector-flap", "--report", "r.txt", "--export", "e.json",
             "--metrics", "m.json", "--metrics-text", "--validate",
+            "--stream", "--window", "36h",
         ]))
         .unwrap();
         assert_eq!(
@@ -415,6 +566,8 @@ mod tests {
                 metrics: Some("m.json".into()),
                 metrics_text: true,
                 validate: true,
+                stream: true,
+                window: Some(SimDuration::from_hours(36)),
             }
         );
     }
@@ -520,5 +673,58 @@ mod tests {
         assert!(err.contains("--report"), "{err}");
         let err = parse_run(&strs(&["--days", "x"])).unwrap_err();
         assert!(err.contains("--days"), "{err}");
+    }
+
+    #[test]
+    fn window_accepts_minute_hour_and_day_units() {
+        for (raw, expected) in [
+            ("90m", SimDuration::from_mins(90)),
+            ("36h", SimDuration::from_hours(36)),
+            ("2d", SimDuration::from_days(2)),
+        ] {
+            let opts = parse_run(&strs(&["--stream", "--window", raw])).unwrap();
+            assert!(opts.stream);
+            assert_eq!(opts.window, Some(expected), "parsing {raw}");
+        }
+    }
+
+    #[test]
+    fn stream_without_window_defaults_the_cadence() {
+        // The cadence default (one day) is applied at run time, not parse
+        // time: parsing alone leaves the option empty.
+        let opts = parse_run(&strs(&["--stream"])).unwrap();
+        assert!(opts.stream);
+        assert_eq!(opts.window, None);
+    }
+
+    #[test]
+    fn malformed_window_is_rejected_by_name() {
+        // Unitless, zero-length, unknown unit, missing magnitude, missing
+        // value: each error must name the flag so the operator can fix it.
+        for raw in ["5", "0h", "5w", "h", "1.5h", ""] {
+            let err = parse_run(&strs(&["--stream", "--window", raw])).unwrap_err();
+            assert!(err.contains("--window"), "error should name the flag for {raw:?}: {err}");
+        }
+        let err = parse_run(&strs(&["--stream", "--window"])).unwrap_err();
+        assert!(err.contains("--window"), "{err}");
+    }
+
+    #[test]
+    fn window_without_stream_is_rejected_naming_both_flags() {
+        for args in [&["--window", "6h"][..], &["--window", "6h", "--seed", "7"][..]] {
+            let err = parse_run(&strs(args)).unwrap_err();
+            assert!(err.contains("--window"), "{err}");
+            assert!(err.contains("--stream"), "{err}");
+        }
+    }
+
+    #[test]
+    fn window_metrics_paths_interleave_the_window_tag() {
+        assert_eq!(window_metrics_path("metrics.json", 0), "metrics.w0001.json");
+        assert_eq!(window_metrics_path("out/m.json", 11), "out/m.w0012.json");
+        // No extension (or a leading-dot name): the tag is appended so the
+        // path stays alongside whatever the operator asked for.
+        assert_eq!(window_metrics_path("metrics", 0), "metrics.w0001");
+        assert_eq!(window_metrics_path(".metrics", 2), ".metrics.w0003");
     }
 }

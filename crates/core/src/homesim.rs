@@ -502,17 +502,37 @@ impl<'a> HomeSim<'a> {
     /// grabs that router's shard handle once and every flush is a single
     /// uncontended lock — parallel homes never serialize on ingestion.
     pub fn run(mut self, collector: &Collector) {
-        let shard = collector.shard_handle(self.gateway.id);
         let end = self.windows.span.end;
+        self.run_until(end, collector);
+        self.finish(collector);
+    }
+
+    /// Advance the simulation, processing every event before `until` and
+    /// uploading as usual, then return with all later events still queued.
+    /// The event sequence is untouched by where the cuts fall: popping the
+    /// queue in segments yields exactly the pops one uninterrupted [`run`]
+    /// loop would make, so a streamed home is record-identical to a batch
+    /// one. Call [`Self::finish`] after the last segment.
+    ///
+    /// [`run`]: Self::run
+    pub fn run_until(&mut self, until: SimTime, collector: &Collector) {
+        let shard = collector.shard_handle(self.gateway.id);
         let threshold =
             self.upload_queue.as_ref().map_or(FLUSH_THRESHOLD, |u| u.config().batch_records);
-        while let Some((now, ev)) = self.queue.pop_if_before(end) {
+        while let Some((now, ev)) = self.queue.pop_if_before(until) {
             self.handle(now, ev, &shard);
             if self.out.len() >= threshold {
                 self.flush(now, &shard);
             }
         }
-        // Study over: tear down flows so their records are emitted.
+    }
+
+    /// End-of-study epilogue: tear down live flows so their records are
+    /// emitted, drain the monitor and the upload spool, and publish this
+    /// home's metrics. Consumes the simulation.
+    pub fn finish(mut self, collector: &Collector) {
+        let shard = collector.shard_handle(self.gateway.id);
+        let end = self.windows.span.end;
         self.abort_flows(end);
         if let Some(monitor) = self.monitor.as_mut() {
             monitor.finalize(end);

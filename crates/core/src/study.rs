@@ -320,6 +320,244 @@ pub fn run_study(config: &StudyConfig) -> StudyOutput {
     }
 }
 
+/// One emitted stream window, handed to the [`run_study_stream`] sink
+/// right after the window's delta was folded in and the rolling report
+/// refreshed.
+pub struct StreamWindow<'a> {
+    /// Zero-based window index.
+    pub index: u32,
+    /// The slice of virtual time this window sealed.
+    pub window: Window,
+    /// The rolling report after this window (incremental state finalized
+    /// against everything collected so far).
+    pub report: &'a analysis::StudyReport,
+    /// The accumulated data sets after this window.
+    pub datasets: &'a Datasets,
+    /// Wall-clock spent folding this window's delta into the incremental
+    /// state (the part whose cost scales with the delta, not the history).
+    pub update_cost: std::time::Duration,
+    /// Wall-clock spent finalizing the rolling report from the partial
+    /// state plus the accumulator.
+    pub finalize_cost: std::time::Duration,
+}
+
+/// Everything a finished streaming study produces: the regular
+/// [`StudyOutput`] (its datasets are the final accumulated snapshot) plus
+/// the final rolling report and the window count.
+pub struct StreamOutput {
+    /// The study output, exactly as [`run_study`] would shape it.
+    pub study: StudyOutput,
+    /// The final rolling report — the differential harness proves it
+    /// byte-identical to `study.report()` recomputed from scratch.
+    pub report: analysis::StudyReport,
+    /// Stream windows emitted (the last one ends exactly at span end).
+    pub windows_run: u32,
+}
+
+/// Continuous-operation mode: run the same deployment as [`run_study`],
+/// but pause every `cadence` of virtual time to drain the records sealed
+/// behind the per-router watermark, fold them into the incremental
+/// analysis state, and refresh the rolling report — calling `on_window`
+/// with each window's results as it closes.
+///
+/// The stream always routes records through the store-and-forward upload
+/// queue (a long-running collector never gets direct memory handoffs), so
+/// the drained prefix is exactly what a batch run would have ingested by
+/// the same virtual instant. After the final window the accumulated
+/// datasets and the rolling report are byte-identical to a batch run of
+/// the same config — at any thread count, spill armed or not, faults and
+/// CGN included.
+pub fn run_study_stream(
+    config: &StudyConfig,
+    cadence: SimDuration,
+    mut on_window: impl FnMut(&StreamWindow<'_>),
+) -> StreamOutput {
+    assert!(cadence.as_micros() > 0, "stream cadence must be positive");
+    let homes = build_deployment_scaled(config.seed, config.homes);
+    let fault_plan = match config.faults {
+        Some(scenario) => {
+            let routers: Vec<RouterId> = homes.iter().map(|h| RouterId(h.id.0)).collect();
+            FaultPlan::scenario(scenario, config.seed, config.windows.span, &routers)
+        }
+        None => FaultPlan::empty(),
+    };
+    let cgn_plan = match config.cgn {
+        Some(scenario) => {
+            let deployment: Vec<(RouterId, Country)> =
+                homes.iter().map(|h| (RouterId(h.id.0), h.country)).collect();
+            CgnPlan::scenario(scenario, config.seed, config.windows.span, &deployment)
+        }
+        None => CgnPlan::empty(),
+    };
+    let universe = DomainUniverse::standard();
+    let zone = universe.build_zone();
+    let collector = Collector::new();
+    if let Some(spill) = &config.spill {
+        collector
+            .set_spill(spill)
+            .expect("spill directory must be creatable before the study starts");
+    }
+    collector.set_outages(config.collector_outages.clone());
+    if !fault_plan.collector_downtime.is_empty() {
+        collector.set_downtime(fault_plan.collector_downtime.clone());
+    }
+    for home in &homes {
+        collector.register(RouterMeta {
+            router: RouterId(home.id.0),
+            country: home.country,
+            traffic_consent: home.traffic_consent,
+        });
+    }
+    let mut sims: Vec<HomeSim<'_>> = homes
+        .iter()
+        .map(|home| {
+            HomeSim::new(SimParams {
+                cfg: home,
+                universe: &universe,
+                zone: &zone,
+                windows: &config.windows,
+                seed: config.seed,
+                // A continuously-consumed stream always runs the reliable
+                // upload path; with no faults armed the queue is invisible
+                // and the delivered records are identical to direct flush.
+                reliable_upload: true,
+                faults: fault_plan.for_router(RouterId(home.id.0)),
+                cgn: cgn_plan.for_router(RouterId(home.id.0)),
+            })
+        })
+        .collect();
+
+    let span = config.windows.span;
+    let workers = config.threads.max(1);
+    let mut inc = analysis::IncrementalReport::new(config.windows.report_windows());
+    let mut acc = Datasets::default();
+    let mut absorber = collector::DatasetsAbsorber::default();
+    let mut report: Option<analysis::StudyReport> = None;
+    let mut spill_total: Option<SpillStats> = None;
+    let mut simulate = std::time::Duration::ZERO;
+    let mut snapshot = std::time::Duration::ZERO;
+    let mut index: u32 = 0;
+    let mut cursor = span.start;
+    while cursor < span.end {
+        let until = (cursor + cadence).min(span.end);
+        let last = until >= span.end;
+        // simlint: allow(wall-clock) — operator-facing phase timing only; never feeds the simulation or its datasets
+        let sim_start = std::time::Instant::now();
+        // One barrier per window: advance every home to the boundary on
+        // `workers` threads. Homes are mutually independent and the
+        // collector is order-insensitive, so the chunking is free to be
+        // static.
+        let chunk = sims.len().div_ceil(workers).max(1);
+        crossbeam::scope(|scope| {
+            for part in sims.chunks_mut(chunk) {
+                let collector = &collector;
+                scope.spawn(move |_| {
+                    for sim in part {
+                        sim.run_until(until, collector);
+                    }
+                });
+            }
+        })
+        .expect("home simulation threads must not panic");
+        if last {
+            // Span end: run the epilogues (flow teardown, monitor and
+            // spool drains) so the final delta carries everything.
+            let mut parts: Vec<Vec<HomeSim<'_>>> = Vec::new();
+            while !sims.is_empty() {
+                let at = sims.len().saturating_sub(chunk);
+                parts.push(sims.split_off(at));
+            }
+            crossbeam::scope(|scope| {
+                for part in parts {
+                    let collector = &collector;
+                    scope.spawn(move |_| {
+                        for sim in part {
+                            sim.finish(collector);
+                        }
+                    });
+                }
+            })
+            .expect("home finish threads must not panic");
+        }
+        simulate += sim_start.elapsed();
+
+        // Seal and fold the window: drain the applied-behind-watermark
+        // prefix, update the incremental state from the delta alone, then
+        // absorb the delta into the accumulated snapshot.
+        //
+        // Spill accounting first: draining moves sealed segments out with
+        // the delta (the collector's live stats reset every window), so
+        // the study-level totals must accumulate across drains.
+        if let Some(stats) = collector.spill_stats() {
+            let total = spill_total.get_or_insert_with(SpillStats::default);
+            total.segments += stats.segments;
+            total.bytes_written += stats.bytes_written;
+            if total.error.is_none() {
+                total.error = stats.error;
+            }
+        }
+        // simlint: allow(wall-clock) — operator-facing phase timing only; never feeds the simulation or its datasets
+        let drain_start = std::time::Instant::now();
+        let delta = collector.drain_delta();
+        snapshot += drain_start.elapsed();
+        // simlint: allow(wall-clock) — per-window incremental-cost profiling for the bench harness; never feeds figures
+        let update_start = std::time::Instant::now();
+        inc.update(&delta);
+        let update_cost = update_start.elapsed();
+        // simlint: allow(wall-clock) — operator-facing phase timing only; never feeds the simulation or its datasets
+        let absorb_start = std::time::Instant::now();
+        acc.absorb(delta, &mut absorber);
+        snapshot += absorb_start.elapsed();
+        // simlint: allow(wall-clock) — per-window incremental-cost profiling for the bench harness; never feeds figures
+        let finalize_start = std::time::Instant::now();
+        let rolled = inc.finalize(&acc);
+        let finalize_cost = finalize_start.elapsed();
+        let emitted = StreamWindow {
+            index,
+            window: Window { start: cursor, end: until },
+            report: &rolled,
+            datasets: &acc,
+            update_cost,
+            finalize_cost,
+        };
+        on_window(&emitted);
+        report = Some(rolled);
+        obs::counter("stream_windows_total").add(1);
+        index += 1;
+        cursor = until;
+    }
+    let report = report.expect("span is non-empty, so at least one window ran");
+
+    collector.publish_metrics();
+    let upload_counters = collector.upload_counters();
+    let dropped_in_downtime = collector.dropped_in_downtime();
+    // Accumulated across the per-window drains above; the final drain left
+    // the collector itself with no live segments to report.
+    let spill = spill_total;
+    drop(collector);
+    publish_study_metrics(&homes, &acc);
+    if !cgn_plan.is_empty() {
+        cgn_plan.publish_metrics();
+    }
+    obs::wall_span("study_simulate").record_micros(simulate.as_micros() as u64);
+    obs::wall_span("study_snapshot").record_micros(snapshot.as_micros() as u64);
+    StreamOutput {
+        study: StudyOutput {
+            datasets: acc,
+            homes,
+            windows: config.windows.clone(),
+            timings: PhaseTimings { simulate, snapshot },
+            fault_plan,
+            cgn_plan,
+            upload_counters,
+            dropped_in_downtime,
+            spill,
+        },
+        report,
+        windows_run: index,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +634,30 @@ mod tests {
         let report_a = a.report().render(&a.datasets);
         let report_b = b.report().render(&b.datasets);
         assert_eq!(report_a, report_b);
+    }
+
+    #[test]
+    fn streamed_study_matches_batch() {
+        let cfg = StudyConfig::quick(7, 6);
+        let batch = run_study(&cfg);
+        let mut windows_seen = 0;
+        let mut rolling_homes = 0;
+        let streamed = run_study_stream(&cfg, SimDuration::from_hours(36), |w| {
+            windows_seen = w.index + 1;
+            rolling_homes = w.report.routers.len();
+            assert_eq!(w.datasets.routers.len(), 126);
+        });
+        assert_eq!(streamed.windows_run, 4, "6 days at a 36 h cadence is 4 windows");
+        assert_eq!(streamed.windows_run, windows_seen);
+        assert_eq!(rolling_homes, streamed.report.routers.len());
+        // The accumulated snapshot and the rolling report must be
+        // byte-identical to the batch run's.
+        assert_eq!(batch.datasets, streamed.study.datasets);
+        assert_eq!(
+            batch.report().render(&batch.datasets),
+            streamed.report.render(&streamed.study.datasets),
+            "final rolling report must equal the batch report"
+        );
     }
 
     #[test]

@@ -162,6 +162,49 @@ PYEOF
     cmp "$smoke_dir/nocgn_report.txt" "$smoke_dir/plain_report.txt" \
         && cmp "$smoke_dir/nocgn_export.json" "$smoke_dir/plain_export.json" \
         && echo "no-CGN run is byte-identical to the plain run"
+    echo "== streaming smoke (windowed continuous run vs batch identity) =="
+    # The same study in continuous-operation mode at a 36-hour window
+    # cadence: the final rolling report and public export must converge to
+    # the batch run (plain_report/plain_export above) byte for byte, each
+    # sealed window must leave a gauges-only manifest at the derived
+    # metrics.wNNNN.json path with monotonically growing dataset gauges,
+    # and the end-of-run manifest must carry the cadence in its meta.
+    ./target/release/bismark-study run --seed 7 --days 5 --stream --window 36h \
+        --report "$smoke_dir/stream_report.txt" \
+        --export "$smoke_dir/stream_export.json" \
+        --metrics "$smoke_dir/stream_metrics.json"
+    cmp "$smoke_dir/stream_report.txt" "$smoke_dir/plain_report.txt" \
+        && cmp "$smoke_dir/stream_export.json" "$smoke_dir/plain_export.json" \
+        && echo "streamed run is byte-identical to the batch run"
+    python3 - "$smoke_dir" <<'PYEOF'
+import glob, json, os, sys
+d = sys.argv[1]
+windows = sorted(glob.glob(os.path.join(d, "stream_metrics.w*.json")))
+assert len(windows) == 4, f"expected 4 window manifests (5 days / 36h), got {windows}"
+prev = None
+for i, path in enumerate(windows):
+    with open(path) as f:
+        m = json.load(f)
+    meta = m["meta"]
+    assert meta["mode"] == "stream-window", (path, meta)
+    assert meta["window_index"] == str(i + 1), (path, meta)
+    assert "window_end_day" in meta, (path, meta)
+    assert not m["counters"], "window manifests are gauges-only"
+    assert not m["histograms"], "window manifests are gauges-only"
+    g = m["gauges"]
+    assert g.get("dataset_heartbeat_records", 0) > 0, (path, g)
+    if prev is not None:
+        for key, value in prev.items():
+            assert g.get(key, 0) >= value, f"gauge {key} shrank at {path}"
+    prev = g
+with open(os.path.join(d, "stream_metrics.json")) as f:
+    final = json.load(f)
+assert final["meta"]["stream"] == "2160m", final["meta"]
+assert final["gauges"]["dataset_heartbeat_records"] == prev["dataset_heartbeat_records"], \
+    "final manifest must agree with the last window"
+print("streaming smoke OK: %d windows, %d heartbeat records"
+      % (len(windows), prev["dataset_heartbeat_records"]))
+PYEOF
 fi
 
 echo "== simlint =="
